@@ -1,0 +1,100 @@
+//! Criterion companions to Figures 7–9: real wall-clock per-batch cost of
+//! the distributed implementations (the simulated-cluster *time model* is
+//! reported by the `fig7`–`fig9` binaries; this measures the actual
+//! in-process execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tbs_distributed::{DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy};
+
+const BATCH: usize = 20_000;
+const CAPACITY: usize = 40_000;
+
+fn bench_fig7_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_per_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for strategy in Strategy::all() {
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            let cfg = DrtbsConfig::new(0.07, CAPACITY, 8, strategy);
+            let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            let mut t = 0u64;
+            b.iter(|| {
+                let base = t * BATCH as u64;
+                t += 1;
+                black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("D-T-TBS (Dist,CP)"), |b| {
+        let cfg = DttbsConfig::new(0.07, CAPACITY, BATCH as f64, 8);
+        let mut d: DTTbs<u64> = DTTbs::new(cfg, 42);
+        d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+        let mut t = 0u64;
+        b.iter(|| {
+            let base = t * BATCH as u64;
+            t += 1;
+            black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig8_scale_out(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scale_out_threaded");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| {
+                let mut cfg = DrtbsConfig::new(0.07, CAPACITY, w, Strategy::DistCoPartitioned);
+                cfg.threaded = true;
+                let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
+                d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+                let mut t = 0u64;
+                b.iter(|| {
+                    let base = t * BATCH as u64;
+                    t += 1;
+                    black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9_scale_up(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_scale_up");
+    group.sample_size(10);
+    for &batch in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &size| {
+            let cfg = DrtbsConfig::new(0.07, CAPACITY, 8, Strategy::DistCoPartitioned);
+            let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            let mut t = 0u64;
+            b.iter(|| {
+                let base = t * size as u64;
+                t += 1;
+                black_box(d.observe_batch((base..base + size as u64).collect()));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = distributed_benches;
+    // Short measurement windows keep the full-workspace bench run
+    // in the minutes range; increase locally for tighter CIs.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig7_strategies,
+    bench_fig8_scale_out,
+    bench_fig9_scale_up
+}
+
+criterion_main!(distributed_benches);

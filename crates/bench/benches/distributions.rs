@@ -1,0 +1,87 @@
+//! Cost of the exact variate generators (the paper's refs [21]/[22]):
+//! BINV vs BTPE binomial paths, hypergeometric inversion, multivariate
+//! splits, stochastic rounding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tbs_stats::binomial::binomial;
+use tbs_stats::hypergeometric::hypergeometric;
+use tbs_stats::multivariate::multivariate_hypergeometric;
+use tbs_stats::rng::Xoshiro256PlusPlus;
+use tbs_stats::rounding::stochastic_round;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    group.sample_size(30);
+    // (n, p): BINV territory (np < 10) and BTPE territory (np >= 10).
+    for &(n, p, label) in &[
+        (100u64, 0.05f64, "binv_small"),
+        (1_000_000, 5e-6, "binv_large_n"),
+        (1_000, 0.4, "btpe_medium"),
+        (10_000_000, 0.3, "btpe_huge"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+            b.iter(|| binomial(&mut rng, black_box(n), black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypergeometric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypergeometric");
+    group.sample_size(30);
+    for &(k, a, b_, label) in &[
+        (10u64, 20u64, 30u64, "tiny"),
+        (1_000, 5_000, 5_000, "medium"),
+        (100_000, 1_000_000, 9_000_000, "large"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bch| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+            bch.iter(|| hypergeometric(&mut rng, black_box(k), black_box(a), black_box(b_)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multivariate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multivariate_hypergeometric");
+    group.sample_size(30);
+    for &workers in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bch, &w| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+                let sizes = vec![10_000u64; w];
+                bch.iter(|| {
+                    multivariate_hypergeometric(&mut rng, black_box(&sizes), 5_000)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    c.bench_function("stochastic_round", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        b.iter(|| stochastic_round(&mut rng, black_box(1234.567)));
+    });
+}
+
+criterion_group! {
+    name = distribution_benches;
+    // Short measurement windows keep the full-workspace bench run
+    // in the minutes range; increase locally for tighter CIs.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_binomial,
+    bench_hypergeometric,
+    bench_multivariate,
+    bench_rounding
+}
+
+criterion_main!(distribution_benches);

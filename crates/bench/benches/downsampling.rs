@@ -1,0 +1,93 @@
+//! Cost of the R-TBS primitives: Algorithm 3 downsampling, latent-sample
+//! realization, and the full per-batch step across the four transition
+//! types (unsaturated/saturated × under/over).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tbs_core::downsample::downsample;
+use tbs_core::latent::LatentSample;
+use tbs_core::traits::BatchSampler;
+use tbs_core::RTbs;
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+fn bench_downsample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("downsample");
+    group.sample_size(30);
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("to_half", size), &size, |b, &n| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+            b.iter_batched(
+                || LatentSample::from_full((0..n as u64).collect::<Vec<_>>()),
+                |mut latent| {
+                    downsample(&mut latent, n as f64 / 2.0 + 0.3, &mut rng);
+                    black_box(latent.weight())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        // The common per-step case: tiny decay shave (λ = 0.07).
+        group.bench_with_input(BenchmarkId::new("decay_shave", size), &size, |b, &n| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+            b.iter_batched(
+                || LatentSample::from_full((0..n as u64).collect::<Vec<_>>()),
+                |mut latent| {
+                    downsample(&mut latent, n as f64 * (-0.07f64).exp(), &mut rng);
+                    black_box(latent.weight())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realize_sample");
+    group.sample_size(30);
+    for &size in &[1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+            let mut latent = LatentSample::from_full((0..n as u64).collect::<Vec<_>>());
+            downsample(&mut latent, n as f64 - 0.5, &mut rng);
+            b.iter(|| black_box(latent.realize(&mut rng).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtbs_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtbs_step");
+    group.sample_size(20);
+    // Saturated steady state (the §6.1 regime).
+    group.bench_function("saturated", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut s: RTbs<u64> = RTbs::new(0.07, 10_000);
+        s.observe((0..20_000u64).collect(), &mut rng);
+        b.iter(|| s.observe(black_box((0..5_000u64).collect()), &mut rng));
+    });
+    // Unsaturated steady state (n above the equilibrium weight).
+    group.bench_function("unsaturated", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut s: RTbs<u64> = RTbs::new(0.07, 100_000);
+        for t in 0..50u64 {
+            s.observe((0..5_000).map(|i| t * 5_000 + i).collect(), &mut rng);
+        }
+        b.iter(|| s.observe(black_box((0..5_000u64).collect()), &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = downsampling_benches;
+    // Short measurement windows keep the full-workspace bench run
+    // in the minutes range; increase locally for tighter CIs.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_downsample,
+    bench_realize,
+    bench_rtbs_transitions
+}
+
+criterion_main!(downsampling_benches);

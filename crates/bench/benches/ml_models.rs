@@ -1,0 +1,91 @@
+//! Model retraining + scoring cost versus training-sample size — the
+//! quantitative backing for the paper's premise that "retraining on a
+//! sample speeds up the training process relative to training on all of
+//! the data".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tbs_datagen::gmm::GmmGenerator;
+use tbs_datagen::modes::Mode;
+use tbs_datagen::regression::RegressionGenerator;
+use tbs_datagen::text::UsenetGenerator;
+use tbs_ml::{KnnClassifier, LinearRegression, NaiveBayes};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_score_batch");
+    group.sample_size(20);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let gmm = GmmGenerator::paper(&mut rng);
+    let batch = gmm.sample_batch(Mode::Normal, 100, &mut rng);
+    for &train_size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(train_size),
+            &train_size,
+            |b, &n| {
+                let train = gmm.sample_batch(Mode::Normal, n, &mut rng);
+                let mut knn = KnnClassifier::new(7);
+                knn.train(&train);
+                b.iter(|| black_box(knn.misclassification_pct(&batch)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_linreg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linreg_fit");
+    group.sample_size(20);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+    let gen = RegressionGenerator::paper();
+    for &train_size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(train_size),
+            &train_size,
+            |b, &n| {
+                let train = gen.sample_batch(Mode::Normal, n, &mut rng);
+                b.iter(|| {
+                    let mut model = LinearRegression::new(true);
+                    model.train(&train);
+                    black_box(model.coefficients().to_vec())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_naive_bayes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_bayes_fit");
+    group.sample_size(20);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+    let gen = UsenetGenerator::paper();
+    for &train_size in &[300usize, 1_500, 15_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(train_size),
+            &train_size,
+            |b, &n| {
+                let train: Vec<_> = (0..n as u64).map(|i| gen.message(i, &mut rng)).collect();
+                b.iter(|| {
+                    let mut model = NaiveBayes::new(gen.vocab_size() as usize);
+                    model.train(&train);
+                    black_box(model.is_trained())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ml_benches;
+    // Short measurement windows keep the full-workspace bench run
+    // in the minutes range; increase locally for tighter CIs.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_knn, bench_linreg, bench_naive_bayes
+}
+
+criterion_main!(ml_benches);

@@ -1,0 +1,39 @@
+//! Run the complete experiment suite (every paper table and figure) with
+//! moderate run counts; pass a run count to override (default 10).
+use tbs_bench::experiments;
+use tbs_bench::output::runs_from_env;
+
+fn main() {
+    let runs = runs_from_env(10);
+    println!("### running full EDBT-2018 reproduction suite ({runs} runs per experiment)");
+    println!("\n--- Figure 1: sample-size behaviour ---");
+    experiments::fig1::run(1000, 42);
+    println!("\n--- Equation (1) / Theorem 4.2 verification ---");
+    experiments::inclusion::run_and_report(20_000);
+    println!("\n--- Theorem 3.1 verification ---");
+    experiments::theory::run_and_report(1_000);
+    println!("\n--- Figure 7: distributed implementations ---");
+    experiments::runtime::run_fig7(&experiments::runtime::RuntimeConfig::default(), 42);
+    println!("\n--- Figure 8: scale-out ---");
+    experiments::runtime::run_fig8(&[1, 2, 4, 8, 12, 16, 20, 24], 1_000_000, 42);
+    println!("\n--- Figure 9: scale-up ---");
+    experiments::runtime::run_fig9(&[1_000, 10_000, 100_000, 1_000_000], 10, 42);
+    println!("\n--- Figure 10: kNN single event / P(10,10) ---");
+    experiments::knn::run_fig10(runs);
+    println!("\n--- Figure 11: kNN varying batch sizes ---");
+    experiments::knn::run_fig11(runs);
+    println!("\n--- Figure 14: kNN P(20,10) / P(30,10) ---");
+    experiments::knn::run_fig14(runs);
+    println!("\n--- Table 1: kNN accuracy & robustness ---");
+    experiments::knn::run_table1(runs);
+    println!("\n--- Figure 12: linear regression ---");
+    experiments::linreg::run_fig12(runs);
+    println!("\n--- Figure 13: naive Bayes (synthetic Usenet2) ---");
+    experiments::nb::run_fig13(runs);
+    experiments::nb::run_lambda_sweep(runs.min(5));
+    println!("\n--- Ablation: R-TBS vs B-Chao ---");
+    experiments::knn::run_chao_ablation(runs.min(10));
+    println!("\n--- Extension: forward-decay retention ---");
+    experiments::forward::run_and_report(300);
+    println!("\n### suite complete; CSVs in results/ ###");
+}

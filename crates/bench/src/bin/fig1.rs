@@ -1,0 +1,4 @@
+//! Regenerate Figure 1 — T-TBS vs R-TBS sample-size behaviour.
+fn main() {
+    tbs_bench::experiments::fig1::run(1000, 42);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 10 — kNN misclassification under a single event and
+//! Periodic(10,10). Pass a run count as the first argument (default 10).
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::knn::run_fig10(runs_from_env(10));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 11 — kNN with uniform and growing batch sizes.
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::knn::run_fig11(runs_from_env(10));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 12 — linear-regression MSE, saturated and
+//! unsaturated sample regimes.
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::linreg::run_fig12(runs_from_env(10));
+}

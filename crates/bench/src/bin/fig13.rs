@@ -1,0 +1,8 @@
+//! Regenerate Figure 13 — naive Bayes on the synthetic Usenet2 stream,
+//! plus the lambda-sensitivity sweep.
+use tbs_bench::output::runs_from_env;
+fn main() {
+    let runs = runs_from_env(10);
+    tbs_bench::experiments::nb::run_fig13(runs);
+    tbs_bench::experiments::nb::run_lambda_sweep(runs.min(5));
+}

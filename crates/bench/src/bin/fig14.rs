@@ -1,0 +1,6 @@
+//! Regenerate Figure 14 (Appendix F) — kNN under Periodic(20,10) and
+//! Periodic(30,10).
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::knn::run_fig14(runs_from_env(10));
+}

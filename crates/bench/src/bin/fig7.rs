@@ -1,0 +1,6 @@
+//! Regenerate Figure 7 — per-batch runtime of the five distributed
+//! implementations.
+use tbs_bench::experiments::runtime::{run_fig7, RuntimeConfig};
+fn main() {
+    run_fig7(&RuntimeConfig::default(), 42);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 8 — D-R-TBS scale-out with worker count.
+use tbs_bench::experiments::runtime::run_fig8;
+fn main() {
+    run_fig8(&[1, 2, 4, 6, 8, 10, 12, 16, 20, 24], 1_000_000, 42);
+}

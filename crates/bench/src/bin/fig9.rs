@@ -1,0 +1,5 @@
+//! Regenerate Figure 9 — D-R-TBS scale-up with batch size.
+use tbs_bench::experiments::runtime::run_fig9;
+fn main() {
+    run_fig9(&[1_000, 10_000, 100_000, 1_000_000, 10_000_000], 10, 42);
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: forward-decay retention curves (§8 roadmap).
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::forward::run_and_report(runs_from_env(400));
+}

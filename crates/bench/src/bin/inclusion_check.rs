@@ -1,0 +1,6 @@
+//! Verify equation (1) empirically for every decay-aware scheme and
+//! demonstrate B-Chao's Appendix-D violation.
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::inclusion::run_and_report(runs_from_env(30_000));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1 — kNN accuracy and robustness across temporal
+//! patterns and decay rates. Pass a run count (default 30, the paper's).
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::knn::run_table1(runs_from_env(30));
+}

@@ -1,0 +1,5 @@
+//! Verify Theorem 3.1 / Remark 1 closed forms against simulation.
+use tbs_bench::output::runs_from_env;
+fn main() {
+    tbs_bench::experiments::theory::run_and_report(runs_from_env(2_000));
+}

@@ -1,0 +1,136 @@
+//! Figure 1 — T-TBS vs R-TBS sample-size behaviour under four batch-size
+//! regimes: growing (a), stable deterministic (b), stable uniform (c),
+//! decaying (d).
+
+use crate::output::{f, print_table, write_csv};
+use rand::SeedableRng;
+use tbs_core::traits::BatchSampler;
+use tbs_core::{RTbs, TTbs};
+use tbs_datagen::BatchSizeProcess;
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// One panel of Figure 1.
+pub struct Panel {
+    /// Panel tag ("a".."d").
+    pub tag: &'static str,
+    /// Panel description.
+    pub title: &'static str,
+    /// Decay rate λ.
+    pub lambda: f64,
+    /// Target/maximum sample size n.
+    pub n: usize,
+    /// The batch-size regime.
+    pub batch: BatchSizeProcess,
+}
+
+/// The paper's four panels.
+pub fn panels() -> Vec<Panel> {
+    vec![
+        Panel {
+            tag: "a",
+            title: "Growing Batch Size (phi=1.002 from t=200), lambda=0.05",
+            lambda: 0.05,
+            n: 1000,
+            batch: BatchSizeProcess::growing(100, 1.002, 200),
+        },
+        Panel {
+            tag: "b",
+            title: "Stable Batch Size (deterministic 100), lambda=0.1",
+            lambda: 0.1,
+            n: 1000,
+            batch: BatchSizeProcess::Deterministic(100),
+        },
+        Panel {
+            tag: "c",
+            title: "Stable Batch Size (Uniform[0,200]), lambda=0.1",
+            lambda: 0.1,
+            n: 1000,
+            batch: BatchSizeProcess::UniformRandom { lo: 0, hi: 200 },
+        },
+        Panel {
+            tag: "d",
+            title: "Decaying Batch Size (phi=0.8 from t=200), lambda=0.01",
+            lambda: 0.01,
+            n: 1000,
+            batch: BatchSizeProcess::decaying(100, 0.8, 200),
+        },
+    ]
+}
+
+/// Per-panel trajectories.
+pub struct PanelResult {
+    /// Panel tag.
+    pub tag: &'static str,
+    /// T-TBS sample size per batch.
+    pub ttbs: Vec<f64>,
+    /// R-TBS sample weight per batch.
+    pub rtbs: Vec<f64>,
+}
+
+/// Simulate one panel for `batches` steps.
+pub fn run_panel(panel: &Panel, batches: u64, seed: u64) -> PanelResult {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    // T-TBS is tuned assuming the *initial* mean batch size of 100 — the
+    // whole point of the figure is what happens when reality drifts.
+    let mut ttbs: TTbs<u8> = TTbs::new(panel.lambda, panel.n, 100.0);
+    let mut rtbs: RTbs<u8> = RTbs::new(panel.lambda, panel.n);
+    let mut t_series = Vec::with_capacity(batches as usize);
+    let mut r_series = Vec::with_capacity(batches as usize);
+    for t in 0..batches {
+        let size = panel.batch.size_at(t, &mut rng) as usize;
+        ttbs.observe(vec![0u8; size], &mut rng);
+        rtbs.observe(vec![0u8; size], &mut rng);
+        t_series.push(ttbs.len() as f64);
+        r_series.push(rtbs.sample_weight());
+    }
+    PanelResult {
+        tag: panel.tag,
+        ttbs: t_series,
+        rtbs: r_series,
+    }
+}
+
+/// Run all four panels, write CSVs, print checkpoint tables.
+pub fn run(batches: u64, seed: u64) -> Vec<PanelResult> {
+    let mut results = Vec::new();
+    for panel in panels() {
+        let res = run_panel(&panel, batches, seed);
+        let rows: Vec<Vec<String>> = (0..res.ttbs.len())
+            .map(|i| {
+                vec![
+                    i.to_string(),
+                    f(res.ttbs[i], 1),
+                    f(res.rtbs[i], 1),
+                ]
+            })
+            .collect();
+        write_csv(
+            &format!("fig1{}_sample_size.csv", panel.tag),
+            &["batch", "ttbs_size", "rtbs_size"],
+            &rows,
+        );
+
+        let checkpoints = [0usize, 100, 200, 400, 600, 800, 999];
+        let table: Vec<Vec<String>> = checkpoints
+            .iter()
+            .filter(|&&c| c < res.ttbs.len())
+            .map(|&c| {
+                vec![
+                    c.to_string(),
+                    f(res.ttbs[c], 0),
+                    f(res.rtbs[c], 0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 1({}) — {}", panel.tag, panel.title),
+            &["batch", "T-TBS", "R-TBS"],
+            &table,
+        );
+        let t_max = res.ttbs.iter().cloned().fold(0.0, f64::max);
+        let r_max = res.rtbs.iter().cloned().fold(0.0, f64::max);
+        println!("max sample size: T-TBS {t_max:.0}, R-TBS {r_max:.0} (bound n={})", panel.n);
+        results.push(res);
+    }
+    results
+}

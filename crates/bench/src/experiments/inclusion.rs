@@ -1,0 +1,105 @@
+//! Inclusion-probability verification — equation (1) / Theorem 4.2 and
+//! B-Chao's Appendix-D violation, measured empirically.
+
+use crate::output::{f, print_table, write_csv};
+use rand::SeedableRng;
+use tbs_core::verify::{max_ratio_violation, measure_inclusion, BatchInclusion};
+use tbs_core::{BChao, BTbs, RTbs, TTbs};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// One scheme's measured conformance to property (1).
+pub struct InclusionReport {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Per-batch empirical inclusion probabilities.
+    pub stats: Vec<BatchInclusion>,
+    /// Worst deviation of adjacent-batch ratios from e^{−λ}.
+    pub violation: f64,
+}
+
+/// Measure all four decay-aware schemes on a schedule that exercises both
+/// fill-up and steady state.
+pub fn run(lambda: f64, trials: usize, seed: u64) -> Vec<InclusionReport> {
+    let schedule = [6u64, 6, 6, 6, 6, 6];
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+
+    let mut reports = Vec::new();
+    let stats = measure_inclusion(|| BTbs::new(lambda), &schedule, trials, &mut rng);
+    reports.push(InclusionReport {
+        name: "B-TBS",
+        violation: max_ratio_violation(&stats, lambda, 0.02),
+        stats,
+    });
+    let stats = measure_inclusion(|| RTbs::new(lambda, 8), &schedule, trials, &mut rng);
+    reports.push(InclusionReport {
+        name: "R-TBS (saturating, n=8)",
+        violation: max_ratio_violation(&stats, lambda, 0.02),
+        stats,
+    });
+    let stats = measure_inclusion(
+        || TTbs::new(lambda, 8, 6.0),
+        &schedule,
+        trials,
+        &mut rng,
+    );
+    reports.push(InclusionReport {
+        name: "T-TBS",
+        violation: max_ratio_violation(&stats, lambda, 0.02),
+        stats,
+    });
+    // B-Chao with a capacity so large the whole run is fill-up: the
+    // Appendix-D violation regime.
+    let stats = measure_inclusion(|| BChao::new(lambda, 1000), &schedule, trials, &mut rng);
+    reports.push(InclusionReport {
+        name: "B-Chao (fill-up)",
+        violation: max_ratio_violation(&stats, lambda, 0.02),
+        stats,
+    });
+    reports
+}
+
+/// Run with reporting.
+pub fn run_and_report(trials: usize) -> Vec<InclusionReport> {
+    let lambda = 0.3;
+    let reports = run(lambda, trials, 777);
+    let target = (-lambda).exp();
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let probs: Vec<String> = r.stats.iter().map(|s| f(s.probability, 3)).collect();
+            vec![r.name.to_string(), probs.join(" "), f(r.violation, 3)]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Equation (1) conformance — per-batch inclusion probabilities \
+             (lambda={lambda}, adjacent-batch target ratio e^-lambda={target:.3})"
+        ),
+        &["scheme", "Pr[i in S] per batch (old->new)", "max ratio violation"],
+        &rows,
+    );
+    let csv_rows: Vec<Vec<String>> = reports
+        .iter()
+        .flat_map(|r| {
+            r.stats.iter().map(move |s| {
+                vec![
+                    r.name.to_string(),
+                    s.batch.to_string(),
+                    f(s.probability, 5),
+                    f(s.std_error, 5),
+                ]
+            })
+        })
+        .collect();
+    write_csv(
+        "inclusion_check.csv",
+        &["scheme", "batch", "probability", "std_error"],
+        &csv_rows,
+    );
+    println!(
+        "B-Chao's fill-up violation ({:.3}) vs decay-correct schemes (< 0.05) \
+         reproduces the Appendix D failure case.",
+        reports.last().map(|r| r.violation).unwrap_or(f64::NAN)
+    );
+    reports
+}

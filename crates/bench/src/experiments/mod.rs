@@ -1,0 +1,12 @@
+//! One module per paper table/figure; each exposes `run_*` entry points
+//! used by both the `src/bin` regeneration binaries and the integration
+//! tests.
+
+pub mod fig1;
+pub mod forward;
+pub mod inclusion;
+pub mod knn;
+pub mod linreg;
+pub mod nb;
+pub mod runtime;
+pub mod theory;

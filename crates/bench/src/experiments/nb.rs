@@ -1,0 +1,141 @@
+//! Figure 13 — naive Bayes on the synthetic Usenet2 stream (§6.4).
+//!
+//! 1500 messages in batches of 50, user interest flipping every 300
+//! messages (recurring contexts). Paper parameters: sample bound n = 300,
+//! λ = 0.3, no warm-up (the stream is too short), 20% ES over all 30
+//! batches.
+
+use crate::output::{f, print_table, write_csv};
+use rand::SeedableRng;
+use tbs_core::traits::BatchSampler;
+use tbs_core::{BatchedReservoir, CountWindow, RTbs};
+use tbs_datagen::text::{Message, UsenetGenerator};
+use tbs_ml::metrics::{average_summaries, summarize_series, SeriesSummary};
+use tbs_ml::pipeline::OnlineModel;
+use tbs_ml::NaiveBayes;
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// Result of the NB experiment.
+pub struct NbResult {
+    /// Mean error series per contender (R-TBS, SW, Unif).
+    pub mean_series: Vec<(String, Vec<f64>)>,
+    /// Averaged summaries (misclassification %, 20% ES over all batches).
+    pub summaries: Vec<(String, SeriesSummary)>,
+}
+
+/// Run the experiment over `runs` independently generated streams.
+pub fn run_nb(runs: usize, lambda: f64, seed: u64) -> NbResult {
+    let generator = UsenetGenerator::paper();
+    let vocab = generator.vocab_size() as usize;
+    let names = ["R-TBS", "SW", "Unif"];
+    let mut series_acc: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut summaries: Vec<Vec<SeriesSummary>> = vec![Vec::new(); 3];
+
+    for run in 0..runs {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed.wrapping_add(run as u64));
+        let stream = generator.stream(1500, 50, &mut rng);
+        let mut samplers: Vec<Box<dyn BatchSampler<Message>>> = vec![
+            Box::new(RTbs::new(lambda, 300)),
+            Box::new(CountWindow::new(300)),
+            Box::new(BatchedReservoir::new(300)),
+        ];
+        let mut models: Vec<NaiveBayes> =
+            (0..3).map(|_| NaiveBayes::new(vocab)).collect();
+        let mut errors: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for batch in &stream {
+            for i in 0..3 {
+                errors[i].push(models[i].batch_error(batch));
+                samplers[i].observe(batch.clone(), &mut rng);
+                let sample = samplers[i].sample(&mut rng);
+                models[i].retrain(&sample);
+            }
+        }
+        for i in 0..3 {
+            // 20% ES over ALL batches (es_start = 0) — the stream is short.
+            summaries[i].push(summarize_series(&errors[i], 0, 0.20));
+            if series_acc[i].is_empty() {
+                series_acc[i] = errors[i].clone();
+            } else {
+                for (a, e) in series_acc[i].iter_mut().zip(&errors[i]) {
+                    *a += e;
+                }
+            }
+        }
+    }
+    for s in &mut series_acc {
+        for v in s.iter_mut() {
+            *v /= runs as f64;
+        }
+    }
+    NbResult {
+        mean_series: names
+            .iter()
+            .map(|n| n.to_string())
+            .zip(series_acc)
+            .collect(),
+        summaries: names
+            .iter()
+            .map(|n| n.to_string())
+            .zip(summaries.iter().map(|s| average_summaries(s)))
+            .collect(),
+    }
+}
+
+/// Run, write the CSV, print the summary table.
+pub fn run_fig13(runs: usize) -> NbResult {
+    let result = run_nb(runs, 0.3, 130_000);
+    let mut header = vec!["t".to_string()];
+    header.extend(result.mean_series.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let len = result.mean_series[0].1.len();
+    let rows: Vec<Vec<String>> = (0..len)
+        .map(|t| {
+            let mut row = vec![t.to_string()];
+            row.extend(result.mean_series.iter().map(|(_, s)| f(s[t], 2)));
+            row
+        })
+        .collect();
+    write_csv("fig13_naive_bayes_usenet.csv", &header_refs, &rows);
+    let srows: Vec<Vec<String>> = result
+        .summaries
+        .iter()
+        .map(|(name, s)| {
+            vec![name.clone(), f(s.mean_error, 1), f(s.expected_shortfall, 1)]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 13 — naive Bayes on synthetic Usenet2 (n=300, b=50, lambda=0.3, {runs} runs)"
+        ),
+        &["scheme", "Miss%", "20% ES"],
+        &srows,
+    );
+    result
+}
+
+/// λ-sensitivity sweep backing the §6.4 claim that R-TBS beats SW for all
+/// λ ∈ [0.1, 0.5].
+pub fn run_lambda_sweep(runs: usize) {
+    let lambdas = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut rows = Vec::new();
+    for &lambda in &lambdas {
+        let r = run_nb(runs, lambda, 131_000);
+        let rtbs = &r.summaries[0].1;
+        let sw = &r.summaries[1].1;
+        rows.push(vec![
+            f(lambda, 2),
+            f(rtbs.mean_error, 1),
+            f(sw.mean_error, 1),
+        ]);
+    }
+    write_csv(
+        "fig13_lambda_sweep.csv",
+        &["lambda", "rtbs_miss_pct", "sw_miss_pct"],
+        &rows,
+    );
+    print_table(
+        "Figure 13 sensitivity — NB misclassification vs lambda",
+        &["lambda", "R-TBS Miss%", "SW Miss%"],
+        &rows,
+    );
+}

@@ -1,0 +1,184 @@
+//! Figures 7, 8 and 9 — distributed runtime experiments on the simulated
+//! cluster (see DESIGN.md §4 for the hardware substitution).
+//!
+//! Scale note: the paper uses 10M-item batches and a 20M reservoir on 13
+//! nodes; we default to 1/100 of that (100k / 200k) so the binaries run in
+//! seconds. The cost model charges per byte / per message / per phase, so
+//! the *relative* ordering and approximate ratios of the five
+//! implementations are scale-stable.
+
+use crate::output::{f, print_table, write_csv};
+use tbs_distributed::{CostTracker, DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy};
+
+/// Configuration for the runtime experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Items per batch.
+    pub batch: usize,
+    /// Reservoir capacity / T-TBS target.
+    pub capacity: usize,
+    /// Decay rate λ.
+    pub lambda: f64,
+    /// Worker count.
+    pub workers: usize,
+    /// Measured rounds (after one saturating warm-up batch).
+    pub rounds: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            batch: 100_000,
+            capacity: 200_000,
+            lambda: 0.07,
+            workers: 8,
+            rounds: 10,
+        }
+    }
+}
+
+/// Mean per-batch cost of one D-R-TBS strategy under `cfg`.
+pub fn measure_drtbs(cfg: &RuntimeConfig, strategy: Strategy, seed: u64) -> CostTracker {
+    let mut dcfg = DrtbsConfig::new(cfg.lambda, cfg.capacity, cfg.workers, strategy);
+    dcfg.kv_nodes = cfg.workers;
+    let mut d: DRTbs<u64> = DRTbs::new(dcfg, seed);
+    // Warm up to saturation (discarded, like the paper's first round).
+    d.observe_batch((0..(cfg.capacity as u64 * 2)).collect());
+    let mut total = CostTracker::new();
+    for r in 0..cfg.rounds {
+        let base = r as u64 * cfg.batch as u64;
+        let cost = d.observe_batch((base..base + cfg.batch as u64).collect());
+        total.merge(&cost);
+    }
+    scale(&total, 1.0 / cfg.rounds as f64)
+}
+
+/// Mean per-batch cost of D-T-TBS under `cfg`.
+pub fn measure_dttbs(cfg: &RuntimeConfig, seed: u64) -> CostTracker {
+    let tcfg = DttbsConfig::new(cfg.lambda, cfg.capacity, cfg.batch as f64, cfg.workers);
+    let mut d: DTTbs<u64> = DTTbs::new(tcfg, seed);
+    d.observe_batch((0..(cfg.capacity as u64 * 2)).collect());
+    let mut total = CostTracker::new();
+    for r in 0..cfg.rounds {
+        let base = r as u64 * cfg.batch as u64;
+        let cost = d.observe_batch((base..base + cfg.batch as u64).collect());
+        total.merge(&cost);
+    }
+    scale(&total, 1.0 / cfg.rounds as f64)
+}
+
+fn scale(c: &CostTracker, by: f64) -> CostTracker {
+    CostTracker {
+        elapsed: c.elapsed * by,
+        bytes_shipped: (c.bytes_shipped as f64 * by) as u64,
+        messages: (c.messages as f64 * by) as u64,
+        master_time: c.master_time * by,
+        worker_time: c.worker_time * by,
+        network_time: c.network_time * by,
+        phases: (c.phases as f64 * by).round() as u64,
+    }
+}
+
+/// Figure 7 — per-batch runtime of the five implementations.
+pub fn run_fig7(cfg: &RuntimeConfig, seed: u64) -> Vec<(String, CostTracker)> {
+    let mut results: Vec<(String, CostTracker)> = Strategy::all()
+        .iter()
+        .map(|&s| (s.label().to_string(), measure_drtbs(cfg, s, seed)))
+        .collect();
+    results.push(("D-T-TBS (Dist,CP)".to_string(), measure_dttbs(cfg, seed)));
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, c)| {
+            vec![
+                name.clone(),
+                f(c.elapsed * 1e3, 2),
+                f(c.network_time * 1e3, 2),
+                f(c.master_time * 1e3, 2),
+                f(c.worker_time * 1e3, 2),
+                c.bytes_shipped.to_string(),
+                c.messages.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig7_distributed_runtime.csv",
+        &[
+            "implementation",
+            "elapsed_ms",
+            "network_ms",
+            "master_ms",
+            "worker_ms",
+            "bytes",
+            "messages",
+        ],
+        &rows,
+    );
+    print_table(
+        &format!(
+            "Figure 7 — per-batch simulated runtime (batch={}, reservoir={}, lambda={}, {} workers)",
+            cfg.batch, cfg.capacity, cfg.lambda, cfg.workers
+        ),
+        &["implementation", "ms/batch", "net ms", "master ms", "worker ms", "bytes", "msgs"],
+        &rows,
+    );
+    // Ratios the paper highlights.
+    let e = |i: usize| results[i].1.elapsed;
+    println!("speedups: RJ/CJ = {:.2}x, CJ/CP = {:.2}x, CP/Dist = {:.2}x, Dist/D-T-TBS = {:.2}x",
+        e(0) / e(1), e(1) / e(2), e(2) / e(3), e(3) / e(4));
+    results
+}
+
+/// Figure 8 — scale-out of D-R-TBS (Dist,CP) with the number of workers.
+pub fn run_fig8(workers_list: &[usize], batch: usize, seed: u64) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &workers in workers_list {
+        let cfg = RuntimeConfig {
+            batch,
+            capacity: batch * 2,
+            workers,
+            rounds: 5,
+            ..RuntimeConfig::default()
+        };
+        let cost = measure_drtbs(&cfg, Strategy::DistCoPartitioned, seed);
+        out.push((workers, cost.elapsed));
+    }
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|(w, t)| vec![w.to_string(), f(*t * 1e3, 2)])
+        .collect();
+    write_csv("fig8_scale_out.csv", &["workers", "elapsed_ms"], &rows);
+    print_table(
+        &format!("Figure 8 — D-R-TBS scale-out (batch={batch})"),
+        &["workers", "ms/batch"],
+        &rows,
+    );
+    out
+}
+
+/// Figure 9 — scale-up of D-R-TBS (Dist,CP) with the batch size.
+pub fn run_fig9(batch_sizes: &[usize], workers: usize, seed: u64) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &batch in batch_sizes {
+        let cfg = RuntimeConfig {
+            batch,
+            capacity: 200_000,
+            workers,
+            rounds: 3,
+            ..RuntimeConfig::default()
+        };
+        let cost = measure_drtbs(&cfg, Strategy::DistCoPartitioned, seed);
+        out.push((batch, cost.elapsed));
+    }
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|(b, t)| vec![b.to_string(), f(*t * 1e3, 2)])
+        .collect();
+    write_csv("fig9_scale_up.csv", &["batch_size", "elapsed_ms"], &rows);
+    print_table(
+        &format!("Figure 9 — D-R-TBS scale-up ({workers} workers)"),
+        &["batch size", "ms/batch"],
+        &rows,
+    );
+    out
+}

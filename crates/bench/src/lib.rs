@@ -1,0 +1,16 @@
+//! # tbs-bench
+//!
+//! The benchmark harness regenerating **every table and figure** of the
+//! EDBT 2018 temporally-biased-sampling paper. Each experiment lives in
+//! [`experiments`] and is exposed three ways:
+//!
+//! 1. a `src/bin/<figure>` binary that prints the paper's rows/series and
+//!    writes a CSV under `results/`;
+//! 2. the `all_experiments` binary that runs the full suite;
+//! 3. Criterion microbenches (`benches/`) for the per-batch costs.
+//!
+//! See EXPERIMENTS.md at the workspace root for the paper-vs-measured
+//! comparison of every experiment.
+
+pub mod experiments;
+pub mod output;

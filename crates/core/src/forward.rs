@@ -1,0 +1,284 @@
+//! Forward-decay time-biased sampling (the paper's declared future work).
+//!
+//! §1 and §8 of the paper point to the *forward decay* model of Cormode,
+//! Shkapenyuk, Srivastava & Xu (ICDE 2009, the paper's reference \[13\])
+//! as the route to arbitrary decay laws: fix a landmark time `L` no later
+//! than any arrival, pick a monotone non-decreasing gauge `g`, and give an
+//! item that arrived at `t_i` the weight
+//!
+//! ```text
+//! w_t(i) = g(t_i − L) / g(t − L)
+//! ```
+//!
+//! at query time `t`. The decisive property: the *ratio* of two items'
+//! weights, `g(t_i − L)/g(t_j − L)`, never changes as `t` advances — so a
+//! sampler only needs to apply a **common per-step factor**
+//! `g(t−1−L)/g(t−L)` to every stored weight, exactly the operation R-TBS's
+//! machinery already performs. [`ForwardDecayRTbs`] therefore delivers all
+//! of R-TBS's guarantees (hard size bound, maximal expected size, minimal
+//! variance, exact inclusion law) under *any* monotone gauge:
+//!
+//! * exponential gauge `g(x) = e^{λx}` → classic backward exponential
+//!   decay, identical to [`crate::rtbs::RTbs`];
+//! * polynomial gauge `g(x) = (1+x)^β` → the polynomial decay laws that
+//!   backward schemes cannot support without per-item timestamp updates.
+
+use crate::rtbs::RTbs;
+use crate::traits::BatchSampler;
+use rand::RngCore;
+
+/// A monotone non-decreasing decay gauge `g` with `g(x) > 0` for `x ≥ 0`.
+pub trait DecayGauge {
+    /// Evaluate `g(x)` for age-from-landmark `x ≥ 0`.
+    fn g(&self, x: f64) -> f64;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Exponential gauge `g(x) = e^{λx}` — reduces forward decay to the
+/// paper's backward exponential decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialGauge {
+    /// Rate λ ≥ 0.
+    pub lambda: f64,
+}
+
+impl DecayGauge for ExponentialGauge {
+    fn g(&self, x: f64) -> f64 {
+        (self.lambda * x).exp()
+    }
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Polynomial gauge `g(x) = (1 + x)^β` — heavy-tailed retention: old items
+/// decay polynomially rather than exponentially.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolynomialGauge {
+    /// Exponent β ≥ 0.
+    pub beta: f64,
+}
+
+impl DecayGauge for PolynomialGauge {
+    fn g(&self, x: f64) -> f64 {
+        (1.0 + x).powf(self.beta)
+    }
+    fn name(&self) -> &'static str {
+        "polynomial"
+    }
+}
+
+/// R-TBS under forward decay: a bounded, decay-exact reservoir for any
+/// monotone gauge.
+///
+/// Internally drives an [`RTbs`] core with the time-varying per-step factor
+/// `g(t−1−L)/g(t−L)`; the landmark is the construction instant (`L = 0`,
+/// first batch arrives at `t = 1`).
+#[derive(Debug, Clone)]
+pub struct ForwardDecayRTbs<T, G: DecayGauge> {
+    core: RTbs<T>,
+    gauge: G,
+    /// Current time since the landmark (batches observed).
+    now: f64,
+}
+
+impl<T: Clone, G: DecayGauge> ForwardDecayRTbs<T, G> {
+    /// Create an empty forward-decay sampler with capacity `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the gauge is non-positive /
+    /// decreasing at the origin.
+    pub fn new(gauge: G, capacity: usize) -> Self {
+        assert!(gauge.g(0.0) > 0.0, "gauge must be positive at 0");
+        assert!(
+            gauge.g(1.0) >= gauge.g(0.0),
+            "gauge must be non-decreasing"
+        );
+        Self {
+            // λ = 0 placeholder: every step supplies its own factor.
+            core: RTbs::new(0.0, capacity),
+            gauge,
+            now: 0.0,
+        }
+    }
+
+    /// Absorb the next batch (arriving one time unit after the previous).
+    pub fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
+        let prev = self.now;
+        self.now += 1.0;
+        // Common factor applied to all previously stored weights.
+        let factor = self.gauge.g(prev) / self.gauge.g(self.now);
+        debug_assert!(factor > 0.0 && factor <= 1.0);
+        self.core.observe_with_decay(batch, factor, rng);
+    }
+
+    /// Realize the current sample.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Vec<T> {
+        self.core.sample(rng)
+    }
+
+    /// Sample weight `C_t` (expected realized size).
+    pub fn sample_weight(&self) -> f64 {
+        self.core.sample_weight()
+    }
+
+    /// Total normalized weight `W_t = Σ_i g(t_i − L)/g(t − L)`.
+    pub fn total_weight(&self) -> f64 {
+        self.core.total_weight()
+    }
+
+    /// Time since the landmark.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The theoretical relative inclusion ratio between items that arrived
+    /// at `t_i` and `t_j`: `g(t_i − L)/g(t_j − L)`, constant in query time.
+    pub fn inclusion_ratio(&self, t_i: f64, t_j: f64) -> f64 {
+        self.gauge.g(t_i) / self.gauge.g(t_j)
+    }
+
+    /// Gauge name for reporting.
+    pub fn gauge_name(&self) -> &'static str {
+        self.gauge.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn exponential_gauge_matches_backward_rtbs() {
+        // Forward decay with g(x) = e^{λx} must reproduce classic R-TBS
+        // trajectories exactly (weights, not just distributions).
+        let lambda = 0.3;
+        let mut rng1 = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut rng2 = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut fwd = ForwardDecayRTbs::new(ExponentialGauge { lambda }, 30);
+        let mut bwd: RTbs<u64> = RTbs::new(lambda, 30);
+        for t in 0..50u64 {
+            let b = [10u64, 0, 25, 5][t as usize % 4];
+            let batch: Vec<u64> = (0..b).collect();
+            fwd.observe(batch.clone(), &mut rng1);
+            bwd.observe(batch, &mut rng2);
+            assert!(
+                (fwd.total_weight() - bwd.total_weight()).abs() < 1e-9,
+                "weights diverged at t={t}: {} vs {}",
+                fwd.total_weight(),
+                bwd.total_weight()
+            );
+            assert!((fwd.sample_weight() - bwd.sample_weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polynomial_gauge_weight_recursion() {
+        // W_t = W_{t-1}·g(t-1)/g(t) + |B_t| with g(x) = (1+x)^2.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let gauge = PolynomialGauge { beta: 2.0 };
+        let mut s = ForwardDecayRTbs::new(gauge, 1000);
+        let mut w = 0.0f64;
+        for t in 0..30u64 {
+            let b = 7u64;
+            let factor = gauge.g(t as f64) / gauge.g(t as f64 + 1.0);
+            w = w * factor + b as f64;
+            s.observe((0..b).collect(), &mut rng);
+            assert!((s.total_weight() - w).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn polynomial_inclusion_ratio_is_polynomial() {
+        // Items from batches 1 and 4 (ages measured from the landmark)
+        // must appear with probability ratio g(1)/g(4) = (2/5)^β — *not*
+        // an exponential in the age difference.
+        let beta = 2.0;
+        let trials = 60_000;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut old_hits = 0u64;
+        let mut new_hits = 0u64;
+        for _ in 0..trials {
+            let mut s = ForwardDecayRTbs::new(PolynomialGauge { beta }, 6);
+            s.observe(vec![1u8; 4], &mut rng); // t=1
+            s.observe(vec![2u8; 4], &mut rng); // t=2
+            s.observe(vec![3u8; 4], &mut rng); // t=3
+            s.observe(vec![4u8; 4], &mut rng); // t=4
+            for item in s.sample(&mut rng) {
+                match item {
+                    1 => old_hits += 1,
+                    4 => new_hits += 1,
+                    _ => {}
+                }
+            }
+        }
+        let measured = old_hits as f64 / new_hits as f64;
+        let expect = (2.0f64 / 5.0).powf(beta);
+        assert!(
+            (measured - expect).abs() < 0.03,
+            "ratio {measured} vs g(1)/g(4) = {expect}"
+        );
+    }
+
+    #[test]
+    fn polynomial_retains_old_items_longer_than_exponential() {
+        // Heavy-tailed decay: after many batches, a polynomial gauge keeps
+        // substantially more very old weight than exponential decay with a
+        // similar initial rate.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let horizon = 60u64;
+        let count_old = |sample: &[u64]| sample.iter().filter(|&&x| x == 0).count();
+        let mut poly_hits = 0usize;
+        let mut exp_hits = 0usize;
+        for _ in 0..300 {
+            let mut poly = ForwardDecayRTbs::new(PolynomialGauge { beta: 1.5 }, 50);
+            let mut expo = ForwardDecayRTbs::new(ExponentialGauge { lambda: 0.4 }, 50);
+            for t in 0..horizon {
+                let batch: Vec<u64> = vec![t; 10];
+                poly.observe(batch.clone(), &mut rng);
+                expo.observe(batch, &mut rng);
+            }
+            poly_hits += count_old(&poly.sample(&mut rng));
+            exp_hits += count_old(&expo.sample(&mut rng));
+        }
+        assert!(
+            poly_hits > exp_hits * 2,
+            "polynomial ({poly_hits}) should retain far more age-{horizon} \
+             items than exponential ({exp_hits})"
+        );
+    }
+
+    #[test]
+    fn size_bound_holds_under_any_gauge() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut s = ForwardDecayRTbs::new(PolynomialGauge { beta: 3.0 }, 20);
+        for t in 0..100u64 {
+            let b = [0u64, 100, 3, 40][t as usize % 4];
+            s.observe((0..b).collect(), &mut rng);
+            assert!(s.sample(&mut rng).len() <= 20);
+        }
+    }
+
+    #[test]
+    fn inclusion_ratio_helper_is_time_invariant() {
+        let s: ForwardDecayRTbs<u8, _> =
+            ForwardDecayRTbs::new(PolynomialGauge { beta: 2.0 }, 10);
+        let r = s.inclusion_ratio(2.0, 8.0);
+        assert!((r - (3.0f64 / 9.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-step decay factor")]
+    fn rtbs_decay_hook_rejects_amplification() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut s: RTbs<u8> = RTbs::new(0.1, 10);
+        s.observe_with_decay(vec![1], 1.5, &mut rng);
+    }
+}

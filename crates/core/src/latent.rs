@@ -1,0 +1,320 @@
+//! Latent fractional samples (§4.1).
+//!
+//! R-TBS maintains a *latent sample* `L = (A, π, C)`: a set `A` of `⌊C⌋`
+//! "full" items, an optional "partial" item `π`, and a real-valued sample
+//! weight `C`. The actual sample `S` is *realized* from `L` by including
+//! every full item and including the partial item with probability
+//! `frac(C)`, so that `E[|S|] = C` exactly (equation (3)) and the footprint
+//! never exceeds `⌊C⌋ + 1`.
+//!
+//! The structure's invariants (checked by [`LatentSample::check_invariants`]
+//! and exercised by property tests):
+//!
+//! 1. `A.len() == ⌊C⌋`;
+//! 2. the partial item is present iff `frac(C) > 0`;
+//! 3. `C ≥ 0`.
+
+use crate::util::draw_without_replacement;
+use rand::Rng;
+
+/// A latent fractional sample `(A, π, C)`.
+#[derive(Debug, Clone)]
+pub struct LatentSample<T> {
+    full: Vec<T>,
+    partial: Option<T>,
+    weight: f64,
+}
+
+impl<T> Default for LatentSample<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> LatentSample<T> {
+    /// The empty latent sample (`C = 0`).
+    pub fn empty() -> Self {
+        Self {
+            full: Vec::new(),
+            partial: None,
+            weight: 0.0,
+        }
+    }
+
+    /// A latent sample consisting solely of full items (`C = |items|`).
+    pub fn from_full(items: Vec<T>) -> Self {
+        let weight = items.len() as f64;
+        Self {
+            full: items,
+            partial: None,
+            weight,
+        }
+    }
+
+    /// Sample weight `C` — the expected size of a realized sample.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The full items `A`.
+    pub fn full_items(&self) -> &[T] {
+        &self.full
+    }
+
+    /// The partial item `π`, if any.
+    pub fn partial_item(&self) -> Option<&T> {
+        self.partial.as_ref()
+    }
+
+    /// Number of items physically stored (`⌊C⌋` or `⌊C⌋ + 1`).
+    pub fn footprint(&self) -> usize {
+        self.full.len() + usize::from(self.partial.is_some())
+    }
+
+    /// True when `C = 0` (no items at all).
+    pub fn is_empty(&self) -> bool {
+        self.full.is_empty() && self.partial.is_none()
+    }
+
+    /// Fractional part of the sample weight — the partial item's inclusion
+    /// probability.
+    pub fn frac(&self) -> f64 {
+        self.weight - self.weight.floor()
+    }
+
+    /// Insert items that are accepted with probability 1 (they become full
+    /// items and raise the weight by the item count). Used by R-TBS whenever
+    /// the relation `C = W` licenses certain acceptance (Alg. 2 lines 9/20).
+    pub fn push_full(&mut self, items: impl IntoIterator<Item = T>) {
+        let before = self.full.len();
+        self.full.extend(items);
+        self.weight += (self.full.len() - before) as f64;
+    }
+
+    /// Replace `m` uniformly chosen full items with the given `m`
+    /// replacements; the weight is unchanged (Alg. 2 line 17, the
+    /// saturated→saturated transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacements.len()` exceeds the number of full items.
+    pub fn replace_random_full<R: Rng + ?Sized>(&mut self, replacements: Vec<T>, rng: &mut R) {
+        let m = replacements.len();
+        assert!(
+            m <= self.full.len(),
+            "cannot replace {m} items in a sample of {}",
+            self.full.len()
+        );
+        let victims = draw_without_replacement(&mut self.full, m, rng);
+        drop(victims);
+        self.full.extend(replacements);
+    }
+
+    /// `Swap1(A, π)`: move a uniformly chosen item from `A` to `π`, moving
+    /// the current partial item (if any) back into `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A` is empty.
+    pub(crate) fn swap1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        assert!(!self.full.is_empty(), "Swap1 requires a full item");
+        let idx = rng.gen_range(0..self.full.len());
+        let chosen = self.full.swap_remove(idx);
+        if let Some(old_partial) = self.partial.replace(chosen) {
+            self.full.push(old_partial);
+        }
+    }
+
+    /// `Move1(A, π)`: move a uniformly chosen item from `A` to `π`,
+    /// discarding the current partial item (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A` is empty.
+    pub(crate) fn move1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        assert!(!self.full.is_empty(), "Move1 requires a full item");
+        let idx = rng.gen_range(0..self.full.len());
+        let chosen = self.full.swap_remove(idx);
+        self.partial = Some(chosen);
+    }
+
+    pub(crate) fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
+    }
+
+    pub(crate) fn full_mut(&mut self) -> &mut Vec<T> {
+        &mut self.full
+    }
+
+    pub(crate) fn clear_partial(&mut self) {
+        self.partial = None;
+    }
+
+    /// Verify the structural invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.weight < 0.0 || !self.weight.is_finite() {
+            return Err(format!("invalid weight {}", self.weight));
+        }
+        let floor = self.weight.floor() as usize;
+        if self.full.len() != floor {
+            return Err(format!(
+                "full item count {} != floor(weight) {}",
+                self.full.len(),
+                floor
+            ));
+        }
+        let frac = self.frac();
+        if (frac > 0.0) != self.partial.is_some() {
+            return Err(format!(
+                "partial item presence {} inconsistent with frac {}",
+                self.partial.is_some(),
+                frac
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<T: Clone> LatentSample<T> {
+    /// Realize a sample `S` from the latent state per equation (2): all full
+    /// items, plus the partial item with probability `frac(C)`.
+    pub fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<T> {
+        let mut out = self.full.clone();
+        if let Some(p) = &self.partial {
+            if rng.gen::<f64>() < self.frac() {
+                out.push(p.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn empty_sample_invariants() {
+        let l = LatentSample::<u32>::empty();
+        assert!(l.is_empty());
+        assert_eq!(l.weight(), 0.0);
+        assert_eq!(l.footprint(), 0);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_full_has_integral_weight() {
+        let l = LatentSample::from_full(vec![1, 2, 3]);
+        assert_eq!(l.weight(), 3.0);
+        assert_eq!(l.frac(), 0.0);
+        assert_eq!(l.footprint(), 3);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn push_full_raises_weight_by_count() {
+        let mut l = LatentSample::from_full(vec![1]);
+        l.push_full(vec![2, 3]);
+        assert_eq!(l.weight(), 3.0);
+        assert_eq!(l.full_items().len(), 3);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn realize_with_integral_weight_is_exact() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let l = LatentSample::from_full(vec![1, 2, 3]);
+        for _ in 0..20 {
+            assert_eq!(l.realize(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn realize_size_distribution_matches_frac() {
+        // A latent sample of weight 3.6 realizes to 4 items w.p. 0.6.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut l = LatentSample::from_full(vec![1, 2, 3, 4]);
+        l.move1(&mut rng); // 3 full + 1 partial
+        l.set_weight(3.6);
+        l.check_invariants().unwrap();
+        let trials = 100_000;
+        let mut fours = 0u64;
+        for _ in 0..trials {
+            let s = l.realize(&mut rng);
+            assert!(s.len() == 3 || s.len() == 4);
+            if s.len() == 4 {
+                fours += 1;
+            }
+        }
+        let phat = fours as f64 / trials as f64;
+        assert!((phat - 0.6).abs() < 0.01, "phat {phat}");
+    }
+
+    #[test]
+    fn expected_realized_size_is_weight() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut l = LatentSample::from_full(vec![10, 20, 30]);
+        l.move1(&mut rng);
+        l.set_weight(2.25);
+        let trials = 100_000;
+        let total: usize = (0..trials).map(|_| l.realize(&mut rng).len()).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 2.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn swap1_preserves_footprint_and_returns_old_partial() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut l = LatentSample::from_full(vec![1, 2, 3]);
+        l.move1(&mut rng); // footprint 3: 2 full + 1 partial
+        let before = l.footprint();
+        l.swap1(&mut rng);
+        assert_eq!(l.footprint(), before);
+        assert_eq!(l.full_items().len(), 2);
+        assert!(l.partial_item().is_some());
+    }
+
+    #[test]
+    fn move1_discards_old_partial() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut l = LatentSample::from_full(vec![1, 2, 3]);
+        l.move1(&mut rng);
+        let first_partial = *l.partial_item().unwrap();
+        l.move1(&mut rng);
+        // Old partial is gone; footprint dropped by one.
+        assert_eq!(l.footprint(), 2);
+        assert!(!l.full_items().contains(&first_partial));
+    }
+
+    #[test]
+    fn replace_random_full_keeps_weight() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut l = LatentSample::from_full((0..10).collect::<Vec<u32>>());
+        l.replace_random_full(vec![100, 101, 102], &mut rng);
+        assert_eq!(l.weight(), 10.0);
+        assert_eq!(l.full_items().len(), 10);
+        let news = l.full_items().iter().filter(|&&x| x >= 100).count();
+        assert_eq!(news, 3);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replace")]
+    fn replace_rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut l = LatentSample::from_full(vec![1]);
+        l.replace_random_full(vec![2, 3], &mut rng);
+    }
+
+    #[test]
+    fn invariant_violations_are_reported() {
+        let mut l = LatentSample::from_full(vec![1, 2]);
+        l.set_weight(2.5); // frac > 0 but no partial item
+        assert!(l.check_invariants().is_err());
+        let mut l = LatentSample::from_full(vec![1, 2]);
+        l.set_weight(3.0); // floor mismatch
+        assert!(l.check_invariants().is_err());
+    }
+}

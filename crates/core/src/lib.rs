@@ -1,0 +1,61 @@
+//! # tbs-core
+//!
+//! Temporally-biased stream sampling — the algorithmic core of the EDBT 2018
+//! paper *Temporally-Biased Sampling for Online Model Management*
+//! (Hentschel, Haas & Tian).
+//!
+//! ## The problem
+//!
+//! Maintain a sample `S_t` over a stream of batches such that items decay
+//! exponentially in *wall-clock* time: for items `i`, `j` arriving at times
+//! `t′ ≤ t″`,
+//!
+//! ```text
+//! Pr[i ∈ S_t] / Pr[j ∈ S_t] = e^{−λ (t″ − t′)}        (1)
+//! ```
+//!
+//! while keeping the sample size under control. Retraining ML models on such
+//! samples keeps them fresh *and* robust to recurring patterns — unlike
+//! sliding windows, which forget old data entirely.
+//!
+//! ## The schemes
+//!
+//! | Scheme | Decay control | Size control | Varying arrival rate |
+//! |---|---|---|---|
+//! | [`btbs::BTbs`] (Alg. 4) | exact (1) | none | yes |
+//! | [`brs::BatchedReservoir`] (Alg. 5) | none (λ=0) | hard bound | yes |
+//! | [`ttbs::TTbs`] (Alg. 1) | exact (1) | probabilistic target | **no** — needs known constant mean batch size |
+//! | [`chao::BChao`] (Alg. 6/7) | violated at fill-up / slow arrivals | hard bound (never shrinks) | partially |
+//! | [`rtbs::RTbs`] (Alg. 2) | exact (1), always | hard bound, optimal E-size & variance | yes |
+//! | [`sliding::CountWindow`] | all-or-nothing | hard bound | yes |
+//! | [`sliding::TimeWindow`] | all-or-nothing | none | yes |
+//!
+//! All schemes implement [`traits::BatchSampler`]; the decay-aware ones also
+//! implement [`traits::TimedBatchSampler`] for real-valued inter-arrival
+//! gaps.
+
+pub mod ares;
+pub mod brs;
+pub mod btbs;
+pub mod chao;
+pub mod downsample;
+pub mod forward;
+pub mod latent;
+pub mod rtbs;
+pub mod sliding;
+pub mod theory;
+pub mod traits;
+pub mod ttbs;
+pub mod util;
+pub mod verify;
+
+pub use ares::BAres;
+pub use brs::BatchedReservoir;
+pub use btbs::BTbs;
+pub use chao::BChao;
+pub use forward::{DecayGauge, ExponentialGauge, ForwardDecayRTbs, PolynomialGauge};
+pub use latent::LatentSample;
+pub use rtbs::RTbs;
+pub use sliding::{CountWindow, TimeWindow};
+pub use traits::{BatchSampler, TimedBatchSampler};
+pub use ttbs::TTbs;

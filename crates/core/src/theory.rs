@@ -1,0 +1,184 @@
+//! Closed-form theory from §1, §3 (Theorem 3.1) and Remark 1.
+//!
+//! These formulas serve three purposes: choosing the decay rate λ from
+//! application-level retention criteria (the §1 recipes), predicting T-TBS /
+//! B-TBS sample-size behaviour, and giving the test-suite exact targets to
+//! verify the simulators against.
+
+/// Decay rate λ such that a fraction `fraction` of the items from
+/// `k_batches` ago are (in expectation) still reflected in the sample:
+/// solves `e^{−λk} = fraction`.
+///
+/// Paper example: `lambda_for_retention(40.0, 0.10) ≈ 0.058`.
+///
+/// # Panics
+///
+/// Panics unless `k_batches > 0` and `fraction ∈ (0, 1]`.
+pub fn lambda_for_retention(k_batches: f64, fraction: f64) -> f64 {
+    assert!(k_batches > 0.0, "k_batches must be positive");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must lie in (0,1], got {fraction}"
+    );
+    -fraction.ln() / k_batches
+}
+
+/// Decay rate λ such that, with probability `q`, at least one of `n` items
+/// from `k` batches ago remains in the sample:
+/// `λ = −k⁻¹ ln(1 − (1 − q)^{1/n})`.
+///
+/// Paper example: `lambda_for_group_survival(150.0, 1000.0, 0.01) ≈ 0.077`.
+///
+/// # Panics
+///
+/// Panics unless `k > 0`, `n > 0` and `q ∈ (0, 1)`.
+pub fn lambda_for_group_survival(k: f64, n: f64, q: f64) -> f64 {
+    assert!(k > 0.0 && n > 0.0, "k and n must be positive");
+    assert!(q > 0.0 && q < 1.0, "q must lie in (0,1), got {q}");
+    -(1.0 - (1.0 - q).powf(1.0 / n)).ln() / k
+}
+
+/// Expected T-TBS sample size at time `t` (Theorem 3.1(ii)):
+/// `E[C_t] = n + p^t (C₀ − n)` with `p = e^{−λ}`.
+pub fn ttbs_expected_size(n: f64, c0: f64, lambda: f64, t: u64) -> f64 {
+    let p = (-lambda).exp();
+    n + p.powi(t as i32) * (c0 - n)
+}
+
+/// Stationary T-TBS sample-size variance (equation (10) of the proofs):
+/// `Var[C_t] → α·n + σ_B²·q²/(1 − p²)` with `α = (1 + p − q)/(1 + p)`,
+/// `p = e^{−λ}` and `q = n(1 − p)/b`.
+pub fn ttbs_stationary_variance(n: f64, lambda: f64, mean_batch: f64, batch_var: f64) -> f64 {
+    let p = (-lambda).exp();
+    let q = (n * (1.0 - p) / mean_batch).min(1.0);
+    let alpha = (1.0 + p - q) / (1.0 + p);
+    alpha * n + batch_var * q * q / (1.0 - p * p)
+}
+
+/// Equilibrium (stationary mean) sample size of B-TBS — and the equilibrium
+/// *total weight* of R-TBS — under mean batch size `b` (Remark 1):
+/// `b / (1 − e^{−λ})`.
+///
+/// When this value is below the R-TBS capacity `n`, the R-TBS reservoir
+/// never saturates and its sample weight stabilizes here (e.g. the paper's
+/// 1479 items for `n = 1600`, `b = 100`, `λ = 0.07`).
+pub fn equilibrium_weight(mean_batch: f64, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "equilibrium requires positive decay");
+    mean_batch / (1.0 - (-lambda).exp())
+}
+
+/// Large-deviation exponent `ν⁺_{ε,r}` for upward excursions
+/// (Theorem 3.1(iv)(a)): `(1+ε)·ln((1+ε)/r) − (1 + ε − r)`.
+pub fn nu_plus(epsilon: f64, r: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(r >= 1.0, "upper-support ratio r >= 1");
+    (1.0 + epsilon) * ((1.0 + epsilon) / r).ln() - (1.0 + epsilon - r)
+}
+
+/// Large-deviation exponent `ν⁻_{ε,r}` for downward excursions
+/// (Theorem 3.1(iv)(b)): `(1−ε)·ln((1−ε)/r) − (1 − ε − r)`.
+pub fn nu_minus(epsilon: f64, r: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must lie in (0,1)"
+    );
+    assert!(r >= 1.0, "upper-support ratio r >= 1");
+    (1.0 - epsilon) * ((1.0 - epsilon) / r).ln() - (1.0 - epsilon - r)
+}
+
+/// Upper bound on `Pr[C_t ≥ (1+ε)n]` in steady state (the `e^{−n·ν⁺}`
+/// leading factor of Theorem 3.1(iv)(a), ignoring the vanishing `O(p^t)`
+/// correction).
+pub fn ttbs_upper_deviation_bound(n: f64, epsilon: f64, r: f64) -> f64 {
+    (-n * nu_plus(epsilon, r)).exp()
+}
+
+/// Upper bound on `Pr[C_t ≤ (1−ε)n]` in steady state (Theorem 3.1(iv)(b)).
+pub fn ttbs_lower_deviation_bound(n: f64, epsilon: f64, r: f64) -> f64 {
+    (-n * nu_minus(epsilon, r)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_recipe_matches_paper_example() {
+        // "by setting λ = 0.058, around 10% of the data items from 40
+        // batches ago are included".
+        let lambda = lambda_for_retention(40.0, 0.10);
+        assert!((lambda - 0.0576).abs() < 0.001, "lambda {lambda}");
+    }
+
+    #[test]
+    fn group_survival_recipe_matches_paper_example() {
+        // k = 150, n = 1000, q = 0.01 → λ ≈ 0.077.
+        let lambda = lambda_for_group_survival(150.0, 1000.0, 0.01);
+        assert!((lambda - 0.077).abs() < 0.002, "lambda {lambda}");
+    }
+
+    #[test]
+    fn expected_size_converges_to_target() {
+        let at_zero = ttbs_expected_size(1000.0, 0.0, 0.1, 0);
+        assert_eq!(at_zero, 0.0);
+        let late = ttbs_expected_size(1000.0, 0.0, 0.1, 200);
+        assert!((late - 1000.0).abs() < 1.0);
+        // Starting above the target decays down.
+        let above = ttbs_expected_size(1000.0, 5000.0, 0.1, 10);
+        assert!(above > 1000.0 && above < 5000.0);
+    }
+
+    #[test]
+    fn equilibrium_weight_matches_paper_1479() {
+        // §6.3: b = 100, λ = 0.07 → 1479 items.
+        let w = equilibrium_weight(100.0, 0.07);
+        assert!((w - 1479.0).abs() < 1.0, "w = {w}");
+    }
+
+    #[test]
+    fn stationary_variance_deterministic_batches() {
+        // σ_B² = 0 → Var = αn only.
+        let v = ttbs_stationary_variance(1000.0, 0.1, 100.0, 0.0);
+        let p = (-0.1f64).exp();
+        let q = 1000.0 * (1.0 - p) / 100.0;
+        let alpha = (1.0 + p - q) / (1.0 + p);
+        assert!((v - alpha * 1000.0).abs() < 1e-9);
+        assert!(v > 0.0 && v < 1000.0);
+    }
+
+    #[test]
+    fn nu_exponents_positive_and_monotone() {
+        // ν⁺ is positive and strictly increasing in ε for ε > r − 1.
+        let r = 1.0;
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let eps = i as f64 * 0.1;
+            let v = nu_plus(eps, r);
+            assert!(v > 0.0, "nu_plus({eps}) = {v}");
+            assert!(v > prev);
+            prev = v;
+        }
+        // ν⁻ increases from r − 1 − ln r toward r as ε → 1.
+        assert!(nu_minus(0.9, 1.0) > nu_minus(0.1, 1.0));
+    }
+
+    #[test]
+    fn deviation_bounds_decay_exponentially_in_n() {
+        let b1 = ttbs_upper_deviation_bound(100.0, 0.2, 1.0);
+        let b2 = ttbs_upper_deviation_bound(200.0, 0.2, 1.0);
+        assert!(b2 < b1 * b1 * 1.01, "bound not exponential: {b1} vs {b2}");
+        assert!(b1 < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn retention_rejects_bad_fraction() {
+        lambda_for_retention(10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive decay")]
+    fn equilibrium_rejects_zero_lambda() {
+        equilibrium_weight(100.0, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The common interface every sampling scheme implements.
+//!
+//! The paper's setting (§2): items arrive in batches `B₁, B₂, …` at integer
+//! times; the sampler maintains a sample `S_t` of everything seen so far.
+//! All schemes — time-biased or not, bounded or not — share this interface so
+//! the ML pipeline, the distributed substrate, and the benchmark harness can
+//! swap them freely.
+//!
+//! The trait is object-safe (`&mut dyn RngCore` instead of a generic `R`),
+//! because the evaluation harness holds heterogeneous collections of
+//! samplers under comparison.
+
+use rand::RngCore;
+
+/// A streaming sampler fed with discrete-time batches.
+pub trait BatchSampler<T> {
+    /// Advance the clock by one time unit and absorb the arriving batch
+    /// (which may be empty).
+    fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore);
+
+    /// Materialize the current sample `S_t`.
+    ///
+    /// For schemes with a latent fractional state (R-TBS) this *realizes* a
+    /// random sample from the latent sample, so consecutive calls may differ
+    /// in whether the partial item appears; for all other schemes it is a
+    /// copy of the deterministic current sample.
+    fn sample(&self, rng: &mut dyn RngCore) -> Vec<T>;
+
+    /// Expected size of `S_t` (equals the exact size when the scheme is
+    /// deterministic-sized; equals the sample weight `C_t` for R-TBS).
+    fn expected_size(&self) -> f64;
+
+    /// Hard upper bound on the sample size, if the scheme guarantees one.
+    fn max_size(&self) -> Option<usize>;
+
+    /// Exponential decay rate λ (0 for unbiased schemes).
+    fn decay_rate(&self) -> f64;
+
+    /// Number of batches observed so far.
+    fn batches_observed(&self) -> u64;
+
+    /// Short identifier used in experiment output ("R-TBS", "SW", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Samplers that additionally support *arbitrary real-valued* inter-arrival
+/// gaps (§2: "to handle arbitrary successive batch arrival times t and t′,
+/// we simply multiply instead by e^{−λ(t′−t)}").
+pub trait TimedBatchSampler<T>: BatchSampler<T> {
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    ///
+    /// `observe(batch, rng)` is equivalent to `observe_after(batch, 1.0, rng)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `gap` is negative or non-finite.
+    fn observe_after(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore);
+}
+
+/// Validate an inter-arrival gap; shared by the `TimedBatchSampler`
+/// implementations.
+pub(crate) fn check_gap(gap: f64) {
+    assert!(
+        gap.is_finite() && gap >= 0.0,
+        "inter-arrival gap must be finite and non-negative, got {gap}"
+    );
+}

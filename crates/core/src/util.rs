@@ -1,0 +1,207 @@
+//! Uniform sampling-without-replacement primitives.
+//!
+//! These implement the paper's `Sample(A, m)` subroutine: "a uniform random
+//! sample, without replacement, containing `min(m, |A|)` elements of the set
+//! `A`". All samplers treat their stored collections as *sets* — element
+//! order inside the vectors carries no statistical meaning — so O(1)
+//! `swap_remove` is used freely.
+
+use rand::Rng;
+
+/// Remove and return `min(m, items.len())` uniformly chosen elements.
+///
+/// The removed elements are a uniform without-replacement sample; the
+/// elements left behind are likewise a uniform sample of the complement.
+pub fn draw_without_replacement<T, R: Rng + ?Sized>(
+    items: &mut Vec<T>,
+    m: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    let m = m.min(items.len());
+    let mut out = Vec::with_capacity(m);
+    for _ in 0..m {
+        let idx = rng.gen_range(0..items.len());
+        out.push(items.swap_remove(idx));
+    }
+    out
+}
+
+/// Keep a uniform random subset of `min(m, items.len())` elements in place,
+/// discarding the rest. This is the paper's `S ← Sample(S, m)` retention.
+pub fn retain_random<T, R: Rng + ?Sized>(items: &mut Vec<T>, m: usize, rng: &mut R) {
+    let m = m.min(items.len());
+    // Partial Fisher–Yates: move a uniform m-subset into the prefix.
+    for i in 0..m {
+        let j = rng.gen_range(i..items.len());
+        items.swap(i, j);
+    }
+    items.truncate(m);
+}
+
+/// Return a uniform random sample of `min(m, items.len())` *cloned* elements,
+/// leaving `items` untouched.
+pub fn sample_clone<T: Clone, R: Rng + ?Sized>(items: &[T], m: usize, rng: &mut R) -> Vec<T> {
+    let m = m.min(items.len());
+    let idx = sample_indices(items.len(), m, rng);
+    idx.into_iter().map(|i| items[i].clone()).collect()
+}
+
+/// Floyd's algorithm: `m` distinct uniform indices from `0..n`.
+///
+/// O(m) expected time and memory regardless of `n`, which matters when
+/// subsampling large incoming batches (Algorithm 1 line 9).
+pub fn sample_indices<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> {
+    assert!(m <= n, "cannot draw {m} distinct indices from 0..{n}");
+    // For dense draws a Fisher–Yates prefix is cheaper than set probing.
+    if m * 4 >= n {
+        let mut all: Vec<usize> = (0..n).collect();
+        retain_random(&mut all, m, rng);
+        return all;
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut out = Vec::with_capacity(m);
+    for j in (n - m)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::chi2::chi2_statistic_exceeds;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn draw_returns_min_of_m_and_len() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut items: Vec<u32> = (0..10).collect();
+        let drawn = draw_without_replacement(&mut items, 15, &mut rng);
+        assert_eq!(drawn.len(), 10);
+        assert!(items.is_empty());
+
+        let mut items: Vec<u32> = (0..10).collect();
+        let drawn = draw_without_replacement(&mut items, 3, &mut rng);
+        assert_eq!(drawn.len(), 3);
+        assert_eq!(items.len(), 7);
+    }
+
+    #[test]
+    fn draw_partitions_the_set() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut items: Vec<u32> = (0..20).collect();
+        let drawn = draw_without_replacement(&mut items, 8, &mut rng);
+        let mut all: Vec<u32> = drawn.iter().chain(items.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn draw_zero_is_noop() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut items: Vec<u32> = (0..5).collect();
+        let drawn = draw_without_replacement(&mut items, 0, &mut rng);
+        assert!(drawn.is_empty());
+        assert_eq!(items.len(), 5);
+    }
+
+    #[test]
+    fn draw_from_empty_is_empty() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut items: Vec<u32> = Vec::new();
+        assert!(draw_without_replacement(&mut items, 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn retain_keeps_subset() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut items: Vec<u32> = (0..100).collect();
+        retain_random(&mut items, 30, &mut rng);
+        assert_eq!(items.len(), 30);
+        let set: std::collections::HashSet<_> = items.iter().collect();
+        assert_eq!(set.len(), 30, "duplicates introduced");
+        assert!(items.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn retain_is_uniform() {
+        // Each of 10 elements should be retained equally often.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let trials = 60_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..trials {
+            let mut items: Vec<usize> = (0..10).collect();
+            retain_random(&mut items, 4, &mut rng);
+            for &i in &items {
+                counts[i] += 1;
+            }
+        }
+        let expected = vec![trials as f64 * 0.4; 10];
+        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+    }
+
+    #[test]
+    fn draw_is_uniform() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let trials = 60_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..trials {
+            let mut items: Vec<usize> = (0..8).collect();
+            for i in draw_without_replacement(&mut items, 3, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        let expected = vec![trials as f64 * 3.0 / 8.0; 8];
+        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        for (n, m) in [(100usize, 5usize), (100, 50), (100, 100), (10, 0), (1, 1)] {
+            let idx = sample_indices(n, m, &mut rng);
+            assert_eq!(idx.len(), m);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), m, "duplicate indices for n={n}, m={m}");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_sparse_path_uniform() {
+        // m*4 < n forces the Floyd path.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let trials = 40_000;
+        let mut counts = vec![0u64; 40];
+        for _ in 0..trials {
+            for i in sample_indices(40, 2, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        let expected = vec![trials as f64 * 2.0 / 40.0; 40];
+        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn sample_indices_rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        sample_indices(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn sample_clone_leaves_source_intact() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let items: Vec<u32> = (0..10).collect();
+        let s = sample_clone(&items, 4, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert_eq!(items.len(), 10);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests of the sampling invariants (proptest).
+//!
+//! These exercise the algorithms on arbitrary batch schedules, decay rates
+//! and capacities, checking the structural guarantees the paper proves:
+//! hard size bounds, exact weight bookkeeping, latent-sample invariants,
+//! and realization-size support.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tbs_core::downsample::downsample;
+use tbs_core::latent::LatentSample;
+use tbs_core::traits::BatchSampler;
+use tbs_core::{BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// Strategy: a schedule of batch sizes including empty and bursty batches.
+fn schedules() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..60, 1..40)
+}
+
+fn lambdas() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), 0.001f64..2.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtbs_never_exceeds_capacity(
+        schedule in schedules(),
+        lambda in lambdas(),
+        capacity in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: RTbs<u64> = RTbs::new(lambda, capacity);
+        for (t, &b) in schedule.iter().enumerate() {
+            s.observe((0..b).map(|i| t as u64 * 1000 + i).collect(), &mut rng);
+            let realized = s.sample(&mut rng);
+            prop_assert!(realized.len() <= capacity);
+            prop_assert!(s.sample_weight() <= capacity as f64 + 1e-9);
+            prop_assert!(s.latent().check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn rtbs_weight_recursion_is_exact(
+        schedule in schedules(),
+        lambda in lambdas(),
+        capacity in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: RTbs<u64> = RTbs::new(lambda, capacity);
+        let mut w = 0.0f64;
+        for &b in &schedule {
+            w = w * (-lambda).exp() + b as f64;
+            s.observe((0..b).collect(), &mut rng);
+            prop_assert!((s.total_weight() - w).abs() <= 1e-6 * w.max(1.0));
+            // Sample weight is min(n, W) by construction.
+            let expect_c = w.min(capacity as f64);
+            prop_assert!((s.sample_weight() - expect_c).abs() <= 1e-6 * expect_c.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rtbs_realization_size_is_floor_or_ceil(
+        schedule in schedules(),
+        lambda in 0.01f64..1.5,
+        capacity in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: RTbs<u64> = RTbs::new(lambda, capacity);
+        for &b in &schedule {
+            s.observe((0..b).collect(), &mut rng);
+            let c = s.sample_weight();
+            let len = s.sample(&mut rng).len();
+            prop_assert!(
+                len == c.floor() as usize || len == c.ceil() as usize,
+                "realized {} items from weight {}", len, c
+            );
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_invariants_and_footprint(
+        full in 1usize..30,
+        frac_thousandths in 0u32..1000,
+        shrink_pct in 1u32..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let frac = frac_thousandths as f64 / 1000.0;
+        let mut l = if frac > 0.0 {
+            let mut l = LatentSample::from_full((0..=full as u64).collect());
+            // Demote one item to partial, weight = full + frac.
+            tbs_core::downsample::downsample(&mut l, full as f64 + frac, &mut rng);
+            l
+        } else {
+            LatentSample::from_full((0..full as u64).collect())
+        };
+        prop_assume!(l.weight() > 0.0);
+        let target = l.weight() * shrink_pct as f64 / 100.0;
+        prop_assume!(target > 0.0);
+        downsample(&mut l, target, &mut rng);
+        prop_assert!(l.check_invariants().is_ok(), "{:?}", l.check_invariants());
+        prop_assert!(l.footprint() <= target.floor() as usize + 1);
+        prop_assert!((l.weight() - target).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brs_size_is_min_of_capacity_and_seen(
+        schedule in schedules(),
+        capacity in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: BatchedReservoir<u64> = BatchedReservoir::new(capacity);
+        let mut seen = 0u64;
+        for &b in &schedule {
+            seen += b;
+            s.observe((0..b).collect(), &mut rng);
+            prop_assert_eq!(s.len() as u64, seen.min(capacity as u64));
+        }
+    }
+
+    #[test]
+    fn count_window_matches_naive_suffix(
+        schedule in schedules(),
+        capacity in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut w: CountWindow<u64> = CountWindow::new(capacity);
+        let mut all: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for &b in &schedule {
+            let batch: Vec<u64> = (0..b).map(|_| { next_id += 1; next_id }).collect();
+            all.extend(&batch);
+            w.observe(batch, &mut rng);
+            let expect: Vec<u64> =
+                all[all.len().saturating_sub(capacity)..].to_vec();
+            prop_assert_eq!(w.sample(&mut rng), expect);
+        }
+    }
+
+    #[test]
+    fn chao_never_exceeds_capacity_and_never_shrinks_after_fill(
+        schedule in schedules(),
+        lambda in lambdas(),
+        capacity in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: BChao<u64> = BChao::new(lambda, capacity);
+        let mut filled = false;
+        for &b in &schedule {
+            s.observe((0..b).collect(), &mut rng);
+            prop_assert!(s.len() <= capacity);
+            if filled {
+                prop_assert_eq!(s.len(), capacity, "Chao's sample shrank");
+            }
+            if s.len() == capacity {
+                filled = true;
+            }
+        }
+    }
+
+    #[test]
+    fn ttbs_sample_is_subset_of_arrivals(
+        schedule in prop::collection::vec(5u64..40, 1..20),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let lambda = 0.1;
+        let mut s: TTbs<u64> = TTbs::new(lambda, 20, 5.0);
+        let mut next_id = 0u64;
+        let mut arrived = std::collections::HashSet::new();
+        for &b in &schedule {
+            let batch: Vec<u64> = (0..b).map(|_| { next_id += 1; next_id }).collect();
+            arrived.extend(batch.iter().copied());
+            s.observe(batch, &mut rng);
+            for item in s.sample(&mut rng) {
+                prop_assert!(arrived.contains(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn btbs_zero_lambda_accumulates_everything(
+        schedule in schedules(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: BTbs<u64> = BTbs::new(0.0);
+        let total: u64 = schedule.iter().sum();
+        for &b in &schedule {
+            s.observe((0..b).collect(), &mut rng);
+        }
+        prop_assert_eq!(s.len() as u64, total);
+    }
+
+    #[test]
+    fn rtbs_sample_items_come_from_the_stream(
+        schedule in schedules(),
+        lambda in lambdas(),
+        capacity in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut s: RTbs<(usize, u64)> = RTbs::new(lambda, capacity);
+        for (t, &b) in schedule.iter().enumerate() {
+            s.observe((0..b).map(|i| (t, i)).collect(), &mut rng);
+        }
+        for (t, i) in s.sample(&mut rng) {
+            prop_assert!(t < schedule.len());
+            prop_assert!(i < schedule[t]);
+        }
+    }
+}

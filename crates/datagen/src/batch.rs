@@ -1,0 +1,157 @@
+//! Batch-size processes (Figures 1 and 11).
+//!
+//! The experiments stress the samplers with different arrival-rate regimes:
+//! deterministic, i.i.d. uniform (high variance), geometrically growing
+//! (`ϕ = 1.002` — overflows T-TBS), and geometrically decaying (`ϕ = 0.8` —
+//! shrinks every scheme).
+
+use rand::Rng;
+
+/// A (possibly random, possibly time-varying) process of batch sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchSizeProcess {
+    /// Constant size `b` every batch.
+    Deterministic(u64),
+    /// I.i.d. `Uniform{lo, …, hi}` (inclusive); the paper's `Uniform(0,200)`
+    /// has mean 100 like the deterministic baseline.
+    UniformRandom {
+        /// Smallest possible batch.
+        lo: u64,
+        /// Largest possible batch.
+        hi: u64,
+    },
+    /// Deterministic `initial` until `start_step`, then multiplied by
+    /// `factor` each subsequent step: `B_t = initial · factor^{max(0, t −
+    /// start_step)}` (Figure 1(a) with `factor = 1.002`, Figure 1(d) with
+    /// `factor = 0.8`).
+    Geometric {
+        /// Size before growth/decay kicks in.
+        initial: f64,
+        /// Per-step multiplier ϕ.
+        factor: f64,
+        /// Step at which the geometric regime starts.
+        start_step: u64,
+    },
+}
+
+impl BatchSizeProcess {
+    /// The paper's growing-batch scenario (Fig. 1(a)).
+    pub fn growing(initial: u64, factor: f64, start_step: u64) -> Self {
+        assert!(factor >= 1.0, "growing process needs factor >= 1");
+        BatchSizeProcess::Geometric {
+            initial: initial as f64,
+            factor,
+            start_step,
+        }
+    }
+
+    /// The paper's decaying-batch scenario (Fig. 1(d)).
+    pub fn decaying(initial: u64, factor: f64, start_step: u64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decaying process needs factor in (0,1]"
+        );
+        BatchSizeProcess::Geometric {
+            initial: initial as f64,
+            factor,
+            start_step,
+        }
+    }
+
+    /// Batch size at step `t` (0-based).
+    pub fn size_at<R: Rng + ?Sized>(&self, t: u64, rng: &mut R) -> u64 {
+        match *self {
+            BatchSizeProcess::Deterministic(b) => b,
+            BatchSizeProcess::UniformRandom { lo, hi } => {
+                assert!(lo <= hi, "uniform bounds out of order");
+                rng.gen_range(lo..=hi)
+            }
+            BatchSizeProcess::Geometric {
+                initial,
+                factor,
+                start_step,
+            } => {
+                let exponent = t.saturating_sub(start_step) as f64;
+                (initial * factor.powf(exponent)).round().max(0.0) as u64
+            }
+        }
+    }
+
+    /// Long-run mean batch size, if constant over time (`None` for
+    /// geometric regimes, whose mean drifts).
+    pub fn stationary_mean(&self) -> Option<f64> {
+        match *self {
+            BatchSizeProcess::Deterministic(b) => Some(b as f64),
+            BatchSizeProcess::UniformRandom { lo, hi } => Some((lo + hi) as f64 / 2.0),
+            BatchSizeProcess::Geometric { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let p = BatchSizeProcess::Deterministic(100);
+        for t in 0..50 {
+            assert_eq!(p.size_at(t, &mut rng), 100);
+        }
+        assert_eq!(p.stationary_mean(), Some(100.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let p = BatchSizeProcess::UniformRandom { lo: 0, hi: 200 };
+        let n = 50_000;
+        let mut sum = 0u64;
+        for t in 0..n {
+            let b = p.size_at(t, &mut rng);
+            assert!(b <= 200);
+            sum += b;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.5, "mean {mean}");
+        assert_eq!(p.stationary_mean(), Some(100.0));
+    }
+
+    #[test]
+    fn geometric_growth_matches_fig1a() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let p = BatchSizeProcess::growing(100, 1.002, 200);
+        assert_eq!(p.size_at(0, &mut rng), 100);
+        assert_eq!(p.size_at(200, &mut rng), 100);
+        // After 800 growth steps: 100·1.002^800 ≈ 495.
+        let late = p.size_at(1000, &mut rng);
+        assert!((late as f64 - 100.0 * 1.002f64.powi(800)).abs() < 1.0);
+        assert!(late > 490 && late < 500);
+    }
+
+    #[test]
+    fn geometric_decay_matches_fig1d() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let p = BatchSizeProcess::decaying(100, 0.8, 200);
+        assert_eq!(p.size_at(199, &mut rng), 100);
+        assert_eq!(p.size_at(201, &mut rng), 80);
+        assert_eq!(p.size_at(210, &mut rng), (100.0 * 0.8f64.powi(10)).round() as u64);
+        // Eventually the stream dries up entirely.
+        assert_eq!(p.size_at(300, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn growing_rejects_shrinking_factor() {
+        BatchSizeProcess::growing(100, 0.9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn decaying_rejects_growth_factor() {
+        BatchSizeProcess::decaying(100, 1.1, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Gaussian-mixture classification streams (§6.2, kNN experiments).
+//!
+//! 100 class centroids drawn uniformly in `[0, 80]²`; each data point picks
+//! a ground-truth class by mode-dependent relative frequencies — in normal
+//! mode the first 50 classes are 5× more frequent than the rest, in abnormal
+//! mode 5× *less* — and adds `N(0, 1)` noise per coordinate. Mode flips
+//! therefore swap which half of label space dominates, which is what the
+//! retrained kNN classifiers must track.
+
+use crate::modes::Mode;
+use rand::Rng;
+use tbs_stats::normal::normal;
+
+/// A labelled 2-D training/test point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledPoint {
+    /// Feature coordinates.
+    pub x: f64,
+    /// Second feature coordinate.
+    pub y: f64,
+    /// Ground-truth class (0-based centroid index).
+    pub label: u16,
+}
+
+/// The Gaussian-mixture generator with mode-switchable class frequencies.
+#[derive(Debug, Clone)]
+pub struct GmmGenerator {
+    centroids: Vec<(f64, f64)>,
+    /// Number of classes favoured in normal mode (the first
+    /// `frequent_classes` of the centroid list).
+    frequent_classes: usize,
+    /// Frequency multiplier between favoured and disfavoured halves.
+    frequency_ratio: f64,
+    /// Per-coordinate Gaussian noise σ.
+    noise_sd: f64,
+}
+
+impl GmmGenerator {
+    /// The paper's configuration: 100 centroids on `[0, 80]²`, 50 frequent
+    /// classes, ratio 5, σ = 1.
+    pub fn paper<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(100, 80.0, 50, 5.0, 1.0, rng)
+    }
+
+    /// Fully parameterized constructor. Centroids are sampled uniformly in
+    /// `[0, side]²` from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequent_classes > num_classes`, `num_classes == 0`, or
+    /// the ratio/σ are non-positive.
+    pub fn new<R: Rng + ?Sized>(
+        num_classes: usize,
+        side: f64,
+        frequent_classes: usize,
+        frequency_ratio: f64,
+        noise_sd: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(
+            frequent_classes <= num_classes,
+            "frequent class count exceeds class count"
+        );
+        assert!(frequency_ratio > 0.0, "frequency ratio must be positive");
+        assert!(noise_sd > 0.0, "noise sd must be positive");
+        let centroids = (0..num_classes)
+            .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        Self {
+            centroids,
+            frequent_classes,
+            frequency_ratio,
+            noise_sd,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Centroid of a class.
+    pub fn centroid(&self, class: u16) -> (f64, f64) {
+        self.centroids[class as usize]
+    }
+
+    /// Probability that a point of the given mode belongs to the *frequent*
+    /// (normal-mode-favoured) group.
+    fn frequent_group_probability(&self, mode: Mode) -> f64 {
+        let k1 = self.frequent_classes as f64;
+        let k2 = (self.centroids.len() - self.frequent_classes) as f64;
+        match mode {
+            // Frequent classes carry weight ratio·k1 against k2.
+            Mode::Normal => self.frequency_ratio * k1 / (self.frequency_ratio * k1 + k2),
+            // Roles swap: first half is 5× *less* frequent.
+            Mode::Abnormal => k1 / (k1 + self.frequency_ratio * k2),
+        }
+    }
+
+    /// Draw one labelled point under the given mode.
+    pub fn sample<R: Rng + ?Sized>(&self, mode: Mode, rng: &mut R) -> LabeledPoint {
+        let p_frequent = self.frequent_group_probability(mode);
+        let class = if rng.gen::<f64>() < p_frequent {
+            rng.gen_range(0..self.frequent_classes)
+        } else {
+            rng.gen_range(self.frequent_classes..self.centroids.len())
+        } as u16;
+        let (cx, cy) = self.centroids[class as usize];
+        LabeledPoint {
+            x: normal(rng, cx, self.noise_sd),
+            y: normal(rng, cy, self.noise_sd),
+            label: class,
+        }
+    }
+
+    /// Draw a whole batch under the given mode.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        mode: Mode,
+        size: usize,
+        rng: &mut R,
+    ) -> Vec<LabeledPoint> {
+        (0..size).map(|_| self.sample(mode, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn paper_configuration_shape() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let g = GmmGenerator::paper(&mut rng);
+        assert_eq!(g.num_classes(), 100);
+        for c in 0..100u16 {
+            let (x, y) = g.centroid(c);
+            assert!((0.0..=80.0).contains(&x));
+            assert!((0.0..=80.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn normal_mode_favours_first_half_5_to_1() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let g = GmmGenerator::paper(&mut rng);
+        let n = 120_000;
+        let first_half = (0..n)
+            .filter(|_| g.sample(Mode::Normal, &mut rng).label < 50)
+            .count();
+        let p = first_half as f64 / n as f64;
+        assert!((p - 5.0 / 6.0).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn abnormal_mode_flips_frequencies() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let g = GmmGenerator::paper(&mut rng);
+        let n = 120_000;
+        let first_half = (0..n)
+            .filter(|_| g.sample(Mode::Abnormal, &mut rng).label < 50)
+            .count();
+        let p = first_half as f64 / n as f64;
+        assert!((p - 1.0 / 6.0).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn points_cluster_around_their_centroid() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let g = GmmGenerator::paper(&mut rng);
+        for _ in 0..2_000 {
+            let pt = g.sample(Mode::Normal, &mut rng);
+            let (cx, cy) = g.centroid(pt.label);
+            let d = ((pt.x - cx).powi(2) + (pt.y - cy).powi(2)).sqrt();
+            assert!(d < 6.0, "point {d} sds from its centroid");
+        }
+    }
+
+    #[test]
+    fn batch_sampling_counts() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let g = GmmGenerator::paper(&mut rng);
+        assert_eq!(g.sample_batch(Mode::Normal, 100, &mut rng).len(), 100);
+        assert!(g.sample_batch(Mode::Normal, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(6);
+        let g1 = GmmGenerator::paper(&mut r1);
+        let g2 = GmmGenerator::paper(&mut r2);
+        assert_eq!(
+            g1.sample(Mode::Normal, &mut r1),
+            g2.sample(Mode::Normal, &mut r2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "frequent class count")]
+    fn rejects_bad_split() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        GmmGenerator::new(10, 80.0, 11, 5.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tbs-datagen
+//!
+//! Workload generators reproducing the evaluation streams of the EDBT 2018
+//! temporally-biased-sampling paper:
+//!
+//! * [`batch`] — batch-size processes (deterministic / uniform / geometric
+//!   growth and decay) driving Figures 1 and 11;
+//! * [`modes`] — the normal/abnormal mode schedules (single event,
+//!   `Periodic(δ, η)`) of §6.2;
+//! * [`gmm`] — the 100-centroid Gaussian-mixture classification stream with
+//!   mode-flipped class frequencies (kNN experiments);
+//! * [`regression`] — the drifting two-feature linear stream (§6.3);
+//! * [`text`] — a synthetic substitute for the Usenet2 recurring-context
+//!   message stream (§6.4); see DESIGN.md for the substitution rationale;
+//! * [`stream`] — warm-up + measured-phase stream plans tying the pieces
+//!   together.
+
+pub mod batch;
+pub mod gmm;
+pub mod modes;
+pub mod regression;
+pub mod stream;
+pub mod text;
+
+pub use batch::BatchSizeProcess;
+pub use gmm::{GmmGenerator, LabeledPoint};
+pub use modes::{Mode, ModeSchedule};
+pub use regression::{RegressionGenerator, RegressionPoint};
+pub use stream::{PlannedBatch, StreamPlan};
+pub use text::{Message, UsenetGenerator};

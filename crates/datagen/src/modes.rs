@@ -1,0 +1,147 @@
+//! Normal/abnormal mode schedules (§6.2).
+//!
+//! The evaluation streams operate in one of two *modes*; the temporal
+//! pattern of mode switches is what stresses the samplers:
+//!
+//! * **Single event** — normal up to `t = 10`, abnormal on `[10, 20)`, then
+//!   normal again (a holiday, market drop, outage…).
+//! * **Periodic(δ, η)** — δ normal batches alternating with η abnormal ones
+//!   (diurnal/weekly periodicities).
+//!
+//! Times are measured in batches *after warm-up*; warm-up batches (negative
+//! times) are always normal.
+
+/// The generation mode of the stream at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The baseline data distribution.
+    Normal,
+    /// The disrupted distribution (frequencies flipped / coefficients
+    /// changed, depending on the generator).
+    Abnormal,
+}
+
+/// A deterministic schedule of mode switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeSchedule {
+    /// Never leaves normal mode.
+    AlwaysNormal,
+    /// Abnormal during `[start, end)` (in batches after warm-up), normal
+    /// otherwise — the §6.2 "single event" pattern with `start = 10`,
+    /// `end = 20`.
+    SingleEvent {
+        /// First abnormal batch.
+        start: u64,
+        /// First batch back to normal.
+        end: u64,
+    },
+    /// `normal` normal batches alternating with `abnormal` abnormal ones,
+    /// starting in normal mode — the paper's `Periodic(δ, η)`.
+    Periodic {
+        /// Length δ of each normal stretch.
+        normal: u64,
+        /// Length η of each abnormal stretch.
+        abnormal: u64,
+    },
+}
+
+impl ModeSchedule {
+    /// The paper's single-event pattern: abnormal on `[10, 20)`.
+    pub fn single_event() -> Self {
+        ModeSchedule::SingleEvent { start: 10, end: 20 }
+    }
+
+    /// The paper's `Periodic(δ, η)` pattern.
+    pub fn periodic(delta: u64, eta: u64) -> Self {
+        assert!(delta > 0 && eta > 0, "periodic phases must be non-empty");
+        ModeSchedule::Periodic {
+            normal: delta,
+            abnormal: eta,
+        }
+    }
+
+    /// Mode at time `t` (batches after warm-up). Negative times — i.e.
+    /// warm-up — should be queried as... they are not: warm-up is always
+    /// [`Mode::Normal`] by convention and handled by the caller.
+    pub fn mode_at(&self, t: u64) -> Mode {
+        match *self {
+            ModeSchedule::AlwaysNormal => Mode::Normal,
+            ModeSchedule::SingleEvent { start, end } => {
+                if t >= start && t < end {
+                    Mode::Abnormal
+                } else {
+                    Mode::Normal
+                }
+            }
+            ModeSchedule::Periodic { normal, abnormal } => {
+                if t % (normal + abnormal) < normal {
+                    Mode::Normal
+                } else {
+                    Mode::Abnormal
+                }
+            }
+        }
+    }
+
+    /// Short label used in experiment output, e.g. `P(10,10)`.
+    pub fn label(&self) -> String {
+        match *self {
+            ModeSchedule::AlwaysNormal => "Normal".to_string(),
+            ModeSchedule::SingleEvent { .. } => "Single Event".to_string(),
+            ModeSchedule::Periodic { normal, abnormal } => {
+                format!("P({normal},{abnormal})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_event_window() {
+        let s = ModeSchedule::single_event();
+        assert_eq!(s.mode_at(0), Mode::Normal);
+        assert_eq!(s.mode_at(9), Mode::Normal);
+        assert_eq!(s.mode_at(10), Mode::Abnormal);
+        assert_eq!(s.mode_at(19), Mode::Abnormal);
+        assert_eq!(s.mode_at(20), Mode::Normal);
+        assert_eq!(s.mode_at(1000), Mode::Normal);
+    }
+
+    #[test]
+    fn periodic_10_10_cycles() {
+        let s = ModeSchedule::periodic(10, 10);
+        for t in 0..10 {
+            assert_eq!(s.mode_at(t), Mode::Normal, "t={t}");
+        }
+        for t in 10..20 {
+            assert_eq!(s.mode_at(t), Mode::Abnormal, "t={t}");
+        }
+        assert_eq!(s.mode_at(20), Mode::Normal);
+        assert_eq!(s.mode_at(30), Mode::Abnormal);
+    }
+
+    #[test]
+    fn periodic_asymmetric() {
+        // P(30,10): 30 normal, 10 abnormal.
+        let s = ModeSchedule::periodic(30, 10);
+        assert_eq!(s.mode_at(29), Mode::Normal);
+        assert_eq!(s.mode_at(30), Mode::Abnormal);
+        assert_eq!(s.mode_at(39), Mode::Abnormal);
+        assert_eq!(s.mode_at(40), Mode::Normal);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ModeSchedule::periodic(10, 10).label(), "P(10,10)");
+        assert_eq!(ModeSchedule::single_event().label(), "Single Event");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_phase() {
+        ModeSchedule::periodic(0, 5);
+    }
+}

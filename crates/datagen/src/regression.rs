@@ -1,0 +1,139 @@
+//! Drifting linear-regression streams (§6.3).
+//!
+//! `y = b₁x₁ + b₂x₂ + ε` with `x₁, x₂ ~ U(0, 1)` and `ε ~ N(0, 1)`.
+//! The coefficient vector flips between `(4.2, −0.4)` in normal mode and
+//! `(−3.6, 3.8)` in abnormal mode, so a model trained on the wrong mode's
+//! data is badly mis-calibrated — regression's analogue of the flipped
+//! class frequencies in the kNN experiment.
+
+use crate::modes::Mode;
+use rand::Rng;
+use tbs_stats::normal::normal;
+
+/// One observation of the regression stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionPoint {
+    /// Feature vector (x₁, x₂).
+    pub x: [f64; 2],
+    /// Response.
+    pub y: f64,
+}
+
+/// The two-mode linear data generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionGenerator {
+    /// Coefficients in normal mode.
+    pub normal_coef: [f64; 2],
+    /// Coefficients in abnormal mode.
+    pub abnormal_coef: [f64; 2],
+    /// Noise standard deviation.
+    pub noise_sd: f64,
+}
+
+impl Default for RegressionGenerator {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl RegressionGenerator {
+    /// The paper's configuration: `(4.2, −0.4)` / `(−3.6, 3.8)`, σ = 1.
+    pub fn paper() -> Self {
+        Self {
+            normal_coef: [4.2, -0.4],
+            abnormal_coef: [-3.6, 3.8],
+            noise_sd: 1.0,
+        }
+    }
+
+    /// The true coefficients under `mode`.
+    pub fn coefficients(&self, mode: Mode) -> [f64; 2] {
+        match mode {
+            Mode::Normal => self.normal_coef,
+            Mode::Abnormal => self.abnormal_coef,
+        }
+    }
+
+    /// Draw one observation under `mode`.
+    pub fn sample<R: Rng + ?Sized>(&self, mode: Mode, rng: &mut R) -> RegressionPoint {
+        let coef = self.coefficients(mode);
+        let x = [rng.gen::<f64>(), rng.gen::<f64>()];
+        let y = coef[0] * x[0] + coef[1] * x[1] + normal(rng, 0.0, self.noise_sd);
+        RegressionPoint { x, y }
+    }
+
+    /// Draw a whole batch under `mode`.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        mode: Mode,
+        size: usize,
+        rng: &mut R,
+    ) -> Vec<RegressionPoint> {
+        (0..size).map(|_| self.sample(mode, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+    use tbs_stats::summary::OnlineMoments;
+
+    #[test]
+    fn features_in_unit_square() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let g = RegressionGenerator::paper();
+        for _ in 0..1_000 {
+            let p = g.sample(Mode::Normal, &mut rng);
+            assert!((0.0..1.0).contains(&p.x[0]));
+            assert!((0.0..1.0).contains(&p.x[1]));
+        }
+    }
+
+    #[test]
+    fn mean_response_matches_coefficients() {
+        // E[y] = b1·E[x1] + b2·E[x2] = (b1 + b2)/2.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let g = RegressionGenerator::paper();
+        let mut acc = OnlineMoments::new();
+        for _ in 0..100_000 {
+            acc.push(g.sample(Mode::Normal, &mut rng).y);
+        }
+        let expect = (4.2 - 0.4) / 2.0;
+        assert!((acc.mean() - expect).abs() < 0.02, "mean {}", acc.mean());
+    }
+
+    #[test]
+    fn abnormal_mode_changes_relationship() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let g = RegressionGenerator::paper();
+        let mut acc = OnlineMoments::new();
+        for _ in 0..100_000 {
+            acc.push(g.sample(Mode::Abnormal, &mut rng).y);
+        }
+        let expect = (-3.6 + 3.8) / 2.0;
+        assert!((acc.mean() - expect).abs() < 0.02, "mean {}", acc.mean());
+    }
+
+    #[test]
+    fn residual_noise_is_unit_variance() {
+        // Var[y − b·x] = σ² = 1.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let g = RegressionGenerator::paper();
+        let coef = g.coefficients(Mode::Normal);
+        let mut acc = OnlineMoments::new();
+        for _ in 0..100_000 {
+            let p = g.sample(Mode::Normal, &mut rng);
+            acc.push(p.y - coef[0] * p.x[0] - coef[1] * p.x[1]);
+        }
+        assert!((acc.variance() - 1.0).abs() < 0.03, "var {}", acc.variance());
+    }
+
+    #[test]
+    fn batch_sizes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let g = RegressionGenerator::paper();
+        assert_eq!(g.sample_batch(Mode::Normal, 100, &mut rng).len(), 100);
+    }
+}

@@ -1,0 +1,128 @@
+//! Batch-stream assembly: batch-size process × mode schedule × generator.
+//!
+//! The §6 experiments all follow the same protocol: a warm-up period of
+//! normal-mode batches (the classifiers' initial training data), then a
+//! measured phase during which the mode schedule drives the generator.
+//! [`StreamPlan`] captures the protocol; the ML pipeline iterates it.
+
+use crate::batch::BatchSizeProcess;
+use crate::modes::{Mode, ModeSchedule};
+use rand::Rng;
+
+/// Experiment stream protocol: warm-up then scheduled modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamPlan {
+    /// Number of warm-up batches (always normal mode).
+    pub warmup_batches: u64,
+    /// Number of measured batches after warm-up.
+    pub measured_batches: u64,
+    /// Batch-size process (applies to warm-up and measured phases alike).
+    pub batch_sizes: BatchSizeProcess,
+    /// Mode schedule for the measured phase, indexed from 0 at the first
+    /// post-warm-up batch.
+    pub schedule: ModeSchedule,
+}
+
+/// One batch of the planned stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedBatch {
+    /// Global batch index (0-based, warm-up included).
+    pub index: u64,
+    /// Time after warm-up (`None` during warm-up, `Some(0)` for the first
+    /// measured batch).
+    pub measured_time: Option<u64>,
+    /// Mode in force.
+    pub mode: Mode,
+    /// Number of items to generate.
+    pub size: u64,
+}
+
+impl StreamPlan {
+    /// The §6.2 default: 100 warm-up batches of 100 items.
+    pub fn paper_default(measured_batches: u64, schedule: ModeSchedule) -> Self {
+        Self {
+            warmup_batches: 100,
+            measured_batches,
+            batch_sizes: BatchSizeProcess::Deterministic(100),
+            schedule,
+        }
+    }
+
+    /// Total number of batches (warm-up + measured).
+    pub fn total_batches(&self) -> u64 {
+        self.warmup_batches + self.measured_batches
+    }
+
+    /// Lay out the full stream of batch descriptors, drawing random batch
+    /// sizes from `rng` where the process is stochastic.
+    pub fn layout<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PlannedBatch> {
+        (0..self.total_batches())
+            .map(|index| {
+                let measured_time = index.checked_sub(self.warmup_batches);
+                let mode = match measured_time {
+                    None => Mode::Normal,
+                    Some(t) => self.schedule.mode_at(t),
+                };
+                PlannedBatch {
+                    index,
+                    measured_time,
+                    mode,
+                    size: self.batch_sizes.size_at(index, rng),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn layout_counts_and_modes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let plan = StreamPlan::paper_default(30, ModeSchedule::single_event());
+        let batches = plan.layout(&mut rng);
+        assert_eq!(batches.len(), 130);
+        // Warm-up is all normal with no measured time.
+        for b in &batches[..100] {
+            assert_eq!(b.mode, Mode::Normal);
+            assert_eq!(b.measured_time, None);
+            assert_eq!(b.size, 100);
+        }
+        // Measured phase follows the schedule.
+        assert_eq!(batches[100].measured_time, Some(0));
+        assert_eq!(batches[100].mode, Mode::Normal);
+        assert_eq!(batches[110].mode, Mode::Abnormal);
+        assert_eq!(batches[120].mode, Mode::Normal);
+    }
+
+    #[test]
+    fn layout_with_random_batch_sizes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let plan = StreamPlan {
+            warmup_batches: 10,
+            measured_batches: 40,
+            batch_sizes: BatchSizeProcess::UniformRandom { lo: 0, hi: 200 },
+            schedule: ModeSchedule::periodic(10, 10),
+        };
+        let batches = plan.layout(&mut rng);
+        assert_eq!(batches.len(), 50);
+        assert!(batches.iter().all(|b| b.size <= 200));
+        // Sizes should not all be identical.
+        let first = batches[0].size;
+        assert!(batches.iter().any(|b| b.size != first));
+    }
+
+    #[test]
+    fn indices_are_global_and_contiguous() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let plan = StreamPlan::paper_default(5, ModeSchedule::AlwaysNormal);
+        let batches = plan.layout(&mut rng);
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.index, i as u64);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Worker-pool execution (§5.1's driver/executor split).
+//!
+//! Real data-plane parallelism for the simulated cluster: per-worker jobs
+//! run on crossbeam scoped threads (one per worker, like Spark executors)
+//! or sequentially for deterministic single-threaded runs. Statistical
+//! correctness never depends on the execution mode — every worker owns a
+//! jump-ahead RNG substream — so `parallel` is purely a performance choice.
+
+/// Executes one closure per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    parallel: bool,
+}
+
+impl WorkerPool {
+    /// Sequential execution (deterministic ordering; used by tests).
+    pub fn sequential() -> Self {
+        Self { parallel: false }
+    }
+
+    /// Threaded execution — one OS thread per job via crossbeam's scoped
+    /// threads.
+    pub fn threaded() -> Self {
+        Self { parallel: true }
+    }
+
+    /// Whether jobs run on threads.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Run all jobs and collect their results in job order.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if !self.parallel || jobs.len() <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|f| scope.spawn(move |_| f()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("worker scope panicked")
+    }
+
+    /// Run a job against each element of a mutable slice (each worker owns
+    /// one element — e.g. its reservoir partition), in parallel when
+    /// enabled.
+    pub fn run_over<S, T, F>(&self, state: &mut [S], f: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        if !self.parallel || state.len() <= 1 {
+            return state
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| f(i, s))
+                .collect();
+        }
+        crossbeam::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = state
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| scope.spawn(move |_| f(i, s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("worker scope panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_preserves_order() {
+        let pool = WorkerPool::sequential();
+        let jobs: Vec<_> = (0..8).map(|i| move || i * 10).collect();
+        assert_eq!(pool.run(jobs), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn threaded_preserves_order() {
+        let pool = WorkerPool::threaded();
+        let jobs: Vec<_> = (0..8).map(|i| move || i * 10).collect();
+        assert_eq!(pool.run(jobs), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn threaded_actually_runs_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::threaded();
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..4)
+            .map(|_| {
+                let peak = Arc::clone(&peak);
+                let live = Arc::clone(&live);
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run(jobs);
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "no concurrency observed"
+        );
+    }
+
+    #[test]
+    fn run_over_mutates_each_element() {
+        let pool = WorkerPool::threaded();
+        let mut parts: Vec<Vec<u32>> = vec![vec![1], vec![2, 3], vec![]];
+        let lens = pool.run_over(&mut parts, |i, p| {
+            p.push(i as u32 + 100);
+            p.len()
+        });
+        assert_eq!(lens, vec![2, 3, 1]);
+        assert_eq!(parts[2], vec![102]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let pool = WorkerPool::threaded();
+        let jobs: Vec<fn() -> u32> = Vec::new();
+        assert!(pool.run(jobs).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Co-partitioned reservoir (§5.2, Figure 5(b)).
+//!
+//! The reservoir partitions coincide with the incoming-batch partitions:
+//! items from batch partition `j` are only ever inserted into reservoir
+//! partition `j`, and deletes are handled locally, so **no data items cross
+//! the network** — only small control messages (slot locations or
+//! per-worker counts). This is the in-place-updatable-RDD design of Xie et
+//! al. that gives the 2.6× speedup in Figure 7.
+
+use crate::cost::{CostModel, CostTracker};
+use crate::partition::{Location, Partitioned};
+use rand::Rng;
+use tbs_core::util::draw_without_replacement;
+
+/// Reservoir stored as worker-local partitions aligned with the batch.
+#[derive(Debug, Clone)]
+pub struct CoPartitionedReservoir<T> {
+    parts: Partitioned<T>,
+}
+
+impl<T> CoPartitionedReservoir<T> {
+    /// Empty reservoir over `workers` partitions.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            parts: Partitioned::empty(workers),
+        }
+    }
+
+    /// Number of worker partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.num_partitions()
+    }
+
+    /// Total stored items.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the reservoir is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Per-partition sizes (the master reads these via tiny messages —
+    /// accounted by the caller).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.parts.sizes()
+    }
+
+    /// Local inserts: items already resident on worker `j` append to
+    /// reservoir partition `j`. Zero network cost; the parallel append
+    /// phase is accounted by the caller.
+    pub fn insert_local(&mut self, per_worker: Vec<Vec<T>>) {
+        assert_eq!(
+            per_worker.len(),
+            self.parts.num_partitions(),
+            "per-worker insert vector mismatch"
+        );
+        for (j, items) in per_worker.into_iter().enumerate() {
+            self.parts.partition_mut(j).extend(items);
+        }
+    }
+
+    /// Centralized deletes: the master picked global victim slots; map to
+    /// locations and remove locally. Returns the removed items and the
+    /// per-partition delete counts (the caller charges the parallel apply
+    /// phase, usually folded together with the co-located inserts).
+    pub fn delete_slots<R: Rng + ?Sized>(
+        &mut self,
+        m: usize,
+        rng: &mut R,
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) -> (Vec<T>, Vec<u64>) {
+        // Master generates m distinct victim slots…
+        cost.master_ops(model, m as u64);
+        let locations: Vec<Location> = self.parts.choose_locations(m, rng);
+        // …and ships the co-partitioned location set R (16 B per entry).
+        cost.network(
+            model,
+            self.parts.num_partitions() as u64,
+            16 * locations.len() as u64,
+        );
+        let mut per_worker = vec![0u64; self.parts.num_partitions()];
+        for loc in &locations {
+            per_worker[loc.partition] += 1;
+        }
+        (self.parts.remove_locations(&locations), per_worker)
+    }
+
+    /// Distributed deletes: the master only picked per-worker victim
+    /// *counts*; each worker selects its own victims with its own RNG
+    /// stream. Returns the removed items; the caller charges the apply
+    /// phase.
+    pub fn delete_counts<R: Rng>(
+        &mut self,
+        counts: &[u64],
+        worker_rngs: &mut [R],
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) -> Vec<T> {
+        assert_eq!(counts.len(), self.parts.num_partitions());
+        assert_eq!(worker_rngs.len(), self.parts.num_partitions());
+        // Master ships k tiny count messages.
+        cost.network(model, counts.len() as u64, 8 * counts.len() as u64);
+        let mut removed = Vec::new();
+        for ((j, &m), rng) in counts.iter().enumerate().zip(worker_rngs.iter_mut()) {
+            let part = self.parts.partition_mut(j);
+            assert!(
+                m as usize <= part.len(),
+                "worker {j} asked to delete {m} of {}",
+                part.len()
+            );
+            removed.extend(draw_without_replacement(part, m as usize, rng));
+        }
+        removed
+    }
+
+    /// Driver-side collect.
+    pub fn collect(&self, model: &CostModel, cost: &mut CostTracker) -> Vec<T>
+    where
+        T: Clone,
+    {
+        // Collect ships every partition to the driver.
+        cost.network(
+            model,
+            self.parts.num_partitions() as u64,
+            (std::mem::size_of::<T>() * self.len()) as u64,
+        );
+        self.parts.collect()
+    }
+
+    /// Access the underlying partitions (for the worker pool).
+    pub fn partitions_mut(&mut self) -> &mut [Vec<T>] {
+        self.parts.partitions_mut()
+    }
+
+    /// Read one partition (checkpointing / inspection).
+    pub fn partition(&self, j: usize) -> &[T] {
+        self.parts.partition(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn insert_local_is_free_of_network() {
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(3);
+        r.insert_local(vec![vec![1, 2], vec![3], vec![4, 5, 6]]);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.sizes(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn delete_slots_removes_exactly_m() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let model = CostModel::default();
+        let mut cost = CostTracker::new();
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(4);
+        r.insert_local(vec![
+            (0..25).collect(),
+            (25..50).collect(),
+            (50..75).collect(),
+            (75..100).collect(),
+        ]);
+        let (removed, per_worker) = r.delete_slots(30, &mut rng, &model, &mut cost);
+        assert_eq!(removed.len(), 30);
+        assert_eq!(per_worker.iter().sum::<u64>(), 30);
+        assert_eq!(r.len(), 70);
+        // Only control bytes crossed the network (16 B per location).
+        assert_eq!(cost.bytes_shipped, 16 * 30);
+    }
+
+    #[test]
+    fn delete_counts_uses_worker_rngs() {
+        let model = CostModel::default();
+        let mut cost = CostTracker::new();
+        let base = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut rngs = base.split_streams(2);
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(2);
+        r.insert_local(vec![(0..10).collect(), (10..20).collect()]);
+        let removed = r.delete_counts(&[3, 5], &mut rngs, &model, &mut cost);
+        assert_eq!(removed.len(), 8);
+        assert_eq!(r.sizes(), vec![7, 5]);
+        // Control messages only: 8 bytes per worker count.
+        assert_eq!(cost.bytes_shipped, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "asked to delete")]
+    fn delete_counts_rejects_overdraw() {
+        let model = CostModel::default();
+        let mut cost = CostTracker::new();
+        let base = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut rngs = base.split_streams(2);
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(2);
+        r.insert_local(vec![vec![1], vec![2]]);
+        r.delete_counts(&[2, 0], &mut rngs, &model, &mut cost);
+    }
+
+    #[test]
+    fn collect_gathers_everything() {
+        let model = CostModel::default();
+        let mut cost = CostTracker::new();
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(2);
+        r.insert_local(vec![vec![1, 2], vec![3]]);
+        let mut all = r.collect(&model, &mut cost);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn insert_local_checks_worker_count() {
+        let mut r: CoPartitionedReservoir<u64> = CoPartitionedReservoir::new(2);
+        r.insert_local(vec![vec![1]]);
+    }
+}

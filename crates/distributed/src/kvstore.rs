@@ -1,0 +1,301 @@
+//! Distributed in-memory key-value-store reservoir (§5.2, Figure 5(a)).
+//!
+//! Models the "off-the-shelf distributed key-value store" (Memcached /
+//! Redis) option: reservoir items live as *serialized* key-value pairs,
+//! hash-partitioned by slot number across store nodes. Its two §5.2
+//! drawbacks are faithfully present:
+//!
+//! 1. hash partitioning does not align with batch partitions, so every
+//!    insert crosses the network to an arbitrary node;
+//! 2. each operation takes a per-node lock (the "needless concurrency
+//!    control" the paper calls out), even though the algorithm has already
+//!    de-conflicted all writes.
+
+use crate::cost::{CostModel, CostTracker};
+use crate::wire::{Wire, WIRE_ENVELOPE_BYTES};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Reservoir stored as slot → serialized value across hash-partitioned
+/// store nodes. Slots are kept contiguous in `1..=len`.
+#[derive(Debug)]
+pub struct KvReservoir<T: Wire> {
+    nodes: Vec<Mutex<HashMap<u64, Bytes>>>,
+    len: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Wire> KvReservoir<T> {
+    /// Create an empty store over `nodes` store nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one store node");
+        Self {
+            nodes: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of store nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hash-partition a slot to a node (multiplicative hash, like a client
+    /// library's consistent-ish hashing).
+    fn node_of(&self, slot: u64) -> usize {
+        let mixed = slot.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        (mixed % self.nodes.len() as u64) as usize
+    }
+
+    // Individual operations are pipelined in bulk by the client library, so
+    // they pay the amortized kv_per_op plus bandwidth for request + ack —
+    // not a full round-trip latency each.
+
+    fn put(&self, slot: u64, value: Bytes, model: &CostModel, cost: &mut CostTracker) {
+        let node = self.node_of(slot);
+        cost.kv_ops(model, 1);
+        cost.bulk(model, (value.len() + 2 * WIRE_ENVELOPE_BYTES) as u64);
+        self.nodes[node].lock().insert(slot, value);
+    }
+
+    fn remove(&self, slot: u64, model: &CostModel, cost: &mut CostTracker) -> Option<Bytes> {
+        let node = self.node_of(slot);
+        cost.kv_ops(model, 1);
+        cost.bulk(model, (2 * WIRE_ENVELOPE_BYTES) as u64);
+        self.nodes[node].lock().remove(&slot)
+    }
+
+    fn get(&self, slot: u64, model: &CostModel, cost: &mut CostTracker) -> Option<Bytes> {
+        let node = self.node_of(slot);
+        cost.kv_ops(model, 1);
+        cost.bulk(model, (2 * WIRE_ENVELOPE_BYTES) as u64);
+        self.nodes[node].lock().get(&slot).cloned()
+    }
+
+    /// Append items at fresh slots `len+1, len+2, …` (fill-up / growth).
+    pub fn append(&mut self, items: &[T], model: &CostModel, cost: &mut CostTracker) {
+        for item in items {
+            let slot = self.len + 1;
+            self.put(slot, item.encode(), model, cost);
+            self.len += 1;
+        }
+    }
+
+    /// Overwrite the values at `m` uniformly chosen victim slots with the
+    /// given replacement items (the saturated→saturated transition: deletes
+    /// and inserts combined into destination-slot overwrites, as §5.3
+    /// describes for the KV representation).
+    pub fn replace_random<R: Rng + ?Sized>(
+        &mut self,
+        replacements: &[T],
+        rng: &mut R,
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) {
+        let m = replacements.len();
+        assert!(m as u64 <= self.len, "more replacements than stored items");
+        // Master chooses m distinct destination slots (cost accounted by
+        // the caller as master work); each write crosses the network.
+        let slots = tbs_core::util::sample_indices(self.len as usize, m, rng);
+        for (item, slot0) in replacements.iter().zip(slots) {
+            self.put(slot0 as u64 + 1, item.encode(), model, cost);
+        }
+    }
+
+    /// Delete `m` uniformly chosen slots, then restore slot contiguity by
+    /// moving top-end slots into the holes (get + put + delete per move) —
+    /// the §5.3 requirement that "all of the slot numbers are still unique
+    /// and contiguous".
+    pub fn shrink_random<R: Rng + ?Sized>(
+        &mut self,
+        m: usize,
+        rng: &mut R,
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) -> Vec<T> {
+        assert!(m as u64 <= self.len, "cannot shrink below zero");
+        let mut removed = Vec::with_capacity(m);
+        let victims = tbs_core::util::sample_indices(self.len as usize, m, rng);
+        let mut holes: Vec<u64> = victims.into_iter().map(|s| s as u64 + 1).collect();
+        for &slot in &holes {
+            let bytes = self.remove(slot, model, cost).expect("victim slot occupied");
+            removed.push(T::decode(&bytes));
+        }
+        // Compact: move items from the tail into holes below the new length.
+        let new_len = self.len - m as u64;
+        holes.retain(|&h| h <= new_len);
+        let mut tail = self.len;
+        for hole in holes {
+            // Find the next occupied tail slot (skip tail slots that were
+            // themselves deleted).
+            loop {
+                if let Some(bytes) = self.remove(tail, model, cost) {
+                    self.put(hole, bytes, model, cost);
+                    tail -= 1;
+                    break;
+                }
+                tail -= 1;
+            }
+        }
+        self.len = new_len;
+        removed
+    }
+
+    /// Driver-side collect of the full reservoir contents.
+    pub fn collect(&self, model: &CostModel, cost: &mut CostTracker) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut bytes_total = 0u64;
+        for node in &self.nodes {
+            let guard = node.lock();
+            for value in guard.values() {
+                bytes_total += (value.len() + WIRE_ENVELOPE_BYTES) as u64;
+                out.push(T::decode(value));
+            }
+        }
+        cost.network(model, self.nodes.len() as u64, bytes_total);
+        out
+    }
+
+    /// Read one slot (used by equivalence tests).
+    pub fn peek(&self, slot: u64, model: &CostModel, cost: &mut CostTracker) -> Option<T> {
+        self.get(slot, model, cost).map(|b| T::decode(&b))
+    }
+
+    /// Snapshot every (slot, encoded value) pair — the §5.1 checkpointing
+    /// path. No cost is charged: checkpoints are written out of band.
+    pub fn snapshot(&self) -> Vec<(u64, Bytes)> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for node in &self.nodes {
+            let guard = node.lock();
+            out.extend(guard.iter().map(|(&slot, v)| (slot, v.clone())));
+        }
+        out
+    }
+
+    /// Rebuild a store from a snapshot (restores hash placement and the
+    /// slot-contiguity invariant implicitly carried by the entries).
+    pub fn restore(nodes: usize, entries: Vec<(u64, Bytes)>) -> Self {
+        let mut kv = Self::new(nodes);
+        kv.len = entries.len() as u64;
+        for (slot, value) in entries {
+            let node = kv.node_of(slot);
+            kv.nodes[node].lock().insert(slot, value);
+        }
+        kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    fn fresh() -> (KvReservoir<u64>, CostModel, CostTracker) {
+        (KvReservoir::new(4), CostModel::default(), CostTracker::new())
+    }
+
+    #[test]
+    fn append_and_collect_roundtrip() {
+        let (mut kv, model, mut cost) = fresh();
+        let items: Vec<u64> = (100..150).collect();
+        kv.append(&items, &model, &mut cost);
+        assert_eq!(kv.len(), 50);
+        let mut got = kv.collect(&model, &mut cost);
+        got.sort_unstable();
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn replace_keeps_length_and_installs_new_items() {
+        let (mut kv, model, mut cost) = fresh();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        kv.append(&(0..20u64).collect::<Vec<_>>(), &model, &mut cost);
+        kv.replace_random(&[1000, 1001, 1002], &mut rng, &model, &mut cost);
+        assert_eq!(kv.len(), 20);
+        let got = kv.collect(&model, &mut cost);
+        assert_eq!(got.len(), 20);
+        assert_eq!(got.iter().filter(|&&x| x >= 1000).count(), 3);
+    }
+
+    #[test]
+    fn shrink_removes_and_keeps_contiguity() {
+        let (mut kv, model, mut cost) = fresh();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        kv.append(&(0..30u64).collect::<Vec<_>>(), &model, &mut cost);
+        let removed = kv.shrink_random(12, &mut rng, &model, &mut cost);
+        assert_eq!(removed.len(), 12);
+        assert_eq!(kv.len(), 18);
+        // All slots 1..=18 must be occupied (contiguity restored).
+        let mut probe_cost = CostTracker::new();
+        for slot in 1..=18u64 {
+            assert!(
+                kv.peek(slot, &model, &mut probe_cost).is_some(),
+                "hole at slot {slot}"
+            );
+        }
+        let got = kv.collect(&model, &mut probe_cost);
+        assert_eq!(got.len(), 18);
+    }
+
+    #[test]
+    fn shrink_everything_empties_the_store() {
+        let (mut kv, model, mut cost) = fresh();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        kv.append(&(0..10u64).collect::<Vec<_>>(), &model, &mut cost);
+        let removed = kv.shrink_random(10, &mut rng, &model, &mut cost);
+        assert_eq!(removed.len(), 10);
+        assert!(kv.is_empty());
+        assert!(kv.collect(&model, &mut cost).is_empty());
+    }
+
+    #[test]
+    fn operations_are_charged_to_the_network() {
+        let (mut kv, model, mut cost) = fresh();
+        kv.append(&(0..10u64).collect::<Vec<_>>(), &model, &mut cost);
+        // 10 puts, each shipping 8 payload bytes + request and ack
+        // envelopes, plus 10 amortized KV operations.
+        assert_eq!(
+            cost.bytes_shipped,
+            10 * (8 + 2 * WIRE_ENVELOPE_BYTES as u64)
+        );
+        let expect_kv = 10.0 * model.kv_per_op;
+        assert!(cost.network_time >= expect_kv, "kv op time missing");
+        assert!(cost.elapsed > 0.0);
+    }
+
+    #[test]
+    fn values_spread_across_nodes() {
+        let (mut kv, model, mut cost) = fresh();
+        kv.append(&(0..100u64).collect::<Vec<_>>(), &model, &mut cost);
+        let occupancy: Vec<usize> = kv.nodes.iter().map(|n| n.lock().len()).collect();
+        assert!(occupancy.iter().all(|&c| c > 0), "hash skew: {occupancy:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more replacements")]
+    fn replace_rejects_overdraw() {
+        let (mut kv, model, mut cost) = fresh();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        kv.append(&[1, 2], &model, &mut cost);
+        kv.replace_random(&[9, 9, 9], &mut rng, &model, &mut cost);
+    }
+}

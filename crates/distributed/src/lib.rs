@@ -1,0 +1,41 @@
+//! # tbs-distributed
+//!
+//! A simulated Spark-like cluster substrate for the distributed
+//! temporally-biased sampling algorithms of §5 of the EDBT 2018 paper.
+//! Real in-process workers (crossbeam scoped threads) execute the actual
+//! sampling operations over partitioned data, while a calibrated
+//! discrete-event [`cost::CostModel`] accounts for what a 1 GbE cluster
+//! would spend on network transfer, master coordination and per-phase
+//! framework overhead — reproducing the *shape* of Figures 7–9 at laptop
+//! scale (see DESIGN.md §4, substitution 1).
+//!
+//! * [`partition`] — RDD-like partitioned datasets with slot→location maps;
+//! * [`kvstore`] — serialized key-value-store reservoir (Memcached
+//!   stand-in) with per-operation locking and network charges;
+//! * [`copart`] — the co-partitioned reservoir: local inserts/deletes,
+//!   control messages only;
+//! * decision strategies are embedded in [`drtbs`]: centralized slot generation
+//!   (repartition or co-located joins) vs distributed per-worker counts via
+//!   multivariate hypergeometric splits and jump-ahead RNG substreams;
+//! * [`dttbs`] — embarrassingly parallel D-T-TBS;
+//! * [`cluster`] — the worker pool (sequential or threaded execution).
+
+pub mod checkpoint;
+pub mod cluster;
+pub mod copart;
+pub mod cost;
+pub mod drtbs;
+pub mod dttbs;
+pub mod kvstore;
+pub mod partition;
+pub mod wire;
+
+pub use checkpoint::CheckpointError;
+pub use cluster::WorkerPool;
+pub use copart::CoPartitionedReservoir;
+pub use cost::{CostModel, CostTracker};
+pub use drtbs::{DRTbs, DrtbsConfig, Strategy};
+pub use dttbs::{DTTbs, DttbsConfig};
+pub use kvstore::KvReservoir;
+pub use partition::{Location, Partitioned};
+pub use wire::{Wire, WIRE_ENVELOPE_BYTES};

@@ -1,0 +1,223 @@
+//! Partitioned datasets — the RDD-like substrate (§5.2).
+//!
+//! Incoming batches arrive as `k` partitions (one per worker, mirroring
+//! Spark Streaming's opaque partitioning); the algorithms address items by
+//! *slot number* `1..=len`, which maps to a `(partition, position)` pair
+//! exactly as Figure 6 illustrates.
+
+use rand::Rng;
+
+/// A dataset split across `k` worker partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioned<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+/// A slot's physical location: which partition and which position inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Partition id (0-based).
+    pub partition: usize,
+    /// Position within the partition (0-based).
+    pub position: usize,
+}
+
+impl<T> Partitioned<T> {
+    /// Create an empty dataset with `k` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn empty(k: usize) -> Self {
+        assert!(k > 0, "need at least one partition");
+        Self {
+            partitions: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Distribute `items` round-robin across `k` partitions (the balanced
+    /// layout a streaming receiver produces).
+    pub fn from_items(items: Vec<T>, k: usize) -> Self {
+        let mut p = Self::empty(k);
+        for (i, item) in items.into_iter().enumerate() {
+            p.partitions[i % k].push(item);
+        }
+        p
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total item count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-partition sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Borrow a partition.
+    pub fn partition(&self, i: usize) -> &[T] {
+        &self.partitions[i]
+    }
+
+    /// Mutably borrow a partition.
+    pub fn partition_mut(&mut self, i: usize) -> &mut Vec<T> {
+        &mut self.partitions[i]
+    }
+
+    /// Mutably borrow all partitions (for parallel per-worker operations).
+    pub fn partitions_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.partitions
+    }
+
+    /// Map a 0-based global slot index to its physical location, counting
+    /// through partitions in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn locate(&self, slot: usize) -> Location {
+        let mut remaining = slot;
+        for (partition, p) in self.partitions.iter().enumerate() {
+            if remaining < p.len() {
+                return Location {
+                    partition,
+                    position: remaining,
+                };
+            }
+            remaining -= p.len();
+        }
+        panic!("slot {slot} out of range for {} items", self.len());
+    }
+
+    /// Flatten into one vector (driver-side collect).
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.partitions.iter().flatten().cloned().collect()
+    }
+
+    /// Remove the items at the given locations (grouped by partition,
+    /// positions resolved before any removal — `swap_remove` order safe).
+    pub fn remove_locations(&mut self, locations: &[Location]) -> Vec<T> {
+        // Group positions per partition and remove from the highest
+        // position down so earlier removals don't shift later ones.
+        let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); self.partitions.len()];
+        for loc in locations {
+            per_part[loc.partition].push(loc.position);
+        }
+        let mut removed = Vec::with_capacity(locations.len());
+        for (pi, mut positions) in per_part.into_iter().enumerate() {
+            positions.sort_unstable_by(|a, b| b.cmp(a));
+            positions.dedup();
+            for pos in positions {
+                removed.push(self.partitions[pi].swap_remove(pos));
+            }
+        }
+        removed
+    }
+
+    /// Uniformly choose `m` distinct global slots and return their
+    /// locations (master-side centralized decision).
+    pub fn choose_locations<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<Location> {
+        let slots = tbs_core::util::sample_indices(self.len(), m, rng);
+        slots.into_iter().map(|s| self.locate(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn round_robin_balance() {
+        let p = Partitioned::from_items((0..10u32).collect(), 3);
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.partition(0), &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn locate_walks_partitions_in_order() {
+        let p = Partitioned::from_items((0..7u32).collect(), 3);
+        // partitions: [0,3,6], [1,4], [2,5]
+        assert_eq!(p.locate(0), Location { partition: 0, position: 0 });
+        assert_eq!(p.locate(2), Location { partition: 0, position: 2 });
+        assert_eq!(p.locate(3), Location { partition: 1, position: 0 });
+        assert_eq!(p.locate(6), Location { partition: 2, position: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_overflow() {
+        let p = Partitioned::from_items((0..3u32).collect(), 2);
+        p.locate(3);
+    }
+
+    #[test]
+    fn remove_locations_returns_the_right_items() {
+        let mut p = Partitioned::from_items((0..9u32).collect(), 3);
+        // partitions: [0,3,6], [1,4,7], [2,5,8]
+        let removed = p.remove_locations(&[
+            Location { partition: 0, position: 1 }, // item 3
+            Location { partition: 2, position: 0 }, // item 2
+        ]);
+        let set: std::collections::HashSet<u32> = removed.into_iter().collect();
+        assert_eq!(set, [3u32, 2].into_iter().collect());
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn remove_multiple_from_same_partition_is_stable() {
+        let mut p = Partitioned::from_items((0..6u32).collect(), 2);
+        // partitions: [0,2,4], [1,3,5]
+        let removed = p.remove_locations(&[
+            Location { partition: 0, position: 0 },
+            Location { partition: 0, position: 2 },
+        ]);
+        let set: std::collections::HashSet<u32> = removed.into_iter().collect();
+        assert_eq!(set, [0u32, 4].into_iter().collect());
+        assert_eq!(p.partition(0), &[2]);
+    }
+
+    #[test]
+    fn choose_locations_are_distinct_and_valid() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let p = Partitioned::from_items((0..50u32).collect(), 4);
+        let locs = p.choose_locations(20, &mut rng);
+        assert_eq!(locs.len(), 20);
+        let set: std::collections::HashSet<_> = locs.iter().collect();
+        assert_eq!(set.len(), 20);
+        for loc in locs {
+            assert!(loc.partition < 4);
+            assert!(loc.position < p.partition(loc.partition).len());
+        }
+    }
+
+    #[test]
+    fn collect_roundtrips_contents() {
+        let p = Partitioned::from_items((0..10u32).collect(), 3);
+        let mut all = p.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_partitions() {
+        Partitioned::<u8>::empty(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the distributed samplers: for *any* batch
+//! schedule, every strategy's scalar state must match single-node R-TBS
+//! exactly, size bounds must hold, and the cost ledger must stay
+//! consistent.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tbs_core::traits::BatchSampler;
+use tbs_core::RTbs;
+use tbs_distributed::Strategy as ImplStrategy;
+use tbs_distributed::{DRTbs, DrtbsConfig, DTTbs, DttbsConfig};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+fn schedules() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..80, 1..25)
+}
+
+fn strategies() -> impl Strategy<Value = ImplStrategy> {
+    prop_oneof![
+        Just(ImplStrategy::CentKvRepartitionJoin),
+        Just(ImplStrategy::CentKvCoLocatedJoin),
+        Just(ImplStrategy::CentCoPartitioned),
+        Just(ImplStrategy::DistCoPartitioned),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn drtbs_scalar_state_matches_single_node(
+        schedule in schedules(),
+        strategy in strategies(),
+        capacity in 1usize..60,
+        workers in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let lambda = 0.2;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut single: RTbs<u64> = RTbs::new(lambda, capacity);
+        let cfg = DrtbsConfig::new(lambda, capacity, workers, strategy);
+        let mut dist: DRTbs<u64> = DRTbs::new(cfg, seed);
+        for (t, &b) in schedule.iter().enumerate() {
+            let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
+            single.observe(batch.clone(), &mut rng);
+            dist.observe_batch(batch);
+            prop_assert!(
+                (single.total_weight() - dist.total_weight()).abs() < 1e-6,
+                "W diverged at t={}", t
+            );
+            prop_assert!(
+                (single.sample_weight() - dist.sample_weight()).abs() < 1e-6,
+                "C diverged at t={}", t
+            );
+            prop_assert_eq!(
+                dist.stored_full_items(),
+                dist.sample_weight().floor() as usize
+            );
+        }
+    }
+
+    #[test]
+    fn drtbs_realized_samples_respect_capacity(
+        schedule in schedules(),
+        strategy in strategies(),
+        capacity in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let cfg = DrtbsConfig::new(0.3, capacity, 3, strategy);
+        let mut dist: DRTbs<u64> = DRTbs::new(cfg, seed);
+        for &b in &schedule {
+            dist.observe_batch((0..b).collect());
+            prop_assert!(dist.realize_sample(&mut rng).len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn cost_ledger_is_internally_consistent(
+        schedule in schedules(),
+        strategy in strategies(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = DrtbsConfig::new(0.1, 50, 4, strategy);
+        let mut dist: DRTbs<u64> = DRTbs::new(cfg, seed);
+        for &b in &schedule {
+            let cost = dist.observe_batch((0..b).collect());
+            // elapsed decomposes into the three components.
+            let sum = cost.master_time + cost.worker_time + cost.network_time;
+            prop_assert!((cost.elapsed - sum).abs() < 1e-9);
+            prop_assert!(cost.elapsed >= 0.0);
+            prop_assert!(cost.phases >= 1, "every batch has at least the ingest phase");
+        }
+        let total = dist.cumulative_cost();
+        prop_assert!(total.elapsed > 0.0);
+    }
+
+    #[test]
+    fn dttbs_sample_is_subset_of_stream(
+        schedule in prop::collection::vec(10u64..60, 1..20),
+        workers in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = DttbsConfig::new(0.1, 40, 10.0, workers);
+        let mut d: DTTbs<u64> = DTTbs::new(cfg, seed);
+        let mut arrived = std::collections::HashSet::new();
+        for (t, &b) in schedule.iter().enumerate() {
+            let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
+            arrived.extend(batch.iter().copied());
+            d.observe_batch(batch);
+            for item in d.collect() {
+                prop_assert!(arrived.contains(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn threading_never_changes_outcomes(
+        schedule in schedules(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut seq_cfg = DrtbsConfig::new(0.15, 30, 4, ImplStrategy::DistCoPartitioned);
+        let mut par_cfg = seq_cfg;
+        seq_cfg.threaded = false;
+        par_cfg.threaded = true;
+        let mut seq: DRTbs<u64> = DRTbs::new(seq_cfg, seed);
+        let mut par: DRTbs<u64> = DRTbs::new(par_cfg, seed);
+        for (t, &b) in schedule.iter().enumerate() {
+            let batch: Vec<u64> = (0..b).map(|i| t as u64 * 500 + i).collect();
+            seq.observe_batch(batch.clone());
+            par.observe_batch(batch);
+            prop_assert_eq!(seq.stored_full_items(), par.stored_full_items());
+            prop_assert!((seq.sample_weight() - par.sample_weight()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Drift-triggered retraining (§7's model-management discussion).
+//!
+//! The paper positions time-biased sampling as *complementary* to
+//! drift-detection systems like Velox: "after detecting drift through poor
+//! model performance, Velox kicks off batch learning algorithms to retrain
+//! the model", and a time-biased sample lets the retrained model recover
+//! *quickly*. This module provides that missing piece: a simple
+//! error-based drift detector and a retraining policy that refits only on
+//! detection (plus a periodic fallback), instead of every batch.
+//!
+//! The detector flags drift when the current batch error exceeds the
+//! rolling mean by `threshold_sigmas` standard deviations (with a floor to
+//! ignore noise at near-zero error levels).
+
+use std::collections::VecDeque;
+
+/// Verdict for one observed batch error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftVerdict {
+    /// Error is consistent with the recent regime.
+    Stable,
+    /// Error jumped — the data likely changed; retrain now.
+    Drifted,
+    /// Not enough history to judge yet.
+    Warmup,
+}
+
+/// Rolling-statistics drift detector over per-batch error values.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    window: usize,
+    threshold_sigmas: f64,
+    /// Minimum absolute error jump to call drift (guards the σ≈0 case).
+    min_jump: f64,
+    history: VecDeque<f64>,
+}
+
+impl DriftDetector {
+    /// Create a detector over a rolling window of `window` batch errors,
+    /// flagging errors more than `threshold_sigmas` σ above the rolling
+    /// mean (and at least `min_jump` above it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` or the threshold is not positive.
+    pub fn new(window: usize, threshold_sigmas: f64, min_jump: f64) -> Self {
+        assert!(window >= 2, "need at least two batches of history");
+        assert!(threshold_sigmas > 0.0, "threshold must be positive");
+        assert!(min_jump >= 0.0, "min_jump must be non-negative");
+        Self {
+            window,
+            threshold_sigmas,
+            min_jump,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Sensible defaults: window 10, 3σ, 5-point minimum jump (for errors
+    /// expressed in percent).
+    pub fn default_for_percent_errors() -> Self {
+        Self::new(10, 3.0, 5.0)
+    }
+
+    /// Observe one batch error and judge it against the recent regime.
+    /// The observation joins the history afterwards (so a drift spike does
+    /// not immediately inflate the baseline it is compared against).
+    pub fn observe(&mut self, error: f64) -> DriftVerdict {
+        let verdict = if self.history.len() < 2 {
+            DriftVerdict::Warmup
+        } else {
+            let n = self.history.len() as f64;
+            let mean = self.history.iter().sum::<f64>() / n;
+            let var = self
+                .history
+                .iter()
+                .map(|e| (e - mean) * (e - mean))
+                .sum::<f64>()
+                / (n - 1.0);
+            let sd = var.sqrt();
+            let limit = mean + (self.threshold_sigmas * sd).max(self.min_jump);
+            if error > limit {
+                DriftVerdict::Drifted
+            } else {
+                DriftVerdict::Stable
+            }
+        };
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(error);
+        verdict
+    }
+
+    /// Drop all history (e.g. after a retrain, to re-baseline).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Number of errors currently in the rolling window.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// Retraining policy: when to refit the model on the current sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainPolicy {
+    /// Refit after every batch (the §6 evaluation protocol).
+    EveryBatch,
+    /// Refit every `k` batches.
+    Periodic(u64),
+    /// Refit when the detector flags drift, plus every `fallback` batches.
+    OnDrift {
+        /// Maximum batches between refits even without drift.
+        fallback: u64,
+    },
+}
+
+/// Decides refits by combining a policy with a detector.
+#[derive(Debug, Clone)]
+pub struct RetrainScheduler {
+    policy: RetrainPolicy,
+    detector: DriftDetector,
+    since_retrain: u64,
+    retrains: u64,
+}
+
+impl RetrainScheduler {
+    /// Build a scheduler; the detector is only consulted for
+    /// [`RetrainPolicy::OnDrift`].
+    pub fn new(policy: RetrainPolicy, detector: DriftDetector) -> Self {
+        Self {
+            policy,
+            detector,
+            since_retrain: 0,
+            retrains: 0,
+        }
+    }
+
+    /// Observe the batch error; returns true when the model should be
+    /// refit now.
+    pub fn should_retrain(&mut self, batch_error: f64) -> bool {
+        let verdict = self.detector.observe(batch_error);
+        self.since_retrain += 1;
+        let fire = match self.policy {
+            RetrainPolicy::EveryBatch => true,
+            RetrainPolicy::Periodic(k) => self.since_retrain >= k,
+            RetrainPolicy::OnDrift { fallback } => {
+                verdict == DriftVerdict::Drifted || self.since_retrain >= fallback
+            }
+        };
+        if fire {
+            self.since_retrain = 0;
+            self.retrains += 1;
+            if matches!(self.policy, RetrainPolicy::OnDrift { .. }) {
+                // Re-baseline after adapting.
+                self.detector.reset();
+            }
+        }
+        fire
+    }
+
+    /// Total refits triggered so far.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_then_stable_on_flat_series() {
+        let mut d = DriftDetector::new(5, 3.0, 2.0);
+        assert_eq!(d.observe(10.0), DriftVerdict::Warmup);
+        assert_eq!(d.observe(10.5), DriftVerdict::Warmup);
+        for _ in 0..20 {
+            assert_eq!(d.observe(10.2), DriftVerdict::Stable);
+        }
+    }
+
+    #[test]
+    fn flags_a_jump() {
+        let mut d = DriftDetector::new(10, 3.0, 5.0);
+        for e in [15.0, 16.0, 15.5, 14.8, 15.2, 16.1, 15.7, 15.0] {
+            d.observe(e);
+        }
+        assert_eq!(d.observe(48.0), DriftVerdict::Drifted);
+    }
+
+    #[test]
+    fn min_jump_suppresses_tiny_sigma_false_alarms() {
+        // Perfectly constant history → σ = 0; a 1-point wiggle must not
+        // count as drift when min_jump = 5.
+        let mut d = DriftDetector::new(5, 3.0, 5.0);
+        for _ in 0..5 {
+            d.observe(10.0);
+        }
+        assert_eq!(d.observe(12.0), DriftVerdict::Stable);
+        assert_eq!(d.observe(16.0), DriftVerdict::Drifted);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut d = DriftDetector::new(3, 3.0, 1.0);
+        for e in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            d.observe(e);
+        }
+        assert_eq!(d.history_len(), 3);
+    }
+
+    #[test]
+    fn reset_requires_rewarmup() {
+        let mut d = DriftDetector::new(5, 3.0, 1.0);
+        for _ in 0..5 {
+            d.observe(1.0);
+        }
+        d.reset();
+        assert_eq!(d.observe(100.0), DriftVerdict::Warmup);
+    }
+
+    #[test]
+    fn every_batch_policy_always_fires() {
+        let mut s = RetrainScheduler::new(
+            RetrainPolicy::EveryBatch,
+            DriftDetector::default_for_percent_errors(),
+        );
+        for _ in 0..10 {
+            assert!(s.should_retrain(10.0));
+        }
+        assert_eq!(s.retrain_count(), 10);
+    }
+
+    #[test]
+    fn periodic_policy_fires_every_k() {
+        let mut s = RetrainScheduler::new(
+            RetrainPolicy::Periodic(3),
+            DriftDetector::default_for_percent_errors(),
+        );
+        let fires: Vec<bool> = (0..9).map(|_| s.should_retrain(10.0)).collect();
+        assert_eq!(
+            fires,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn on_drift_policy_fires_on_spike_and_fallback() {
+        let mut s = RetrainScheduler::new(
+            RetrainPolicy::OnDrift { fallback: 50 },
+            DriftDetector::new(5, 3.0, 5.0),
+        );
+        // Stable regime: no retrains.
+        for _ in 0..10 {
+            assert!(!s.should_retrain(12.0));
+        }
+        // Spike → immediate retrain.
+        assert!(s.should_retrain(55.0));
+        assert_eq!(s.retrain_count(), 1);
+        // Post-reset warmup tolerates the new level, then stays quiet until
+        // the fallback horizon.
+        let mut fired = 0;
+        for _ in 0..49 {
+            if s.should_retrain(12.0) {
+                fired += 1;
+            }
+        }
+        assert!(fired <= 1, "unexpected extra retrains: {fired}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_window() {
+        DriftDetector::new(1, 3.0, 1.0);
+    }
+}

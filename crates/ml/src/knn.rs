@@ -1,0 +1,190 @@
+//! k-nearest-neighbour classification (§6.2).
+//!
+//! The paper's first model: "a class is predicted for each item in an
+//! incoming batch by taking a majority vote of the classes of the k nearest
+//! neighbors in the current sample, based on Euclidean distance" with
+//! `k = 7`. kNN is the motivating *non-parametric* case: there is no known
+//! way to re-engineer it incrementally for drift, so sample-based retraining
+//! is the natural adaptation mechanism — retraining is just replacing the
+//! training set.
+
+use tbs_datagen::gmm::LabeledPoint;
+
+/// A kNN classifier over 2-D labelled points.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    training: Vec<LabeledPoint>,
+}
+
+impl KnnClassifier {
+    /// Create an (untrained) classifier with neighbourhood size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            training: Vec::new(),
+        }
+    }
+
+    /// Replace the training set — "retraining" for an instance-based model.
+    pub fn train(&mut self, sample: &[LabeledPoint]) {
+        self.training = sample.to_vec();
+    }
+
+    /// Number of stored training points.
+    pub fn training_size(&self) -> usize {
+        self.training.len()
+    }
+
+    /// Predict a label by majority vote among the k nearest training
+    /// points. Returns `None` when the classifier has no training data.
+    /// Distance ties are broken by training-set order; vote ties by the
+    /// nearest member of the tied classes (the usual convention).
+    pub fn predict(&self, x: f64, y: f64) -> Option<u16> {
+        if self.training.is_empty() {
+            return None;
+        }
+        let k = self.k.min(self.training.len());
+        // Collect squared distances, then select the k smallest.
+        let mut dists: Vec<(f64, u16)> = self
+            .training
+            .iter()
+            .map(|p| ((p.x - x).powi(2) + (p.y - y).powi(2), p.label))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbours = &mut dists[..k];
+        // Order neighbours by distance so vote ties resolve to the closest.
+        neighbours.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut counts: std::collections::HashMap<u16, (usize, usize)> =
+            std::collections::HashMap::new();
+        for (rank, &(_, label)) in neighbours.iter().enumerate() {
+            let entry = counts.entry(label).or_insert((0, rank));
+            entry.0 += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| {
+                // More votes wins; among equal votes, the closer first
+                // occurrence (smaller rank) wins.
+                a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1))
+            })
+            .map(|(label, _)| label)
+    }
+
+    /// Fraction (in percent) of `batch` items misclassified against their
+    /// ground-truth labels. An untrained classifier misclassifies
+    /// everything (100%).
+    pub fn misclassification_pct(&self, batch: &[LabeledPoint]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let wrong = batch
+            .iter()
+            .filter(|p| self.predict(p.x, p.y) != Some(p.label))
+            .count();
+        100.0 * wrong as f64 / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, label: u16) -> LabeledPoint {
+        LabeledPoint { x, y, label }
+    }
+
+    #[test]
+    fn single_neighbour_nearest_wins() {
+        let mut knn = KnnClassifier::new(1);
+        knn.train(&[pt(0.0, 0.0, 0), pt(10.0, 10.0, 1)]);
+        assert_eq!(knn.predict(1.0, 1.0), Some(0));
+        assert_eq!(knn.predict(9.0, 9.0), Some(1));
+    }
+
+    #[test]
+    fn majority_vote_overrules_single_closest() {
+        let mut knn = KnnClassifier::new(3);
+        // One very close label-1 point, two moderately close label-0 points.
+        knn.train(&[pt(0.1, 0.0, 1), pt(1.0, 0.0, 0), pt(0.0, 1.0, 0)]);
+        assert_eq!(knn.predict(0.0, 0.0), Some(0));
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let knn = KnnClassifier::new(7);
+        assert_eq!(knn.predict(0.0, 0.0), None);
+        assert_eq!(knn.misclassification_pct(&[pt(0.0, 0.0, 3)]), 100.0);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_uses_all() {
+        let mut knn = KnnClassifier::new(7);
+        knn.train(&[pt(0.0, 0.0, 2)]);
+        assert_eq!(knn.predict(5.0, 5.0), Some(2));
+    }
+
+    #[test]
+    fn vote_tie_resolves_to_closest_class() {
+        let mut knn = KnnClassifier::new(2);
+        knn.train(&[pt(0.0, 0.0, 7), pt(3.0, 0.0, 9)]);
+        // 1 vote each; class 7 is closer to the query.
+        assert_eq!(knn.predict(1.0, 0.0), Some(7));
+    }
+
+    #[test]
+    fn misclassification_percentage() {
+        let mut knn = KnnClassifier::new(1);
+        knn.train(&[pt(0.0, 0.0, 0), pt(10.0, 10.0, 1)]);
+        let batch = [
+            pt(0.5, 0.5, 0),  // correct
+            pt(9.5, 9.5, 1),  // correct
+            pt(0.5, 0.5, 1),  // wrong (nearest is label 0)
+            pt(9.0, 9.0, 0),  // wrong
+        ];
+        assert_eq!(knn.misclassification_pct(&batch), 50.0);
+    }
+
+    #[test]
+    fn empty_batch_scores_zero() {
+        let knn = KnnClassifier::new(1);
+        assert_eq!(knn.misclassification_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn retraining_replaces_old_knowledge() {
+        let mut knn = KnnClassifier::new(1);
+        knn.train(&[pt(0.0, 0.0, 0)]);
+        assert_eq!(knn.predict(0.0, 0.0), Some(0));
+        knn.train(&[pt(0.0, 0.0, 5)]);
+        assert_eq!(knn.predict(0.0, 0.0), Some(5));
+        assert_eq!(knn.training_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        KnnClassifier::new(0);
+    }
+
+    #[test]
+    fn separable_clusters_high_accuracy() {
+        // Two well-separated Gaussian-ish blobs: accuracy should be perfect.
+        let mut knn = KnnClassifier::new(7);
+        let mut train = Vec::new();
+        for i in 0..20 {
+            let o = i as f64 * 0.01;
+            train.push(pt(0.0 + o, 0.0 + o, 0));
+            train.push(pt(50.0 + o, 50.0 + o, 1));
+        }
+        knn.train(&train);
+        let test = [pt(0.2, 0.3, 0), pt(50.3, 49.9, 1), pt(1.0, 0.0, 0)];
+        assert_eq!(knn.misclassification_pct(&test), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Ordinary-least-squares linear regression (§6.3).
+//!
+//! Fitted from scratch via the normal equations `XᵀX β = Xᵀy`, solved with
+//! Gaussian elimination and partial pivoting — ample for the paper's
+//! two-feature streams and general enough for any small feature count.
+//! The §6.3 generator has no intercept term, but the model supports one
+//! (enabled by default) as any production regression would.
+
+use tbs_datagen::regression::RegressionPoint;
+
+/// Solve the linear system `a · x = b` in place (Gaussian elimination with
+/// partial pivoting). Returns `None` if the matrix is singular to working
+/// precision.
+// Indexed loops mirror the textbook elimination; iterator forms obscure the
+// row/column structure here.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// An OLS linear-regression model over fixed-dimension feature vectors.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Fitted coefficients, feature order; last entry is the intercept when
+    /// `with_intercept` is set. Empty until trained.
+    coef: Vec<f64>,
+    with_intercept: bool,
+}
+
+impl LinearRegression {
+    /// New untrained model; `with_intercept` appends a constant column.
+    pub fn new(with_intercept: bool) -> Self {
+        Self {
+            coef: Vec::new(),
+            with_intercept,
+        }
+    }
+
+    /// Fitted coefficients (empty before training).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Whether the model has been fitted.
+    pub fn is_trained(&self) -> bool {
+        !self.coef.is_empty()
+    }
+
+    /// Fit on the sample by the normal equations. With fewer observations
+    /// than parameters (or a singular design) the model keeps its previous
+    /// coefficients — the model-management stance that too little data
+    /// means "keep the current model" (§1).
+    #[allow(clippy::needless_range_loop)]
+    pub fn train(&mut self, sample: &[RegressionPoint]) {
+        let d_features = 2;
+        let d = d_features + usize::from(self.with_intercept);
+        if sample.len() < d {
+            return;
+        }
+        // Accumulate XᵀX (d×d) and Xᵀy (d).
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        let mut row = vec![0.0f64; d];
+        for p in sample {
+            row[0] = p.x[0];
+            row[1] = p.x[1];
+            if self.with_intercept {
+                row[2] = 1.0;
+            }
+            for i in 0..d {
+                for j in i..d {
+                    xtx[i][j] += row[i] * row[j];
+                }
+                xty[i] += row[i] * p.y;
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..d {
+            for j in 0..i {
+                xtx[i][j] = xtx[j][i];
+            }
+        }
+        if let Some(beta) = solve_linear_system(xtx, xty) {
+            self.coef = beta;
+        }
+    }
+
+    /// Predict the response for a feature vector. Returns `None` before the
+    /// first successful fit.
+    pub fn predict(&self, x: &[f64; 2]) -> Option<f64> {
+        if !self.is_trained() {
+            return None;
+        }
+        let mut y = self.coef[0] * x[0] + self.coef[1] * x[1];
+        if self.with_intercept {
+            y += self.coef[2];
+        }
+        Some(y)
+    }
+
+    /// Mean squared prediction error over a batch. An untrained model is
+    /// scored as if predicting 0 for everything.
+    pub fn mse(&self, batch: &[RegressionPoint]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch
+            .iter()
+            .map(|p| {
+                let pred = self.predict(&p.x).unwrap_or(0.0);
+                (pred - p.y).powi(2)
+            })
+            .sum::<f64>()
+            / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_datagen::modes::Mode;
+    use tbs_datagen::regression::RegressionGenerator;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert!(solve_linear_system(a, b).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![3.0, 7.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_paper_coefficients() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let g = RegressionGenerator::paper();
+        let sample = g.sample_batch(Mode::Normal, 5_000, &mut rng);
+        let mut m = LinearRegression::new(true);
+        m.train(&sample);
+        let c = m.coefficients();
+        assert!((c[0] - 4.2).abs() < 0.15, "b1 {}", c[0]);
+        assert!((c[1] + 0.4).abs() < 0.15, "b2 {}", c[1]);
+        assert!(c[2].abs() < 0.1, "intercept {}", c[2]);
+    }
+
+    #[test]
+    fn noiseless_fit_is_exact() {
+        // Deterministic y = 3x1 − 2x2 + 1.
+        let pts: Vec<RegressionPoint> = (0..20)
+            .map(|i| {
+                let x1 = (i % 5) as f64 / 4.0;
+                let x2 = (i / 5) as f64 / 3.0;
+                RegressionPoint {
+                    x: [x1, x2],
+                    y: 3.0 * x1 - 2.0 * x2 + 1.0,
+                }
+            })
+            .collect();
+        let mut m = LinearRegression::new(true);
+        m.train(&pts);
+        let c = m.coefficients();
+        assert!((c[0] - 3.0).abs() < 1e-9);
+        assert!((c[1] + 2.0).abs() < 1e-9);
+        assert!((c[2] - 1.0).abs() < 1e-9);
+        assert!(m.mse(&pts) < 1e-18);
+    }
+
+    #[test]
+    fn mse_near_noise_floor_on_in_mode_data() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let g = RegressionGenerator::paper();
+        let train = g.sample_batch(Mode::Normal, 2_000, &mut rng);
+        let test = g.sample_batch(Mode::Normal, 2_000, &mut rng);
+        let mut m = LinearRegression::new(true);
+        m.train(&train);
+        let mse = m.mse(&test);
+        assert!(mse > 0.8 && mse < 1.3, "mse {mse} should approach σ²=1");
+    }
+
+    #[test]
+    fn cross_mode_mse_is_large() {
+        // A model trained on normal data is badly wrong on abnormal data —
+        // the drift signal of Figure 12.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let g = RegressionGenerator::paper();
+        let train = g.sample_batch(Mode::Normal, 2_000, &mut rng);
+        let test = g.sample_batch(Mode::Abnormal, 2_000, &mut rng);
+        let mut m = LinearRegression::new(true);
+        m.train(&train);
+        assert!(m.mse(&test) > 5.0);
+    }
+
+    #[test]
+    fn too_little_data_keeps_previous_model() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let g = RegressionGenerator::paper();
+        let mut m = LinearRegression::new(true);
+        m.train(&g.sample_batch(Mode::Normal, 100, &mut rng));
+        let before = m.coefficients().to_vec();
+        m.train(&[]); // empty sample: keep the current model (§1)
+        assert_eq!(m.coefficients(), &before[..]);
+    }
+
+    #[test]
+    fn untrained_predicts_none_and_scores_raw() {
+        let m = LinearRegression::new(true);
+        assert!(m.predict(&[0.5, 0.5]).is_none());
+        let batch = [RegressionPoint { x: [0.0, 0.0], y: 2.0 }];
+        assert_eq!(m.mse(&batch), 4.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Accuracy / robustness metrics for online model management (§6.2).
+//!
+//! The paper reports, per sampling scheme:
+//!
+//! * **accuracy** — the average per-batch error (misclassification % or
+//!   MSE) over a run;
+//! * **robustness** — the z% *expected shortfall* of the per-batch error
+//!   series, computed from `t = 20` onward so the unavoidable error spike
+//!   of the very first mode change does not dominate (Table 1 uses 10% ES;
+//!   the small Usenet stream uses 20%).
+
+use tbs_stats::summary::{expected_shortfall, mean};
+
+/// Accuracy + robustness summary of one error series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Mean error over the whole measured series.
+    pub mean_error: f64,
+    /// Mean error from `es_start` onward.
+    pub mean_error_after_start: f64,
+    /// z% expected shortfall of the series from `es_start` onward.
+    pub expected_shortfall: f64,
+}
+
+/// Summarize an error series the way Table 1 does.
+///
+/// `es_start` is the first batch index included in the ES computation
+/// (paper: 20); `es_level` the shortfall level (paper: 0.10 for kNN /
+/// regression, 0.20 for the short naive-Bayes stream).
+pub fn summarize_series(series: &[f64], es_start: usize, es_level: f64) -> SeriesSummary {
+    let tail = if es_start < series.len() {
+        &series[es_start..]
+    } else {
+        &[]
+    };
+    SeriesSummary {
+        mean_error: mean(series),
+        mean_error_after_start: mean(tail),
+        expected_shortfall: if tail.is_empty() {
+            0.0
+        } else {
+            expected_shortfall(tail, es_level)
+        },
+    }
+}
+
+/// Average several runs' summaries (Table 1 averages 30 runs).
+pub fn average_summaries(summaries: &[SeriesSummary]) -> SeriesSummary {
+    let n = summaries.len().max(1) as f64;
+    SeriesSummary {
+        mean_error: summaries.iter().map(|s| s.mean_error).sum::<f64>() / n,
+        mean_error_after_start: summaries
+            .iter()
+            .map(|s| s.mean_error_after_start)
+            .sum::<f64>()
+            / n,
+        expected_shortfall: summaries
+            .iter()
+            .map(|s| s.expected_shortfall)
+            .sum::<f64>()
+            / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_series() {
+        let series = vec![10.0; 50];
+        let s = summarize_series(&series, 20, 0.10);
+        assert_eq!(s.mean_error, 10.0);
+        assert_eq!(s.mean_error_after_start, 10.0);
+        assert_eq!(s.expected_shortfall, 10.0);
+    }
+
+    #[test]
+    fn es_ignores_pre_start_spike() {
+        // Huge spike before t=20 must not contribute to ES.
+        let mut series = vec![10.0; 50];
+        series[5] = 100.0;
+        let s = summarize_series(&series, 20, 0.10);
+        assert_eq!(s.expected_shortfall, 10.0);
+        assert!(s.mean_error > 10.0);
+    }
+
+    #[test]
+    fn es_catches_post_start_spike() {
+        let mut series = vec![10.0; 50];
+        series[30] = 100.0;
+        let s = summarize_series(&series, 20, 0.10);
+        // Worst 10% of 30 values = 3 values: 100, 10, 10.
+        assert!((s.expected_shortfall - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_series_handled() {
+        let series = vec![5.0; 10];
+        let s = summarize_series(&series, 20, 0.10);
+        assert_eq!(s.mean_error, 5.0);
+        assert_eq!(s.expected_shortfall, 0.0);
+        assert_eq!(s.mean_error_after_start, 0.0);
+    }
+
+    #[test]
+    fn averaging_runs() {
+        let a = SeriesSummary {
+            mean_error: 10.0,
+            mean_error_after_start: 8.0,
+            expected_shortfall: 20.0,
+        };
+        let b = SeriesSummary {
+            mean_error: 20.0,
+            mean_error_after_start: 12.0,
+            expected_shortfall: 40.0,
+        };
+        let avg = average_summaries(&[a, b]);
+        assert_eq!(avg.mean_error, 15.0);
+        assert_eq!(avg.mean_error_after_start, 10.0);
+        assert_eq!(avg.expected_shortfall, 30.0);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        let avg = average_summaries(&[]);
+        assert_eq!(avg.mean_error, 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Multinomial naive Bayes over bags of words (§6.4).
+//!
+//! The paper follows Katakis et al. and classifies messages as
+//! interesting / not-interesting with "Naive Bayes with a bag of words
+//! model". Implemented from scratch: multinomial likelihood with Laplace
+//! (add-one) smoothing, log-space scoring.
+
+use tbs_datagen::text::Message;
+
+/// Binary multinomial naive-Bayes text classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    vocab_size: usize,
+    /// Per-class document counts \[not-interesting, interesting\].
+    doc_counts: [u64; 2],
+    /// Per-class total token counts.
+    token_totals: [u64; 2],
+    /// Per-class per-word token counts, `word_counts[class][word]`.
+    word_counts: [Vec<u64>; 2],
+    trained: bool,
+}
+
+impl NaiveBayes {
+    /// New untrained classifier over a vocabulary of `vocab_size` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` is zero.
+    pub fn new(vocab_size: usize) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        Self {
+            vocab_size,
+            doc_counts: [0; 2],
+            token_totals: [0; 2],
+            word_counts: [vec![0; vocab_size], vec![0; vocab_size]],
+            trained: false,
+        }
+    }
+
+    /// Retrain from scratch on the given sample of messages.
+    pub fn train(&mut self, sample: &[Message]) {
+        self.doc_counts = [0; 2];
+        self.token_totals = [0; 2];
+        for counts in &mut self.word_counts {
+            counts.iter_mut().for_each(|c| *c = 0);
+        }
+        for msg in sample {
+            let class = usize::from(msg.interesting);
+            self.doc_counts[class] += 1;
+            for &tok in &msg.tokens {
+                let tok = tok as usize;
+                assert!(tok < self.vocab_size, "token {tok} outside vocabulary");
+                self.word_counts[class][tok] += 1;
+                self.token_totals[class] += 1;
+            }
+        }
+        self.trained = !sample.is_empty();
+    }
+
+    /// Whether the classifier has seen any training data.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Log posterior score (up to the shared evidence constant) of `class`
+    /// for a token sequence, with add-one smoothing.
+    fn log_score(&self, tokens: &[u32], class: usize) -> f64 {
+        let total_docs = (self.doc_counts[0] + self.doc_counts[1]) as f64;
+        // Laplace-smoothed class prior (classes never get −∞).
+        let prior = (self.doc_counts[class] as f64 + 1.0) / (total_docs + 2.0);
+        let denom = self.token_totals[class] as f64 + self.vocab_size as f64;
+        let mut score = prior.ln();
+        for &tok in tokens {
+            let count = self.word_counts[class][tok as usize] as f64;
+            score += ((count + 1.0) / denom).ln();
+        }
+        score
+    }
+
+    /// Predict whether a message is interesting. Returns `None` if
+    /// untrained.
+    pub fn predict(&self, tokens: &[u32]) -> Option<bool> {
+        if !self.trained {
+            return None;
+        }
+        Some(self.log_score(tokens, 1) > self.log_score(tokens, 0))
+    }
+
+    /// Percentage of messages in `batch` whose predicted interest label is
+    /// wrong; untrained models misclassify everything.
+    pub fn misclassification_pct(&self, batch: &[Message]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let wrong = batch
+            .iter()
+            .filter(|m| self.predict(&m.tokens) != Some(m.interesting))
+            .count();
+        100.0 * wrong as f64 / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_datagen::text::UsenetGenerator;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    fn msg(tokens: Vec<u32>, interesting: bool) -> Message {
+        Message {
+            tokens,
+            topic: 0,
+            interesting,
+        }
+    }
+
+    #[test]
+    fn learns_a_separable_vocabulary() {
+        let mut nb = NaiveBayes::new(4);
+        // Words 0,1 ↔ interesting; words 2,3 ↔ boring.
+        let sample = vec![
+            msg(vec![0, 1, 0], true),
+            msg(vec![1, 0, 1], true),
+            msg(vec![2, 3, 2], false),
+            msg(vec![3, 2, 3], false),
+        ];
+        nb.train(&sample);
+        assert_eq!(nb.predict(&[0, 1]), Some(true));
+        assert_eq!(nb.predict(&[2, 3]), Some(false));
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let nb = NaiveBayes::new(10);
+        assert_eq!(nb.predict(&[1, 2]), None);
+        assert_eq!(nb.misclassification_pct(&[msg(vec![1], true)]), 100.0);
+    }
+
+    #[test]
+    fn empty_training_set_stays_untrained() {
+        let mut nb = NaiveBayes::new(10);
+        nb.train(&[]);
+        assert!(!nb.is_trained());
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_words() {
+        let mut nb = NaiveBayes::new(100);
+        nb.train(&[msg(vec![0], true), msg(vec![1], false)]);
+        // Word 99 was never seen in training: must not panic or dominate.
+        assert!(nb.predict(&[99]).is_some());
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let mut nb = NaiveBayes::new(10);
+        nb.train(&[msg(vec![0, 1], true), msg(vec![2, 3], true)]);
+        assert_eq!(nb.predict(&[5]), Some(true));
+    }
+
+    #[test]
+    fn retraining_forgets_previous_counts() {
+        let mut nb = NaiveBayes::new(4);
+        nb.train(&[msg(vec![0, 0, 0], true), msg(vec![1], false)]);
+        assert_eq!(nb.predict(&[0]), Some(true));
+        // Flip the association.
+        nb.train(&[msg(vec![0, 0, 0], false), msg(vec![1], true)]);
+        assert_eq!(nb.predict(&[0]), Some(false));
+    }
+
+    #[test]
+    fn learns_current_usenet_phase() {
+        // Train on phase-0 messages: topic 0 is interesting. The classifier
+        // should beat chance comfortably on held-out phase-0 data.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let g = UsenetGenerator::paper();
+        let train: Vec<Message> = (0..250).map(|i| g.message(i, &mut rng)).collect();
+        // Held-out messages still within phase 0 (indices < 300).
+        let test: Vec<Message> = (250..300).map(|i| g.message(i, &mut rng)).collect();
+        let mut nb = NaiveBayes::new(g.vocab_size() as usize);
+        nb.train(&train);
+        let err = nb.misclassification_pct(&test);
+        assert!(err < 25.0, "in-phase error {err}%");
+    }
+
+    #[test]
+    fn stale_model_fails_after_phase_flip() {
+        // A model trained on phase 0 mislabels phase-1 data badly: it calls
+        // topic 0 interesting when topic 1 now is.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let g = UsenetGenerator::paper();
+        let train: Vec<Message> = (0..250).map(|i| g.message(i, &mut rng)).collect();
+        let test: Vec<Message> = (0..200).map(|i| g.message(350 + i, &mut rng)).collect();
+        let mut nb = NaiveBayes::new(g.vocab_size() as usize);
+        nb.train(&train);
+        let err = nb.misclassification_pct(&test);
+        assert!(err > 40.0, "stale-model error {err}% unexpectedly low");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary")]
+    fn rejects_empty_vocab() {
+        NaiveBayes::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn rejects_out_of_vocab_token() {
+        let mut nb = NaiveBayes::new(2);
+        nb.train(&[msg(vec![5], true)]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Chi-square goodness-of-fit helpers for the statistical test-suites.
+//!
+//! These are *test utilities*, not a general statistics package: enough to
+//! assert that empirical sampler output matches an exact pmf at a chosen
+//! significance level, with automatic pooling of low-expectation cells.
+
+/// Pool adjacent cells until every pooled cell has expected count at least
+/// `min_expected`, then return `(statistic, degrees_of_freedom)`.
+///
+/// `observed` are raw counts; `expected` are expected counts on the same
+/// support (must have equal lengths). Cells with zero expectation merge into
+/// their neighbours. Returns `None` if fewer than two pooled cells remain
+/// (no test possible).
+pub fn chi2_pooled(observed: &[u64], expected: &[f64], min_expected: f64) -> Option<(f64, usize)> {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o as f64;
+        acc_e += e;
+        if acc_e >= min_expected {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    // Fold any trailing low-mass remainder into the last cell.
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    if pooled.len() < 2 {
+        return None;
+    }
+    let stat: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            if e > 0.0 {
+                (o - e) * (o - e) / e
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    Some((stat, pooled.len() - 1))
+}
+
+/// Approximate upper critical value of the chi-square distribution with `df`
+/// degrees of freedom at tail probability `alpha`, via the Wilson–Hilferty
+/// cube transformation. Accurate to a few percent for `df ≥ 3`, which is
+/// ample for pass/fail testing at `alpha ≤ 1e-3`.
+pub fn chi2_critical(df: usize, alpha: f64) -> f64 {
+    let z = standard_normal_quantile(1.0 - alpha);
+    let d = df as f64;
+    let term = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * term * term * term
+}
+
+/// Standard normal quantile (inverse cdf) via the Acklam rational
+/// approximation; absolute error below 1.2e-9 on (0, 1).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -standard_normal_quantile(1.0 - p)
+    }
+}
+
+/// Convenience: does the chi-square statistic of `observed` against
+/// `expected` exceed the critical value at significance `alpha`?
+///
+/// Returns `false` (i.e. "consistent with the hypothesis") when no test is
+/// possible after pooling.
+pub fn chi2_statistic_exceeds(
+    observed: &[u64],
+    expected: &[f64],
+    min_expected: f64,
+    alpha: f64,
+) -> bool {
+    match chi2_pooled(observed, expected, min_expected) {
+        Some((stat, df)) => stat > chi2_critical(df, alpha),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        // Φ⁻¹(0.975) ≈ 1.959964, Φ⁻¹(0.5) = 0, Φ⁻¹(0.999) ≈ 3.090232.
+        assert!((standard_normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!(standard_normal_quantile(0.5).abs() < 1e-8);
+        assert!((standard_normal_quantile(0.999) - 3.090_232).abs() < 1e-4);
+        // Symmetry.
+        assert!(
+            (standard_normal_quantile(0.025) + standard_normal_quantile(0.975)).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn chi2_critical_reference_values() {
+        // Textbook values: χ²(10, 0.05) ≈ 18.31, χ²(5, 0.01) ≈ 15.09.
+        assert!((chi2_critical(10, 0.05) - 18.31).abs() < 0.3);
+        assert!((chi2_critical(5, 0.01) - 15.09).abs() < 0.4);
+    }
+
+    #[test]
+    fn pooling_respects_min_expected() {
+        let observed = [1u64, 2, 3, 100, 4, 3];
+        let expected = [1.0, 2.0, 3.0, 100.0, 4.0, 3.0];
+        let (_, df) = chi2_pooled(&observed, &expected, 5.0).unwrap();
+        // Cells (1,2,3) pool together (6 ≥ 5), then 100, then (4,3) → 3 cells.
+        assert_eq!(df, 2);
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_statistic() {
+        let observed = [10u64, 20, 30, 40];
+        let expected = [10.0, 20.0, 30.0, 40.0];
+        let (stat, _) = chi2_pooled(&observed, &expected, 5.0).unwrap();
+        assert!(stat < 1e-12);
+    }
+
+    #[test]
+    fn gross_mismatch_is_detected() {
+        let observed = [1000u64, 0, 0, 0];
+        let expected = [250.0, 250.0, 250.0, 250.0];
+        assert!(chi2_statistic_exceeds(&observed, &expected, 5.0, 1e-4));
+    }
+
+    #[test]
+    fn single_cell_returns_none() {
+        let observed = [3u64];
+        let expected = [3.0];
+        assert!(chi2_pooled(&observed, &expected, 5.0).is_none());
+    }
+
+    #[test]
+    fn trailing_remainder_folds_into_last_cell() {
+        let observed = [10u64, 10, 1];
+        let expected = [10.0, 10.0, 1.0];
+        let (stat, df) = chi2_pooled(&observed, &expected, 5.0).unwrap();
+        assert_eq!(df, 1);
+        assert!(stat < 1e-12);
+    }
+}

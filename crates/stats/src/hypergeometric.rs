@@ -1,0 +1,205 @@
+//! Exact hypergeometric random variates.
+//!
+//! `HyperGeo(k, a, b)` — the number of "successes" when drawing `k` items
+//! without replacement from a population of `a` successes and `b` failures —
+//! drives batched reservoir sampling (Algorithm 5 of the paper) and the
+//! per-worker split of deletes/inserts in the distributed algorithms (§5.3).
+//! The paper cites Kachitvichyanukul & Schmeiser (1985) \[21\] for efficient
+//! generation; we implement a mode-centred two-sided inversion walk, which is
+//! exact, numerically robust (the pmf is evaluated in log space at the mode
+//! only), and O(σ) expected time — entirely adequate for the population
+//! sizes the samplers see.
+
+use crate::special::ln_choose;
+use rand::Rng;
+
+/// Draw from the hypergeometric distribution with pmf
+/// `P(X = x) = C(a, x) · C(b, k − x) / C(a + b, k)` on the support
+/// `max(0, k − b) ≤ x ≤ min(a, k)`.
+///
+/// Mirrors the paper's `HyperGeo(k, a, b)`: draw `k` items from `a`
+/// successes and `b` failures; return the number of successes drawn.
+///
+/// # Panics
+///
+/// Panics if `k > a + b` (cannot draw more items than the population holds).
+pub fn hypergeometric<R: Rng + ?Sized>(rng: &mut R, k: u64, a: u64, b: u64) -> u64 {
+    assert!(
+        k <= a + b,
+        "hypergeometric draw count k={k} exceeds population a+b={}",
+        a + b
+    );
+    let lo = k.saturating_sub(b);
+    let hi = a.min(k);
+    if lo == hi {
+        return lo; // Degenerate support.
+    }
+
+    // Mode of the distribution.
+    let mode = (((k + 1) as f64 * (a + 1) as f64) / ((a + b + 2) as f64)) as u64;
+    let mode = mode.clamp(lo, hi);
+
+    // Log-pmf at the mode, computed exactly in log space.
+    let ln_denom = ln_choose(a + b, k);
+    let ln_pmf_mode = ln_choose(a, mode) + ln_choose(b, k - mode) - ln_denom;
+    let pmf_mode = ln_pmf_mode.exp();
+
+    // Two-sided inversion: spend the uniform deviate outward from the mode.
+    // Ratios:
+    //   p(x+1)/p(x) = (a−x)(k−x) / ((x+1)(b−k+x+1))
+    //   p(x−1)/p(x) = x(b−k+x) / ((a−x+1)(k−x+1))
+    loop {
+        let mut u: f64 = rng.gen::<f64>();
+
+        u -= pmf_mode;
+        if u < 0.0 {
+            return mode;
+        }
+
+        let mut x_up = mode;
+        let mut p_up = pmf_mode;
+        let mut x_dn = mode;
+        let mut p_dn = pmf_mode;
+        let mut up_alive = x_up < hi;
+        let mut dn_alive = x_dn > lo;
+
+        while up_alive || dn_alive {
+            // Expand in the direction whose next pmf value is larger, so the
+            // deviate is consumed as fast as possible.
+            let next_up = if up_alive {
+                let x = x_up as f64;
+                p_up * ((a as f64 - x) * (k as f64 - x))
+                    / ((x + 1.0) * (b as f64 - k as f64 + x + 1.0))
+            } else {
+                -1.0
+            };
+            let next_dn = if dn_alive {
+                let x = x_dn as f64;
+                p_dn * (x * (b as f64 - k as f64 + x))
+                    / ((a as f64 - x + 1.0) * (k as f64 - x + 1.0))
+            } else {
+                -1.0
+            };
+
+            if next_up >= next_dn {
+                x_up += 1;
+                p_up = next_up;
+                u -= p_up;
+                if u < 0.0 {
+                    return x_up;
+                }
+                up_alive = x_up < hi;
+            } else {
+                x_dn -= 1;
+                p_dn = next_dn;
+                u -= p_dn;
+                if u < 0.0 {
+                    return x_dn;
+                }
+                dn_alive = x_dn > lo;
+            }
+        }
+        // Numerical leakage (u did not reach 0 after exhausting the support,
+        // probability ~1e-15): redraw.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi2::chi2_statistic_exceeds;
+    use crate::rng::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    fn exact_pmf(k: u64, a: u64, b: u64, x: u64) -> f64 {
+        (ln_choose(a, x) + ln_choose(b, k - x) - ln_choose(a + b, k)).exp()
+    }
+
+    fn empirical_check(k: u64, a: u64, b: u64, draws: usize, seed: u64) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let hi = a.min(k);
+        let mut counts = vec![0u64; hi as usize + 1];
+        for _ in 0..draws {
+            let x = hypergeometric(&mut rng, k, a, b);
+            assert!(x <= hi);
+            assert!(x >= k.saturating_sub(b));
+            counts[x as usize] += 1;
+        }
+        let expected: Vec<f64> = (0..=hi)
+            .map(|x| exact_pmf(k, a, b, x) * draws as f64)
+            .collect();
+        assert!(
+            !chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4),
+            "hypergeometric({k},{a},{b}) fails chi-square"
+        );
+    }
+
+    #[test]
+    fn degenerate_supports() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        // Draw everything → all successes drawn.
+        assert_eq!(hypergeometric(&mut rng, 10, 4, 6), 4);
+        // No failures → every draw is a success.
+        assert_eq!(hypergeometric(&mut rng, 3, 5, 0), 3);
+        // No successes.
+        assert_eq!(hypergeometric(&mut rng, 3, 0, 5), 0);
+        // Draw nothing.
+        assert_eq!(hypergeometric(&mut rng, 0, 5, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population")]
+    fn rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        hypergeometric(&mut rng, 11, 4, 6);
+    }
+
+    #[test]
+    fn small_population_distribution() {
+        empirical_check(5, 6, 4, 200_000, 2);
+    }
+
+    #[test]
+    fn asymmetric_population_distribution() {
+        empirical_check(20, 7, 300, 200_000, 3);
+    }
+
+    #[test]
+    fn large_draw_distribution() {
+        empirical_check(150, 100, 100, 100_000, 4);
+    }
+
+    #[test]
+    fn mean_matches_theory_large_population() {
+        // E[X] = k·a/(a+b).
+        let (k, a, b) = (5_000u64, 30_000u64, 70_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let draws = 5_000;
+        let mean: f64 =
+            (0..draws).map(|_| hypergeometric(&mut rng, k, a, b) as f64).sum::<f64>()
+                / draws as f64;
+        let true_mean = k as f64 * a as f64 / (a + b) as f64;
+        // Var = k (a/(a+b)) (b/(a+b)) (a+b-k)/(a+b-1) ≈ 997.5 here.
+        let sd = (k as f64 * 0.3 * 0.7 * ((a + b - k) as f64 / (a + b - 1) as f64)).sqrt();
+        assert!(
+            (mean - true_mean).abs() < 4.0 * sd / (draws as f64).sqrt(),
+            "mean {mean} vs {true_mean}"
+        );
+    }
+
+    #[test]
+    fn symmetry_in_successes_and_failures() {
+        // X ~ HyperGeo(k,a,b) implies k−X ~ HyperGeo(k,b,a); compare means.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let draws = 50_000;
+        let m1: f64 = (0..draws)
+            .map(|_| hypergeometric(&mut rng, 10, 15, 25) as f64)
+            .sum::<f64>()
+            / draws as f64;
+        let m2: f64 = (0..draws)
+            .map(|_| 10.0 - hypergeometric(&mut rng, 10, 25, 15) as f64)
+            .sum::<f64>()
+            / draws as f64;
+        assert!((m1 - m2).abs() < 0.05, "{m1} vs {m2}");
+    }
+}

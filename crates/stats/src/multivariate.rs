@@ -1,0 +1,123 @@
+//! Multivariate hypergeometric random vectors.
+//!
+//! The distributed-decision strategy of §5.3 has the master "choose only the
+//! number of deletes and inserts per worker according to appropriate
+//! multivariate hypergeometric distributions": drawing `k` items uniformly
+//! without replacement from a population partitioned into categories
+//! (= worker partitions) induces a multivariate hypergeometric split of the
+//! count `k` across categories. We generate the vector by conditional
+//! univariate draws, which is exact.
+
+use crate::hypergeometric::hypergeometric;
+use rand::Rng;
+
+/// Split a draw of `k` items across categories with sizes `category_sizes`,
+/// as if the `k` items were drawn uniformly without replacement from the
+/// pooled population. Returns one count per category, summing to `k`.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the total population size.
+pub fn multivariate_hypergeometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    category_sizes: &[u64],
+    k: u64,
+) -> Vec<u64> {
+    let total: u64 = category_sizes.iter().sum();
+    assert!(
+        k <= total,
+        "cannot draw {k} items from a population of {total}"
+    );
+    let mut remaining_draws = k;
+    let mut remaining_population = total;
+    let mut out = Vec::with_capacity(category_sizes.len());
+    for &size in category_sizes {
+        if remaining_draws == 0 {
+            out.push(0);
+            continue;
+        }
+        remaining_population -= size;
+        // X_i | draws so far ~ HyperGeo(remaining_draws, size, rest).
+        let x = hypergeometric(rng, remaining_draws, size, remaining_population);
+        out.push(x);
+        remaining_draws -= x;
+    }
+    debug_assert_eq!(remaining_draws, 0, "draws not fully allocated");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_sum_to_k() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let sizes = [10u64, 0, 25, 7, 100];
+        for k in [0u64, 1, 17, 142] {
+            let v = multivariate_hypergeometric(&mut rng, &sizes, k);
+            assert_eq!(v.iter().sum::<u64>(), k);
+            for (x, s) in v.iter().zip(&sizes) {
+                assert!(x <= s, "category overdrawn: {x} > {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_category_gets_zero() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let sizes = [5u64, 0, 5];
+        for _ in 0..100 {
+            let v = multivariate_hypergeometric(&mut rng, &sizes, 6);
+            assert_eq!(v[1], 0);
+        }
+    }
+
+    #[test]
+    fn draw_entire_population() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let sizes = [3u64, 9, 1];
+        let v = multivariate_hypergeometric(&mut rng, &sizes, 13);
+        assert_eq!(v, vec![3, 9, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        multivariate_hypergeometric(&mut rng, &[2, 2], 5);
+    }
+
+    #[test]
+    fn marginal_means_are_proportional() {
+        // E[X_i] = k · n_i / N.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let sizes = [100u64, 300, 600];
+        let k = 200u64;
+        let trials = 20_000;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let v = multivariate_hypergeometric(&mut rng, &sizes, k);
+            for (s, x) in sums.iter_mut().zip(&v) {
+                *s += x;
+            }
+        }
+        for (i, &size) in sizes.iter().enumerate() {
+            let mean = sums[i] as f64 / trials as f64;
+            let expect = k as f64 * size as f64 / 1000.0;
+            assert!(
+                (mean - expect).abs() < 0.03 * expect.max(5.0),
+                "category {i}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_category_takes_everything() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let v = multivariate_hypergeometric(&mut rng, &[42], 17);
+        assert_eq!(v, vec![17]);
+    }
+}

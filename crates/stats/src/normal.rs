@@ -1,0 +1,92 @@
+//! Gaussian random variates via the Marsaglia polar method.
+//!
+//! The evaluation workloads (§6.2–6.3) draw feature noise from `N(μ, σ)`;
+//! `rand_distr` is not on the approved dependency list, so the generator
+//! lives here. The polar method is exact and needs no tables.
+
+use rand::Rng;
+
+/// Draw a standard normal `N(0, 1)` variate.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Marsaglia polar: draw (u, v) uniform in the unit disk, transform.
+    // The second variate of the pair is discarded for statelessness; the
+    // samplers here are nowhere near hot enough for caching to matter.
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw from `N(mean, sd)`.
+///
+/// # Panics
+///
+/// Panics if `sd` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(
+        sd.is_finite() && sd >= 0.0,
+        "standard deviation must be finite and non-negative, got {sd}"
+    );
+    mean + sd * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+    use crate::summary::OnlineMoments;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut acc = OnlineMoments::new();
+        for _ in 0..200_000 {
+            acc.push(standard_normal(&mut rng));
+        }
+        assert!(acc.mean().abs() < 0.01, "mean {}", acc.mean());
+        assert!((acc.variance() - 1.0).abs() < 0.02, "var {}", acc.variance());
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        // P(|Z| > 1.96) ≈ 0.05.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 200_000;
+        let tails = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 1.96)
+            .count();
+        let p = tails as f64 / n as f64;
+        assert!((p - 0.05).abs() < 0.005, "tail mass {p}");
+    }
+
+    #[test]
+    fn location_and_scale() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut acc = OnlineMoments::new();
+        for _ in 0..100_000 {
+            acc.push(normal(&mut rng, 7.0, 3.0));
+        }
+        assert!((acc.mean() - 7.0).abs() < 0.05);
+        assert!((acc.std_dev() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn rejects_negative_sd() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        normal(&mut rng, 0.0, -1.0);
+    }
+}

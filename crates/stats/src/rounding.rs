@@ -1,0 +1,118 @@
+//! Mean-preserving stochastic rounding.
+//!
+//! R-TBS (Algorithm 2, line 16) accepts a random number of batch items
+//! `M = StochRound(m)` with `M = ⌊m⌋` w.p. `⌈m⌉ − m` and `M = ⌈m⌉`
+//! w.p. `m − ⌊m⌋`, so that `E[M] = m` exactly. Theorem 4.4 shows this
+//! two-point distribution *minimizes variance* among all integer-valued
+//! distributions with mean `m` — the reason R-TBS has optimally stable
+//! sample sizes.
+
+use rand::Rng;
+
+/// Round `x ≥ 0` to an integer with expectation exactly `x`.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or non-finite.
+pub fn stochastic_round<R: Rng + ?Sized>(rng: &mut R, x: f64) -> u64 {
+    assert!(
+        x.is_finite() && x >= 0.0,
+        "stochastic_round requires finite x >= 0, got {x}"
+    );
+    let floor = x.floor();
+    let frac = x - floor;
+    let base = floor as u64;
+    if frac > 0.0 && rng.gen::<f64>() < frac {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Independent-coin-flip alternative used by the ablation benchmarks: accept
+/// each of `count` candidates with probability `p` (a `Binomial(count, p)`
+/// draw). Same mean `count·p` as stochastic rounding of `count·p`, strictly
+/// larger variance (Theorem 4.4's foil).
+pub fn bernoulli_total<R: Rng + ?Sized>(rng: &mut R, count: u64, p: f64) -> u64 {
+    crate::binomial::binomial(rng, count, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn integer_inputs_pass_through() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for x in [0.0, 1.0, 7.0, 1000.0] {
+            for _ in 0..50 {
+                assert_eq!(stochastic_round(&mut rng, x), x as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_floor_or_ceil() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let r = stochastic_round(&mut rng, 3.6);
+            assert!(r == 3 || r == 4);
+        }
+    }
+
+    #[test]
+    fn mean_is_preserved() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let x = 3.6;
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| stochastic_round(&mut rng, x)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - x).abs() < 0.01, "mean {mean} vs {x}");
+    }
+
+    #[test]
+    fn variance_is_minimal_two_point() {
+        // Var[StochRound(x)] = frac(x)(1-frac(x)); compare empirically.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let x = 5.25;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| stochastic_round(&mut rng, x) as f64).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let expect = 0.25 * 0.75;
+        assert!((var - expect).abs() < 0.01, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn stochastic_rounding_beats_bernoulli_variance() {
+        // Theorem 4.4's claim, empirically: for the same mean m = count·p,
+        // stochastic rounding has (weakly) smaller variance than binomial.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let (count, p) = (40u64, 0.21);
+        let m = count as f64 * p;
+        let n = 100_000;
+        let var_of = |samples: &[f64]| {
+            let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64
+        };
+        let sr: Vec<f64> = (0..n).map(|_| stochastic_round(&mut rng, m) as f64).collect();
+        let bt: Vec<f64> = (0..n)
+            .map(|_| bernoulli_total(&mut rng, count, p) as f64)
+            .collect();
+        assert!(
+            var_of(&sr) < var_of(&bt),
+            "stochastic rounding variance {} not below binomial {}",
+            var_of(&sr),
+            var_of(&bt)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finite x >= 0")]
+    fn rejects_negative() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        stochastic_round(&mut rng, -0.5);
+    }
+}

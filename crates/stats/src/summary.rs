@@ -1,0 +1,236 @@
+//! Summary statistics and the expected-shortfall risk measure.
+//!
+//! §6.2 of the paper evaluates model-management *robustness* with the z%
+//! expected shortfall (ES) of the per-batch error series: "the z% ES is the
+//! average value of the worst z% of cases" (McNeil, Frey & Embrechts,
+//! *Quantitative Risk Management*). For error series, *worst* means
+//! *largest*, so [`expected_shortfall`] averages the top z% of values.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// Fresh accumulator with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (0 if empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Expected shortfall at level `z ∈ (0, 1]`: the mean of the worst
+/// (= largest) `⌈z·n⌉` values of `values`.
+///
+/// Matches the paper's usage, e.g. "10% ES of the misclassification rate".
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `z` is outside `(0, 1]`.
+pub fn expected_shortfall(values: &[f64], z: f64) -> f64 {
+    assert!(z > 0.0 && z <= 1.0, "ES level must be in (0,1], got {z}");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    // Descending: worst (largest) first. Errors are finite by construction;
+    // order NaN last defensively.
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let k = ((z * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    sorted[..k].iter().sum::<f64>() / k as f64
+}
+
+/// Empirical quantile with linear interpolation (type-7, the common default).
+///
+/// `q ∈ [0, 1]`; returns NaN for an empty slice.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level in [0,1], got {q}");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = OnlineMoments::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut acc = OnlineMoments::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.mean(), 3.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineMoments::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineMoments::new();
+        let mut right = OnlineMoments::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineMoments::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn es_full_level_is_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((expected_shortfall(&v, 1.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn es_picks_worst_cases() {
+        let v = [10.0, 50.0, 20.0, 40.0, 30.0, 15.0, 25.0, 35.0, 45.0, 5.0];
+        // 10% of 10 values → worst single value.
+        assert!((expected_shortfall(&v, 0.10) - 50.0).abs() < 1e-12);
+        // 20% → mean of two worst.
+        assert!((expected_shortfall(&v, 0.20) - 47.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn es_rounds_count_up() {
+        let v = [1.0, 2.0, 3.0];
+        // 10% of 3 → ceil(0.3) = 1 value.
+        assert!((expected_shortfall(&v, 0.10) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn es_empty_is_zero() {
+        assert_eq!(expected_shortfall(&[], 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ES level")]
+    fn es_rejects_zero_level() {
+        expected_shortfall(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+    }
+}

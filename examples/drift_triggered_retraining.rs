@@ -1,0 +1,71 @@
+//! Drift-triggered retraining (the §7 Velox-style integration).
+//!
+//! ```sh
+//! cargo run --release --example drift_triggered_retraining
+//! ```
+//!
+//! Retraining every batch is wasteful when nothing changes. Here a kNN
+//! model over an R-TBS sample is refit only when a drift detector flags a
+//! jump in the per-batch error (with a periodic fallback) — and still
+//! recovers from a mode flip almost as fast as the refit-every-batch
+//! protocol, at a fraction of the retraining cost.
+
+use rand::SeedableRng;
+use temporal_sampling::core::traits::BatchSampler;
+use temporal_sampling::datagen::gmm::GmmGenerator;
+use temporal_sampling::datagen::modes::{Mode, ModeSchedule};
+use temporal_sampling::ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};
+use temporal_sampling::ml::KnnClassifier;
+use temporal_sampling::prelude::*;
+
+fn main() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+    let gmm = GmmGenerator::paper(&mut rng);
+    let schedule = ModeSchedule::periodic(15, 10);
+
+    let policies: Vec<(&str, RetrainPolicy)> = vec![
+        ("every-batch", RetrainPolicy::EveryBatch),
+        ("periodic(5)", RetrainPolicy::Periodic(5)),
+        ("on-drift", RetrainPolicy::OnDrift { fallback: 25 }),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "policy", "mean err%", "worst err%", "retrains"
+    );
+    for (name, policy) in policies {
+        let mut sampler: RTbs<_> = RTbs::new(0.07, 1000);
+        let mut model = KnnClassifier::new(7);
+        let mut scheduler =
+            RetrainScheduler::new(policy, DriftDetector::default_for_percent_errors());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+
+        // Warm up: 100 normal batches, train once at the end.
+        for _ in 0..100 {
+            sampler.observe(gmm.sample_batch(Mode::Normal, 100, &mut rng), &mut rng);
+        }
+        model.train(&sampler.sample(&mut rng));
+
+        let mut errors = Vec::new();
+        for t in 0..60u64 {
+            let mode = schedule.mode_at(t);
+            let batch = gmm.sample_batch(mode, 100, &mut rng);
+            let err = model.misclassification_pct(&batch);
+            errors.push(err);
+            sampler.observe(batch, &mut rng);
+            if scheduler.should_retrain(err) {
+                model.train(&sampler.sample(&mut rng));
+            }
+        }
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let worst = errors.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<12} {mean:>10.1} {worst:>10.1} {:>10}",
+            scheduler.retrain_count()
+        );
+    }
+    println!(
+        "\non-drift reacts to the mode flips while skipping most refits — the \
+         time-biased sample keeps enough of both regimes that each refit lands well."
+    );
+}

@@ -1,0 +1,78 @@
+//! IoT sensor-drift scenario (§1's motivating setting).
+//!
+//! ```sh
+//! cargo run --release --example iot_sensor_drift
+//! ```
+//!
+//! A fleet of sensors emits readings whose class distribution is disrupted
+//! by a singular event (say, a plant-wide maintenance window) and then
+//! reverts. A kNN fault classifier is retrained every batch on the
+//! maintained sample. Sliding windows adapt fast but *forget* the normal
+//! regime — when it returns, their error spikes; the uniform reservoir
+//! never adapts; R-TBS does both.
+
+use rand::SeedableRng;
+use temporal_sampling::datagen::gmm::GmmGenerator;
+use temporal_sampling::datagen::modes::ModeSchedule;
+use temporal_sampling::datagen::stream::StreamPlan;
+use temporal_sampling::datagen::BatchSizeProcess;
+use temporal_sampling::ml::pipeline::{run_stream, Contender};
+use temporal_sampling::ml::KnnClassifier;
+use temporal_sampling::prelude::*;
+
+fn main() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2024);
+    let sensors = GmmGenerator::paper(&mut rng);
+
+    let plan = StreamPlan {
+        warmup_batches: 100,
+        measured_batches: 30,
+        batch_sizes: BatchSizeProcess::Deterministic(100),
+        schedule: ModeSchedule::single_event(), // abnormal on [10, 20)
+    };
+
+    let n = 1000;
+    let mut contenders: Vec<Contender<_>> = vec![
+        Contender::new(
+            "R-TBS",
+            Box::new(RTbs::new(0.07, n)),
+            Box::new(KnnClassifier::new(7)),
+        ),
+        Contender::new(
+            "SW",
+            Box::new(CountWindow::new(n)),
+            Box::new(KnnClassifier::new(7)),
+        ),
+        Contender::new(
+            "Unif",
+            Box::new(BatchedReservoir::new(n)),
+            Box::new(KnnClassifier::new(7)),
+        ),
+    ];
+
+    let outputs = run_stream(
+        &plan,
+        |mode, size, rng| sensors.sample_batch(mode, size, rng),
+        &mut contenders,
+        &mut rng,
+    );
+
+    println!("misclassification % per batch (event on t in [10,20)):");
+    println!("{:>4} {:>8} {:>8} {:>8}", "t", "R-TBS", "SW", "Unif");
+    for t in 0..outputs[0].errors.len() {
+        let marker = if (10..20).contains(&t) { "*" } else { " " };
+        println!(
+            "{t:>3}{marker} {:>8.1} {:>8.1} {:>8.1}",
+            outputs[0].errors[t], outputs[1].errors[t], outputs[2].errors[t]
+        );
+    }
+    for o in &outputs {
+        let recovery_spike = o.errors[20..].iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:>6}: worst error after the event ends = {recovery_spike:.1}%",
+            o.name
+        );
+    }
+    println!("note the SW spike at t=20 when the normal regime returns — the \
+              all-or-nothing forgetting the paper warns about.");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: maintain a temporally-biased sample over a stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Shows the core workflow: pick a decay rate from an application-level
+//! retention criterion, feed timestamped batches to R-TBS, and read back a
+//! bounded sample whose item ages follow the exponential inclusion law.
+
+use rand::SeedableRng;
+use temporal_sampling::core::theory;
+use temporal_sampling::core::traits::BatchSampler;
+use temporal_sampling::prelude::*;
+
+fn main() {
+    // 1. Choose λ so that ~10% of items from 40 batches ago are still
+    //    reflected in the sample (the paper's §1 recipe).
+    let lambda = theory::lambda_for_retention(40.0, 0.10);
+    println!("decay rate lambda = {lambda:.4} (10% retention at age 40)");
+
+    // 2. Build the sampler: hard sample-size bound n = 500.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+    let mut sampler: RTbs<(u64, u64)> = RTbs::new(lambda, 500);
+
+    // 3. Stream 200 batches of (timestamp, payload) items with a bursty
+    //    arrival pattern — R-TBS needs no knowledge of the rate.
+    for t in 0..200u64 {
+        let batch_size = match t % 10 {
+            0 => 0,              // stalls…
+            5 => 400,            // …and bursts
+            _ => 60,
+        };
+        let batch: Vec<(u64, u64)> = (0..batch_size).map(|i| (t, i)).collect();
+        sampler.observe(batch, &mut rng);
+    }
+
+    // 4. Inspect the sample: bounded size, recency-biased ages.
+    let sample = sampler.sample(&mut rng);
+    println!(
+        "sample size = {} (bound 500), total stream weight W = {:.1}",
+        sample.len(),
+        sampler.total_weight()
+    );
+    let mut age_histogram = [0usize; 5];
+    for (t, _) in &sample {
+        let age = 199 - t;
+        let bucket = (age / 10).min(4) as usize;
+        age_histogram[bucket] += 1;
+    }
+    println!("age distribution (newest first, 10-batch buckets):");
+    for (i, count) in age_histogram.iter().enumerate() {
+        let label = if i < 4 {
+            format!("{:>3}-{:<3}", i * 10, i * 10 + 9)
+        } else {
+            " 40+  ".to_string()
+        };
+        println!("  age {label}: {}", "#".repeat(count / 4).to_string() + &format!(" {count}"));
+    }
+    println!(
+        "expected geometric decay per bucket factor ≈ {:.2}",
+        (-lambda * 10.0).exp()
+    );
+}

@@ -1,0 +1,70 @@
+//! # temporal-sampling
+//!
+//! A from-scratch Rust reproduction of *Temporally-Biased Sampling for Online
+//! Model Management* (Hentschel, Haas & Tian, EDBT 2018, arXiv:1801.09709).
+//!
+//! The library maintains stream samples whose item-inclusion probabilities
+//! decay exponentially in wall-clock time, so that periodically retrained
+//! machine-learning models emphasize recent data while retaining a controlled
+//! amount of history. The headline algorithm, [`tbs_core::rtbs::RTbs`], is the
+//! first sampling scheme that simultaneously
+//!
+//! 1. enforces the exact exponential relative-inclusion property
+//!    `Pr[i ∈ S_t] / Pr[j ∈ S_t] = exp(-λ (t'' − t'))` at all times,
+//! 2. guarantees a hard upper bound on the sample size, and
+//! 3. tolerates unknown, arbitrarily varying data arrival rates.
+//!
+//! ## Crate map
+//!
+//! * [`stats`] — probability substrate: exact binomial / hypergeometric /
+//!   multivariate-hypergeometric variate generators, jump-ahead PRNG streams,
+//!   stochastic rounding, and the expected-shortfall risk measure.
+//! * [`core`] — the sampling algorithms themselves: R-TBS, T-TBS, B-TBS,
+//!   batched reservoir sampling, batched time-decayed Chao, sliding windows,
+//!   and the closed-form theory of Theorem 3.1.
+//! * [`datagen`] — the paper's evaluation workloads: batch-size processes,
+//!   normal/abnormal mode schedules, Gaussian-mixture classification streams,
+//!   drifting linear-regression streams, and a synthetic Usenet2 substitute.
+//! * [`ml`] — from-scratch learners retrained on the maintained samples:
+//!   kNN, OLS linear regression, multinomial naive Bayes, plus the online
+//!   model-management pipeline and evaluation metrics.
+//! * [`distributed`] — a simulated Spark-like cluster substrate running
+//!   D-R-TBS and D-T-TBS with co-partitioned or key-value-store reservoirs
+//!   and centralized or distributed insert/delete decisions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use temporal_sampling::core::rtbs::RTbs;
+//! use temporal_sampling::core::traits::BatchSampler;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = temporal_sampling::stats::rng::Xoshiro256PlusPlus::seed_from_u64(42);
+//! // Decay rate λ = 0.07, sample-size bound n = 100.
+//! let mut sampler = RTbs::new(0.07, 100);
+//! for t in 0..50 {
+//!     let batch: Vec<u64> = (0..20).map(|i| t * 20 + i).collect();
+//!     sampler.observe(batch, &mut rng);
+//! }
+//! let sample = sampler.sample(&mut rng);
+//! assert!(sample.len() <= 100);
+//! ```
+
+pub use tbs_core as core;
+pub use tbs_datagen as datagen;
+pub use tbs_distributed as distributed;
+pub use tbs_ml as ml;
+pub use tbs_stats as stats;
+
+/// Convenience prelude re-exporting the most commonly used types.
+pub mod prelude {
+    pub use tbs_core::brs::BatchedReservoir;
+    pub use tbs_core::btbs::BTbs;
+    pub use tbs_core::chao::BChao;
+    pub use tbs_core::rtbs::RTbs;
+    pub use tbs_core::sliding::{CountWindow, TimeWindow};
+    pub use tbs_core::traits::{BatchSampler, TimedBatchSampler};
+    pub use tbs_core::ttbs::TTbs;
+    pub use tbs_stats::rng::Xoshiro256PlusPlus;
+    pub use tbs_stats::summary::{expected_shortfall, OnlineMoments};
+}
