@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tbs_distributed::{DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy};
+use tbs_distributed::{DRTbs, DTTbs, DrtbsConfig, DttbsConfig, Strategy};
 
 const BATCH: usize = 20_000;
 const CAPACITY: usize = 40_000;
@@ -45,22 +45,18 @@ fn bench_fig8_scale_out(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_scale_out_threaded");
     group.sample_size(10);
     for &workers in &[1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| {
-                let mut cfg = DrtbsConfig::new(0.07, CAPACITY, w, Strategy::DistCoPartitioned);
-                cfg.threaded = true;
-                let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
-                d.observe_batch((0..(2 * CAPACITY as u64)).collect());
-                let mut t = 0u64;
-                b.iter(|| {
-                    let base = t * BATCH as u64;
-                    t += 1;
-                    black_box(d.observe_batch((base..base + BATCH as u64).collect()));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let mut cfg = DrtbsConfig::new(0.07, CAPACITY, w, Strategy::DistCoPartitioned);
+            cfg.threaded = true;
+            let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            let mut t = 0u64;
+            b.iter(|| {
+                let base = t * BATCH as u64;
+                t += 1;
+                black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+            });
+        });
     }
     group.finish();
 }

@@ -49,17 +49,11 @@ fn bench_multivariate(c: &mut Criterion) {
     let mut group = c.benchmark_group("multivariate_hypergeometric");
     group.sample_size(30);
     for &workers in &[4usize, 16, 64] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |bch, &w| {
-                let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
-                let sizes = vec![10_000u64; w];
-                bch.iter(|| {
-                    multivariate_hypergeometric(&mut rng, black_box(&sizes), 5_000)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |bch, &w| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+            let sizes = vec![10_000u64; w];
+            bch.iter(|| multivariate_hypergeometric(&mut rng, black_box(&sizes), 5_000));
+        });
     }
     group.finish();
 }

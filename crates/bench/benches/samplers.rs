@@ -31,7 +31,10 @@ where
                 let mut sampler = make();
                 // Warm to steady state.
                 for t in 0..30u64 {
-                    sampler.observe((0..size as u64).map(|i| t * 100_000 + i).collect(), &mut rng);
+                    sampler.observe(
+                        (0..size as u64).map(|i| t * 100_000 + i).collect(),
+                        &mut rng,
+                    );
                 }
                 let mut t = 30u64;
                 b.iter(|| {

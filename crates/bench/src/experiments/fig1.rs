@@ -96,13 +96,7 @@ pub fn run(batches: u64, seed: u64) -> Vec<PanelResult> {
     for panel in panels() {
         let res = run_panel(&panel, batches, seed);
         let rows: Vec<Vec<String>> = (0..res.ttbs.len())
-            .map(|i| {
-                vec![
-                    i.to_string(),
-                    f(res.ttbs[i], 1),
-                    f(res.rtbs[i], 1),
-                ]
-            })
+            .map(|i| vec![i.to_string(), f(res.ttbs[i], 1), f(res.rtbs[i], 1)])
             .collect();
         write_csv(
             &format!("fig1{}_sample_size.csv", panel.tag),
@@ -114,13 +108,7 @@ pub fn run(batches: u64, seed: u64) -> Vec<PanelResult> {
         let table: Vec<Vec<String>> = checkpoints
             .iter()
             .filter(|&&c| c < res.ttbs.len())
-            .map(|&c| {
-                vec![
-                    c.to_string(),
-                    f(res.ttbs[c], 0),
-                    f(res.rtbs[c], 0),
-                ]
-            })
+            .map(|&c| vec![c.to_string(), f(res.ttbs[c], 0), f(res.rtbs[c], 0)])
             .collect();
         print_table(
             &format!("Figure 1({}) — {}", panel.tag, panel.title),
@@ -129,7 +117,10 @@ pub fn run(batches: u64, seed: u64) -> Vec<PanelResult> {
         );
         let t_max = res.ttbs.iter().cloned().fold(0.0, f64::max);
         let r_max = res.rtbs.iter().cloned().fold(0.0, f64::max);
-        println!("max sample size: T-TBS {t_max:.0}, R-TBS {r_max:.0} (bound n={})", panel.n);
+        println!(
+            "max sample size: T-TBS {t_max:.0}, R-TBS {r_max:.0} (bound n={})",
+            panel.n
+        );
         results.push(res);
     }
     results

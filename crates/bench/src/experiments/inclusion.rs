@@ -36,12 +36,7 @@ pub fn run(lambda: f64, trials: usize, seed: u64) -> Vec<InclusionReport> {
         violation: max_ratio_violation(&stats, lambda, 0.02),
         stats,
     });
-    let stats = measure_inclusion(
-        || TTbs::new(lambda, 8, 6.0),
-        &schedule,
-        trials,
-        &mut rng,
-    );
+    let stats = measure_inclusion(|| TTbs::new(lambda, 8, 6.0), &schedule, trials, &mut rng);
     reports.push(InclusionReport {
         name: "T-TBS",
         violation: max_ratio_violation(&stats, lambda, 0.02),
@@ -75,7 +70,11 @@ pub fn run_and_report(trials: usize) -> Vec<InclusionReport> {
             "Equation (1) conformance — per-batch inclusion probabilities \
              (lambda={lambda}, adjacent-batch target ratio e^-lambda={target:.3})"
         ),
-        &["scheme", "Pr[i in S] per batch (old->new)", "max ratio violation"],
+        &[
+            "scheme",
+            "Pr[i in S] per batch (old->new)",
+            "max ratio violation",
+        ],
         &rows,
     );
     let csv_rows: Vec<Vec<String>> = reports

@@ -150,13 +150,7 @@ pub fn report(title: &str, csv_name: &str, result: &KnnResult) {
     let srows: Vec<Vec<String>> = result
         .summaries
         .iter()
-        .map(|(name, s)| {
-            vec![
-                name.clone(),
-                f(s.mean_error, 1),
-                f(s.expected_shortfall, 1),
-            ]
-        })
+        .map(|(name, s)| vec![name.clone(), f(s.mean_error, 1), f(s.expected_shortfall, 1)])
         .collect();
     print_table(title, &["scheme", "Miss%", "10% ES"], &srows);
 }
@@ -252,9 +246,11 @@ pub fn run_table1(runs: usize) {
         table.push(row);
     }
     let header: Vec<String> = std::iter::once("scheme".to_string())
-        .chain(patterns.iter().flat_map(|(name, _, _)| {
-            [format!("{name} Miss%"), format!("{name} ES")]
-        }))
+        .chain(
+            patterns
+                .iter()
+                .flat_map(|(name, _, _)| [format!("{name} Miss%"), format!("{name} ES")]),
+        )
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     write_csv("table1_knn_accuracy_robustness.csv", &header_refs, &table);

@@ -152,9 +152,7 @@ pub fn run_fig12(runs: usize) -> Vec<LinregResult> {
         let srows: Vec<Vec<String>> = res
             .summaries
             .iter()
-            .map(|(name, s)| {
-                vec![name.clone(), f(s.mean_error, 2), f(s.expected_shortfall, 2)]
-            })
+            .map(|(name, s)| vec![name.clone(), f(s.mean_error, 2), f(s.expected_shortfall, 2)])
             .collect();
         print_table(
             &format!(

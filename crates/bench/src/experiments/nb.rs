@@ -39,8 +39,7 @@ pub fn run_nb(runs: usize, lambda: f64, seed: u64) -> NbResult {
             Box::new(CountWindow::new(300)),
             Box::new(BatchedReservoir::new(300)),
         ];
-        let mut models: Vec<NaiveBayes> =
-            (0..3).map(|_| NaiveBayes::new(vocab)).collect();
+        let mut models: Vec<NaiveBayes> = (0..3).map(|_| NaiveBayes::new(vocab)).collect();
         let mut errors: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for batch in &stream {
             for i in 0..3 {
@@ -99,9 +98,7 @@ pub fn run_fig13(runs: usize) -> NbResult {
     let srows: Vec<Vec<String>> = result
         .summaries
         .iter()
-        .map(|(name, s)| {
-            vec![name.clone(), f(s.mean_error, 1), f(s.expected_shortfall, 1)]
-        })
+        .map(|(name, s)| vec![name.clone(), f(s.mean_error, 1), f(s.expected_shortfall, 1)])
         .collect();
     print_table(
         &format!(

@@ -8,7 +8,7 @@
 //! implementations are scale-stable.
 
 use crate::output::{f, print_table, write_csv};
-use tbs_distributed::{CostTracker, DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy};
+use tbs_distributed::{CostTracker, DRTbs, DTTbs, DrtbsConfig, DttbsConfig, Strategy};
 
 /// Configuration for the runtime experiments.
 #[derive(Debug, Clone, Copy)]
@@ -124,8 +124,13 @@ pub fn run_fig7(cfg: &RuntimeConfig, seed: u64) -> Vec<(String, CostTracker)> {
     );
     // Ratios the paper highlights.
     let e = |i: usize| results[i].1.elapsed;
-    println!("speedups: RJ/CJ = {:.2}x, CJ/CP = {:.2}x, CP/Dist = {:.2}x, Dist/D-T-TBS = {:.2}x",
-        e(0) / e(1), e(1) / e(2), e(2) / e(3), e(3) / e(4));
+    println!(
+        "speedups: RJ/CJ = {:.2}x, CJ/CP = {:.2}x, CP/Dist = {:.2}x, Dist/D-T-TBS = {:.2}x",
+        e(0) / e(1),
+        e(1) / e(2),
+        e(2) / e(3),
+        e(3) / e(4)
+    );
     results
 }
 

@@ -31,20 +31,17 @@ pub fn transient_mean(lambda: f64, n: usize, b: u64, trials: usize, seed: u64) -
                 (t + 1).to_string(),
                 f(simulated, 1),
                 f(predicted, 1),
-                f((simulated - predicted).abs() / predicted.max(1.0) * 100.0, 2),
+                f(
+                    (simulated - predicted).abs() / predicted.max(1.0) * 100.0,
+                    2,
+                ),
             ]
         })
         .collect()
 }
 
 /// Stationary variance check against equation (10).
-pub fn stationary_variance(
-    lambda: f64,
-    n: usize,
-    b: u64,
-    rounds: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn stationary_variance(lambda: f64, n: usize, b: u64, rounds: usize, seed: u64) -> (f64, f64) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
     let mut s: TTbs<u8> = TTbs::new(lambda, n, b as f64);
     // Warm past the transient.
@@ -67,7 +64,10 @@ pub fn rtbs_equilibrium(lambda: f64, n: usize, b: u64, seed: u64) -> (f64, f64) 
     for _ in 0..500 {
         s.observe(vec![0u8; b as usize], &mut rng);
     }
-    (s.sample_weight(), theory::equilibrium_weight(b as f64, lambda))
+    (
+        s.sample_weight(),
+        theory::equilibrium_weight(b as f64, lambda),
+    )
 }
 
 /// Run all theory checks with reporting.
@@ -104,14 +104,24 @@ pub fn run_and_report(trials: usize) {
         .map(|&eps| {
             vec![
                 f(eps, 2),
-                format!("{:.2e}", theory::ttbs_upper_deviation_bound(1000.0, eps, 1.0)),
-                format!("{:.2e}", theory::ttbs_lower_deviation_bound(1000.0, eps, 1.0)),
+                format!(
+                    "{:.2e}",
+                    theory::ttbs_upper_deviation_bound(1000.0, eps, 1.0)
+                ),
+                format!(
+                    "{:.2e}",
+                    theory::ttbs_lower_deviation_bound(1000.0, eps, 1.0)
+                ),
             ]
         })
         .collect();
     print_table(
         "Theorem 3.1(iv) — deviation-probability bounds (n=1000, deterministic batches)",
-        &["epsilon", "P[C >= (1+eps)n] bound", "P[C <= (1-eps)n] bound"],
+        &[
+            "epsilon",
+            "P[C >= (1+eps)n] bound",
+            "P[C <= (1-eps)n] bound",
+        ],
         &bound_rows,
     );
 }

@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(2.25319, 2), "2.25");
         assert_eq!(f(10.0, 1), "10.0");
     }
 }

@@ -179,8 +179,8 @@ mod tests {
             s.observe(vec![t; 20], &mut rng);
         }
         let sample = s.sample(&mut rng);
-        let mean_age: f64 = sample.iter().map(|&t| 39.0 - t as f64).sum::<f64>()
-            / sample.len() as f64;
+        let mean_age: f64 =
+            sample.iter().map(|&t| 39.0 - t as f64).sum::<f64>() / sample.len() as f64;
         assert!(mean_age < 6.0, "mean age {mean_age} too old for lambda=0.5");
     }
 
@@ -210,15 +210,10 @@ mod tests {
         let schedule = [4u64, 4, 4, 4, 4, 4, 4, 4];
         let trials = 30_000;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
-        let ares_stats =
-            measure_inclusion(|| BAres::new(lambda, 6), &schedule, trials, &mut rng);
+        let ares_stats = measure_inclusion(|| BAres::new(lambda, 6), &schedule, trials, &mut rng);
         let ares_violation = max_ratio_violation(&ares_stats, lambda, 0.01);
-        let rtbs_stats = measure_inclusion(
-            || crate::RTbs::new(lambda, 6),
-            &schedule,
-            trials,
-            &mut rng,
-        );
+        let rtbs_stats =
+            measure_inclusion(|| crate::RTbs::new(lambda, 6), &schedule, trials, &mut rng);
         let rtbs_violation = max_ratio_violation(&rtbs_stats, lambda, 0.01);
         assert!(
             ares_violation > 3.0 * rtbs_violation + 0.02,

@@ -42,10 +42,7 @@ impl<T> BatchedReservoir<T> {
     /// Create a reservoir pre-loaded with an initial sample `S₀`
     /// (`|S₀| ≤ capacity` required).
     pub fn with_initial(capacity: usize, initial: Vec<T>) -> Self {
-        assert!(
-            initial.len() <= capacity,
-            "initial sample exceeds capacity"
-        );
+        assert!(initial.len() <= capacity, "initial sample exceeds capacity");
         let mut r = Self::new(capacity);
         r.seen = initial.len() as u64;
         r.items = initial;

@@ -82,9 +82,8 @@ impl<T> BChao<T> {
     fn accept_one(&mut self, x: T, rng: &mut dyn RngCore) {
         // ——— Normalize (Algorithm 7). ———
         // Total weight including the new item and the overweight set.
-        let total: f64 = self.agg_weight
-            + 1.0
-            + self.overweight.iter().map(|(_, w)| w).sum::<f64>();
+        let total: f64 =
+            self.agg_weight + 1.0 + self.overweight.iter().map(|(_, w)| w).sum::<f64>();
         let n = self.capacity as f64;
 
         // `newly_normal` is Algorithm 7's A: items leaving overweight status

@@ -95,10 +95,7 @@ impl<T: Clone, G: DecayGauge> ForwardDecayRTbs<T, G> {
     /// decreasing at the origin.
     pub fn new(gauge: G, capacity: usize) -> Self {
         assert!(gauge.g(0.0) > 0.0, "gauge must be positive at 0");
-        assert!(
-            gauge.g(1.0) >= gauge.g(0.0),
-            "gauge must be non-decreasing"
-        );
+        assert!(gauge.g(1.0) >= gauge.g(0.0), "gauge must be non-decreasing");
         Self {
             // λ = 0 placeholder: every step supplies its own factor.
             core: RTbs::new(0.0, capacity),
@@ -268,8 +265,7 @@ mod tests {
 
     #[test]
     fn inclusion_ratio_helper_is_time_invariant() {
-        let s: ForwardDecayRTbs<u8, _> =
-            ForwardDecayRTbs::new(PolynomialGauge { beta: 2.0 }, 10);
+        let s: ForwardDecayRTbs<u8, _> = ForwardDecayRTbs::new(PolynomialGauge { beta: 2.0 }, 10);
         let r = s.inclusion_ratio(2.0, 8.0);
         assert!((r - (3.0f64 / 9.0).powi(2)).abs() < 1e-12);
     }

@@ -33,6 +33,29 @@
 //! All schemes implement [`traits::BatchSampler`]; the decay-aware ones also
 //! implement [`traits::TimedBatchSampler`] for real-valued inter-arrival
 //! gaps.
+//!
+//! ## Example
+//!
+//! Feed 50 batches to R-TBS with decay rate λ = 0.07 and a hard bound of
+//! 100 items, then realize a sample:
+//!
+//! ```rust
+//! use rand::SeedableRng;
+//! use tbs_core::traits::BatchSampler;
+//! use tbs_core::RTbs;
+//! use tbs_stats::rng::Xoshiro256PlusPlus;
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+//! let mut sampler: RTbs<u64> = RTbs::new(0.07, 100);
+//! for t in 0..50u64 {
+//!     let batch: Vec<u64> = (0..20).map(|i| t * 20 + i).collect();
+//!     sampler.observe(batch, &mut rng);
+//! }
+//! let sample = sampler.sample(&mut rng);
+//! assert!(sample.len() <= 100);
+//! // The exponential decay law keeps total weight near 20 / (1 − e^{−λ}).
+//! assert!(sampler.total_weight() > 100.0);
+//! ```
 
 pub mod ares;
 pub mod brs;

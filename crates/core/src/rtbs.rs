@@ -60,10 +60,7 @@ impl<T> RTbs<T> {
     /// Create a sampler pre-loaded with an initial sample `A₀`
     /// (`|A₀| ≤ n` required); its items carry weight 1 each.
     pub fn with_initial(lambda: f64, capacity: usize, initial: Vec<T>) -> Self {
-        assert!(
-            initial.len() <= capacity,
-            "initial sample exceeds capacity"
-        );
+        assert!(initial.len() <= capacity, "initial sample exceeds capacity");
         let mut s = Self::new(lambda, capacity);
         s.total_weight = initial.len() as f64;
         s.latent = LatentSample::from_full(initial);

@@ -78,10 +78,7 @@ pub fn nu_plus(epsilon: f64, r: f64) -> f64 {
 /// Large-deviation exponent `ν⁻_{ε,r}` for downward excursions
 /// (Theorem 3.1(iv)(b)): `(1−ε)·ln((1−ε)/r) − (1 − ε − r)`.
 pub fn nu_minus(epsilon: f64, r: f64) -> f64 {
-    assert!(
-        epsilon > 0.0 && epsilon < 1.0,
-        "epsilon must lie in (0,1)"
-    );
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
     assert!(r >= 1.0, "upper-support ratio r >= 1");
     (1.0 - epsilon) * ((1.0 - epsilon) / r).ln() - (1.0 - epsilon - r)
 }

@@ -168,8 +168,14 @@ mod tests {
         // p = 1 for the most recent batch in B-TBS, so SE = 0 in both; use a
         // decayed batch instead.
         let schedule = [10u64, 0, 0];
-        let few = [few, measure_inclusion(|| BTbs::new(0.3), &schedule, 100, &mut rng)];
-        let many = [many, measure_inclusion(|| BTbs::new(0.3), &schedule, 10_000, &mut rng)];
+        let few = [
+            few,
+            measure_inclusion(|| BTbs::new(0.3), &schedule, 100, &mut rng),
+        ];
+        let many = [
+            many,
+            measure_inclusion(|| BTbs::new(0.3), &schedule, 10_000, &mut rng),
+        ];
         assert!(many[1][0].std_error < few[1][0].std_error);
     }
 }

@@ -138,7 +138,10 @@ mod tests {
         let p = BatchSizeProcess::decaying(100, 0.8, 200);
         assert_eq!(p.size_at(199, &mut rng), 100);
         assert_eq!(p.size_at(201, &mut rng), 80);
-        assert_eq!(p.size_at(210, &mut rng), (100.0 * 0.8f64.powi(10)).round() as u64);
+        assert_eq!(
+            p.size_at(210, &mut rng),
+            (100.0 * 0.8f64.powi(10)).round() as u64
+        );
         // Eventually the stream dries up entirely.
         assert_eq!(p.size_at(300, &mut rng), 0);
     }

@@ -127,7 +127,11 @@ mod tests {
             let p = g.sample(Mode::Normal, &mut rng);
             acc.push(p.y - coef[0] * p.x[0] - coef[1] * p.x[1]);
         }
-        assert!((acc.variance() - 1.0).abs() < 0.03, "var {}", acc.variance());
+        assert!(
+            (acc.variance() - 1.0).abs() < 0.03,
+            "var {}",
+            acc.variance()
+        );
     }
 
     #[test]

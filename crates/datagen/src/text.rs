@@ -126,11 +126,15 @@ impl UsenetGenerator {
         let mut index = 0u64;
         while index < total {
             let size = batch_size.min((total - index) as usize);
-            out.push((0..size).map(|_| {
-                let m = self.message(index, rng);
-                index += 1;
-                m
-            }).collect());
+            out.push(
+                (0..size)
+                    .map(|_| {
+                        let m = self.message(index, rng);
+                        index += 1;
+                        m
+                    })
+                    .collect(),
+            );
         }
         out
     }
@@ -192,8 +196,7 @@ mod tests {
         for i in 0..400 {
             let m = g.message(i, &mut rng);
             if m.topic == 0 {
-                topic0_block_hits +=
-                    m.tokens.iter().filter(|&&t| t < g.words_per_topic).count();
+                topic0_block_hits += m.tokens.iter().filter(|&&t| t < g.words_per_topic).count();
                 total += m.tokens.len();
             }
         }
@@ -228,7 +231,9 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
         let g = UsenetGenerator::paper();
         let n = 30_000;
-        let hits = (0..n).filter(|&i| g.message(i % 1500, &mut rng).interesting).count();
+        let hits = (0..n)
+            .filter(|&i| g.message(i % 1500, &mut rng).interesting)
+            .count();
         let p = hits as f64 / n as f64;
         assert!((p - 1.0 / 3.0).abs() < 0.02, "base rate {p}");
     }

@@ -1,7 +1,7 @@
 //! Worker-pool execution (§5.1's driver/executor split).
 //!
 //! Real data-plane parallelism for the simulated cluster: per-worker jobs
-//! run on crossbeam scoped threads (one per worker, like Spark executors)
+//! run on scoped OS threads (one per worker, like Spark executors)
 //! or sequentially for deterministic single-threaded runs. Statistical
 //! correctness never depends on the execution mode — every worker owns a
 //! jump-ahead RNG substream — so `parallel` is purely a performance choice.
@@ -18,8 +18,7 @@ impl WorkerPool {
         Self { parallel: false }
     }
 
-    /// Threaded execution — one OS thread per job via crossbeam's scoped
-    /// threads.
+    /// Threaded execution — one OS thread per job via `std::thread::scope`.
     pub fn threaded() -> Self {
         Self { parallel: true }
     }
@@ -38,17 +37,13 @@ impl WorkerPool {
         if !self.parallel || jobs.len() <= 1 {
             return jobs.into_iter().map(|f| f()).collect();
         }
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .into_iter()
-                .map(|f| scope.spawn(move |_| f()))
-                .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs.into_iter().map(|f| scope.spawn(f)).collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect()
         })
-        .expect("worker scope panicked")
     }
 
     /// Run a job against each element of a mutable slice (each worker owns
@@ -61,25 +56,20 @@ impl WorkerPool {
         F: Fn(usize, &mut S) -> T + Sync,
     {
         if !self.parallel || state.len() <= 1 {
-            return state
-                .iter_mut()
-                .enumerate()
-                .map(|(i, s)| f(i, s))
-                .collect();
+            return state.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect();
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> = state
                 .iter_mut()
                 .enumerate()
-                .map(|(i, s)| scope.spawn(move |_| f(i, s)))
+                .map(|(i, s)| scope.spawn(move || f(i, s)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect()
         })
-        .expect("worker scope panicked")
     }
 }
 
@@ -121,10 +111,7 @@ mod tests {
             })
             .collect();
         pool.run(jobs);
-        assert!(
-            peak.load(Ordering::SeqCst) >= 2,
-            "no concurrency observed"
-        );
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no concurrency observed");
     }
 
     #[test]

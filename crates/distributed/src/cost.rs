@@ -98,8 +98,7 @@ impl CostTracker {
 
     /// Account a network transfer of `msgs` messages totalling `bytes`.
     pub fn network(&mut self, model: &CostModel, msgs: u64, bytes: u64) {
-        let t = msgs as f64 * model.net_latency_per_msg
-            + bytes as f64 / model.net_bytes_per_sec;
+        let t = msgs as f64 * model.net_latency_per_msg + bytes as f64 / model.net_bytes_per_sec;
         self.network_time += t;
         self.bytes_shipped += bytes;
         self.messages += msgs;

@@ -321,8 +321,7 @@ impl<T: Wire + Send> DRTbs<T> {
                 // own jump-ahead RNG substreams (work charged in apply).
                 cost.master_ops(&model, k as u64);
                 let sizes: Vec<u64> = batch.sizes().iter().map(|&s| s as u64).collect();
-                let counts =
-                    multivariate_hypergeometric(&mut self.master_rng, &sizes, m as u64);
+                let counts = multivariate_hypergeometric(&mut self.master_rng, &sizes, m as u64);
                 cost.network(&model, k as u64, 8 * k as u64);
                 let mut rngs = std::mem::take(&mut self.worker_rngs);
                 let mut jobs: Vec<(Vec<T>, Xoshiro256PlusPlus, u64)> = batch
@@ -332,19 +331,15 @@ impl<T: Wire + Send> DRTbs<T> {
                     .map(|(j, _)| {
                         (
                             batch.partition(j).to_vec(),
-                            std::mem::replace(
-                                &mut rngs[j],
-                                Xoshiro256PlusPlus::seed_from_u64(0),
-                            ),
+                            std::mem::replace(&mut rngs[j], Xoshiro256PlusPlus::seed_from_u64(0)),
                             counts[j],
                         )
                     })
                     .collect();
                 let picked: Vec<Vec<T>> =
-                    self.pool
-                        .run_over(&mut jobs, |_, (items, rng, count)| {
-                            draw_without_replacement(items, *count as usize, rng)
-                        });
+                    self.pool.run_over(&mut jobs, |_, (items, rng, count)| {
+                        draw_without_replacement(items, *count as usize, rng)
+                    });
                 for (j, (_, rng, _)) in jobs.into_iter().enumerate() {
                     rngs[j] = rng;
                 }
@@ -381,19 +376,14 @@ impl<T: Wire + Send> DRTbs<T> {
                 let delete_counts: Vec<u64> = match self.cfg.strategy {
                     Strategy::DistCoPartitioned => {
                         cost.master_ops(&model, self.cfg.workers as u64);
-                        let sizes: Vec<u64> =
-                            cp.sizes().iter().map(|&s| s as u64).collect();
-                        let counts = multivariate_hypergeometric(
-                            &mut self.master_rng,
-                            &sizes,
-                            m as u64,
-                        );
+                        let sizes: Vec<u64> = cp.sizes().iter().map(|&s| s as u64).collect();
+                        let counts =
+                            multivariate_hypergeometric(&mut self.master_rng, &sizes, m as u64);
                         cp.delete_counts(&counts, &mut self.worker_rngs, &model, cost);
                         counts
                     }
                     _ => {
-                        let (_, counts) =
-                            cp.delete_slots(m, &mut self.master_rng, &model, cost);
+                        let (_, counts) = cp.delete_slots(m, &mut self.master_rng, &model, cost);
                         counts
                     }
                 };
@@ -442,13 +432,9 @@ impl<T: Wire + Send> DRTbs<T> {
                 Strategy::DistCoPartitioned => {
                     cost.master_ops(&model, self.cfg.workers as u64);
                     let sizes: Vec<u64> = cp.sizes().iter().map(|&s| s as u64).collect();
-                    let counts = multivariate_hypergeometric(
-                        &mut self.master_rng,
-                        &sizes,
-                        count as u64,
-                    );
-                    let removed =
-                        cp.delete_counts(&counts, &mut self.worker_rngs, &model, cost);
+                    let counts =
+                        multivariate_hypergeometric(&mut self.master_rng, &sizes, count as u64);
+                    let removed = cp.delete_counts(&counts, &mut self.worker_rngs, &model, cost);
                     cost.parallel_phase(&model, &counts);
                     removed
                 }
@@ -470,11 +456,7 @@ impl<T: Wire + Send> DRTbs<T> {
             Store::Kv(kv) => kv.append(&[item], &model, cost),
             Store::Cp(cp) => {
                 // One control+data message to a uniformly chosen worker.
-                cost.network(
-                    &model,
-                    1,
-                    (item.wire_size() + WIRE_ENVELOPE_BYTES) as u64,
-                );
+                cost.network(&model, 1, (item.wire_size() + WIRE_ENVELOPE_BYTES) as u64);
                 let j = self.master_rng.gen_range(0..cp.num_partitions());
                 cp.insert_local({
                     let mut v: Vec<Vec<T>> = (0..cp.num_partitions()).map(|_| Vec::new()).collect();
@@ -791,10 +773,12 @@ mod tests {
         let mut d = DRTbs::new(cfg, seed);
         let mut next = 0u64;
         for &b in schedule {
-            let batch: Vec<u64> = (0..b).map(|_| {
-                next += 1;
-                next
-            }).collect();
+            let batch: Vec<u64> = (0..b)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect();
             d.observe_batch(batch);
         }
         d
@@ -900,8 +884,7 @@ mod tests {
             let w_item = (-lambda * (t_final - bi as f64)).exp();
             let expect = (c_final / w_final) * w_item;
             let phat = appear[bi] as f64 / (trials as f64 * b as f64);
-            let tol =
-                4.5 * (expect * (1.0 - expect) / (trials as f64 * b as f64)).sqrt() + 0.004;
+            let tol = 4.5 * (expect * (1.0 - expect) / (trials as f64 * b as f64)).sqrt() + 0.004;
             assert!(
                 (phat - expect).abs() < tol,
                 "batch {bi}: phat {phat} vs expect {expect}"

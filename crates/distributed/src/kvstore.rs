@@ -136,7 +136,9 @@ impl<T: Wire> KvReservoir<T> {
         let victims = tbs_core::util::sample_indices(self.len as usize, m, rng);
         let mut holes: Vec<u64> = victims.into_iter().map(|s| s as u64 + 1).collect();
         for &slot in &holes {
-            let bytes = self.remove(slot, model, cost).expect("victim slot occupied");
+            let bytes = self
+                .remove(slot, model, cost)
+                .expect("victim slot occupied");
             removed.push(T::decode(&bytes));
         }
         // Compact: move items from the tail into holes below the new length.
@@ -210,7 +212,11 @@ mod tests {
     use tbs_stats::rng::Xoshiro256PlusPlus;
 
     fn fresh() -> (KvReservoir<u64>, CostModel, CostTracker) {
-        (KvReservoir::new(4), CostModel::default(), CostTracker::new())
+        (
+            KvReservoir::new(4),
+            CostModel::default(),
+            CostTracker::new(),
+        )
     }
 
     #[test]

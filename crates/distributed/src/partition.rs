@@ -154,10 +154,34 @@ mod tests {
     fn locate_walks_partitions_in_order() {
         let p = Partitioned::from_items((0..7u32).collect(), 3);
         // partitions: [0,3,6], [1,4], [2,5]
-        assert_eq!(p.locate(0), Location { partition: 0, position: 0 });
-        assert_eq!(p.locate(2), Location { partition: 0, position: 2 });
-        assert_eq!(p.locate(3), Location { partition: 1, position: 0 });
-        assert_eq!(p.locate(6), Location { partition: 2, position: 1 });
+        assert_eq!(
+            p.locate(0),
+            Location {
+                partition: 0,
+                position: 0
+            }
+        );
+        assert_eq!(
+            p.locate(2),
+            Location {
+                partition: 0,
+                position: 2
+            }
+        );
+        assert_eq!(
+            p.locate(3),
+            Location {
+                partition: 1,
+                position: 0
+            }
+        );
+        assert_eq!(
+            p.locate(6),
+            Location {
+                partition: 2,
+                position: 1
+            }
+        );
     }
 
     #[test]
@@ -172,8 +196,14 @@ mod tests {
         let mut p = Partitioned::from_items((0..9u32).collect(), 3);
         // partitions: [0,3,6], [1,4,7], [2,5,8]
         let removed = p.remove_locations(&[
-            Location { partition: 0, position: 1 }, // item 3
-            Location { partition: 2, position: 0 }, // item 2
+            Location {
+                partition: 0,
+                position: 1,
+            }, // item 3
+            Location {
+                partition: 2,
+                position: 0,
+            }, // item 2
         ]);
         let set: std::collections::HashSet<u32> = removed.into_iter().collect();
         assert_eq!(set, [3u32, 2].into_iter().collect());
@@ -185,8 +215,14 @@ mod tests {
         let mut p = Partitioned::from_items((0..6u32).collect(), 2);
         // partitions: [0,2,4], [1,3,5]
         let removed = p.remove_locations(&[
-            Location { partition: 0, position: 0 },
-            Location { partition: 0, position: 2 },
+            Location {
+                partition: 0,
+                position: 0,
+            },
+            Location {
+                partition: 0,
+                position: 2,
+            },
         ]);
         let set: std::collections::HashSet<u32> = removed.into_iter().collect();
         assert_eq!(set, [0u32, 4].into_iter().collect());

@@ -100,7 +100,11 @@ mod tests {
     fn envelope_covers_header_for_every_type() {
         // The envelope must at least cover each payload's framing overhead
         // assumption used by the cost model.
-        for size in [0u64.wire_size(), (0u32, 0u32).wire_size(), [0.0f64; 2].wire_size()] {
+        for size in [
+            0u64.wire_size(),
+            (0u32, 0u32).wire_size(),
+            [0.0f64; 2].wire_size(),
+        ] {
             assert!(size <= WIRE_ENVELOPE_BYTES + 256);
         }
     }

@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use tbs_core::traits::BatchSampler;
 use tbs_core::RTbs;
 use tbs_distributed::Strategy as ImplStrategy;
-use tbs_distributed::{DRTbs, DrtbsConfig, DTTbs, DttbsConfig};
+use tbs_distributed::{DRTbs, DTTbs, DrtbsConfig, DttbsConfig};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
 fn schedules() -> impl Strategy<Value = Vec<u64>> {

@@ -143,10 +143,10 @@ mod tests {
         let mut knn = KnnClassifier::new(1);
         knn.train(&[pt(0.0, 0.0, 0), pt(10.0, 10.0, 1)]);
         let batch = [
-            pt(0.5, 0.5, 0),  // correct
-            pt(9.5, 9.5, 1),  // correct
-            pt(0.5, 0.5, 1),  // wrong (nearest is label 0)
-            pt(9.0, 9.0, 0),  // wrong
+            pt(0.5, 0.5, 0), // correct
+            pt(9.5, 9.5, 1), // correct
+            pt(0.5, 0.5, 1), // wrong (nearest is label 0)
+            pt(9.0, 9.0, 0), // wrong
         ];
         assert_eq!(knn.misclassification_pct(&batch), 50.0);
     }

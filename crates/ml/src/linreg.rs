@@ -256,7 +256,10 @@ mod tests {
     fn untrained_predicts_none_and_scores_raw() {
         let m = LinearRegression::new(true);
         assert!(m.predict(&[0.5, 0.5]).is_none());
-        let batch = [RegressionPoint { x: [0.0, 0.0], y: 2.0 }];
+        let batch = [RegressionPoint {
+            x: [0.0, 0.0],
+            y: 2.0,
+        }];
         assert_eq!(m.mse(&batch), 4.0);
     }
 }

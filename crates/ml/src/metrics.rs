@@ -54,11 +54,7 @@ pub fn average_summaries(summaries: &[SeriesSummary]) -> SeriesSummary {
             .map(|s| s.mean_error_after_start)
             .sum::<f64>()
             / n,
-        expected_shortfall: summaries
-            .iter()
-            .map(|s| s.expected_shortfall)
-            .sum::<f64>()
-            / n,
+        expected_shortfall: summaries.iter().map(|s| s.expected_shortfall).sum::<f64>() / n,
     }
 }
 

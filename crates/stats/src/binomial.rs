@@ -334,7 +334,9 @@ mod tests {
         // n*p = 1 — deep BINV territory with large n.
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
         let draws = 100_000;
-        let sum: u64 = (0..draws).map(|_| binomial(&mut rng, 1_000_000, 1e-6)).sum();
+        let sum: u64 = (0..draws)
+            .map(|_| binomial(&mut rng, 1_000_000, 1e-6))
+            .sum();
         let mean = sum as f64 / draws as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }

@@ -43,13 +43,7 @@ pub fn chi2_pooled(observed: &[u64], expected: &[f64], min_expected: f64) -> Opt
     }
     let stat: f64 = pooled
         .iter()
-        .map(|&(o, e)| {
-            if e > 0.0 {
-                (o - e) * (o - e) / e
-            } else {
-                0.0
-            }
-        })
+        .map(|&(o, e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
         .sum();
     Some((stat, pooled.len() - 1))
 }
@@ -141,9 +135,7 @@ mod tests {
         assert!(standard_normal_quantile(0.5).abs() < 1e-8);
         assert!((standard_normal_quantile(0.999) - 3.090_232).abs() < 1e-4);
         // Symmetry.
-        assert!(
-            (standard_normal_quantile(0.025) + standard_normal_quantile(0.975)).abs() < 1e-8
-        );
+        assert!((standard_normal_quantile(0.025) + standard_normal_quantile(0.975)).abs() < 1e-8);
     }
 
     #[test]

@@ -175,9 +175,10 @@ mod tests {
         let (k, a, b) = (5_000u64, 30_000u64, 70_000u64);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
         let draws = 5_000;
-        let mean: f64 =
-            (0..draws).map(|_| hypergeometric(&mut rng, k, a, b) as f64).sum::<f64>()
-                / draws as f64;
+        let mean: f64 = (0..draws)
+            .map(|_| hypergeometric(&mut rng, k, a, b) as f64)
+            .sum::<f64>()
+            / draws as f64;
         let true_mean = k as f64 * a as f64 / (a + b) as f64;
         // Var = k (a/(a+b)) (b/(a+b)) (a+b-k)/(a+b-1) ≈ 997.5 here.
         let sd = (k as f64 * 0.3 * 0.7 * ((a + b - k) as f64 / (a + b - 1) as f64)).sqrt();

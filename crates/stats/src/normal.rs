@@ -49,7 +49,11 @@ mod tests {
             acc.push(standard_normal(&mut rng));
         }
         assert!(acc.mean().abs() < 0.01, "mean {}", acc.mean());
-        assert!((acc.variance() - 1.0).abs() < 0.02, "var {}", acc.variance());
+        assert!(
+            (acc.variance() - 1.0).abs() < 0.02,
+            "var {}",
+            acc.variance()
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
         let x = 5.25;
         let n = 200_000;
-        let samples: Vec<f64> = (0..n).map(|_| stochastic_round(&mut rng, x) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| stochastic_round(&mut rng, x) as f64)
+            .collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         let expect = 0.25 * 0.75;
@@ -97,7 +99,9 @@ mod tests {
             let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
             samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64
         };
-        let sr: Vec<f64> = (0..n).map(|_| stochastic_round(&mut rng, m) as f64).collect();
+        let sr: Vec<f64> = (0..n)
+            .map(|_| stochastic_round(&mut rng, m) as f64)
+            .collect();
         let bt: Vec<f64> = (0..n)
             .map(|_| bernoulli_total(&mut rng, count, p) as f64)
             .collect();

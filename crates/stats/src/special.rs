@@ -117,9 +117,8 @@ mod tests {
     fn ln_gamma_large_argument_matches_stirling() {
         // For large x, ln Γ(x) ≈ (x−½)ln x − x + ½ln(2π) + 1/(12x).
         for &x in &[1e3f64, 1e5, 1e7] {
-            let stirling = (x - 0.5) * x.ln() - x
-                + 0.5 * (2.0 * std::f64::consts::PI).ln()
-                + 1.0 / (12.0 * x);
+            let stirling =
+                (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
             assert_close(ln_gamma(x), stirling, 1e-10);
         }
     }

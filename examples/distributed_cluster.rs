@@ -1,14 +1,12 @@
-//! Drive the simulated cluster: D-R-TBS under all four §5 strategies plus
-//! embarrassingly-parallel D-T-TBS, with per-batch cost breakdowns.
-//!
-//! ```sh
-//! cargo run --release --example distributed_cluster
-//! ```
+// Drive the simulated cluster: D-R-TBS under all four §5 strategies plus
+// embarrassingly-parallel D-T-TBS, with per-batch cost breakdowns.
+//
+// ```sh
+// cargo run --release --example distributed_cluster
+// ```
 
 use rand::SeedableRng;
-use temporal_sampling::distributed::{
-    DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy,
-};
+use temporal_sampling::distributed::{DRTbs, DTTbs, DrtbsConfig, DttbsConfig, Strategy};
 use temporal_sampling::prelude::*;
 
 fn main() {

@@ -1,14 +1,14 @@
-//! Drift-triggered retraining (the §7 Velox-style integration).
-//!
-//! ```sh
-//! cargo run --release --example drift_triggered_retraining
-//! ```
-//!
-//! Retraining every batch is wasteful when nothing changes. Here a kNN
-//! model over an R-TBS sample is refit only when a drift detector flags a
-//! jump in the per-batch error (with a periodic fallback) — and still
-//! recovers from a mode flip almost as fast as the refit-every-batch
-//! protocol, at a fraction of the retraining cost.
+// Drift-triggered retraining (the §7 Velox-style integration).
+//
+// ```sh
+// cargo run --release --example drift_triggered_retraining
+// ```
+//
+// Retraining every batch is wasteful when nothing changes. Here a kNN
+// model over an R-TBS sample is refit only when a drift detector flags a
+// jump in the per-batch error (with a periodic fallback) — and still
+// recovers from a mode flip almost as fast as the refit-every-batch
+// protocol, at a fraction of the retraining cost.
 
 use rand::SeedableRng;
 use temporal_sampling::core::traits::BatchSampler;

@@ -1,15 +1,15 @@
-//! IoT sensor-drift scenario (§1's motivating setting).
-//!
-//! ```sh
-//! cargo run --release --example iot_sensor_drift
-//! ```
-//!
-//! A fleet of sensors emits readings whose class distribution is disrupted
-//! by a singular event (say, a plant-wide maintenance window) and then
-//! reverts. A kNN fault classifier is retrained every batch on the
-//! maintained sample. Sliding windows adapt fast but *forget* the normal
-//! regime — when it returns, their error spikes; the uniform reservoir
-//! never adapts; R-TBS does both.
+// IoT sensor-drift scenario (§1's motivating setting).
+//
+// ```sh
+// cargo run --release --example iot_sensor_drift
+// ```
+//
+// A fleet of sensors emits readings whose class distribution is disrupted
+// by a singular event (say, a plant-wide maintenance window) and then
+// reverts. A kNN fault classifier is retrained every batch on the
+// maintained sample. Sliding windows adapt fast but *forget* the normal
+// regime — when it returns, their error spikes; the uniform reservoir
+// never adapts; R-TBS does both.
 
 use rand::SeedableRng;
 use temporal_sampling::datagen::gmm::GmmGenerator;
@@ -73,6 +73,8 @@ fn main() {
             o.name
         );
     }
-    println!("note the SW spike at t=20 when the normal regime returns — the \
-              all-or-nothing forgetting the paper warns about.");
+    println!(
+        "note the SW spike at t=20 when the normal regime returns — the \
+              all-or-nothing forgetting the paper warns about."
+    );
 }

@@ -1,12 +1,12 @@
-//! Quickstart: maintain a temporally-biased sample over a stream.
-//!
-//! ```sh
-//! cargo run --release --example quickstart
-//! ```
-//!
-//! Shows the core workflow: pick a decay rate from an application-level
-//! retention criterion, feed timestamped batches to R-TBS, and read back a
-//! bounded sample whose item ages follow the exponential inclusion law.
+// Quickstart: maintain a temporally-biased sample over a stream.
+//
+// ```sh
+// cargo run --release --example quickstart
+// ```
+//
+// Shows the core workflow: pick a decay rate from an application-level
+// retention criterion, feed timestamped batches to R-TBS, and read back a
+// bounded sample whose item ages follow the exponential inclusion law.
 
 use rand::SeedableRng;
 use temporal_sampling::core::theory;
@@ -27,8 +27,8 @@ fn main() {
     //    arrival pattern — R-TBS needs no knowledge of the rate.
     for t in 0..200u64 {
         let batch_size = match t % 10 {
-            0 => 0,              // stalls…
-            5 => 400,            // …and bursts
+            0 => 0,   // stalls…
+            5 => 400, // …and bursts
             _ => 60,
         };
         let batch: Vec<(u64, u64)> = (0..batch_size).map(|i| (t, i)).collect();
@@ -55,7 +55,10 @@ fn main() {
         } else {
             " 40+  ".to_string()
         };
-        println!("  age {label}: {}", "#".repeat(count / 4).to_string() + &format!(" {count}"));
+        println!(
+            "  age {label}: {}",
+            "#".repeat(count / 4).to_string() + &format!(" {count}")
+        );
     }
     println!(
         "expected geometric decay per bucket factor ≈ {:.2}",

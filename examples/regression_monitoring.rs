@@ -1,14 +1,14 @@
-//! Online regression monitoring with an *unsaturated* reservoir (§6.3).
-//!
-//! ```sh
-//! cargo run --release --example regression_monitoring
-//! ```
-//!
-//! A pricing model `y = b1·x1 + b2·x2 + ε` drifts periodically between two
-//! regimes. With capacity n = 1600 above the equilibrium stream weight,
-//! R-TBS's sample floats at b/(1 − e^{−λ}) ≈ 1479 items — *smaller* than
-//! the sliding window's 1600 — yet predicts better: a balanced mix of old
-//! and new beats sheer volume.
+// Online regression monitoring with an *unsaturated* reservoir (§6.3).
+//
+// ```sh
+// cargo run --release --example regression_monitoring
+// ```
+//
+// A pricing model `y = b1·x1 + b2·x2 + ε` drifts periodically between two
+// regimes. With capacity n = 1600 above the equilibrium stream weight,
+// R-TBS's sample floats at b/(1 − e^{−λ}) ≈ 1479 items — *smaller* than
+// the sliding window's 1600 — yet predicts better: a balanced mix of old
+// and new beats sheer volume.
 
 use rand::SeedableRng;
 use temporal_sampling::core::theory::equilibrium_weight;
@@ -67,14 +67,19 @@ fn main() {
         );
     }
 
-    let mean =
-        |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\naggregate MSE: R-TBS {:.2}, SW {:.2}, Unif {:.2}",
-        mean(&outputs[0].errors), mean(&outputs[1].errors), mean(&outputs[2].errors));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naggregate MSE: R-TBS {:.2}, SW {:.2}, Unif {:.2}",
+        mean(&outputs[0].errors),
+        mean(&outputs[1].errors),
+        mean(&outputs[2].errors)
+    );
     println!(
         "R-TBS mean sample size {:.0} (predicted unsaturated equilibrium {:.0}) vs SW/Unif at {n}",
         mean(&outputs[0].sample_sizes),
         equilibrium_weight(100.0, lambda),
     );
-    println!("smaller, time-balanced sample → better predictions: 'more data is not always better'.");
+    println!(
+        "smaller, time-balanced sample → better predictions: 'more data is not always better'."
+    );
 }

@@ -1,16 +1,16 @@
-//! Influencer tracking (the §1 Twitter example, after Xie et al.).
-//!
-//! ```sh
-//! cargo run --release --example twitter_influencers
-//! ```
-//!
-//! "A prolific tweeter might temporarily stop tweeting due to travel,
-//! illness, or some other reason, and hence be completely forgotten in a
-//! sliding-window approach." We stream (author, tweet) pairs where one top
-//! influencer goes quiet for a stretch; an analytics job estimates each
-//! author's activity share from the maintained sample. The sliding window
-//! drops the influencer to zero; the time-biased sample keeps a decayed
-//! memory and recovers instantly when they return.
+// Influencer tracking (the §1 Twitter example, after Xie et al.).
+//
+// ```sh
+// cargo run --release --example twitter_influencers
+// ```
+//
+// "A prolific tweeter might temporarily stop tweeting due to travel,
+// illness, or some other reason, and hence be completely forgotten in a
+// sliding-window approach." We stream (author, tweet) pairs where one top
+// influencer goes quiet for a stretch; an analytics job estimates each
+// author's activity share from the maintained sample. The sliding window
+// drops the influencer to zero; the time-biased sample keeps a decayed
+// memory and recovers instantly when they return.
 
 use rand::Rng;
 use rand::SeedableRng;

@@ -5,9 +5,7 @@
 use rand::SeedableRng;
 use temporal_sampling::core::traits::BatchSampler;
 use temporal_sampling::core::verify::{max_ratio_violation, measure_inclusion};
-use temporal_sampling::distributed::{
-    CostModel, DRTbs, DrtbsConfig, DTTbs, DttbsConfig, Strategy,
-};
+use temporal_sampling::distributed::{CostModel, DRTbs, DTTbs, DrtbsConfig, DttbsConfig, Strategy};
 use temporal_sampling::prelude::*;
 
 #[test]
@@ -87,8 +85,7 @@ fn figure7_shape_cost_ordering_and_ratios() {
     let (batch, capacity, workers) = (100_000usize, 200_000usize, 8usize);
     let mut elapsed: Vec<(String, f64)> = Vec::new();
     for strategy in Strategy::all() {
-        let mut d: DRTbs<u64> =
-            DRTbs::new(DrtbsConfig::new(0.07, capacity, workers, strategy), 6);
+        let mut d: DRTbs<u64> = DRTbs::new(DrtbsConfig::new(0.07, capacity, workers, strategy), 6);
         d.observe_batch((0..(2 * capacity as u64)).collect());
         let mut total = 0.0;
         for r in 0..3u64 {
@@ -98,8 +95,7 @@ fn figure7_shape_cost_ordering_and_ratios() {
         }
         elapsed.push((strategy.label().to_string(), total / 3.0));
     }
-    let mut t: DTTbs<u64> =
-        DTTbs::new(DttbsConfig::new(0.07, capacity, batch as f64, workers), 7);
+    let mut t: DTTbs<u64> = DTTbs::new(DttbsConfig::new(0.07, capacity, batch as f64, workers), 7);
     t.observe_batch((0..(2 * capacity as u64)).collect());
     let mut total = 0.0;
     for r in 0..3u64 {

@@ -1,0 +1,36 @@
+//! Smoke tests running every example's `main` path in-process.
+//!
+//! Each example source file is compiled into this test binary via
+//! `include!`, so an example that stops compiling breaks `cargo test`
+//! immediately (not just `cargo build --examples`), and one that starts
+//! panicking fails the corresponding test here.
+
+macro_rules! example_smoke {
+    ($($test_name:ident => ($mod_name:ident, $file:literal);)*) => {
+        $(
+            mod $mod_name {
+                #![allow(clippy::all)]
+                include!($file);
+
+                pub fn run() {
+                    main()
+                }
+            }
+
+            #[test]
+            fn $test_name() {
+                $mod_name::run();
+            }
+        )*
+    };
+}
+
+example_smoke! {
+    quickstart_runs => (quickstart, "../examples/quickstart.rs");
+    twitter_influencers_runs => (twitter_influencers, "../examples/twitter_influencers.rs");
+    iot_sensor_drift_runs => (iot_sensor_drift, "../examples/iot_sensor_drift.rs");
+    regression_monitoring_runs => (regression_monitoring, "../examples/regression_monitoring.rs");
+    drift_triggered_retraining_runs =>
+        (drift_triggered_retraining, "../examples/drift_triggered_retraining.rs");
+    distributed_cluster_runs => (distributed_cluster, "../examples/distributed_cluster.rs");
+}

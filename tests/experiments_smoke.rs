@@ -98,7 +98,11 @@ fn theory_checks_are_close() {
     let rows = experiments::theory::transient_mean(0.1, 300, 60, 400, 17);
     for row in &rows {
         let rel_err: f64 = row[3].parse().unwrap();
-        assert!(rel_err < 8.0, "transient mean off by {rel_err}% at t={}", row[0]);
+        assert!(
+            rel_err < 8.0,
+            "transient mean off by {rel_err}% at t={}",
+            row[0]
+        );
     }
     let (sim, pred) = experiments::theory::rtbs_equilibrium(0.07, 1600, 100, 18);
     assert!((sim - pred).abs() < 20.0, "equilibrium {sim} vs {pred}");

@@ -218,6 +218,10 @@ fn chao_pipeline_runs_but_rtbs_is_more_robust() {
     );
     for o in &outputs {
         let mean = o.errors.iter().sum::<f64>() / o.errors.len() as f64;
-        assert!(mean < 70.0, "{} failed to learn at all ({mean:.0}%)", o.name);
+        assert!(
+            mean < 70.0,
+            "{} failed to learn at all ({mean:.0}%)",
+            o.name
+        );
     }
 }

@@ -1,0 +1,399 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits with
+//! the subset of the upstream 1.x API the workspace's wire encoding and
+//! checkpoint formats use. [`Bytes`] is a cheaply cloneable, sliceable view
+//! over shared immutable storage (an `Arc<[u8]>` here rather than the
+//! upstream refcounted vtable design — same semantics, simpler machinery).
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of immutable memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Create an empty `Bytes`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create `Bytes` from a static slice.
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Self::from_vec(slice.to_vec())
+    }
+
+    /// Create `Bytes` by copying `slice`.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Self::from_vec(slice.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Return a sub-view sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copy the view into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state)
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read access to a byte cursor: each `get_*` consumes from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Read a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Copy `len` bytes into a fresh [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    /// Copy bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f64_le(3.25);
+        w.put_slice(b"tail");
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), u64::MAX - 1);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_f64_le(), 3.25);
+        assert_eq!(&b[..], b"tail");
+    }
+
+    #[test]
+    fn slice_shares_storage_and_reads_independently() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        let whole = b.slice(..);
+        assert_eq!(whole, b);
+    }
+
+    #[test]
+    fn copy_to_bytes_consumes() {
+        let mut b = Bytes::from_static(b"hello world");
+        let hello = b.copy_to_bytes(5);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(b.remaining(), 6);
+    }
+
+    #[test]
+    fn buf_on_plain_slice() {
+        let data = [1u8, 0, 0, 0, 2];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u32_le(), 1);
+        assert_eq!(cursor.get_u8(), 2);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(0..4);
+    }
+
+    #[test]
+    fn debug_escapes_bytes() {
+        let b = Bytes::from_static(b"a\x00b");
+        assert_eq!(format!("{b:?}"), "b\"a\\x00b\"");
+    }
+}

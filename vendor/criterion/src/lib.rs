@@ -1,0 +1,394 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the structural API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop instead of upstream's statistical engine.
+//! Each benchmark warms up, runs timed iterations for the configured
+//! measurement window, and prints mean time per iteration (plus throughput
+//! when declared). Good enough to compare orders of magnitude and keep
+//! bench code compiling; use upstream criterion for publication-grade
+//! confidence intervals.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. All variants behave identically
+/// in this shim (one setup per timed iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Total measured time and iteration count of the last run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Self {
+            warm_up,
+            measurement,
+            result: None,
+        }
+    }
+
+    /// Time `routine`, called repeatedly for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((elapsed, iters.max(1)));
+    }
+
+    /// Time `routine` on fresh input from `setup` each iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((elapsed, iters.max(1)));
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness: holds timing configuration and runs benchmarks.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the timed measurement window per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement = dur;
+        self
+    }
+
+    /// Set the untimed warm-up window per benchmark.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up = dur;
+        self
+    }
+
+    /// Ignored (upstream compatibility): this shim has no sample count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.warm_up, self.measurement, &id.to_string(), None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher::new(warm_up, measurement);
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let mut line = format!("{label:<50} time: {:>12}/iter", format_time(per_iter));
+            if let Some(tp) = throughput {
+                let per_sec = |units: u64| units as f64 * 1e9 / per_iter.max(1e-9);
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  thrpt: {:.3e} elem/s", per_sec(n)));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("  thrpt: {:.3e} B/s", per_sec(n)));
+                    }
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{label:<50} (no measurement: bencher never ran)"),
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored (upstream compatibility): this shim times a window rather
+    /// than collecting a fixed number of samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the timed measurement window for this group only.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement = Some(dur);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(
+            self.criterion.warm_up,
+            self.measurement.unwrap_or(self.criterion.measurement),
+            &label,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group, with optional
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_records_measurement() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let (elapsed, iters) = b.result.expect("measured");
+        assert!(iters > 0);
+        assert!(elapsed > Duration::ZERO);
+        assert!(count >= iters);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_on_fresh_input() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.expect("measured").1 > 0);
+    }
+
+    #[test]
+    fn group_and_function_api_compose() {
+        let mut c = fast();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("with_input", 8), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function(BenchmarkId::from_parameter("param"), |b| {
+            b.iter(|| black_box(3))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_measurement_time_does_not_leak_to_parent() {
+        let mut c = fast();
+        {
+            let mut group = c.benchmark_group("scoped");
+            group.measurement_time(Duration::from_millis(1));
+        }
+        assert_eq!(c.measurement, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

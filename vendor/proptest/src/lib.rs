@@ -1,0 +1,101 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro over functions with `arg in strategy`
+//! parameters, range and [`strategy::Just`] strategies, [`prop_oneof!`],
+//! `prop::collection::vec`, and the `prop_assert*` / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the standard assertion
+//!   message; inputs are deterministic (seeded from the test name), so a
+//!   failure reproduces exactly on re-run.
+//! * **No persistence files** and no environment-variable configuration —
+//!   [`test_runner::ProptestConfig::cases`] is the only knob.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    // One closure per case so `prop_assume!` can abandon the
+                    // case with an early `return`.
+                    let __run = move || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Abandon the current case (not counted as a failure) if the precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Build a strategy choosing uniformly among the given strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed_gen($s)),+])
+    };
+}

@@ -1,0 +1,8 @@
+//! Common imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, OneOf, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Access to the strategy module tree (`prop::collection::vec`, ...).
+pub use crate as prop;

@@ -1,0 +1,101 @@
+//! Deterministic case generation: configuration and the test RNG.
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The entropy source for strategies: splitmix64, seeded from the test
+/// name so every test function gets a fixed, independent stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name picks the stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit output (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample below zero");
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n || low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("foo");
+        let mut b = TestRng::deterministic("foo");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = TestRng::deterministic("foo");
+        let mut b = TestRng::deterministic("bar");
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides the exact subset of the `rand` 0.8 API surface the workspace
+//! uses: the [`RngCore`] / [`SeedableRng`] / [`Rng`] traits, the
+//! [`distributions::Standard`] distribution for `f64`/`f32`/integers/`bool`,
+//! and uniform range sampling for `gen_range`. The actual generators
+//! (xoshiro256++, splitmix64) live in `tbs-stats`; this crate only defines
+//! the trait vocabulary they plug into.
+//!
+//! Semantics follow the upstream crate: `Standard` over `f64` yields 53-bit
+//! uniforms in `[0, 1)`, `seed_from_u64` expands the seed with splitmix64,
+//! and `gen_range` panics on empty ranges.
+
+pub mod distributions;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this type
+/// exists only to satisfy the `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw 32/64-bit output and byte
+/// filling.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random bytes, reporting failure via `Err`.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a generator from a `u64`, expanding it with splitmix64 as the
+    /// upstream crate does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Sample a value from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 so the uniform tests see well-mixed bits.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_integer_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(2u64..=9);
+            assert!((2..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_bounds() {
+        let mut rng = Counter(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5f64..4.0);
+            assert!((-2.5..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn seed_from_u64_fills_seed() {
+        struct S([u8; 32]);
+        impl RngCore for S {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+        }
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                S(seed)
+            }
+        }
+        let s = S::seed_from_u64(42);
+        assert!(s.0.iter().any(|&b| b != 0));
+        let t = S::seed_from_u64(42);
+        assert_eq!(s.0, t.0);
+    }
+}
