@@ -8,8 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
-use tbs_core::traits::BatchSampler;
-use tbs_core::util::{retain_random, sample_indices};
+use tbs_core::util::{retain_random, sample_indices, sample_indices_into};
 use tbs_core::{BChao, RTbs};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 use tbs_stats::rounding::{bernoulli_total, stochastic_round};
@@ -53,6 +52,29 @@ fn bench_subset_sampling(c: &mut Criterion) {
                     },
                     criterion::BatchSize::SmallInput,
                 );
+            },
+        );
+    }
+    // The allocation-free scratch-buffer variant, covering both sides of
+    // its documented routing rules (`m·4 ≥ n` or `m > 1024` ⇒ dense): this
+    // is the micro-bench justifying the thresholds in the
+    // `sample_indices_into` docs.
+    for &(n, m) in &[
+        (100_000usize, 100usize), // sparse + small: sorted-prefix Floyd
+        (100_000, 1_000),         // sparse, at the sorted-Floyd cap
+        (100_000, 25_000),        // dense crossover: Fisher–Yates prefix
+        (100_000, 50_000),        // deep dense: Fisher–Yates prefix
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("indices_into_scratch", format!("{n}/{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    sample_indices_into(n, m, &mut rng, &mut scratch);
+                    black_box(scratch.len())
+                });
             },
         );
     }

@@ -7,7 +7,6 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use tbs_core::downsample::downsample;
 use tbs_core::latent::LatentSample;
-use tbs_core::traits::BatchSampler;
 use tbs_core::RTbs;
 use tbs_stats::rng::Xoshiro256PlusPlus;
 

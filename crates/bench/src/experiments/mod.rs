@@ -10,3 +10,4 @@ pub mod linreg;
 pub mod nb;
 pub mod runtime;
 pub mod theory;
+pub mod throughput;

@@ -5,7 +5,6 @@
 use crate::output::{f, print_table, write_csv};
 use rand::SeedableRng;
 use tbs_core::theory;
-use tbs_core::traits::BatchSampler;
 use tbs_core::{RTbs, TTbs};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 use tbs_stats::summary::OnlineMoments;

@@ -1,0 +1,537 @@
+//! Ingest-throughput benchmark — the perf baseline every PR is judged
+//! against.
+//!
+//! §6.4 of the paper argues the samplers are cheap enough to run inline
+//! with model retraining; this experiment makes that claim continuously
+//! measurable. Every sampler is driven through three stream regimes and
+//! timed end-to-end over `observe` calls only (batch generation is excluded
+//! from the timed region):
+//!
+//! * **unsaturated** — capacity above the equilibrium size (§6.3's
+//!   n = 1600, b = 100, λ = 0.07 → C* ≈ 1479), so R-TBS runs its
+//!   decay-and-downsample transition every step;
+//! * **saturated** — capacity below the total-weight equilibrium (Fig 1(b)'s
+//!   n = 1000, b = 100, λ = 0.1 → W* ≈ 1051), so R-TBS runs its
+//!   saturated→saturated batch-replacement transition every step;
+//! * **bursty** — erratic batch sizes (0 to 1000 items, including empty
+//!   batches) over a capacity of 1000, exercising all four R-TBS
+//!   transitions plus B-Chao's overweight bookkeeping.
+//!
+//! Each sampler is measured twice: on the **fast** path (concrete sampler
+//! type + concrete RNG — fully monomorphized, no virtual dispatch) and on
+//! the **dyn** path (`Box<dyn BatchSampler<u64>>` + `&mut dyn RngCore`,
+//! the heterogeneous-harness adapter). The spread between the two is the
+//! price of object safety.
+//!
+//! Results go to `results/bench_throughput.csv` and to a machine-readable
+//! `BENCH_throughput.json` (see [`rows_to_json`]) whose schema downstream
+//! tooling can diff across commits.
+
+use crate::json::Json;
+use crate::output::{f, print_table, write_csv};
+use std::time::Instant;
+use tbs_core::{
+    BAres, BChao, BTbs, BatchSampler, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow,
+};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+use rand::SeedableRng;
+
+/// Tuning knobs for one throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// Batches fed inside the timed region, per repeat.
+    pub measured_batches: usize,
+    /// Untimed batches fed first so every sampler reaches steady state
+    /// (reservoirs saturate, `Vec` capacities hit their high-water marks).
+    pub warmup_batches: usize,
+    /// Timed repeats; the fastest is reported (minimum-time estimator,
+    /// standard for throughput: slower runs measure interference, not the
+    /// code).
+    pub repeats: usize,
+    /// Base RNG seed; each (sampler, path, regime) combination derives its
+    /// own stream from it.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            measured_batches: 20_000,
+            warmup_batches: 2_000,
+            repeats: 3,
+            seed: 0x7B5_2018,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// Tiny iteration counts for CI smoke runs: verifies the harness end to
+    /// end in milliseconds without producing meaningful numbers.
+    pub fn smoke() -> Self {
+        Self {
+            measured_batches: 40,
+            warmup_batches: 20,
+            repeats: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// The bursty regime's repeating batch-size cycle — the single source for
+/// both the per-step schedule and the derived mean.
+const BURSTY_SCHEDULE: [usize; 6] = [0, 1, 250, 7, 90, 1000];
+
+/// The three stream regimes described in the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Capacity above equilibrium: the reservoir never fills.
+    Unsaturated,
+    /// Capacity below the weight equilibrium: pinned at `n`.
+    Saturated,
+    /// Erratic batch sizes, including empty and capacity-sized bursts.
+    Bursty,
+}
+
+impl Regime {
+    /// All regimes, in report order.
+    pub fn all() -> [Regime; 3] {
+        [Regime::Unsaturated, Regime::Saturated, Regime::Bursty]
+    }
+
+    /// Label used in CSV/JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::Unsaturated => "unsaturated",
+            Regime::Saturated => "saturated",
+            Regime::Bursty => "bursty",
+        }
+    }
+
+    /// Reservoir capacity / window size used for every bounded sampler.
+    pub fn capacity(self) -> usize {
+        match self {
+            Regime::Unsaturated => 1600,
+            Regime::Saturated | Regime::Bursty => 1000,
+        }
+    }
+
+    /// Decay rate λ.
+    pub fn lambda(self) -> f64 {
+        match self {
+            Regime::Unsaturated => 0.07,
+            Regime::Saturated | Regime::Bursty => 0.1,
+        }
+    }
+
+    /// Batch size at (0-based) step `t`.
+    pub fn batch_size(self, t: usize) -> usize {
+        match self {
+            Regime::Unsaturated | Regime::Saturated => 100,
+            Regime::Bursty => BURSTY_SCHEDULE[t % BURSTY_SCHEDULE.len()],
+        }
+    }
+
+    /// Mean batch size of the schedule (T-TBS's assumed `b`).
+    pub fn mean_batch(self) -> f64 {
+        match self {
+            Regime::Unsaturated | Regime::Saturated => 100.0,
+            Regime::Bursty => {
+                BURSTY_SCHEDULE.iter().sum::<usize>() as f64 / BURSTY_SCHEDULE.len() as f64
+            }
+        }
+    }
+
+    /// T-TBS target size: the largest feasible target within the capacity
+    /// bound, backed off 10% from the exact feasibility frontier
+    /// `b = n(1 − e^{−λ})` so `q < 1` and the down-sampling path is
+    /// actually exercised.
+    pub fn ttbs_target(self) -> usize {
+        let frontier = self.mean_batch() / (1.0 - (-self.lambda()).exp());
+        ((0.9 * frontier) as usize).min(self.capacity()).max(1)
+    }
+}
+
+/// Which API the sampler was driven through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiPath {
+    /// Concrete sampler + concrete RNG: monomorphized hot path.
+    Fast,
+    /// `Box<dyn BatchSampler<u64>>` + `&mut dyn RngCore`: object-safe
+    /// adapter, as used by heterogeneous harnesses.
+    Dyn,
+}
+
+impl ApiPath {
+    /// Label used in CSV/JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApiPath::Fast => "fast",
+            ApiPath::Dyn => "dyn",
+        }
+    }
+}
+
+/// The samplers under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// R-TBS (Algorithm 2).
+    RTbs,
+    /// T-TBS (Algorithm 1).
+    TTbs,
+    /// B-TBS, the Bernoulli scheme (Algorithm 4).
+    BTbs,
+    /// Uniform batched reservoir (Algorithm 5).
+    Unif,
+    /// B-Chao (Algorithms 6–7).
+    Chao,
+    /// Count-based sliding window.
+    SlidingCount,
+    /// Time-based sliding window.
+    SlidingTime,
+    /// A-Res weighted reservoir (§7).
+    ARes,
+}
+
+impl SamplerKind {
+    /// All samplers, in report order.
+    pub fn all() -> [SamplerKind; 8] {
+        [
+            SamplerKind::RTbs,
+            SamplerKind::TTbs,
+            SamplerKind::BTbs,
+            SamplerKind::Unif,
+            SamplerKind::Chao,
+            SamplerKind::SlidingCount,
+            SamplerKind::SlidingTime,
+            SamplerKind::ARes,
+        ]
+    }
+
+    /// Label used in CSV/JSON output (matches `BatchSampler::name`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerKind::RTbs => "R-TBS",
+            SamplerKind::TTbs => "T-TBS",
+            SamplerKind::BTbs => "B-TBS",
+            SamplerKind::Unif => "Unif",
+            SamplerKind::Chao => "B-Chao",
+            SamplerKind::SlidingCount => "SW",
+            SamplerKind::SlidingTime => "SW-time",
+            SamplerKind::ARes => "A-Res",
+        }
+    }
+}
+
+/// One measured (sampler, path, regime) combination.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Sampler label (`R-TBS`, `T-TBS`, …).
+    pub sampler: &'static str,
+    /// API path label (`fast` or `dyn`).
+    pub path: &'static str,
+    /// Regime label (`unsaturated`, `saturated`, `bursty`).
+    pub regime: &'static str,
+    /// Batches fed inside the timed region.
+    pub batches: usize,
+    /// Items fed inside the timed region.
+    pub items: u64,
+    /// Wall-clock nanoseconds of the fastest repeat.
+    pub elapsed_ns: u64,
+    /// Ingest throughput, items per second.
+    pub items_per_sec: f64,
+    /// Mean cost per item in nanoseconds.
+    pub ns_per_item: f64,
+}
+
+/// Generate `count` batches of the regime's schedule starting at step `t0`;
+/// returns the batches and the total item count.
+fn gen_batches(regime: Regime, count: usize, t0: usize) -> (Vec<Vec<u64>>, u64) {
+    let mut items = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for t in t0..t0 + count {
+        let b = regime.batch_size(t);
+        let base = t as u64 * 1_000_000;
+        out.push((0..b as u64).map(|i| base + i).collect());
+        items += b as u64;
+    }
+    (out, items)
+}
+
+/// Drive `feed` through warmup plus `repeats` timed runs of the regime's
+/// schedule; returns (items per timed run, fastest elapsed ns).
+fn drive<F>(cfg: &ThroughputConfig, regime: Regime, seed: u64, mut feed: F) -> (u64, u64)
+where
+    F: FnMut(Vec<u64>, &mut Xoshiro256PlusPlus),
+{
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let (warm, _) = gen_batches(regime, cfg.warmup_batches, 0);
+    for batch in warm {
+        feed(batch, &mut rng);
+    }
+    let mut best_ns = u64::MAX;
+    let mut items = 0u64;
+    for _rep in 0..cfg.repeats.max(1) {
+        // Every repeat replays the identical schedule window (same t0, so
+        // the same phase of cyclic regimes): equal work per repeat, which
+        // is what makes the minimum-time estimator and the single item
+        // count below valid together.
+        let (batches, n_items) = gen_batches(regime, cfg.measured_batches, cfg.warmup_batches);
+        items = n_items;
+        let start = Instant::now();
+        for batch in batches {
+            feed(batch, &mut rng);
+        }
+        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+    }
+    (items, best_ns.max(1))
+}
+
+fn combo_seed(cfg: &ThroughputConfig, kind: SamplerKind, path: ApiPath, regime: Regime) -> u64 {
+    cfg.seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((kind as u64) << 16 | (path as u64) << 8 | regime as u64)
+}
+
+/// Construct the boxed, type-erased variant of `kind` for the dyn path.
+fn boxed_sampler(kind: SamplerKind, regime: Regime) -> Box<dyn BatchSampler<u64>> {
+    let (n, lambda) = (regime.capacity(), regime.lambda());
+    match kind {
+        SamplerKind::RTbs => Box::new(RTbs::new(lambda, n)),
+        SamplerKind::TTbs => Box::new(TTbs::new(lambda, regime.ttbs_target(), regime.mean_batch())),
+        SamplerKind::BTbs => Box::new(BTbs::new(lambda)),
+        SamplerKind::Unif => Box::new(BatchedReservoir::new(n)),
+        SamplerKind::Chao => Box::new(BChao::new(lambda, n)),
+        SamplerKind::SlidingCount => Box::new(CountWindow::new(n)),
+        SamplerKind::SlidingTime => Box::new(TimeWindow::new(5.0)),
+        SamplerKind::ARes => Box::new(BAres::new(lambda, n)),
+    }
+}
+
+/// Measure one (sampler, path, regime) combination.
+pub fn measure_one(
+    cfg: &ThroughputConfig,
+    kind: SamplerKind,
+    path: ApiPath,
+    regime: Regime,
+) -> ThroughputRow {
+    let seed = combo_seed(cfg, kind, path, regime);
+    let (n, lambda) = (regime.capacity(), regime.lambda());
+    let (items, elapsed_ns) = match path {
+        ApiPath::Dyn => {
+            let mut s = boxed_sampler(kind, regime);
+            drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+        }
+        // Each arm below monomorphizes `observe` over the concrete sampler
+        // type and the concrete xoshiro256++ RNG — no virtual dispatch
+        // anywhere inside the timed loop.
+        ApiPath::Fast => match kind {
+            SamplerKind::RTbs => {
+                let mut s: RTbs<u64> = RTbs::new(lambda, n);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::TTbs => {
+                let mut s: TTbs<u64> = TTbs::new(lambda, regime.ttbs_target(), regime.mean_batch());
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::BTbs => {
+                let mut s: BTbs<u64> = BTbs::new(lambda);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::Unif => {
+                let mut s: BatchedReservoir<u64> = BatchedReservoir::new(n);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::Chao => {
+                let mut s: BChao<u64> = BChao::new(lambda, n);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::SlidingCount => {
+                let mut s: CountWindow<u64> = CountWindow::new(n);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::SlidingTime => {
+                let mut s: TimeWindow<u64> = TimeWindow::new(5.0);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::ARes => {
+                let mut s: BAres<u64> = BAres::new(lambda, n);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+        },
+    };
+    ThroughputRow {
+        sampler: kind.label(),
+        path: path.label(),
+        regime: regime.label(),
+        batches: cfg.measured_batches,
+        items,
+        elapsed_ns,
+        items_per_sec: items as f64 * 1e9 / elapsed_ns as f64,
+        ns_per_item: elapsed_ns as f64 / items.max(1) as f64,
+    }
+}
+
+/// Run the full sampler × path × regime grid.
+pub fn run_throughput(cfg: &ThroughputConfig) -> Vec<ThroughputRow> {
+    run_throughput_filtered(cfg, |_, _, _| true)
+}
+
+/// [`run_throughput`] restricted to the combinations `keep` accepts —
+/// used by the binary's `--filter` flag to iterate on one sampler quickly.
+pub fn run_throughput_filtered(
+    cfg: &ThroughputConfig,
+    keep: impl Fn(SamplerKind, ApiPath, Regime) -> bool,
+) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for kind in SamplerKind::all() {
+        for path in [ApiPath::Fast, ApiPath::Dyn] {
+            for regime in Regime::all() {
+                if keep(kind, path, regime) {
+                    rows.push(measure_one(cfg, kind, path, regime));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Print the aligned console table and write `results/bench_throughput.csv`.
+pub fn report(rows: &[ThroughputRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sampler.to_string(),
+                r.path.to_string(),
+                r.regime.to_string(),
+                r.items.to_string(),
+                f(r.items_per_sec / 1e6, 2),
+                f(r.ns_per_item, 1),
+            ]
+        })
+        .collect();
+    write_csv(
+        "bench_throughput.csv",
+        &[
+            "sampler",
+            "path",
+            "regime",
+            "items",
+            "items_per_sec_millions",
+            "ns_per_item",
+        ],
+        &table,
+    );
+    print_table(
+        "Ingest throughput (fastest of repeats; observe() only)",
+        &["sampler", "path", "regime", "items", "M items/s", "ns/item"],
+        &table,
+    );
+}
+
+/// Assemble the `BENCH_throughput.json` document.
+pub fn rows_to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> Json {
+    let regimes = Regime::all()
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("name", Json::str(r.label())),
+                ("capacity", Json::Int(r.capacity() as i64)),
+                ("lambda", Json::Num(r.lambda())),
+                ("mean_batch", Json::Num(r.mean_batch())),
+            ])
+        })
+        .collect();
+    let row_values = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("sampler", Json::str(r.sampler)),
+                ("path", Json::str(r.path)),
+                ("regime", Json::str(r.regime)),
+                ("batches", Json::Int(r.batches as i64)),
+                ("items", Json::UInt(r.items)),
+                ("elapsed_ns", Json::UInt(r.elapsed_ns)),
+                ("items_per_sec", Json::Num(r.items_per_sec)),
+                ("ns_per_item", Json::Num(r.ns_per_item)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("bench", Json::str("throughput")),
+        ("schema_version", Json::Int(1)),
+        (
+            "config",
+            Json::obj([
+                ("measured_batches", Json::Int(cfg.measured_batches as i64)),
+                ("warmup_batches", Json::Int(cfg.warmup_batches as i64)),
+                ("repeats", Json::Int(cfg.repeats as i64)),
+                ("seed", Json::UInt(cfg.seed)),
+                ("item_type", Json::str("u64")),
+                ("regimes", Json::Arr(regimes)),
+            ]),
+        ),
+        ("rows", Json::Arr(row_values)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_produces_sane_rows() {
+        let cfg = ThroughputConfig::smoke();
+        let rows = run_throughput(&cfg);
+        assert_eq!(rows.len(), 8 * 2 * 3);
+        for r in &rows {
+            assert!(
+                r.items > 0,
+                "{}/{}/{} fed no items",
+                r.sampler,
+                r.path,
+                r.regime
+            );
+            assert!(r.items_per_sec > 0.0);
+            assert!(r.ns_per_item > 0.0);
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_nonempty() {
+        for regime in Regime::all() {
+            let (batches, items) = gen_batches(regime, 12, 0);
+            let (batches2, items2) = gen_batches(regime, 12, 0);
+            assert_eq!(items, items2);
+            assert_eq!(batches.len(), 12);
+            assert_eq!(batches2.len(), 12);
+            assert!(items > 0);
+        }
+    }
+
+    #[test]
+    fn ttbs_targets_are_feasible() {
+        for regime in Regime::all() {
+            // Constructing T-TBS panics on infeasible targets; this must not.
+            let s: TTbs<u64> =
+                TTbs::new(regime.lambda(), regime.ttbs_target(), regime.mean_batch());
+            assert!(s.batch_acceptance() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn json_document_has_rows_and_config() {
+        let cfg = ThroughputConfig::smoke();
+        let rows = vec![measure_one(
+            &cfg,
+            SamplerKind::BTbs,
+            ApiPath::Fast,
+            Regime::Saturated,
+        )];
+        let doc = rows_to_json(&cfg, &rows).to_string();
+        assert!(doc.contains("\"bench\":\"throughput\""));
+        assert!(doc.contains("\"sampler\":\"B-TBS\""));
+        assert!(doc.contains("\"items_per_sec\""));
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal JSON emission for machine-readable benchmark artifacts.
+//!
+//! The workspace builds fully offline (no serde), so the `BENCH_*.json`
+//! files are produced by this hand-rolled serializer. It supports exactly
+//! the subset the benchmark harness needs — objects, arrays, strings,
+//! integers, floats, booleans, null — and guarantees valid, deterministic
+//! output: object keys keep insertion order, floats are rendered with
+//! enough precision to round-trip, and non-finite floats degrade to
+//! `null` (JSON has no NaN/Inf).
+
+use std::fmt::{self, Display, Write as _};
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (serialized without a decimal point).
+    Int(i64),
+    /// Unsigned integer, for counters that can exceed `i64`.
+    UInt(u64),
+    /// Floating-point number; NaN/Inf serialize as `null`.
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline, ready
+    /// to write to a `BENCH_*.json` file.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Display for Json {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::UInt(u) => write!(f, "{u}"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` on f64 prints the shortest representation that
+                    // round-trips, and always includes a decimal point or
+                    // exponent — i.e. valid JSON.
+                    write!(f, "{x:?}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut buf, k);
+                    write!(f, "{buf}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialization() {
+        let v = Json::obj([
+            ("a", Json::Int(1)),
+            (
+                "b",
+                Json::Arr(vec![Json::Num(0.5), Json::Null, Json::Bool(true)]),
+            ),
+            ("c", Json::str("x\"y")),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[0.5,null,true],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_json() {
+        assert_eq!(Json::Num(2.0).to_string(), "2.0");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        let x = 1_234.567_890_123;
+        let s = Json::Num(x).to_string();
+        assert_eq!(s.parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let s = Json::str("a\nb\t\u{1}").to_string();
+        assert_eq!(s, "\"a\\nb\\t\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Json::obj([("rows", Json::Arr(vec![Json::Int(1)]))]);
+        assert_eq!(v.to_pretty_string(), "{\n  \"rows\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        let v = Json::obj([("a", Json::Arr(vec![])), ("b", Json::Obj(vec![]))]);
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": [],\n  \"b\": {}\n}\n");
+    }
+
+    #[test]
+    fn uint_beyond_i64_survives() {
+        let v = Json::UInt(u64::MAX);
+        assert_eq!(v.to_string(), u64::MAX.to_string());
+    }
+}

@@ -9,8 +9,16 @@
 //! 2. the `all_experiments` binary that runs the full suite;
 //! 3. Criterion microbenches (`benches/`) for the per-batch costs.
 //!
+//! Beyond the paper's figures, [`experiments::throughput`] (the
+//! `bench_throughput` binary) measures ingest items/sec and ns/item for
+//! every sampler and writes the machine-readable `BENCH_throughput.json`
+//! perf baseline at the repo root; [`json`] is the offline serializer
+//! behind it, and the vendored criterion shim emits the same row format
+//! when `CRITERION_JSON` is set.
+//!
 //! See EXPERIMENTS.md at the workspace root for the paper-vs-measured
 //! comparison of every experiment.
 
 pub mod experiments;
+pub mod json;
 pub mod output;

@@ -10,15 +10,18 @@ use std::path::PathBuf;
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("TBS_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            // crates/bench/../../results
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("..")
-                .join("..")
-                .join("results")
-        });
+        .unwrap_or_else(|_| workspace_root().join("results"));
     fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+/// The workspace root (two levels above this crate's manifest) — where the
+/// `BENCH_*.json` perf baselines live so they are easy to diff across
+/// commits.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
 }
 
 /// Write a CSV file into the results directory; returns its path.

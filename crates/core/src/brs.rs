@@ -7,12 +7,16 @@
 //! algorithm item by item. Every item seen so far is equally likely to be in
 //! the sample (decay rate λ = 0) — this is the `Unif` baseline of §6.
 
-use crate::traits::BatchSampler;
-use crate::util::{draw_without_replacement, retain_random};
-use rand::RngCore;
+use crate::traits::adapt_batch_sampler;
+use crate::util::retain_random;
+use rand::Rng;
 use tbs_stats::hypergeometric::hypergeometric;
 
 /// Uniform bounded reservoir over a batch stream.
+///
+/// The inherent `observe` method is the monomorphized, allocation-free
+/// fast path; the [`crate::traits::BatchSampler`] impl is a thin
+/// `dyn`-RNG adapter over it.
 #[derive(Debug, Clone)]
 pub struct BatchedReservoir<T> {
     items: Vec<T>,
@@ -68,49 +72,63 @@ impl<T> BatchedReservoir<T> {
     pub fn items(&self) -> &[T] {
         &self.items
     }
-}
 
-impl<T: Clone> BatchSampler<T> for BatchedReservoir<T> {
-    fn observe(&mut self, mut batch: Vec<T>, rng: &mut dyn RngCore) {
+    /// Advance the clock by one time unit and absorb the arriving batch —
+    /// the monomorphized fast path.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, rng: &mut R) {
         let b = batch.len() as u64;
         // New sample size C = min(n, W + |B_t|).
         let c = (self.capacity as u64).min(self.seen + b);
         // M = number of batch items in a uniform C-subset of the W + |B_t|
         // items seen so far: HyperGeo(C, |B_t|, W).
         let m = hypergeometric(rng, c, b, self.seen) as usize;
-        // Keep min(n − M, |S|) old items, insert M new ones.
+        // Keep min(n − M, |S|) old items, insert M new ones. Both subset
+        // selections run in place on their own vectors — nothing is
+        // allocated beyond the caller-provided batch.
         let keep = (self.capacity - m).min(self.items.len());
         retain_random(&mut self.items, keep, rng);
-        let inserted = draw_without_replacement(&mut batch, m, rng);
-        self.items.extend(inserted);
+        retain_random(&mut batch, m, rng);
+        self.items.append(&mut batch);
         self.seen += b;
         self.steps += 1;
     }
 
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
-        self.items.clone()
-    }
-
-    fn expected_size(&self) -> f64 {
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
         self.items.len() as f64
     }
 
-    fn max_size(&self) -> Option<usize> {
+    /// Hard upper bound on the sample size: `Some(n)`.
+    pub fn max_size(&self) -> Option<usize> {
         Some(self.capacity)
     }
 
-    fn decay_rate(&self) -> f64 {
+    /// Uniform scheme: decay rate 0.
+    pub fn decay_rate(&self) -> f64 {
         0.0
     }
 
-    fn batches_observed(&self) -> u64 {
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
         self.steps
     }
 
-    fn name(&self) -> &'static str {
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
         "Unif"
     }
 }
+
+impl<T: Clone> BatchedReservoir<T> {
+    /// Copy out the current sample (deterministic; `rng` is unused and
+    /// accepted only for signature uniformity with the latent schemes).
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
+        self.items.clone()
+    }
+}
+
+adapt_batch_sampler!(BatchedReservoir);
 
 #[cfg(test)]
 mod tests {

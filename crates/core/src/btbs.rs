@@ -12,16 +12,20 @@
 //! grow the sample without bound. This is the scheme of Xie et al. (ICDE
 //! 2015) used for time-biased edge sampling in dynamic graphs.
 
-use crate::traits::{check_gap, BatchSampler, TimedBatchSampler};
-use crate::util::retain_random;
-use rand::RngCore;
+use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
+use crate::util::{retain_random, DecayCache};
+use rand::Rng;
 use tbs_stats::binomial::binomial;
 
 /// Bernoulli time-biased sampler with decay rate λ.
+///
+/// The inherent `observe`/`observe_after` methods are the monomorphized,
+/// allocation-free fast path; the [`crate::traits::BatchSampler`] impl is
+/// a thin `dyn`-RNG adapter over them.
 #[derive(Debug, Clone)]
 pub struct BTbs<T> {
     items: Vec<T>,
-    lambda: f64,
+    decay: DecayCache,
     steps: u64,
 }
 
@@ -38,7 +42,7 @@ impl<T> BTbs<T> {
         );
         Self {
             items: Vec::new(),
-            lambda,
+            decay: DecayCache::new(lambda),
             steps: 0,
         }
     }
@@ -65,8 +69,51 @@ impl<T> BTbs<T> {
         &self.items
     }
 
-    fn decay_and_insert(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        let p = (-self.lambda * gap).exp();
+    /// Advance the clock by one time unit and absorb the arriving batch —
+    /// the monomorphized fast path.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+        let p = self.decay.unit();
+        self.decay_and_insert(batch, p, rng);
+    }
+
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is negative or non-finite.
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+        check_gap(gap);
+        let p = self.decay.factor(gap);
+        self.decay_and_insert(batch, p, rng);
+    }
+
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
+        self.items.len() as f64
+    }
+
+    /// No hard bound: B-TBS has no size control at all.
+    pub fn max_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Exponential decay rate λ.
+    pub fn decay_rate(&self) -> f64 {
+        self.decay.lambda()
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        "B-TBS"
+    }
+
+    fn decay_and_insert<R: Rng + ?Sized>(&mut self, batch: Vec<T>, p: f64, rng: &mut R) {
         // Simulate |S| independent retention flips with one binomial draw,
         // then keep that many uniformly chosen survivors (Alg. 4, lines 4-5).
         let keep = binomial(rng, self.items.len() as u64, p) as usize;
@@ -76,42 +123,16 @@ impl<T> BTbs<T> {
     }
 }
 
-impl<T: Clone> BatchSampler<T> for BTbs<T> {
-    fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
-        self.decay_and_insert(batch, 1.0, rng);
-    }
-
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
+impl<T: Clone> BTbs<T> {
+    /// Copy out the current sample (deterministic; `rng` is unused and
+    /// accepted only for signature uniformity with the latent schemes).
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.clone()
     }
-
-    fn expected_size(&self) -> f64 {
-        self.items.len() as f64
-    }
-
-    fn max_size(&self) -> Option<usize> {
-        None
-    }
-
-    fn decay_rate(&self) -> f64 {
-        self.lambda
-    }
-
-    fn batches_observed(&self) -> u64 {
-        self.steps
-    }
-
-    fn name(&self) -> &'static str {
-        "B-TBS"
-    }
 }
 
-impl<T: Clone> TimedBatchSampler<T> for BTbs<T> {
-    fn observe_after(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        check_gap(gap);
-        self.decay_and_insert(batch, gap, rng);
-    }
-}
+adapt_batch_sampler!(BTbs);
+adapt_timed_batch_sampler!(BTbs);
 
 #[cfg(test)]
 mod tests {

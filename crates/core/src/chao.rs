@@ -17,10 +17,19 @@
 //! normalization) is reproduced faithfully — including the cost it adds,
 //! which the benchmarks compare against R-TBS's lighter state.
 
-use crate::traits::{check_gap, BatchSampler, TimedBatchSampler};
-use rand::{Rng, RngCore};
+use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
+use crate::util::DecayCache;
+use rand::Rng;
 
 /// Batched time-decayed Chao sampler with capacity `n` and decay rate λ.
+///
+/// The inherent `observe`/`observe_after` methods are the monomorphized
+/// fast path; the [`crate::traits::BatchSampler`] impl is a thin
+/// `dyn`-RNG adapter over them. In the well-fed steady state (no
+/// overweight items) per-batch processing allocates nothing; the
+/// overweight bookkeeping of Algorithm 7 allocates scratch vectors when it
+/// actually triggers — that cost is part of what the benchmarks compare
+/// against R-TBS's lighter state.
 #[derive(Debug, Clone)]
 pub struct BChao<T> {
     /// Non-overweight items currently in the sample (weights not tracked —
@@ -31,7 +40,7 @@ pub struct BChao<T> {
     /// Aggregate weight `W` of all *non-overweight* items seen so far
     /// (in or out of the sample).
     agg_weight: f64,
-    lambda: f64,
+    decay: DecayCache,
     capacity: usize,
     steps: u64,
 }
@@ -52,7 +61,7 @@ impl<T> BChao<T> {
             sample: Vec::with_capacity(capacity),
             overweight: Vec::new(),
             agg_weight: 0.0,
-            lambda,
+            decay: DecayCache::new(lambda),
             capacity,
             steps: 0,
         }
@@ -78,8 +87,52 @@ impl<T> BChao<T> {
         self.agg_weight
     }
 
+    /// Advance the clock by one time unit and absorb the arriving batch —
+    /// the monomorphized fast path.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+        let decay = self.decay.unit();
+        self.step(batch, decay, rng);
+    }
+
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is negative or non-finite.
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+        check_gap(gap);
+        let decay = self.decay.factor(gap);
+        self.step(batch, decay, rng);
+    }
+
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
+        self.len() as f64
+    }
+
+    /// Hard upper bound on the sample size: `Some(n)`.
+    pub fn max_size(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    /// Exponential decay rate λ.
+    pub fn decay_rate(&self) -> f64 {
+        self.decay.lambda()
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        "B-Chao"
+    }
+
     /// Process one arriving item against a full reservoir.
-    fn accept_one(&mut self, x: T, rng: &mut dyn RngCore) {
+    fn accept_one<R: Rng + ?Sized>(&mut self, x: T, rng: &mut R) {
         // ——— Normalize (Algorithm 7). ———
         // Total weight including the new item and the overweight set.
         let total: f64 =
@@ -175,8 +228,7 @@ impl<T> BChao<T> {
         self.sample.extend(newly_normal.into_iter().map(|(z, _)| z));
     }
 
-    fn step(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        let decay = (-self.lambda * gap).exp();
+    fn step<R: Rng + ?Sized>(&mut self, batch: Vec<T>, decay: f64, rng: &mut R) {
         self.agg_weight *= decay;
         for entry in &mut self.overweight {
             entry.1 *= decay;
@@ -196,44 +248,19 @@ impl<T> BChao<T> {
     }
 }
 
-impl<T: Clone> BatchSampler<T> for BChao<T> {
-    fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
-        self.step(batch, 1.0, rng);
-    }
-
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
+impl<T: Clone> BChao<T> {
+    /// Copy out the current sample, overweight items included
+    /// (deterministic; `rng` is unused and accepted only for signature
+    /// uniformity with the latent schemes).
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         let mut out = self.sample.clone();
         out.extend(self.overweight.iter().map(|(z, _)| z.clone()));
         out
     }
-
-    fn expected_size(&self) -> f64 {
-        self.len() as f64
-    }
-
-    fn max_size(&self) -> Option<usize> {
-        Some(self.capacity)
-    }
-
-    fn decay_rate(&self) -> f64 {
-        self.lambda
-    }
-
-    fn batches_observed(&self) -> u64 {
-        self.steps
-    }
-
-    fn name(&self) -> &'static str {
-        "B-Chao"
-    }
 }
 
-impl<T: Clone> TimedBatchSampler<T> for BChao<T> {
-    fn observe_after(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        check_gap(gap);
-        self.step(batch, gap, rng);
-    }
-}
+adapt_batch_sampler!(BChao);
+adapt_timed_batch_sampler!(BChao);
 
 #[cfg(test)]
 mod tests {

@@ -24,8 +24,7 @@
 //!   backward schemes cannot support without per-item timestamp updates.
 
 use crate::rtbs::RTbs;
-use crate::traits::BatchSampler;
-use rand::RngCore;
+use rand::Rng;
 
 /// A monotone non-decreasing decay gauge `g` with `g(x) > 0` for `x ≥ 0`.
 pub trait DecayGauge {
@@ -105,7 +104,9 @@ impl<T: Clone, G: DecayGauge> ForwardDecayRTbs<T, G> {
     }
 
     /// Absorb the next batch (arriving one time unit after the previous).
-    pub fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
+    /// Generic over the RNG: with a concrete generator this is as
+    /// monomorphized as the underlying [`RTbs`] fast path.
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
         let prev = self.now;
         self.now += 1.0;
         // Common factor applied to all previously stored weights.
@@ -115,7 +116,7 @@ impl<T: Clone, G: DecayGauge> ForwardDecayRTbs<T, G> {
     }
 
     /// Realize the current sample.
-    pub fn sample(&self, rng: &mut dyn RngCore) -> Vec<T> {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<T> {
         self.core.sample(rng)
     }
 

@@ -14,7 +14,7 @@
 //! 2. the partial item is present iff `frac(C) > 0`;
 //! 3. `C ≥ 0`.
 
-use crate::util::draw_without_replacement;
+use crate::util::uniform_index;
 use rand::Rng;
 
 /// A latent fractional sample `(A, π, C)`.
@@ -95,6 +95,13 @@ impl<T> LatentSample<T> {
     /// replacements; the weight is unchanged (Alg. 2 line 17, the
     /// saturated→saturated transition).
     ///
+    /// Victims are overwritten **in place** via a partial Fisher–Yates
+    /// sweep — the item count never changes and no intermediate victim
+    /// vector is allocated. At iteration `i` the slots `i..len` hold
+    /// exactly the not-yet-replaced originals, so drawing `j` uniformly
+    /// from that suffix and overwriting slot `i` (after a swap) evicts a
+    /// uniform `m`-subset.
+    ///
     /// # Panics
     ///
     /// Panics if `replacements.len()` exceeds the number of full items.
@@ -105,9 +112,71 @@ impl<T> LatentSample<T> {
             "cannot replace {m} items in a sample of {}",
             self.full.len()
         );
-        let victims = draw_without_replacement(&mut self.full, m, rng);
-        drop(victims);
-        self.full.extend(replacements);
+        let len = self.full.len();
+        for (i, rep) in replacements.into_iter().enumerate() {
+            let j = i + uniform_index(rng, len - i);
+            self.full.swap(i, j);
+            self.full[i] = rep;
+        }
+    }
+
+    /// [`Self::replace_random_full`] fed from a borrowed donor pool: moves
+    /// a uniform `m`-subset of `donors` into the sample, replacing `m`
+    /// uniformly chosen full items, which are swapped back into the
+    /// vacated donor slots. The weight is unchanged and **nothing is
+    /// allocated** — this is the R-TBS saturated→saturated hot path
+    /// (Alg. 2 lines 16–17), where `donors` is the arriving batch.
+    ///
+    /// Both subsets are chosen by partial Fisher–Yates prefix sweeps
+    /// (distributionally identical to drawing `m` distinct indices with
+    /// Floyd's algorithm, but with no index buffer). Donor selection draws
+    /// only `min(m, |donors| − m)` random numbers: when most of the batch
+    /// is accepted — the common case right at saturation, where
+    /// `m/|B| = n/W ≈ 1` — it is the uniform *complement* (the rejected
+    /// items) that is swept into the prefix, and the accepted subset is
+    /// the suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds `donors.len()` or the number of full items.
+    pub fn replace_random_full_from<R: Rng + ?Sized>(
+        &mut self,
+        donors: &mut [T],
+        m: usize,
+        rng: &mut R,
+    ) {
+        assert!(
+            m <= donors.len() && m <= self.full.len(),
+            "cannot move {m} of {} donors into a sample of {}",
+            donors.len(),
+            self.full.len()
+        );
+        let d = donors.len();
+        // Select the accepted donor subset by sweeping the *smaller* of the
+        // subset and its complement into the prefix; a uniform subset's
+        // complement is itself uniform, so both arrangements leave a
+        // uniform m-subset at `start..start + m`.
+        let start = if 2 * m <= d {
+            for i in 0..m {
+                let j = i + uniform_index(rng, d - i);
+                donors.swap(i, j);
+            }
+            0
+        } else {
+            let excluded = d - m;
+            for i in 0..excluded {
+                let j = i + uniform_index(rng, d - i);
+                donors.swap(i, j);
+            }
+            excluded
+        };
+        let full_len = self.full.len();
+        for i in 0..m {
+            // The next victim among the untouched full items.
+            let k = i + uniform_index(rng, full_len - i);
+            self.full.swap(i, k);
+            std::mem::swap(&mut self.full[i], &mut donors[start + i]);
+        }
     }
 
     /// `Swap1(A, π)`: move a uniformly chosen item from `A` to `π`, moving
@@ -118,7 +187,7 @@ impl<T> LatentSample<T> {
     /// Panics if `A` is empty.
     pub(crate) fn swap1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         assert!(!self.full.is_empty(), "Swap1 requires a full item");
-        let idx = rng.gen_range(0..self.full.len());
+        let idx = uniform_index(rng, self.full.len());
         let chosen = self.full.swap_remove(idx);
         if let Some(old_partial) = self.partial.replace(chosen) {
             self.full.push(old_partial);
@@ -133,7 +202,7 @@ impl<T> LatentSample<T> {
     /// Panics if `A` is empty.
     pub(crate) fn move1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         assert!(!self.full.is_empty(), "Move1 requires a full item");
-        let idx = rng.gen_range(0..self.full.len());
+        let idx = uniform_index(rng, self.full.len());
         let chosen = self.full.swap_remove(idx);
         self.partial = Some(chosen);
     }
@@ -148,6 +217,15 @@ impl<T> LatentSample<T> {
 
     pub(crate) fn clear_partial(&mut self) {
         self.partial = None;
+    }
+
+    /// Reset to the empty latent sample (`C = 0`) **without** releasing the
+    /// full-item buffer, so a sampler that momentarily decays to zero weight
+    /// re-fills without reallocating.
+    pub fn clear(&mut self) {
+        self.full.clear();
+        self.partial = None;
+        self.weight = 0.0;
     }
 
     /// Verify the structural invariants; used by tests and debug assertions.
@@ -179,13 +257,24 @@ impl<T: Clone> LatentSample<T> {
     /// Realize a sample `S` from the latent state per equation (2): all full
     /// items, plus the partial item with probability `frac(C)`.
     pub fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<T> {
-        let mut out = self.full.clone();
+        let mut out = Vec::with_capacity(self.footprint());
+        self.realize_into(rng, &mut out);
+        out
+    }
+
+    /// [`Self::realize`] into a caller-owned buffer: `out` is cleared and
+    /// refilled. Once the buffer's capacity covers the footprint, repeated
+    /// realizations allocate nothing — callers that materialize the sample
+    /// every batch (model-retraining loops, the benchmark harness) should
+    /// hold one buffer and reuse it.
+    pub fn realize_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(&self.full);
         if let Some(p) = &self.partial {
             if rng.gen::<f64>() < self.frac() {
                 out.push(p.clone());
             }
         }
-        out
     }
 }
 
@@ -306,6 +395,151 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let mut l = LatentSample::from_full(vec![1]);
         l.replace_random_full(vec![2, 3], &mut rng);
+    }
+
+    #[test]
+    fn replace_random_full_never_changes_length() {
+        // The in-place overwrite must keep |A| and C fixed for every m,
+        // including the m = 0 and m = |A| edges.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(20);
+        for m in [0usize, 1, 5, 10] {
+            let mut l = LatentSample::from_full((0..10u32).collect::<Vec<_>>());
+            l.replace_random_full((100..100 + m as u32).collect(), &mut rng);
+            assert_eq!(l.full_items().len(), 10, "length changed for m={m}");
+            assert_eq!(l.weight(), 10.0);
+            let news = l.full_items().iter().filter(|&&x| x >= 100).count();
+            assert_eq!(news, m, "wrong replacement count for m={m}");
+            l.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn replace_random_full_victims_are_uniform() {
+        // Chi² test: every original item must be evicted equally often.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(21);
+        let trials = 60_000u64;
+        let n = 10usize;
+        let m = 3usize;
+        let mut evicted = vec![0u64; n];
+        for _ in 0..trials {
+            let mut l = LatentSample::from_full((0..n as u32).collect::<Vec<_>>());
+            l.replace_random_full(vec![999; m], &mut rng);
+            let survivors: std::collections::HashSet<u32> =
+                l.full_items().iter().copied().collect();
+            for v in 0..n as u32 {
+                if !survivors.contains(&v) {
+                    evicted[v as usize] += 1;
+                }
+            }
+        }
+        let expected = vec![trials as f64 * m as f64 / n as f64; n];
+        assert!(
+            !tbs_stats::chi2::chi2_statistic_exceeds(&evicted, &expected, 5.0, 1e-4),
+            "victim choice not uniform: {evicted:?}"
+        );
+    }
+
+    #[test]
+    fn replace_random_full_from_swaps_victims_into_donors() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(22);
+        let mut l = LatentSample::from_full((0..10u32).collect::<Vec<_>>());
+        let mut donors: Vec<u32> = (100..108).collect();
+        l.replace_random_full_from(&mut donors, 4, &mut rng);
+        assert_eq!(l.full_items().len(), 10);
+        assert_eq!(l.weight(), 10.0);
+        assert_eq!(
+            l.full_items().iter().filter(|&&x| x >= 100).count(),
+            4,
+            "exactly m donors must enter the sample"
+        );
+        // The pool still holds 8 items: 4 unused donors + 4 evicted originals.
+        assert_eq!(donors.len(), 8);
+        assert_eq!(donors.iter().filter(|&&x| x < 100).count(), 4);
+        // Conservation: sample ∪ donors is a permutation of the inputs.
+        let mut all: Vec<u32> = l
+            .full_items()
+            .iter()
+            .chain(donors.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u32> = (0..10).chain(100..108).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_random_full_from_selects_uniform_donors_and_victims() {
+        // Both marginals at once: donor inclusion and victim eviction must
+        // each be uniform over their pools.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(23);
+        let trials = 60_000u64;
+        let (n, d, m) = (8usize, 6usize, 2usize);
+        let mut evicted = vec![0u64; n];
+        let mut inserted = vec![0u64; d];
+        for _ in 0..trials {
+            let mut l = LatentSample::from_full((0..n as u32).collect::<Vec<_>>());
+            let mut donors: Vec<u32> = (100..100 + d as u32).collect();
+            l.replace_random_full_from(&mut donors, m, &mut rng);
+            let sample: std::collections::HashSet<u32> = l.full_items().iter().copied().collect();
+            for v in 0..n as u32 {
+                if !sample.contains(&v) {
+                    evicted[v as usize] += 1;
+                }
+            }
+            for v in 0..d as u32 {
+                if sample.contains(&(100 + v)) {
+                    inserted[v as usize] += 1;
+                }
+            }
+        }
+        let expect_evict = vec![trials as f64 * m as f64 / n as f64; n];
+        let expect_insert = vec![trials as f64 * m as f64 / d as f64; d];
+        assert!(
+            !tbs_stats::chi2::chi2_statistic_exceeds(&evicted, &expect_evict, 5.0, 1e-4),
+            "victims not uniform: {evicted:?}"
+        );
+        assert!(
+            !tbs_stats::chi2::chi2_statistic_exceeds(&inserted, &expect_insert, 5.0, 1e-4),
+            "donors not uniform: {inserted:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move")]
+    fn replace_from_rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(24);
+        let mut l = LatentSample::from_full(vec![1u8, 2]);
+        let mut donors = vec![3u8];
+        l.replace_random_full_from(&mut donors, 2, &mut rng);
+    }
+
+    #[test]
+    fn realize_into_reuses_buffer() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(25);
+        let mut l = LatentSample::from_full(vec![1, 2, 3, 4]);
+        l.move1(&mut rng);
+        l.set_weight(3.5);
+        let mut out: Vec<i32> = Vec::with_capacity(8);
+        for _ in 0..100 {
+            l.realize_into(&mut rng, &mut out);
+            assert!(out.len() == 3 || out.len() == 4);
+            assert!(out.capacity() <= 8, "buffer grew unexpectedly");
+        }
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut l = LatentSample::from_full((0..100u32).collect::<Vec<_>>());
+        let cap_before = l.full_items().len();
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.weight(), 0.0);
+        l.check_invariants().unwrap();
+        // Refill: the retained buffer accepts items again.
+        l.push_full(0..cap_before as u32);
+        assert_eq!(l.weight(), cap_before as f64);
     }
 
     #[test]

@@ -30,18 +30,31 @@
 //! | [`sliding::CountWindow`] | all-or-nothing | hard bound | yes |
 //! | [`sliding::TimeWindow`] | all-or-nothing | none | yes |
 //!
-//! All schemes implement [`traits::BatchSampler`]; the decay-aware ones also
-//! implement [`traits::TimedBatchSampler`] for real-valued inter-arrival
-//! gaps.
+//! ## Two API layers
+//!
+//! Every sampler's ingest API exists twice (see [`traits`] for the full
+//! rationale):
+//!
+//! * **inherent generic methods** (`observe<R: Rng>`, `observe_after`,
+//!   `sample`, `sample_into`) — the monomorphized fast path. With a
+//!   concrete RNG the per-batch transition inlines every random draw and
+//!   performs zero steady-state heap allocations beyond the caller-provided
+//!   batch. Concrete call sites get this automatically: inherent methods
+//!   shadow the trait methods of the same name.
+//! * the object-safe [`traits::BatchSampler`] / [`traits::TimedBatchSampler`]
+//!   (`&mut dyn RngCore`) — thin adapters over the inherent methods, for
+//!   heterogeneous `Box<dyn BatchSampler<T>>` collections (the ML pipeline,
+//!   the evaluation harness). The `bench_throughput` binary in `tbs-bench`
+//!   measures the dispatch cost of this layer (`fast` vs `dyn` rows).
 //!
 //! ## Example
 //!
 //! Feed 50 batches to R-TBS with decay rate λ = 0.07 and a hard bound of
-//! 100 items, then realize a sample:
+//! 100 items, then realize a sample. `rng` is a concrete xoshiro256++, so
+//! every call below is monomorphized — no trait import needed:
 //!
 //! ```rust
 //! use rand::SeedableRng;
-//! use tbs_core::traits::BatchSampler;
 //! use tbs_core::RTbs;
 //! use tbs_stats::rng::Xoshiro256PlusPlus;
 //!
@@ -53,6 +66,11 @@
 //! }
 //! let sample = sampler.sample(&mut rng);
 //! assert!(sample.len() <= 100);
+//! // Retraining loops that realize the sample every batch can reuse one
+//! // buffer instead of allocating a fresh Vec per call:
+//! let mut buf = Vec::new();
+//! sampler.sample_into(&mut rng, &mut buf);
+//! assert_eq!(buf.len(), sample.len());
 //! // The exponential decay law keeps total weight near 20 / (1 − e^{−λ}).
 //! assert!(sampler.total_weight() > 100.0);
 //! ```

@@ -20,18 +20,30 @@
 
 use crate::downsample::downsample;
 use crate::latent::LatentSample;
-use crate::traits::{check_gap, BatchSampler, TimedBatchSampler};
-use crate::util::draw_without_replacement;
-use rand::RngCore;
+use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
+use crate::util::DecayCache;
+use rand::Rng;
 use tbs_stats::rounding::stochastic_round;
 
 /// Reservoir-based time-biased sampler with decay rate λ and capacity `n`.
+///
+/// # Performance
+///
+/// The inherent `observe`/`observe_after`/`sample` methods are generic
+/// over the RNG — call them with a concrete generator (e.g.
+/// `Xoshiro256PlusPlus`) and the whole per-batch transition is
+/// monomorphized with the RNG inlined into the inner loops. Steady-state
+/// ingest performs **zero heap allocations** beyond the caller-provided
+/// batch: victims are overwritten by in-place swaps, the unit-gap decay
+/// factor is memoized, and the latent sample's buffers persist at their
+/// high-water capacity. The [`crate::traits::BatchSampler`] impl is a thin
+/// `dyn`-RNG adapter over the same methods for heterogeneous harnesses.
 #[derive(Debug, Clone)]
 pub struct RTbs<T> {
     latent: LatentSample<T>,
     /// Total decayed weight `W_t` of all items seen so far.
     total_weight: f64,
-    lambda: f64,
+    decay: DecayCache,
     capacity: usize,
     steps: u64,
 }
@@ -51,7 +63,7 @@ impl<T> RTbs<T> {
         Self {
             latent: LatentSample::empty(),
             total_weight: 0.0,
-            lambda,
+            decay: DecayCache::new(lambda),
             capacity,
             steps: 0,
         }
@@ -92,8 +104,24 @@ impl<T> RTbs<T> {
         self.capacity
     }
 
-    fn step(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        let decay = (-self.lambda * gap).exp();
+    /// Advance the clock by one time unit and absorb the arriving batch —
+    /// the monomorphized fast path (see the type-level docs).
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+        let decay = self.decay.unit();
+        self.step_with_decay(batch, decay, rng);
+    }
+
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    /// Repeated gaps reuse the memoized decay factor instead of calling
+    /// `exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is negative or non-finite.
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+        check_gap(gap);
+        let decay = self.decay.factor(gap);
         self.step_with_decay(batch, decay, rng);
     }
 
@@ -109,7 +137,7 @@ impl<T> RTbs<T> {
     /// # Panics
     ///
     /// Panics if `decay` is outside `(0, 1]`.
-    pub fn observe_with_decay(&mut self, batch: Vec<T>, decay: f64, rng: &mut dyn RngCore) {
+    pub fn observe_with_decay<R: Rng + ?Sized>(&mut self, batch: Vec<T>, decay: f64, rng: &mut R) {
         assert!(
             decay > 0.0 && decay <= 1.0,
             "per-step decay factor must lie in (0, 1], got {decay}"
@@ -117,7 +145,32 @@ impl<T> RTbs<T> {
         self.step_with_decay(batch, decay, rng);
     }
 
-    fn step_with_decay(&mut self, mut batch: Vec<T>, decay: f64, rng: &mut dyn RngCore) {
+    /// Expected size of `S_t` — the sample weight `C_t`.
+    pub fn expected_size(&self) -> f64 {
+        self.latent.weight()
+    }
+
+    /// Hard upper bound on the sample size: `Some(n)`.
+    pub fn max_size(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    /// Exponential decay rate λ.
+    pub fn decay_rate(&self) -> f64 {
+        self.decay.lambda()
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        "R-TBS"
+    }
+
+    fn step_with_decay<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, decay: f64, rng: &mut R) {
         let n = self.capacity as f64;
         let batch_size = batch.len();
 
@@ -128,7 +181,7 @@ impl<T> RTbs<T> {
                 // line 8: downsample to the decayed weight
                 downsample(&mut self.latent, self.total_weight, rng);
             } else if self.total_weight == 0.0 {
-                self.latent = LatentSample::empty();
+                self.latent.clear();
             }
             // line 9-10: accept all arriving items as full
             self.latent.push_full(batch);
@@ -142,13 +195,14 @@ impl<T> RTbs<T> {
             let new_weight = self.total_weight * decay + batch_size as f64; // line 14
             if new_weight >= n {
                 // Still saturated: accept each batch item w.p. n/W via a
-                // single stochastically rounded count (lines 16-17).
+                // single stochastically rounded count (lines 16-17), then
+                // swap the accepted items over uniformly chosen victims in
+                // place — no intermediate vectors.
                 let m_exact = batch_size as f64 * n / new_weight;
                 let m = (stochastic_round(rng, m_exact) as usize)
                     .min(batch_size)
                     .min(self.capacity);
-                let inserted = draw_without_replacement(&mut batch, m, rng);
-                self.latent.replace_random_full(inserted, rng);
+                self.latent.replace_random_full_from(&mut batch, m, rng);
             } else {
                 // Undershoot: shrink the old sample to the decayed weight
                 // W' = W_new − |B_t|, then accept the batch as full items
@@ -165,42 +219,21 @@ impl<T> RTbs<T> {
     }
 }
 
-impl<T: Clone> BatchSampler<T> for RTbs<T> {
-    fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
-        self.step(batch, 1.0, rng);
-    }
-
-    fn sample(&self, rng: &mut dyn RngCore) -> Vec<T> {
+impl<T: Clone> RTbs<T> {
+    /// Realize the current sample `S_t` — the monomorphized fast path.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<T> {
         self.latent.realize(rng)
     }
 
-    fn expected_size(&self) -> f64 {
-        self.latent.weight()
-    }
-
-    fn max_size(&self) -> Option<usize> {
-        Some(self.capacity)
-    }
-
-    fn decay_rate(&self) -> f64 {
-        self.lambda
-    }
-
-    fn batches_observed(&self) -> u64 {
-        self.steps
-    }
-
-    fn name(&self) -> &'static str {
-        "R-TBS"
+    /// Realize `S_t` into a caller-owned buffer; allocation-free once the
+    /// buffer capacity covers the sample footprint.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<T>) {
+        self.latent.realize_into(rng, out);
     }
 }
 
-impl<T: Clone> TimedBatchSampler<T> for RTbs<T> {
-    fn observe_after(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        check_gap(gap);
-        self.step(batch, gap, rng);
-    }
-}
+adapt_batch_sampler!(RTbs);
+adapt_timed_batch_sampler!(RTbs);
 
 #[cfg(test)]
 mod tests {

@@ -11,8 +11,8 @@
 //!   (unbounded memory when the arrival rate is high, and shrinking toward
 //!   empty when the stream dries up — like any wall-clock scheme).
 
-use crate::traits::{check_gap, BatchSampler, TimedBatchSampler};
-use rand::RngCore;
+use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// The last `n` items of the stream.
@@ -52,10 +52,12 @@ impl<T> CountWindow<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
     }
-}
 
-impl<T: Clone> BatchSampler<T> for CountWindow<T> {
-    fn observe(&mut self, batch: Vec<T>, _rng: &mut dyn RngCore) {
+    /// Advance the clock by one time unit and absorb the arriving batch.
+    /// Deterministic — `rng` is unused and accepted only for signature
+    /// uniformity; at capacity the ring buffer allocates nothing.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, _rng: &mut R) {
         for item in batch {
             if self.items.len() == self.capacity {
                 self.items.pop_front();
@@ -65,30 +67,40 @@ impl<T: Clone> BatchSampler<T> for CountWindow<T> {
         self.steps += 1;
     }
 
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
-        self.items.iter().cloned().collect()
-    }
-
-    fn expected_size(&self) -> f64 {
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
         self.items.len() as f64
     }
 
-    fn max_size(&self) -> Option<usize> {
+    /// Hard upper bound on the window size: `Some(n)`.
+    pub fn max_size(&self) -> Option<usize> {
         Some(self.capacity)
     }
 
-    fn decay_rate(&self) -> f64 {
+    /// All-or-nothing retention: decay rate 0.
+    pub fn decay_rate(&self) -> f64 {
         0.0
     }
 
-    fn batches_observed(&self) -> u64 {
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
         self.steps
     }
 
-    fn name(&self) -> &'static str {
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
         "SW"
     }
 }
+
+impl<T: Clone> CountWindow<T> {
+    /// Copy out the current window contents, oldest first.
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
+        self.items.iter().cloned().collect()
+    }
+}
+
+adapt_batch_sampler!(CountWindow);
 
 /// All items that arrived strictly within the last `width` time units.
 #[derive(Debug, Clone)]
@@ -144,44 +156,60 @@ impl<T> TimeWindow<T> {
         self.items.extend(batch.into_iter().map(|x| (now, x)));
         self.steps += 1;
     }
-}
 
-impl<T: Clone> BatchSampler<T> for TimeWindow<T> {
-    fn observe(&mut self, batch: Vec<T>, _rng: &mut dyn RngCore) {
+    /// Advance the clock by one time unit and absorb the arriving batch.
+    /// Deterministic — `rng` is unused and accepted only for signature
+    /// uniformity.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, _rng: &mut R) {
         self.advance(batch, 1.0);
     }
 
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
-        self.items.iter().map(|(_, x)| x.clone()).collect()
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is negative or non-finite.
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, _rng: &mut R) {
+        check_gap(gap);
+        self.advance(batch, gap);
     }
 
-    fn expected_size(&self) -> f64 {
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
         self.items.len() as f64
     }
 
-    fn max_size(&self) -> Option<usize> {
-        None // Memory is unbounded under fast arrivals.
+    /// No bound: memory is unbounded under fast arrivals.
+    pub fn max_size(&self) -> Option<usize> {
+        None
     }
 
-    fn decay_rate(&self) -> f64 {
+    /// All-or-nothing retention: decay rate 0.
+    pub fn decay_rate(&self) -> f64 {
         0.0
     }
 
-    fn batches_observed(&self) -> u64 {
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
         self.steps
     }
 
-    fn name(&self) -> &'static str {
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
         "SW-time"
     }
 }
 
-impl<T: Clone> TimedBatchSampler<T> for TimeWindow<T> {
-    fn observe_after(&mut self, batch: Vec<T>, gap: f64, _rng: &mut dyn RngCore) {
-        check_gap(gap);
-        self.advance(batch, gap);
+impl<T: Clone> TimeWindow<T> {
+    /// Copy out the current window contents, oldest first.
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
+        self.items.iter().map(|(_, x)| x.clone()).collect()
     }
 }
+
+adapt_batch_sampler!(TimeWindow);
+adapt_timed_batch_sampler!(TimeWindow);
 
 #[cfg(test)]
 mod tests {

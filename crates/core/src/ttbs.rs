@@ -10,16 +10,20 @@
 //! infinitely often, and the scheme silently breaks when the true mean batch
 //! size drifts away from the assumed `b` (Figure 1).
 
-use crate::traits::{check_gap, BatchSampler, TimedBatchSampler};
-use crate::util::retain_random;
-use rand::RngCore;
+use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
+use crate::util::{retain_random, DecayCache};
+use rand::Rng;
 use tbs_stats::binomial::binomial;
 
 /// Targeted-size time-biased sampler.
+///
+/// The inherent `observe`/`observe_after` methods are the monomorphized,
+/// allocation-free fast path; the [`crate::traits::BatchSampler`] impl is
+/// a thin `dyn`-RNG adapter over them.
 #[derive(Debug, Clone)]
 pub struct TTbs<T> {
     items: Vec<T>,
-    lambda: f64,
+    decay: DecayCache,
     target: usize,
     assumed_mean_batch: f64,
     /// Batch down-sampling rate `q = n(1 − e^{−λ})/b`.
@@ -55,7 +59,7 @@ impl<T> TTbs<T> {
         };
         Self {
             items: Vec::new(),
-            lambda,
+            decay: DecayCache::new(lambda),
             target,
             assumed_mean_batch,
             q,
@@ -100,12 +104,55 @@ impl<T> TTbs<T> {
         &self.items
     }
 
-    fn step(&mut self, mut batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        let p = (-self.lambda * gap).exp();
+    /// Advance the clock by one time unit and absorb the arriving batch —
+    /// the monomorphized fast path.
+    #[inline]
+    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+        let p = self.decay.unit();
+        self.step(batch, p, rng);
+    }
+
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is negative or non-finite.
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+        check_gap(gap);
+        let p = self.decay.factor(gap);
+        self.step(batch, p, rng);
+    }
+
+    /// Expected size of `S_t` (the current exact size).
+    pub fn expected_size(&self) -> f64 {
+        self.items.len() as f64
+    }
+
+    /// No hard bound: size is targeted, not bounded (Theorem 3.1(i)).
+    pub fn max_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Exponential decay rate λ.
+    pub fn decay_rate(&self) -> f64 {
+        self.decay.lambda()
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        "T-TBS"
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, p: f64, rng: &mut R) {
         // Decay current sample: keep Binomial(|S|, p) random survivors.
         let keep = binomial(rng, self.items.len() as u64, p) as usize;
         retain_random(&mut self.items, keep, rng);
-        // Down-sample the incoming batch at rate q.
+        // Down-sample the incoming batch at rate q, in place.
         let accept = binomial(rng, batch.len() as u64, self.q) as usize;
         retain_random(&mut batch, accept, rng);
         self.items.append(&mut batch);
@@ -113,42 +160,16 @@ impl<T> TTbs<T> {
     }
 }
 
-impl<T: Clone> BatchSampler<T> for TTbs<T> {
-    fn observe(&mut self, batch: Vec<T>, rng: &mut dyn RngCore) {
-        self.step(batch, 1.0, rng);
-    }
-
-    fn sample(&self, _rng: &mut dyn RngCore) -> Vec<T> {
+impl<T: Clone> TTbs<T> {
+    /// Copy out the current sample (deterministic; `rng` is unused and
+    /// accepted only for signature uniformity with the latent schemes).
+    pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.clone()
     }
-
-    fn expected_size(&self) -> f64 {
-        self.items.len() as f64
-    }
-
-    fn max_size(&self) -> Option<usize> {
-        None // Size is targeted, not bounded (Theorem 3.1(i)).
-    }
-
-    fn decay_rate(&self) -> f64 {
-        self.lambda
-    }
-
-    fn batches_observed(&self) -> u64 {
-        self.steps
-    }
-
-    fn name(&self) -> &'static str {
-        "T-TBS"
-    }
 }
 
-impl<T: Clone> TimedBatchSampler<T> for TTbs<T> {
-    fn observe_after(&mut self, batch: Vec<T>, gap: f64, rng: &mut dyn RngCore) {
-        check_gap(gap);
-        self.step(batch, gap, rng);
-    }
-}
+adapt_batch_sampler!(TTbs);
+adapt_timed_batch_sampler!(TTbs);
 
 #[cfg(test)]
 mod tests {
@@ -156,7 +177,7 @@ mod tests {
     use rand::SeedableRng;
     use tbs_stats::rng::Xoshiro256PlusPlus;
 
-    fn feed_constant(s: &mut TTbs<u64>, batches: u64, b: u64, rng: &mut dyn RngCore) {
+    fn feed_constant(s: &mut TTbs<u64>, batches: u64, b: u64, rng: &mut Xoshiro256PlusPlus) {
         for t in 0..batches {
             s.observe((0..b).map(|i| t * b + i).collect(), rng);
         }

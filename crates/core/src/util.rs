@@ -8,6 +8,38 @@
 
 use rand::Rng;
 
+/// Exactly uniform index in `[0, n)` via 32-bit Lemire reduction
+/// (widening multiply + rejection of the biased tail).
+///
+/// The hot subset-selection loops draw one bounded index per item; going
+/// through `gen_range` costs a 64→128-bit widening multiply per draw.
+/// Sample-vector lengths comfortably fit in `u32`, where the multiply is
+/// 32→64-bit — measurably cheaper on the ingest path — so this helper
+/// takes the narrow route when possible and falls back to `gen_range`
+/// for astronomically large `n`. Rejection keeps it *exactly* uniform
+/// (verified by the chi² tests on every consumer).
+#[inline]
+pub(crate) fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    debug_assert!(n > 0, "empty index range");
+    if n <= u32::MAX as usize {
+        let n32 = n as u32;
+        loop {
+            let x = rng.next_u32();
+            let m = x as u64 * n32 as u64;
+            let low = m as u32;
+            if low >= n32 {
+                return (m >> 32) as usize;
+            }
+            let threshold = n32.wrapping_neg() % n32;
+            if low >= threshold {
+                return (m >> 32) as usize;
+            }
+        }
+    } else {
+        rng.gen_range(0..n)
+    }
+}
+
 /// Remove and return `min(m, items.len())` uniformly chosen elements.
 ///
 /// The removed elements are a uniform without-replacement sample; the
@@ -20,7 +52,7 @@ pub fn draw_without_replacement<T, R: Rng + ?Sized>(
     let m = m.min(items.len());
     let mut out = Vec::with_capacity(m);
     for _ in 0..m {
-        let idx = rng.gen_range(0..items.len());
+        let idx = uniform_index(rng, items.len());
         out.push(items.swap_remove(idx));
     }
     out
@@ -30,9 +62,10 @@ pub fn draw_without_replacement<T, R: Rng + ?Sized>(
 /// discarding the rest. This is the paper's `S ← Sample(S, m)` retention.
 pub fn retain_random<T, R: Rng + ?Sized>(items: &mut Vec<T>, m: usize, rng: &mut R) {
     let m = m.min(items.len());
+    let len = items.len();
     // Partial Fisher–Yates: move a uniform m-subset into the prefix.
     for i in 0..m {
-        let j = rng.gen_range(i..items.len());
+        let j = i + uniform_index(rng, len - i);
         items.swap(i, j);
     }
     items.truncate(m);
@@ -48,20 +81,23 @@ pub fn sample_clone<T: Clone, R: Rng + ?Sized>(items: &[T], m: usize, rng: &mut 
 
 /// Floyd's algorithm: `m` distinct uniform indices from `0..n`.
 ///
-/// O(m) expected time and memory regardless of `n`, which matters when
-/// subsampling large incoming batches (Algorithm 1 line 9).
+/// O(m) expected time and memory regardless of `n` (hash-set
+/// deduplication), which matters when subsampling large incoming batches
+/// (Algorithm 1 line 9); dense draws (`m·4 ≥ n`) switch to a partial
+/// Fisher–Yates prefix. Allocates fresh storage every call; hot paths
+/// that run every batch should hold a scratch buffer and call
+/// [`sample_indices_into`] instead.
 pub fn sample_indices<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> {
     assert!(m <= n, "cannot draw {m} distinct indices from 0..{n}");
-    // For dense draws a Fisher–Yates prefix is cheaper than set probing.
     if m * 4 >= n {
-        let mut all: Vec<usize> = (0..n).collect();
-        retain_random(&mut all, m, rng);
-        return all;
+        let mut out = Vec::with_capacity(n);
+        sample_indices_into(n, m, rng, &mut out);
+        return out;
     }
     let mut chosen = std::collections::HashSet::with_capacity(m);
     let mut out = Vec::with_capacity(m);
     for j in (n - m)..n {
-        let t = rng.gen_range(0..=j);
+        let t = uniform_index(rng, j + 1);
         if chosen.insert(t) {
             out.push(t);
         } else {
@@ -70,6 +106,114 @@ pub fn sample_indices<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<u
         }
     }
     out
+}
+
+/// Largest draw count routed to the sorted-prefix Floyd path of
+/// [`sample_indices_into`]; above this the ordered inserts' O(m²/2)
+/// element moves outgrow the dense path's O(n) fill.
+const SORTED_FLOYD_MAX: usize = 1024;
+
+/// [`sample_indices`] into a caller-owned scratch buffer: `out` is cleared
+/// and refilled with `m` distinct uniform indices from `0..n`, in
+/// unspecified order. Once the buffer's capacity has reached its
+/// high-water mark this performs **zero heap allocations**, which is what
+/// the steady-state sampler hot paths need.
+///
+/// Strategy, justified by the `subset_sampling/indices_into_scratch`
+/// micro-bench (`cargo bench -p tbs-bench --bench ablations`): for
+/// *dense* draws (`m·4 ≥ n`) a partial Fisher–Yates over the scratch
+/// buffer is cheapest — filling `0..n` costs O(n), but any duplicate
+/// tracking pays more per draw at that density. For *sparse, small*
+/// draws (`m ≤ 1024`) Floyd's algorithm runs O(m) RNG draws with the
+/// sorted prefix of `out` itself serving as the duplicate set (binary
+/// search + ordered insert, worst-case O(m²/2) element moves — bounded
+/// by the cap), so no side table is ever allocated. Sparse draws with
+/// large `m` fall back to the dense sweep: O(n) but allocation-free;
+/// if you need `m ≫ 1024` indices out of an astronomically larger `n`,
+/// use the allocating [`sample_indices`] instead, whose hash-based Floyd
+/// path is O(m).
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+pub fn sample_indices_into<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R, out: &mut Vec<usize>) {
+    assert!(m <= n, "cannot draw {m} distinct indices from 0..{n}");
+    out.clear();
+    if m * 4 >= n || m > SORTED_FLOYD_MAX {
+        // Dense: partial Fisher–Yates prefix over the scratch buffer.
+        out.extend(0..n);
+        retain_random(out, m, rng);
+    } else {
+        // Sparse: Floyd's algorithm, deduplicating against the (kept
+        // sorted) output prefix. All previously inserted values are < j,
+        // so when the tentative draw `t` is taken, `j` itself is free.
+        for j in (n - m)..n {
+            let t = uniform_index(rng, j + 1);
+            match out.binary_search(&t) {
+                Err(pos) => out.insert(pos, t),
+                Ok(_) => {
+                    let pos = out.binary_search(&j).unwrap_err();
+                    out.insert(pos, j);
+                }
+            }
+        }
+    }
+}
+
+/// Memoized exponential decay factors `e^{−λ·gap}`.
+///
+/// Streams overwhelmingly arrive with a constant inter-batch gap (the
+/// paper's integer-time setting has `gap = 1` always), yet the naive hot
+/// path pays a transcendental `exp` call per batch. This cache
+/// precomputes the unit-gap factor at construction and remembers the last
+/// non-unit gap, so steady-state `observe`/`observe_after` never call
+/// `exp` at all; only a gap *change* does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayCache {
+    lambda: f64,
+    unit: f64,
+    last_gap: f64,
+    last_factor: f64,
+}
+
+impl DecayCache {
+    /// Build a cache for decay rate `lambda` (not validated here — the
+    /// samplers validate λ in their constructors).
+    pub fn new(lambda: f64) -> Self {
+        let unit = (-lambda).exp();
+        Self {
+            lambda,
+            unit,
+            last_gap: 1.0,
+            last_factor: unit,
+        }
+    }
+
+    /// The decay rate λ this cache was built for.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The unit-gap factor `e^{−λ}`.
+    #[inline]
+    pub fn unit(&self) -> f64 {
+        self.unit
+    }
+
+    /// `e^{−λ·gap}`, served from the cache when `gap` repeats.
+    #[inline]
+    pub fn factor(&mut self, gap: f64) -> f64 {
+        if gap == 1.0 {
+            self.unit
+        } else if gap == self.last_gap {
+            self.last_factor
+        } else {
+            let f = (-self.lambda * gap).exp();
+            self.last_gap = gap;
+            self.last_factor = f;
+            f
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +338,82 @@ mod tests {
     fn sample_indices_rejects_overdraw() {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
         sample_indices(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn sample_indices_full_draw_is_permutation_prefix() {
+        // m == n edge: both paths must return every index exactly once.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        for n in [1usize, 2, 7, 64] {
+            let mut idx = sample_indices(n, n, &mut rng);
+            idx.sort_unstable();
+            assert_eq!(idx, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_zero_draw_is_empty() {
+        // m == 0 edge, including the degenerate n == 0 case.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        assert!(sample_indices(0, 0, &mut rng).is_empty());
+        assert!(sample_indices(50, 0, &mut rng).is_empty());
+        let mut scratch = vec![9usize; 4];
+        sample_indices_into(10, 0, &mut rng, &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn sample_indices_into_reuses_buffer_without_allocating() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(14);
+        let mut scratch: Vec<usize> = Vec::with_capacity(100);
+        for round in 0..50 {
+            // Alternate sparse and dense draws through the same buffer.
+            let (n, m) = if round % 2 == 0 { (100, 5) } else { (100, 80) };
+            sample_indices_into(n, m, &mut rng, &mut scratch);
+            assert_eq!(scratch.len(), m);
+            let set: std::collections::HashSet<_> = scratch.iter().collect();
+            assert_eq!(set.len(), m, "duplicates in round {round}");
+            assert!(scratch.capacity() <= 128, "buffer grew past high-water");
+        }
+    }
+
+    #[test]
+    fn sample_indices_into_sparse_path_uniform() {
+        // The Floyd-with-sorted-prefix dedup must stay uniform.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(15);
+        let trials = 40_000;
+        let mut counts = vec![0u64; 40];
+        let mut scratch = Vec::new();
+        for _ in 0..trials {
+            sample_indices_into(40, 3, &mut rng, &mut scratch);
+            for &i in &scratch {
+                counts[i] += 1;
+            }
+        }
+        let expected = vec![trials as f64 * 3.0 / 40.0; 40];
+        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+    }
+
+    #[test]
+    fn decay_cache_matches_exp() {
+        let mut c = DecayCache::new(0.35);
+        assert_eq!(c.lambda(), 0.35);
+        assert!((c.unit() - (-0.35f64).exp()).abs() < 1e-15);
+        assert_eq!(c.factor(1.0), c.unit());
+        for gap in [0.5f64, 2.25, 0.5, 0.5, 7.0, 1.0] {
+            let expect = (-0.35 * gap).exp();
+            assert!(
+                (c.factor(gap) - expect).abs() < 1e-15,
+                "gap {gap}: cache diverged from exp"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_cache_zero_lambda_is_identity() {
+        let mut c = DecayCache::new(0.0);
+        assert_eq!(c.factor(1.0), 1.0);
+        assert_eq!(c.factor(123.0), 1.0);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Proof that steady-state `observe` performs **zero heap allocations**
+//! beyond the caller-provided batch.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc`/
+//! `alloc_zeroed`. Each sampler is warmed past its steady state (so every
+//! internal `Vec` reaches its high-water capacity), the measured batches
+//! are pre-generated, and then the allocation counter must not move while
+//! the batches are fed. Deallocation of the consumed batch vectors is
+//! intentionally not counted — handing over the batch is the caller's
+//! cost by contract.
+//!
+//! Everything runs inside a single `#[test]` because the counter is
+//! process-global and the libtest harness runs tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::SeedableRng;
+use tbs_core::{BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Batch sizes at step `t` for the schedule used in one scenario.
+fn gen(schedule: impl Fn(usize) -> usize, from: usize, count: usize) -> Vec<Vec<u64>> {
+    (from..from + count)
+        .map(|t| {
+            (0..schedule(t) as u64)
+                .map(|i| t as u64 * 10_000 + i)
+                .collect()
+        })
+        .collect()
+}
+
+/// Warm `feed` with `warmup` batches, then assert that feeding `measured`
+/// further pre-generated batches allocates nothing.
+fn assert_steady_state_alloc_free(
+    label: &str,
+    schedule: impl Fn(usize) -> usize + Copy,
+    warmup: usize,
+    measured: usize,
+    mut feed: impl FnMut(Vec<u64>, &mut Xoshiro256PlusPlus),
+) {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xA110C);
+    for batch in gen(schedule, 0, warmup) {
+        feed(batch, &mut rng);
+    }
+    let batches = gen(schedule, warmup, measured);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for batch in batches {
+        feed(batch, &mut rng);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} heap allocations in {measured} steady-state observe calls",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_observe_allocates_nothing() {
+    // ——— R-TBS across all three stream regimes. ———
+    // Saturated: n = 1000, λ = 0.1, b = 100 ⇒ W* ≈ 1051 > n; every step is
+    // the saturated→saturated in-place batch replacement.
+    let mut rtbs_sat: RTbs<u64> = RTbs::new(0.1, 1000);
+    assert_steady_state_alloc_free(
+        "R-TBS saturated",
+        |_| 100,
+        500,
+        500,
+        |b, rng| rtbs_sat.observe(b, rng),
+    );
+
+    // Unsaturated: n = 1600, λ = 0.07 ⇒ C* ≈ 1479 < n; every step is
+    // decay + in-place downsample + push into the retained buffer.
+    let mut rtbs_unsat: RTbs<u64> = RTbs::new(0.07, 1600);
+    assert_steady_state_alloc_free(
+        "R-TBS unsaturated",
+        |_| 100,
+        500,
+        500,
+        |b, rng| rtbs_unsat.observe(b, rng),
+    );
+
+    // Bursty: erratic sizes exercise all four transitions. The warmup
+    // covers a full cycle so every transition's buffers hit high water.
+    let bursty = |t: usize| [0usize, 1, 250, 7, 90, 1000][t % 6];
+    let mut rtbs_bursty: RTbs<u64> = RTbs::new(0.1, 1000);
+    assert_steady_state_alloc_free("R-TBS bursty", bursty, 600, 600, |b, rng| {
+        rtbs_bursty.observe(b, rng)
+    });
+
+    // Real-valued gaps through the memoized decay cache.
+    let mut rtbs_gap: RTbs<u64> = RTbs::new(0.1, 1000);
+    assert_steady_state_alloc_free(
+        "R-TBS observe_after",
+        |_| 100,
+        500,
+        500,
+        |b, rng| rtbs_gap.observe_after(b, 0.5, rng),
+    );
+
+    // ——— The other bounded/targeted samplers. ———
+    let mut ttbs: TTbs<u64> = TTbs::new(0.1, 1000, 100.0);
+    assert_steady_state_alloc_free("T-TBS", |_| 100, 2000, 300, |b, rng| ttbs.observe(b, rng));
+
+    let mut btbs: BTbs<u64> = BTbs::new(0.1);
+    assert_steady_state_alloc_free("B-TBS", |_| 100, 2000, 300, |b, rng| btbs.observe(b, rng));
+
+    let mut unif: BatchedReservoir<u64> = BatchedReservoir::new(1000);
+    assert_steady_state_alloc_free("Unif", |_| 100, 500, 500, |b, rng| unif.observe(b, rng));
+
+    // B-Chao in the well-fed regime (no overweight bookkeeping).
+    let mut chao: BChao<u64> = BChao::new(0.05, 500);
+    assert_steady_state_alloc_free("B-Chao", |_| 200, 300, 300, |b, rng| chao.observe(b, rng));
+
+    let mut sw: CountWindow<u64> = CountWindow::new(1000);
+    assert_steady_state_alloc_free("SW", |_| 100, 200, 500, |b, rng| sw.observe(b, rng));
+
+    // ——— sample_into with a warm caller buffer. ———
+    // Same single-test rule: any concurrently running test would perturb
+    // the global counter, so this check lives here too.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xB0FFE2);
+    let mut s: RTbs<u64> = RTbs::new(0.1, 1000);
+    for batch in gen(|_| 100, 0, 500) {
+        s.observe(batch, &mut rng);
+    }
+    // Capacity n + 1 covers the worst-case latent footprint ⌊C⌋ + 1.
+    let mut out: Vec<u64> = Vec::with_capacity(1001);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        s.sample_into(&mut rng, &mut out);
+        assert!(out.len() <= 1000);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "sample_into allocated despite warm buffer"
+    );
+}

@@ -9,7 +9,6 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use tbs_core::downsample::downsample;
 use tbs_core::latent::LatentSample;
-use tbs_core::traits::BatchSampler;
 use tbs_core::{BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 

@@ -5,7 +5,6 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use tbs_core::traits::BatchSampler;
 use tbs_core::RTbs;
 use tbs_distributed::Strategy as ImplStrategy;
 use tbs_distributed::{DRTbs, DTTbs, DrtbsConfig, DttbsConfig};

@@ -11,7 +11,6 @@
 // protocol, at a fraction of the retraining cost.
 
 use rand::SeedableRng;
-use temporal_sampling::core::traits::BatchSampler;
 use temporal_sampling::datagen::gmm::GmmGenerator;
 use temporal_sampling::datagen::modes::{Mode, ModeSchedule};
 use temporal_sampling::ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};

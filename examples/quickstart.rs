@@ -10,7 +10,6 @@
 
 use rand::SeedableRng;
 use temporal_sampling::core::theory;
-use temporal_sampling::core::traits::BatchSampler;
 use temporal_sampling::prelude::*;
 
 fn main() {

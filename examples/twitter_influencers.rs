@@ -14,7 +14,6 @@
 
 use rand::Rng;
 use rand::SeedableRng;
-use temporal_sampling::core::traits::BatchSampler;
 use temporal_sampling::prelude::*;
 
 const INFLUENCER: u32 = 0;

@@ -3,7 +3,6 @@
 //! costs reproduce the paper's Figure-7/8/9 shapes.
 
 use rand::SeedableRng;
-use temporal_sampling::core::traits::BatchSampler;
 use temporal_sampling::core::verify::{max_ratio_violation, measure_inclusion};
 use temporal_sampling::distributed::{CostModel, DRTbs, DTTbs, DrtbsConfig, DttbsConfig, Strategy};
 use temporal_sampling::prelude::*;

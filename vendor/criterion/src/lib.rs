@@ -13,7 +13,93 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement, kept for the optional JSON summary.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    /// Declared per-iteration work, if any.
+    throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn record_result(id: &str, ns_per_iter: f64, iters: u64, throughput: Option<Throughput>) {
+    RECORDS.lock().expect("records poisoned").push(Record {
+        id: id.to_string(),
+        ns_per_iter,
+        iters,
+        throughput,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render all recorded measurements as a `BENCH_*.json`-style document
+/// (same shape as the `bench_throughput` binary's output: a `bench` tag,
+/// a `schema_version`, and a flat `rows` array).
+pub fn results_json() -> String {
+    let records = RECORDS.lock().expect("records poisoned");
+    let mut out =
+        String::from("{\n  \"bench\": \"criterion\",\n  \"schema_version\": 1,\n  \"rows\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let per_sec = |units: u64| units as f64 * 1e9 / r.ns_per_iter.max(1e-9);
+        let (elems, bytes) = match r.throughput {
+            Some(Throughput::Elements(n)) => (format!("{:?}", per_sec(n)), "null".to_string()),
+            Some(Throughput::Bytes(n)) => ("null".to_string(), format!("{:?}", per_sec(n))),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"ns_per_iter\": {:?}, \"iters\": {}, \
+             \"elems_per_sec\": {}, \"bytes_per_sec\": {}}}",
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iters,
+            elems,
+            bytes
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// If the `CRITERION_JSON` environment variable is set, write every
+/// measurement recorded so far to that path in the `BENCH_*.json` row
+/// format. Called automatically by [`criterion_main!`]-generated mains,
+/// so `CRITERION_JSON=path cargo bench` produces machine-readable output
+/// alongside the console report.
+pub fn write_json_if_requested() {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if path.is_empty() {
+            return;
+        }
+        match std::fs::write(&path, results_json()) {
+            Ok(()) => println!("wrote criterion JSON to {path}"),
+            Err(e) => eprintln!("failed to write criterion JSON to {path}: {e}"),
+        }
+    }
+}
 
 /// Prevent the compiler from optimising away a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
@@ -220,6 +306,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     match bencher.result {
         Some((elapsed, iters)) => {
             let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            record_result(label, per_iter, iters, throughput);
             let mut line = format!("{label:<50} time: {:>12}/iter", format_time(per_iter));
             if let Some(tp) = throughput {
                 let per_sec = |units: u64| units as f64 * 1e9 / per_iter.max(1e-9);
@@ -322,12 +409,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `fn main()` running the given groups.
+/// Generate `fn main()` running the given groups, then emitting the JSON
+/// summary when `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ( $($group:path),+ $(,)? ) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -390,5 +479,36 @@ mod tests {
     fn benchmark_id_renders() {
         assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn results_json_captures_measurements() {
+        let mut c = fast();
+        c.bench_function("json_capture_probe", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("json_group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("with_throughput", |b| b.iter(|| black_box(1)));
+        group.finish();
+        let doc = results_json();
+        assert!(doc.contains("\"bench\": \"criterion\""));
+        // Assert only over the rows this test created: RECORDS is
+        // process-global and other tests in this binary also append to it.
+        let own: Vec<&str> = doc
+            .lines()
+            .filter(|l| {
+                l.contains("json_capture_probe") || l.contains("json_group/with_throughput")
+            })
+            .collect();
+        assert_eq!(own.len(), 2, "both rows recorded exactly once");
+        assert!(own.iter().all(|l| l.contains("\"ns_per_iter\": ")));
+        assert!(own
+            .iter()
+            .any(|l| l.contains("\"id\": \"json_group/with_throughput\"")
+                && l.contains("\"elems_per_sec\": ")));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }
