@@ -1,34 +1,36 @@
-//! Ingest-throughput baseline: items/sec and ns/item for every sampler
-//! across unsaturated / saturated / bursty regimes, on both the
-//! monomorphized fast path and the object-safe `dyn` adapter.
+//! Multi-core scaling baseline: aggregate and wall-clock ingest throughput
+//! of the sharded parallel engine at 1/2/4/8 shards, plus the
+//! spawn-vs-persistent-pool dispatch comparison.
 //!
 //! ```text
-//! cargo run --release -p tbs-bench --bin bench_throughput            # full run, writes BENCH_throughput.json
-//! cargo run --release -p tbs-bench --bin bench_throughput -- --smoke # CI smoke: tiny counts, results/ output
+//! cargo run --release -p tbs-bench --bin bench_scaling            # full run, writes BENCH_scaling.json
+//! cargo run --release -p tbs-bench --bin bench_scaling -- --smoke # CI smoke: tiny counts, results/ output
 //! ```
 //!
 //! Flags:
 //!
 //! * `--smoke` — tiny iteration counts; writes to
-//!   `results/BENCH_throughput_smoke.json` instead of the repo root so a
+//!   `results/BENCH_scaling_smoke.json` instead of the repo root so a
 //!   smoke run never clobbers the committed baseline.
 //! * `--json <path>` — explicit output path for the JSON document.
 //! * `--batches <n>` / `--warmup <n>` / `--repeats <n>` — override the
 //!   measurement sizes.
+//!
+//! The emitted document is self-validated against the shared row schema
+//! (`tbs_bench::json::validate_bench_doc`) before it is written.
 
 use std::path::PathBuf;
-use tbs_bench::experiments::throughput::{
-    report, rows_to_json, run_throughput_filtered, ThroughputConfig, THROUGHPUT_ROW_KEYS,
+use tbs_bench::experiments::scaling::{
+    report, rows_to_json, run_pool_dispatch, run_scaling, ScalingConfig, SCALING_ROW_KEYS,
 };
 use tbs_bench::json::validate_bench_doc;
 use tbs_bench::output::{results_dir, workspace_root};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ThroughputConfig::default();
+    let mut cfg = ScalingConfig::default();
     let mut smoke = false;
     let mut json_path: Option<PathBuf> = None;
-    let mut filter: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -44,7 +46,7 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => {
                 smoke = true;
-                cfg = ThroughputConfig::smoke();
+                cfg = ScalingConfig::smoke();
             }
             "--json" => {
                 i += 1;
@@ -56,18 +58,11 @@ fn main() {
             "--batches" => cfg.measured_batches = take_num(&mut i).max(1),
             "--warmup" => cfg.warmup_batches = take_num(&mut i),
             "--repeats" => cfg.repeats = take_num(&mut i).max(1),
-            "--filter" => {
-                i += 1;
-                filter = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("expected a sampler-name substring after --filter");
-                    std::process::exit(2);
-                }));
-            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_throughput [--smoke] [--json PATH] \
-                     [--batches N] [--warmup N] [--repeats N] [--filter NAME]"
+                    "usage: bench_scaling [--smoke] [--json PATH] \
+                     [--batches N] [--warmup N] [--repeats N]"
                 );
                 std::process::exit(2);
             }
@@ -75,23 +70,23 @@ fn main() {
         i += 1;
     }
 
-    let rows = run_throughput_filtered(&cfg, |kind, _, _| {
-        filter.as_deref().is_none_or(|f| kind.label().contains(f))
-    });
-    report(&rows);
+    let rows = run_scaling(&cfg);
+    let pool = run_pool_dispatch(&cfg);
+    report(&rows, &pool);
 
-    let path = json_path.unwrap_or_else(|| {
-        if smoke {
-            results_dir().join("BENCH_throughput_smoke.json")
-        } else {
-            workspace_root().join("BENCH_throughput.json")
-        }
-    });
-    let doc = rows_to_json(&cfg, &rows);
-    if let Err(e) = validate_bench_doc(&doc, "throughput", THROUGHPUT_ROW_KEYS) {
+    let doc = rows_to_json(&cfg, &rows, &pool);
+    if let Err(e) = validate_bench_doc(&doc, "scaling", SCALING_ROW_KEYS) {
         eprintln!("emitted document violates the shared row schema: {e}");
         std::process::exit(1);
     }
+
+    let path = json_path.unwrap_or_else(|| {
+        if smoke {
+            results_dir().join("BENCH_scaling_smoke.json")
+        } else {
+            workspace_root().join("BENCH_scaling.json")
+        }
+    });
     std::fs::write(&path, doc.to_pretty_string()).expect("write BENCH json");
     println!("\nwrote {}", path.display());
 }

@@ -9,5 +9,6 @@ pub mod knn;
 pub mod linreg;
 pub mod nb;
 pub mod runtime;
+pub mod scaling;
 pub mod theory;
 pub mod throughput;

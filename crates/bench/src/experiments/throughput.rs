@@ -476,6 +476,10 @@ pub fn rows_to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> Json {
     ])
 }
 
+/// Row keys (beyond the shared core in
+/// [`crate::json::BENCH_CORE_ROW_KEYS`]) every throughput row carries.
+pub const THROUGHPUT_ROW_KEYS: &[&str] = &["path", "elapsed_ns", "items_per_sec", "ns_per_item"];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,7 +533,9 @@ mod tests {
             ApiPath::Fast,
             Regime::Saturated,
         )];
-        let doc = rows_to_json(&cfg, &rows).to_string();
+        let doc = rows_to_json(&cfg, &rows);
+        crate::json::validate_bench_doc(&doc, "throughput", THROUGHPUT_ROW_KEYS).unwrap();
+        let doc = doc.to_string();
         assert!(doc.contains("\"bench\":\"throughput\""));
         assert!(doc.contains("\"sampler\":\"B-TBS\""));
         assert!(doc.contains("\"items_per_sec\""));

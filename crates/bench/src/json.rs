@@ -31,6 +31,54 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Row keys every `BENCH_*.json` benchmark document shares, whatever the
+/// benchmark-specific columns are. CI and the emitting binaries validate
+/// against this single definition via [`validate_bench_doc`].
+pub const BENCH_CORE_ROW_KEYS: &[&str] = &["sampler", "regime", "batches", "items"];
+
+/// Validate the shared shape of a `BENCH_*.json` document: a `bench` tag
+/// equal to `bench_name`, an integer `schema_version`, a `config` object,
+/// and a non-empty `rows` array whose every row is an object carrying
+/// [`BENCH_CORE_ROW_KEYS`] plus the benchmark's `extra_row_keys`.
+pub fn validate_bench_doc(
+    doc: &Json,
+    bench_name: &str,
+    extra_row_keys: &[&str],
+) -> Result<(), String> {
+    match doc.get("bench") {
+        Some(Json::Str(s)) if s == bench_name => {}
+        other => return Err(format!("bench tag: expected {bench_name:?}, got {other:?}")),
+    }
+    match doc.get("schema_version") {
+        Some(Json::Int(v)) if *v >= 1 => {}
+        other => {
+            return Err(format!(
+                "schema_version: expected integer ≥ 1, got {other:?}"
+            ))
+        }
+    }
+    match doc.get("config") {
+        Some(Json::Obj(_)) => {}
+        other => return Err(format!("config: expected object, got {other:?}")),
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("rows: empty".into()),
+        other => return Err(format!("rows: expected array, got {other:?}")),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Obj(_)) {
+            return Err(format!("row {i}: expected object"));
+        }
+        for key in BENCH_CORE_ROW_KEYS.iter().chain(extra_row_keys) {
+            if row.get(key).is_none() {
+                return Err(format!("row {i}: missing key {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Json {
     /// Build an object from `(key, value)` pairs.
     pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
@@ -40,6 +88,14 @@ impl Json {
     /// Build a string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
+    }
+
+    /// Look up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
     }
 
     /// Serialize with two-space indentation and a trailing newline, ready
@@ -212,5 +268,48 @@ mod tests {
     fn uint_beyond_i64_survives() {
         let v = Json::UInt(u64::MAX);
         assert_eq!(v.to_string(), u64::MAX.to_string());
+    }
+
+    fn sample_doc(extra: &[(&'static str, Json)]) -> Json {
+        let mut row = vec![
+            ("sampler", Json::str("R-TBS")),
+            ("regime", Json::str("saturated")),
+            ("batches", Json::Int(10)),
+            ("items", Json::UInt(1000)),
+        ];
+        row.extend(extra.iter().cloned());
+        Json::obj([
+            ("bench", Json::str("scaling")),
+            ("schema_version", Json::Int(1)),
+            ("config", Json::obj([("seed", Json::Int(1))])),
+            ("rows", Json::Arr(vec![Json::obj(row)])),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_conforming_doc() {
+        let doc = sample_doc(&[("shards", Json::Int(4))]);
+        validate_bench_doc(&doc, "scaling", &["shards"]).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_row_key() {
+        let doc = sample_doc(&[]);
+        let err = validate_bench_doc(&doc, "scaling", &["shards"]).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_bench_tag() {
+        let doc = sample_doc(&[]);
+        assert!(validate_bench_doc(&doc, "throughput", &[]).is_err());
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let doc = sample_doc(&[]);
+        assert!(matches!(doc.get("bench"), Some(Json::Str(_))));
+        assert!(doc.get("nonexistent").is_none());
+        assert!(Json::Int(3).get("x").is_none());
     }
 }

@@ -211,6 +211,26 @@ impl<T> LatentSample<T> {
         self.weight = weight;
     }
 
+    /// Decompose into `(A, π, C)` — used by the shard-merge algebra in
+    /// [`crate::merge`], which reassembles unions via
+    /// [`Self::from_raw_parts`].
+    pub(crate) fn into_parts(self) -> (Vec<T>, Option<T>, f64) {
+        (self.full, self.partial, self.weight)
+    }
+
+    /// Rebuild a latent sample from raw parts. The caller must uphold the
+    /// structural invariants (`|A| = ⌊C⌋`, partial present iff
+    /// `frac(C) > 0`); they are re-checked in debug builds.
+    pub(crate) fn from_raw_parts(full: Vec<T>, partial: Option<T>, weight: f64) -> Self {
+        let l = Self {
+            full,
+            partial,
+            weight,
+        };
+        debug_assert!(l.check_invariants().is_ok(), "invalid raw parts");
+        l
+    }
+
     pub(crate) fn full_mut(&mut self) -> &mut Vec<T> {
         &mut self.full
     }

@@ -30,6 +30,16 @@
 //! | [`sliding::CountWindow`] | all-or-nothing | hard bound | yes |
 //! | [`sliding::TimeWindow`] | all-or-nothing | none | yes |
 //!
+//! ## Sharding
+//!
+//! R-TBS and T-TBS are **mergeable** ([`merge`]): K independent shard
+//! samplers over a deterministic partition of the stream can be unioned —
+//! via the paper's §5 weight algebra, with stochastic rounding of the
+//! fractional items — into a sample statistically equivalent to a
+//! single-node sampler over the interleaved stream. This is what lets the
+//! multi-core engine in `tbs-distributed` ingest with zero cross-shard
+//! coordination.
+//!
 //! ## Two API layers
 //!
 //! Every sampler's ingest API exists twice (see [`traits`] for the full
@@ -82,6 +92,7 @@ pub mod chao;
 pub mod downsample;
 pub mod forward;
 pub mod latent;
+pub mod merge;
 pub mod rtbs;
 pub mod sliding;
 pub mod theory;
@@ -96,6 +107,7 @@ pub use btbs::BTbs;
 pub use chao::BChao;
 pub use forward::{DecayGauge, ExponentialGauge, ForwardDecayRTbs, PolynomialGauge};
 pub use latent::LatentSample;
+pub use merge::{partition_batch, MergeableSample, ShardSpec};
 pub use rtbs::RTbs;
 pub use sliding::{CountWindow, TimeWindow};
 pub use traits::{BatchSampler, TimedBatchSampler};

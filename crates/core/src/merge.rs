@@ -1,0 +1,499 @@
+//! Mergeable shard samples — the algebra behind multi-core ingest.
+//!
+//! §5 of the paper shows that temporally-biased samples can be maintained
+//! over *partitioned* data: D-R-TBS keeps the scalar driver state `(W, C)`
+//! on a master and the items on workers, and its `Dist,CP` strategy needs
+//! no per-item coordination at all. This module pushes that observation to
+//! its logical end: run **K fully independent samplers**, one per shard of
+//! the stream, with *zero* coordination during ingest, and only combine
+//! their states when a sample is actually requested.
+//!
+//! ## Why the merge is exact
+//!
+//! Shard `k` sees the sub-stream `B_1^k, B_2^k, …` of a deterministic
+//! partitioning (`Σ_k |B_j^k| = |B_j|`), so its total weight obeys
+//! `Σ_k W_t^k = W_t`. By Theorem 4.2 each shard-local R-TBS holds every
+//! item `i` of its sub-stream with probability `(C^k/W^k)·w_t(i)` where
+//! `C^k = min(n_k, W^k)`. The single-node target is `(C/W)·w_t(i)` with
+//! `C = min(n, W)`. Downsampling shard `k`'s latent sample from `C^k` to
+//!
+//! ```text
+//! c_k = C · W^k / W
+//! ```
+//!
+//! rescales all of its inclusion probabilities uniformly (Theorem 4.1), so
+//! every item lands at exactly `(C/W)·w_t(i)` — the single-node law — and
+//! the union of the downsampled shard samples carries total weight
+//! `Σ_k c_k = C`. The union of K latent samples has up to K fractional
+//! partial items; the internal `merge_latent` fold combines them pairwise
+//! with the stochastic rounding of §4.1, preserving each partial item's
+//! exact inclusion probability while restoring the `⌊C⌋ + 1` footprint
+//! bound.
+//!
+//! The downsample step requires `c_k ≤ C^k`, i.e. the shard must not have
+//! discarded weight the merged sample still needs: `n_k ≥ n·W^k/W`. A
+//! deterministic chunked split keeps every per-batch shard size within one
+//! item of `|B_j|/K`, so `|W^k − W/K| < Σ_j e^{−λ·age} < 1/(1−e^{−λ})`,
+//! and the shard capacity
+//!
+//! ```text
+//! n_k = ⌈n/K⌉ + ⌈1/(1−e^{−λ})⌉        (headroom 0 for K = 1)
+//! ```
+//!
+//! guarantees mergeability for **any** batch-size schedule. The headroom
+//! also keeps each shard *saturated* whenever the merged sampler is, so
+//! shards run the cheap in-place replacement transition, not the O(C)
+//! downsample transition.
+//!
+//! T-TBS is simpler: its acceptance rate `q = n(1−e^{−λ})/b` is a constant
+//! independent of the sub-stream, so identically-configured shards already
+//! hold every item with the single-node probability `q·e^{−λ·age}` and the
+//! merge is a plain union; the per-shard equilibrium sizes `n·b_k/b` sum
+//! to `n`.
+
+use crate::latent::LatentSample;
+use crate::rtbs::RTbs;
+use crate::ttbs::TTbs;
+use rand::Rng;
+
+/// Configuration of a sharded sampler family: the single-node sampler the
+/// merged state must be equivalent to, plus the shard count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    /// Exponential decay rate λ (must be positive when `shards > 1`; the
+    /// skew headroom `1/(1−e^{−λ})` diverges at λ = 0).
+    pub lambda: f64,
+    /// Single-node capacity `n` (R-TBS hard bound / T-TBS target size).
+    pub capacity: usize,
+    /// Number of shards K.
+    pub shards: usize,
+    /// Mean batch size `b` of the *whole* stream (T-TBS's assumed rate;
+    /// ignored by R-TBS).
+    pub mean_batch: f64,
+}
+
+impl ShardSpec {
+    /// Spec for a single-node-equivalent R-TBS sharding.
+    pub fn rtbs(lambda: f64, capacity: usize, shards: usize) -> Self {
+        Self {
+            lambda,
+            capacity,
+            shards,
+            mean_batch: 0.0,
+        }
+    }
+
+    /// Spec for a single-node-equivalent T-TBS sharding.
+    pub fn ttbs(lambda: f64, target: usize, mean_batch: f64, shards: usize) -> Self {
+        Self {
+            lambda,
+            capacity: target,
+            shards,
+            mean_batch,
+        }
+    }
+
+    /// Per-shard R-TBS capacity `n_k = ⌈n/K⌉ + ⌈1/(1−e^{−λ})⌉` (see the
+    /// module docs; no headroom needed for K = 1).
+    pub fn shard_capacity(&self) -> usize {
+        if self.shards <= 1 {
+            return self.capacity;
+        }
+        let headroom = (1.0 / (1.0 - (-self.lambda).exp())).ceil() as usize;
+        self.capacity.div_ceil(self.shards) + headroom
+    }
+
+    fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.capacity > 0, "capacity must be positive");
+        assert!(
+            self.lambda.is_finite() && self.lambda >= 0.0,
+            "decay rate must be finite and non-negative"
+        );
+        assert!(
+            self.shards == 1 || self.lambda > 0.0,
+            "sharded sampling requires λ > 0: the skew headroom 1/(1−e^{{−λ}}) \
+             diverges at λ = 0 (use a single shard for undecayed sampling)"
+        );
+    }
+}
+
+/// A sampler whose state can be maintained shard-locally and merged into a
+/// single-node-equivalent sample. Implemented by [`RTbs`] and [`TTbs`];
+/// the parallel ingest engine in `tbs-distributed` is generic over this
+/// trait.
+pub trait MergeableSample: Sized {
+    /// The stream item type.
+    type Item;
+
+    /// Build the K shard-local samplers for `spec`, in shard-id order.
+    fn make_shards(spec: &ShardSpec) -> Vec<Self>;
+
+    /// Merge shard states (in shard-id order) into one sampler whose
+    /// realized sample is statistically equivalent to a single-node run
+    /// over the interleaved stream. Consumes the shards.
+    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, rng: &mut R) -> Self;
+
+    /// Shard-local ingest of one sub-batch (drain-based: the buffer's
+    /// allocation survives for recycling). Monomorphized over the RNG.
+    fn observe_shard<R: Rng + ?Sized>(&mut self, batch: &mut Vec<Self::Item>, rng: &mut R);
+
+    /// Realize the current sample into `out` (cleared first).
+    fn realize_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<Self::Item>);
+
+    /// Expected realized sample size (`C` for R-TBS, `|S|` for T-TBS).
+    fn expected_size(&self) -> f64;
+}
+
+/// Deterministically split `batch` into `out.len()` shard sub-batches.
+///
+/// Shard `i` receives a contiguous chunk of `⌊b/K⌋` or `⌈b/K⌉` items; the
+/// `b mod K` extra items go to the shards starting at `rotation % K`
+/// (callers rotate per batch so remainders spread evenly). Each `out[i]`
+/// is cleared and refilled — allocation-free once the buffers have reached
+/// their high-water capacity. The split is a pure function of
+/// `(b, K, rotation)`, which is what makes sharded runs reproducible.
+pub fn partition_batch<T>(batch: &mut Vec<T>, rotation: usize, out: &mut [Vec<T>]) {
+    let k = out.len();
+    debug_assert!(k > 0, "cannot partition into zero shards");
+    let b = batch.len();
+    let base = b / k;
+    let rem = b % k;
+    // Walk shards from last to first so each chunk drains from the tail —
+    // O(chunk) per shard instead of O(b) front-shifts.
+    let mut end = b;
+    for i in (0..k).rev() {
+        let extra = usize::from((i + k - rotation % k) % k < rem);
+        let len = base + extra;
+        let buf = &mut out[i];
+        buf.clear();
+        buf.extend(batch.drain(end - len..));
+        end -= len;
+    }
+    debug_assert_eq!(end, 0);
+    debug_assert!(batch.is_empty());
+}
+
+/// Fold `incoming` into the accumulating latent union `(acc, acc_weight)`.
+///
+/// Full items concatenate; the two partial items are combined by the §4.1
+/// stochastic-rounding algebra so that each keeps its exact inclusion
+/// probability: with fractional parts α (accumulator) and β (incoming),
+/// either the combined fraction stays below one — keep a single partial
+/// item, the accumulator's with probability α/(α+β) — or it crosses one,
+/// promoting one of the two to full (the accumulator's with probability
+/// `(1−β)/(2−α−β)`, which solves `Pr[promoted or realized] = α`) while the
+/// other remains partial with fraction α+β−1.
+fn merge_latent<T, R: Rng + ?Sized>(
+    acc: &mut LatentSample<T>,
+    incoming: LatentSample<T>,
+    rng: &mut R,
+) {
+    let (inc_full, inc_partial, inc_weight) = incoming.into_parts();
+    let (mut full, acc_partial, acc_weight) = std::mem::take(acc).into_parts();
+    let alpha = acc_weight - acc_weight.floor();
+    let beta = inc_weight - inc_weight.floor();
+    let new_weight = acc_weight + inc_weight;
+    full.extend(inc_full);
+
+    // Ground truth for the structure is the *computed* new weight: the
+    // number of partial-item promotions is whatever reconciles the full
+    // count with ⌊new_weight⌋ (0 or 1 in exact arithmetic; the clamp
+    // guards the representability edge where α or β rounded to 1).
+    let mut promotions = (new_weight.floor() as usize).saturating_sub(full.len());
+    let mut candidates: Vec<(T, f64)> = acc_partial
+        .map(|p| (p, alpha))
+        .into_iter()
+        .chain(inc_partial.map(|p| (p, beta)))
+        .collect();
+    promotions = promotions.min(candidates.len());
+
+    if promotions == 1 && candidates.len() == 2 {
+        // Promote one of the two partials; the other keeps fraction α+β−1.
+        let (_, a) = candidates[0];
+        let (_, b) = candidates[1];
+        let p_first = (1.0 - b) / (2.0 - a - b);
+        let keep = if rng.gen::<f64>() < p_first { 0 } else { 1 };
+        full.push(candidates.swap_remove(keep).0);
+    } else {
+        for _ in 0..promotions {
+            // 0 or 1 candidates: promotion is forced, not randomized.
+            full.push(candidates.pop().expect("promotion needs a candidate").0);
+        }
+    }
+
+    let frac = new_weight - new_weight.floor();
+    let partial = if frac > 0.0 && !candidates.is_empty() {
+        let item = if candidates.len() == 2 {
+            // Both partials survived below the integer boundary: keep the
+            // accumulator's with probability α/(α+β).
+            let (_, a) = candidates[0];
+            let (_, b) = candidates[1];
+            let idx = usize::from(rng.gen::<f64>() >= a / (a + b));
+            candidates.swap_remove(idx).0
+        } else {
+            candidates.pop().expect("candidate").0
+        };
+        Some(item)
+    } else {
+        None
+    };
+
+    *acc = LatentSample::from_raw_parts(full, partial, new_weight);
+}
+
+impl<T: Clone> MergeableSample for RTbs<T> {
+    type Item = T;
+
+    fn make_shards(spec: &ShardSpec) -> Vec<Self> {
+        spec.validate();
+        let n_k = spec.shard_capacity();
+        (0..spec.shards)
+            .map(|_| RTbs::new(spec.lambda, n_k))
+            .collect()
+    }
+
+    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, rng: &mut R) -> Self {
+        assert_eq!(shards.len(), spec.shards, "shard count mismatch");
+        let n = spec.capacity as f64;
+        let w: f64 = shards.iter().map(|s| s.total_weight()).sum();
+        let c = w.min(n);
+        let mut merged = LatentSample::empty();
+        let mut steps = 0;
+        for mut shard in shards {
+            steps = steps.max(shard.batches_observed());
+            let w_k = shard.total_weight();
+            let c_k = shard.sample_weight();
+            if w_k <= 0.0 || c_k <= 0.0 {
+                continue;
+            }
+            // Target weight for this shard's contribution; the min() guards
+            // floating-point ulps at the c_k boundary (the capacity
+            // headroom guarantees c·w_k/w ≤ c_k analytically).
+            let target = (c * w_k / w).min(c_k);
+            if target < c_k {
+                crate::downsample::downsample(shard.latent_mut(), target, rng);
+            }
+            let (_, _, _, _, latent) = shard.into_merge_parts();
+            merge_latent(&mut merged, latent, rng);
+        }
+        RTbs::from_merge_parts(spec.lambda, spec.capacity, w, steps, merged)
+    }
+
+    fn observe_shard<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, rng: &mut R) {
+        self.observe_drain(batch, rng);
+    }
+
+    fn realize_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<T>) {
+        self.sample_into(rng, out);
+    }
+
+    fn expected_size(&self) -> f64 {
+        self.sample_weight()
+    }
+}
+
+impl<T: Clone> MergeableSample for TTbs<T> {
+    type Item = T;
+
+    fn make_shards(spec: &ShardSpec) -> Vec<Self> {
+        spec.validate();
+        // Every shard runs the *global* configuration: the acceptance rate
+        // q = n(1−e^{−λ})/b does not depend on the sub-stream, so shard
+        // samples already obey the single-node inclusion law and sum to
+        // the global equilibrium size n.
+        (0..spec.shards)
+            .map(|_| TTbs::new(spec.lambda, spec.capacity, spec.mean_batch))
+            .collect()
+    }
+
+    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, _rng: &mut R) -> Self {
+        assert_eq!(shards.len(), spec.shards, "shard count mismatch");
+        let mut items = Vec::with_capacity(shards.iter().map(TTbs::len).sum());
+        let mut steps = 0;
+        for shard in &shards {
+            steps = steps.max(shard.batches_observed());
+            items.extend_from_slice(shard.items());
+        }
+        let mut merged = TTbs::with_initial(spec.lambda, spec.capacity, spec.mean_batch, items);
+        merged.set_steps(steps);
+        merged
+    }
+
+    fn observe_shard<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, rng: &mut R) {
+        self.observe_drain(batch, rng);
+    }
+
+    fn realize_into<R: Rng + ?Sized>(&self, _rng: &mut R, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(self.items());
+    }
+
+    fn expected_size(&self) -> f64 {
+        self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tbs_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn partition_is_deterministic_and_exhaustive() {
+        let mut a: Vec<u32> = (0..17).collect();
+        let mut b: Vec<u32> = (0..17).collect();
+        let mut out_a = vec![Vec::new(); 4];
+        let mut out_b = vec![Vec::new(); 4];
+        partition_batch(&mut a, 2, &mut out_a);
+        partition_batch(&mut b, 2, &mut out_b);
+        assert_eq!(out_a, out_b);
+        let total: usize = out_a.iter().map(Vec::len).sum();
+        assert_eq!(total, 17);
+        let mut all: Vec<u32> = out_a.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_sizes_stay_within_one_of_even() {
+        let mut out = vec![Vec::new(); 3];
+        for (b, rotation) in [(10usize, 0usize), (11, 1), (12, 2), (0, 0), (2, 5)] {
+            let mut batch: Vec<u32> = (0..b as u32).collect();
+            partition_batch(&mut batch, rotation, &mut out);
+            for part in &out {
+                let diff = part.len() as f64 - b as f64 / 3.0;
+                assert!(diff.abs() < 1.0, "b={b}: shard got {}", part.len());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_rotation_moves_the_remainder() {
+        // 7 items over 3 shards: the shard receiving 3 items follows the
+        // rotation.
+        let mut heavy = Vec::new();
+        for rotation in 0..3 {
+            let mut batch: Vec<u32> = (0..7).collect();
+            let mut out = vec![Vec::new(); 3];
+            partition_batch(&mut batch, rotation, &mut out);
+            heavy.push(out.iter().position(|p| p.len() == 3).unwrap());
+        }
+        assert_eq!(heavy.len(), 3);
+        assert_ne!(heavy[0], heavy[1]);
+    }
+
+    #[test]
+    fn shard_capacity_has_headroom() {
+        let spec = ShardSpec::rtbs(0.1, 1000, 4);
+        // ⌈1000/4⌉ + ⌈1/(1−e^{−0.1})⌉ = 250 + 11.
+        assert_eq!(spec.shard_capacity(), 261);
+        assert_eq!(ShardSpec::rtbs(0.1, 1000, 1).shard_capacity(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires λ > 0")]
+    fn rejects_undecayed_sharding() {
+        let spec = ShardSpec::rtbs(0.0, 100, 4);
+        let _ = RTbs::<u64>::make_shards(&spec);
+    }
+
+    #[test]
+    fn merge_latent_weight_and_counts_consistent() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        // Fold several fractional latent samples and check invariants hold
+        // after every fold.
+        let mut acc = LatentSample::<u32>::empty();
+        let mut expect_weight = 0.0;
+        for (full, frac) in [(3usize, 0.25), (2, 0.5), (0, 0.9), (4, 0.0), (1, 0.75)] {
+            let l = if frac > 0.0 {
+                // Downsample from an integral state to produce a valid
+                // fractional latent sample of weight full + frac.
+                let mut x = LatentSample::from_full((0..=full as u32).collect());
+                crate::downsample::downsample(&mut x, full as f64 + frac, &mut rng);
+                x
+            } else {
+                LatentSample::from_full((0..full as u32).collect())
+            };
+            expect_weight += l.weight();
+            merge_latent(&mut acc, l, &mut rng);
+            acc.check_invariants().unwrap();
+            assert!((acc.weight() - expect_weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_latent_partial_inclusion_probabilities_are_exact() {
+        // Two latent samples with only partial items (weights α and β):
+        // after merging, item A must realize with probability α and item B
+        // with probability β, for α+β below and above one.
+        let trials = 200_000u64;
+        for (alpha, beta) in [(0.3f64, 0.4f64), (0.7, 0.6), (0.5, 0.5), (0.9, 0.2)] {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+            let mut hits_a = 0u64;
+            let mut hits_b = 0u64;
+            for _ in 0..trials {
+                let a = LatentSample::from_raw_parts(vec![], Some(1u8), alpha);
+                let b = LatentSample::from_raw_parts(vec![], Some(2u8), beta);
+                let mut acc = LatentSample::empty();
+                merge_latent(&mut acc, a, &mut rng);
+                merge_latent(&mut acc, b, &mut rng);
+                acc.check_invariants().unwrap();
+                let mut out = Vec::new();
+                acc.realize_into(&mut rng, &mut out);
+                hits_a += u64::from(out.contains(&1));
+                hits_b += u64::from(out.contains(&2));
+            }
+            let pa = hits_a as f64 / trials as f64;
+            let pb = hits_b as f64 / trials as f64;
+            assert!(
+                (pa - alpha).abs() < 0.005,
+                "α={alpha}, β={beta}: Pr[A]={pa}"
+            );
+            assert!((pb - beta).abs() < 0.005, "α={alpha}, β={beta}: Pr[B]={pb}");
+        }
+    }
+
+    #[test]
+    fn rtbs_merge_preserves_weights_exactly() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let spec = ShardSpec::rtbs(0.1, 50, 4);
+        let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for t in 0..200u64 {
+            let b = [30u64, 0, 120, 5][t as usize % 4];
+            let mut batch: Vec<u64> = (0..b).map(|i| t * 1000 + i).collect();
+            partition_batch(&mut batch, t as usize, &mut out);
+            for (shard, sub) in shards.iter_mut().zip(out.iter_mut()) {
+                shard.observe_drain(sub, &mut rng);
+            }
+        }
+        let w: f64 = shards.iter().map(|s| s.total_weight()).sum();
+        let merged = RTbs::merge_shards(shards, &spec, &mut rng);
+        assert!((merged.total_weight() - w).abs() < 1e-9);
+        assert!((merged.sample_weight() - w.min(50.0)).abs() < 1e-9);
+        assert!(merged.latent().check_invariants().is_ok());
+        let mut sample = Vec::new();
+        merged.realize_into(&mut rng, &mut sample);
+        assert!(sample.len() <= 50);
+    }
+
+    #[test]
+    fn ttbs_merge_concatenates() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let spec = ShardSpec::ttbs(0.1, 100, 40.0, 2);
+        let mut shards = TTbs::<u64>::make_shards(&spec);
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        for t in 0..100u64 {
+            let mut batch: Vec<u64> = (0..40).map(|i| t * 100 + i).collect();
+            partition_batch(&mut batch, t as usize, &mut out);
+            for (shard, sub) in shards.iter_mut().zip(out.iter_mut()) {
+                shard.observe_drain(sub, &mut rng);
+            }
+        }
+        let total: usize = shards.iter().map(TTbs::len).sum();
+        let merged = TTbs::merge_shards(shards, &spec, &mut rng);
+        assert_eq!(merged.len(), total);
+    }
+}

@@ -99,6 +99,12 @@ impl<T> RTbs<T> {
         &self.latent
     }
 
+    /// Mutable access for the shard-merge algebra, which downsamples a
+    /// shard's latent state to its merged target weight.
+    pub(crate) fn latent_mut(&mut self) -> &mut LatentSample<T> {
+        &mut self.latent
+    }
+
     /// The capacity bound `n`.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -107,7 +113,22 @@ impl<T> RTbs<T> {
     /// Advance the clock by one time unit and absorb the arriving batch —
     /// the monomorphized fast path (see the type-level docs).
     #[inline]
-    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+    pub fn observe<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, rng: &mut R) {
+        let decay = self.decay.unit();
+        self.step_with_decay(&mut batch, decay, rng);
+    }
+
+    /// [`Self::observe`] from a caller-owned buffer: the batch items are
+    /// drained out of `batch` (accepted ones move into the sample; rejected
+    /// ones and any evicted victims are left behind for the caller to
+    /// `clear`), and the buffer's allocation survives the call. This is the
+    /// ingest entry point for pipelines that recycle batch buffers — e.g.
+    /// the sharded parallel engine in `tbs-distributed` — where dropping a
+    /// `Vec` per batch would force a fresh allocation per batch upstream.
+    ///
+    /// Statistically and RNG-stream-wise identical to [`Self::observe`].
+    #[inline]
+    pub fn observe_drain<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, rng: &mut R) {
         let decay = self.decay.unit();
         self.step_with_decay(batch, decay, rng);
     }
@@ -119,10 +140,10 @@ impl<T> RTbs<T> {
     /// # Panics
     ///
     /// Panics if `gap` is negative or non-finite.
-    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, gap: f64, rng: &mut R) {
         check_gap(gap);
         let decay = self.decay.factor(gap);
-        self.step_with_decay(batch, decay, rng);
+        self.step_with_decay(&mut batch, decay, rng);
     }
 
     /// Advance one step with an explicit per-step decay factor in `(0, 1]`.
@@ -137,12 +158,17 @@ impl<T> RTbs<T> {
     /// # Panics
     ///
     /// Panics if `decay` is outside `(0, 1]`.
-    pub fn observe_with_decay<R: Rng + ?Sized>(&mut self, batch: Vec<T>, decay: f64, rng: &mut R) {
+    pub fn observe_with_decay<R: Rng + ?Sized>(
+        &mut self,
+        mut batch: Vec<T>,
+        decay: f64,
+        rng: &mut R,
+    ) {
         assert!(
             decay > 0.0 && decay <= 1.0,
             "per-step decay factor must lie in (0, 1], got {decay}"
         );
-        self.step_with_decay(batch, decay, rng);
+        self.step_with_decay(&mut batch, decay, rng);
     }
 
     /// Expected size of `S_t` — the sample weight `C_t`.
@@ -170,7 +196,10 @@ impl<T> RTbs<T> {
         "R-TBS"
     }
 
-    fn step_with_decay<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, decay: f64, rng: &mut R) {
+    /// One batch transition. Items are *drained* out of `batch` (its
+    /// allocation is never dropped here), so both the owned `observe` entry
+    /// points and the buffer-recycling `observe_drain` share this body.
+    fn step_with_decay<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, decay: f64, rng: &mut R) {
         let n = self.capacity as f64;
         let batch_size = batch.len();
 
@@ -184,7 +213,7 @@ impl<T> RTbs<T> {
                 self.latent.clear();
             }
             // line 9-10: accept all arriving items as full
-            self.latent.push_full(batch);
+            self.latent.push_full(batch.drain(..));
             self.total_weight += batch_size as f64;
             if self.total_weight > n {
                 // line 12: overshoot — downsample to n; now saturated.
@@ -197,25 +226,60 @@ impl<T> RTbs<T> {
                 // Still saturated: accept each batch item w.p. n/W via a
                 // single stochastically rounded count (lines 16-17), then
                 // swap the accepted items over uniformly chosen victims in
-                // place — no intermediate vectors.
+                // place — no intermediate vectors. The evicted victims are
+                // swapped back into `batch`, whose leftover contents the
+                // caller discards.
                 let m_exact = batch_size as f64 * n / new_weight;
                 let m = (stochastic_round(rng, m_exact) as usize)
                     .min(batch_size)
                     .min(self.capacity);
-                self.latent.replace_random_full_from(&mut batch, m, rng);
+                self.latent.replace_random_full_from(batch, m, rng);
             } else {
                 // Undershoot: shrink the old sample to the decayed weight
                 // W' = W_new − |B_t|, then accept the batch as full items
                 // (lines 19-20); now unsaturated with C = W again.
                 let decayed_old = new_weight - batch_size as f64;
                 downsample(&mut self.latent, decayed_old, rng);
-                self.latent.push_full(batch);
+                self.latent.push_full(batch.drain(..));
             }
             self.total_weight = new_weight;
         }
         self.steps += 1;
         debug_assert!(self.latent.check_invariants().is_ok());
         debug_assert!(self.latent.weight() <= n + 1e-9);
+    }
+
+    /// Decompose into the merge-relevant parts `(λ, n, W, steps, latent)` —
+    /// consumed by [`crate::merge`]'s shard-union algebra.
+    pub(crate) fn into_merge_parts(self) -> (f64, usize, f64, u64, LatentSample<T>) {
+        (
+            self.decay.lambda(),
+            self.capacity,
+            self.total_weight,
+            self.steps,
+            self.latent,
+        )
+    }
+
+    /// Reassemble a sampler from merged parts. The caller (the shard-merge
+    /// algebra) must supply a latent sample whose weight equals
+    /// `min(capacity, total_weight)` up to rounding.
+    pub(crate) fn from_merge_parts(
+        lambda: f64,
+        capacity: usize,
+        total_weight: f64,
+        steps: u64,
+        latent: LatentSample<T>,
+    ) -> Self {
+        let s = Self {
+            latent,
+            total_weight,
+            decay: DecayCache::new(lambda),
+            capacity,
+            steps,
+        };
+        debug_assert!(s.latent.check_invariants().is_ok());
+        s
     }
 }
 

@@ -107,7 +107,18 @@ impl<T> TTbs<T> {
     /// Advance the clock by one time unit and absorb the arriving batch —
     /// the monomorphized fast path.
     #[inline]
-    pub fn observe<R: Rng + ?Sized>(&mut self, batch: Vec<T>, rng: &mut R) {
+    pub fn observe<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, rng: &mut R) {
+        let p = self.decay.unit();
+        self.step(&mut batch, p, rng);
+    }
+
+    /// [`Self::observe`] from a caller-owned buffer: accepted items are
+    /// drained into the sample, the rest discarded, and the buffer's
+    /// allocation survives for reuse (see `RTbs::observe_drain` for the
+    /// rationale). Statistically and RNG-stream-wise identical to
+    /// [`Self::observe`].
+    #[inline]
+    pub fn observe_drain<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, rng: &mut R) {
         let p = self.decay.unit();
         self.step(batch, p, rng);
     }
@@ -117,10 +128,10 @@ impl<T> TTbs<T> {
     /// # Panics
     ///
     /// Panics if `gap` is negative or non-finite.
-    pub fn observe_after<R: Rng + ?Sized>(&mut self, batch: Vec<T>, gap: f64, rng: &mut R) {
+    pub fn observe_after<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, gap: f64, rng: &mut R) {
         check_gap(gap);
         let p = self.decay.factor(gap);
-        self.step(batch, p, rng);
+        self.step(&mut batch, p, rng);
     }
 
     /// Expected size of `S_t` (the current exact size).
@@ -143,19 +154,25 @@ impl<T> TTbs<T> {
         self.steps
     }
 
+    /// Overwrite the batch counter — used by [`crate::merge`] so a merged
+    /// sampler reports the stream position of its shards.
+    pub(crate) fn set_steps(&mut self, steps: u64) {
+        self.steps = steps;
+    }
+
     /// Short identifier used in experiment output.
     pub fn name(&self) -> &'static str {
         "T-TBS"
     }
 
-    fn step<R: Rng + ?Sized>(&mut self, mut batch: Vec<T>, p: f64, rng: &mut R) {
+    fn step<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, p: f64, rng: &mut R) {
         // Decay current sample: keep Binomial(|S|, p) random survivors.
         let keep = binomial(rng, self.items.len() as u64, p) as usize;
         retain_random(&mut self.items, keep, rng);
         // Down-sample the incoming batch at rate q, in place.
         let accept = binomial(rng, batch.len() as u64, self.q) as usize;
-        retain_random(&mut batch, accept, rng);
-        self.items.append(&mut batch);
+        retain_random(batch, accept, rng);
+        self.items.append(batch);
         self.steps += 1;
     }
 }

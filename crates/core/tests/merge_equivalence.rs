@@ -1,0 +1,329 @@
+//! Statistical equivalence of K-shard merged samples to single-node
+//! samplers.
+//!
+//! The shard-merge algebra (`tbs_core::merge`) claims that K independently
+//! maintained shard samplers, fed a deterministic partition of the stream
+//! and merged on demand, realize samples from the *same distribution* as
+//! one single-node sampler over the interleaved stream. These tests verify
+//! that claim with the same machinery the single-node fast-path tests use
+//! (`fastpath_equivalence.rs`): seeded Monte-Carlo checks of Theorem 4.2
+//! inclusion probabilities (4.5σ binomial bands plus a small absolute
+//! floor) and the §6.3 equilibrium-size prediction, for K ∈ {2, 4, 8} —
+//! plus exact checks of the deterministic scalar state (W, C) against the
+//! single-node recursion.
+
+use rand::SeedableRng;
+use tbs_core::merge::{partition_batch, MergeableSample, ShardSpec};
+use tbs_core::{RTbs, TTbs};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// Items tagged with (batch index, item index) for inclusion accounting.
+type Tagged = (usize, u64);
+
+/// Feed `schedule` through K shard R-TBS samplers (deterministic rotated
+/// chunk partitioning) and return the merged sampler.
+fn run_sharded_rtbs(
+    spec: &ShardSpec,
+    schedule: &[u64],
+    rng: &mut Xoshiro256PlusPlus,
+) -> RTbs<Tagged> {
+    let mut shards = RTbs::<Tagged>::make_shards(spec);
+    let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); spec.shards];
+    for (bi, &b) in schedule.iter().enumerate() {
+        let mut batch: Vec<Tagged> = (0..b).map(|i| (bi, i)).collect();
+        partition_batch(&mut batch, bi, &mut parts);
+        for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+            shard.observe_shard(sub, rng);
+        }
+    }
+    RTbs::merge_shards(shards, spec, rng)
+}
+
+/// Monte-Carlo Theorem 4.2 check for the merged K-shard sampler: for every
+/// batch, `Pr[i ∈ S_t] = (C_t/W_t)·w_t(i)` within a 4.5σ band.
+fn check_merged_theorem_4_2(k: usize, seed: u64) {
+    let lambda = 0.4f64;
+    let n = 6usize;
+    let spec = ShardSpec::rtbs(lambda, n, k);
+    let schedule: &[u64] = &[4, 4, 0, 8, 0, 0, 3];
+    let trials = 60_000usize;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+
+    let mut appear: Vec<u64> = vec![0; schedule.len()];
+    let mut w_final = 0.0;
+    let mut c_final = 0.0;
+    let mut sample = Vec::new();
+    for _ in 0..trials {
+        let merged = run_sharded_rtbs(&spec, schedule, &mut rng);
+        w_final = merged.total_weight();
+        c_final = merged.sample_weight();
+        merged.realize_into(&mut rng, &mut sample);
+        for &(bi, _) in &sample {
+            appear[bi] += 1;
+        }
+    }
+    let t_final = schedule.len() as f64 - 1.0;
+    for (bi, &b) in schedule.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        let age = t_final - bi as f64;
+        let w_item = (-lambda * age).exp();
+        let expect = (c_final / w_final) * w_item;
+        let phat = appear[bi] as f64 / (trials as f64 * b as f64);
+        let tol = 4.5 * (expect * (1.0 - expect) / (trials as f64 * b as f64)).sqrt() + 0.004;
+        assert!(
+            (phat - expect).abs() < tol,
+            "K={k}: batch {bi}: phat {phat} vs expect {expect}"
+        );
+    }
+}
+
+#[test]
+fn merged_2_shards_satisfy_theorem_4_2() {
+    check_merged_theorem_4_2(2, 101);
+}
+
+#[test]
+fn merged_4_shards_satisfy_theorem_4_2() {
+    check_merged_theorem_4_2(4, 102);
+}
+
+#[test]
+fn merged_8_shards_satisfy_theorem_4_2() {
+    check_merged_theorem_4_2(8, 103);
+}
+
+#[test]
+fn merged_weights_match_single_node_recursion_exactly() {
+    // (W, C) are deterministic functions of the batch-size schedule; the
+    // merged state must reproduce the single-node trajectory at every
+    // merge point, for every K and across all four transition kinds.
+    let schedule: &[u64] = &[20, 20, 0, 0, 100, 0, 5, 5, 5, 0, 0, 0, 0, 40];
+    for k in [2usize, 4, 8] {
+        let spec = ShardSpec::rtbs(0.1, 50, k);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut single: RTbs<u64> = RTbs::new(0.1, 50);
+        let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for (t, &b) in schedule.iter().enumerate() {
+            let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
+            single.observe(batch.clone(), &mut rng);
+            let mut batch = batch;
+            partition_batch(&mut batch, t, &mut parts);
+            for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                shard.observe_shard(sub, &mut rng);
+            }
+            // Merge a snapshot (clones) every step so every transition is
+            // checked; keep the live shards running.
+            let merged = RTbs::merge_shards(shards.clone(), &spec, &mut rng);
+            assert!(
+                (merged.total_weight() - single.total_weight()).abs() < 1e-9,
+                "K={k}, t={t}: W diverged"
+            );
+            assert!(
+                (merged.sample_weight() - single.sample_weight()).abs() < 1e-9,
+                "K={k}, t={t}: C diverged"
+            );
+            assert!(merged.latent().check_invariants().is_ok());
+        }
+    }
+}
+
+#[test]
+fn merged_equilibrium_matches_paper_1479() {
+    // §6.3: n = 1600, b = 100, λ = 0.07 ⇒ C* = b/(1−e^{−λ}) ≈ 1479, no
+    // matter how many shards maintained the sample.
+    for k in [2usize, 4, 8] {
+        let spec = ShardSpec::rtbs(0.07, 1600, k);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(200 + k as u64);
+        let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for t in 0..400u64 {
+            let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
+            partition_batch(&mut batch, t as usize, &mut parts);
+            for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                shard.observe_shard(sub, &mut rng);
+            }
+        }
+        let merged = RTbs::merge_shards(shards, &spec, &mut rng);
+        assert!(!merged.is_saturated());
+        let c = merged.sample_weight();
+        assert!(
+            (c - 1479.0).abs() < 2.0,
+            "K={k}: equilibrium sample weight {c}, expected ≈1479"
+        );
+    }
+}
+
+#[test]
+fn merged_saturated_sample_is_pinned_at_n() {
+    // Fig 1(b): n = 1000, b = 100, λ = 0.1 ⇒ W* ≈ 1051 > n. The merged
+    // sample must hold exactly n items while each shard stays within its
+    // (headroomed) capacity.
+    for k in [2usize, 4, 8] {
+        let spec = ShardSpec::rtbs(0.1, 1000, k);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(300 + k as u64);
+        let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for t in 0..300u64 {
+            let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
+            partition_batch(&mut batch, t as usize, &mut parts);
+            for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                shard.observe_shard(sub, &mut rng);
+            }
+        }
+        let merged = RTbs::merge_shards(shards, &spec, &mut rng);
+        assert!(merged.is_saturated(), "K={k}");
+        let mut sample = Vec::new();
+        merged.realize_into(&mut rng, &mut sample);
+        assert_eq!(sample.len(), 1000, "K={k}");
+    }
+}
+
+#[test]
+fn sharding_is_deterministic_given_seed_and_shard_count() {
+    // Same seed + same K ⇒ bit-identical merged realization, because the
+    // partitioning is a pure function of (batch, K, rotation) and every
+    // shard consumes its own RNG stream in batch order.
+    let schedule: &[u64] = &[40, 0, 7, 90, 3, 0, 250, 11];
+    for k in [2usize, 4, 8] {
+        let spec = ShardSpec::rtbs(0.2, 64, k);
+        let run = |seed: u64| -> (f64, Vec<u64>) {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut shards = RTbs::<u64>::make_shards(&spec);
+            let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+            for (t, &b) in schedule.iter().enumerate() {
+                let mut batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
+                partition_batch(&mut batch, t, &mut parts);
+                for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                    shard.observe_shard(sub, &mut rng);
+                }
+            }
+            let merged = RTbs::merge_shards(shards, &spec, &mut rng);
+            let mut sample = Vec::new();
+            merged.realize_into(&mut rng, &mut sample);
+            (merged.total_weight(), sample)
+        };
+        let (w1, s1) = run(77);
+        let (w2, s2) = run(77);
+        assert_eq!(w1, w2, "K={k}");
+        assert_eq!(s1, s2, "K={k}: merged samples diverged across runs");
+        let (_, s3) = run(78);
+        assert_ne!(s1, s3, "K={k}: different seeds produced identical runs");
+    }
+}
+
+// ——— T-TBS ———
+
+/// Feed a constant-rate stream through K shard T-TBS samplers and return
+/// the merged sampler.
+fn run_sharded_ttbs(
+    spec: &ShardSpec,
+    batches: u64,
+    b: u64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> TTbs<u64> {
+    let mut shards = TTbs::<u64>::make_shards(spec);
+    let mut parts: Vec<Vec<u64>> = vec![Vec::new(); spec.shards];
+    for t in 0..batches {
+        let mut batch: Vec<u64> = (0..b).map(|i| t * b + i).collect();
+        partition_batch(&mut batch, t as usize, &mut parts);
+        for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+            shard.observe_shard(sub, rng);
+        }
+    }
+    TTbs::merge_shards(shards, spec, rng)
+}
+
+#[test]
+fn merged_ttbs_equilibrium_mean_is_target() {
+    // Theorem 3.1(ii)/(iii): the time-averaged merged sample size converges
+    // to the global target n, for every shard count.
+    for k in [2usize, 4, 8] {
+        let spec = ShardSpec::ttbs(0.1, 1000, 100.0, k);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(400 + k as u64);
+        let mut shards = TTbs::<u64>::make_shards(&spec);
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+        // Warm to steady state, then time-average.
+        let mut acc = 0.0;
+        let rounds = 500u64;
+        for t in 0..300 + rounds {
+            let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
+            partition_batch(&mut batch, t as usize, &mut parts);
+            for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                shard.observe_shard(sub, &mut rng);
+            }
+            if t >= 300 {
+                let size: usize = shards.iter().map(TTbs::len).sum();
+                acc += size as f64;
+            }
+        }
+        let mean = acc / rounds as f64;
+        assert!(
+            (mean / 1000.0 - 1.0).abs() < 0.05,
+            "K={k}: mean merged size {mean}, target 1000"
+        );
+    }
+}
+
+#[test]
+fn merged_ttbs_inclusion_ratio_is_exponential() {
+    // Property (1) on the merged sample: items one batch apart appear with
+    // probability ratio e^{−λ}.
+    let lambda = 0.5f64;
+    let trials = 30_000usize;
+    for k in [2usize, 4] {
+        let spec = ShardSpec::ttbs(lambda, 40, 20.0, k);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(500 + k as u64);
+        let mut count_old = 0u64;
+        let mut count_new = 0u64;
+        for _ in 0..trials {
+            let mut shards = TTbs::<u64>::make_shards(&spec);
+            let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
+            // Batch 1 tagged 0..20, batch 2 tagged 100..120, batch 3 empty.
+            for (t, base) in [(0usize, 0u64), (1, 100), (2, u64::MAX)] {
+                let mut batch: Vec<u64> = if base == u64::MAX {
+                    Vec::new()
+                } else {
+                    (base..base + 20).collect()
+                };
+                partition_batch(&mut batch, t, &mut parts);
+                for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
+                    shard.observe_shard(sub, &mut rng);
+                }
+            }
+            let merged = TTbs::merge_shards(shards, &spec, &mut rng);
+            count_old += merged.items().iter().filter(|&&x| x < 100).count() as u64;
+            count_new += merged.items().iter().filter(|&&x| x >= 100).count() as u64;
+        }
+        let ratio = count_old as f64 / count_new as f64;
+        let expect = (-lambda).exp();
+        assert!(
+            (ratio - expect).abs() < 0.05,
+            "K={k}: ratio {ratio} vs e^-lambda {expect}"
+        );
+    }
+}
+
+#[test]
+fn merged_ttbs_matches_single_node_size_distribution_mean() {
+    // E[|S_t|] transient (Theorem 3.1(ii)) through the merged path.
+    let (lambda, n, b) = (0.2f64, 50usize, 20.0);
+    let t = 5u64;
+    let p = (-lambda).exp();
+    let expect = n as f64 + p.powi(t as i32) * (0.0 - n as f64);
+    let spec = ShardSpec::ttbs(lambda, n, b, 4);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(600);
+    let trials = 3_000;
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let merged = run_sharded_ttbs(&spec, t, 20, &mut rng);
+        acc += merged.len() as f64;
+    }
+    let mean = acc / trials as f64;
+    assert!(
+        (mean - expect).abs() < 1.0,
+        "mean {mean} vs theory {expect}"
+    );
+}

@@ -112,7 +112,7 @@ enum Store<T: Wire> {
 }
 
 /// Distributed R-TBS instance.
-pub struct DRTbs<T: Wire + Send> {
+pub struct DRTbs<T: Wire + Send + 'static> {
     cfg: DrtbsConfig,
     store: Store<T>,
     /// Driver-held partial item of the latent sample.
@@ -129,7 +129,7 @@ pub struct DRTbs<T: Wire + Send> {
     cumulative_cost: CostTracker,
 }
 
-impl<T: Wire + Send> DRTbs<T> {
+impl<T: Wire + Send + 'static> DRTbs<T> {
     /// Create an empty distributed sampler.
     ///
     /// # Panics

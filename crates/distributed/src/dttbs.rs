@@ -52,7 +52,7 @@ impl DttbsConfig {
 
 /// Distributed T-TBS instance (co-partitioned sample, distributed
 /// decisions — the only configuration it needs).
-pub struct DTTbs<T: Send> {
+pub struct DTTbs<T: Send + 'static> {
     cfg: DttbsConfig,
     /// Retention probability `p = e^{−λ}`.
     p: f64,
@@ -66,7 +66,7 @@ pub struct DTTbs<T: Send> {
     cumulative_cost: CostTracker,
 }
 
-impl<T: Send> DTTbs<T> {
+impl<T: Send + 'static> DTTbs<T> {
     /// Create an empty distributed T-TBS sampler.
     ///
     /// # Panics
@@ -164,15 +164,16 @@ impl<T: Send> DTTbs<T> {
         }
         jobs.reverse();
 
-        self.pool.run_over(&mut jobs, |_, (sample, incoming, rng)| {
-            // Decay survivors: Binomial(|S_j|, p) retained.
-            let keep = binomial(rng, sample.len() as u64, p) as usize;
-            retain_random(sample, keep, rng);
-            // Down-sample the local batch at rate q.
-            let accept = binomial(rng, incoming.len() as u64, q) as usize;
-            retain_random(incoming, accept, rng);
-            sample.append(incoming);
-        });
+        self.pool
+            .run_over(&mut jobs, move |_, (sample, incoming, rng)| {
+                // Decay survivors: Binomial(|S_j|, p) retained.
+                let keep = binomial(rng, sample.len() as u64, p) as usize;
+                retain_random(sample, keep, rng);
+                // Down-sample the local batch at rate q.
+                let accept = binomial(rng, incoming.len() as u64, q) as usize;
+                retain_random(incoming, accept, rng);
+                sample.append(incoming);
+            });
 
         for (j, (sample, _, rng)) in jobs.into_iter().enumerate() {
             self.partitions[j] = sample;

@@ -1,0 +1,532 @@
+//! Multi-core sharded ingest engine: persistent worker pipeline over
+//! mergeable sampler shards.
+//!
+//! Where [`crate::drtbs`] *simulates* a distributed cluster (with a cost
+//! model standing in for the network), this module is the real thing at
+//! single-machine scale: **N long-lived shard threads**, each owning a
+//! monomorphized sampler ([`tbs_core::merge::MergeableSample`]) and a
+//! jump-ahead RNG substream, fed through bounded blocking queues
+//! ([`crate::queue::BatchQueue`]) by a driver thread. This is the paper's
+//! `Dist,CP` insight (§5: distributed decisions over co-partitioned data
+//! need no per-item coordination) applied to cores instead of cluster
+//! nodes: ingest runs with **zero cross-shard coordination**, and shard
+//! states are only merged — exactly, via the weight algebra of
+//! [`tbs_core::merge`] — when a sample is requested.
+//!
+//! ## Pipeline anatomy
+//!
+//! ```text
+//!              ┌────────────┐   work: BatchQueue<ShardMsg>   ┌──────────┐
+//!  ingest() ──▶│  driver:   │ ─────────────────────────────▶ │ shard 0  │
+//!              │ partition  │ ◀───────────────────────────── │ R-TBS +  │
+//!              │  + enqueue │   recycle: BatchQueue<Vec<T>>  │ own RNG  │
+//!              └────────────┘            …× N                └──────────┘
+//! ```
+//!
+//! * Batches are split deterministically ([`tbs_core::merge::partition_batch`])
+//!   so runs are reproducible regardless of thread interleaving: same seed
+//!   + same shard count ⇒ identical merged sample.
+//! * Consumed batch buffers flow back to the driver through a recycle
+//!   queue, so steady-state ingest performs **zero heap allocations**
+//!   beyond the caller-provided batch (verified by the engine's
+//!   counting-allocator test).
+//! * [`ParallelIngestEngine::sample`] quiesces the pipeline (queues are
+//!   FIFO, so a snapshot request naturally drains each shard), merges the
+//!   shard states in shard-id order, and realizes the unified sample.
+//! * Workers are spawned **once** at construction — no per-batch thread
+//!   spawn anywhere (contrast with the pre-PR-3 `WorkerPool`, which paid
+//!   a `thread::spawn` per job per batch).
+//!
+//! ## Choosing a shard count
+//!
+//! Shard capacity is `⌈n/K⌉` plus a decay-dependent skew headroom, and a
+//! shard stays on R-TBS's cheap saturated transition only while its
+//! sub-stream weight `W/K` exceeds that capacity. Rule of thumb: scale K
+//! up to the core count **while `b/(K(1−e^{−λ})) > n/K + 1/(1−e^{−λ})`**
+//! (i.e. per-shard equilibrium weight stays above per-shard capacity);
+//! past that point shards fall out of saturation and per-shard cost rises
+//! from O(b·n/W) to O(C) per batch. The committed `BENCH_scaling.json`
+//! quantifies both regimes.
+
+use crate::queue::BatchQueue;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tbs_core::merge::{partition_batch, MergeableSample, ShardSpec};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// Configuration of a [`ParallelIngestEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The single-node sampler the merged output must be equivalent to,
+    /// plus the shard count.
+    pub spec: ShardSpec,
+    /// Bounded depth of each shard's work queue, in batches. Deeper queues
+    /// smooth bursty producers; shallower ones bound in-flight memory.
+    pub queue_depth: usize,
+    /// Master seed; the driver and every shard derive non-overlapping
+    /// jump-ahead substreams from it.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// An engine config with the default queue depth (64 batches).
+    pub fn new(spec: ShardSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            queue_depth: 64,
+            seed,
+        }
+    }
+}
+
+/// Steady-state ingest counters for one shard, read with
+/// [`ParallelIngestEngine::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Items ingested by this shard.
+    pub items: u64,
+    /// Sub-batches processed by this shard.
+    pub batches: u64,
+    /// Nanoseconds spent inside `observe` calls (excludes queue waits —
+    /// this is the shard's *busy* time, the basis of the scaling bench's
+    /// aggregate-capacity metric).
+    pub busy_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    items: AtomicU64,
+    batches: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+enum ShardMsg<T> {
+    /// One sub-batch to ingest (possibly empty — empty batches still
+    /// advance the shard's decay clock).
+    Batch(Vec<T>),
+    /// Reply with a clone of the shard sampler (quiesces: FIFO order
+    /// guarantees all prior batches are absorbed first).
+    Snapshot,
+    /// Reply with an ack once everything queued ahead has been processed.
+    Sync,
+}
+
+enum ShardResp<S> {
+    Snapshot(Box<S>),
+    Ack,
+}
+
+struct ShardHandle<S: MergeableSample> {
+    work: Arc<BatchQueue<ShardMsg<S::Item>>>,
+    resp: Arc<BatchQueue<ShardResp<S>>>,
+    recycle: Arc<BatchQueue<Vec<S::Item>>>,
+    counters: Arc<ShardCounters>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A sharded, multi-threaded ingest front-end over any
+/// [`MergeableSample`] sampler (R-TBS, T-TBS).
+///
+/// See the [module docs](self) for the pipeline anatomy. The engine is
+/// deterministic: the realized sample is a pure function of
+/// `(seed, shard count, batch sequence)`.
+pub struct ParallelIngestEngine<S: MergeableSample + Clone + Send + 'static>
+where
+    S::Item: Send + 'static,
+{
+    shards: Vec<ShardHandle<S>>,
+    spec: ShardSpec,
+    /// Remainder-rotation counter for the deterministic batch split.
+    rotation: usize,
+    /// Largest per-shard chunk seen so far. Recycled split buffers are
+    /// reserved up to this before filling, so every circulating buffer
+    /// converges to the high-water capacity after one population cycle —
+    /// making steady-state ingest deterministically allocation-free
+    /// instead of "once every buffer has happened to carry a big chunk".
+    chunk_high_water: usize,
+    /// Driver-side substream: merge randomization + sample realization.
+    driver_rng: Xoshiro256PlusPlus,
+    /// Per-shard split buffers, refilled from the recycle queues.
+    split: Vec<Vec<S::Item>>,
+    /// Responses are popped into this scratch vector (capacity 1).
+    resp_scratch: Vec<ShardResp<S>>,
+}
+
+impl<S: MergeableSample + Clone + Send + 'static> ParallelIngestEngine<S>
+where
+    S::Item: Send + 'static,
+{
+    /// Spawn the shard worker threads and return the ready engine.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let spec = cfg.spec;
+        let mut substreams =
+            Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(spec.shards + 1);
+        let driver_rng = substreams.remove(0);
+        let shard_samplers = S::make_shards(&spec);
+        let shards: Vec<ShardHandle<S>> = shard_samplers
+            .into_iter()
+            .zip(substreams)
+            .enumerate()
+            .map(|(i, (sampler, rng))| {
+                let work = Arc::new(BatchQueue::with_capacity(cfg.queue_depth.max(1)));
+                let resp = Arc::new(BatchQueue::with_capacity(2));
+                // The recycle queue is created at its full buffer
+                // population, 2·depth + 2: at most depth buffers sit in
+                // the work queue, at most depth in the worker's unflushed
+                // done-list, and one in the driver — so at least one is
+                // always available, the driver's try_pop never misses,
+                // the worker's try_push never drops a warm buffer, and
+                // steady-state ingest never calls the allocator for a
+                // buffer (the counting-allocator test pins this down).
+                let population = 2 * cfg.queue_depth.max(1) + 2;
+                let recycle = Arc::new(BatchQueue::with_capacity(population));
+                for _ in 0..population {
+                    let _ = recycle.try_push(Vec::new());
+                }
+                let counters = Arc::new(ShardCounters::default());
+                let join = std::thread::Builder::new()
+                    .name(format!("tbs-shard-{i}"))
+                    .spawn({
+                        let work = Arc::clone(&work);
+                        let resp = Arc::clone(&resp);
+                        let recycle = Arc::clone(&recycle);
+                        let counters = Arc::clone(&counters);
+                        let depth = cfg.queue_depth.max(1);
+                        move || shard_worker(sampler, rng, depth, &work, &resp, &recycle, &counters)
+                    })
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    work,
+                    resp,
+                    recycle,
+                    counters,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Self {
+            split: (0..spec.shards).map(|_| Vec::new()).collect(),
+            shards,
+            spec,
+            rotation: 0,
+            chunk_high_water: 0,
+            driver_rng,
+            resp_scratch: Vec::with_capacity(1),
+        }
+    }
+
+    /// The shard count K.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The single-node-equivalent spec this engine maintains.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Feed one arriving batch. The batch is split deterministically
+    /// across the shard queues (blocking only when a queue is full —
+    /// backpressure, not data loss); empty batches are delivered too,
+    /// since every shard's decay clock must advance.
+    pub fn ingest(&mut self, mut batch: Vec<S::Item>) {
+        if self.shards.len() == 1 {
+            // Single shard: hand the caller's buffer over untouched.
+            let _ = self.shards[0].work.push(ShardMsg::Batch(batch));
+            return;
+        }
+        self.chunk_high_water = self
+            .chunk_high_water
+            .max(batch.len().div_ceil(self.shards.len()));
+        for (slot, shard) in self.split.iter_mut().zip(&self.shards) {
+            *slot = shard.recycle.try_pop().unwrap_or_default();
+            slot.reserve(self.chunk_high_water);
+        }
+        partition_batch(&mut batch, self.rotation, &mut self.split);
+        self.rotation = self.rotation.wrapping_add(1);
+        for (slot, shard) in self.split.iter_mut().zip(&self.shards) {
+            let _ = shard.work.push(ShardMsg::Batch(std::mem::take(slot)));
+        }
+    }
+
+    /// Block until every shard has absorbed everything queued so far.
+    pub fn quiesce(&mut self) {
+        for shard in &self.shards {
+            let _ = shard.work.push(ShardMsg::Sync);
+        }
+        for shard in &self.shards {
+            let _ = pop_resp(shard, &mut self.resp_scratch);
+        }
+    }
+
+    /// Quiesce, snapshot every shard, and merge the snapshots into a
+    /// single-node-equivalent sampler (shards keep running; their live
+    /// state is untouched).
+    pub fn snapshot_merged(&mut self) -> S {
+        for shard in &self.shards {
+            let _ = shard.work.push(ShardMsg::Snapshot);
+        }
+        let mut snapshots = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            match pop_resp(shard, &mut self.resp_scratch) {
+                ShardResp::Snapshot(s) => snapshots.push(*s),
+                ShardResp::Ack => unreachable!("snapshot request acked without payload"),
+            }
+        }
+        S::merge_shards(snapshots, &self.spec, &mut self.driver_rng)
+    }
+
+    /// Quiesce, merge, and realize the unified sample.
+    pub fn sample(&mut self) -> Vec<S::Item> {
+        let merged = self.snapshot_merged();
+        let mut out = Vec::new();
+        merged.realize_into(&mut self.driver_rng, &mut out);
+        out
+    }
+
+    /// Per-shard ingest counters (items, batches, busy nanoseconds).
+    /// Exact after a [`ParallelIngestEngine::quiesce`]; otherwise a
+    /// point-in-time reading.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                items: s.counters.items.load(Ordering::Relaxed),
+                batches: s.counters.batches.load(Ordering::Relaxed),
+                busy_ns: s.counters.busy_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Blocking single-response pop from a shard's response queue.
+///
+/// A closed-and-empty response queue means the worker terminated (its
+/// panic guard closes the queue on unwind); fail fast with a clear panic
+/// instead of blocking forever.
+fn pop_resp<S: MergeableSample>(
+    shard: &ShardHandle<S>,
+    scratch: &mut Vec<ShardResp<S>>,
+) -> ShardResp<S> {
+    scratch.clear();
+    let n = shard.resp.drain_into(scratch);
+    assert!(
+        n == 1,
+        "shard worker terminated (panicked?) before responding"
+    );
+    scratch.pop().expect("response")
+}
+
+impl<S: MergeableSample + Clone + Send + 'static> Drop for ParallelIngestEngine<S>
+where
+    S::Item: Send + 'static,
+{
+    fn drop(&mut self) {
+        // Closing the work queue lets each worker drain its backlog and
+        // exit; join propagates worker panics.
+        for shard in &mut self.shards {
+            shard.work.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let result = join.join();
+                // Re-raising a worker panic while already unwinding (e.g.
+                // after pop_resp's fail-fast) would abort the process;
+                // the first panic is the one worth reporting.
+                if !std::thread::panicking() {
+                    result.expect("shard worker panicked");
+                }
+            }
+        }
+    }
+}
+
+/// The long-lived per-shard worker: drain the work queue in bulk, ingest
+/// batches on the monomorphized fast path, recycle buffers, answer
+/// snapshot/sync requests.
+fn shard_worker<S: MergeableSample + Clone>(
+    mut sampler: S,
+    mut rng: Xoshiro256PlusPlus,
+    depth: usize,
+    work: &BatchQueue<ShardMsg<S::Item>>,
+    resp: &BatchQueue<ShardResp<S>>,
+    recycle: &BatchQueue<Vec<S::Item>>,
+    counters: &ShardCounters,
+) {
+    // If the worker unwinds (a sampler panic), close both driver-facing
+    // queues: a driver blocked in pop_resp fails fast ("shard worker
+    // terminated"), and one blocked on a full work queue in ingest()
+    // wakes with a push error instead of waiting forever on a consumer
+    // that no longer exists. On normal exit the engine is being dropped
+    // and the closes are harmless.
+    struct PanicCloser<'a, S: MergeableSample> {
+        work: &'a BatchQueue<ShardMsg<S::Item>>,
+        resp: &'a BatchQueue<ShardResp<S>>,
+    }
+    impl<S: MergeableSample> Drop for PanicCloser<'_, S> {
+        fn drop(&mut self) {
+            self.work.close();
+            self.resp.close();
+        }
+    }
+    let _closer = PanicCloser { work, resp };
+
+    // A drained group holds at most `depth` messages (the work queue's
+    // bound), so sizing the local buffers up front makes the loop
+    // allocation-free from the first batch on.
+    let mut msgs: Vec<ShardMsg<S::Item>> = Vec::with_capacity(depth);
+    let mut done: Vec<Vec<S::Item>> = Vec::with_capacity(depth);
+    loop {
+        if work.drain_into(&mut msgs) == 0 {
+            return; // queue closed and fully drained
+        }
+        let mut items = 0u64;
+        let mut batches = 0u64;
+        let mut busy = 0u64;
+        // One timed span per contiguous run of batches: with a fast
+        // producer the drain delivers work in large groups, so the two
+        // clock reads amortize to nothing per batch.
+        let mut span: Option<Instant> = None;
+        let close_span = |span: &mut Option<Instant>, busy: &mut u64| {
+            if let Some(t) = span.take() {
+                *busy += t.elapsed().as_nanos() as u64;
+            }
+        };
+        // Counters must be flushed *before* any Sync/Snapshot response is
+        // sent: the driver reads them right after the ack, and the
+        // "exact after quiesce" contract holds only if everything
+        // processed ahead of the ack is already visible.
+        let flush = |items: &mut u64, batches: &mut u64, busy: &mut u64| {
+            counters.items.fetch_add(*items, Ordering::Relaxed);
+            counters.batches.fetch_add(*batches, Ordering::Relaxed);
+            counters.busy_ns.fetch_add(*busy, Ordering::Relaxed);
+            (*items, *batches, *busy) = (0, 0, 0);
+        };
+        for msg in msgs.drain(..) {
+            match msg {
+                ShardMsg::Batch(mut buf) => {
+                    if span.is_none() {
+                        span = Some(Instant::now());
+                    }
+                    items += buf.len() as u64;
+                    sampler.observe_shard(&mut buf, &mut rng);
+                    buf.clear();
+                    done.push(buf);
+                    batches += 1;
+                }
+                ShardMsg::Snapshot => {
+                    close_span(&mut span, &mut busy);
+                    flush(&mut items, &mut batches, &mut busy);
+                    let _ = resp.push(ShardResp::Snapshot(Box::new(sampler.clone())));
+                }
+                ShardMsg::Sync => {
+                    close_span(&mut span, &mut busy);
+                    flush(&mut items, &mut batches, &mut busy);
+                    let _ = resp.push(ShardResp::Ack);
+                }
+            }
+        }
+        close_span(&mut span, &mut busy);
+        flush(&mut items, &mut batches, &mut busy);
+        // Hand consumed buffers back outside the timed span; a full
+        // recycle queue (single-shard mode) just drops them.
+        for buf in done.drain(..) {
+            let _ = recycle.try_push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbs_core::{RTbs, TTbs};
+
+    fn rtbs_engine(lambda: f64, n: usize, k: usize, seed: u64) -> ParallelIngestEngine<RTbs<u64>> {
+        ParallelIngestEngine::new(EngineConfig::new(ShardSpec::rtbs(lambda, n, k), seed))
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut engine = rtbs_engine(0.1, 100, 4, 1);
+        for t in 0..50u64 {
+            let b = [50u64, 0, 200, 10][t as usize % 4];
+            engine.ingest((0..b).collect());
+        }
+        let sample = engine.sample();
+        assert!(sample.len() <= 100, "sample overflow: {}", sample.len());
+    }
+
+    #[test]
+    fn weight_recursion_is_exact() {
+        let schedule = [30u64, 0, 80, 5, 5, 0, 0, 120, 10];
+        for k in [1usize, 2, 4] {
+            let mut engine = rtbs_engine(0.1, 50, k, 7);
+            let mut w = 0.0f64;
+            for &b in &schedule {
+                w = w * (-0.1f64).exp() + b as f64;
+                engine.ingest((0..b).collect());
+            }
+            let merged = engine.snapshot_merged();
+            assert!(
+                (merged.total_weight() - w).abs() < 1e-9,
+                "k={k}: W {} vs {w}",
+                merged.total_weight()
+            );
+            assert!((merged.sample_weight() - w.min(50.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_count_all_items() {
+        let mut engine = rtbs_engine(0.1, 64, 4, 3);
+        let mut total = 0u64;
+        for t in 0..40u64 {
+            let b = [17u64, 0, 93, 5][t as usize % 4];
+            total += b;
+            engine.ingest((0..b).collect());
+        }
+        engine.quiesce();
+        let stats = engine.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), total);
+        assert_eq!(stats.iter().map(|s| s.batches).sum::<u64>(), 40 * 4);
+    }
+
+    #[test]
+    fn snapshot_leaves_shards_running() {
+        let mut engine = rtbs_engine(0.1, 32, 2, 5);
+        engine.ingest((0..100u64).collect());
+        let first = engine.snapshot_merged();
+        engine.ingest((0..100u64).collect());
+        let second = engine.snapshot_merged();
+        assert_eq!(first.batches_observed() + 1, second.batches_observed());
+        assert!(second.total_weight() > first.total_weight());
+    }
+
+    #[test]
+    fn ttbs_engine_tracks_target() {
+        let spec = ShardSpec::ttbs(0.1, 200, 100.0, 4);
+        let mut engine: ParallelIngestEngine<TTbs<u64>> =
+            ParallelIngestEngine::new(EngineConfig::new(spec, 11));
+        for t in 0..400u64 {
+            engine.ingest((0..100).map(|i| t * 100 + i).collect());
+        }
+        let merged = engine.snapshot_merged();
+        let size = merged.len() as f64;
+        assert!(
+            (size / 200.0 - 1.0).abs() < 0.25,
+            "merged T-TBS size {size} far from target 200"
+        );
+    }
+
+    #[test]
+    fn drop_is_clean_with_backlog() {
+        let mut engine = rtbs_engine(0.5, 16, 2, 9);
+        for _ in 0..100 {
+            engine.ingest((0..50u64).collect());
+        }
+        drop(engine); // must not hang or panic
+    }
+}

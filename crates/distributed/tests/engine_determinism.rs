@@ -1,0 +1,114 @@
+//! The parallel ingest engine must be a *deterministic* function of
+//! `(seed, shard count, batch sequence)` — thread interleaving may change
+//! which shard runs when, but never what any shard computes, because the
+//! batch split is a pure function and every shard owns a jump-ahead RNG
+//! substream consumed strictly in its own batch order. These tests drive
+//! the real threaded pipeline (not the single-threaded shard simulation in
+//! `tbs-core`) and also pin the engine's deterministic scalar state to the
+//! single-node recursion.
+
+use rand::SeedableRng;
+use tbs_core::merge::ShardSpec;
+use tbs_core::{RTbs, TTbs};
+use tbs_distributed::engine::{EngineConfig, ParallelIngestEngine};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// An erratic schedule exercising all four R-TBS transitions.
+fn schedule(t: u64) -> u64 {
+    [40u64, 0, 7, 90, 3, 0, 250, 11, 0, 0, 64, 1][t as usize % 12]
+}
+
+fn run_engine(seed: u64, shards: usize, batches: u64) -> (f64, f64, Vec<u64>) {
+    let spec = ShardSpec::rtbs(0.2, 64, shards);
+    let mut engine: ParallelIngestEngine<RTbs<u64>> =
+        ParallelIngestEngine::new(EngineConfig::new(spec, seed));
+    for t in 0..batches {
+        let b = schedule(t);
+        engine.ingest((0..b).map(|i| t * 1000 + i).collect());
+    }
+    let merged = engine.snapshot_merged();
+    let sample = engine.sample();
+    (merged.total_weight(), merged.sample_weight(), sample)
+}
+
+#[test]
+fn same_seed_same_shards_is_bit_identical_across_runs() {
+    for shards in [1usize, 2, 4, 8] {
+        let (w1, c1, s1) = run_engine(42, shards, 60);
+        let (w2, c2, s2) = run_engine(42, shards, 60);
+        assert_eq!(w1, w2, "K={shards}: total weight diverged");
+        assert_eq!(c1, c2, "K={shards}: sample weight diverged");
+        assert_eq!(s1, s2, "K={shards}: realized samples diverged");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (_, _, s1) = run_engine(1, 4, 60);
+    let (_, _, s2) = run_engine(2, 4, 60);
+    assert_ne!(s1, s2, "different seeds produced identical samples");
+}
+
+#[test]
+fn engine_weights_match_single_node_recursion() {
+    // (W, C) are deterministic; the threaded engine must track a
+    // single-node R-TBS exactly at every snapshot point.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+    for shards in [1usize, 2, 4, 8] {
+        let spec = ShardSpec::rtbs(0.2, 64, shards);
+        let mut engine: ParallelIngestEngine<RTbs<u64>> =
+            ParallelIngestEngine::new(EngineConfig::new(spec, 33));
+        let mut single: RTbs<u64> = RTbs::new(0.2, 64);
+        for t in 0..48u64 {
+            let b = schedule(t);
+            let batch: Vec<u64> = (0..b).map(|i| t * 1000 + i).collect();
+            single.observe(batch.clone(), &mut rng);
+            engine.ingest(batch);
+            if t % 6 == 5 {
+                let merged = engine.snapshot_merged();
+                assert!(
+                    (merged.total_weight() - single.total_weight()).abs() < 1e-9,
+                    "K={shards}, t={t}: W diverged"
+                );
+                assert!(
+                    (merged.sample_weight() - single.sample_weight()).abs() < 1e-9,
+                    "K={shards}, t={t}: C diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ttbs_engine_is_deterministic_too() {
+    let run = |seed: u64| -> Vec<u64> {
+        let spec = ShardSpec::ttbs(0.1, 100, 50.0, 4);
+        let mut engine: ParallelIngestEngine<TTbs<u64>> =
+            ParallelIngestEngine::new(EngineConfig::new(spec, seed));
+        for t in 0..80u64 {
+            engine.ingest((0..50).map(|i| t * 100 + i).collect());
+        }
+        engine.sample()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn backpressure_does_not_change_the_result() {
+    // A depth-1 queue forces constant producer blocking — maximally
+    // different interleaving from the default depth — yet the merged
+    // sample must be identical.
+    let spec = ShardSpec::rtbs(0.2, 64, 4);
+    let run = |depth: usize| -> Vec<u64> {
+        let mut cfg = EngineConfig::new(spec, 21);
+        cfg.queue_depth = depth;
+        let mut engine: ParallelIngestEngine<RTbs<u64>> = ParallelIngestEngine::new(cfg);
+        for t in 0..60u64 {
+            let b = schedule(t);
+            engine.ingest((0..b).map(|i| t * 1000 + i).collect());
+        }
+        engine.sample()
+    };
+    assert_eq!(run(1), run(64));
+}

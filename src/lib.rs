@@ -30,7 +30,11 @@
 //!   model-management pipeline and evaluation metrics.
 //! * [`distributed`] — a simulated Spark-like cluster substrate running
 //!   D-R-TBS and D-T-TBS with co-partitioned or key-value-store reservoirs
-//!   and centralized or distributed insert/delete decisions.
+//!   and centralized or distributed insert/delete decisions — plus the
+//!   real multi-core sharded ingest engine
+//!   (`distributed::engine::ParallelIngestEngine`), which maintains one
+//!   mergeable sampler per worker thread and combines them exactly on
+//!   demand (`core::merge`).
 //!
 //! ## Quickstart
 //!

@@ -33,4 +33,5 @@ example_smoke! {
     drift_triggered_retraining_runs =>
         (drift_triggered_retraining, "../examples/drift_triggered_retraining.rs");
     distributed_cluster_runs => (distributed_cluster, "../examples/distributed_cluster.rs");
+    parallel_ingest_runs => (parallel_ingest, "../examples/parallel_ingest.rs");
 }

@@ -44,6 +44,48 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`], with poison errors unwrapped
+/// like the locks.
+///
+/// **API deviation from upstream:** upstream `parking_lot::Condvar::wait`
+/// takes `&mut MutexGuard` and re-acquires in place; over `std::sync`
+/// primitives that shape cannot be expressed without `unsafe` (the guard
+/// must be moved through `std::sync::Condvar::wait`), so this shim uses the
+/// standard library's consume-and-return signature instead. Callers write
+/// `guard = cv.wait(guard)` — swapping in the real crate means switching
+/// those call sites to `cv.wait(&mut guard)`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the lock while waiting. Spurious
+    /// wakeups are possible; callers must re-check their condition.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 /// A reader-writer lock whose guards never report poisoning.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
@@ -100,6 +142,25 @@ mod tests {
         // Upstream parking_lot semantics: the lock is usable afterwards.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        handle.join().unwrap();
+        assert!(*ready);
     }
 
     #[test]
