@@ -18,7 +18,8 @@
 
 use std::path::PathBuf;
 use tbs_bench::experiments::throughput::{
-    report, rows_to_json, run_throughput_filtered, ThroughputConfig, THROUGHPUT_ROW_KEYS,
+    check_facade_overhead, report, rows_to_json, run_throughput_filtered, ThroughputConfig,
+    THROUGHPUT_ROW_KEYS,
 };
 use tbs_bench::json::validate_bench_doc;
 use tbs_bench::output::{results_dir, workspace_root};
@@ -79,6 +80,22 @@ fn main() {
         filter.as_deref().is_none_or(|f| kind.label().contains(f))
     });
     report(&rows);
+
+    // Perf gate: the public `api::Sampler` must not tax the flagship
+    // ingest path. Enforced on full runs only — smoke counts are noise.
+    if filter.is_none() {
+        match check_facade_overhead(&rows, 0.10) {
+            Ok(ratio) => println!(
+                "api facade: R-TBS saturated at {:.1}% of the raw fast path (±10% gate)",
+                ratio * 100.0
+            ),
+            Err(msg) if smoke => println!("api facade (not gated on --smoke runs): {msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let path = json_path.unwrap_or_else(|| {
         if smoke {

@@ -34,6 +34,7 @@ use tbs_core::{
     BAres, BChao, BTbs, BatchSampler, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow,
 };
 use tbs_stats::rng::Xoshiro256PlusPlus;
+use temporal_sampling::api::SamplerConfig;
 
 use rand::SeedableRng;
 
@@ -160,6 +161,11 @@ pub enum ApiPath {
     /// `Box<dyn BatchSampler<u64>>` + `&mut dyn RngCore`: object-safe
     /// adapter, as used by heterogeneous harnesses.
     Dyn,
+    /// The public `temporal_sampling::api::Sampler` handle: enum
+    /// dispatch onto the same monomorphized fast path, with the handle
+    /// owning its RNG. Must stay within ±10% of `fast` (the enum match
+    /// is a jump table, not a vtable).
+    Facade,
 }
 
 impl ApiPath {
@@ -168,6 +174,7 @@ impl ApiPath {
         match self {
             ApiPath::Fast => "fast",
             ApiPath::Dyn => "dyn",
+            ApiPath::Facade => "facade",
         }
     }
 }
@@ -293,6 +300,22 @@ fn combo_seed(cfg: &ThroughputConfig, kind: SamplerKind, path: ApiPath, regime: 
         .wrapping_add((kind as u64) << 16 | (path as u64) << 8 | regime as u64)
 }
 
+/// Construct the `api::SamplerConfig` matching `kind` under `regime`'s
+/// parameters, for the facade path.
+fn facade_config(kind: SamplerKind, regime: Regime) -> SamplerConfig {
+    let (n, lambda) = (regime.capacity(), regime.lambda());
+    match kind {
+        SamplerKind::RTbs => SamplerConfig::rtbs(lambda, n),
+        SamplerKind::TTbs => SamplerConfig::ttbs(lambda, regime.ttbs_target(), regime.mean_batch()),
+        SamplerKind::BTbs => SamplerConfig::btbs(lambda),
+        SamplerKind::Unif => SamplerConfig::uniform(n),
+        SamplerKind::Chao => SamplerConfig::chao(lambda, n),
+        SamplerKind::SlidingCount => SamplerConfig::sliding_count(n),
+        SamplerKind::SlidingTime => SamplerConfig::sliding_time(5.0),
+        SamplerKind::ARes => SamplerConfig::ares(lambda, n),
+    }
+}
+
 /// Construct the boxed, type-erased variant of `kind` for the dyn path.
 fn boxed_sampler(kind: SamplerKind, regime: Regime) -> Box<dyn BatchSampler<u64>> {
     let (n, lambda) = (regime.capacity(), regime.lambda());
@@ -321,6 +344,16 @@ pub fn measure_one(
         ApiPath::Dyn => {
             let mut s = boxed_sampler(kind, regime);
             drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+        }
+        // The facade handle owns its RNG (seeded from the same combo
+        // seed), so the driver-side rng is unused here — what is timed
+        // is exactly what an `api` caller pays per `observe`.
+        ApiPath::Facade => {
+            let mut s = facade_config(kind, regime)
+                .seed(seed)
+                .build::<u64>()
+                .expect("benchmark configs are valid");
+            drive(cfg, regime, seed, move |batch, _rng| s.observe(batch))
         }
         // Each arm below monomorphizes `observe` over the concrete sampler
         // type and the concrete xoshiro256++ RNG — no virtual dispatch
@@ -385,7 +418,7 @@ pub fn run_throughput_filtered(
 ) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for kind in SamplerKind::all() {
-        for path in [ApiPath::Fast, ApiPath::Dyn] {
+        for path in [ApiPath::Fast, ApiPath::Dyn, ApiPath::Facade] {
             for regime in Regime::all() {
                 if keep(kind, path, regime) {
                     rows.push(measure_one(cfg, kind, path, regime));
@@ -480,6 +513,34 @@ pub fn rows_to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> Json {
 /// [`crate::json::BENCH_CORE_ROW_KEYS`]) every throughput row carries.
 pub const THROUGHPUT_ROW_KEYS: &[&str] = &["path", "elapsed_ns", "items_per_sec", "ns_per_item"];
 
+/// Check that the `facade` path's flagship row (saturated R-TBS — the
+/// committed-baseline headline) is no more than `tolerance` (fractional)
+/// slower than the `fast` path measured in the same run. Comparing
+/// within one run makes the gate robust to machine-to-machine absolute
+/// differences; the committed `BENCH_throughput.json` preserves the
+/// absolute numbers. Returns the facade/fast throughput ratio.
+pub fn check_facade_overhead(rows: &[ThroughputRow], tolerance: f64) -> Result<f64, String> {
+    let find = |path: &str| {
+        rows.iter()
+            .find(|r| r.sampler == "R-TBS" && r.regime == "saturated" && r.path == path)
+            .ok_or_else(|| format!("no R-TBS/saturated/{path} row in this run"))
+    };
+    let fast = find("fast")?;
+    let facade = find("facade")?;
+    let ratio = facade.items_per_sec / fast.items_per_sec;
+    if ratio < 1.0 - tolerance {
+        return Err(format!(
+            "api facade dropped R-TBS saturated ingest to {:.1}M items/s \
+             ({:.1}% of the fast path's {:.1}M — tolerance is {:.0}%)",
+            facade.items_per_sec / 1e6,
+            ratio * 100.0,
+            fast.items_per_sec / 1e6,
+            (1.0 - tolerance) * 100.0
+        ));
+    }
+    Ok(ratio)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,7 +549,7 @@ mod tests {
     fn smoke_grid_produces_sane_rows() {
         let cfg = ThroughputConfig::smoke();
         let rows = run_throughput(&cfg);
-        assert_eq!(rows.len(), 8 * 2 * 3);
+        assert_eq!(rows.len(), 8 * 3 * 3);
         for r in &rows {
             assert!(
                 r.items > 0,

@@ -18,6 +18,7 @@
 //! negative number increasing toward 0 with weight), which avoids overflow
 //! of `e^{λ·t_i}` on long streams.
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::traits::adapt_batch_sampler;
 use rand::Rng;
 
@@ -132,6 +133,58 @@ impl<T: Clone> BAres<T> {
     /// accepted only for signature uniformity with the latent schemes).
     pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.entries.iter().map(|e| e.item.clone()).collect()
+    }
+}
+
+impl<T: Wire> BAres<T> {
+    /// Serialize the complete sampler state — including each entry's
+    /// log-space A-Res key, which fully determines future evictions —
+    /// into `w`; see [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.lambda);
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.steps);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_f64(e.log_key);
+            w.put_item(&e.item);
+        }
+    }
+
+    /// Rebuild a sampler from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let lambda = check_non_negative(r.get_f64()?, "A-Res lambda")?;
+        let capacity = r.get_u64()? as usize;
+        if capacity == 0 {
+            return Err(CheckpointError::Corrupt("A-Res capacity"));
+        }
+        let steps = r.get_u64()?;
+        let len = r.get_u32()? as usize;
+        if len > capacity {
+            return Err(CheckpointError::Corrupt("A-Res entry count"));
+        }
+        // Allocate from the (bounds-checked) entry count, never from the
+        // blob's capacity field — a corrupt capacity must not drive an
+        // allocation. Each entry costs ≥ 8 (key) + 4 (length prefix) bytes.
+        r.check_count(len, 12)?;
+        let mut entries = Vec::with_capacity(len + 1);
+        for _ in 0..len {
+            let log_key = r.get_f64()?;
+            if log_key.is_nan() || log_key > 0.0 {
+                return Err(CheckpointError::Corrupt("A-Res log key"));
+            }
+            entries.push(Entry {
+                log_key,
+                item: r.get_item()?,
+            });
+        }
+        Ok(Self {
+            entries,
+            lambda,
+            capacity,
+            steps,
+        })
     }
 }
 

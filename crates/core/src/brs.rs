@@ -7,6 +7,7 @@
 //! algorithm item by item. Every item seen so far is equally likely to be in
 //! the sample (decay rate λ = 0) — this is the `Unif` baseline of §6.
 
+use crate::checkpoint::{CheckpointError, Reader, Wire, Writer};
 use crate::traits::adapt_batch_sampler;
 use crate::util::retain_random;
 use rand::Rng;
@@ -125,6 +126,38 @@ impl<T: Clone> BatchedReservoir<T> {
     /// accepted only for signature uniformity with the latent schemes).
     pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.clone()
+    }
+}
+
+impl<T: Wire> BatchedReservoir<T> {
+    /// Serialize the complete sampler state into `w`; see
+    /// [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.seen);
+        w.put_u64(self.steps);
+        w.put_items(self.items.iter());
+    }
+
+    /// Rebuild a reservoir from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let capacity = r.get_u64()? as usize;
+        if capacity == 0 {
+            return Err(CheckpointError::Corrupt("reservoir capacity"));
+        }
+        let seen = r.get_u64()?;
+        let steps = r.get_u64()?;
+        let items: Vec<T> = r.get_items()?;
+        if items.len() > capacity || items.len() as u64 > seen {
+            return Err(CheckpointError::Corrupt("reservoir item count"));
+        }
+        Ok(Self {
+            items,
+            seen,
+            capacity,
+            steps,
+        })
     }
 }
 

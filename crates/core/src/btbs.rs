@@ -12,6 +12,7 @@
 //! grow the sample without bound. This is the scheme of Xie et al. (ICDE
 //! 2015) used for time-biased edge sampling in dynamic graphs.
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
 use crate::util::{retain_random, DecayCache};
 use rand::Rng;
@@ -128,6 +129,29 @@ impl<T: Clone> BTbs<T> {
     /// accepted only for signature uniformity with the latent schemes).
     pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.clone()
+    }
+}
+
+impl<T: Wire> BTbs<T> {
+    /// Serialize the complete sampler state into `w`; see
+    /// [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.decay.lambda());
+        w.put_u64(self.steps);
+        w.put_items(self.items.iter());
+    }
+
+    /// Rebuild a sampler from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let lambda = check_non_negative(r.get_f64()?, "B-TBS lambda")?;
+        let steps = r.get_u64()?;
+        let items = r.get_items()?;
+        Ok(Self {
+            items,
+            decay: DecayCache::new(lambda),
+            steps,
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 //! normalization) is reproduced faithfully — including the cost it adds,
 //! which the benchmarks compare against R-TBS's lighter state.
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
 use crate::util::DecayCache;
 use rand::Rng;
@@ -256,6 +257,58 @@ impl<T: Clone> BChao<T> {
         let mut out = self.sample.clone();
         out.extend(self.overweight.iter().map(|(z, _)| z.clone()));
         out
+    }
+}
+
+impl<T: Wire> BChao<T> {
+    /// Serialize the complete sampler state — including the overweight
+    /// set `V` with its per-item weights — into `w`; see
+    /// [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.decay.lambda());
+        w.put_u64(self.capacity as u64);
+        w.put_f64(self.agg_weight);
+        w.put_u64(self.steps);
+        w.put_items(self.sample.iter());
+        w.put_u32(self.overweight.len() as u32);
+        for (item, weight) in &self.overweight {
+            w.put_item(item);
+            w.put_f64(*weight);
+        }
+    }
+
+    /// Rebuild a sampler from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let lambda = check_non_negative(r.get_f64()?, "B-Chao lambda")?;
+        let capacity = r.get_u64()? as usize;
+        if capacity == 0 {
+            return Err(CheckpointError::Corrupt("B-Chao capacity"));
+        }
+        let agg_weight = check_non_negative(r.get_f64()?, "B-Chao aggregate weight")?;
+        let steps = r.get_u64()?;
+        let sample: Vec<T> = r.get_items()?;
+        let n_over = r.get_u32()? as usize;
+        // Each overweight entry costs ≥ 4 (item length prefix) + 8
+        // (weight) bytes; bound the allocation before it happens.
+        r.check_count(n_over, 12)?;
+        let mut overweight = Vec::with_capacity(n_over);
+        for _ in 0..n_over {
+            let item = r.get_item()?;
+            let weight = check_non_negative(r.get_f64()?, "B-Chao overweight weight")?;
+            overweight.push((item, weight));
+        }
+        if sample.len() + overweight.len() > capacity {
+            return Err(CheckpointError::Corrupt("B-Chao item count"));
+        }
+        Ok(Self {
+            sample,
+            overweight,
+            agg_weight,
+            decay: DecayCache::new(lambda),
+            capacity,
+            steps,
+        })
     }
 }
 

@@ -1,0 +1,438 @@
+//! Versioned binary checkpoint codec — the shared durable-state substrate.
+//!
+//! §5.1 of the paper: "Both D-T-TBS and D-R-TBS periodically checkpoint
+//! the sample as well as other system state variables to ensure fault
+//! tolerance." This module is the single home of that byte format, used by
+//! every core sampler's `save_state`/`load_state` pair, by the sharded
+//! parallel engine in `tbs-distributed`, and by the public
+//! `temporal_sampling::api::Sampler::snapshot`/`restore` entry points. A
+//! checkpoint is a self-contained blob: configuration, scalar weights,
+//! RNG positions, and full reservoir contents — restoring yields a sampler
+//! that continues the stream **bit-identically** to an uninterrupted run.
+//!
+//! Format: little-endian, length-prefixed, versioned (`MAGIC`, `VERSION`
+//! leading). No external serialization framework — item payloads go
+//! through the [`Wire`] trait, the same encoding the simulated key-value
+//! store in `tbs-distributed` charges its network cost model for.
+//!
+//! The codec lives here (not in `tbs-distributed`, its pre-PR-4 home) so
+//! the core samplers can serialize themselves without the core crate
+//! depending on the distributed substrate; `tbs_distributed::checkpoint`
+//! re-exports everything for existing callers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag identifying a TBS checkpoint blob.
+pub const MAGIC: u32 = 0x5442_5343; // "TBSC"
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Errors raised when decoding a checkpoint blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The blob ended before all declared fields were read.
+    Truncated,
+    /// A field held an invalid value (tag or enum out of range).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a TBS checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A value that can be encoded to / decoded from bytes.
+///
+/// Implemented for the item types the experiments stream; user item types
+/// implement it to become checkpointable (and shippable across the
+/// simulated network in `tbs-distributed`, whose cost model charges for
+/// the encoded size).
+pub trait Wire: Clone {
+    /// Encode to a byte buffer.
+    fn encode(&self) -> Bytes;
+    /// Decode from a byte buffer; `None` on a malformed payload (e.g.
+    /// too short). Must round-trip `encode`. This is the method the
+    /// checkpoint reader calls, so untrusted blobs fail cleanly.
+    fn try_decode(data: &[u8]) -> Option<Self>;
+    /// Decode from a byte buffer the caller knows is well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed payload; use [`Wire::try_decode`] for
+    /// untrusted input.
+    fn decode(data: &[u8]) -> Self {
+        Self::try_decode(data).expect("malformed wire payload")
+    }
+    /// Payload size on the wire.
+    fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.to_le_bytes())
+    }
+    fn try_decode(data: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(data.get(..8)?.try_into().ok()?))
+    }
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for (u32, u32) {
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(self.0);
+        b.put_u32_le(self.1);
+        b.freeze()
+    }
+    fn try_decode(data: &[u8]) -> Option<Self> {
+        Some((
+            u32::from_le_bytes(data.get(..4)?.try_into().ok()?),
+            u32::from_le_bytes(data.get(4..8)?.try_into().ok()?),
+        ))
+    }
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for [f64; 2] {
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_f64_le(self[0]);
+        b.put_f64_le(self[1]);
+        b.freeze()
+    }
+    fn try_decode(data: &[u8]) -> Option<Self> {
+        Some([
+            f64::from_le_bytes(data.get(..8)?.try_into().ok()?),
+            f64::from_le_bytes(data.get(8..16)?.try_into().ok()?),
+        ])
+    }
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Little-endian writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Start a checkpoint blob with magic + version.
+    pub fn new() -> Self {
+        let mut w = Writer {
+            buf: BytesMut::with_capacity(1024),
+        };
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        w
+    }
+
+    /// Append a u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Append a u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Append an f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    /// Append a 256-bit RNG state.
+    pub fn put_rng_state(&mut self, s: [u64; 4]) {
+        for word in s {
+            self.put_u64(word);
+        }
+    }
+
+    /// Append one [`Wire`]-encoded item (length-prefixed).
+    pub fn put_item<T: Wire>(&mut self, item: &T) {
+        self.put_bytes(&item.encode());
+    }
+
+    /// Append a length-prefixed sequence of [`Wire`]-encoded items.
+    pub fn put_items<'a, T: Wire + 'a>(&mut self, items: impl ExactSizeIterator<Item = &'a T>) {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            self.put_item(item);
+        }
+    }
+
+    /// Finish and return the blob.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Little-endian reader with truncation checks.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Open a blob, validating magic and version.
+    pub fn new(blob: Bytes) -> Result<Self, CheckpointError> {
+        let mut r = Reader { buf: blob };
+        if r.get_u32()? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        Ok(r)
+    }
+
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.buf.remaining() < n {
+            Err(CheckpointError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a u32.
+    pub fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a u64.
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an f64.
+    pub fn get_f64(&mut self) -> Result<f64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Bytes, CheckpointError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
+    /// Read a 256-bit RNG state.
+    pub fn get_rng_state(&mut self) -> Result<[u64; 4], CheckpointError> {
+        Ok([
+            self.get_u64()?,
+            self.get_u64()?,
+            self.get_u64()?,
+            self.get_u64()?,
+        ])
+    }
+
+    /// Read one [`Wire`]-encoded item (length-prefixed); a payload the
+    /// item type cannot decode is [`CheckpointError::Corrupt`].
+    pub fn get_item<T: Wire>(&mut self) -> Result<T, CheckpointError> {
+        let bytes = self.get_bytes()?;
+        T::try_decode(&bytes).ok_or(CheckpointError::Corrupt("item payload"))
+    }
+
+    /// Read a length-prefixed sequence of [`Wire`]-encoded items.
+    pub fn get_items<T: Wire>(&mut self) -> Result<Vec<T>, CheckpointError> {
+        let count = self.get_u32()? as usize;
+        // Each item costs ≥ 4 bytes of length prefix; a corrupt count must
+        // fail cleanly instead of attempting a huge allocation.
+        self.check_count(count, 4)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_item()?);
+        }
+        Ok(out)
+    }
+
+    /// Whether every byte of the blob has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.buf.remaining() == 0
+    }
+
+    /// Bytes left to read. `load_state` implementations use this to bound
+    /// count-driven allocations *before* calling `Vec::with_capacity` —
+    /// a corrupt count larger than the remaining bytes could possibly
+    /// encode must fail as [`CheckpointError::Truncated`], not abort the
+    /// process on a huge allocation.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Guard for count-driven allocations: error out unless the blob has
+    /// at least `count * min_bytes_each` bytes left.
+    pub fn check_count(&self, count: usize, min_bytes_each: usize) -> Result<(), CheckpointError> {
+        if count.saturating_mul(min_bytes_each) > self.buf.remaining() {
+            Err(CheckpointError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Validate an f64 read back from a blob: finite and non-negative (all
+/// persisted weights/widths satisfy this; anything else is corruption).
+pub fn check_non_negative(v: f64, what: &'static str) -> Result<f64, CheckpointError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(CheckpointError::Corrupt(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_bytes() {
+        let mut w = Writer::new();
+        w.put_u32(7);
+        w.put_u64(u64::MAX);
+        w.put_f64(3.25);
+        w.put_u8(1);
+        w.put_bytes(b"hello");
+        w.put_rng_state([1, 2, 3, 4]);
+        let blob = w.finish();
+
+        let mut r = Reader::new(blob).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_f64().unwrap(), 3.25);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(&r.get_bytes().unwrap()[..], b"hello");
+        assert_eq!(r.get_rng_state().unwrap(), [1, 2, 3, 4]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_items() {
+        let mut w = Writer::new();
+        let items: Vec<u64> = vec![1, u64::MAX, 42];
+        w.put_items(items.iter());
+        let mut r = Reader::new(w.finish()).unwrap();
+        assert_eq!(r.get_items::<u64>().unwrap(), items);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let blob = Bytes::from_static(&[0u8; 16]);
+        assert_eq!(Reader::new(blob).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(MAGIC);
+        w.put_u32_le(99);
+        assert_eq!(
+            Reader::new(w.freeze()).unwrap_err(),
+            CheckpointError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut w = Writer::new();
+        w.put_u64(5);
+        let blob = w.finish();
+        let truncated = blob.slice(0..blob.len() - 2);
+        let mut r = Reader::new(truncated).unwrap();
+        assert_eq!(r.get_u64().unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn oversized_item_count_fails_cleanly() {
+        // A corrupt count must not trigger a huge Vec::with_capacity.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let mut r = Reader::new(w.finish()).unwrap();
+        assert_eq!(
+            r.get_items::<u64>().unwrap_err(),
+            CheckpointError::Truncated
+        );
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(CheckpointError::Corrupt("store tag")
+            .to_string()
+            .contains("store tag"));
+    }
+
+    #[test]
+    fn wire_u64_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(u64::decode(&v.encode()), v);
+            assert_eq!(v.wire_size(), 8);
+        }
+    }
+
+    #[test]
+    fn wire_pair_roundtrip() {
+        let v = (7u32, 99u32);
+        assert_eq!(<(u32, u32)>::decode(&v.encode()), v);
+        assert_eq!(v.wire_size(), 8);
+    }
+
+    #[test]
+    fn wire_f64_pair_roundtrip() {
+        let v = [1.5f64, -2.25];
+        assert_eq!(<[f64; 2]>::decode(&v.encode()), v);
+        assert_eq!(v.wire_size(), 16);
+    }
+
+    #[test]
+    fn check_non_negative_guards() {
+        assert!(check_non_negative(0.0, "w").is_ok());
+        assert!(check_non_negative(5.5, "w").is_ok());
+        assert!(check_non_negative(-1.0, "w").is_err());
+        assert!(check_non_negative(f64::NAN, "w").is_err());
+        assert!(check_non_negative(f64::INFINITY, "w").is_err());
+    }
+}

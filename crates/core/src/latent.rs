@@ -231,6 +231,23 @@ impl<T> LatentSample<T> {
         l
     }
 
+    /// [`Self::from_raw_parts`] for untrusted inputs (checkpoint restore):
+    /// verifies the structural invariants and reports a violation instead
+    /// of asserting.
+    pub(crate) fn try_from_raw_parts(
+        full: Vec<T>,
+        partial: Option<T>,
+        weight: f64,
+    ) -> Result<Self, String> {
+        let l = Self {
+            full,
+            partial,
+            weight,
+        };
+        l.check_invariants()?;
+        Ok(l)
+    }
+
     pub(crate) fn full_mut(&mut self) -> &mut Vec<T> {
         &mut self.full
     }

@@ -57,6 +57,14 @@
 //!   the evaluation harness). The `bench_throughput` binary in `tbs-bench`
 //!   measures the dispatch cost of this layer (`fast` vs `dyn` rows).
 //!
+//! Service code should usually enter through the root crate's
+//! `temporal_sampling::api` facade instead: a validating builder over all
+//! of these samplers (errors instead of panics), a unified handle that
+//! owns its RNG, and versioned snapshot/restore built on [`checkpoint`]
+//! and each sampler's `save_state`/`load_state` pair. The facade's
+//! `observe` enum-dispatches straight onto the inherent fast path
+//! (`facade` rows in the same benchmark).
+//!
 //! ## Example
 //!
 //! Feed 50 batches to R-TBS with decay rate λ = 0.07 and a hard bound of
@@ -89,6 +97,7 @@ pub mod ares;
 pub mod brs;
 pub mod btbs;
 pub mod chao;
+pub mod checkpoint;
 pub mod downsample;
 pub mod forward;
 pub mod latent;

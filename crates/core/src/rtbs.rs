@@ -18,6 +18,7 @@
 //! `C_t = min(n, W_t)`. Four transitions arise per batch, depending on
 //! whether the reservoir is *saturated* (`W ≥ n`) before and after.
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::downsample::downsample;
 use crate::latent::LatentSample;
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
@@ -280,6 +281,59 @@ impl<T> RTbs<T> {
         };
         debug_assert!(s.latent.check_invariants().is_ok());
         s
+    }
+}
+
+impl<T: Wire> RTbs<T> {
+    /// Serialize the complete sampler state — configuration, weights, the
+    /// latent sample — into `w`. [`Self::load_state`] rebuilds a sampler
+    /// that continues the stream **bit-identically** to an uninterrupted
+    /// run (given the caller also persists its RNG position).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.decay.lambda());
+        w.put_u64(self.capacity as u64);
+        w.put_f64(self.total_weight);
+        w.put_u64(self.steps);
+        w.put_f64(self.latent.weight());
+        w.put_items(self.latent.full_items().iter());
+        match self.latent.partial_item() {
+            Some(p) => {
+                w.put_u8(1);
+                w.put_item(p);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Rebuild a sampler from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let lambda = check_non_negative(r.get_f64()?, "R-TBS lambda")?;
+        let capacity = r.get_u64()? as usize;
+        if capacity == 0 {
+            return Err(CheckpointError::Corrupt("R-TBS capacity"));
+        }
+        let total_weight = check_non_negative(r.get_f64()?, "R-TBS total weight")?;
+        let steps = r.get_u64()?;
+        let weight = check_non_negative(r.get_f64()?, "R-TBS sample weight")?;
+        if weight > capacity as f64 + 1e-6 {
+            return Err(CheckpointError::Corrupt("R-TBS sample weight > capacity"));
+        }
+        let full = r.get_items()?;
+        let partial = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_item()?),
+            _ => return Err(CheckpointError::Corrupt("R-TBS partial tag")),
+        };
+        let latent = LatentSample::try_from_raw_parts(full, partial, weight)
+            .map_err(|_| CheckpointError::Corrupt("R-TBS latent sample"))?;
+        Ok(Self {
+            latent,
+            total_weight,
+            decay: DecayCache::new(lambda),
+            capacity,
+            steps,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //!   (unbounded memory when the arrival rate is high, and shrinking toward
 //!   empty when the stream dries up — like any wall-clock scheme).
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -100,6 +101,45 @@ impl<T: Clone> CountWindow<T> {
     }
 }
 
+impl<T: Wire> CountWindow<T> {
+    /// Serialize the complete window state (items oldest-first) into `w`;
+    /// see [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.steps);
+        w.put_u32(self.items.len() as u32);
+        for item in &self.items {
+            w.put_item(item);
+        }
+    }
+
+    /// Rebuild a window from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let capacity = r.get_u64()? as usize;
+        if capacity == 0 {
+            return Err(CheckpointError::Corrupt("count window capacity"));
+        }
+        let steps = r.get_u64()?;
+        let len = r.get_u32()? as usize;
+        if len > capacity {
+            return Err(CheckpointError::Corrupt("count window item count"));
+        }
+        // Allocate from the (bounds-checked) item count, never from the
+        // blob's capacity field; the ring buffer regrows lazily.
+        r.check_count(len, 4)?;
+        let mut items = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            items.push_back(r.get_item()?);
+        }
+        Ok(Self {
+            items,
+            capacity,
+            steps,
+        })
+    }
+}
+
 adapt_batch_sampler!(CountWindow);
 
 /// All items that arrived strictly within the last `width` time units.
@@ -144,6 +184,11 @@ impl<T> TimeWindow<T> {
     /// Current wall-clock time.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// The configured window width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
     }
 
     fn advance(&mut self, batch: Vec<T>, gap: f64) {
@@ -205,6 +250,56 @@ impl<T: Clone> TimeWindow<T> {
     /// Copy out the current window contents, oldest first.
     pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.iter().map(|(_, x)| x.clone()).collect()
+    }
+}
+
+impl<T: Wire> TimeWindow<T> {
+    /// Serialize the complete window state (arrival-stamped items,
+    /// oldest first) into `w`; see [`crate::RTbs::save_state`] for the
+    /// contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.width);
+        w.put_f64(self.now);
+        w.put_u64(self.steps);
+        w.put_u32(self.items.len() as u32);
+        for (t, item) in &self.items {
+            w.put_f64(*t);
+            w.put_item(item);
+        }
+    }
+
+    /// Rebuild a window from a [`Self::save_state`] payload, validating
+    /// every field (no panics on corrupt input).
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let width = r.get_f64()?;
+        if !(width.is_finite() && width > 0.0) {
+            return Err(CheckpointError::Corrupt("time window width"));
+        }
+        let now = check_non_negative(r.get_f64()?, "time window clock")?;
+        let steps = r.get_u64()?;
+        let len = r.get_u32()? as usize;
+        // Each entry costs ≥ 8 (time) + 4 (item length prefix) bytes.
+        r.check_count(len, 12)?;
+        let mut items = VecDeque::with_capacity(len);
+        let mut prev = 0.0f64;
+        for _ in 0..len {
+            let t = check_non_negative(r.get_f64()?, "time window arrival time")?;
+            // The structure's invariants: arrival times are oldest-first
+            // and never ahead of the restored clock. Accepting a
+            // violation would rebuild a window whose eviction sweep
+            // silently stops early.
+            if t > now || t < prev {
+                return Err(CheckpointError::Corrupt("time window arrival order"));
+            }
+            prev = t;
+            items.push_back((t, r.get_item()?));
+        }
+        Ok(Self {
+            items,
+            width,
+            now,
+            steps,
+        })
     }
 }
 

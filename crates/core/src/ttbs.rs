@@ -10,6 +10,7 @@
 //! infinitely often, and the scheme silently breaks when the true mean batch
 //! size drifts away from the assumed `b` (Figure 1).
 
+use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
 use crate::util::{retain_random, DecayCache};
 use rand::Rng;
@@ -182,6 +183,40 @@ impl<T: Clone> TTbs<T> {
     /// accepted only for signature uniformity with the latent schemes).
     pub fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Vec<T> {
         self.items.clone()
+    }
+}
+
+impl<T: Wire> TTbs<T> {
+    /// Serialize the complete sampler state into `w`; see
+    /// [`crate::RTbs::save_state`] for the contract.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.decay.lambda());
+        w.put_u64(self.target as u64);
+        w.put_f64(self.assumed_mean_batch);
+        w.put_u64(self.steps);
+        w.put_items(self.items.iter());
+    }
+
+    /// Rebuild a sampler from a [`Self::save_state`] payload, validating
+    /// every field — including the feasibility bound `b ≥ n(1 − e^{−λ})`
+    /// — without panicking on corrupt input.
+    pub fn load_state(r: &mut Reader) -> Result<Self, CheckpointError> {
+        let lambda = check_non_negative(r.get_f64()?, "T-TBS lambda")?;
+        let target = r.get_u64()? as usize;
+        if target == 0 {
+            return Err(CheckpointError::Corrupt("T-TBS target"));
+        }
+        let assumed_mean_batch = check_non_negative(r.get_f64()?, "T-TBS mean batch")?;
+        let min_b = target as f64 * (1.0 - (-lambda).exp());
+        if assumed_mean_batch < min_b {
+            return Err(CheckpointError::Corrupt("T-TBS infeasible mean batch"));
+        }
+        let steps = r.get_u64()?;
+        let items = r.get_items()?;
+        let mut s = Self::new(lambda, target, assumed_mean_batch);
+        s.items = items;
+        s.steps = steps;
+        Ok(s)
     }
 }
 

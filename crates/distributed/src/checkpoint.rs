@@ -1,234 +1,9 @@
 //! Checkpoint / restore for the distributed samplers (§5.1).
 //!
-//! "Both D-T-TBS and D-R-TBS periodically checkpoint the sample as well as
-//! other system state variables to ensure fault tolerance." A checkpoint
-//! here is a self-contained binary blob: configuration, scalar weights,
-//! every RNG substream position, the driver-held partial item, and the full
-//! reservoir contents. Restoring yields a sampler that continues the
-//! stream **bit-identically** to an uninterrupted run — verified by the
-//! round-trip tests.
-//!
-//! Format: little-endian, length-prefixed, versioned (`MAGIC`, `VERSION`
-//! leading). No external serialization framework — the item payloads reuse
-//! the [`crate::wire::Wire`] encoding the store already requires.
+//! The byte codec (writer, reader, error type, magic/version constants)
+//! moved to its shared home in [`tbs_core::checkpoint`] in PR 4 so the
+//! core samplers can serialize themselves without depending on this
+//! crate; everything is re-exported here for existing callers. See the
+//! core module docs for the format description.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
-/// Magic tag identifying a D-R-TBS checkpoint blob.
-pub const MAGIC: u32 = 0x5442_5343; // "TBSC"
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
-
-/// Errors raised when decoding a checkpoint blob.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CheckpointError {
-    /// The blob does not start with the checkpoint magic.
-    BadMagic,
-    /// The format version is not supported by this build.
-    UnsupportedVersion(u32),
-    /// The blob ended before all declared fields were read.
-    Truncated,
-    /// A field held an invalid value (tag or enum out of range).
-    Corrupt(&'static str),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::BadMagic => write!(f, "not a TBS checkpoint (bad magic)"),
-            CheckpointError::UnsupportedVersion(v) => {
-                write!(f, "unsupported checkpoint version {v}")
-            }
-            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
-            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-/// Little-endian writer over a growable buffer.
-#[derive(Debug, Default)]
-pub struct Writer {
-    buf: BytesMut,
-}
-
-impl Writer {
-    /// Start a checkpoint blob with magic + version.
-    pub fn new() -> Self {
-        let mut w = Writer {
-            buf: BytesMut::with_capacity(1024),
-        };
-        w.put_u32(MAGIC);
-        w.put_u32(VERSION);
-        w
-    }
-
-    /// Append a u32.
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
-    }
-
-    /// Append a u64.
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
-    }
-
-    /// Append an f64.
-    pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
-    }
-
-    /// Append a single byte.
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
-    }
-
-    /// Append a length-prefixed byte string.
-    pub fn put_bytes(&mut self, b: &[u8]) {
-        self.put_u32(b.len() as u32);
-        self.buf.put_slice(b);
-    }
-
-    /// Append a 256-bit RNG state.
-    pub fn put_rng_state(&mut self, s: [u64; 4]) {
-        for word in s {
-            self.put_u64(word);
-        }
-    }
-
-    /// Finish and return the blob.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
-    }
-}
-
-/// Little-endian reader with truncation checks.
-#[derive(Debug)]
-pub struct Reader {
-    buf: Bytes,
-}
-
-impl Reader {
-    /// Open a blob, validating magic and version.
-    pub fn new(blob: Bytes) -> Result<Self, CheckpointError> {
-        let mut r = Reader { buf: blob };
-        if r.get_u32()? != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = r.get_u32()?;
-        if version != VERSION {
-            return Err(CheckpointError::UnsupportedVersion(version));
-        }
-        Ok(r)
-    }
-
-    fn need(&self, n: usize) -> Result<(), CheckpointError> {
-        if self.buf.remaining() < n {
-            Err(CheckpointError::Truncated)
-        } else {
-            Ok(())
-        }
-    }
-
-    /// Read a u32.
-    pub fn get_u32(&mut self) -> Result<u32, CheckpointError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
-    }
-
-    /// Read a u64.
-    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
-    }
-
-    /// Read an f64.
-    pub fn get_f64(&mut self) -> Result<f64, CheckpointError> {
-        self.need(8)?;
-        Ok(self.buf.get_f64_le())
-    }
-
-    /// Read one byte.
-    pub fn get_u8(&mut self) -> Result<u8, CheckpointError> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
-    }
-
-    /// Read a length-prefixed byte string.
-    pub fn get_bytes(&mut self) -> Result<Bytes, CheckpointError> {
-        let len = self.get_u32()? as usize;
-        self.need(len)?;
-        Ok(self.buf.copy_to_bytes(len))
-    }
-
-    /// Read a 256-bit RNG state.
-    pub fn get_rng_state(&mut self) -> Result<[u64; 4], CheckpointError> {
-        Ok([
-            self.get_u64()?,
-            self.get_u64()?,
-            self.get_u64()?,
-            self.get_u64()?,
-        ])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrip_scalars_and_bytes() {
-        let mut w = Writer::new();
-        w.put_u32(7);
-        w.put_u64(u64::MAX);
-        w.put_f64(3.25);
-        w.put_u8(1);
-        w.put_bytes(b"hello");
-        w.put_rng_state([1, 2, 3, 4]);
-        let blob = w.finish();
-
-        let mut r = Reader::new(blob).unwrap();
-        assert_eq!(r.get_u32().unwrap(), 7);
-        assert_eq!(r.get_u64().unwrap(), u64::MAX);
-        assert_eq!(r.get_f64().unwrap(), 3.25);
-        assert_eq!(r.get_u8().unwrap(), 1);
-        assert_eq!(&r.get_bytes().unwrap()[..], b"hello");
-        assert_eq!(r.get_rng_state().unwrap(), [1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn rejects_bad_magic() {
-        let blob = Bytes::from_static(&[0u8; 16]);
-        assert_eq!(Reader::new(blob).unwrap_err(), CheckpointError::BadMagic);
-    }
-
-    #[test]
-    fn rejects_future_version() {
-        let mut w = BytesMut::new();
-        w.put_u32_le(MAGIC);
-        w.put_u32_le(99);
-        assert_eq!(
-            Reader::new(w.freeze()).unwrap_err(),
-            CheckpointError::UnsupportedVersion(99)
-        );
-    }
-
-    #[test]
-    fn detects_truncation() {
-        let mut w = Writer::new();
-        w.put_u64(5);
-        let blob = w.finish();
-        let truncated = blob.slice(0..blob.len() - 2);
-        let mut r = Reader::new(truncated).unwrap();
-        assert_eq!(r.get_u64().unwrap_err(), CheckpointError::Truncated);
-    }
-
-    #[test]
-    fn error_messages_render() {
-        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
-        assert!(CheckpointError::Corrupt("store tag")
-            .to_string()
-            .contains("store tag"));
-    }
-}
+pub use tbs_core::checkpoint::{CheckpointError, Reader, Writer, MAGIC, VERSION};

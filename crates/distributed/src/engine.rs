@@ -107,16 +107,33 @@ enum ShardMsg<T> {
     /// One sub-batch to ingest (possibly empty — empty batches still
     /// advance the shard's decay clock).
     Batch(Vec<T>),
-    /// Reply with a clone of the shard sampler (quiesces: FIFO order
-    /// guarantees all prior batches are absorbed first).
+    /// Reply with a clone of the shard sampler plus the shard RNG's
+    /// current 256-bit position (quiesces: FIFO order guarantees all
+    /// prior batches are absorbed first).
     Snapshot,
     /// Reply with an ack once everything queued ahead has been processed.
     Sync,
 }
 
 enum ShardResp<S> {
-    Snapshot(Box<S>),
+    Snapshot(Box<(S, [u64; 4])>),
     Ack,
+}
+
+/// The complete durable state of a quiesced [`ParallelIngestEngine`]:
+/// every shard's sampler and RNG position, the driver's RNG position, and
+/// the batch-split rotation counter. Feeding it back through
+/// [`ParallelIngestEngine::from_parts`] (same spec, shard count, and
+/// queue depth) resumes the stream **bit-identically** to an
+/// uninterrupted run — the engine-determinism tests pin this down.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint<S> {
+    /// Per-shard `(sampler, RNG state)`, in shard-id order.
+    pub shard_states: Vec<(S, [u64; 4])>,
+    /// The driver's merge/realization RNG position.
+    pub driver_rng: [u64; 4],
+    /// The remainder-rotation counter of the deterministic batch split.
+    pub rotation: u64,
 }
 
 struct ShardHandle<S: MergeableSample> {
@@ -161,11 +178,47 @@ where
 {
     /// Spawn the shard worker threads and return the ready engine.
     pub fn new(cfg: EngineConfig) -> Self {
-        let spec = cfg.spec;
         let mut substreams =
-            Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(spec.shards + 1);
+            Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(cfg.spec.shards + 1);
         let driver_rng = substreams.remove(0);
-        let shard_samplers = S::make_shards(&spec);
+        let shard_samplers = S::make_shards(&cfg.spec);
+        Self::spawn(cfg, shard_samplers, substreams, driver_rng, 0)
+    }
+
+    /// Rebuild an engine from a quiesced checkpoint (see
+    /// [`ParallelIngestEngine::save_parts`]). The config must describe the
+    /// same sharding the checkpoint was taken under; `cfg.seed` is ignored
+    /// — every RNG resumes from its checkpointed position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shard count disagrees with `cfg.spec`.
+    pub fn from_parts(cfg: EngineConfig, parts: EngineCheckpoint<S>) -> Self {
+        assert_eq!(
+            parts.shard_states.len(),
+            cfg.spec.shards,
+            "checkpoint has {} shards, config wants {}",
+            parts.shard_states.len(),
+            cfg.spec.shards
+        );
+        let mut samplers = Vec::with_capacity(parts.shard_states.len());
+        let mut rngs = Vec::with_capacity(parts.shard_states.len());
+        for (sampler, state) in parts.shard_states {
+            samplers.push(sampler);
+            rngs.push(Xoshiro256PlusPlus::from_state(state));
+        }
+        let driver_rng = Xoshiro256PlusPlus::from_state(parts.driver_rng);
+        Self::spawn(cfg, samplers, rngs, driver_rng, parts.rotation as usize)
+    }
+
+    fn spawn(
+        cfg: EngineConfig,
+        shard_samplers: Vec<S>,
+        substreams: Vec<Xoshiro256PlusPlus>,
+        driver_rng: Xoshiro256PlusPlus,
+        rotation: usize,
+    ) -> Self {
+        let spec = cfg.spec;
         let shards: Vec<ShardHandle<S>> = shard_samplers
             .into_iter()
             .zip(substreams)
@@ -211,7 +264,7 @@ where
             split: (0..spec.shards).map(|_| Vec::new()).collect(),
             shards,
             spec,
-            rotation: 0,
+            rotation,
             chunk_high_water: 0,
             driver_rng,
             resp_scratch: Vec::with_capacity(1),
@@ -262,10 +315,10 @@ where
         }
     }
 
-    /// Quiesce, snapshot every shard, and merge the snapshots into a
-    /// single-node-equivalent sampler (shards keep running; their live
-    /// state is untouched).
-    pub fn snapshot_merged(&mut self) -> S {
+    /// Quiesce and clone out every shard's `(sampler, RNG state)`, in
+    /// shard-id order (shards keep running; their live state is
+    /// untouched).
+    fn snapshot_shards(&mut self) -> Vec<(S, [u64; 4])> {
         for shard in &self.shards {
             let _ = shard.work.push(ShardMsg::Snapshot);
         }
@@ -276,7 +329,33 @@ where
                 ShardResp::Ack => unreachable!("snapshot request acked without payload"),
             }
         }
+        snapshots
+    }
+
+    /// Quiesce, snapshot every shard, and merge the snapshots into a
+    /// single-node-equivalent sampler (shards keep running; their live
+    /// state is untouched).
+    pub fn snapshot_merged(&mut self) -> S {
+        let snapshots = self
+            .snapshot_shards()
+            .into_iter()
+            .map(|(sampler, _)| sampler)
+            .collect();
         S::merge_shards(snapshots, &self.spec, &mut self.driver_rng)
+    }
+
+    /// Quiesce and capture the engine's complete durable state: every
+    /// shard's sampler and RNG position, the driver RNG position, and the
+    /// batch-split rotation. Unlike [`ParallelIngestEngine::sample`], this
+    /// consumes **no** randomness, so checkpointing mid-stream leaves the
+    /// trajectory untouched; [`ParallelIngestEngine::from_parts`] resumes
+    /// bit-identically.
+    pub fn save_parts(&mut self) -> EngineCheckpoint<S> {
+        EngineCheckpoint {
+            shard_states: self.snapshot_shards(),
+            driver_rng: self.driver_rng.state(),
+            rotation: self.rotation as u64,
+        }
     }
 
     /// Quiesce, merge, and realize the unified sample.
@@ -420,7 +499,10 @@ fn shard_worker<S: MergeableSample + Clone>(
                 ShardMsg::Snapshot => {
                     close_span(&mut span, &mut busy);
                     flush(&mut items, &mut batches, &mut busy);
-                    let _ = resp.push(ShardResp::Snapshot(Box::new(sampler.clone())));
+                    let _ = resp.push(ShardResp::Snapshot(Box::new((
+                        sampler.clone(),
+                        rng.state(),
+                    ))));
                 }
                 ShardMsg::Sync => {
                     close_span(&mut span, &mut busy);
@@ -528,5 +610,53 @@ mod tests {
             engine.ingest((0..50u64).collect());
         }
         drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn save_parts_resume_is_bit_identical() {
+        // Run A: 60 batches straight through. Run B: 30 batches, checkpoint,
+        // rebuild a fresh engine from the parts, 30 more. Samples must match
+        // exactly — same items, same order.
+        for k in [1usize, 2, 4] {
+            let batch = |t: u64| -> Vec<u64> {
+                let b = [40u64, 0, 150, 7][t as usize % 4];
+                (0..b).map(|i| t * 1000 + i).collect()
+            };
+            let cfg = EngineConfig::new(ShardSpec::rtbs(0.1, 64, k), 42);
+            let mut uninterrupted = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+            for t in 0..60 {
+                uninterrupted.ingest(batch(t));
+            }
+            let expect = uninterrupted.sample();
+
+            let mut first_half = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+            for t in 0..30 {
+                first_half.ingest(batch(t));
+            }
+            let parts = first_half.save_parts();
+            drop(first_half);
+            let mut resumed = ParallelIngestEngine::<RTbs<u64>>::from_parts(cfg, parts);
+            for t in 30..60 {
+                resumed.ingest(batch(t));
+            }
+            assert_eq!(resumed.sample(), expect, "k={k}: resume diverged");
+        }
+    }
+
+    #[test]
+    fn save_parts_does_not_disturb_the_trajectory() {
+        // Checkpointing mid-stream must consume no randomness: a run with a
+        // checkpoint taken halfway equals a run without one.
+        let cfg = EngineConfig::new(ShardSpec::rtbs(0.1, 32, 2), 5);
+        let mut plain = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+        let mut observed = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+        for t in 0..40u64 {
+            plain.ingest((0..50).map(|i| t * 100 + i).collect());
+            observed.ingest((0..50).map(|i| t * 100 + i).collect());
+            if t == 20 {
+                let _ = observed.save_parts();
+            }
+        }
+        assert_eq!(plain.sample(), observed.sample());
     }
 }

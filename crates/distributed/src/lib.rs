@@ -49,7 +49,7 @@ pub use copart::CoPartitionedReservoir;
 pub use cost::{CostModel, CostTracker};
 pub use drtbs::{DRTbs, DrtbsConfig, Strategy};
 pub use dttbs::{DTTbs, DttbsConfig};
-pub use engine::{EngineConfig, ParallelIngestEngine, ShardStats};
+pub use engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine, ShardStats};
 pub use kvstore::KvReservoir;
 pub use partition::{Location, Partitioned};
 pub use queue::BatchQueue;

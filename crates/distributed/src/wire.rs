@@ -4,97 +4,21 @@
 //! *serialized* values, and the network cost model charges for the actual
 //! encoded bytes — so item types must say how they go on the wire.
 
-use bytes::{BufMut, Bytes, BytesMut};
+/// The [`Wire`] trait itself (and its impls for the experiment item
+/// types) moved to its shared home in [`tbs_core::checkpoint`] in PR 4 —
+/// the same encoding now backs both the simulated network and the
+/// sampler checkpoints; this re-export keeps existing `crate::wire::Wire`
+/// paths working.
+pub use tbs_core::checkpoint::Wire;
 
 /// Fixed per-message envelope (framing, key, opcode) charged by the cost
 /// model on top of the payload, mirroring the Memcached binary protocol's
 /// 24-byte header plus key.
 pub const WIRE_ENVELOPE_BYTES: usize = 32;
 
-/// A value that can be encoded to / decoded from bytes.
-pub trait Wire: Clone {
-    /// Encode to a byte buffer.
-    fn encode(&self) -> Bytes;
-    /// Decode from a byte buffer (must round-trip `encode`).
-    fn decode(data: &[u8]) -> Self;
-    /// Payload size on the wire.
-    fn wire_size(&self) -> usize {
-        self.encode().len()
-    }
-}
-
-impl Wire for u64 {
-    fn encode(&self) -> Bytes {
-        Bytes::copy_from_slice(&self.to_le_bytes())
-    }
-    fn decode(data: &[u8]) -> Self {
-        u64::from_le_bytes(data[..8].try_into().expect("8 bytes"))
-    }
-    fn wire_size(&self) -> usize {
-        8
-    }
-}
-
-impl Wire for (u32, u32) {
-    fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(8);
-        b.put_u32_le(self.0);
-        b.put_u32_le(self.1);
-        b.freeze()
-    }
-    fn decode(data: &[u8]) -> Self {
-        (
-            u32::from_le_bytes(data[..4].try_into().expect("4 bytes")),
-            u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")),
-        )
-    }
-    fn wire_size(&self) -> usize {
-        8
-    }
-}
-
-impl Wire for [f64; 2] {
-    fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(16);
-        b.put_f64_le(self[0]);
-        b.put_f64_le(self[1]);
-        b.freeze()
-    }
-    fn decode(data: &[u8]) -> Self {
-        [
-            f64::from_le_bytes(data[..8].try_into().expect("8 bytes")),
-            f64::from_le_bytes(data[8..16].try_into().expect("8 bytes")),
-        ]
-    }
-    fn wire_size(&self) -> usize {
-        16
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn u64_roundtrip() {
-        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
-            assert_eq!(u64::decode(&v.encode()), v);
-            assert_eq!(v.wire_size(), 8);
-        }
-    }
-
-    #[test]
-    fn pair_roundtrip() {
-        let v = (7u32, 99u32);
-        assert_eq!(<(u32, u32)>::decode(&v.encode()), v);
-    }
-
-    #[test]
-    fn f64_pair_roundtrip() {
-        let v = [1.5f64, -2.25];
-        assert_eq!(<[f64; 2]>::decode(&v.encode()), v);
-        assert_eq!(v.wire_size(), 16);
-    }
 
     #[test]
     fn envelope_covers_header_for_every_type() {

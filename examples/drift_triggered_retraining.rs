@@ -4,16 +4,15 @@
 // cargo run --release --example drift_triggered_retraining
 // ```
 //
-// Retraining every batch is wasteful when nothing changes. Here a kNN
-// model over an R-TBS sample is refit only when a drift detector flags a
-// jump in the per-batch error (with a periodic fallback) — and still
-// recovers from a mode flip almost as fast as the refit-every-batch
-// protocol, at a fraction of the retraining cost.
+// Retraining every batch is wasteful when nothing changes. Here the
+// `api::ModelManager` runs the whole loop — predict out-of-sample, feed
+// the R-TBS sample, refit per policy — and a drift-triggered policy
+// (with a periodic fallback) recovers from mode flips almost as fast as
+// refit-every-batch, at a fraction of the retraining cost.
 
 use rand::SeedableRng;
 use temporal_sampling::datagen::gmm::GmmGenerator;
 use temporal_sampling::datagen::modes::{Mode, ModeSchedule};
-use temporal_sampling::ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};
 use temporal_sampling::ml::KnnClassifier;
 use temporal_sampling::prelude::*;
 
@@ -33,34 +32,33 @@ fn main() {
         "policy", "mean err%", "worst err%", "retrains"
     );
     for (name, policy) in policies {
-        let mut sampler: RTbs<_> = RTbs::new(0.07, 1000);
-        let mut model = KnnClassifier::new(7);
-        let mut scheduler =
-            RetrainScheduler::new(policy, DriftDetector::default_for_percent_errors());
+        let sampler = SamplerConfig::rtbs(0.07, 1000)
+            .seed(13)
+            .build()
+            .expect("valid config");
+        let mut mgr = ModelManager::new(sampler, KnnClassifier::new(7), policy);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
 
-        // Warm up: 100 normal batches, train once at the end.
+        // Warm up on 100 normal batches; the manager scores and refits
+        // per policy from the first batch on, so by the end of warmup the
+        // model is fit to the normal regime.
         for _ in 0..100 {
-            sampler.observe(gmm.sample_batch(Mode::Normal, 100, &mut rng), &mut rng);
+            mgr.ingest(gmm.sample_batch(Mode::Normal, 100, &mut rng));
         }
-        model.train(&sampler.sample(&mut rng));
+        let warmup_retrains = mgr.retrain_count();
 
         let mut errors = Vec::new();
         for t in 0..60u64 {
             let mode = schedule.mode_at(t);
             let batch = gmm.sample_batch(mode, 100, &mut rng);
-            let err = model.misclassification_pct(&batch);
-            errors.push(err);
-            sampler.observe(batch, &mut rng);
-            if scheduler.should_retrain(err) {
-                model.train(&sampler.sample(&mut rng));
-            }
+            let report = mgr.ingest(batch);
+            errors.push(report.batch_error);
         }
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;
         let worst = errors.iter().cloned().fold(0.0f64, f64::max);
         println!(
             "{name:<12} {mean:>10.1} {worst:>10.1} {:>10}",
-            scheduler.retrain_count()
+            mgr.retrain_count() - warmup_retrains
         );
     }
     println!(

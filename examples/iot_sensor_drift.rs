@@ -7,16 +7,16 @@
 // A fleet of sensors emits readings whose class distribution is disrupted
 // by a singular event (say, a plant-wide maintenance window) and then
 // reverts. A kNN fault classifier is retrained every batch on the
-// maintained sample. Sliding windows adapt fast but *forget* the normal
-// regime — when it returns, their error spikes; the uniform reservoir
-// never adapts; R-TBS does both.
+// maintained sample — each contender is one `api::ModelManager` and all
+// three see the identical stream. Sliding windows adapt fast but
+// *forget* the normal regime — when it returns, their error spikes; the
+// uniform reservoir never adapts; R-TBS does both.
 
 use rand::SeedableRng;
-use temporal_sampling::datagen::gmm::GmmGenerator;
+use temporal_sampling::datagen::gmm::{GmmGenerator, LabeledPoint};
 use temporal_sampling::datagen::modes::ModeSchedule;
 use temporal_sampling::datagen::stream::StreamPlan;
 use temporal_sampling::datagen::BatchSizeProcess;
-use temporal_sampling::ml::pipeline::{run_stream, Contender};
 use temporal_sampling::ml::KnnClassifier;
 use temporal_sampling::prelude::*;
 
@@ -32,45 +32,42 @@ fn main() {
     };
 
     let n = 1000;
-    let mut contenders: Vec<Contender<_>> = vec![
-        Contender::new(
-            "R-TBS",
-            Box::new(RTbs::new(0.07, n)),
-            Box::new(KnnClassifier::new(7)),
-        ),
-        Contender::new(
-            "SW",
-            Box::new(CountWindow::new(n)),
-            Box::new(KnnClassifier::new(7)),
-        ),
-        Contender::new(
-            "Unif",
-            Box::new(BatchedReservoir::new(n)),
-            Box::new(KnnClassifier::new(7)),
-        ),
+    let manager = |config: SamplerConfig, seed: u64| -> ModelManager<LabeledPoint, KnnClassifier> {
+        let sampler = config.seed(seed).build().expect("valid config");
+        ModelManager::new(sampler, KnnClassifier::new(7), RetrainPolicy::EveryBatch)
+    };
+    let mut contenders = [
+        ("R-TBS", manager(SamplerConfig::rtbs(0.07, n), 31)),
+        ("SW", manager(SamplerConfig::sliding_count(n), 32)),
+        ("Unif", manager(SamplerConfig::uniform(n), 33)),
     ];
 
-    let outputs = run_stream(
-        &plan,
-        |mode, size, rng| sensors.sample_batch(mode, size, rng),
-        &mut contenders,
-        &mut rng,
-    );
+    // Every manager sees the same generated stream; errors are recorded
+    // in the measured phase only (test-then-train, so all scores are
+    // out-of-sample).
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); contenders.len()];
+    for planned in plan.layout(&mut rng) {
+        let batch = sensors.sample_batch(planned.mode, planned.size as usize, &mut rng);
+        for ((_, mgr), errs) in contenders.iter_mut().zip(&mut errors) {
+            let report = mgr.ingest(batch.clone());
+            if planned.measured_time.is_some() {
+                errs.push(report.batch_error);
+            }
+        }
+    }
 
     println!("misclassification % per batch (event on t in [10,20)):");
     println!("{:>4} {:>8} {:>8} {:>8}", "t", "R-TBS", "SW", "Unif");
-    for t in 0..outputs[0].errors.len() {
+    for (t, ((e0, e1), e2)) in errors[0].iter().zip(&errors[1]).zip(&errors[2]).enumerate() {
         let marker = if (10..20).contains(&t) { "*" } else { " " };
-        println!(
-            "{t:>3}{marker} {:>8.1} {:>8.1} {:>8.1}",
-            outputs[0].errors[t], outputs[1].errors[t], outputs[2].errors[t]
-        );
+        println!("{t:>3}{marker} {e0:>8.1} {e1:>8.1} {e2:>8.1}");
     }
-    for o in &outputs {
-        let recovery_spike = o.errors[20..].iter().cloned().fold(0.0, f64::max);
+    for ((name, mgr), errs) in contenders.iter().zip(&errors) {
+        let recovery_spike = errs[20..].iter().cloned().fold(0.0, f64::max);
         println!(
-            "{:>6}: worst error after the event ends = {recovery_spike:.1}%",
-            o.name
+            "{name:>6}: worst error after the event ends = {recovery_spike:.1}% \
+             ({} refits)",
+            mgr.retrain_count()
         );
     }
     println!(

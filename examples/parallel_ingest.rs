@@ -10,27 +10,26 @@
 // *exactly* (the paper's §5 weight algebra) only when a sample is asked
 // for. The merged sample is statistically identical to a single-node
 // R-TBS over the whole stream — and bit-identical across runs for a fixed
-// (seed, shard count).
+// (seed, shard count). Through the `api` builder, sharding is one knob:
+// `.shards(4)`.
 
+use temporal_sampling::api::SamplerConfig;
 use temporal_sampling::core::merge::ShardSpec;
-use temporal_sampling::core::RTbs;
-use temporal_sampling::distributed::engine::{EngineConfig, ParallelIngestEngine};
 
 fn main() {
-    // 1. Single-node-equivalent spec: λ = 0.1, hard bound n = 1000,
+    // 1. Single-node-equivalent config: λ = 0.1, hard bound n = 1000,
     //    4 shards. Each shard gets capacity ⌈n/K⌉ plus a skew headroom so
     //    the merge is exact under any batch-size schedule.
-    let spec = ShardSpec::rtbs(0.1, 1000, 4);
+    let config = SamplerConfig::rtbs(0.1, 1000).shards(4).seed(42);
     println!(
         "4 shards, per-shard capacity {} (n = 1000 + merge headroom)",
-        spec.shard_capacity()
+        ShardSpec::rtbs(0.1, 1000, 4).shard_capacity()
     );
 
-    // 2. Spawn the engine: 4 long-lived shard threads behind bounded
-    //    queues. Worker threads exist for the engine's lifetime — no
-    //    per-batch spawning.
-    let mut engine: ParallelIngestEngine<RTbs<u64>> =
-        ParallelIngestEngine::new(EngineConfig::new(spec, 42));
+    // 2. Build the handle: 4 long-lived shard threads behind bounded
+    //    queues, spawned once. An invalid sharding (λ = 0, or a
+    //    non-mergeable algorithm) would be a TbsError here, not a panic.
+    let mut sampler = config.build::<u64>().expect("valid sharded config");
 
     // 3. Feed a bursty stream. Each batch is split deterministically
     //    across the shards; empty batches still advance every shard's
@@ -42,29 +41,28 @@ fn main() {
             _ => 100,
         };
         let batch: Vec<u64> = (0..batch_size).map(|i| t * 1_000 + i).collect();
-        engine.ingest(batch);
+        sampler.observe(batch);
     }
 
     // 4. Sample: quiesce, merge the shard states (downsample each to its
     //    exact weight share, union with stochastic rounding), realize.
-    let sample = engine.sample();
-    let merged = engine.snapshot_merged();
+    let sample = sampler.sample();
     println!(
-        "merged sample: {} items (bound 1000), W = {:.1}, C = {:.1}",
+        "merged sample: {} items (bound 1000), expected size C = {:.1}",
         sample.len(),
-        merged.total_weight(),
-        merged.sample_weight()
+        sampler.expected_size()
     );
     assert!(sample.len() <= 1000);
 
-    // 5. Per-shard ingest accounting: the stream split is near-even and
-    //    the busy time is what the scaling bench aggregates.
-    for (i, s) in engine.shard_stats().iter().enumerate() {
-        println!(
-            "shard {i}: {} items in {} sub-batches, busy {:.2} ms",
-            s.items,
-            s.batches,
-            s.busy_ns as f64 / 1e6
-        );
-    }
+    // 5. Durable state: the snapshot captures every shard's sampler and
+    //    RNG substream position, so a restored engine continues the
+    //    stream bit-identically in a fresh process.
+    let blob = sampler.snapshot();
+    println!("engine checkpoint: {} bytes", blob.len());
+    let mut restored =
+        temporal_sampling::api::Sampler::restore(&config, blob).expect("restorable blob");
+    sampler.observe((0..100).collect());
+    restored.observe((0..100).collect());
+    assert_eq!(sampler.sample(), restored.sample());
+    println!("restored 4-shard engine continues bit-identically.");
 }

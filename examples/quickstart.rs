@@ -5,10 +5,10 @@
 // ```
 //
 // Shows the core workflow: pick a decay rate from an application-level
-// retention criterion, feed timestamped batches to R-TBS, and read back a
-// bounded sample whose item ages follow the exponential inclusion law.
+// retention criterion, build an R-TBS handle through the `api` builder,
+// feed timestamped batches, and read back a bounded sample whose item
+// ages follow the exponential inclusion law.
 
-use rand::SeedableRng;
 use temporal_sampling::core::theory;
 use temporal_sampling::prelude::*;
 
@@ -18,28 +18,33 @@ fn main() {
     let lambda = theory::lambda_for_retention(40.0, 0.10);
     println!("decay rate lambda = {lambda:.4} (10% retention at age 40)");
 
-    // 2. Build the sampler: hard sample-size bound n = 500.
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
-    let mut sampler: RTbs<(u64, u64)> = RTbs::new(lambda, 500);
+    // 2. Build the sampler: hard sample-size bound n = 500. The builder
+    //    validates the config (a bad λ would be an `Err`, not a panic)
+    //    and the handle owns its seeded RNG.
+    let mut sampler = SamplerConfig::rtbs(lambda, 500)
+        .seed(7)
+        .build::<(u32, u32)>()
+        .expect("valid config");
 
     // 3. Stream 200 batches of (timestamp, payload) items with a bursty
     //    arrival pattern — R-TBS needs no knowledge of the rate.
-    for t in 0..200u64 {
+    for t in 0..200u32 {
         let batch_size = match t % 10 {
             0 => 0,   // stalls…
             5 => 400, // …and bursts
             _ => 60,
         };
-        let batch: Vec<(u64, u64)> = (0..batch_size).map(|i| (t, i)).collect();
-        sampler.observe(batch, &mut rng);
+        let batch: Vec<(u32, u32)> = (0..batch_size).map(|i| (t, i)).collect();
+        sampler.observe(batch);
     }
 
     // 4. Inspect the sample: bounded size, recency-biased ages.
-    let sample = sampler.sample(&mut rng);
+    let sample = sampler.sample();
     println!(
-        "sample size = {} (bound 500), total stream weight W = {:.1}",
+        "sample size = {} (bound {}), expected size C = {:.1}",
         sample.len(),
-        sampler.total_weight()
+        sampler.max_size().expect("R-TBS is bounded"),
+        sampler.expected_size()
     );
     let mut age_histogram = [0usize; 5];
     for (t, _) in &sample {

@@ -13,10 +13,9 @@
 use rand::SeedableRng;
 use temporal_sampling::core::theory::equilibrium_weight;
 use temporal_sampling::datagen::modes::ModeSchedule;
-use temporal_sampling::datagen::regression::RegressionGenerator;
+use temporal_sampling::datagen::regression::{RegressionGenerator, RegressionPoint};
 use temporal_sampling::datagen::stream::StreamPlan;
 use temporal_sampling::datagen::BatchSizeProcess;
-use temporal_sampling::ml::pipeline::{run_stream, Contender};
 use temporal_sampling::ml::LinearRegression;
 use temporal_sampling::prelude::*;
 
@@ -33,50 +32,55 @@ fn main() {
         schedule: ModeSchedule::periodic(10, 10),
     };
 
-    let mut contenders: Vec<Contender<_>> = vec![
-        Contender::new(
-            "R-TBS",
-            Box::new(RTbs::new(lambda, n)),
-            Box::new(LinearRegression::new(true)),
-        ),
-        Contender::new(
-            "SW",
-            Box::new(CountWindow::new(n)),
-            Box::new(LinearRegression::new(true)),
-        ),
-        Contender::new(
-            "Unif",
-            Box::new(BatchedReservoir::new(n)),
-            Box::new(LinearRegression::new(true)),
-        ),
+    let manager =
+        |config: SamplerConfig, seed: u64| -> ModelManager<RegressionPoint, LinearRegression> {
+            let sampler = config.seed(seed).build().expect("valid config");
+            ModelManager::new(
+                sampler,
+                LinearRegression::new(true),
+                RetrainPolicy::EveryBatch,
+            )
+        };
+    let mut contenders = [
+        ("R-TBS", manager(SamplerConfig::rtbs(lambda, n), 41)),
+        ("SW", manager(SamplerConfig::sliding_count(n), 42)),
+        ("Unif", manager(SamplerConfig::uniform(n), 43)),
     ];
 
-    let outputs = run_stream(
-        &plan,
-        |mode, size, rng| generator.sample_batch(mode, size, rng),
-        &mut contenders,
-        &mut rng,
-    );
+    // Same stream for every manager; record measured-phase errors and
+    // training-sample sizes.
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); contenders.len()];
+    let mut sizes: Vec<Vec<f64>> = vec![Vec::new(); contenders.len()];
+    for planned in plan.layout(&mut rng) {
+        let batch = generator.sample_batch(planned.mode, planned.size as usize, &mut rng);
+        for (i, (_, mgr)) in contenders.iter_mut().enumerate() {
+            let report = mgr.ingest(batch.clone());
+            if planned.measured_time.is_some() {
+                errors[i].push(report.batch_error);
+                sizes[i].push(report.sample_size as f64);
+            }
+        }
+    }
 
     println!("per-batch MSE (mode flips every 10 batches):");
     println!("{:>4} {:>8} {:>8} {:>8}", "t", "R-TBS", "SW", "Unif");
-    for t in (0..outputs[0].errors.len()).step_by(5) {
+    for t in (0..errors[0].len()).step_by(5) {
         println!(
             "{t:>4} {:>8.2} {:>8.2} {:>8.2}",
-            outputs[0].errors[t], outputs[1].errors[t], outputs[2].errors[t]
+            errors[0][t], errors[1][t], errors[2][t]
         );
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "\naggregate MSE: R-TBS {:.2}, SW {:.2}, Unif {:.2}",
-        mean(&outputs[0].errors),
-        mean(&outputs[1].errors),
-        mean(&outputs[2].errors)
+        mean(&errors[0]),
+        mean(&errors[1]),
+        mean(&errors[2])
     );
     println!(
         "R-TBS mean sample size {:.0} (predicted unsaturated equilibrium {:.0}) vs SW/Unif at {n}",
-        mean(&outputs[0].sample_sizes),
+        mean(&sizes[0]),
         equilibrium_weight(100.0, lambda),
     );
     println!(

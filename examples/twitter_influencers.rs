@@ -46,8 +46,18 @@ fn share_of_influencer(sample: &[u32]) -> f64 {
 fn main() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
     let n = 400;
-    let mut rtbs: RTbs<u32> = RTbs::new(0.05, n);
-    let mut window: CountWindow<u32> = CountWindow::new(n);
+    // Both contenders through the unified builder API: same capacity, the
+    // handles own their RNGs. Note: (u32) tweets aren't `Wire`-encodable
+    // — the builder works for any Clone + Send item type; only
+    // snapshot/restore needs `Wire`.
+    let mut rtbs = SamplerConfig::rtbs(0.05, n)
+        .seed(1)
+        .build::<u32>()
+        .expect("valid R-TBS config");
+    let mut window = SamplerConfig::sliding_count(n)
+        .seed(2)
+        .build::<u32>()
+        .expect("valid SW config");
 
     println!(
         "{:>5} {:>12} {:>12}   (influencer dark on rounds 40..60)",
@@ -57,10 +67,10 @@ fn main() {
     let mut rtbs_zero_rounds = 0;
     for t in 0..80u64 {
         let batch = batch_for_round(t, &mut rng);
-        rtbs.observe(batch.clone(), &mut rng);
-        window.observe(batch, &mut rng);
-        let r_share = share_of_influencer(&rtbs.sample(&mut rng));
-        let w_share = share_of_influencer(&window.sample(&mut rng));
+        rtbs.observe(batch.clone());
+        window.observe(batch);
+        let r_share = share_of_influencer(&rtbs.sample());
+        let w_share = share_of_influencer(&window.sample());
         if (40..60).contains(&t) {
             if w_share == 0.0 {
                 sw_zero_rounds += 1;

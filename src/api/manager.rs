@@ -1,0 +1,168 @@
+//! The model-management loop as a reusable component.
+//!
+//! The paper's whole point (§1, §6) is that a temporally-biased sample
+//! *feeds periodic retraining* so deployed models track evolving streams
+//! — the serving-loop role Velox carves out for model management systems.
+//! [`ModelManager`] packages that loop: it owns a [`Sampler`] and an
+//! [`OnlineModel`], applies the §6 test-then-train discipline per batch
+//! (score the arriving batch out-of-sample, update the sample, maybe
+//! refit), and decides *when* to refit through a
+//! [`RetrainPolicy`] — every batch, every N batches, or
+//! drift-triggered via `tbs_ml::drift`'s error-jump detector with a
+//! periodic fallback.
+
+use tbs_ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};
+use tbs_ml::pipeline::OnlineModel;
+use tbs_stats::summary::OnlineMoments;
+
+use crate::api::sampler::Sampler;
+
+/// Cumulative counters and error statistics of a manager's run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ManagerMetrics {
+    /// Batches ingested.
+    pub batches: u64,
+    /// Items ingested.
+    pub items: u64,
+    /// Model refits performed.
+    pub retrains: u64,
+    /// Error of the most recent scored batch.
+    pub last_error: f64,
+    /// Training-sample size at the most recent refit.
+    pub last_sample_size: usize,
+    /// Streaming mean/variance of the per-batch error series
+    /// (test-then-train, so every score is out-of-sample).
+    pub error_moments: OnlineMoments,
+}
+
+/// What one [`ModelManager::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// Out-of-sample error of the model on the arriving batch, scored
+    /// *before* the batch entered the sample.
+    pub batch_error: f64,
+    /// Whether the model was refit after this batch.
+    pub retrained: bool,
+    /// Training-set size used for the refit (0 when `retrained` is
+    /// false).
+    pub sample_size: usize,
+}
+
+/// Owns a sampler, a model, and a retraining policy; see the
+/// [`crate::api`] module docs.
+///
+/// ```
+/// use temporal_sampling::api::{ModelManager, RetrainPolicy, SamplerConfig};
+/// use temporal_sampling::datagen::gmm::LabeledPoint;
+/// use temporal_sampling::ml::knn::KnnClassifier;
+///
+/// let sampler = SamplerConfig::rtbs(0.1, 300)
+///     .seed(7)
+///     .build::<LabeledPoint>()
+///     .expect("valid config");
+/// let mut mgr = ModelManager::new(sampler, KnnClassifier::new(7), RetrainPolicy::EveryBatch);
+/// assert_eq!(mgr.metrics().batches, 0);
+/// ```
+pub struct ModelManager<T: Clone + Send + 'static, M: OnlineModel<T>> {
+    sampler: Sampler<T>,
+    model: M,
+    scheduler: RetrainScheduler,
+    metrics: ManagerMetrics,
+    /// Reused realization buffer: refits read the sample from here, so
+    /// steady-state retraining allocates no fresh sample vector.
+    sample_buf: Vec<T>,
+}
+
+impl<T: Clone + Send + 'static, M: OnlineModel<T>> ModelManager<T, M> {
+    /// Bundle a sampler, a model, and a policy, using the default drift
+    /// detector (window 10, 3σ, 5-point minimum jump — calibrated for
+    /// errors expressed in percent). The detector only matters for
+    /// [`RetrainPolicy::OnDrift`].
+    pub fn new(sampler: Sampler<T>, model: M, policy: RetrainPolicy) -> Self {
+        Self::with_detector(
+            sampler,
+            model,
+            policy,
+            DriftDetector::default_for_percent_errors(),
+        )
+    }
+
+    /// [`ModelManager::new`] with an explicitly tuned drift detector.
+    pub fn with_detector(
+        sampler: Sampler<T>,
+        model: M,
+        policy: RetrainPolicy,
+        detector: DriftDetector,
+    ) -> Self {
+        Self {
+            sampler,
+            model,
+            scheduler: RetrainScheduler::new(policy, detector),
+            metrics: ManagerMetrics::default(),
+            sample_buf: Vec::new(),
+        }
+    }
+
+    /// One turn of the §6 loop: **predict** (score the arriving batch
+    /// with the current model — out-of-sample by construction),
+    /// **update** (feed the batch to the sampler), and **retrain** when
+    /// the policy fires (refit on the freshly realized sample).
+    pub fn ingest(&mut self, batch: Vec<T>) -> IngestReport {
+        let batch_error = self.model.batch_error(&batch);
+        self.metrics.batches += 1;
+        self.metrics.items += batch.len() as u64;
+        self.metrics.last_error = batch_error;
+        self.metrics.error_moments.push(batch_error);
+
+        self.sampler.observe(batch);
+
+        let retrained = self.scheduler.should_retrain(batch_error);
+        let mut sample_size = 0;
+        if retrained {
+            self.sampler.sample_into(&mut self.sample_buf);
+            sample_size = self.sample_buf.len();
+            self.model.retrain(&self.sample_buf);
+            self.metrics.retrains += 1;
+            self.metrics.last_sample_size = sample_size;
+        }
+        IngestReport {
+            batch_error,
+            retrained,
+            sample_size,
+        }
+    }
+
+    /// The model as trained by the most recent refit.
+    pub fn current_model(&self) -> &M {
+        &self.model
+    }
+
+    /// The managed sampler (e.g. to snapshot it alongside the stream
+    /// position).
+    pub fn sampler(&self) -> &Sampler<T> {
+        &self.sampler
+    }
+
+    /// Mutable access to the managed sampler — checkpointing
+    /// ([`Sampler::snapshot`]) needs `&mut`.
+    pub fn sampler_mut(&mut self) -> &mut Sampler<T> {
+        &mut self.sampler
+    }
+
+    /// Cumulative run metrics.
+    pub fn metrics(&self) -> &ManagerMetrics {
+        &self.metrics
+    }
+
+    /// Refits triggered so far (shorthand for `metrics().retrains`).
+    pub fn retrain_count(&self) -> u64 {
+        self.metrics.retrains
+    }
+
+    /// Tear the manager apart into its sampler and model (e.g. to move
+    /// the model to a serving tier while the sampler keeps ingesting
+    /// elsewhere).
+    pub fn into_parts(self) -> (Sampler<T>, M) {
+        (self.sampler, self.model)
+    }
+}

@@ -1,0 +1,550 @@
+//! The unified sampler handle.
+//!
+//! [`Sampler`] wraps all eight core sampling algorithms *and* the K-shard
+//! [`ParallelIngestEngine`] behind one type with four verbs — `observe`,
+//! `sample`, `snapshot`, `restore` — plus the metadata accessors the
+//! evaluation harness relies on. Dispatch is a **match on an enum**, not a
+//! vtable: every arm calls the sampler's inherent generic method with the
+//! handle's concrete xoshiro256++ RNG, so the monomorphized, zero-
+//! steady-state-allocation fast path of PR 2 survives intact (the
+//! `bench_throughput` `facade` rows measure the residual cost of the
+//! branch, which must stay within ±10% of the raw fast path).
+//!
+//! The handle **owns its RNG** (seeded by
+//! [`crate::api::SamplerConfig::seed`]). That is what makes
+//! [`Sampler::snapshot`] self-contained: the blob carries the RNG
+//! position alongside the sampler state, so a snapshot restored into a
+//! fresh process continues the stream **bit-identically** to an
+//! uninterrupted run — for the sharded engine too, whose per-shard RNG
+//! substream positions and batch-split rotation ride along.
+
+use bytes::Bytes;
+use rand::SeedableRng;
+use tbs_core::checkpoint::{CheckpointError, Reader, Wire, Writer};
+use tbs_core::merge::ShardSpec;
+use tbs_core::{BAres, BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow};
+use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine};
+use tbs_stats::rng::Xoshiro256PlusPlus;
+
+use crate::api::config::{Algorithm, SamplerConfig, TimeSemantics};
+use crate::api::error::TbsError;
+
+/// The algorithm-specific state behind a [`Sampler`] handle. Engines are
+/// boxed so the enum's footprint stays at the size of the largest
+/// single-node sampler.
+enum Inner<T: Clone + Send + 'static> {
+    RTbs(RTbs<T>),
+    TTbs(TTbs<T>),
+    BTbs(BTbs<T>),
+    Uniform(BatchedReservoir<T>),
+    Chao(BChao<T>),
+    SlidingCount(CountWindow<T>),
+    SlidingTime(TimeWindow<T>),
+    ARes(BAres<T>),
+    ParallelRTbs(Box<ParallelIngestEngine<RTbs<T>>>),
+    ParallelTTbs(Box<ParallelIngestEngine<TTbs<T>>>),
+}
+
+/// A builder-configured sampler over items of type `T`; see the
+/// [`crate::api`] module docs and [`crate::api::SamplerConfig`].
+pub struct Sampler<T: Clone + Send + 'static> {
+    inner: Inner<T>,
+    /// Drives every random draw of the single-node samplers and the
+    /// realization coin of `sample`; sharded engines keep their own
+    /// jump-ahead substreams and leave this untouched.
+    rng: Xoshiro256PlusPlus,
+    config: SamplerConfig,
+    /// Batches observed through this handle (survives snapshot/restore).
+    batches: u64,
+}
+
+impl<T: Clone + Send + 'static> std::fmt::Debug for Sampler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler")
+            .field("algorithm", &self.config.algorithm().label())
+            .field("shards", &self.config.shard_count())
+            .field("batches", &self.batches)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The engine configuration a *validated* sharded config describes — the
+/// single source for both `build` (fresh engine) and `restore`
+/// (checkpointed engine), so the two can never disagree on the sharding.
+fn engine_config(config: &SamplerConfig) -> EngineConfig {
+    let lambda = config.decay_rate();
+    let spec = match config.algorithm {
+        Algorithm::RTbs => {
+            ShardSpec::rtbs(lambda, config.capacity.expect("validated"), config.shards)
+        }
+        Algorithm::TTbs => ShardSpec::ttbs(
+            lambda,
+            config.capacity.expect("validated"),
+            config.mean_batch.expect("validated"),
+            config.shards,
+        ),
+        _ => unreachable!("validate rejects sharded non-mergeable algorithms"),
+    };
+    EngineConfig {
+        spec,
+        queue_depth: config.queue_depth,
+        seed: config.seed,
+    }
+}
+
+impl<T: Clone + Send + 'static> Sampler<T> {
+    /// Construct from a config [`SamplerConfig::validate`] has already
+    /// accepted (the only caller is [`SamplerConfig::build`]).
+    pub(crate) fn from_valid_config(config: &SamplerConfig) -> Self {
+        let config = *config;
+        let lambda = config.decay_rate();
+        let inner = if config.shards > 1 {
+            let engine_cfg = engine_config(&config);
+            match config.algorithm {
+                Algorithm::RTbs => {
+                    Inner::ParallelRTbs(Box::new(ParallelIngestEngine::new(engine_cfg)))
+                }
+                Algorithm::TTbs => {
+                    Inner::ParallelTTbs(Box::new(ParallelIngestEngine::new(engine_cfg)))
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            match config.algorithm {
+                Algorithm::RTbs => {
+                    Inner::RTbs(RTbs::new(lambda, config.capacity.expect("validated")))
+                }
+                Algorithm::TTbs => Inner::TTbs(TTbs::new(
+                    lambda,
+                    config.capacity.expect("validated"),
+                    config.mean_batch.expect("validated"),
+                )),
+                Algorithm::BTbs => Inner::BTbs(BTbs::new(lambda)),
+                Algorithm::Uniform => {
+                    Inner::Uniform(BatchedReservoir::new(config.capacity.expect("validated")))
+                }
+                Algorithm::Chao => {
+                    Inner::Chao(BChao::new(lambda, config.capacity.expect("validated")))
+                }
+                Algorithm::SlidingCount => {
+                    Inner::SlidingCount(CountWindow::new(config.capacity.expect("validated")))
+                }
+                Algorithm::SlidingTime => {
+                    Inner::SlidingTime(TimeWindow::new(config.window_width.expect("validated")))
+                }
+                Algorithm::ARes => {
+                    Inner::ARes(BAres::new(lambda, config.capacity.expect("validated")))
+                }
+            }
+        };
+        Self {
+            inner,
+            rng: Xoshiro256PlusPlus::seed_from_u64(config.seed),
+            config,
+            batches: 0,
+        }
+    }
+
+    /// Advance the clock by one time unit and absorb the arriving batch
+    /// (which may be empty). Enum-dispatched onto each sampler's
+    /// monomorphized inherent fast path — no `dyn` anywhere inside.
+    #[inline]
+    pub fn observe(&mut self, batch: Vec<T>) {
+        match &mut self.inner {
+            Inner::RTbs(s) => s.observe(batch, &mut self.rng),
+            Inner::TTbs(s) => s.observe(batch, &mut self.rng),
+            Inner::BTbs(s) => s.observe(batch, &mut self.rng),
+            Inner::Uniform(s) => s.observe(batch, &mut self.rng),
+            Inner::Chao(s) => s.observe(batch, &mut self.rng),
+            Inner::SlidingCount(s) => s.observe(batch, &mut self.rng),
+            Inner::SlidingTime(s) => s.observe(batch, &mut self.rng),
+            Inner::ARes(s) => s.observe(batch, &mut self.rng),
+            Inner::ParallelRTbs(e) => e.ingest(batch),
+            Inner::ParallelTTbs(e) => e.ingest(batch),
+        }
+        self.batches += 1;
+    }
+
+    /// Absorb a batch arriving `gap` time units after the previous one.
+    /// Requires the config to have declared
+    /// [`TimeSemantics::RealGaps`]; integer-step streams should call
+    /// [`Sampler::observe`].
+    ///
+    /// Errors (never panics) when gaps were not declared, when the
+    /// algorithm is integer-clocked, or when `gap` is negative/non-finite.
+    pub fn observe_after(&mut self, batch: Vec<T>, gap: f64) -> Result<(), TbsError> {
+        let label = self.config.algorithm.label();
+        if self.config.time != TimeSemantics::RealGaps {
+            return Err(TbsError::UnsupportedGap {
+                algorithm: label,
+                reason: "config declares integer time steps; build with \
+                         .time(TimeSemantics::RealGaps)",
+            });
+        }
+        if !(gap.is_finite() && gap >= 0.0) {
+            return Err(TbsError::UnsupportedGap {
+                algorithm: label,
+                reason: "gap must be finite and non-negative",
+            });
+        }
+        match &mut self.inner {
+            Inner::RTbs(s) => s.observe_after(batch, gap, &mut self.rng),
+            Inner::TTbs(s) => s.observe_after(batch, gap, &mut self.rng),
+            Inner::BTbs(s) => s.observe_after(batch, gap, &mut self.rng),
+            Inner::Chao(s) => s.observe_after(batch, gap, &mut self.rng),
+            Inner::SlidingTime(s) => s.observe_after(batch, gap, &mut self.rng),
+            _ => unreachable!("validate rejects RealGaps for gap-free algorithms"),
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Materialize the current sample `S_t`.
+    ///
+    /// Latent schemes (R-TBS) realize the fractional item with a coin from
+    /// the handle RNG; sharded engines quiesce, merge the shard states
+    /// exactly, and realize the merged sample.
+    pub fn sample(&mut self) -> Vec<T> {
+        match &mut self.inner {
+            Inner::RTbs(s) => s.sample(&mut self.rng),
+            Inner::TTbs(s) => s.sample(&mut self.rng),
+            Inner::BTbs(s) => s.sample(&mut self.rng),
+            Inner::Uniform(s) => s.sample(&mut self.rng),
+            Inner::Chao(s) => s.sample(&mut self.rng),
+            Inner::SlidingCount(s) => s.sample(&mut self.rng),
+            Inner::SlidingTime(s) => s.sample(&mut self.rng),
+            Inner::ARes(s) => s.sample(&mut self.rng),
+            Inner::ParallelRTbs(e) => e.sample(),
+            Inner::ParallelTTbs(e) => e.sample(),
+        }
+    }
+
+    /// [`Sampler::sample`] into a caller-owned buffer — allocation-free
+    /// for the single-node samplers once the buffer capacity covers the
+    /// sample footprint (retraining loops should hold one buffer and
+    /// reuse it). Sharded engines assemble the merged sample in a fresh
+    /// vector and move it into `out`.
+    pub fn sample_into(&mut self, out: &mut Vec<T>) {
+        match &mut self.inner {
+            Inner::RTbs(s) => s.sample_into(&mut self.rng, out),
+            Inner::TTbs(s) => {
+                out.clear();
+                out.extend_from_slice(s.items());
+            }
+            Inner::BTbs(s) => {
+                out.clear();
+                out.extend_from_slice(s.items());
+            }
+            Inner::Uniform(s) => {
+                out.clear();
+                out.extend_from_slice(s.items());
+            }
+            Inner::SlidingCount(s) => {
+                out.clear();
+                out.extend(s.iter().cloned());
+            }
+            Inner::SlidingTime(s) => *out = s.sample(&mut self.rng),
+            Inner::Chao(s) => *out = s.sample(&mut self.rng),
+            Inner::ARes(s) => *out = s.sample(&mut self.rng),
+            Inner::ParallelRTbs(e) => *out = e.sample(),
+            Inner::ParallelTTbs(e) => *out = e.sample(),
+        }
+    }
+
+    /// Expected size of `S_t` — the sample weight `C_t` for R-TBS, the
+    /// exact current size elsewhere. Sharded engines quiesce and merge to
+    /// answer, which is why this takes `&mut self`.
+    pub fn expected_size(&mut self) -> f64 {
+        match &mut self.inner {
+            Inner::RTbs(s) => s.expected_size(),
+            Inner::TTbs(s) => s.expected_size(),
+            Inner::BTbs(s) => s.expected_size(),
+            Inner::Uniform(s) => s.expected_size(),
+            Inner::Chao(s) => s.expected_size(),
+            Inner::SlidingCount(s) => s.expected_size(),
+            Inner::SlidingTime(s) => s.expected_size(),
+            Inner::ARes(s) => s.expected_size(),
+            Inner::ParallelRTbs(e) => e.snapshot_merged().sample_weight(),
+            Inner::ParallelTTbs(e) => e.snapshot_merged().len() as f64,
+        }
+    }
+
+    /// Hard upper bound on the realized sample size, if the algorithm
+    /// guarantees one.
+    pub fn max_size(&self) -> Option<usize> {
+        if self.config.algorithm.is_bounded() {
+            self.config.capacity
+        } else {
+            None
+        }
+    }
+
+    /// The exponential decay rate λ (0 for unbiased schemes).
+    pub fn decay_rate(&self) -> f64 {
+        self.config.decay_rate()
+    }
+
+    /// Batches observed through this handle (including before a
+    /// snapshot/restore cycle).
+    pub fn batches_observed(&self) -> u64 {
+        self.batches
+    }
+
+    /// The algorithm behind this handle.
+    pub fn algorithm(&self) -> Algorithm {
+        self.config.algorithm()
+    }
+
+    /// Short display name ("R-TBS", "SW", …).
+    pub fn name(&self) -> &'static str {
+        self.config.algorithm.label()
+    }
+
+    /// The config this handle was built from.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Number of ingest shards (1 for the single-node samplers).
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Block until every sharded ingest queue has drained (no-op for
+    /// single-node samplers). Useful before reading shard statistics or
+    /// timing a quiescent point.
+    pub fn quiesce(&mut self) {
+        match &mut self.inner {
+            Inner::ParallelRTbs(e) => e.quiesce(),
+            Inner::ParallelTTbs(e) => e.quiesce(),
+            _ => {}
+        }
+    }
+}
+
+impl<T: Wire + Send + 'static> Sampler<T> {
+    /// Serialize the handle's complete durable state — config echo,
+    /// handle RNG position, batch counter, and the algorithm payload
+    /// (for sharded engines: every shard's sampler + RNG substream
+    /// position, the driver RNG, and the batch-split rotation) — into a
+    /// self-contained, versioned blob.
+    ///
+    /// Checkpointing consumes **no randomness**: a mid-stream snapshot
+    /// leaves the trajectory untouched, and [`Sampler::restore`] resumes
+    /// it bit-identically. Sharded engines quiesce first (`&mut self`).
+    pub fn snapshot(&mut self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u8(self.config.algorithm.tag());
+        w.put_u32(self.config.shards as u32);
+        w.put_u64(self.batches);
+        w.put_rng_state(self.rng.state());
+        match &mut self.inner {
+            Inner::RTbs(s) => s.save_state(&mut w),
+            Inner::TTbs(s) => s.save_state(&mut w),
+            Inner::BTbs(s) => s.save_state(&mut w),
+            Inner::Uniform(s) => s.save_state(&mut w),
+            Inner::Chao(s) => s.save_state(&mut w),
+            Inner::SlidingCount(s) => s.save_state(&mut w),
+            Inner::SlidingTime(s) => s.save_state(&mut w),
+            Inner::ARes(s) => s.save_state(&mut w),
+            Inner::ParallelRTbs(e) => save_engine(&mut w, e.save_parts()),
+            Inner::ParallelTTbs(e) => save_engine(&mut w, e.save_parts()),
+        }
+        w.finish()
+    }
+
+    /// Rebuild a sampler from a [`Sampler::snapshot`] blob.
+    ///
+    /// The blob must have been taken from a sampler built with an
+    /// equivalent config: algorithm, shard count, decay rate, and
+    /// capacity/target parameters are all cross-checked, and any
+    /// disagreement — as well as a truncated, corrupt, or
+    /// future-format-version blob — is reported as a [`TbsError`], never
+    /// a panic.
+    pub fn restore(config: &SamplerConfig, blob: Bytes) -> Result<Self, TbsError> {
+        config.validate()?;
+        let mut r = Reader::new(blob)?;
+        let tag = r.get_u8()?;
+        let found = Algorithm::from_tag(tag).ok_or(CheckpointError::Corrupt("algorithm tag"))?;
+        if found != config.algorithm {
+            return Err(TbsError::AlgorithmMismatch {
+                expected: config.algorithm.label(),
+                found: found.label(),
+            });
+        }
+        let shards = r.get_u32()? as usize;
+        if shards != config.shards {
+            return Err(TbsError::ConfigMismatch {
+                what: "shard count",
+            });
+        }
+        let batches = r.get_u64()?;
+        let rng = Xoshiro256PlusPlus::from_state(r.get_rng_state()?);
+        let lambda = config.decay_rate();
+
+        let inner = if config.shards > 1 {
+            let engine_cfg = engine_config(config);
+            let spec = engine_cfg.spec;
+            match config.algorithm {
+                Algorithm::RTbs => {
+                    let parts = load_engine::<RTbs<T>>(&mut r, shards, |r| {
+                        let s = RTbs::load_state(r)?;
+                        if s.decay_rate() != lambda {
+                            return Err(CheckpointError::Corrupt("shard decay rate"));
+                        }
+                        if s.capacity() != spec.shard_capacity() {
+                            return Err(CheckpointError::Corrupt("shard capacity"));
+                        }
+                        Ok(s)
+                    })?;
+                    Inner::ParallelRTbs(Box::new(ParallelIngestEngine::from_parts(
+                        engine_cfg, parts,
+                    )))
+                }
+                Algorithm::TTbs => {
+                    let parts = load_engine::<TTbs<T>>(&mut r, shards, |r| {
+                        let s = TTbs::load_state(r)?;
+                        if s.decay_rate() != lambda
+                            || s.target() != spec.capacity
+                            || s.assumed_mean_batch() != spec.mean_batch
+                        {
+                            return Err(CheckpointError::Corrupt("shard configuration"));
+                        }
+                        Ok(s)
+                    })?;
+                    Inner::ParallelTTbs(Box::new(ParallelIngestEngine::from_parts(
+                        engine_cfg, parts,
+                    )))
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            match config.algorithm {
+                Algorithm::RTbs => {
+                    let s = RTbs::load_state(&mut r)?;
+                    check(s.decay_rate() == lambda, "decay rate")?;
+                    check(Some(s.capacity()) == config.capacity, "capacity")?;
+                    Inner::RTbs(s)
+                }
+                Algorithm::TTbs => {
+                    let s = TTbs::load_state(&mut r)?;
+                    check(s.decay_rate() == lambda, "decay rate")?;
+                    check(Some(s.target()) == config.capacity, "target size")?;
+                    check(
+                        Some(s.assumed_mean_batch()) == config.mean_batch,
+                        "mean batch",
+                    )?;
+                    Inner::TTbs(s)
+                }
+                Algorithm::BTbs => {
+                    let s = BTbs::load_state(&mut r)?;
+                    check(s.decay_rate() == lambda, "decay rate")?;
+                    Inner::BTbs(s)
+                }
+                Algorithm::Uniform => {
+                    let s = BatchedReservoir::load_state(&mut r)?;
+                    check(s.max_size() == config.capacity, "capacity")?;
+                    Inner::Uniform(s)
+                }
+                Algorithm::Chao => {
+                    let s = BChao::load_state(&mut r)?;
+                    check(s.decay_rate() == lambda, "decay rate")?;
+                    check(s.max_size() == config.capacity, "capacity")?;
+                    Inner::Chao(s)
+                }
+                Algorithm::SlidingCount => {
+                    let s = CountWindow::load_state(&mut r)?;
+                    check(s.max_size() == config.capacity, "capacity")?;
+                    Inner::SlidingCount(s)
+                }
+                Algorithm::SlidingTime => {
+                    let s = TimeWindow::load_state(&mut r)?;
+                    check(Some(s.width()) == config.window_width, "window width")?;
+                    Inner::SlidingTime(s)
+                }
+                Algorithm::ARes => {
+                    let s = BAres::load_state(&mut r)?;
+                    check(s.decay_rate() == lambda, "decay rate")?;
+                    check(s.max_size() == config.capacity, "capacity")?;
+                    Inner::ARes(s)
+                }
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Corrupt("trailing bytes").into());
+        }
+        Ok(Self {
+            inner,
+            rng,
+            config: *config,
+            batches,
+        })
+    }
+}
+
+/// Map a failed cross-check of blob vs config to [`TbsError::ConfigMismatch`].
+fn check(ok: bool, what: &'static str) -> Result<(), TbsError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(TbsError::ConfigMismatch { what })
+    }
+}
+
+/// Serialize a quiesced engine checkpoint: rotation, driver RNG, then
+/// each shard's RNG substream position and sampler payload.
+fn save_engine<S>(w: &mut Writer, parts: EngineCheckpoint<S>)
+where
+    S: SaveState,
+{
+    w.put_u64(parts.rotation);
+    w.put_rng_state(parts.driver_rng);
+    w.put_u32(parts.shard_states.len() as u32);
+    for (sampler, rng_state) in &parts.shard_states {
+        w.put_rng_state(*rng_state);
+        sampler.save_state_dyn(w);
+    }
+}
+
+/// Deserialize [`save_engine`]'s layout, validating each shard with
+/// `load_shard`.
+fn load_engine<S>(
+    r: &mut Reader,
+    expect_shards: usize,
+    mut load_shard: impl FnMut(&mut Reader) -> Result<S, CheckpointError>,
+) -> Result<EngineCheckpoint<S>, CheckpointError> {
+    let rotation = r.get_u64()?;
+    let driver_rng = r.get_rng_state()?;
+    let n = r.get_u32()? as usize;
+    if n != expect_shards {
+        return Err(CheckpointError::Corrupt("engine shard count"));
+    }
+    let mut shard_states = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rng_state = r.get_rng_state()?;
+        shard_states.push((load_shard(r)?, rng_state));
+    }
+    Ok(EngineCheckpoint {
+        shard_states,
+        driver_rng,
+        rotation,
+    })
+}
+
+/// Object-safe shim over the samplers' inherent `save_state`, so
+/// [`save_engine`] can be generic without a public trait.
+trait SaveState {
+    fn save_state_dyn(&self, w: &mut Writer);
+}
+
+impl<T: Wire> SaveState for RTbs<T> {
+    fn save_state_dyn(&self, w: &mut Writer) {
+        self.save_state(w);
+    }
+}
+
+impl<T: Wire> SaveState for TTbs<T> {
+    fn save_state_dyn(&self, w: &mut Writer) {
+        self.save_state(w);
+    }
+}

@@ -38,21 +38,41 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use temporal_sampling::core::rtbs::RTbs;
-//! use temporal_sampling::core::traits::BatchSampler;
-//! use rand::SeedableRng;
+//! The [`api`] module is the front door: one validating builder for every
+//! sampling algorithm (and the multi-core sharded engine), a unified
+//! [`api::Sampler`] handle that owns its RNG, versioned
+//! snapshot/restore, and a [`api::ModelManager`] that closes the paper's
+//! retraining loop.
 //!
-//! let mut rng = temporal_sampling::stats::rng::Xoshiro256PlusPlus::seed_from_u64(42);
-//! // Decay rate λ = 0.07, sample-size bound n = 100.
-//! let mut sampler = RTbs::new(0.07, 100);
-//! for t in 0..50 {
-//!     let batch: Vec<u64> = (0..20).map(|i| t * 20 + i).collect();
-//!     sampler.observe(batch, &mut rng);
-//! }
-//! let sample = sampler.sample(&mut rng);
-//! assert!(sample.len() <= 100);
 //! ```
+//! use temporal_sampling::api::SamplerConfig;
+//!
+//! // R-TBS: decay rate λ = 0.07, hard sample-size bound n = 100.
+//! let config = SamplerConfig::rtbs(0.07, 100).seed(42);
+//! let mut sampler = config.build::<u64>().expect("valid config");
+//! for t in 0..50u64 {
+//!     sampler.observe((0..20).map(|i| t * 20 + i).collect());
+//! }
+//! assert!(sampler.sample().len() <= 100);
+//!
+//! // Invalid configs are errors, not panics…
+//! assert!(SamplerConfig::rtbs(-1.0, 100).build::<u64>().is_err());
+//!
+//! // …and the complete state (RNG position included) round-trips
+//! // through a versioned blob, continuing bit-identically.
+//! let blob = sampler.snapshot();
+//! let mut restored = temporal_sampling::api::Sampler::restore(&config, blob).unwrap();
+//! sampler.observe((0..20).collect());
+//! restored.observe((0..20).collect());
+//! assert_eq!(sampler.sample(), restored.sample());
+//! ```
+//!
+//! The per-crate expert layer below remains fully available — e.g.
+//! [`tbs_core::rtbs::RTbs::new`] with a caller-supplied RNG for hot loops
+//! that manage their own randomness (see the `api` docs for the
+//! migration table).
+
+pub mod api;
 
 pub use tbs_core as core;
 pub use tbs_datagen as datagen;
@@ -62,6 +82,9 @@ pub use tbs_stats as stats;
 
 /// Convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
+    pub use crate::api::{
+        Algorithm, ModelManager, RetrainPolicy, Sampler, SamplerConfig, TbsError, TimeSemantics,
+    };
     pub use tbs_core::brs::BatchedReservoir;
     pub use tbs_core::btbs::BTbs;
     pub use tbs_core::chao::BChao;

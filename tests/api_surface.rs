@@ -1,0 +1,101 @@
+//! API-surface snapshot: the facade crate's public item listing, pinned.
+//!
+//! Future PRs that add, remove, or rename anything in the public API
+//! must regenerate `tests/api_surface.txt` — making every surface change
+//! an explicit, reviewable diff instead of an accident. The listing is
+//! generated from rustdoc's own item index (`cargo doc` → `all.html`),
+//! so it tracks exactly what a user of the crate can see.
+//!
+//! To bless an intentional change:
+//!
+//! ```sh
+//! UPDATE_API_SURFACE=1 cargo test --test api_surface
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Item kinds rustdoc encodes in its page filenames.
+const KINDS: &[&str] = &[
+    "struct", "enum", "trait", "fn", "macro", "constant", "static", "type", "union",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run `cargo doc` for the facade crate and return the generated
+/// `all.html` (rustdoc's complete item index).
+fn generate_doc_index(root: &Path) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(cargo)
+        .args(["doc", "--no-deps", "-p", "temporal-sampling", "--quiet"])
+        .current_dir(root)
+        .status()
+        .expect("spawn cargo doc");
+    assert!(status.success(), "cargo doc failed");
+    let all = root.join("target/doc/temporal_sampling/all.html");
+    std::fs::read_to_string(&all).unwrap_or_else(|e| panic!("read {}: {e}", all.display()))
+}
+
+/// Extract `kind crate::path::Item` lines from rustdoc's `all.html`.
+///
+/// The page is a flat list of anchors whose hrefs encode the item kind
+/// (`api/struct.Sampler.html`) and whose text is the item path
+/// (`api::Sampler`) — no HTML parser needed beyond anchor splitting.
+fn parse_surface(html: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    for chunk in html.split("<a href=\"").skip(1) {
+        let Some((href, rest)) = chunk.split_once('"') else {
+            continue;
+        };
+        if href.starts_with("http") || href.starts_with('#') || href.starts_with("../") {
+            continue;
+        }
+        let Some(kind) = href
+            .rsplit('/')
+            .next()
+            .and_then(|file| file.split('.').next())
+            .filter(|k| KINDS.contains(k))
+        else {
+            continue;
+        };
+        let Some(text) = rest
+            .split_once('>')
+            .and_then(|(_, t)| t.split_once("</a>"))
+            .map(|(t, _)| t)
+        else {
+            continue;
+        };
+        items.push(format!("{kind} temporal_sampling::{text}"));
+    }
+    items.sort();
+    items.dedup();
+    items
+}
+
+#[test]
+fn public_api_surface_matches_the_committed_snapshot() {
+    let root = workspace_root();
+    let surface = parse_surface(&generate_doc_index(&root));
+    assert!(
+        surface.len() > 20,
+        "suspiciously small item listing ({} items) — did rustdoc's all.html format change?",
+        surface.len()
+    );
+    let listing = surface.join("\n") + "\n";
+
+    let snapshot_path = root.join("tests/api_surface.txt");
+    if std::env::var_os("UPDATE_API_SURFACE").is_some() {
+        std::fs::write(&snapshot_path, &listing).expect("write api_surface.txt");
+        return;
+    }
+    let committed = std::fs::read_to_string(&snapshot_path)
+        .expect("tests/api_surface.txt missing — run with UPDATE_API_SURFACE=1 to create it");
+    assert_eq!(
+        committed, listing,
+        "\npublic API surface changed. If intentional, regenerate the snapshot:\n\
+         \n    UPDATE_API_SURFACE=1 cargo test --test api_surface\n\
+         \nand commit tests/api_surface.txt alongside your change."
+    );
+}

@@ -181,12 +181,15 @@ impl temporal_sampling::distributed::Wire for Record {
         }
         bytes::Bytes::from(buf)
     }
-    fn decode(data: &[u8]) -> Self {
+    fn try_decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 256 {
+            return None;
+        }
         let mut out = [0u64; 32];
         for (i, chunk) in data.chunks_exact(8).take(32).enumerate() {
-            out[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            out[i] = u64::from_le_bytes(chunk.try_into().ok()?);
         }
-        Record(out)
+        Some(Record(out))
     }
     fn wire_size(&self) -> usize {
         256

@@ -34,4 +34,5 @@ example_smoke! {
         (drift_triggered_retraining, "../examples/drift_triggered_retraining.rs");
     distributed_cluster_runs => (distributed_cluster, "../examples/distributed_cluster.rs");
     parallel_ingest_runs => (parallel_ingest, "../examples/parallel_ingest.rs");
+    checkpoint_resume_runs => (checkpoint_resume, "../examples/checkpoint_resume.rs");
 }
