@@ -1,0 +1,113 @@
+//! Concurrent-serving baseline: reader QPS × ingest throughput under
+//! sustained mixed load (0/1/2/4/8 reader threads polling epoch
+//! snapshots while the sharded engine stays saturated), plus the
+//! unthrottled reader-path cost.
+//!
+//! ```text
+//! cargo run --release -p tbs-bench --bin bench_serving            # full run, writes BENCH_serving.json
+//! cargo run --release -p tbs-bench --bin bench_serving -- --smoke # CI smoke: tiny counts, results/ output
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny iteration counts; writes to
+//!   `results/BENCH_serving_smoke.json` instead of the repo root so a
+//!   smoke run never clobbers the committed baseline.
+//! * `--json <path>` — explicit output path for the JSON document.
+//! * `--batches <n>` / `--warmup <n>` / `--repeats <n>` — override the
+//!   measurement sizes.
+//!
+//! The emitted document is self-validated against the shared row schema
+//! (`tbs_bench::json::validate_bench_doc`) before it is written, and the
+//! full (non-smoke) run **fails loudly** when the acceptance gate — R-TBS
+//! saturated ingest capacity under 4 concurrent readers ≥ 90% of the
+//! committed 265.1M items/s baseline — does not pass.
+
+use std::path::PathBuf;
+use tbs_bench::experiments::serving::{
+    poll_cost, report, rows_to_json, run_serving, ServingConfig, SERVING_ROW_KEYS,
+};
+use tbs_bench::json::{validate_bench_doc, Json};
+use tbs_bench::output::{results_dir, workspace_root};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServingConfig::default();
+    let mut smoke = false;
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("expected a number after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                cfg = ServingConfig::smoke();
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("expected a path after --json");
+                    std::process::exit(2);
+                })));
+            }
+            "--batches" => cfg.measured_batches = take_num(&mut i).max(1),
+            "--warmup" => cfg.warmup_batches = take_num(&mut i),
+            "--repeats" => cfg.repeats = take_num(&mut i).max(1),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_serving [--smoke] [--json PATH] \
+                     [--batches N] [--warmup N] [--repeats N]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let rows = run_serving(&cfg);
+    let poll = poll_cost(&cfg);
+    report(&rows, poll);
+
+    let doc = rows_to_json(&cfg, &rows, poll);
+    if let Err(e) = validate_bench_doc(&doc, "serving", SERVING_ROW_KEYS) {
+        eprintln!("emitted document violates the shared row schema: {e}");
+        std::process::exit(1);
+    }
+    if !smoke {
+        match doc.get("summary").and_then(|s| s.get("gate")) {
+            Some(gate) => {
+                println!("\ngate: {gate}");
+                if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
+                    eprintln!(
+                        "serving gate FAILED: ingest under 4 readers fell below the baseline band"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("full run produced no gate summary — sweep misconfigured");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = json_path.unwrap_or_else(|| {
+        if smoke {
+            results_dir().join("BENCH_serving_smoke.json")
+        } else {
+            workspace_root().join("BENCH_serving.json")
+        }
+    });
+    std::fs::write(&path, doc.to_pretty_string()).expect("write BENCH json");
+    println!("\nwrote {}", path.display());
+}

@@ -10,5 +10,6 @@ pub mod linreg;
 pub mod nb;
 pub mod runtime;
 pub mod scaling;
+pub mod serving;
 pub mod theory;
 pub mod throughput;

@@ -1,0 +1,652 @@
+//! Concurrent-serving baseline — the committed `BENCH_serving.json`.
+//!
+//! The serving layer's contract is that readers and ingest are decoupled:
+//! any number of threads may poll epoch-published snapshots
+//! ([`tbs_distributed::snapshot::EpochCell`], wrapped by the public
+//! `temporal_sampling::api::SampleReader`) while the sharded pipeline
+//! keeps ingesting and periodically publishes fresh epochs. This
+//! experiment measures that mixed load: saturated ingest with 0/1/2/4/8
+//! concurrent reader threads, snapshots requested every
+//! [`ServingConfig::publish_every`] batches.
+//!
+//! ## Metrics and the acceptance gate
+//!
+//! Ingest is reported with the same two throughput metrics as the scaling
+//! bench (`items_per_sec_wall`, and the hardware-independent
+//! `items_per_sec_aggregate` = Σ_k items_k/busy_k — on the single-core CI
+//! container wall-clock parallel speedup is physically impossible, so the
+//! busy-time metric is the comparable signal). **Snapshot overhead is
+//! charged to the shards**: the engine counts barrier forks inside the
+//! busy spans, so the aggregate metric genuinely degrades if publication
+//! is expensive. The headline gate: saturated R-TBS ingest capacity with
+//! **4 concurrent readers** must stay within 10% of the committed
+//! single-thread baseline of 265.1M items/s (`BENCH_throughput.json`,
+//! PR 2). Readers cannot push it below by locking — `latest()` never
+//! acquires anything the ingest path holds (the poll is an atomic epoch
+//! load; an epoch *change* costs one refcount bump in the publication
+//! slot, which only the merger thread writes) — so the gate effectively
+//! bounds fork + scheduling overhead.
+//!
+//! Readers poll at a fixed cadence ([`ServingConfig::reader_poll_us`]
+//! between polls) like a real serving tier re-checking for fresh models;
+//! the *unthrottled* per-poll cost is measured separately by
+//! [`poll_cost`] and reported under `poll_cost` (it bounds attainable
+//! reader QPS: hundreds of thousands to millions of polls per second per
+//! thread).
+
+use crate::json::Json;
+use crate::output::{f, print_table, write_csv};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tbs_core::merge::{MergeableSample, ShardSpec};
+use tbs_core::{RTbs, TTbs};
+use tbs_distributed::engine::{EngineConfig, ParallelIngestEngine, ShardStats};
+
+use super::throughput::Regime;
+
+/// The committed single-thread saturated R-TBS baseline (items/s) from
+/// `BENCH_throughput.json` (PR 2) that the serving gate is judged
+/// against.
+pub const COMMITTED_BASELINE_ITEMS_PER_SEC: f64 = 265.1e6;
+
+/// Minimum acceptable `ingest-under-4-readers / baseline` ratio.
+pub const GATE_MIN_RATIO: f64 = 0.9;
+
+/// Tuning knobs for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Batches fed inside each timed repeat.
+    pub measured_batches: usize,
+    /// Untimed batches fed first so every shard reaches steady state.
+    pub warmup_batches: usize,
+    /// Timed repeats; the best (highest-aggregate) is reported.
+    pub repeats: usize,
+    /// Base RNG seed; each combination derives its own engine seed.
+    pub seed: u64,
+    /// Concurrent reader-thread counts to sweep (0 = ingest-only
+    /// reference).
+    pub reader_counts: Vec<usize>,
+    /// Shard counts to sweep.
+    pub shard_counts: Vec<usize>,
+    /// Batches between snapshot publications during the timed window.
+    pub publish_every: usize,
+    /// Microseconds a reader sleeps between polls (its serving cadence).
+    pub reader_poll_us: u64,
+    /// Iterations for the unthrottled poll-cost microbenchmark.
+    pub poll_iters: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            measured_batches: 20_000,
+            warmup_batches: 2_000,
+            // 5 (vs the scaling bench's 3): mixed-load windows share the
+            // core with reader and merger threads, so the best-of
+            // estimator needs more shots at a low-interference window.
+            repeats: 5,
+            seed: 0x5E21_2018,
+            reader_counts: vec![0, 1, 2, 4, 8],
+            shard_counts: vec![1, 4],
+            publish_every: 500,
+            reader_poll_us: 500,
+            poll_iters: 1_000_000,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Tiny iteration counts for CI smoke runs: verifies the harness end
+    /// to end in milliseconds without producing meaningful numbers.
+    pub fn smoke() -> Self {
+        Self {
+            measured_batches: 40,
+            warmup_batches: 20,
+            repeats: 1,
+            seed: 7,
+            reader_counts: vec![0, 2],
+            shard_counts: vec![1, 2],
+            publish_every: 8,
+            reader_poll_us: 50,
+            poll_iters: 2_000,
+        }
+    }
+}
+
+/// One measured (sampler, shards, readers) mixed-load combination.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Sampler label (`R-TBS`, `T-TBS`).
+    pub sampler: &'static str,
+    /// Regime label (always `saturated` — the gate regime).
+    pub regime: &'static str,
+    /// Shard count K.
+    pub shards: usize,
+    /// Concurrent reader threads polling during the window.
+    pub readers: usize,
+    /// Batches fed inside the timed repeat.
+    pub batches: usize,
+    /// Items fed inside the timed repeat.
+    pub items: u64,
+    /// Wall-clock ns of the repeat (feed + publish + final epoch wait).
+    pub wall_ns: u64,
+    /// Total shard busy ns (observe calls **and** barrier forks).
+    pub busy_ns: u64,
+    /// Items per second by wall clock.
+    pub items_per_sec_wall: f64,
+    /// Aggregate ingest capacity Σ_k items_k/busy_k (items per second).
+    pub items_per_sec_aggregate: f64,
+    /// Mean busy ns per item across shards.
+    pub ns_per_item_busy: f64,
+    /// Epoch snapshots published inside the timed window.
+    pub epochs_published: u64,
+    /// Total reader polls completed inside the timed window.
+    pub reader_polls: u64,
+    /// Reader polls per second, summed over the reader threads.
+    pub reader_qps: f64,
+}
+
+/// Generate `count` saturated-regime batches starting at step `t0`.
+fn gen_batches(regime: Regime, count: usize, t0: usize) -> (Vec<Vec<u64>>, u64) {
+    let mut items = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for t in t0..t0 + count {
+        let b = regime.batch_size(t);
+        let base = t as u64 * 1_000_000;
+        out.push((0..b as u64).map(|i| base + i).collect());
+        items += b as u64;
+    }
+    (out, items)
+}
+
+fn stats_delta(before: &[ShardStats], after: &[ShardStats]) -> Vec<ShardStats> {
+    before
+        .iter()
+        .zip(after)
+        .map(|(b, a)| ShardStats {
+            items: a.items - b.items,
+            batches: a.batches - b.batches,
+            busy_ns: a.busy_ns - b.busy_ns,
+        })
+        .collect()
+}
+
+/// Aggregate capacity Σ_k items_k/busy_k, in items per second.
+fn aggregate_rate(deltas: &[ShardStats]) -> f64 {
+    deltas
+        .iter()
+        .filter(|d| d.busy_ns > 0)
+        .map(|d| d.items as f64 * 1e9 / d.busy_ns as f64)
+        .sum()
+}
+
+/// Drive one engine through warmup plus `repeats` timed mixed-load
+/// windows with `readers` polling threads; report the repeat with the
+/// highest aggregate rate (minimum-interference estimator, as in the
+/// scaling bench).
+fn measure_mixed<S>(
+    cfg: &ServingConfig,
+    sampler: &'static str,
+    spec: ShardSpec,
+    readers: usize,
+    seed: u64,
+) -> ServingRow
+where
+    S: MergeableSample<Item = u64> + Clone + Send + 'static,
+{
+    let regime = Regime::Saturated;
+    let mut engine: ParallelIngestEngine<S> =
+        ParallelIngestEngine::new(EngineConfig::new(spec, seed));
+    let (warm, _) = gen_batches(regime, cfg.warmup_batches, 0);
+    for batch in warm {
+        engine.ingest(batch);
+    }
+    engine.quiesce();
+
+    // Reader threads: poll the epoch counter, pull the new snapshot when
+    // one appeared (the SampleReader pattern), sleep out the serving
+    // cadence. They run across all repeats; per-window polls are read
+    // from the shared counter before/after each window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let polls = Arc::new(AtomicU64::new(0));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let cell = engine.snapshot_cell();
+            let stop = Arc::clone(&stop);
+            let polls = Arc::clone(&polls);
+            let cadence = std::time::Duration::from_micros(cfg.reader_poll_us);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                let mut held = None;
+                let mut checksum = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let published = cell.published_epoch();
+                    if published > seen {
+                        held = cell.latest();
+                        if let Some(frozen) = &held {
+                            seen = frozen.epoch();
+                            // Token consumption of the snapshot so the
+                            // read is not optimized away.
+                            checksum ^= frozen.len() as u64 ^ frozen.epoch();
+                        }
+                    }
+                    polls.fetch_add(1, Ordering::Relaxed);
+                    if !cadence.is_zero() {
+                        std::thread::sleep(cadence);
+                    }
+                }
+                drop(held);
+                checksum
+            })
+        })
+        .collect();
+
+    let mut best: Option<ServingRow> = None;
+    let mut t0 = cfg.warmup_batches;
+    for _ in 0..cfg.repeats.max(1) {
+        let (batches, items) = gen_batches(regime, cfg.measured_batches, t0);
+        t0 += cfg.measured_batches;
+        let before = engine.shard_stats();
+        let polls_before = polls.load(Ordering::Relaxed);
+        let epoch_before = engine.requested_epoch();
+        let wall = Instant::now();
+        let mut fed = 0usize;
+        let mut last_epoch = 0u64;
+        for batch in batches {
+            engine.ingest(batch);
+            fed += 1;
+            if fed.is_multiple_of(cfg.publish_every.max(1)) {
+                last_epoch = engine.request_snapshot();
+            }
+        }
+        engine.quiesce();
+        if last_epoch > 0 {
+            // The window is not over until its snapshots are served.
+            engine
+                .snapshot_cell()
+                .wait_for_epoch(last_epoch)
+                .expect("engine alive");
+        }
+        let wall_ns = (wall.elapsed().as_nanos() as u64).max(1);
+        let polls_delta = polls.load(Ordering::Relaxed) - polls_before;
+        let deltas = stats_delta(&before, &engine.shard_stats());
+        let busy_ns: u64 = deltas.iter().map(|d| d.busy_ns).sum();
+        let row = ServingRow {
+            sampler,
+            regime: regime.label(),
+            shards: spec.shards,
+            readers,
+            batches: cfg.measured_batches,
+            items,
+            wall_ns,
+            busy_ns,
+            items_per_sec_wall: items as f64 * 1e9 / wall_ns as f64,
+            items_per_sec_aggregate: aggregate_rate(&deltas),
+            ns_per_item_busy: busy_ns as f64 / items.max(1) as f64,
+            epochs_published: engine.requested_epoch() - epoch_before,
+            reader_polls: polls_delta,
+            reader_qps: polls_delta as f64 * 1e9 / wall_ns as f64,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| row.items_per_sec_aggregate > b.items_per_sec_aggregate)
+        {
+            best = Some(row);
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for handle in reader_handles {
+        let _ = handle.join().expect("reader thread panicked");
+    }
+    best.expect("at least one repeat")
+}
+
+/// Unthrottled reader-path costs, measured single-threaded against a cell
+/// with one publication: `(cached_poll_ns, load_latest_ns)` — the cost of
+/// a poll that finds nothing new (one atomic load) and of actually
+/// cloning the latest `Arc` out of the slot.
+pub fn poll_cost(cfg: &ServingConfig) -> (f64, f64) {
+    let spec = ShardSpec::rtbs(0.1, 1000, 1);
+    let mut engine: ParallelIngestEngine<RTbs<u64>> =
+        ParallelIngestEngine::new(EngineConfig::new(spec, cfg.seed));
+    for t in 0..50u64 {
+        engine.ingest((0..100).map(|i| t * 100 + i).collect());
+    }
+    let epoch = engine.request_snapshot();
+    let cell = engine.snapshot_cell();
+    cell.wait_for_epoch(epoch).expect("published");
+
+    let iters = cfg.poll_iters.max(1);
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(cell.published_epoch());
+    }
+    let cached_poll_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(cell.latest().map_or(0, |f| f.epoch()));
+    }
+    let load_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(sink != u64::MAX, "checksum sentinel");
+    (cached_poll_ns, load_ns)
+}
+
+/// Run the full serving sweep: R-TBS saturated for every
+/// (shards, readers) combination, plus T-TBS coverage rows at the
+/// largest shard count with 0 and 4 readers.
+pub fn run_serving(cfg: &ServingConfig) -> Vec<ServingRow> {
+    let mut rows = Vec::new();
+    let regime = Regime::Saturated;
+    for &k in &cfg.shard_counts {
+        for &r in &cfg.reader_counts {
+            let spec = ShardSpec::rtbs(regime.lambda(), regime.capacity(), k);
+            let seed = cfg.seed.wrapping_add(((k as u64) << 8) | r as u64);
+            rows.push(measure_mixed::<RTbs<u64>>(cfg, "R-TBS", spec, r, seed));
+        }
+    }
+    let k = cfg.shard_counts.iter().copied().max().unwrap_or(1);
+    for r in [0usize, 4] {
+        let spec = ShardSpec::ttbs(
+            regime.lambda(),
+            regime.ttbs_target(),
+            regime.mean_batch(),
+            k,
+        );
+        let seed = cfg.seed.wrapping_add(((k as u64) << 16) | r as u64);
+        rows.push(measure_mixed::<TTbs<u64>>(cfg, "T-TBS", spec, r, seed));
+    }
+    rows
+}
+
+/// The acceptance-gate summary: saturated R-TBS aggregate ingest capacity
+/// with 4 concurrent readers at the smallest shard count (comparable to
+/// the single-thread baseline), as a ratio of the committed 265.1M
+/// items/s.
+fn summary(cfg: &ServingConfig, rows: &[ServingRow]) -> Json {
+    let shards = cfg.shard_counts.iter().copied().min().unwrap_or(1);
+    let gate_row = rows
+        .iter()
+        .find(|r| r.sampler == "R-TBS" && r.shards == shards && r.readers == 4);
+    let (measured, ratio, pass) = match gate_row {
+        Some(r) => {
+            let ratio = r.items_per_sec_aggregate / COMMITTED_BASELINE_ITEMS_PER_SEC;
+            (
+                Json::Num(r.items_per_sec_aggregate),
+                Json::Num(ratio),
+                Json::Bool(ratio >= GATE_MIN_RATIO),
+            )
+        }
+        // Sweeps without a 4-reader row (smoke) carry no gate verdict.
+        None => (Json::Null, Json::Null, Json::Null),
+    };
+    Json::obj([
+        (
+            "gate",
+            Json::obj([
+                ("sampler", Json::str("R-TBS")),
+                ("regime", Json::str("saturated")),
+                ("shards", Json::Int(shards as i64)),
+                ("readers", Json::Int(4)),
+                ("ingest_items_per_sec_aggregate", measured),
+                (
+                    "baseline_items_per_sec",
+                    Json::Num(COMMITTED_BASELINE_ITEMS_PER_SEC),
+                ),
+                ("min_ratio", Json::Num(GATE_MIN_RATIO)),
+                ("ratio", ratio),
+                ("pass", pass),
+            ]),
+        ),
+        (
+            "reader_nonblocking",
+            Json::str(
+                "latest() never acquires the ingest path's queues or locks: \
+                 the poll is one atomic epoch load; pulling a new epoch is a \
+                 refcount bump in the arc-swap publication slot",
+            ),
+        ),
+    ])
+}
+
+/// Print the aligned console table and write the CSV under `results/`.
+pub fn report(rows: &[ServingRow], poll: (f64, f64)) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sampler.to_string(),
+                r.shards.to_string(),
+                r.readers.to_string(),
+                r.items.to_string(),
+                f(r.items_per_sec_aggregate / 1e6, 2),
+                f(r.items_per_sec_wall / 1e6, 2),
+                r.epochs_published.to_string(),
+                f(r.reader_qps, 0),
+            ]
+        })
+        .collect();
+    write_csv(
+        "bench_serving.csv",
+        &[
+            "sampler",
+            "shards",
+            "readers",
+            "items",
+            "aggregate_M_items_per_sec",
+            "wall_M_items_per_sec",
+            "epochs_published",
+            "reader_qps",
+        ],
+        &table,
+    );
+    print_table(
+        "Mixed-load serving (saturated; best of repeats; aggregate = Σ shard items/busy)",
+        &[
+            "sampler",
+            "shards",
+            "readers",
+            "items",
+            "agg M it/s",
+            "wall M it/s",
+            "epochs",
+            "reader qps",
+        ],
+        &table,
+    );
+    println!(
+        "\nunthrottled reader path: cached poll {} ns, epoch-change load {} ns",
+        f(poll.0, 1),
+        f(poll.1, 1)
+    );
+}
+
+/// Assemble the `BENCH_serving.json` document.
+pub fn rows_to_json(cfg: &ServingConfig, rows: &[ServingRow], poll: (f64, f64)) -> Json {
+    let regime = Regime::Saturated;
+    let row_values = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("sampler", Json::str(r.sampler)),
+                ("regime", Json::str(r.regime)),
+                ("shards", Json::Int(r.shards as i64)),
+                ("readers", Json::Int(r.readers as i64)),
+                ("batches", Json::Int(r.batches as i64)),
+                ("items", Json::UInt(r.items)),
+                ("wall_ns", Json::UInt(r.wall_ns)),
+                ("busy_ns", Json::UInt(r.busy_ns)),
+                ("items_per_sec_wall", Json::Num(r.items_per_sec_wall)),
+                (
+                    "items_per_sec_aggregate",
+                    Json::Num(r.items_per_sec_aggregate),
+                ),
+                ("ns_per_item_busy", Json::Num(r.ns_per_item_busy)),
+                ("epochs_published", Json::UInt(r.epochs_published)),
+                ("reader_polls", Json::UInt(r.reader_polls)),
+                ("reader_qps", Json::Num(r.reader_qps)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("bench", Json::str("serving")),
+        ("schema_version", Json::Int(1)),
+        (
+            "config",
+            Json::obj([
+                ("measured_batches", Json::Int(cfg.measured_batches as i64)),
+                ("warmup_batches", Json::Int(cfg.warmup_batches as i64)),
+                ("repeats", Json::Int(cfg.repeats as i64)),
+                ("seed", Json::UInt(cfg.seed)),
+                (
+                    "reader_counts",
+                    Json::Arr(
+                        cfg.reader_counts
+                            .iter()
+                            .map(|&r| Json::Int(r as i64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "shard_counts",
+                    Json::Arr(
+                        cfg.shard_counts
+                            .iter()
+                            .map(|&k| Json::Int(k as i64))
+                            .collect(),
+                    ),
+                ),
+                ("publish_every", Json::Int(cfg.publish_every as i64)),
+                ("reader_poll_us", Json::UInt(cfg.reader_poll_us)),
+                ("item_type", Json::str("u64")),
+                (
+                    "regime",
+                    Json::obj([
+                        ("name", Json::str(regime.label())),
+                        ("capacity", Json::Int(regime.capacity() as i64)),
+                        ("lambda", Json::Num(regime.lambda())),
+                        ("mean_batch", Json::Num(regime.mean_batch())),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "host",
+            Json::obj([(
+                "available_parallelism",
+                Json::Int(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as i64)
+                        .unwrap_or(0),
+                ),
+            )]),
+        ),
+        (
+            "metrics",
+            Json::obj([
+                (
+                    "items_per_sec_wall",
+                    Json::str(
+                        "items / wall-clock ns of feed + publish + final epoch wait \
+                         (on a single-core host readers and merger time-share with \
+                         ingest, so wall degrades with reader count by scheduling, \
+                         not by locking)",
+                    ),
+                ),
+                (
+                    "items_per_sec_aggregate",
+                    Json::str(
+                        "Σ_k items_k/busy_k over shards; busy = time inside observe \
+                         calls plus barrier forks, so snapshot overhead is charged \
+                         to ingest (hardware-independent serving-capacity signal)",
+                    ),
+                ),
+                (
+                    "reader_qps",
+                    Json::str(
+                        "completed reader polls per second summed over reader \
+                         threads, at the configured reader_poll_us cadence; see \
+                         poll_cost for the unthrottled per-poll cost",
+                    ),
+                ),
+            ]),
+        ),
+        ("rows", Json::Arr(row_values)),
+        (
+            "poll_cost",
+            Json::obj([
+                ("cached_poll_ns", Json::Num(poll.0)),
+                ("load_latest_ns", Json::Num(poll.1)),
+            ]),
+        ),
+        ("summary", summary(cfg, rows)),
+    ])
+}
+
+/// Row keys (beyond the shared core) every serving row must carry; CI
+/// validates the emitted JSON against this list.
+pub const SERVING_ROW_KEYS: &[&str] = &[
+    "shards",
+    "readers",
+    "wall_ns",
+    "busy_ns",
+    "items_per_sec_wall",
+    "items_per_sec_aggregate",
+    "ns_per_item_busy",
+    "epochs_published",
+    "reader_polls",
+    "reader_qps",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_bench_doc;
+
+    #[test]
+    fn smoke_sweep_produces_valid_rows() {
+        let cfg = ServingConfig::smoke();
+        let rows = run_serving(&cfg);
+        // R-TBS: shards × readers combinations; T-TBS: 2 coverage rows.
+        assert_eq!(
+            rows.len(),
+            cfg.shard_counts.len() * cfg.reader_counts.len() + 2
+        );
+        for r in &rows {
+            assert!(r.items > 0);
+            assert!(r.items_per_sec_aggregate > 0.0);
+            assert!(r.epochs_published > 0, "no snapshots published");
+            if r.readers > 0 {
+                assert!(r.reader_polls > 0, "readers never polled");
+            } else {
+                assert_eq!(r.reader_polls, 0);
+            }
+        }
+        let doc = rows_to_json(&cfg, &rows, poll_cost(&cfg));
+        validate_bench_doc(&doc, "serving", SERVING_ROW_KEYS).unwrap();
+    }
+
+    #[test]
+    fn gate_summary_appears_when_a_four_reader_row_exists() {
+        let cfg = ServingConfig {
+            reader_counts: vec![0, 4],
+            shard_counts: vec![1],
+            ..ServingConfig::smoke()
+        };
+        let rows = run_serving(&cfg);
+        let doc = rows_to_json(&cfg, &rows, (0.0, 0.0));
+        let gate = doc.get("summary").unwrap().get("gate").unwrap();
+        assert!(matches!(gate.get("ratio"), Some(Json::Num(_))));
+        assert!(matches!(gate.get("pass"), Some(Json::Bool(_))));
+    }
+
+    #[test]
+    fn poll_cost_is_positive_and_sane() {
+        let (cached, load) = poll_cost(&ServingConfig::smoke());
+        assert!(cached > 0.0 && load > 0.0);
+        // A cached poll is at most an atomic load + loop overhead; if it
+        // costs more than 10µs something is deeply wrong.
+        assert!(cached < 10_000.0, "cached poll {cached} ns");
+    }
+}

@@ -1,4 +1,5 @@
-//! Minimal JSON emission for machine-readable benchmark artifacts.
+//! Minimal JSON emission *and parsing* for machine-readable benchmark
+//! artifacts.
 //!
 //! The workspace builds fully offline (no serde), so the `BENCH_*.json`
 //! files are produced by this hand-rolled serializer. It supports exactly
@@ -7,6 +8,13 @@
 //! output: object keys keep insertion order, floats are rendered with
 //! enough precision to round-trip, and non-finite floats degrade to
 //! `null` (JSON has no NaN/Inf).
+//!
+//! [`parse`] is the inverse: it reads any standard JSON text back into a
+//! [`Json`] tree, which is what lets the *committed* `BENCH_*.json`
+//! baselines at the repo root be re-validated against the shared row
+//! schema ([`validate_bench_doc`]) on every CI run — emitting binaries
+//! self-validate what they write, and the `bench_artifacts` test
+//! validates what is checked in.
 
 use std::fmt::{self, Display, Write as _};
 
@@ -143,6 +151,275 @@ impl Json {
                 let _ = write!(out, "{other}");
             }
         }
+    }
+}
+
+/// Parse standard JSON text into a [`Json`] tree.
+///
+/// Accepts exactly the JSON grammar (RFC 8259): any scalar, array, or
+/// object at the top level, `\uXXXX` escapes including surrogate pairs,
+/// and arbitrary whitespace. Numbers without a fraction or exponent
+/// become [`Json::Int`] (or [`Json::UInt`] beyond the `i64` range);
+/// everything else becomes [`Json::Num`]. Errors carry the byte offset
+/// of the first offending character.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let s = std::str::from_utf8(slice).map_err(|_| "non-ASCII \\u escape".to_string())?;
+        let v = u16::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let code =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi as u32).ok_or("lone low surrogate")?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(first) => {
+                    // Consume one UTF-8 scalar (the input is a &str and
+                    // self.pos only ever advances by whole tokens, so it
+                    // sits on a char boundary). Decode just this scalar —
+                    // its length is read off the leading byte — rather
+                    // than re-validating the whole remaining input.
+                    if first < 0x20 {
+                        return Err(format!("unescaped control char at byte {}", self.pos));
+                    }
+                    let len = match first {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|e| e.to_string())?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consume 1+ ASCII digits; error (at `at`) if none are present.
+    fn digits(&mut self, what: &str, at: usize) -> Result<(), String> {
+        let before = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == before {
+            return Err(format!("{what} requires digits at byte {at}"));
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        // RFC 8259 grammar, strictly: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        // — no leading zeros, and a fraction/exponent must carry digits.
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(format!("leading zero at byte {start}"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => self.digits("integer part", start)?,
+            _ => return Err(format!("integer part requires digits at byte {start}")),
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            self.digits("fraction", start)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("exponent", start)?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
     }
 }
 
@@ -311,5 +588,69 @@ mod tests {
         assert!(matches!(doc.get("bench"), Some(Json::Str(_))));
         assert!(doc.get("nonexistent").is_none());
         assert!(Json::Int(3).get("x").is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        // Compare serialized forms: a `UInt` within the i64 range parses
+        // back as the numerically identical `Int` (JSON cannot tell them
+        // apart), so tree equality is only demanded of the re-parse.
+        let doc = sample_doc(&[("x", Json::Num(2.5)), ("y", Json::Null)]);
+        let reparsed = parse(&doc.to_pretty_string()).unwrap();
+        assert_eq!(reparsed.to_string(), doc.to_string());
+        assert_eq!(parse(&doc.to_string()).unwrap(), reparsed);
+    }
+
+    #[test]
+    fn parse_handles_the_full_scalar_zoo() {
+        let v = parse(
+            r#"{"i": -42, "big": 18446744073709551615, "f": 1.5e-3,
+                "s": "a\n\"b\"\u00e9\ud83d\ude00", "t": true, "n": null,
+                "empty_arr": [], "empty_obj": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("i"), Some(&Json::Int(-42)));
+        assert_eq!(v.get("big"), Some(&Json::UInt(u64::MAX)));
+        assert_eq!(v.get("f"), Some(&Json::Num(0.0015)));
+        assert_eq!(v.get("s"), Some(&Json::Str("a\n\"b\"é😀".into())));
+        assert_eq!(v.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        assert_eq!(v.get("empty_arr"), Some(&Json::Arr(vec![])));
+        assert_eq!(v.get("empty_obj"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "1 2",
+            "nul",
+            "{\"a\": 1} garbage",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            // RFC 8259 number grammar violations.
+            "01",
+            "-01",
+            "1.",
+            "-.5",
+            ".5",
+            "1e",
+            "1e+",
+            "-",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parsed_numbers_round_trip_through_display() {
+        for n in ["0", "-7", "3.25", "1e300", "1234567890123456789"] {
+            let v = parse(n).unwrap();
+            assert_eq!(parse(&v.to_string()).unwrap(), v);
+        }
     }
 }

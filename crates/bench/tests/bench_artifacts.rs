@@ -1,0 +1,92 @@
+//! Every committed `BENCH_*.json` baseline at the repo root must parse
+//! and conform to the shared row schema — including historical artifacts
+//! like `BENCH_throughput_pre_refactor.json`, which CI long ignored.
+//!
+//! The emitting binaries self-validate what they *write*; this test
+//! validates what is *checked in*, so a hand-edited or truncated baseline
+//! fails `cargo test` instead of silently gating future PRs against
+//! garbage.
+
+use std::collections::BTreeMap;
+use tbs_bench::experiments::scaling::SCALING_ROW_KEYS;
+use tbs_bench::experiments::serving::SERVING_ROW_KEYS;
+use tbs_bench::experiments::throughput::THROUGHPUT_ROW_KEYS;
+use tbs_bench::json::{parse, validate_bench_doc, Json};
+use tbs_bench::output::workspace_root;
+
+/// The schema registry: `bench` tag → required per-row keys beyond the
+/// shared core. A committed document whose tag is not listed here fails
+/// the test — add the new bench's keys when adding a new artifact.
+fn schemas() -> BTreeMap<&'static str, &'static [&'static str]> {
+    BTreeMap::from([
+        ("throughput", THROUGHPUT_ROW_KEYS),
+        ("scaling", SCALING_ROW_KEYS),
+        ("serving", SERVING_ROW_KEYS),
+    ])
+}
+
+#[test]
+fn every_committed_bench_artifact_passes_the_shared_validator() {
+    let root = workspace_root();
+    let schemas = schemas();
+    let mut checked = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read workspace root") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+        let tag = match doc.get("bench") {
+            Some(Json::Str(tag)) => tag.clone(),
+            other => panic!("{name}: missing/invalid bench tag: {other:?}"),
+        };
+        let extra_keys = schemas
+            .get(tag.as_str())
+            .unwrap_or_else(|| panic!("{name}: bench tag {tag:?} has no registered schema"));
+        validate_bench_doc(&doc, &tag, extra_keys)
+            .unwrap_or_else(|e| panic!("{name}: schema violation: {e}"));
+        checked.push(name.to_string());
+    }
+    checked.sort();
+    // The four baselines this repo currently commits; growing the list is
+    // fine, silently checking nothing is not.
+    assert!(
+        checked.len() >= 4,
+        "expected at least the 4 committed BENCH artifacts, found {checked:?}"
+    );
+    for expected in [
+        "BENCH_scaling.json",
+        "BENCH_serving.json",
+        "BENCH_throughput.json",
+        "BENCH_throughput_pre_refactor.json",
+    ] {
+        assert!(
+            checked.iter().any(|c| c == expected),
+            "missing committed artifact {expected} (found {checked:?})"
+        );
+    }
+}
+
+#[test]
+fn committed_serving_baseline_passes_its_own_gate() {
+    // The acceptance gate is part of the committed artifact: R-TBS
+    // saturated ingest under 4 concurrent readers within 10% of the
+    // committed 265.1M items/s single-thread baseline, and the bench
+    // recorded the pass verdict.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_serving.json"))
+        .expect("committed BENCH_serving.json");
+    let doc = parse(&text).expect("valid JSON");
+    let gate = doc
+        .get("summary")
+        .and_then(|s| s.get("gate"))
+        .expect("serving summary gate");
+    assert_eq!(gate.get("pass"), Some(&Json::Bool(true)), "gate: {gate}");
+    match gate.get("ratio") {
+        Some(Json::Num(ratio)) => assert!(*ratio >= 0.9, "gate ratio {ratio} < 0.9"),
+        other => panic!("gate ratio missing: {other:?}"),
+    }
+}

@@ -17,15 +17,22 @@
 //!
 //! The codec lives here (not in `tbs-distributed`, its pre-PR-4 home) so
 //! the core samplers can serialize themselves without the core crate
-//! depending on the distributed substrate; `tbs_distributed::checkpoint`
-//! re-exports everything for existing callers.
+//! depending on the distributed substrate. This module is the canonical
+//! import path; the `tbs_distributed::checkpoint` re-export shim is
+//! deprecated and hidden from the docs.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic tag identifying a TBS checkpoint blob.
 pub const MAGIC: u32 = 0x5442_5343; // "TBSC"
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version history:
+///
+/// * 1 — PR 4: initial shared codec.
+/// * 2 — PR 5: sharded-engine payloads carry the batches-ingested
+///   staleness stamp (`EngineCheckpoint::batches`) between the rotation
+///   counter and the driver RNG state. v1 blobs are rejected with
+///   [`CheckpointError::UnsupportedVersion`] rather than misparsed.
+pub const VERSION: u32 = 2;
 
 /// Errors raised when decoding a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,141 @@
+//! Immutable, epoch-stamped realized samples — the unit of the serving
+//! layer.
+//!
+//! The paper's model-management loop (§6) wants two things at once: the
+//! stream must keep flowing into the sampler, and consumers (retraining
+//! jobs, dashboards, model-serving tiers à la Velox) must be able to read
+//! a *consistent* sample at any moment. Handing consumers a reference
+//! into live sampler state would couple the two — every read would have
+//! to stop ingest. A [`FrozenSample`] decouples them: it is a fully
+//! realized sample (the latent partial item already resolved), captured
+//! at a known stream position and **never mutated afterwards**, so it can
+//! be shared across threads behind an `Arc` with no locking at all.
+//!
+//! The metadata answers the staleness questions a serving tier asks:
+//! which publication this is ([`FrozenSample::epoch`]), how much stream
+//! it reflects ([`FrozenSample::batches_observed`]), and what the sampler
+//! knew about its own weights at the freeze point
+//! ([`FrozenSample::total_weight`], [`FrozenSample::expected_size`]).
+//!
+//! Snapshots are *produced* by the publication machinery — the sharded
+//! engine's barrier protocol in `tbs_distributed::engine`, or the
+//! single-node `temporal_sampling::api::Sampler::publish` — and
+//! *consumed* through `temporal_sampling::api::SampleReader`.
+
+/// An immutable realized sample frozen at a specific stream position.
+///
+/// Equality compares items and metadata; two frozen samples from the same
+/// seed and stream prefix are bit-identical to what an exact synchronous
+/// `sample()` would have returned at the same point (the engine's
+/// snapshot tests pin this down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenSample<T> {
+    items: Vec<T>,
+    epoch: u64,
+    batches: u64,
+    total_weight: Option<f64>,
+    expected_size: f64,
+}
+
+impl<T> FrozenSample<T> {
+    /// Freeze `items` as publication `epoch`, reflecting the stream up to
+    /// `batches` ingested batches. `total_weight` is the sampler's total
+    /// decayed stream weight `W_t` where the scheme tracks one (R-TBS),
+    /// `expected_size` its expected realized size at the freeze point
+    /// (`C_t` for R-TBS, `|S_t|` for exact-size schemes).
+    pub fn new(
+        epoch: u64,
+        batches: u64,
+        total_weight: Option<f64>,
+        expected_size: f64,
+        items: Vec<T>,
+    ) -> Self {
+        Self {
+            items,
+            epoch,
+            batches,
+            total_weight,
+            expected_size,
+        }
+    }
+
+    /// The realized sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items in the sample.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Publication number, starting at 1; assigned monotonically by the
+    /// publisher. 0 never appears on a published sample (readers use it
+    /// as "nothing seen yet").
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Batches the producing sampler had ingested when this sample was
+    /// frozen — compare against the live sampler's batch count to measure
+    /// staleness in stream time.
+    pub fn batches_observed(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total decayed stream weight `W_t` at the freeze point, for schemes
+    /// that track it (`None` otherwise — e.g. T-TBS keeps no stream-level
+    /// scalar state).
+    pub fn total_weight(&self) -> Option<f64> {
+        self.total_weight
+    }
+
+    /// Expected realized sample size at the freeze point (`C_t` for
+    /// R-TBS); [`FrozenSample::len`] is the *actual* size after the
+    /// fractional item was resolved.
+    pub fn expected_size(&self) -> f64 {
+        self.expected_size
+    }
+
+    /// Consume the snapshot and take ownership of its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T> AsRef<[T]> for FrozenSample<T> {
+    fn as_ref(&self) -> &[T] {
+        self.items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_round_trips() {
+        let f = FrozenSample::new(3, 120, Some(1051.2), 1000.0, vec![1u64, 2, 3]);
+        assert_eq!(f.epoch(), 3);
+        assert_eq!(f.batches_observed(), 120);
+        assert_eq!(f.total_weight(), Some(1051.2));
+        assert_eq!(f.expected_size(), 1000.0);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(f.items(), &[1, 2, 3]);
+        assert_eq!(f.as_ref(), &[1, 2, 3]);
+        assert_eq!(f.into_items(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn weightless_schemes_report_none() {
+        let f: FrozenSample<u8> = FrozenSample::new(1, 0, None, 0.0, vec![]);
+        assert!(f.total_weight().is_none());
+        assert!(f.is_empty());
+    }
+}

@@ -100,6 +100,7 @@ pub mod chao;
 pub mod checkpoint;
 pub mod downsample;
 pub mod forward;
+pub mod frozen;
 pub mod latent;
 pub mod merge;
 pub mod rtbs;
@@ -115,6 +116,7 @@ pub use brs::BatchedReservoir;
 pub use btbs::BTbs;
 pub use chao::BChao;
 pub use forward::{DecayGauge, ExponentialGauge, ForwardDecayRTbs, PolynomialGauge};
+pub use frozen::FrozenSample;
 pub use latent::LatentSample;
 pub use merge::{partition_batch, MergeableSample, ShardSpec};
 pub use rtbs::RTbs;

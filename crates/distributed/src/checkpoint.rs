@@ -1,9 +1,14 @@
-//! Checkpoint / restore for the distributed samplers (§5.1).
+//! **Deprecated compatibility shim** — the checkpoint codec lives in
+//! [`tbs_core::checkpoint`].
 //!
 //! The byte codec (writer, reader, error type, magic/version constants)
-//! moved to its shared home in [`tbs_core::checkpoint`] in PR 4 so the
-//! core samplers can serialize themselves without depending on this
-//! crate; everything is re-exported here for existing callers. See the
-//! core module docs for the format description.
+//! moved to its shared home in `tbs_core` in PR 4 so the core samplers
+//! can serialize themselves without depending on this crate. Every
+//! in-repo caller now imports from `tbs_core::checkpoint` directly;
+//! these re-exports remain only so external code written against the old
+//! paths keeps compiling, and they are hidden from the documentation.
+//! Migrate by replacing `tbs_distributed::checkpoint::…` with
+//! `tbs_core::checkpoint::…` — the items are identical.
 
+#[doc(hidden)]
 pub use tbs_core::checkpoint::{CheckpointError, Reader, Writer, MAGIC, VERSION};

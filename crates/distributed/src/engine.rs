@@ -37,6 +37,33 @@
 //!   spawn anywhere (contrast with the pre-PR-3 `WorkerPool`, which paid
 //!   a `thread::spawn` per job per batch).
 //!
+//! ## Serving without stopping: the snapshot barrier
+//!
+//! `sample()` is *exact but synchronous*: the caller blocks through
+//! quiesce + merge + realize, and no one else can read meanwhile. The
+//! epoch-publication path removes both limits:
+//!
+//! ```text
+//!  request_snapshot() ──▶ Barrier(e) ──▶ shard k: fork_for_merge() ─┐
+//!        │                (FIFO, so the fork lands exactly at the    │
+//!        │                 batch boundary of the request)            ▼
+//!        └── Request{e, driver-RNG state} ──────────────▶ ┌───────────────┐
+//!                                                         │ merger thread │
+//!                       Arc<FrozenSample> ◀── merge+realize│  (background) │
+//!                            │                             └───────────────┘
+//!                            ▼
+//!                    EpochCell ◀── SampleReader::latest()  (lock-free poll)
+//! ```
+//!
+//! [`ParallelIngestEngine::request_snapshot`] consumes **no** driver
+//! randomness — it records the driver RNG *position* and lets the merger
+//! replay the exact merge + realization sequence `sample()` would have
+//! run from that position. The published [`FrozenSample`] is therefore
+//! **bit-identical** to what `quiesce()` + `sample()` would have returned
+//! at the same barrier point (the engine-snapshot tests pin this down),
+//! while ingest never stops: shards pause only for the `O(n_k)` state
+//! fork, and the merge runs concurrently on the merger thread.
+//!
 //! ## Choosing a shard count
 //!
 //! Shard capacity is `⌈n/K⌉` plus a decay-dependent skew headroom, and a
@@ -49,11 +76,14 @@
 //! quantifies both regimes.
 
 use crate::queue::BatchQueue;
+use crate::snapshot::EpochCell;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+use tbs_core::frozen::FrozenSample;
 use tbs_core::merge::{partition_batch, MergeableSample, ShardSpec};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
@@ -113,11 +143,35 @@ enum ShardMsg<T> {
     Snapshot,
     /// Reply with an ack once everything queued ahead has been processed.
     Sync,
+    /// Epoch-snapshot barrier: fork the shard state off to the merger
+    /// thread (no driver round-trip — the shard keeps ingesting).
+    Barrier(u64),
 }
 
 enum ShardResp<S> {
     Snapshot(Box<(S, [u64; 4])>),
     Ack,
+}
+
+/// Messages flowing into the background merger thread. FIFO causality
+/// makes the per-epoch protocol race-free: the driver enqueues the
+/// `Request` *before* any shard can see the matching `Barrier`, so the
+/// merger always learns the replay RNG state before the forks arrive.
+enum MergerMsg<S: MergeableSample> {
+    /// Driver-side epoch header: the RNG position the merge must replay
+    /// from (bit-identity with the exact path) and the batches-ingested
+    /// staleness stamp for the published metadata.
+    Request {
+        epoch: u64,
+        rng: [u64; 4],
+        batches: u64,
+    },
+    /// One shard's forked state at the barrier.
+    Fork {
+        epoch: u64,
+        shard: usize,
+        state: Box<S>,
+    },
 }
 
 /// The complete durable state of a quiesced [`ParallelIngestEngine`]:
@@ -134,6 +188,9 @@ pub struct EngineCheckpoint<S> {
     pub driver_rng: [u64; 4],
     /// The remainder-rotation counter of the deterministic batch split.
     pub rotation: u64,
+    /// Batches ingested so far — the staleness stamp future snapshot
+    /// publications continue from.
+    pub batches: u64,
 }
 
 struct ShardHandle<S: MergeableSample> {
@@ -144,6 +201,15 @@ struct ShardHandle<S: MergeableSample> {
     join: Option<JoinHandle<()>>,
 }
 
+/// Everything a shard worker communicates through, bundled for the spawn.
+struct ShardChannels<S: MergeableSample> {
+    work: Arc<BatchQueue<ShardMsg<S::Item>>>,
+    resp: Arc<BatchQueue<ShardResp<S>>>,
+    recycle: Arc<BatchQueue<Vec<S::Item>>>,
+    merger: Arc<BatchQueue<MergerMsg<S>>>,
+    counters: Arc<ShardCounters>,
+}
+
 /// A sharded, multi-threaded ingest front-end over any
 /// [`MergeableSample`] sampler (R-TBS, T-TBS).
 ///
@@ -152,10 +218,20 @@ struct ShardHandle<S: MergeableSample> {
 /// `(seed, shard count, batch sequence)`.
 pub struct ParallelIngestEngine<S: MergeableSample + Clone + Send + 'static>
 where
-    S::Item: Send + 'static,
+    S::Item: Send + Sync + 'static,
 {
     shards: Vec<ShardHandle<S>>,
     spec: ShardSpec,
+    /// The background merge/publish thread of the snapshot protocol.
+    merger_work: Arc<BatchQueue<MergerMsg<S>>>,
+    merger_join: Option<JoinHandle<()>>,
+    /// Epoch-publication cell shared with every reader handle.
+    cell: Arc<EpochCell<S::Item>>,
+    /// Epoch assigned to the next snapshot request (first epoch is 1).
+    next_epoch: u64,
+    /// Batches fed through [`ParallelIngestEngine::ingest`] — the
+    /// staleness stamp carried by published snapshots.
+    batches_ingested: u64,
     /// Remainder-rotation counter for the deterministic batch split.
     rotation: usize,
     /// Largest per-shard chunk seen so far. Recycled split buffers are
@@ -174,7 +250,7 @@ where
 
 impl<S: MergeableSample + Clone + Send + 'static> ParallelIngestEngine<S>
 where
-    S::Item: Send + 'static,
+    S::Item: Send + Sync + 'static,
 {
     /// Spawn the shard worker threads and return the ready engine.
     pub fn new(cfg: EngineConfig) -> Self {
@@ -208,7 +284,9 @@ where
             rngs.push(Xoshiro256PlusPlus::from_state(state));
         }
         let driver_rng = Xoshiro256PlusPlus::from_state(parts.driver_rng);
-        Self::spawn(cfg, samplers, rngs, driver_rng, parts.rotation as usize)
+        let mut engine = Self::spawn(cfg, samplers, rngs, driver_rng, parts.rotation as usize);
+        engine.batches_ingested = parts.batches;
+        engine
     }
 
     fn spawn(
@@ -219,6 +297,20 @@ where
         rotation: usize,
     ) -> Self {
         let spec = cfg.spec;
+        // Room for a few epochs in flight (each is 1 request + K forks);
+        // beyond that the snapshot path exerts backpressure on whoever
+        // requests faster than the merger can merge.
+        let merger_work: Arc<BatchQueue<MergerMsg<S>>> =
+            Arc::new(BatchQueue::with_capacity(4 * (spec.shards + 1)));
+        let cell = Arc::new(EpochCell::new());
+        let merger_join = std::thread::Builder::new()
+            .name("tbs-merger".into())
+            .spawn({
+                let work = Arc::clone(&merger_work);
+                let cell = Arc::clone(&cell);
+                move || merger_worker(spec, &work, &cell)
+            })
+            .expect("spawn merger worker");
         let shards: Vec<ShardHandle<S>> = shard_samplers
             .into_iter()
             .zip(substreams)
@@ -240,16 +332,17 @@ where
                     let _ = recycle.try_push(Vec::new());
                 }
                 let counters = Arc::new(ShardCounters::default());
+                let channels = ShardChannels {
+                    work: Arc::clone(&work),
+                    resp: Arc::clone(&resp),
+                    recycle: Arc::clone(&recycle),
+                    merger: Arc::clone(&merger_work),
+                    counters: Arc::clone(&counters),
+                };
+                let depth = cfg.queue_depth.max(1);
                 let join = std::thread::Builder::new()
                     .name(format!("tbs-shard-{i}"))
-                    .spawn({
-                        let work = Arc::clone(&work);
-                        let resp = Arc::clone(&resp);
-                        let recycle = Arc::clone(&recycle);
-                        let counters = Arc::clone(&counters);
-                        let depth = cfg.queue_depth.max(1);
-                        move || shard_worker(sampler, rng, depth, &work, &resp, &recycle, &counters)
-                    })
+                    .spawn(move || shard_worker(i, sampler, rng, depth, &channels))
                     .expect("spawn shard worker");
                 ShardHandle {
                     work,
@@ -264,6 +357,11 @@ where
             split: (0..spec.shards).map(|_| Vec::new()).collect(),
             shards,
             spec,
+            merger_work,
+            merger_join: Some(merger_join),
+            cell,
+            next_epoch: 1,
+            batches_ingested: 0,
             rotation,
             chunk_high_water: 0,
             driver_rng,
@@ -286,6 +384,7 @@ where
     /// backpressure, not data loss); empty batches are delivered too,
     /// since every shard's decay clock must advance.
     pub fn ingest(&mut self, mut batch: Vec<S::Item>) {
+        self.batches_ingested += 1;
         if self.shards.len() == 1 {
             // Single shard: hand the caller's buffer over untouched.
             let _ = self.shards[0].work.push(ShardMsg::Batch(batch));
@@ -355,7 +454,80 @@ where
             shard_states: self.snapshot_shards(),
             driver_rng: self.driver_rng.state(),
             rotation: self.rotation as u64,
+            batches: self.batches_ingested,
         }
+    }
+
+    /// Request publication of an epoch snapshot and return its epoch
+    /// number, **without stopping ingest or blocking on the result**.
+    ///
+    /// A barrier marker is enqueued after everything ingested so far, so
+    /// the snapshot reflects exactly the batches fed before this call.
+    /// Each shard forks its state at the barrier (an `O(n_k)` copy) and
+    /// keeps ingesting; the background merger folds the forks with the
+    /// exact `tbs_core::merge` algebra and publishes an
+    /// `Arc<FrozenSample>` into the engine's [`EpochCell`].
+    ///
+    /// Consumes **no** driver randomness: the merger replays the merge +
+    /// realization from the driver RNG's current *position*, so the
+    /// published sample is bit-identical to what
+    /// [`ParallelIngestEngine::sample`] would have returned here, and the
+    /// engine's own trajectory is untouched (like
+    /// [`ParallelIngestEngine::save_parts`]).
+    ///
+    /// The only blocking is backpressure: if a queue is full the push
+    /// waits, exactly as `ingest` does.
+    ///
+    /// If a shard worker has died (its panic guard closes its queue),
+    /// the barrier cannot reach every shard and the epoch can never
+    /// complete; the cell is closed so `wait_for_epoch` callers observe
+    /// publisher death (`None`) instead of blocking forever. Epochs
+    /// already published stay readable.
+    pub fn request_snapshot(&mut self) -> u64 {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        // Request before barriers: FIFO causality guarantees the merger
+        // sees the epoch header before any fork for it.
+        let mut delivered = self
+            .merger_work
+            .push(MergerMsg::Request {
+                epoch,
+                rng: self.driver_rng.state(),
+                batches: self.batches_ingested,
+            })
+            .is_ok();
+        for shard in &self.shards {
+            delivered &= shard.work.push(ShardMsg::Barrier(epoch)).is_ok();
+        }
+        if !delivered {
+            self.cell.close();
+        }
+        epoch
+    }
+
+    /// The epoch-publication cell snapshots are served through. Clone the
+    /// `Arc` into as many reader threads as you like; readers never touch
+    /// the ingest path's queues or locks.
+    pub fn snapshot_cell(&self) -> Arc<EpochCell<S::Item>> {
+        Arc::clone(&self.cell)
+    }
+
+    /// Highest epoch published so far (0 until the first
+    /// [`ParallelIngestEngine::request_snapshot`] completes).
+    pub fn published_epoch(&self) -> u64 {
+        self.cell.published_epoch()
+    }
+
+    /// Highest epoch requested so far (0 if none). The gap to
+    /// [`ParallelIngestEngine::published_epoch`] is the number of
+    /// snapshots still in flight.
+    pub fn requested_epoch(&self) -> u64 {
+        self.next_epoch - 1
+    }
+
+    /// Batches fed through [`ParallelIngestEngine::ingest`] so far.
+    pub fn batches_ingested(&self) -> u64 {
+        self.batches_ingested
     }
 
     /// Quiesce, merge, and realize the unified sample.
@@ -401,7 +573,7 @@ fn pop_resp<S: MergeableSample>(
 
 impl<S: MergeableSample + Clone + Send + 'static> Drop for ParallelIngestEngine<S>
 where
-    S::Item: Send + 'static,
+    S::Item: Send + Sync + 'static,
 {
     fn drop(&mut self) {
         // Closing the work queue lets each worker drain its backlog and
@@ -420,21 +592,37 @@ where
                 }
             }
         }
+        // Shards first, merger second: a draining shard backlog may still
+        // push barrier forks, which the merger must be alive to absorb.
+        // After the close it merges whatever epochs completed, closes the
+        // cell (waking any wait_for_epoch blockers), and exits.
+        self.merger_work.close();
+        if let Some(join) = self.merger_join.take() {
+            let result = join.join();
+            if !std::thread::panicking() {
+                result.expect("merger worker panicked");
+            }
+        }
     }
 }
 
 /// The long-lived per-shard worker: drain the work queue in bulk, ingest
 /// batches on the monomorphized fast path, recycle buffers, answer
-/// snapshot/sync requests.
+/// snapshot/sync requests, fork state at epoch barriers.
 fn shard_worker<S: MergeableSample + Clone>(
+    shard_id: usize,
     mut sampler: S,
     mut rng: Xoshiro256PlusPlus,
     depth: usize,
-    work: &BatchQueue<ShardMsg<S::Item>>,
-    resp: &BatchQueue<ShardResp<S>>,
-    recycle: &BatchQueue<Vec<S::Item>>,
-    counters: &ShardCounters,
+    channels: &ShardChannels<S>,
 ) {
+    let ShardChannels {
+        work,
+        resp,
+        recycle,
+        merger,
+        counters,
+    } = channels;
     // If the worker unwinds (a sampler panic), close both driver-facing
     // queues: a driver blocked in pop_resp fails fast ("shard worker
     // terminated"), and one blocked on a full work queue in ingest()
@@ -451,7 +639,10 @@ fn shard_worker<S: MergeableSample + Clone>(
             self.resp.close();
         }
     }
-    let _closer = PanicCloser { work, resp };
+    let _closer = PanicCloser {
+        work: work.as_ref(),
+        resp: resp.as_ref(),
+    };
 
     // A drained group holds at most `depth` messages (the work queue's
     // bound), so sizing the local buffers up front makes the loop
@@ -504,6 +695,19 @@ fn shard_worker<S: MergeableSample + Clone>(
                         rng.state(),
                     ))));
                 }
+                ShardMsg::Barrier(epoch) => {
+                    // The fork is charged to the busy span: it is real
+                    // per-shard pipeline work, and the serving benchmark's
+                    // ingest-capacity gate must see the snapshot overhead.
+                    if span.is_none() {
+                        span = Some(Instant::now());
+                    }
+                    let _ = merger.push(MergerMsg::Fork {
+                        epoch,
+                        shard: shard_id,
+                        state: Box::new(sampler.fork_for_merge()),
+                    });
+                }
                 ShardMsg::Sync => {
                     close_span(&mut span, &mut busy);
                     flush(&mut items, &mut batches, &mut busy);
@@ -517,6 +721,126 @@ fn shard_worker<S: MergeableSample + Clone>(
         // recycle queue (single-shard mode) just drops them.
         for buf in done.drain(..) {
             let _ = recycle.try_push(buf);
+        }
+    }
+}
+
+/// Per-epoch assembly state on the merger thread.
+struct PendingEpoch<S> {
+    /// `(driver RNG position, batches stamp)` from the epoch's `Request`.
+    header: Option<([u64; 4], u64)>,
+    /// Forked shard states, indexed by shard id.
+    forks: Vec<Option<S>>,
+    received: usize,
+}
+
+impl<S> PendingEpoch<S> {
+    fn new(shards: usize) -> Self {
+        Self {
+            header: None,
+            forks: (0..shards).map(|_| None).collect(),
+            received: 0,
+        }
+    }
+
+    fn is_complete(&self, shards: usize) -> bool {
+        self.header.is_some() && self.received == shards
+    }
+}
+
+/// The background merge/publish worker: collect each epoch's `Request`
+/// header and K shard forks, fold the forks with the exact merge algebra
+/// (replaying the driver RNG position recorded at request time, so the
+/// result is bit-identical to the synchronous `sample()` path), realize,
+/// and publish into the [`EpochCell`]. Epochs complete in order because
+/// every queue involved is FIFO.
+fn merger_worker<S: MergeableSample + Clone>(
+    spec: ShardSpec,
+    work: &BatchQueue<MergerMsg<S>>,
+    cell: &EpochCell<S::Item>,
+) {
+    // However this thread exits — queue closed on engine drop, or a
+    // panic inside merge — close both merger-facing endpoints:
+    //
+    // * the cell, so readers blocked in wait_for_epoch wake instead of
+    //   waiting on a publisher that no longer exists (published samples
+    //   stay readable);
+    // * the work queue, so shard workers pushing barrier forks (and the
+    //   driver pushing epoch requests) fail fast instead of blocking
+    //   forever on a bounded queue no one drains — a merger panic must
+    //   not deadlock ingest, mirroring the shard workers' PanicCloser.
+    struct PanicCloser<'a, S: MergeableSample> {
+        work: &'a BatchQueue<MergerMsg<S>>,
+        cell: &'a EpochCell<S::Item>,
+    }
+    impl<S: MergeableSample> Drop for PanicCloser<'_, S> {
+        fn drop(&mut self) {
+            self.work.close();
+            self.cell.close();
+        }
+    }
+    let _closer = PanicCloser { work, cell };
+
+    let mut pending: BTreeMap<u64, PendingEpoch<S>> = BTreeMap::new();
+    let mut msgs: Vec<MergerMsg<S>> = Vec::new();
+    loop {
+        msgs.clear();
+        if work.drain_into(&mut msgs) == 0 {
+            return; // queue closed and fully drained
+        }
+        for msg in msgs.drain(..) {
+            match msg {
+                MergerMsg::Request {
+                    epoch,
+                    rng,
+                    batches,
+                } => {
+                    pending
+                        .entry(epoch)
+                        .or_insert_with(|| PendingEpoch::new(spec.shards))
+                        .header = Some((rng, batches));
+                }
+                MergerMsg::Fork {
+                    epoch,
+                    shard,
+                    state,
+                } => {
+                    let entry = pending
+                        .entry(epoch)
+                        .or_insert_with(|| PendingEpoch::new(spec.shards));
+                    if entry.forks[shard].replace(*state).is_none() {
+                        entry.received += 1;
+                    }
+                }
+            }
+        }
+        // Publish every complete epoch, oldest first (completion is
+        // naturally in epoch order — barriers flow FIFO through every
+        // shard — but the loop does not rely on it).
+        while let Some(entry) = pending.first_entry() {
+            if !entry.get().is_complete(spec.shards) {
+                break;
+            }
+            let (epoch, state) = entry.remove_entry();
+            let (rng_state, batches) = state.header.expect("complete epoch has a header");
+            let forks: Vec<S> = state
+                .forks
+                .into_iter()
+                .map(|f| f.expect("complete epoch has every fork"))
+                .collect();
+            // Replay exactly what the synchronous path would do from the
+            // recorded RNG position: merge in shard-id order, realize.
+            let mut rng = Xoshiro256PlusPlus::from_state(rng_state);
+            let merged = S::merge_shards(forks, &spec, &mut rng);
+            let mut items = Vec::new();
+            merged.realize_into(&mut rng, &mut items);
+            cell.publish(Arc::new(FrozenSample::new(
+                epoch,
+                batches,
+                merged.total_stream_weight(),
+                merged.expected_size(),
+                items,
+            )));
         }
     }
 }

@@ -15,8 +15,13 @@
 //! * [`engine`] — **the multi-core sharded ingest engine**: N persistent
 //!   shard threads behind bounded queues, each owning a monomorphized
 //!   mergeable sampler and a jump-ahead RNG substream; shard states merge
-//!   exactly (via `tbs_core::merge`) when a sample is requested. The
-//!   committed `BENCH_scaling.json` baselines its aggregate capacity.
+//!   exactly (via `tbs_core::merge`) when a sample is requested, and a
+//!   barrier-driven snapshot protocol publishes epoch-stamped
+//!   `FrozenSample`s for concurrent readers without stopping ingest. The
+//!   committed `BENCH_scaling.json` and `BENCH_serving.json` baseline its
+//!   aggregate capacity and serving behaviour.
+//! * [`snapshot`] — the [`snapshot::EpochCell`] publication slot readers
+//!   poll lock-free while the pipeline keeps writing;
 //! * [`queue`] — the bounded blocking batch queues behind the engine:
 //!   bulk draining, backpressure, allocation-free in steady state;
 //! * [`partition`] — RDD-like partitioned datasets with slot→location maps;
@@ -41,9 +46,9 @@ pub mod engine;
 pub mod kvstore;
 pub mod partition;
 pub mod queue;
+pub mod snapshot;
 pub mod wire;
 
-pub use checkpoint::CheckpointError;
 pub use cluster::WorkerPool;
 pub use copart::CoPartitionedReservoir;
 pub use cost::{CostModel, CostTracker};
@@ -53,4 +58,6 @@ pub use engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine, ShardStat
 pub use kvstore::KvReservoir;
 pub use partition::{Location, Partitioned};
 pub use queue::BatchQueue;
+pub use snapshot::EpochCell;
+pub use tbs_core::checkpoint::CheckpointError;
 pub use wire::{Wire, WIRE_ENVELOPE_BYTES};

@@ -1,0 +1,212 @@
+//! Epoch-published snapshot cell: the handoff point between the ingest
+//! pipeline and concurrent sample readers.
+//!
+//! The serving problem (Velox's split, see PAPERS.md): model retraining
+//! and other consumers need a *consistent* sample while ingest keeps
+//! running. The pre-snapshot engine solved consistency by quiescing —
+//! every reader stalled every writer. An [`EpochCell`] inverts that: the
+//! pipeline *publishes* immutable [`FrozenSample`]s into the cell, tagged
+//! with a monotonically increasing **epoch**, and any number of readers
+//! pull the latest publication without ever touching the ingest path's
+//! queues or locks.
+//!
+//! ## Read path cost
+//!
+//! [`EpochCell::published_epoch`] is a single atomic load — the intended
+//! hot-poll check ("anything newer than what I hold?"). Only when the
+//! epoch moved does a reader call [`EpochCell::latest`], which clones an
+//! `Arc` out of the vendored arc-swap slot (a refcount bump under a
+//! nanoseconds-scale critical section that no ingest thread ever enters).
+//! `temporal_sampling::api::SampleReader` packages exactly this pattern.
+//!
+//! ## Write path
+//!
+//! Publishers ([`EpochCell::publish`]) store the new `Arc`, advance the
+//! epoch counter (monotonically — a late-arriving older publication can
+//! never roll it back), and wake [`EpochCell::wait_for_epoch`] blockers.
+//! When the publisher goes away (engine drop, merger panic) it calls
+//! [`EpochCell::close`] so waiters return instead of blocking forever;
+//! already-published samples remain readable afterwards.
+
+use arc_swap::ArcSwapOption;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tbs_core::frozen::FrozenSample;
+
+/// A shared slot publishing epoch-stamped [`FrozenSample`]s from one
+/// producer pipeline to any number of concurrent readers.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    /// Highest epoch published so far; 0 = nothing published yet.
+    published: AtomicU64,
+    /// The latest publication.
+    slot: ArcSwapOption<FrozenSample<T>>,
+    /// Set when the publisher is gone for good.
+    closed: AtomicBool,
+    /// Pairs with `wait_cv`; held only inside `publish`'s notify and
+    /// `wait_for_epoch` — never by pollers.
+    wait_lock: Mutex<()>,
+    wait_cv: Condvar,
+}
+
+impl<T> Default for EpochCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EpochCell<T> {
+    /// An empty cell: no publication, epoch 0, open.
+    pub fn new() -> Self {
+        Self {
+            published: AtomicU64::new(0),
+            slot: ArcSwapOption::empty(),
+            closed: AtomicBool::new(false),
+            wait_lock: Mutex::new(()),
+            wait_cv: Condvar::new(),
+        }
+    }
+
+    /// The highest published epoch (0 until the first publication). One
+    /// atomic load — the cheap poll for "is there anything newer?".
+    pub fn published_epoch(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// The most recent publication, if any. Never blocks on ingest: the
+    /// only synchronization is the arc-swap slot's refcount bump.
+    pub fn latest(&self) -> Option<Arc<FrozenSample<T>>> {
+        self.slot.load_full()
+    }
+
+    /// Whether the publisher has shut down ([`EpochCell::close`]). The
+    /// last publication, if any, remains readable.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Publish `frozen` as the newest sample and wake every
+    /// [`EpochCell::wait_for_epoch`] blocker. The epoch counter advances
+    /// monotonically to `frozen.epoch()`; a **stale** publication (epoch
+    /// not newer than the counter) is discarded, so the slot can never
+    /// hold an older sample than the counter advertises.
+    pub fn publish(&self, frozen: Arc<FrozenSample<T>>) {
+        let epoch = frozen.epoch();
+        // Publishers are serialized by `wait_lock`, which makes the
+        // stale-check + store + counter-advance sequence atomic with
+        // respect to other publishers. Readers never take this lock.
+        let _guard = self.wait_lock.lock();
+        if epoch <= self.published.load(Ordering::Acquire) {
+            return;
+        }
+        // Store the payload before advancing the counter: a reader that
+        // observes the new epoch is guaranteed to load a sample at least
+        // that new (epochs only move forward in the slot too).
+        self.slot.store(Some(frozen));
+        self.published.store(epoch, Ordering::Release);
+        self.wait_cv.notify_all();
+    }
+
+    /// Mark the publisher gone and wake all waiters. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _guard = self.wait_lock.lock();
+        self.wait_cv.notify_all();
+    }
+
+    /// Block until a sample of epoch ≥ `epoch` is published, then return
+    /// the latest publication (which may be even newer). Returns `None`
+    /// if the publisher closed the cell before reaching `epoch` — e.g.
+    /// the engine was dropped with the request still in flight.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Option<Arc<FrozenSample<T>>> {
+        let mut guard = self.wait_lock.lock();
+        loop {
+            if self.published.load(Ordering::Acquire) >= epoch {
+                drop(guard);
+                return self.latest();
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            // No lost wakeup: `publish`/`close` notify while holding
+            // `wait_lock`, and we hold it across the re-check → wait edge.
+            guard = self.wait_cv.wait(guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frozen(epoch: u64, items: Vec<u32>) -> Arc<FrozenSample<u32>> {
+        let expected = items.len() as f64;
+        Arc::new(FrozenSample::new(epoch, epoch * 10, None, expected, items))
+    }
+
+    #[test]
+    fn starts_empty_and_publishes_monotonically() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        assert_eq!(cell.published_epoch(), 0);
+        assert!(cell.latest().is_none());
+        cell.publish(frozen(1, vec![1]));
+        cell.publish(frozen(2, vec![1, 2]));
+        assert_eq!(cell.published_epoch(), 2);
+        assert_eq!(cell.latest().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stale_publications_are_discarded() {
+        // The counter and the slot must stay coherent even if a caller
+        // publishes out of order: the older sample is dropped, never
+        // served under the newer counter.
+        let cell: EpochCell<u32> = EpochCell::new();
+        cell.publish(frozen(5, vec![1, 2, 3, 4, 5]));
+        cell.publish(frozen(3, vec![1, 2, 3]));
+        assert_eq!(cell.published_epoch(), 5);
+        assert_eq!(cell.latest().unwrap().epoch(), 5);
+        assert_eq!(cell.wait_for_epoch(5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn wait_returns_immediately_for_past_epochs() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        cell.publish(frozen(3, vec![7]));
+        let got = cell.wait_for_epoch(2).unwrap();
+        assert_eq!(got.epoch(), 3);
+    }
+
+    #[test]
+    fn wait_blocks_until_published() {
+        let cell = Arc::new(EpochCell::<u32>::new());
+        let cell2 = Arc::clone(&cell);
+        let waiter = std::thread::spawn(move || cell2.wait_for_epoch(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.publish(frozen(1, vec![9]));
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got.epoch(), 1);
+    }
+
+    #[test]
+    fn close_unblocks_waiters_with_none() {
+        let cell = Arc::new(EpochCell::<u32>::new());
+        let cell2 = Arc::clone(&cell);
+        let waiter = std::thread::spawn(move || cell2.wait_for_epoch(5));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.close();
+        assert!(waiter.join().unwrap().is_none());
+        assert!(cell.is_closed());
+    }
+
+    #[test]
+    fn closed_cell_still_serves_the_last_publication() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        cell.publish(frozen(1, vec![4, 5]));
+        cell.close();
+        assert_eq!(cell.latest().unwrap().items(), &[4, 5]);
+        // Epoch 1 was reached before the close, so the wait succeeds.
+        assert!(cell.wait_for_epoch(1).is_some());
+        assert!(cell.wait_for_epoch(2).is_none());
+    }
+}

@@ -445,8 +445,10 @@ impl SamplerConfig {
         Ok(())
     }
 
-    /// Validate and construct the unified [`Sampler`] handle.
-    pub fn build<T: Clone + Send + 'static>(&self) -> Result<Sampler<T>, TbsError> {
+    /// Validate and construct the unified [`Sampler`] handle. (`T: Sync`
+    /// because published snapshots are `Arc`-shared with concurrent
+    /// readers; see [`Sampler::reader`].)
+    pub fn build<T: Clone + Send + Sync + 'static>(&self) -> Result<Sampler<T>, TbsError> {
         self.validate()?;
         Ok(Sampler::from_valid_config(self))
     }

@@ -10,11 +10,28 @@
 //! [`RetrainPolicy`] — every batch, every N batches, or
 //! drift-triggered via `tbs_ml::drift`'s error-jump detector with a
 //! periodic fallback.
+//!
+//! ## Retraining off snapshots
+//!
+//! Refits consume **epoch-published snapshots**
+//! ([`Sampler::publish`] + [`SampleReader`]), not a quiesced read of live
+//! sampler state. For sharded samplers this is what keeps the pipeline
+//! flowing: publication only injects a barrier, shards fork their state
+//! and keep ingesting, and the manager blocks only until the background
+//! merger lands the epoch — never on a stop-the-world quiesce. The same
+//! `Arc<FrozenSample>` the manager trains on is simultaneously visible to
+//! every other [`ModelManager::reader`] handle (a serving tier can watch
+//! exactly what the model was fit on), and
+//! [`ManagerMetrics::last_sample_epoch`] records which publication that
+//! was.
 
+use std::sync::Arc;
+use tbs_core::frozen::FrozenSample;
 use tbs_ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};
 use tbs_ml::pipeline::OnlineModel;
 use tbs_stats::summary::OnlineMoments;
 
+use crate::api::reader::SampleReader;
 use crate::api::sampler::Sampler;
 
 /// Cumulative counters and error statistics of a manager's run.
@@ -30,6 +47,9 @@ pub struct ManagerMetrics {
     pub last_error: f64,
     /// Training-sample size at the most recent refit.
     pub last_sample_size: usize,
+    /// Publication epoch of the snapshot the most recent refit trained
+    /// on (0 before the first refit).
+    pub last_sample_epoch: u64,
     /// Streaming mean/variance of the per-batch error series
     /// (test-then-train, so every score is out-of-sample).
     pub error_moments: OnlineMoments,
@@ -63,17 +83,16 @@ pub struct IngestReport {
 /// let mut mgr = ModelManager::new(sampler, KnnClassifier::new(7), RetrainPolicy::EveryBatch);
 /// assert_eq!(mgr.metrics().batches, 0);
 /// ```
-pub struct ModelManager<T: Clone + Send + 'static, M: OnlineModel<T>> {
+pub struct ModelManager<T: Clone + Send + Sync + 'static, M: OnlineModel<T>> {
     sampler: Sampler<T>,
     model: M,
     scheduler: RetrainScheduler,
     metrics: ManagerMetrics,
-    /// Reused realization buffer: refits read the sample from here, so
-    /// steady-state retraining allocates no fresh sample vector.
-    sample_buf: Vec<T>,
+    /// The manager's own view of the publication stream it retrains from.
+    reader: SampleReader<T>,
 }
 
-impl<T: Clone + Send + 'static, M: OnlineModel<T>> ModelManager<T, M> {
+impl<T: Clone + Send + Sync + 'static, M: OnlineModel<T>> ModelManager<T, M> {
     /// Bundle a sampler, a model, and a policy, using the default drift
     /// detector (window 10, 3σ, 5-point minimum jump — calibrated for
     /// errors expressed in percent). The detector only matters for
@@ -94,19 +113,21 @@ impl<T: Clone + Send + 'static, M: OnlineModel<T>> ModelManager<T, M> {
         policy: RetrainPolicy,
         detector: DriftDetector,
     ) -> Self {
+        let reader = sampler.reader();
         Self {
             sampler,
             model,
             scheduler: RetrainScheduler::new(policy, detector),
             metrics: ManagerMetrics::default(),
-            sample_buf: Vec::new(),
+            reader,
         }
     }
 
     /// One turn of the §6 loop: **predict** (score the arriving batch
     /// with the current model — out-of-sample by construction),
     /// **update** (feed the batch to the sampler), and **retrain** when
-    /// the policy fires (refit on the freshly realized sample).
+    /// the policy fires — by publishing an epoch snapshot and fitting on
+    /// it, so a sharded ingest pipeline never stops for the refit.
     pub fn ingest(&mut self, batch: Vec<T>) -> IngestReport {
         let batch_error = self.model.batch_error(&batch);
         self.metrics.batches += 1;
@@ -116,20 +137,46 @@ impl<T: Clone + Send + 'static, M: OnlineModel<T>> ModelManager<T, M> {
 
         self.sampler.observe(batch);
 
-        let retrained = self.scheduler.should_retrain(batch_error);
+        // `retrained` reports what actually happened, not what the policy
+        // asked for: if the publication pipeline is gone (a shard/merger
+        // died), retrain_now returns None and the refit did not occur.
+        let mut retrained = false;
         let mut sample_size = 0;
-        if retrained {
-            self.sampler.sample_into(&mut self.sample_buf);
-            sample_size = self.sample_buf.len();
-            self.model.retrain(&self.sample_buf);
-            self.metrics.retrains += 1;
-            self.metrics.last_sample_size = sample_size;
+        if self.scheduler.should_retrain(batch_error) {
+            if let Some(frozen) = self.retrain_now() {
+                retrained = true;
+                sample_size = frozen.len();
+            }
         }
         IngestReport {
             batch_error,
             retrained,
             sample_size,
         }
+    }
+
+    /// Publish a snapshot of the current sample, refit the model on it,
+    /// and return it. The snapshot stays available to every reader handle
+    /// — consumers can see exactly what the model was trained on.
+    ///
+    /// Returns `None` only if the publication could not complete (the
+    /// sampler's publisher shut down — not reachable through normal
+    /// manager use).
+    pub fn retrain_now(&mut self) -> Option<Arc<FrozenSample<T>>> {
+        let epoch = self.sampler.publish();
+        let frozen = self.reader.wait_for_epoch(epoch)?;
+        self.model.retrain(frozen.items());
+        self.metrics.retrains += 1;
+        self.metrics.last_sample_size = frozen.len();
+        self.metrics.last_sample_epoch = frozen.epoch();
+        Some(frozen)
+    }
+
+    /// A fresh read handle onto the publication stream the manager
+    /// retrains from — hand these to serving threads that want to follow
+    /// the training snapshots concurrently.
+    pub fn reader(&self) -> SampleReader<T> {
+        self.sampler.reader()
     }
 
     /// The model as trained by the most recent refit.

@@ -20,6 +20,33 @@
 //!    model-management loop (§6): per batch it scores out-of-sample,
 //!    updates the sample, and refits on a policy — every batch,
 //!    periodic, or drift-triggered.
+//! 4. **Concurrent serving.** [`Sampler::publish`] freezes the current
+//!    sample into an epoch-stamped, `Arc`-shared [`FrozenSample`], and
+//!    clonable [`SampleReader`] handles (`Send + Sync`) poll it from any
+//!    number of threads without stopping ingest — for sharded samplers
+//!    the publication runs as a barrier through the pipeline and a
+//!    background merge, so one retrain no longer stalls the stream.
+//!
+//! # Serving quickstart
+//!
+//! ```
+//! use temporal_sampling::api::SamplerConfig;
+//!
+//! let mut sampler = SamplerConfig::rtbs(0.1, 100)
+//!     .seed(1)
+//!     .build::<u64>()
+//!     .expect("valid config");
+//! let mut reader = sampler.reader(); // Send + Sync + Clone
+//! assert!(reader.latest().is_none()); // nothing published yet
+//!
+//! sampler.observe((0..500).collect());
+//! let epoch = sampler.publish();
+//! let frozen = reader.wait_for_epoch(epoch).expect("published");
+//! assert_eq!(frozen.epoch(), 1);
+//! assert!(frozen.len() <= 100);
+//! // `frozen` is immutable and Arc-shared: hand clones of `reader` to
+//! // other threads and keep ingesting here.
+//! ```
 //!
 //! # Quickstart
 //!
@@ -58,12 +85,18 @@
 mod config;
 mod error;
 mod manager;
+mod reader;
 mod sampler;
 
 pub use config::{Algorithm, SamplerConfig, TimeSemantics};
 pub use error::TbsError;
 pub use manager::{IngestReport, ManagerMetrics, ModelManager};
+pub use reader::SampleReader;
 pub use sampler::Sampler;
+
+// Published snapshots are the currency of the serving layer: `publish`
+// produces them, `SampleReader::latest` hands them out.
+pub use tbs_core::frozen::FrozenSample;
 
 // The retraining-policy vocabulary is part of this module's surface:
 // `ModelManager::new` takes a policy, `with_detector` a detector.

@@ -20,19 +20,23 @@
 
 use bytes::Bytes;
 use rand::SeedableRng;
+use std::sync::Arc;
 use tbs_core::checkpoint::{CheckpointError, Reader, Wire, Writer};
+use tbs_core::frozen::FrozenSample;
 use tbs_core::merge::ShardSpec;
 use tbs_core::{BAres, BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow};
 use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine};
+use tbs_distributed::snapshot::EpochCell;
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
 use crate::api::config::{Algorithm, SamplerConfig, TimeSemantics};
 use crate::api::error::TbsError;
+use crate::api::reader::SampleReader;
 
 /// The algorithm-specific state behind a [`Sampler`] handle. Engines are
 /// boxed so the enum's footprint stays at the size of the largest
 /// single-node sampler.
-enum Inner<T: Clone + Send + 'static> {
+enum Inner<T: Clone + Send + Sync + 'static> {
     RTbs(RTbs<T>),
     TTbs(TTbs<T>),
     BTbs(BTbs<T>),
@@ -47,7 +51,10 @@ enum Inner<T: Clone + Send + 'static> {
 
 /// A builder-configured sampler over items of type `T`; see the
 /// [`crate::api`] module docs and [`crate::api::SamplerConfig`].
-pub struct Sampler<T: Clone + Send + 'static> {
+///
+/// `T: Sync` because published snapshots ([`Sampler::publish`]) are
+/// `Arc`-shared with concurrent [`SampleReader`]s on other threads.
+pub struct Sampler<T: Clone + Send + Sync + 'static> {
     inner: Inner<T>,
     /// Drives every random draw of the single-node samplers and the
     /// realization coin of `sample`; sharded engines keep their own
@@ -56,9 +63,16 @@ pub struct Sampler<T: Clone + Send + 'static> {
     config: SamplerConfig,
     /// Batches observed through this handle (survives snapshot/restore).
     batches: u64,
+    /// Epoch-publication cell shared with every [`SampleReader`]. For
+    /// sharded engines this *is* the engine's cell (the background merger
+    /// publishes into it); single-node samplers publish synchronously.
+    cell: Arc<EpochCell<T>>,
+    /// Highest epoch requested through this handle (single-node publishes
+    /// are synchronous, so requested == published for them).
+    requested_epoch: u64,
 }
 
-impl<T: Clone + Send + 'static> std::fmt::Debug for Sampler<T> {
+impl<T: Clone + Send + Sync + 'static> std::fmt::Debug for Sampler<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sampler")
             .field("algorithm", &self.config.algorithm().label())
@@ -92,7 +106,7 @@ fn engine_config(config: &SamplerConfig) -> EngineConfig {
     }
 }
 
-impl<T: Clone + Send + 'static> Sampler<T> {
+impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// Construct from a config [`SamplerConfig::validate`] has already
     /// accepted (the only caller is [`SamplerConfig::build`]).
     pub(crate) fn from_valid_config(config: &SamplerConfig) -> Self {
@@ -137,11 +151,18 @@ impl<T: Clone + Send + 'static> Sampler<T> {
                 }
             }
         };
+        let cell = match &inner {
+            Inner::ParallelRTbs(e) => e.snapshot_cell(),
+            Inner::ParallelTTbs(e) => e.snapshot_cell(),
+            _ => Arc::new(EpochCell::new()),
+        };
         Self {
             inner,
             rng: Xoshiro256PlusPlus::seed_from_u64(config.seed),
             config,
             batches: 0,
+            cell,
+            requested_epoch: 0,
         }
     }
 
@@ -320,9 +341,101 @@ impl<T: Clone + Send + 'static> Sampler<T> {
             _ => {}
         }
     }
+
+    /// A clonable, `Send + Sync` handle for reading epoch-published
+    /// snapshots concurrently with ingest; hand one to every consumer
+    /// thread. See [`SampleReader`] for the polling contract and
+    /// [`Sampler::publish`] for how snapshots get there.
+    ///
+    /// Prefer `reader()` + [`Sampler::publish`] whenever consumers live on
+    /// other threads or reads must not stall ingest; prefer the exact
+    /// synchronous [`Sampler::sample`] when you hold `&mut self` anyway
+    /// and want the freshest possible sample with no epoch machinery.
+    pub fn reader(&self) -> SampleReader<T> {
+        SampleReader::new(Arc::clone(&self.cell))
+    }
+
+    /// Publish a snapshot of the current sample to every reader and
+    /// return its epoch number.
+    ///
+    /// For **sharded engines** this is the non-blocking barrier protocol:
+    /// the call only enqueues markers (backpressure aside) and returns
+    /// immediately; shards fork their state at the barrier and keep
+    /// ingesting while the background merger folds and publishes the
+    /// result. It consumes no randomness from the handle, and the
+    /// published sample is bit-identical to what [`Sampler::sample`]
+    /// would have returned at this exact point. Use
+    /// [`SampleReader::wait_for_epoch`] with the returned epoch to block
+    /// until it lands.
+    ///
+    /// For **single-node samplers** the handle owns the state, so the
+    /// snapshot is realized synchronously (consuming the same realization
+    /// randomness `sample()` would) and is already published when the
+    /// call returns.
+    pub fn publish(&mut self) -> u64 {
+        match &mut self.inner {
+            Inner::ParallelRTbs(e) => {
+                self.requested_epoch = e.request_snapshot();
+                return self.requested_epoch;
+            }
+            Inner::ParallelTTbs(e) => {
+                self.requested_epoch = e.request_snapshot();
+                return self.requested_epoch;
+            }
+            _ => {}
+        }
+        let items = self.sample();
+        let (total_weight, expected_size) = match &self.inner {
+            Inner::RTbs(s) => (Some(s.total_weight()), s.expected_size()),
+            Inner::TTbs(s) => (None, s.expected_size()),
+            Inner::BTbs(s) => (None, s.expected_size()),
+            Inner::Uniform(s) => (None, s.expected_size()),
+            Inner::Chao(s) => (None, s.expected_size()),
+            Inner::SlidingCount(s) => (None, s.expected_size()),
+            Inner::SlidingTime(s) => (None, s.expected_size()),
+            Inner::ARes(s) => (None, s.expected_size()),
+            Inner::ParallelRTbs(_) | Inner::ParallelTTbs(_) => unreachable!("handled above"),
+        };
+        self.requested_epoch += 1;
+        let epoch = self.requested_epoch;
+        self.cell.publish(Arc::new(FrozenSample::new(
+            epoch,
+            self.batches,
+            total_weight,
+            expected_size,
+            items,
+        )));
+        epoch
+    }
+
+    /// Highest epoch published to readers so far (0 before the first
+    /// [`Sampler::publish`] completes).
+    pub fn published_epoch(&self) -> u64 {
+        self.cell.published_epoch()
+    }
+
+    /// Highest epoch requested so far. `requested_epoch() -
+    /// published_epoch()` is the number of snapshots still in flight
+    /// (always 0 for single-node samplers).
+    pub fn requested_epoch(&self) -> u64 {
+        self.requested_epoch
+    }
 }
 
-impl<T: Wire + Send + 'static> Sampler<T> {
+impl<T: Clone + Send + Sync + 'static> Drop for Sampler<T> {
+    fn drop(&mut self) {
+        match &self.inner {
+            // The engine's merger drains in-flight barriers and then
+            // closes the shared cell itself (engine drop joins it).
+            Inner::ParallelRTbs(_) | Inner::ParallelTTbs(_) => {}
+            // Single-node: no more publications can ever arrive — wake
+            // any reader blocked in wait_for_epoch.
+            _ => self.cell.close(),
+        }
+    }
+}
+
+impl<T: Wire + Send + Sync + 'static> Sampler<T> {
     /// Serialize the handle's complete durable state — config echo,
     /// handle RNG position, batch counter, and the algorithm payload
     /// (for sharded engines: every shard's sampler + RNG substream
@@ -397,6 +510,10 @@ impl<T: Wire + Send + 'static> Sampler<T> {
                         }
                         Ok(s)
                     })?;
+                    // The facade and engine batch counters advance in
+                    // lockstep through `observe`; a blob where they
+                    // disagree was not produced by this code.
+                    check(parts.batches == batches, "engine batch count")?;
                     Inner::ParallelRTbs(Box::new(ParallelIngestEngine::from_parts(
                         engine_cfg, parts,
                     )))
@@ -412,6 +529,7 @@ impl<T: Wire + Send + 'static> Sampler<T> {
                         }
                         Ok(s)
                     })?;
+                    check(parts.batches == batches, "engine batch count")?;
                     Inner::ParallelTTbs(Box::new(ParallelIngestEngine::from_parts(
                         engine_cfg, parts,
                     )))
@@ -473,11 +591,20 @@ impl<T: Wire + Send + 'static> Sampler<T> {
         if !r.is_exhausted() {
             return Err(CheckpointError::Corrupt("trailing bytes").into());
         }
+        let cell = match &inner {
+            Inner::ParallelRTbs(e) => e.snapshot_cell(),
+            Inner::ParallelTTbs(e) => e.snapshot_cell(),
+            _ => Arc::new(EpochCell::new()),
+        };
         Ok(Self {
             inner,
             rng,
             config: *config,
             batches,
+            cell,
+            // Serving epochs are ephemeral: a restored sampler starts a
+            // fresh publication sequence (snapshots are not persisted).
+            requested_epoch: 0,
         })
     }
 }
@@ -498,6 +625,7 @@ where
     S: SaveState,
 {
     w.put_u64(parts.rotation);
+    w.put_u64(parts.batches);
     w.put_rng_state(parts.driver_rng);
     w.put_u32(parts.shard_states.len() as u32);
     for (sampler, rng_state) in &parts.shard_states {
@@ -514,6 +642,7 @@ fn load_engine<S>(
     mut load_shard: impl FnMut(&mut Reader) -> Result<S, CheckpointError>,
 ) -> Result<EngineCheckpoint<S>, CheckpointError> {
     let rotation = r.get_u64()?;
+    let batches = r.get_u64()?;
     let driver_rng = r.get_rng_state()?;
     let n = r.get_u32()? as usize;
     if n != expect_shards {
@@ -528,6 +657,7 @@ fn load_engine<S>(
         shard_states,
         driver_rng,
         rotation,
+        batches,
     })
 }
 

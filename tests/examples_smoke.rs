@@ -35,4 +35,5 @@ example_smoke! {
     distributed_cluster_runs => (distributed_cluster, "../examples/distributed_cluster.rs");
     parallel_ingest_runs => (parallel_ingest, "../examples/parallel_ingest.rs");
     checkpoint_resume_runs => (checkpoint_resume, "../examples/checkpoint_resume.rs");
+    concurrent_serving_runs => (concurrent_serving, "../examples/concurrent_serving.rs");
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for `arc-swap`: a slot holding an `Arc<T>` that can be
+//! read and replaced atomically from any number of threads.
+//!
+//! **API deviation from upstream:** upstream `arc-swap` serves lock-free
+//! reads through hazard-pointer-style debt tracking; over safe standard
+//! library primitives (`unsafe_code` is denied workspace-wide) the slot is
+//! a `std::sync::Mutex<Arc<T>>` whose critical section is a single
+//! refcount increment or pointer swap — a few nanoseconds, never held
+//! across user code. The subset implemented here (`new` / `load_full` /
+//! `store` / `swap` / `into_inner`) matches upstream signatures, so
+//! swapping in the real crate is a `[workspace.dependencies]` one-liner.
+//! Callers that need cheap *repeated* polling should pair the slot with a
+//! monotonic version counter and only touch the slot when the version
+//! moves — that is exactly what `tbs_distributed::snapshot::EpochCell`
+//! does.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A slot always holding one `Arc<T>`, readable and replaceable atomically.
+#[derive(Debug, Default)]
+pub struct ArcSwap<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Create a slot holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// Clone out the current value (a refcount bump, not a deep copy).
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.lock())
+    }
+
+    /// Replace the current value, dropping the previous one.
+    pub fn store(&self, value: Arc<T>) {
+        *self.lock() = value;
+    }
+
+    /// Replace the current value and return the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut self.lock(), value)
+    }
+
+    /// Consume the slot and return its value.
+    pub fn into_inner(self) -> Arc<T> {
+        self.slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Arc<T>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A slot holding `Option<Arc<T>>` — an [`ArcSwap`] that can be empty.
+#[derive(Debug)]
+pub struct ArcSwapOption<T> {
+    slot: Mutex<Option<Arc<T>>>,
+}
+
+impl<T> Default for ArcSwapOption<T> {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+impl<T> ArcSwapOption<T> {
+    /// Create a slot holding `value`.
+    pub fn new(value: Option<Arc<T>>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// An initially empty slot.
+    pub fn empty() -> Self {
+        Self::new(None)
+    }
+
+    /// Clone out the current value, if any.
+    pub fn load_full(&self) -> Option<Arc<T>> {
+        self.lock().clone()
+    }
+
+    /// Replace the current value, dropping the previous one.
+    pub fn store(&self, value: Option<Arc<T>>) {
+        *self.lock() = value;
+    }
+
+    /// Replace the current value and return the previous one.
+    pub fn swap(&self, value: Option<Arc<T>>) -> Option<Arc<T>> {
+        std::mem::replace(&mut self.lock(), value)
+    }
+
+    /// Consume the slot and return its value.
+    pub fn into_inner(self) -> Option<Arc<T>> {
+        self.slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Arc<T>>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap_roundtrip() {
+        let s = ArcSwap::new(Arc::new(1u32));
+        assert_eq!(*s.load_full(), 1);
+        s.store(Arc::new(2));
+        assert_eq!(*s.load_full(), 2);
+        let old = s.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*s.into_inner(), 3);
+    }
+
+    #[test]
+    fn option_slot_starts_empty_and_fills() {
+        let s: ArcSwapOption<String> = ArcSwapOption::empty();
+        assert!(s.load_full().is_none());
+        s.store(Some(Arc::new("hi".to_string())));
+        assert_eq!(s.load_full().unwrap().as_str(), "hi");
+        assert_eq!(s.swap(None).unwrap().as_str(), "hi");
+        assert!(s.into_inner().is_none());
+    }
+
+    #[test]
+    fn loads_share_the_same_allocation() {
+        let s = ArcSwap::new(Arc::new(vec![1, 2, 3]));
+        let a = s.load_full();
+        let b = s.load_full();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_readers_see_whole_values() {
+        // Writers alternate two self-consistent values; readers must never
+        // observe a mix.
+        let s = Arc::new(ArcSwap::new(Arc::new((1u64, 10u64))));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let v = s.load_full();
+                        assert_eq!(v.1, v.0 * 10);
+                    }
+                })
+            })
+            .collect();
+        for i in 1..500u64 {
+            s.store(Arc::new((i, i * 10)));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}
