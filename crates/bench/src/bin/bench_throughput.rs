@@ -12,14 +12,17 @@
 //! * `--smoke` — tiny iteration counts; writes to
 //!   `results/BENCH_throughput_smoke.json` instead of the repo root so a
 //!   smoke run never clobbers the committed baseline.
+//! * `--thorough` — long-form counts (3× batches, 7 repeats) for
+//!   low-noise baseline refreshes; same gates and output path as a full
+//!   run, just slower and steadier.
 //! * `--json <path>` — explicit output path for the JSON document.
 //! * `--batches <n>` / `--warmup <n>` / `--repeats <n>` — override the
 //!   measurement sizes.
 
 use std::path::PathBuf;
 use tbs_bench::experiments::throughput::{
-    check_facade_overhead, report, rows_to_json, run_throughput_filtered, ThroughputConfig,
-    THROUGHPUT_ROW_KEYS,
+    check_facade_overhead, check_jump_speedup, report, rows_to_json, run_throughput_filtered,
+    ThroughputConfig, THROUGHPUT_ROW_KEYS,
 };
 use tbs_bench::json::validate_bench_doc;
 use tbs_bench::output::{results_dir, workspace_root};
@@ -47,6 +50,7 @@ fn main() {
                 smoke = true;
                 cfg = ThroughputConfig::smoke();
             }
+            "--thorough" => cfg = ThroughputConfig::thorough(),
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
@@ -67,7 +71,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_throughput [--smoke] [--json PATH] \
+                    "usage: bench_throughput [--smoke] [--thorough] [--json PATH] \
                      [--batches N] [--warmup N] [--repeats N] [--filter NAME]"
                 );
                 std::process::exit(2);
@@ -90,6 +94,18 @@ fn main() {
                 ratio * 100.0
             ),
             Err(msg) if smoke => println!("api facade (not gated on --smoke runs): {msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        // Perf gate: jump-ahead ingest must be worth its complexity —
+        // ≥2× the per-item fast path on the saturated R-TBS flagship.
+        match check_jump_speedup(&rows, 2.0) {
+            Ok(speedup) => println!(
+                "jump ingest: R-TBS saturated at {speedup:.2}× the per-item fast path (≥2× gate)"
+            ),
+            Err(msg) if smoke => println!("jump ingest (not gated on --smoke runs): {msg}"),
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(1);

@@ -31,7 +31,8 @@ use crate::json::Json;
 use crate::output::{f, print_table, write_csv};
 use std::time::Instant;
 use tbs_core::{
-    BAres, BChao, BTbs, BatchSampler, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow,
+    BAres, BChao, BTbs, BatchSampler, BatchedReservoir, CountWindow, IngestMode, RTbs, TTbs,
+    TimeWindow,
 };
 use tbs_stats::rng::Xoshiro256PlusPlus;
 use temporal_sampling::api::SamplerConfig;
@@ -67,6 +68,18 @@ impl Default for ThroughputConfig {
 }
 
 impl ThroughputConfig {
+    /// Long-form counts for low-noise baseline refreshes: more measured
+    /// batches and repeats push the minimum-time estimator closer to the
+    /// true floor at the cost of a several-fold longer run.
+    pub fn thorough() -> Self {
+        Self {
+            measured_batches: 60_000,
+            warmup_batches: 5_000,
+            repeats: 7,
+            ..Self::default()
+        }
+    }
+
     /// Tiny iteration counts for CI smoke runs: verifies the harness end to
     /// end in milliseconds without producing meaningful numbers.
     pub fn smoke() -> Self {
@@ -166,15 +179,36 @@ pub enum ApiPath {
     /// owning its RNG. Must stay within ±10% of `fast` (the enum match
     /// is a jump table, not a vtable).
     Facade,
+    /// The monomorphized fast path with `IngestMode::Jump`: batch-level
+    /// acceptance sampling (binomial counts + windowed swaps, geometric
+    /// skips) instead of per-item RNG draws. Only R-TBS and T-TBS
+    /// implement it; the saturated R-TBS row is gated at ≥ 2× the
+    /// per-item `fast` row measured in the same run.
+    Jump,
 }
 
 impl ApiPath {
+    /// All paths, in report order.
+    pub fn all() -> [ApiPath; 4] {
+        [ApiPath::Fast, ApiPath::Dyn, ApiPath::Facade, ApiPath::Jump]
+    }
+
     /// Label used in CSV/JSON output.
     pub fn label(self) -> &'static str {
         match self {
             ApiPath::Fast => "fast",
             ApiPath::Dyn => "dyn",
             ApiPath::Facade => "facade",
+            ApiPath::Jump => "jump",
+        }
+    }
+
+    /// Whether `kind` implements this path (`jump` exists only for the
+    /// two mergeable TBS samplers).
+    pub fn supports(self, kind: SamplerKind) -> bool {
+        match self {
+            ApiPath::Jump => matches!(kind, SamplerKind::RTbs | SamplerKind::TTbs),
+            _ => true,
         }
     }
 }
@@ -355,6 +389,22 @@ pub fn measure_one(
                 .expect("benchmark configs are valid");
             drive(cfg, regime, seed, move |batch, _rng| s.observe(batch))
         }
+        // The jump path is the fast path with batch-level acceptance
+        // sampling switched on — same concrete types, different ingest
+        // strategy.
+        ApiPath::Jump => match kind {
+            SamplerKind::RTbs => {
+                let mut s: RTbs<u64> = RTbs::new(lambda, n);
+                s.set_ingest_mode(IngestMode::Jump);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            SamplerKind::TTbs => {
+                let mut s: TTbs<u64> = TTbs::new(lambda, regime.ttbs_target(), regime.mean_batch());
+                s.set_ingest_mode(IngestMode::Jump);
+                drive(cfg, regime, seed, move |batch, rng| s.observe(batch, rng))
+            }
+            other => panic!("{} has no jump ingest mode", other.label()),
+        },
         // Each arm below monomorphizes `observe` over the concrete sampler
         // type and the concrete xoshiro256++ RNG — no virtual dispatch
         // anywhere inside the timed loop.
@@ -418,9 +468,9 @@ pub fn run_throughput_filtered(
 ) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for kind in SamplerKind::all() {
-        for path in [ApiPath::Fast, ApiPath::Dyn, ApiPath::Facade] {
+        for path in ApiPath::all() {
             for regime in Regime::all() {
-                if keep(kind, path, regime) {
+                if path.supports(kind) && keep(kind, path, regime) {
                     rows.push(measure_one(cfg, kind, path, regime));
                 }
             }
@@ -541,6 +591,34 @@ pub fn check_facade_overhead(rows: &[ThroughputRow], tolerance: f64) -> Result<f
     Ok(ratio)
 }
 
+/// Check that the `jump` path's flagship row (saturated R-TBS) is at
+/// least `min_speedup`× the per-item `fast` path measured in the same
+/// run — the tentpole claim of the jump-ingest mode. Comparing within
+/// one run keeps the gate machine-independent; the committed
+/// `BENCH_throughput.json` preserves the absolute numbers (the per-item
+/// baseline there is 254.7M per-item vs 723.2M jump). Returns the jump/fast ratio.
+pub fn check_jump_speedup(rows: &[ThroughputRow], min_speedup: f64) -> Result<f64, String> {
+    let find = |path: &str| {
+        rows.iter()
+            .find(|r| r.sampler == "R-TBS" && r.regime == "saturated" && r.path == path)
+            .ok_or_else(|| format!("no R-TBS/saturated/{path} row in this run"))
+    };
+    let fast = find("fast")?;
+    let jump = find("jump")?;
+    let ratio = jump.items_per_sec / fast.items_per_sec;
+    if ratio < min_speedup {
+        return Err(format!(
+            "jump-mode R-TBS saturated ingest is only {:.1}M items/s \
+             ({:.2}× the per-item fast path's {:.1}M — gate is {:.1}×)",
+            jump.items_per_sec / 1e6,
+            ratio,
+            fast.items_per_sec / 1e6,
+            min_speedup
+        ));
+    }
+    Ok(ratio)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,7 +627,10 @@ mod tests {
     fn smoke_grid_produces_sane_rows() {
         let cfg = ThroughputConfig::smoke();
         let rows = run_throughput(&cfg);
-        assert_eq!(rows.len(), 8 * 3 * 3);
+        // 8 samplers × 3 per-item paths × 3 regimes, plus jump rows for
+        // the two samplers that implement the mode.
+        assert_eq!(rows.len(), 8 * 3 * 3 + 2 * 3);
+        assert_eq!(rows.iter().filter(|r| r.path == "jump").count(), 6);
         for r in &rows {
             assert!(
                 r.items > 0,

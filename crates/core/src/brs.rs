@@ -167,7 +167,7 @@ adapt_batch_sampler!(BatchedReservoir);
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use tbs_stats::chi2::chi2_statistic_exceeds;
+    use tbs_stats::gof::chi2_rejects;
     use tbs_stats::rng::Xoshiro256PlusPlus;
 
     #[test]
@@ -209,7 +209,7 @@ mod tests {
         // Expected count per batch = trials * cap / batches.
         let expected = vec![(trials * cap / batches) as f64; batches];
         assert!(
-            !chi2_statistic_exceeds(&batch_counts, &expected, 5.0, 1e-4),
+            !chi2_rejects(&batch_counts, &expected),
             "reservoir not uniform across batches: {batch_counts:?}"
         );
     }

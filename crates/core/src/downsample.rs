@@ -16,7 +16,7 @@
 //! integer part of the weight changes, handling the partial item exactly.
 
 use crate::latent::LatentSample;
-use crate::util::retain_random;
+use crate::util::{retain_random, retain_random_cheap};
 use rand::Rng;
 
 /// Downsample `latent` in place from its current weight `C` to `target = C′`.
@@ -28,6 +28,25 @@ use rand::Rng;
 ///
 /// Panics if `target` is not in `(0, C]`.
 pub fn downsample<T, R: Rng + ?Sized>(latent: &mut LatentSample<T>, target: f64, rng: &mut R) {
+    downsample_with(latent, target, rng, false);
+}
+
+/// [`downsample`] with a choice of retention sweep. With `cheap = true`
+/// the full-item retention draws only `min(k, len − k)` random indices
+/// (complement-side Fisher–Yates, see
+/// [`retain_random_cheap`](crate::util)): in R-TBS's per-step decay the
+/// survivor count `k ≈ e^{−λ}·len` is nearly everything, so sweeping the
+/// few *deleted* items costs ~`λ·len` draws instead of `len`. A uniform
+/// subset's complement is itself uniform, so both sweeps keep a uniform
+/// `k`-subset — the distribution of the result is identical, only the
+/// RNG stream differs. Jump-mode ingest uses the cheap side; the default
+/// path keeps the historical stream.
+pub(crate) fn downsample_with<T, R: Rng + ?Sized>(
+    latent: &mut LatentSample<T>,
+    target: f64,
+    rng: &mut R,
+    cheap: bool,
+) {
     let c = latent.weight();
     let c_prime = target;
     assert!(
@@ -62,15 +81,20 @@ pub fn downsample<T, R: Rng + ?Sized>(latent: &mut LatentSample<T>, target: f64,
         }
     } else {
         // 0 < ⌊C′⌋ < ⌊C⌋: some full items are deleted.
+        let retain: fn(&mut Vec<T>, usize, &mut R) = if cheap {
+            retain_random_cheap
+        } else {
+            retain_random
+        };
         if u <= (c_prime / c) * frac_c {
             // Retain the partial item by promoting it to full: keep ⌊C′⌋
             // random full items, then swap the partial in.
-            retain_random(latent.full_mut(), floor_c_prime, rng);
+            retain(latent.full_mut(), floor_c_prime, rng);
             latent.swap1(rng);
         } else {
             // Eject the partial item: keep ⌊C′⌋ + 1 random full items and
             // demote one of them to partial (overwriting π).
-            retain_random(latent.full_mut(), floor_c_prime + 1, rng);
+            retain(latent.full_mut(), floor_c_prime + 1, rng);
             latent.move1(rng);
         }
     }

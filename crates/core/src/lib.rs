@@ -101,6 +101,7 @@ pub mod checkpoint;
 pub mod downsample;
 pub mod forward;
 pub mod frozen;
+pub mod jumps;
 pub mod latent;
 pub mod merge;
 pub mod rtbs;
@@ -117,6 +118,7 @@ pub use btbs::BTbs;
 pub use chao::BChao;
 pub use forward::{DecayGauge, ExponentialGauge, ForwardDecayRTbs, PolynomialGauge};
 pub use frozen::FrozenSample;
+pub use jumps::{IngestMode, JumpCursor};
 pub use latent::LatentSample;
 pub use merge::{partition_batch, MergeableSample, ShardSpec};
 pub use rtbs::RTbs;

@@ -19,11 +19,13 @@
 //! whether the reservoir is *saturated* (`W ≥ n`) before and after.
 
 use crate::checkpoint::{check_non_negative, CheckpointError, Reader, Wire, Writer};
-use crate::downsample::downsample;
+use crate::downsample::downsample_with;
+use crate::jumps::IngestMode;
 use crate::latent::LatentSample;
 use crate::traits::{adapt_batch_sampler, adapt_timed_batch_sampler, check_gap};
-use crate::util::DecayCache;
+use crate::util::{uniform_index, DecayCache};
 use rand::Rng;
+use tbs_stats::binomial::CachedBinomial;
 use tbs_stats::rounding::stochastic_round;
 
 /// Reservoir-based time-biased sampler with decay rate λ and capacity `n`.
@@ -47,6 +49,11 @@ pub struct RTbs<T> {
     decay: DecayCache,
     capacity: usize,
     steps: u64,
+    mode: IngestMode,
+    /// Memoized BINV setup for the jump path's per-batch accept-count
+    /// draw; pure acceleration state (never persisted, draw-for-draw
+    /// identical to the one-shot sampler).
+    binom: CachedBinomial,
 }
 
 impl<T> RTbs<T> {
@@ -67,7 +74,24 @@ impl<T> RTbs<T> {
             decay: DecayCache::new(lambda),
             capacity,
             steps: 0,
+            mode: IngestMode::PerItem,
+            binom: CachedBinomial::new(),
         }
+    }
+
+    /// The active [`IngestMode`].
+    pub fn ingest_mode(&self) -> IngestMode {
+        self.mode
+    }
+
+    /// Switch between per-item and jump-ahead ingest. The mode is a
+    /// *strategy*, not sampler identity: it may be flipped at any batch
+    /// boundary (including after a checkpoint restore) and both modes
+    /// realize the same Theorem 4.2 inclusion probabilities — they just
+    /// spend the RNG stream differently. Not persisted by
+    /// [`Self::save_state`]; restore paths re-apply the caller's config.
+    pub fn set_ingest_mode(&mut self, mode: IngestMode) {
+        self.mode = mode;
     }
 
     /// Create a sampler pre-loaded with an initial sample `A₀`
@@ -204,12 +228,19 @@ impl<T> RTbs<T> {
         let n = self.capacity as f64;
         let batch_size = batch.len();
 
+        // Jump mode spends randomness per batch instead of per item; the
+        // retention sweeps inside `downsample` switch to complement-side
+        // draws, and the saturated→saturated transition below replaces the
+        // per-victim Fisher–Yates loop with a binomial count plus windowed
+        // segment swaps (see `crate::jumps` for the equivalence argument).
+        let cheap = self.mode == IngestMode::Jump;
+
         if self.total_weight < n {
             // ——— Previously unsaturated: C = W. ———
             self.total_weight *= decay; // line 6: decay current items
             if self.total_weight > 0.0 && !self.latent.is_empty() {
                 // line 8: downsample to the decayed weight
-                downsample(&mut self.latent, self.total_weight, rng);
+                downsample_with(&mut self.latent, self.total_weight, rng, cheap);
             } else if self.total_weight == 0.0 {
                 self.latent.clear();
             }
@@ -218,29 +249,47 @@ impl<T> RTbs<T> {
             self.total_weight += batch_size as f64;
             if self.total_weight > n {
                 // line 12: overshoot — downsample to n; now saturated.
-                downsample(&mut self.latent, n, rng);
+                downsample_with(&mut self.latent, n, rng, cheap);
             }
         } else {
             // ——— Previously saturated: C = n, no partial item. ———
             let new_weight = self.total_weight * decay + batch_size as f64; // line 14
             if new_weight >= n {
-                // Still saturated: accept each batch item w.p. n/W via a
-                // single stochastically rounded count (lines 16-17), then
-                // swap the accepted items over uniformly chosen victims in
-                // place — no intermediate vectors. The evicted victims are
-                // swapped back into `batch`, whose leftover contents the
-                // caller discards.
-                let m_exact = batch_size as f64 * n / new_weight;
-                let m = (stochastic_round(rng, m_exact) as usize)
-                    .min(batch_size)
-                    .min(self.capacity);
-                self.latent.replace_random_full_from(batch, m, rng);
+                if cheap && batch_size <= self.capacity && self.latent.frac() == 0.0 {
+                    // Jump path: each batch item is accepted independently
+                    // w.p. p = n/W, so draw the accept *count* exactly as
+                    // M ~ Binomial(|B|, p) and exchange a random donor
+                    // window against a random victim window — three RNG
+                    // draws and a couple of `memcpy`-grade segment swaps
+                    // for the whole batch. Guarded on |B| ≤ n so M can
+                    // never exceed the victim pool (when it could, the
+                    // per-item path below handles the batch instead).
+                    let p = (n / new_weight).min(1.0);
+                    let m = self.binom.draw(rng, batch_size as u64, p) as usize;
+                    if m > 0 {
+                        let c = uniform_index(rng, self.latent.full_items().len());
+                        let r = uniform_index(rng, batch_size);
+                        self.latent.replace_window_from(batch, m, c, r);
+                    }
+                } else {
+                    // Per-item path: accept each batch item w.p. n/W via a
+                    // single stochastically rounded count (lines 16-17),
+                    // then swap the accepted items over uniformly chosen
+                    // victims in place — no intermediate vectors. The
+                    // evicted victims are swapped back into `batch`, whose
+                    // leftover contents the caller discards.
+                    let m_exact = batch_size as f64 * n / new_weight;
+                    let m = (stochastic_round(rng, m_exact) as usize)
+                        .min(batch_size)
+                        .min(self.capacity);
+                    self.latent.replace_random_full_from(batch, m, rng);
+                }
             } else {
                 // Undershoot: shrink the old sample to the decayed weight
                 // W' = W_new − |B_t|, then accept the batch as full items
                 // (lines 19-20); now unsaturated with C = W again.
                 let decayed_old = new_weight - batch_size as f64;
-                downsample(&mut self.latent, decayed_old, rng);
+                downsample_with(&mut self.latent, decayed_old, rng, cheap);
                 self.latent.push_full(batch.drain(..));
             }
             self.total_weight = new_weight;
@@ -278,6 +327,8 @@ impl<T> RTbs<T> {
             decay: DecayCache::new(lambda),
             capacity,
             steps,
+            mode: IngestMode::PerItem,
+            binom: CachedBinomial::new(),
         };
         debug_assert!(s.latent.check_invariants().is_ok());
         s
@@ -333,6 +384,8 @@ impl<T: Wire> RTbs<T> {
             decay: DecayCache::new(lambda),
             capacity,
             steps,
+            mode: IngestMode::PerItem,
+            binom: CachedBinomial::new(),
         })
     }
 }

@@ -71,6 +71,32 @@ pub fn retain_random<T, R: Rng + ?Sized>(items: &mut Vec<T>, m: usize, rng: &mut
     items.truncate(m);
 }
 
+/// [`retain_random`] drawing only `min(m, len − m)` random indices: when
+/// the kept subset is the majority, it is the *discarded* complement that
+/// is swept into the prefix and the kept subset is the suffix, which is
+/// then shifted down in one bulk move. A uniform subset's complement is
+/// itself uniform, so the retained set has exactly the same distribution
+/// as [`retain_random`]'s — only the RNG stream differs (which is why
+/// jump-mode ingest opts in explicitly rather than this replacing the
+/// historical path). R-TBS's per-step decay retention keeps
+/// `k ≈ e^{−λ}·len` of `len` items, so this turns ~`len` draws per batch
+/// into ~`λ·len`.
+pub fn retain_random_cheap<T, R: Rng + ?Sized>(items: &mut Vec<T>, m: usize, rng: &mut R) {
+    let m = m.min(items.len());
+    let len = items.len();
+    if 2 * m <= len {
+        retain_random(items, m, rng);
+        return;
+    }
+    // Sweep the discarded minority into the prefix, keep the suffix.
+    let discard = len - m;
+    for i in 0..discard {
+        let j = i + uniform_index(rng, len - i);
+        items.swap(i, j);
+    }
+    items.drain(..discard);
+}
+
 /// Return a uniform random sample of `min(m, items.len())` *cloned* elements,
 /// leaving `items` untouched.
 pub fn sample_clone<T: Clone, R: Rng + ?Sized>(items: &[T], m: usize, rng: &mut R) -> Vec<T> {
@@ -220,7 +246,7 @@ impl DecayCache {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use tbs_stats::chi2::chi2_statistic_exceeds;
+    use tbs_stats::gof::chi2_rejects;
     use tbs_stats::rng::Xoshiro256PlusPlus;
 
     #[test]
@@ -288,7 +314,41 @@ mod tests {
             }
         }
         let expected = vec![trials as f64 * 0.4; 10];
-        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+        assert!(!chi2_rejects(&counts, &expected));
+    }
+
+    #[test]
+    fn retain_cheap_keeps_subset_on_both_paths() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(30);
+        // m < len/2 delegates to retain_random; m > len/2 sweeps the
+        // complement; plus the m = 0 / m = len / m > len edges.
+        for (len, m) in [(100usize, 30usize), (100, 70), (10, 0), (10, 10), (10, 99)] {
+            let mut items: Vec<u32> = (0..len as u32).collect();
+            retain_random_cheap(&mut items, m, &mut rng);
+            assert_eq!(items.len(), m.min(len));
+            let set: std::collections::HashSet<_> = items.iter().collect();
+            assert_eq!(set.len(), items.len(), "duplicates introduced");
+            assert!(items.iter().all(|&x| x < len as u32));
+        }
+    }
+
+    #[test]
+    fn retain_cheap_majority_path_is_uniform() {
+        // The complement-sweep path (keep 7 of 10) must retain each
+        // element with the same probability as the direct sweep — a
+        // uniform subset's complement is itself uniform.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(31);
+        let trials = 60_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..trials {
+            let mut items: Vec<usize> = (0..10).collect();
+            retain_random_cheap(&mut items, 7, &mut rng);
+            for &i in &items {
+                counts[i] += 1;
+            }
+        }
+        let expected = vec![trials as f64 * 0.7; 10];
+        assert!(!chi2_rejects(&counts, &expected));
     }
 
     #[test]
@@ -303,7 +363,7 @@ mod tests {
             }
         }
         let expected = vec![trials as f64 * 3.0 / 8.0; 8];
-        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+        assert!(!chi2_rejects(&counts, &expected));
     }
 
     #[test]
@@ -330,7 +390,7 @@ mod tests {
             }
         }
         let expected = vec![trials as f64 * 2.0 / 40.0; 40];
-        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+        assert!(!chi2_rejects(&counts, &expected));
     }
 
     #[test]
@@ -391,7 +451,7 @@ mod tests {
             }
         }
         let expected = vec![trials as f64 * 3.0 / 40.0; 40];
-        assert!(!chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4));
+        assert!(!chi2_rejects(&counts, &expected));
     }
 
     #[test]

@@ -55,6 +55,102 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     }
 }
 
+/// A binomial sampler that memoizes the BINV setup across draws.
+///
+/// The one-shot [`binomial`] recomputes `q^n` (a `powf`) on every BINV-path
+/// call. Ingest hot loops draw `Binomial(b, p)` once per batch with the
+/// *same* `(n, p)` for long runs — at saturation equilibrium the R-TBS
+/// acceptance probability `n/W_t` is constant to f64 precision — so the
+/// setup can be hoisted out of the loop. The cached path is
+/// **draw-for-draw identical** to [`binomial`]: it shares the same
+/// `binv_from` walk and consumes the same RNG stream, so switching to
+/// the cache never changes a sampled trajectory.
+///
+/// BTPE-regime parameters (`n·min(p,1−p) ≥ 10`) fall through to the
+/// one-shot sampler, whose envelope setup is already amortized by its
+/// O(1) rejection loop.
+#[derive(Debug, Clone)]
+pub struct CachedBinomial {
+    n: u64,
+    p: f64,
+    /// `(s, a, f0)` of the left-tailed BINV recursion when the cached
+    /// parameters are in BINV territory; `None` routes to BTPE.
+    binv: Option<(f64, f64, f64)>,
+    flipped: bool,
+}
+
+impl Default for CachedBinomial {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachedBinomial {
+    /// Create an empty cache; the first draw populates it.
+    pub fn new() -> Self {
+        CachedBinomial {
+            n: 0,
+            // NaN compares unequal to everything (itself included), so the
+            // first draw always rebuilds.
+            p: f64::NAN,
+            binv: None,
+            flipped: false,
+        }
+    }
+
+    /// Draw `Binomial(n, p)`, reusing the memoized setup when `(n, p)`
+    /// matches the previous draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability (outside `[0, 1]` or NaN).
+    #[inline]
+    pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R, n: u64, p: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial success probability must lie in [0,1], got {p}"
+        );
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        if n != self.n || p != self.p {
+            self.rebuild(n, p);
+        }
+        let result = match self.binv {
+            Some((s, a, f0)) => binv_from(rng, n, s, a, f0),
+            None => {
+                let q = if self.flipped { 1.0 - p } else { p };
+                btpe(rng, n, q)
+            }
+        };
+        if self.flipped {
+            n - result
+        } else {
+            result
+        }
+    }
+
+    #[cold]
+    fn rebuild(&mut self, n: u64, p: f64) {
+        self.n = n;
+        self.p = p;
+        self.flipped = p > 0.5;
+        let q = if self.flipped { 1.0 - p } else { p };
+        self.binv = if (n as f64) * q < BINV_THRESHOLD {
+            let qq = 1.0 - q;
+            let s = q / qq;
+            let a = (n as f64 + 1.0) * s;
+            let f0 = qq.powf(n as f64);
+            Some((s, a, f0))
+        } else {
+            None
+        };
+    }
+}
+
 /// BINV: sequential cdf inversion from zero. Requires `p ≤ 0.5`.
 fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     debug_assert!(p <= 0.5);
@@ -66,6 +162,14 @@ fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     // unless n is astronomically large; in that rare case fall through to a
     // loop bounded by n.
     let f = q.powf(n as f64);
+    binv_from(rng, n, s, a, f)
+}
+
+/// The BINV inversion walk with precomputed `(s, a, f0)` — shared by
+/// [`binv`] and [`CachedBinomial`], so the cached path is draw-for-draw
+/// identical to the one-shot path.
+#[inline]
+fn binv_from<R: Rng + ?Sized>(rng: &mut R, n: u64, s: f64, a: f64, f: f64) -> u64 {
     loop {
         // Restart if the u draw exceeds the accumulated mass due to rounding
         // (probability ~1e-16 per draw).
@@ -225,7 +329,7 @@ fn _check_correction_consistency(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chi2::chi2_statistic_exceeds;
+    use crate::gof::chi2_rejects;
     use crate::rng::Xoshiro256PlusPlus;
     use crate::special::ln_choose;
     use rand::SeedableRng;
@@ -244,7 +348,7 @@ mod tests {
         }
         // Bin the support into cells with expected count >= 5 and chi-square.
         let expected: Vec<f64> = (0..=n).map(|k| exact_pmf(n, p, k) * draws as f64).collect();
-        let exceeded = chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4);
+        let exceeded = chi2_rejects(&counts, &expected);
         assert!(
             !exceeded,
             "binomial({n},{p}) empirical distribution fails chi-square"
@@ -327,6 +431,41 @@ mod tests {
         for &x in &[11.0, 25.0, 100.0, 1000.0] {
             assert!(super::_check_correction_consistency(x).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cached_binomial_is_stream_identical() {
+        // The cache must consume the same RNG stream and return the same
+        // variates as the one-shot sampler, across BINV, BTPE, flipped and
+        // degenerate parameters, including parameter switches mid-stream.
+        let params: Vec<(u64, f64)> = vec![
+            (100, 0.05), // BINV
+            (100, 0.05),
+            (100, 0.95), // BINV after flip
+            (500, 0.4),  // BTPE
+            (500, 0.4),
+            (0, 0.3),  // degenerate n
+            (10, 0.0), // degenerate p
+            (10, 1.0), // degenerate p
+            (100, 0.05),
+        ];
+        let mut rng_a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut rng_b = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut cache = CachedBinomial::new();
+        for &(n, p) in &params {
+            for _ in 0..200 {
+                let one_shot = binomial(&mut rng_a, n, p);
+                let cached = cache.draw(&mut rng_b, n, p);
+                assert_eq!(one_shot, cached, "divergence at n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0,1]")]
+    fn cached_rejects_invalid_probability() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        CachedBinomial::new().draw(&mut rng, 10, -0.1);
     }
 
     #[test]

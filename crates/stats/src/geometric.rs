@@ -1,0 +1,144 @@
+//! Exact geometric and exponential variates via cdf inversion.
+//!
+//! The jump-ahead ingest mode (see `tbs-core::jumps`) replaces per-item
+//! `Bernoulli(q)` acceptance trials with the *gaps* between acceptances:
+//! for iid trials the number of failures before the next success is
+//! `Geometric(q)`, so one draw here skips a whole run of rejected items —
+//! the A-ExpJ idiom of Efraimidis & Spirakis (2006), where the analogous
+//! exponential jump skips over reservoir non-entries.
+//!
+//! Both samplers are *exact* inversions of the target cdf (no
+//! approximation): `⌊ln U / ln(1−p)⌋` has exactly the geometric pmf
+//! `p(1−p)^k`, and `−ln U / rate` exactly the exponential density.
+
+use rand::Rng;
+
+/// Draw a geometric variate: the number of **failures before the first
+/// success** in iid Bernoulli(`p`) trials, supported on `{0, 1, 2, …}`
+/// with pmf `p·(1−p)^k`.
+///
+/// Sampled by inverting the cdf: `⌊ln U / ln(1−p)⌋` for `U ~ (0, 1]`,
+/// which is exact for every representable `p`. Counts beyond `u64::MAX`
+/// (reachable only for sub-denormal `p`) saturate.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or is NaN.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "geometric success probability must lie in (0,1], got {p}"
+    );
+    if p == 1.0 {
+        return 0;
+    }
+    // rng.gen::<f64>() is uniform on [0, 1); mapping U ↦ 1 − U gives
+    // (0, 1], keeping ln finite.
+    let u = 1.0 - rng.gen::<f64>();
+    let k = u.ln() / (1.0 - p).ln();
+    // f64 → u64 casts saturate in Rust, handling the sub-denormal-p tail.
+    k as u64
+}
+
+/// Draw an exponential variate with the given `rate` (mean `1/rate`), by
+/// inversion: `−ln U / rate` for `U ~ (0, 1]`.
+///
+/// This is the continuous-time jump of A-ExpJ: for gap-timed streams the
+/// waiting time to the next acceptance under intensity `rate` is
+/// exponential, and one draw advances the clock over the whole quiet run.
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be finite and positive, got {rate}"
+    );
+    let u = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gof;
+    use crate::rng::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certain_success_never_skips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut rng, 1.0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0,1]")]
+    fn rejects_zero_probability() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        geometric(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn geometric_matches_exact_pmf() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for &p in &[0.05, 0.3, 0.7] {
+            let draws = 200_000usize;
+            let support = (40.0 / p) as usize;
+            let mut counts = vec![0u64; support + 1];
+            for _ in 0..draws {
+                let k = (geometric(&mut rng, p) as usize).min(support);
+                counts[k] += 1;
+            }
+            // pmf p(1−p)^k, with the final cell absorbing the tail mass.
+            let mut expected: Vec<f64> = (0..=support)
+                .map(|k| p * (1.0 - p).powi(k as i32) * draws as f64)
+                .collect();
+            let tail = draws as f64 - expected[..support].iter().sum::<f64>();
+            expected[support] = tail.max(0.0);
+            assert!(
+                !gof::chi2_rejects(&counts, &expected),
+                "geometric({p}) empirical distribution fails chi-square"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        // E[G] = (1−p)/p.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let p = 0.2;
+        let draws = 100_000;
+        let sum: u64 = (0..draws).map(|_| geometric(&mut rng, p)).sum();
+        let mean = sum as f64 / draws as f64;
+        let expect = (1.0 - p) / p;
+        assert!((mean - expect).abs() < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn exponential_mean_and_median() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let rate = 2.5;
+        let draws = 200_000;
+        let samples: Vec<f64> = (0..draws).map(|_| exponential(&mut rng, rate)).collect();
+        let mean = samples.iter().sum::<f64>() / draws as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+        let below_median = samples
+            .iter()
+            .filter(|&&x| x < std::f64::consts::LN_2 / rate)
+            .count();
+        let frac = below_median as f64 / draws as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median frac {frac}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = exponential(&mut rng, 0.1);
+            assert!(x.is_finite() && x > 0.0);
+        }
+    }
+}

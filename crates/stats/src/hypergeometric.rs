@@ -107,7 +107,7 @@ pub fn hypergeometric<R: Rng + ?Sized>(rng: &mut R, k: u64, a: u64, b: u64) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chi2::chi2_statistic_exceeds;
+    use crate::gof::chi2_rejects;
     use crate::rng::Xoshiro256PlusPlus;
     use rand::SeedableRng;
 
@@ -129,7 +129,7 @@ mod tests {
             .map(|x| exact_pmf(k, a, b, x) * draws as f64)
             .collect();
         assert!(
-            !chi2_statistic_exceeds(&counts, &expected, 5.0, 1e-4),
+            !chi2_rejects(&counts, &expected),
             "hypergeometric({k},{a},{b}) fails chi-square"
         );
     }

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use tbs_stats::binomial::binomial;
+use tbs_stats::binomial::{binomial, CachedBinomial};
+use tbs_stats::geometric::{exponential, geometric};
 use tbs_stats::hypergeometric::hypergeometric;
 use tbs_stats::multivariate::multivariate_hypergeometric;
 use tbs_stats::rng::Xoshiro256PlusPlus;
@@ -151,6 +152,57 @@ proptest! {
     }
 
     #[test]
+    fn binomial_tiny_batches_are_exact(
+        p in 0.0f64..=1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // The n ∈ {0, 1} edges the jump-mode ingest hits on empty and
+        // single-item batches: n = 0 is always 0, n = 1 is a Bernoulli.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        prop_assert_eq!(binomial(&mut rng, 0, p), 0);
+        let b = binomial(&mut rng, 1, p);
+        prop_assert!(b <= 1);
+        // Degenerate probabilities are deterministic for every n.
+        prop_assert_eq!(binomial(&mut rng, 17, 0.0), 0);
+        prop_assert_eq!(binomial(&mut rng, 17, 1.0), 17);
+    }
+
+    #[test]
+    fn cached_binomial_matches_one_shot_for_any_parameter_walk(
+        params in prop::collection::vec(0u64..u64::MAX, 1..20),
+        seed in 0u64..1_000_000,
+    ) {
+        // The memoizing sampler must be draw-for-draw identical to the
+        // one-shot sampler under arbitrary (n, p) switching patterns.
+        // Each walk step unpacks one u64 into an (n, p) pair.
+        let mut rng_a = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut rng_b = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut cache = CachedBinomial::new();
+        for &word in &params {
+            let n = word % 500;
+            let p = (word >> 32) as f64 / u32::MAX as f64;
+            prop_assert_eq!(binomial(&mut rng_a, n, p), cache.draw(&mut rng_b, n, p));
+        }
+    }
+
+    #[test]
+    fn geometric_support_and_degenerate_edge(
+        p in 0.001f64..=1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let g = geometric(&mut rng, p);
+        if p == 1.0 {
+            prop_assert_eq!(g, 0);
+        }
+        // Certain success always skips nothing, for every rng position.
+        prop_assert_eq!(geometric(&mut rng, 1.0), 0);
+        // Exponential jumps are finite and positive for every seed.
+        let e = exponential(&mut rng, p);
+        prop_assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
     fn jump_streams_never_collide_on_prefix(
         seed in 0u64..1_000_000,
         streams in 2usize..6,
@@ -167,5 +219,93 @@ proptest! {
                 prop_assert_ne!(&prefixes[i], &prefixes[j]);
             }
         }
+    }
+}
+
+// Empirical distributional properties: each case averages thousands of
+// draws, so the case count is kept low and the tolerances at ~5 standard
+// errors (false-alarm odds per case below 1e-6).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn binomial_mean_and_variance_obey_clt_bounds(
+        n in 20u64..2_000,
+        p_mil in 50u32..=950,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = p_mil as f64 / 1000.0;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        const TRIALS: usize = 2_000;
+        let mut m = OnlineMoments::new();
+        for _ in 0..TRIALS {
+            m.push(binomial(&mut rng, n, p) as f64);
+        }
+        let mean = n as f64 * p;
+        let var = mean * (1.0 - p);
+        // Sample mean: 5 standard errors around np.
+        prop_assert!(
+            (m.mean() - mean).abs() < 5.0 * (var / TRIALS as f64).sqrt(),
+            "mean {} vs np {}", m.mean(), mean
+        );
+        // Sample variance: kurtosis-based standard error for a binomial,
+        // Var[s²] ≈ (μ4 − σ⁴)/T with μ4/σ⁴ ≤ 3 + 1/σ² here.
+        let excess = (1.0 - 6.0 * p * (1.0 - p)) / var;
+        let se_var = (var * var * (2.0 + excess.max(0.0)) / TRIALS as f64).sqrt();
+        prop_assert!(
+            (m.variance() - var).abs() < 5.0 * se_var,
+            "variance {} vs npq {}", m.variance(), var
+        );
+    }
+
+    #[test]
+    fn geometric_is_memoryless(
+        p_mil in 50u32..=500,
+        k in 1u64..5,
+        seed in 0u64..1_000_000,
+    ) {
+        // P[G ≥ k] = (1−p)^k, so conditioned on surviving k rejections
+        // the residual gap G − k must again be Geometric(p); compare the
+        // conditional residual mean against the unconditional mean.
+        let p = p_mil as f64 / 1000.0;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        const TRIALS: usize = 8_000;
+        let mut residual = OnlineMoments::new();
+        for _ in 0..TRIALS {
+            let g = geometric(&mut rng, p);
+            if g >= k {
+                residual.push((g - k) as f64);
+            }
+        }
+        let mean = (1.0 - p) / p;
+        let sd = (1.0 - p).sqrt() / p;
+        // Enough conditioning survivors for the CLT bound to be meaningful:
+        // survival probability is at least (1−0.5)^4 ≈ 6%.
+        prop_assert!(residual.count() > 200);
+        let tol = 5.0 * sd / (residual.count() as f64).sqrt();
+        prop_assert!(
+            (residual.mean() - mean).abs() < tol,
+            "conditional residual mean {} vs unconditional {}", residual.mean(), mean
+        );
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate(
+        rate_mil in 100u32..=5_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let rate = rate_mil as f64 / 1000.0;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        const TRIALS: usize = 4_000;
+        let mut m = OnlineMoments::new();
+        for _ in 0..TRIALS {
+            m.push(exponential(&mut rng, rate));
+        }
+        // Mean and sd are both 1/rate.
+        let tol = 5.0 / (rate * (TRIALS as f64).sqrt());
+        prop_assert!(
+            (m.mean() - 1.0 / rate).abs() < tol,
+            "mean {} vs 1/rate {}", m.mean(), 1.0 / rate
+        );
     }
 }
