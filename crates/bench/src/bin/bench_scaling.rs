@@ -1,6 +1,9 @@
 //! Multi-core scaling baseline: aggregate and wall-clock ingest throughput
-//! of the sharded parallel engine at 1/2/4/8 shards, plus the
-//! spawn-vs-persistent-pool dispatch comparison.
+//! of the sharded parallel engine at 1–32 shards, plus the
+//! spawn-vs-persistent-pool dispatch comparison. A full (non-smoke) run
+//! **fails loudly** when the 8-shard-cliff gate does not pass: saturated
+//! R-TBS aggregate at K = 8 must clear twice the committed pre-fix row
+//! and K = 16 must not regress below K = 8.
 //!
 //! ```text
 //! cargo run --release -p tbs-bench --bin bench_scaling            # full run, writes BENCH_scaling.json
@@ -21,9 +24,10 @@
 
 use std::path::PathBuf;
 use tbs_bench::experiments::scaling::{
-    report, rows_to_json, run_pool_dispatch, run_scaling, ScalingConfig, SCALING_ROW_KEYS,
+    report, rows_to_json, run_pool_dispatch, run_scaling, ScalingConfig,
+    GATE_K8_FLOOR_ITEMS_PER_SEC, SCALING_ROW_KEYS,
 };
-use tbs_bench::json::validate_bench_doc;
+use tbs_bench::json::{validate_bench_doc, Json};
 use tbs_bench::output::{results_dir, workspace_root};
 
 fn main() {
@@ -78,6 +82,27 @@ fn main() {
     if let Err(e) = validate_bench_doc(&doc, "scaling", SCALING_ROW_KEYS) {
         eprintln!("emitted document violates the shared row schema: {e}");
         std::process::exit(1);
+    }
+
+    // Smoke sweeps stop at K=2 and carry no gate verdict; a full run must
+    // pass the cliff gate before the baseline is (over)written.
+    if !smoke {
+        match doc.get("summary").and_then(|s| s.get("gate")) {
+            Some(gate @ Json::Obj(_)) => {
+                println!("\ngate: {gate}");
+                if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
+                    eprintln!(
+                        "scaling gate FAILED: K=8 below {GATE_K8_FLOOR_ITEMS_PER_SEC:.4e} \
+                         items/s or K=16 regressed below K=8"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => {
+                eprintln!("full run produced no gate summary — sweep misconfigured");
+                std::process::exit(1);
+            }
+        }
     }
 
     let path = json_path.unwrap_or_else(|| {

@@ -4,10 +4,18 @@
 //! PR 2 established the single-core baseline (`BENCH_throughput.json`);
 //! this experiment establishes the *parallel* one: aggregate ingest
 //! capacity of [`tbs_distributed::engine::ParallelIngestEngine`] at
-//! 1, 2, 4 and 8 shards over the saturated and bursty stream regimes,
+//! 1–32 shards over the saturated and bursty stream regimes,
 //! for R-TBS and T-TBS, plus a same-run single-threaded fast-path
 //! reference row (the PR 2 measurement repeated, so the pipeline overhead
 //! is read off one document).
+//!
+//! Each engine row also records the merge-tree depth (`⌈log₂K⌉`) and the
+//! per-shard busy-time fractions, so load imbalance — the thing the
+//! balanced splitter plus work stealing exist to kill — is visible in the
+//! committed artifact. The acceptance gate
+//! ([`GATE_K8_FLOOR_ITEMS_PER_SEC`]) pins the 8-shard-cliff fix: the
+//! saturated R-TBS aggregate at K = 8 must clear twice the committed
+//! pre-fix row, and K = 16 must not regress below K = 8.
 //!
 //! ## The two throughput metrics
 //!
@@ -32,10 +40,16 @@ use crate::experiments::throughput::{measure_one, ApiPath, Regime, SamplerKind, 
 use crate::json::Json;
 use crate::output::{f, print_table, write_csv};
 use std::time::Instant;
-use tbs_core::merge::{MergeableSample, ShardSpec};
+use tbs_core::merge::{MergePlan, MergeableSample, ShardSpec};
 use tbs_core::{RTbs, TTbs};
 use tbs_distributed::cluster::WorkerPool;
 use tbs_distributed::engine::{EngineConfig, ParallelIngestEngine, ShardStats};
+
+/// Acceptance floor for the saturated R-TBS aggregate rate at K = 8:
+/// twice the committed pre-fix 267.7M items/s row, i.e. the 8-shard
+/// cliff must be at least halved-back. The second half of the gate is
+/// relative: the K = 16 aggregate must not fall below K = 8.
+pub const GATE_K8_FLOOR_ITEMS_PER_SEC: f64 = 535.4e6;
 
 /// Tuning knobs for one scaling run.
 #[derive(Debug, Clone)]
@@ -65,7 +79,7 @@ impl Default for ScalingConfig {
             warmup_batches: 2_000,
             repeats: 3,
             seed: 0x5CA1_2018,
-            shard_counts: vec![1, 2, 4, 8],
+            shard_counts: vec![1, 2, 4, 8, 16, 32],
             dispatch_iters: 2_000,
             spawn_iters: 300,
         }
@@ -114,6 +128,13 @@ pub struct ScalingRow {
     pub items_per_sec_aggregate: f64,
     /// Mean busy nanoseconds per item across shards.
     pub ns_per_item_busy: f64,
+    /// Depth of the pairwise merge tree the engine runs for this K
+    /// (`⌈log₂K⌉`; 0 for K = 1 and for the `single_fast` reference).
+    pub merge_tree_depth: usize,
+    /// Each shard's share of the total busy time (`busy_k / Σ busy`,
+    /// sums to 1). Balanced splits plus work stealing should keep these
+    /// near `1/K`; a hot shard shows up here directly.
+    pub shard_busy_fracs: Vec<f64>,
 }
 
 /// One pool-dispatch comparison row: per-batch cost of running `workers`
@@ -202,6 +223,10 @@ where
         let deltas = stats_delta(&before, &engine.shard_stats());
         let busy_ns: u64 = deltas.iter().map(|d| d.busy_ns).sum();
         let aggregate = aggregate_rate(&deltas);
+        let shard_busy_fracs = deltas
+            .iter()
+            .map(|d| d.busy_ns as f64 / (busy_ns.max(1)) as f64)
+            .collect();
         let row = ScalingRow {
             sampler,
             mode: "engine",
@@ -214,6 +239,8 @@ where
             items_per_sec_wall: items as f64 * 1e9 / wall_ns as f64,
             items_per_sec_aggregate: aggregate,
             ns_per_item_busy: busy_ns as f64 / (items.max(1)) as f64,
+            merge_tree_depth: MergePlan::new(spec.shards).depth(),
+            shard_busy_fracs,
         };
         if best
             .as_ref()
@@ -247,6 +274,8 @@ fn measure_single_fast(cfg: &ScalingConfig, kind: SamplerKind, regime: Regime) -
         items_per_sec_wall: row.items_per_sec,
         items_per_sec_aggregate: row.items_per_sec,
         ns_per_item_busy: row.ns_per_item,
+        merge_tree_depth: 0,
+        shard_busy_fracs: vec![1.0],
     }
 }
 
@@ -360,6 +389,35 @@ fn summary(rows: &[ScalingRow]) -> Json {
         }
         _ => Json::Null,
     };
+    // The 8-shard-cliff gate: the saturated R-TBS aggregate at K = 8 must
+    // clear twice the committed pre-fix row, and K = 16 must not regress
+    // below K = 8. Sweeps without both rows (smoke) carry no verdict.
+    let eight = find("engine", 8);
+    let sixteen = find("engine", 16);
+    let gate = match (eight, sixteen) {
+        (Some(e8), Some(e16)) => {
+            let pass = e8.items_per_sec_aggregate >= GATE_K8_FLOOR_ITEMS_PER_SEC
+                && e16.items_per_sec_aggregate >= e8.items_per_sec_aggregate;
+            Json::obj([
+                ("sampler", Json::str("R-TBS")),
+                ("regime", Json::str("saturated")),
+                (
+                    "k8_items_per_sec_aggregate",
+                    Json::Num(e8.items_per_sec_aggregate),
+                ),
+                (
+                    "k16_items_per_sec_aggregate",
+                    Json::Num(e16.items_per_sec_aggregate),
+                ),
+                (
+                    "k8_floor_items_per_sec",
+                    Json::Num(GATE_K8_FLOOR_ITEMS_PER_SEC),
+                ),
+                ("pass", Json::Bool(pass)),
+            ])
+        }
+        _ => Json::Null,
+    };
     Json::obj([
         // Aggregate saturated R-TBS capacity at 4 shards over the 1-shard
         // engine, same run.
@@ -367,6 +425,7 @@ fn summary(rows: &[ScalingRow]) -> Json {
         // 1-shard engine over the single-threaded fast path: the
         // pipeline's own overhead (1.0 = none).
         ("one_shard_engine_vs_single_fast", ratio(one, single)),
+        ("gate", gate),
     ])
 }
 
@@ -384,6 +443,8 @@ pub fn report(rows: &[ScalingRow], pool: &[PoolDispatchRow]) {
                 f(r.items_per_sec_aggregate / 1e6, 2),
                 f(r.items_per_sec_wall / 1e6, 2),
                 f(r.ns_per_item_busy, 2),
+                r.merge_tree_depth.to_string(),
+                f(r.shard_busy_fracs.iter().copied().fold(0.0, f64::max), 3),
             ]
         })
         .collect();
@@ -398,6 +459,8 @@ pub fn report(rows: &[ScalingRow], pool: &[PoolDispatchRow]) {
             "aggregate_M_items_per_sec",
             "wall_M_items_per_sec",
             "busy_ns_per_item",
+            "merge_tree_depth",
+            "max_shard_busy_frac",
         ],
         &table,
     );
@@ -412,6 +475,8 @@ pub fn report(rows: &[ScalingRow], pool: &[PoolDispatchRow]) {
             "agg M it/s",
             "wall M it/s",
             "busy ns/it",
+            "depth",
+            "max busy frac",
         ],
         &table,
     );
@@ -470,6 +535,11 @@ pub fn rows_to_json(cfg: &ScalingConfig, rows: &[ScalingRow], pool: &[PoolDispat
                     Json::Num(r.items_per_sec_aggregate),
                 ),
                 ("ns_per_item_busy", Json::Num(r.ns_per_item_busy)),
+                ("merge_tree_depth", Json::Int(r.merge_tree_depth as i64)),
+                (
+                    "shard_busy_fracs",
+                    Json::Arr(r.shard_busy_fracs.iter().map(|&x| Json::Num(x)).collect()),
+                ),
             ])
         })
         .collect();
@@ -551,6 +621,8 @@ pub const SCALING_ROW_KEYS: &[&str] = &[
     "items_per_sec_wall",
     "items_per_sec_aggregate",
     "ns_per_item_busy",
+    "merge_tree_depth",
+    "shard_busy_fracs",
 ];
 
 #[cfg(test)]
@@ -574,6 +646,20 @@ mod tests {
             );
             assert!(r.items_per_sec_wall > 0.0);
             assert!(r.items_per_sec_aggregate > 0.0);
+            if r.mode == "engine" {
+                assert_eq!(
+                    r.merge_tree_depth,
+                    (r.shards as f64).log2().ceil() as usize,
+                    "depth must be ⌈log₂K⌉ for K={}",
+                    r.shards
+                );
+                assert_eq!(r.shard_busy_fracs.len(), r.shards);
+                let sum: f64 = r.shard_busy_fracs.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "busy fractions must sum to 1, got {sum}"
+                );
+            }
         }
         let pool = run_pool_dispatch(&cfg);
         assert_eq!(pool.len(), 6);
@@ -609,5 +695,44 @@ mod tests {
             s.get("one_shard_engine_vs_single_fast"),
             Some(Json::Num(_))
         ));
+        // No K=8/K=16 rows in this sweep ⇒ no gate verdict.
+        assert_eq!(s.get("gate"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn gate_requires_k8_floor_and_k16_no_regression() {
+        let row = |shards: usize, agg: f64| ScalingRow {
+            sampler: "R-TBS",
+            mode: "engine",
+            shards,
+            regime: "saturated",
+            batches: 1,
+            items: 1,
+            wall_ns: 1,
+            busy_ns: 1,
+            items_per_sec_wall: agg,
+            items_per_sec_aggregate: agg,
+            ns_per_item_busy: 1.0,
+            merge_tree_depth: (shards as f64).log2().ceil() as usize,
+            shard_busy_fracs: vec![1.0 / shards as f64; shards],
+        };
+        let verdict = |k8: f64, k16: f64| {
+            summary(&[row(8, k8), row(16, k16)])
+                .get("gate")
+                .and_then(|g| g.get("pass"))
+                .cloned()
+        };
+        let floor = GATE_K8_FLOOR_ITEMS_PER_SEC;
+        assert_eq!(verdict(floor, floor), Some(Json::Bool(true)));
+        assert_eq!(
+            verdict(floor - 1.0, floor),
+            Some(Json::Bool(false)),
+            "K=8 below the floor must fail"
+        );
+        assert_eq!(
+            verdict(floor + 2.0, floor + 1.0),
+            Some(Json::Bool(false)),
+            "K=16 regressing below K=8 must fail"
+        );
     }
 }

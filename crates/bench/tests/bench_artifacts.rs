@@ -72,6 +72,32 @@ fn every_committed_bench_artifact_passes_the_shared_validator() {
 }
 
 #[test]
+fn committed_scaling_baseline_passes_the_cliff_gate() {
+    // The 8-shard-cliff fix is part of the committed artifact: saturated
+    // R-TBS aggregate at K=8 must clear twice the pre-fix 267.7M items/s
+    // row, and K=16 must not regress below K=8. The bench recorded the
+    // verdict; re-check the numbers so a hand-edited pass flag fails.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_scaling.json"))
+        .expect("committed BENCH_scaling.json");
+    let doc = parse(&text).expect("valid JSON");
+    let gate = doc
+        .get("summary")
+        .and_then(|s| s.get("gate"))
+        .expect("scaling summary gate");
+    assert_eq!(gate.get("pass"), Some(&Json::Bool(true)), "gate: {gate}");
+    let num = |key: &str| match gate.get(key) {
+        Some(Json::Num(v)) => *v,
+        other => panic!("gate {key} missing: {other:?}"),
+    };
+    let k8 = num("k8_items_per_sec_aggregate");
+    let k16 = num("k16_items_per_sec_aggregate");
+    let floor = num("k8_floor_items_per_sec");
+    assert!(floor >= 535.4e6, "floor weakened to {floor}");
+    assert!(k8 >= floor, "K=8 aggregate {k8} below floor {floor}");
+    assert!(k16 >= k8, "K=16 aggregate {k16} regressed below K=8 {k8}");
+}
+
+#[test]
 fn committed_serving_baseline_passes_its_own_gate() {
     // The acceptance gate is part of the committed artifact: R-TBS
     // saturated ingest under 4 concurrent readers within 10% of the

@@ -32,7 +32,12 @@ pub const MAGIC: u32 = 0x5442_5343; // "TBSC"
 ///   staleness stamp (`EngineCheckpoint::batches`) between the rotation
 ///   counter and the driver RNG state. v1 blobs are rejected with
 ///   [`CheckpointError::UnsupportedVersion`] rather than misparsed.
-pub const VERSION: u32 = 2;
+/// * 3 — PR 7: the sharded-engine payload's single remainder-rotation
+///   counter (`u64`) is replaced by the balanced splitter's K per-shard
+///   deviation scalars (`f64` each, shard-id order), and shard samplers
+///   carry the adaptive `⌈n/K⌉+1` capacity. v2 blobs are rejected with
+///   [`CheckpointError::UnsupportedVersion`] rather than misparsed.
+pub const VERSION: u32 = 3;
 
 /// Errors raised when decoding a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

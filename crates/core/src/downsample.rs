@@ -14,6 +14,12 @@
 //! weights by the same factor, so inclusion probabilities must shrink by the
 //! same factor too. The algorithm distinguishes three cases by how the
 //! integer part of the weight changes, handling the partial item exactly.
+//!
+//! Beyond per-step decay, this operator is the leaf step of the shard
+//! merge (`tbs_core::merge`): each shard's latent sample is downsampled
+//! to its share `C·W^k/W` of the merged capacity, which is what lets the
+//! `⌈n/K⌉+1` adaptive shard capacity absorb split skew **at merge time**
+//! instead of reserving `⌈1/(1−e^{−λ})⌉` slots per shard up front.
 
 use crate::latent::LatentSample;
 use crate::util::{retain_random, retain_random_cheap};

@@ -120,7 +120,10 @@ pub use forward::{DecayGauge, ExponentialGauge, ForwardDecayRTbs, PolynomialGaug
 pub use frozen::FrozenSample;
 pub use jumps::{IngestMode, JumpCursor};
 pub use latent::LatentSample;
-pub use merge::{partition_batch, MergeableSample, ShardSpec};
+pub use merge::{
+    merge_replay, partition_batch, BalancedSplitter, MergePlan, MergeScalars, MergeableSample,
+    ShardSpec,
+};
 pub use rtbs::RTbs;
 pub use sliding::{CountWindow, TimeWindow};
 pub use traits::{BatchSampler, TimedBatchSampler};

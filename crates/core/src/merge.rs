@@ -31,31 +31,64 @@
 //! bound.
 //!
 //! The downsample step requires `c_k ≤ C^k`, i.e. the shard must not have
-//! discarded weight the merged sample still needs: `n_k ≥ n·W^k/W`. A
-//! deterministic chunked split keeps every per-batch shard size within one
-//! item of `|B_j|/K`, so `|W^k − W/K| < Σ_j e^{−λ·age} < 1/(1−e^{−λ})`,
-//! and the shard capacity
+//! discarded weight the merged sample still needs: `n_k ≥ n·W^k/W`. How
+//! much per-shard headroom that takes depends on how evenly the split
+//! spreads weight. A *rotated* chunk split bounds the skew only by the
+//! decay-geometric series, `|W^k − W/K| < 1/(1−e^{−λ})` — headroom that
+//! is paid **per shard** and grows relative to `⌈n/K⌉` as K rises, until
+//! shards fall off the saturated fast path (the old "8-shard cliff").
+//!
+//! [`BalancedSplitter`] amortizes the headroom across the merge instead.
+//! It tracks each shard's *decayed item-count deviation*
+//! `D_k ← e^{−λ}·D_k + (|B^k| − |B|/K)` and hands every batch's
+//! `b mod K` remainder items to the shards with the smallest deviations.
+//! By induction the deviation spread never exceeds one (giving +1 to the
+//! `r` smallest of a set with spread ≤ 1 keeps the spread ≤ 1), and the
+//! deviations sum to zero, so
 //!
 //! ```text
-//! n_k = ⌈n/K⌉ + ⌈1/(1−e^{−λ})⌉        (headroom 0 for K = 1)
+//! |W^k − W/K| = |D_k| ≤ 1       for every schedule, at every K
 //! ```
 //!
-//! guarantees mergeability for **any** batch-size schedule. The headroom
-//! also keeps each shard *saturated* whenever the merged sampler is, so
-//! shards run the cheap in-place replacement transition, not the O(C)
-//! downsample transition.
+//! which shrinks the required capacity to
+//!
+//! ```text
+//! n_k = ⌈n/K⌉ + 1               (headroom 0 for K = 1)
+//! ```
+//!
+//! because `c_k = C·W^k/W ≤ (C/W)·(W/K + 1) ≤ n/K + 1 ≤ n_k`. The one
+//! spare slot keeps each shard *saturated* whenever the merged sampler
+//! comfortably is (`W/K − 1 ≥ n_k`), so shards run the cheap in-place
+//! replacement transition, not the O(n_k) unsaturated transition.
+//!
+//! ## The merge tree
+//!
+//! Theorem 4.1's merge algebra is associative: once every shard is
+//! downsampled to its target `c_k`, the pairwise latent union can be
+//! folded in **any** tree shape. [`merge_replay`] is the canonical
+//! log-depth schedule: leaves downsample in shard order, internal nodes
+//! pair adjacent subtrees level by level ([`MergePlan`]), and every node
+//! draws from its **own** RNG substream (`2^128`-spaced splits of the
+//! caller's generator, see `Xoshiro256PlusPlus::split_streams`). Node
+//! randomness is therefore a pure function of `(caller RNG state, node
+//! id)` — the tree can execute sequentially on one thread or scattered
+//! across shard workers and produce **bit-identical** results either
+//! way. After splitting, the caller's generator `long_jump`s once past
+//! the whole substream block; realization draws ride that trajectory.
 //!
 //! T-TBS is simpler: its acceptance rate `q = n(1−e^{−λ})/b` is a constant
 //! independent of the sub-stream, so identically-configured shards already
 //! hold every item with the single-node probability `q·e^{−λ·age}` and the
 //! merge is a plain union; the per-shard equilibrium sizes `n·b_k/b` sum
-//! to `n`.
+//! to `n`. Its tree merge concatenates in leaf order, which reproduces the
+//! shard-order concatenation of the linear fold exactly.
 
 use crate::jumps::IngestMode;
 use crate::latent::LatentSample;
 use crate::rtbs::RTbs;
 use crate::ttbs::TTbs;
 use rand::Rng;
+use tbs_stats::rng::Xoshiro256PlusPlus;
 
 /// Configuration of a sharded sampler family: the single-node sampler the
 /// merged state must be equivalent to, plus the shard count.
@@ -108,14 +141,21 @@ impl ShardSpec {
         self
     }
 
-    /// Per-shard R-TBS capacity `n_k = ⌈n/K⌉ + ⌈1/(1−e^{−λ})⌉` (see the
-    /// module docs; no headroom needed for K = 1).
+    /// Per-shard R-TBS capacity `n_k = ⌈n/K⌉ + 1` (no headroom for
+    /// K = 1).
+    ///
+    /// The single spare slot is all the headroom mergeability needs
+    /// *under the engine's balanced split*: [`BalancedSplitter`] keeps
+    /// every shard's decayed weight within one item of `W/K`, so the
+    /// downsample target `C·W^k/W` never exceeds `⌈n/K⌉ + 1` (module
+    /// docs). This replaces the old per-shard `⌈1/(1−e^{−λ})⌉` headroom,
+    /// which grew relative to `⌈n/K⌉` as K rose and pushed high-K shards
+    /// off the saturated fast path.
     pub fn shard_capacity(&self) -> usize {
         if self.shards <= 1 {
             return self.capacity;
         }
-        let headroom = (1.0 / (1.0 - (-self.lambda).exp())).ceil() as usize;
-        self.capacity.div_ceil(self.shards) + headroom
+        self.capacity.div_ceil(self.shards) + 1
     }
 
     fn validate(&self) {
@@ -133,10 +173,40 @@ impl ShardSpec {
     }
 }
 
+/// Scalar state of one merge, computed **once** over all shard forks
+/// before the tree executes (see [`MergeableSample::merge_targets`]).
+///
+/// Precomputing the global scalars is what makes the tree embarrassingly
+/// parallel: each leaf's downsample target depends on the *global* weight
+/// ratio `C·W^k/W`, so it cannot be derived pairwise — but it can be
+/// derived upfront from the forks alone, after which every tree node is
+/// independent of every non-descendant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeScalars {
+    /// Per-leaf downsample targets `c_k = min(C·W^k/W, C^k)` in shard-id
+    /// order (empty for schemes that need no leaf step, e.g. T-TBS).
+    pub leaf_targets: Vec<f64>,
+    /// Single-node-equivalent total stream weight `W = Σ_k W^k`, summed
+    /// in shard-id order (bit-identical to the linear fold's sum).
+    pub total_weight: f64,
+    /// Step counter for the merged sampler (max over shards).
+    pub steps: u64,
+}
+
 /// A sampler whose state can be maintained shard-locally and merged into a
 /// single-node-equivalent sample. Implemented by [`RTbs`] and [`TTbs`];
 /// the parallel ingest engine in `tbs-distributed` is generic over this
 /// trait.
+///
+/// The merge is expressed as four orthogonal primitives — scalar
+/// precompute ([`merge_targets`](Self::merge_targets)), per-leaf
+/// preparation ([`merge_leaf`](Self::merge_leaf)), the associative
+/// pairwise combine ([`merge_pair`](Self::merge_pair)), and root
+/// finalization ([`merge_finalize`](Self::merge_finalize)) — so the fold
+/// can run as a log-depth tree across threads. The provided
+/// [`merge_shards`](Self::merge_shards) runs the canonical sequential
+/// schedule ([`merge_replay`]), which is bit-identical to any parallel
+/// execution of the same tree.
 pub trait MergeableSample: Sized {
     /// The stream item type.
     type Item;
@@ -144,10 +214,32 @@ pub trait MergeableSample: Sized {
     /// Build the K shard-local samplers for `spec`, in shard-id order.
     fn make_shards(spec: &ShardSpec) -> Vec<Self>;
 
+    /// Compute the merge's global scalars from the shard forks (in
+    /// shard-id order). Consumes no randomness.
+    fn merge_targets(shards: &[Self], spec: &ShardSpec) -> MergeScalars;
+
+    /// Prepare one leaf for the tree: downsample this shard's state to
+    /// its precomputed `target` weight (Theorem 4.1). Identity for
+    /// schemes whose shard states already obey the single-node law.
+    fn merge_leaf(self, target: f64, rng: &mut Xoshiro256PlusPlus) -> Self;
+
+    /// Combine two adjacent subtrees (left child first — implementations
+    /// must preserve left-to-right order so any tree shape reproduces the
+    /// shard-order linear fold).
+    fn merge_pair(left: Self, right: Self, spec: &ShardSpec, rng: &mut Xoshiro256PlusPlus) -> Self;
+
+    /// Stamp the root with the merge's global scalars, producing the
+    /// single-node-equivalent sampler. Consumes no randomness.
+    fn merge_finalize(root: Self, scalars: &MergeScalars, spec: &ShardSpec) -> Self;
+
     /// Merge shard states (in shard-id order) into one sampler whose
     /// realized sample is statistically equivalent to a single-node run
-    /// over the interleaved stream. Consumes the shards.
-    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, rng: &mut R) -> Self;
+    /// over the interleaved stream. Consumes the shards. This is the
+    /// canonical sequential execution of the merge tree — see
+    /// [`merge_replay`] for the RNG-substream contract.
+    fn merge_shards(shards: Vec<Self>, spec: &ShardSpec, rng: &mut Xoshiro256PlusPlus) -> Self {
+        merge_replay(shards, spec, rng)
+    }
 
     /// Shard-local ingest of one sub-batch (drain-based: the buffer's
     /// allocation survives for recycling). Monomorphized over the RNG.
@@ -202,6 +294,231 @@ pub fn partition_batch<T>(batch: &mut Vec<T>, rotation: usize, out: &mut [Vec<T>
     }
     debug_assert_eq!(end, 0);
     debug_assert!(batch.is_empty());
+}
+
+/// Deviation-balanced deterministic batch splitter — the engine's split
+/// policy, co-designed with [`ShardSpec::shard_capacity`].
+///
+/// Like [`partition_batch`], shard `i` receives a contiguous chunk of
+/// `⌊b/K⌋` or `⌈b/K⌉` items, but the `b mod K` remainder items go to the
+/// shards whose *decayed item-count deviation* `D_k` is smallest (ties
+/// break toward the lower shard id) instead of following a fixed
+/// rotation. The deviations evolve as `D_k ← e^{−λ}·D_k + (chunk_k −
+/// b/K)`, which makes `D_k` exactly the shard's decayed-weight deviation
+/// `W^k − W/K`; the balancing rule keeps `|D_k| ≤ 1` for **every**
+/// schedule (see the module docs), which is what licenses the `⌈n/K⌉+1`
+/// shard capacity.
+///
+/// The split is a pure function of the deviation state and the batch
+/// lengths — independent of thread timing — so sharded runs stay
+/// reproducible, and the state is a plain `Vec<f64>` that checkpoints
+/// alongside the engine. All scratch space is pre-sized at construction;
+/// `split` performs no heap allocation once the output buffers have
+/// reached their high-water capacity.
+#[derive(Debug, Clone)]
+pub struct BalancedSplitter {
+    /// Per-batch decay factor `e^{−λ}`.
+    decay: f64,
+    /// Decayed item-count deviations `D_k = W^k − W/K`, one per shard.
+    deviations: Vec<f64>,
+    /// Scratch: shard ids sorted by deviation (remainder placement).
+    order: Vec<usize>,
+    /// Scratch: per-shard chunk length of the current batch.
+    sizes: Vec<usize>,
+}
+
+impl BalancedSplitter {
+    /// A fresh splitter for `shards` shards at decay rate λ.
+    pub fn new(lambda: f64, shards: usize) -> Self {
+        Self::from_deviations(lambda, vec![0.0; shards])
+    }
+
+    /// Rebuild a splitter from checkpointed deviations.
+    pub fn from_deviations(lambda: f64, deviations: Vec<f64>) -> Self {
+        assert!(!deviations.is_empty(), "need at least one shard");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "decay rate must be finite and non-negative"
+        );
+        let shards = deviations.len();
+        Self {
+            decay: (-lambda).exp(),
+            deviations,
+            order: Vec::with_capacity(shards),
+            sizes: vec![0; shards],
+        }
+    }
+
+    /// The current deviation state (shard-id order), for checkpointing.
+    pub fn deviations(&self) -> &[f64] {
+        &self.deviations
+    }
+
+    /// Split `batch` into `out.len()` shard sub-batches and advance the
+    /// deviation state. Each `out[i]` is cleared and refilled.
+    pub fn split<T>(&mut self, batch: &mut Vec<T>, out: &mut [Vec<T>]) {
+        let k = out.len();
+        debug_assert_eq!(k, self.deviations.len(), "shard count mismatch");
+        let b = batch.len();
+        let base = b / k;
+        let rem = b % k;
+        for d in &mut self.deviations {
+            *d *= self.decay;
+        }
+        self.sizes.clear();
+        self.sizes.resize(k, base);
+        if rem > 0 {
+            // The remainder goes to the `rem` smallest deviations;
+            // `select_nth_unstable_by` is in-place (no allocation).
+            self.order.clear();
+            self.order.extend(0..k);
+            let dev = &self.deviations;
+            self.order.select_nth_unstable_by(rem - 1, |&a, &b| {
+                dev[a].total_cmp(&dev[b]).then(a.cmp(&b))
+            });
+            for &shard in &self.order[..rem] {
+                self.sizes[shard] += 1;
+            }
+        }
+        // Walk shards from last to first so each chunk drains from the
+        // tail — O(chunk) per shard instead of O(b) front-shifts.
+        let even = if k > 0 { b as f64 / k as f64 } else { 0.0 };
+        let mut end = b;
+        for i in (0..k).rev() {
+            let len = self.sizes[i];
+            let buf = &mut out[i];
+            buf.clear();
+            buf.extend(batch.drain(end - len..));
+            end -= len;
+            self.deviations[i] += len as f64 - even;
+        }
+        debug_assert_eq!(end, 0);
+        debug_assert!(batch.is_empty());
+    }
+}
+
+/// The shape of the canonical log-depth merge tree over K shard leaves.
+///
+/// Nodes are numbered `0..2K−1`: leaves `0..K` in shard-id order,
+/// internal nodes `K..2K−1` in level-order creation order (adjacent
+/// subtrees pair up; an odd subtree carries to the next level). The
+/// numbering is what gives every node a stable RNG substream in
+/// [`merge_replay`] regardless of execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergePlan {
+    /// Children `(left, right)` of internal node `K + i`, in creation
+    /// order — always topologically sorted (children precede parents).
+    pairs: Vec<(usize, usize)>,
+    /// `parent[node]`, with `usize::MAX` at the root.
+    parent: Vec<usize>,
+    /// Number of pairing levels, `⌈log₂ K⌉`.
+    depth: usize,
+}
+
+impl MergePlan {
+    /// Build the plan for `leaves` shards (`leaves ≥ 1`).
+    pub fn new(leaves: usize) -> Self {
+        assert!(leaves > 0, "need at least one leaf");
+        let mut pairs = Vec::with_capacity(leaves.saturating_sub(1));
+        let mut parent = vec![usize::MAX; 2 * leaves - 1];
+        let mut level: Vec<usize> = (0..leaves).collect();
+        let mut next_id = leaves;
+        let mut depth = 0;
+        while level.len() > 1 {
+            depth += 1;
+            let mut up = Vec::with_capacity(level.len().div_ceil(2));
+            for chunk in level.chunks(2) {
+                if let [l, r] = *chunk {
+                    pairs.push((l, r));
+                    parent[l] = next_id;
+                    parent[r] = next_id;
+                    up.push(next_id);
+                    next_id += 1;
+                } else {
+                    up.push(chunk[0]);
+                }
+            }
+            level = up;
+        }
+        debug_assert_eq!(pairs.len(), leaves - 1);
+        Self {
+            pairs,
+            parent,
+            depth,
+        }
+    }
+
+    /// Number of leaves K.
+    pub fn leaves(&self) -> usize {
+        self.pairs.len() + 1
+    }
+
+    /// Total node count `2K − 1`.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Children of internal node `leaves() + i`, topologically sorted.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Parent of `node`, or `None` at the root.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        match self.parent[node] {
+            usize::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// The root node id (the last-created internal node; leaf 0 if K=1).
+    pub fn root(&self) -> usize {
+        self.node_count() - 1
+    }
+
+    /// Number of pairing levels, `⌈log₂ K⌉`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Execute the canonical merge tree sequentially: the reference schedule
+/// every parallel execution must (and does) reproduce bit-for-bit.
+///
+/// RNG-substream contract: the caller's generator is split into `2K`
+/// jump-spaced substreams **without advancing it** — tree node `n` draws
+/// exclusively from substream `n + 1` — and is then advanced by one
+/// `long_jump` past the whole block. Realization draws made by the caller
+/// after this function ride the post-`long_jump` trajectory, disjoint
+/// from every node substream. Node randomness is thus a pure function of
+/// `(entry RNG state, node id)`: executing the same tree on shard worker
+/// threads in any completion order yields identical bits.
+pub fn merge_replay<S: MergeableSample>(
+    shards: Vec<S>,
+    spec: &ShardSpec,
+    rng: &mut Xoshiro256PlusPlus,
+) -> S {
+    assert_eq!(shards.len(), spec.shards, "shard count mismatch");
+    let k = shards.len();
+    let plan = MergePlan::new(k);
+    let scalars = S::merge_targets(&shards, spec);
+    let mut streams = rng.split_streams(2 * k);
+    rng.long_jump();
+    let mut slots: Vec<Option<S>> = shards.into_iter().map(Some).collect();
+    slots.resize_with(plan.node_count(), || None);
+    for leaf in 0..k {
+        let s = slots[leaf].take().expect("leaf occupied");
+        let target = scalars.leaf_targets.get(leaf).copied().unwrap_or(0.0);
+        slots[leaf] = Some(S::merge_leaf(s, target, &mut streams[leaf + 1]));
+    }
+    for (i, &(l, r)) in plan.pairs().iter().enumerate() {
+        let node = k + i;
+        let left = slots[l].take().expect("left child computed");
+        let right = slots[r].take().expect("right child computed");
+        slots[node] = Some(S::merge_pair(left, right, spec, &mut streams[node + 1]));
+    }
+    let root = slots[plan.root()].take().expect("root computed");
+    S::merge_finalize(root, &scalars, spec)
 }
 
 /// Fold `incoming` into the accumulating latent union `(acc, acc_weight)`.
@@ -287,31 +604,67 @@ impl<T: Clone> MergeableSample for RTbs<T> {
             .collect()
     }
 
-    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, rng: &mut R) -> Self {
+    fn merge_targets(shards: &[Self], spec: &ShardSpec) -> MergeScalars {
         assert_eq!(shards.len(), spec.shards, "shard count mismatch");
         let n = spec.capacity as f64;
         let w: f64 = shards.iter().map(|s| s.total_weight()).sum();
         let c = w.min(n);
-        let mut merged = LatentSample::empty();
-        let mut steps = 0;
-        for mut shard in shards {
-            steps = steps.max(shard.batches_observed());
-            let w_k = shard.total_weight();
-            let c_k = shard.sample_weight();
-            if w_k <= 0.0 || c_k <= 0.0 {
-                continue;
-            }
-            // Target weight for this shard's contribution; the min() guards
-            // floating-point ulps at the c_k boundary (the capacity
-            // headroom guarantees c·w_k/w ≤ c_k analytically).
-            let target = (c * w_k / w).min(c_k);
-            if target < c_k {
-                crate::downsample::downsample(shard.latent_mut(), target, rng);
-            }
-            let (_, _, _, _, latent) = shard.into_merge_parts();
-            merge_latent(&mut merged, latent, rng);
+        let leaf_targets = shards
+            .iter()
+            .map(|s| {
+                let w_k = s.total_weight();
+                let c_k = s.sample_weight();
+                if w_k <= 0.0 || c_k <= 0.0 {
+                    return 0.0;
+                }
+                // The min() guards floating-point ulps at the c_k
+                // boundary (the balanced split guarantees c·w_k/w ≤ c_k
+                // analytically).
+                (c * w_k / w).min(c_k)
+            })
+            .collect();
+        MergeScalars {
+            leaf_targets,
+            total_weight: w,
+            steps: shards
+                .iter()
+                .map(|s| s.batches_observed())
+                .max()
+                .unwrap_or(0),
         }
-        RTbs::from_merge_parts(spec.lambda, spec.capacity, w, steps, merged)
+    }
+
+    fn merge_leaf(mut self, target: f64, rng: &mut Xoshiro256PlusPlus) -> Self {
+        if target > 0.0 && target < self.sample_weight() {
+            crate::downsample::downsample(self.latent_mut(), target, rng);
+        }
+        self
+    }
+
+    fn merge_pair(left: Self, right: Self, spec: &ShardSpec, rng: &mut Xoshiro256PlusPlus) -> Self {
+        let (_, _, l_w, l_steps, mut latent) = left.into_merge_parts();
+        let (_, _, r_w, r_steps, incoming) = right.into_merge_parts();
+        merge_latent(&mut latent, incoming, rng);
+        // Subtree weight/steps are only carried for bookkeeping; the root
+        // gets the exact global scalars in merge_finalize.
+        RTbs::from_merge_parts(
+            spec.lambda,
+            spec.capacity,
+            l_w + r_w,
+            l_steps.max(r_steps),
+            latent,
+        )
+    }
+
+    fn merge_finalize(root: Self, scalars: &MergeScalars, spec: &ShardSpec) -> Self {
+        let (_, _, _, _, latent) = root.into_merge_parts();
+        RTbs::from_merge_parts(
+            spec.lambda,
+            spec.capacity,
+            scalars.total_weight,
+            scalars.steps,
+            latent,
+        )
     }
 
     fn observe_shard<R: Rng + ?Sized>(&mut self, batch: &mut Vec<T>, rng: &mut R) {
@@ -355,16 +708,48 @@ impl<T: Clone> MergeableSample for TTbs<T> {
             .collect()
     }
 
-    fn merge_shards<R: Rng + ?Sized>(shards: Vec<Self>, spec: &ShardSpec, _rng: &mut R) -> Self {
+    fn merge_targets(shards: &[Self], spec: &ShardSpec) -> MergeScalars {
         assert_eq!(shards.len(), spec.shards, "shard count mismatch");
-        let mut items = Vec::with_capacity(shards.iter().map(TTbs::len).sum());
-        let mut steps = 0;
-        for shard in &shards {
-            steps = steps.max(shard.batches_observed());
-            items.extend_from_slice(shard.items());
+        MergeScalars {
+            // No leaf step: shard states already obey the single-node law.
+            leaf_targets: Vec::new(),
+            total_weight: 0.0,
+            steps: shards
+                .iter()
+                .map(|s| s.batches_observed())
+                .max()
+                .unwrap_or(0),
         }
+    }
+
+    fn merge_leaf(self, _target: f64, _rng: &mut Xoshiro256PlusPlus) -> Self {
+        self
+    }
+
+    fn merge_pair(
+        left: Self,
+        right: Self,
+        spec: &ShardSpec,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> Self {
+        // Left-then-right concatenation: any tree shape over ordered
+        // leaves reproduces the shard-order concatenation exactly.
+        let mut items = Vec::with_capacity(left.len() + right.len());
+        items.extend_from_slice(left.items());
+        items.extend_from_slice(right.items());
         let mut merged = TTbs::with_initial(spec.lambda, spec.capacity, spec.mean_batch, items);
-        merged.set_steps(steps);
+        merged.set_steps(left.batches_observed().max(right.batches_observed()));
+        merged
+    }
+
+    fn merge_finalize(root: Self, scalars: &MergeScalars, spec: &ShardSpec) -> Self {
+        let mut merged = TTbs::with_initial(
+            spec.lambda,
+            spec.capacity,
+            spec.mean_batch,
+            root.items().to_vec(),
+        );
+        merged.set_steps(scalars.steps);
         merged
     }
 
@@ -444,10 +829,155 @@ mod tests {
 
     #[test]
     fn shard_capacity_has_headroom() {
-        let spec = ShardSpec::rtbs(0.1, 1000, 4);
-        // ⌈1000/4⌉ + ⌈1/(1−e^{−0.1})⌉ = 250 + 11.
-        assert_eq!(spec.shard_capacity(), 261);
+        // ⌈1000/4⌉ + 1: one spare slot, amortized across the merge by the
+        // balanced split — not the old per-shard ⌈1/(1−e^{−λ})⌉.
+        assert_eq!(ShardSpec::rtbs(0.1, 1000, 4).shard_capacity(), 251);
+        assert_eq!(ShardSpec::rtbs(0.1, 1000, 8).shard_capacity(), 126);
+        assert_eq!(ShardSpec::rtbs(0.1, 1000, 16).shard_capacity(), 64);
+        assert_eq!(ShardSpec::rtbs(0.1, 1000, 32).shard_capacity(), 33);
         assert_eq!(ShardSpec::rtbs(0.1, 1000, 1).shard_capacity(), 1000);
+    }
+
+    #[test]
+    fn balanced_split_is_deterministic_and_exhaustive() {
+        let mut sa = BalancedSplitter::new(0.1, 4);
+        let mut sb = BalancedSplitter::new(0.1, 4);
+        let mut out_a = vec![Vec::new(); 4];
+        let mut out_b = vec![Vec::new(); 4];
+        for t in 0..20u32 {
+            let b = [17u32, 0, 5, 100, 3][t as usize % 5];
+            let mut batch_a: Vec<u32> = (0..b).collect();
+            let mut batch_b = batch_a.clone();
+            sa.split(&mut batch_a, &mut out_a);
+            sb.split(&mut batch_b, &mut out_b);
+            assert_eq!(out_a, out_b, "t={t}: split depends on something hidden");
+            let mut all: Vec<u32> = out_a.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..b).collect::<Vec<_>>(), "t={t}: items lost");
+            for part in &out_a {
+                let diff = part.len() as f64 - b as f64 / 4.0;
+                assert!(diff.abs() < 1.0, "t={t}: chunk {}", part.len());
+            }
+        }
+        assert_eq!(sa.deviations(), sb.deviations());
+    }
+
+    #[test]
+    fn balanced_split_bounds_every_deviation_by_one() {
+        // |D_k| ≤ 1 for adversarial schedules at several K and λ — the
+        // invariant that licenses the ⌈n/K⌉+1 capacity.
+        for k in [2usize, 3, 7, 8, 16, 32] {
+            for lambda in [0.01f64, 0.1, 0.5, 2.0] {
+                let mut splitter = BalancedSplitter::new(lambda, k);
+                let mut out = vec![Vec::new(); k];
+                // Remainder-heavy sizes (b mod K ≠ 0 almost always).
+                for t in 0..500usize {
+                    let b = [1usize, k - 1, 3 * k + 1, 0, 2 * k + k / 2, 1000][t % 6];
+                    let mut batch: Vec<u32> = (0..b as u32).collect();
+                    splitter.split(&mut batch, &mut out);
+                    let sum: f64 = splitter.deviations().iter().sum();
+                    assert!(sum.abs() < 1e-6, "K={k} λ={lambda}: ΣD = {sum}");
+                    for (i, d) in splitter.deviations().iter().enumerate() {
+                        assert!(
+                            d.abs() <= 1.0 + 1e-9,
+                            "K={k} λ={lambda} t={t}: |D_{i}| = {}",
+                            d.abs()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_split_state_round_trips() {
+        let mut a = BalancedSplitter::new(0.2, 3);
+        let mut out = vec![Vec::new(); 3];
+        for t in 0..7u32 {
+            let mut batch: Vec<u32> = (0..10 + t).collect();
+            a.split(&mut batch, &mut out);
+        }
+        let mut b = BalancedSplitter::from_deviations(0.2, a.deviations().to_vec());
+        for _ in 0..7 {
+            let mut batch_a: Vec<u32> = (0..11).collect();
+            let mut batch_b = batch_a.clone();
+            let mut out_b = vec![Vec::new(); 3];
+            a.split(&mut batch_a, &mut out);
+            b.split(&mut batch_b, &mut out_b);
+            assert_eq!(out, out_b, "restored splitter diverged");
+        }
+    }
+
+    #[test]
+    fn merge_plan_shapes_are_canonical() {
+        for k in [1usize, 2, 3, 5, 8, 13, 16, 32] {
+            let plan = MergePlan::new(k);
+            assert_eq!(plan.leaves(), k);
+            assert_eq!(plan.node_count(), 2 * k - 1);
+            assert_eq!(plan.pairs().len(), k - 1);
+            let expect_depth = (k as f64).log2().ceil() as usize;
+            assert_eq!(plan.depth(), expect_depth, "K={k}");
+            assert_eq!(plan.parent(plan.root()), None);
+            // Children precede parents, every non-root has a parent, and
+            // each node is referenced as a child exactly once.
+            let mut seen = vec![0u32; plan.node_count()];
+            for (i, &(l, r)) in plan.pairs().iter().enumerate() {
+                let node = k + i;
+                assert!(l < node && r < node, "K={k}: pair {i} not topo-sorted");
+                assert_eq!(plan.parent(l), Some(node));
+                assert_eq!(plan.parent(r), Some(node));
+                seen[l] += 1;
+                seen[r] += 1;
+            }
+            for (node, &count) in seen.iter().enumerate() {
+                let expect = u32::from(node != plan.root());
+                assert_eq!(count, expect, "K={k}: node {node} referenced {count}×");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_plan_pairs_preserve_leaf_order() {
+        // In-order traversal of any plan must visit leaves 0..K in order:
+        // the property that lets T-TBS concatenate pairwise.
+        for k in [2usize, 3, 6, 7, 16] {
+            let plan = MergePlan::new(k);
+            fn visit(plan: &MergePlan, node: usize, out: &mut Vec<usize>) {
+                if node < plan.leaves() {
+                    out.push(node);
+                } else {
+                    let (l, r) = plan.pairs()[node - plan.leaves()];
+                    visit(plan, l, out);
+                    visit(plan, r, out);
+                }
+            }
+            let mut order = Vec::new();
+            visit(&plan, plan.root(), &mut order);
+            assert_eq!(order, (0..k).collect::<Vec<_>>(), "K={k}");
+        }
+    }
+
+    #[test]
+    fn merge_replay_does_not_touch_node_substreams_afterwards() {
+        // The caller's RNG must land exactly one long_jump past its entry
+        // state, regardless of how much randomness the tree consumed.
+        let spec = ShardSpec::rtbs(0.3, 40, 4);
+        let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut feed_rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut splitter = BalancedSplitter::new(spec.lambda, 4);
+        let mut out = vec![Vec::new(); 4];
+        for t in 0..50u64 {
+            let mut batch: Vec<u64> = (0..33).map(|i| t * 100 + i).collect();
+            splitter.split(&mut batch, &mut out);
+            for (shard, sub) in shards.iter_mut().zip(out.iter_mut()) {
+                shard.observe_drain(sub, &mut feed_rng);
+            }
+        }
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut expected = rng.clone();
+        expected.long_jump();
+        let _ = merge_replay(shards, &spec, &mut rng);
+        assert_eq!(rng.state(), expected.state());
     }
 
     #[test]
@@ -518,11 +1048,12 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let spec = ShardSpec::rtbs(0.1, 50, 4);
         let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut splitter = BalancedSplitter::new(spec.lambda, 4);
         let mut out: Vec<Vec<u64>> = vec![Vec::new(); 4];
         for t in 0..200u64 {
             let b = [30u64, 0, 120, 5][t as usize % 4];
             let mut batch: Vec<u64> = (0..b).map(|i| t * 1000 + i).collect();
-            partition_batch(&mut batch, t as usize, &mut out);
+            splitter.split(&mut batch, &mut out);
             for (shard, sub) in shards.iter_mut().zip(out.iter_mut()) {
                 shard.observe_drain(sub, &mut rng);
             }

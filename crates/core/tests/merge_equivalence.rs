@@ -8,30 +8,36 @@
 //! that claim with the same machinery the single-node fast-path tests use
 //! (`fastpath_equivalence.rs`): seeded Monte-Carlo checks of Theorem 4.2
 //! inclusion probabilities (4.5σ binomial bands plus a small absolute
-//! floor) and the §6.3 equilibrium-size prediction, for K ∈ {2, 4, 8} —
+//! floor) and the §6.3 equilibrium-size prediction, for K up to 32 —
 //! plus exact checks of the deterministic scalar state (W, C) against the
 //! single-node recursion.
+//!
+//! Every drive partitions batches with the engine's [`BalancedSplitter`],
+//! whose ±1 per-shard weight deviation is exactly what the `⌈n/K⌉+1`
+//! adaptive shard capacity absorbs; the Theorem 4.2 checks at K = 16 and
+//! 32 are the high-shard-count regression the 8-shard cliff fix demands.
 
 use rand::SeedableRng;
-use tbs_core::merge::{partition_batch, MergeableSample, ShardSpec};
+use tbs_core::merge::{BalancedSplitter, MergeableSample, ShardSpec};
 use tbs_core::{RTbs, TTbs};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
 /// Items tagged with (batch index, item index) for inclusion accounting.
 type Tagged = (usize, u64);
 
-/// Feed `schedule` through K shard R-TBS samplers (deterministic rotated
-/// chunk partitioning) and return the merged sampler.
+/// Feed `schedule` through K shard R-TBS samplers (balanced deterministic
+/// chunk partitioning, as the engine does) and return the merged sampler.
 fn run_sharded_rtbs(
     spec: &ShardSpec,
     schedule: &[u64],
     rng: &mut Xoshiro256PlusPlus,
 ) -> RTbs<Tagged> {
     let mut shards = RTbs::<Tagged>::make_shards(spec);
+    let mut splitter = BalancedSplitter::new(spec.lambda, spec.shards);
     let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); spec.shards];
     for (bi, &b) in schedule.iter().enumerate() {
         let mut batch: Vec<Tagged> = (0..b).map(|i| (bi, i)).collect();
-        partition_batch(&mut batch, bi, &mut parts);
+        splitter.split(&mut batch, &mut parts);
         for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
             shard.observe_shard(sub, rng);
         }
@@ -95,6 +101,16 @@ fn merged_8_shards_satisfy_theorem_4_2() {
 }
 
 #[test]
+fn merged_16_shards_satisfy_theorem_4_2() {
+    check_merged_theorem_4_2(16, 104);
+}
+
+#[test]
+fn merged_32_shards_satisfy_theorem_4_2() {
+    check_merged_theorem_4_2(32, 105);
+}
+
+#[test]
 fn merged_weights_match_single_node_recursion_exactly() {
     // (W, C) are deterministic functions of the batch-size schedule; the
     // merged state must reproduce the single-node trajectory at every
@@ -105,12 +121,13 @@ fn merged_weights_match_single_node_recursion_exactly() {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
         let mut single: RTbs<u64> = RTbs::new(0.1, 50);
         let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut splitter = BalancedSplitter::new(spec.lambda, k);
         let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
         for (t, &b) in schedule.iter().enumerate() {
             let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
             single.observe(batch.clone(), &mut rng);
             let mut batch = batch;
-            partition_batch(&mut batch, t, &mut parts);
+            splitter.split(&mut batch, &mut parts);
             for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                 shard.observe_shard(sub, &mut rng);
             }
@@ -138,10 +155,11 @@ fn merged_equilibrium_matches_paper_1479() {
         let spec = ShardSpec::rtbs(0.07, 1600, k);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(200 + k as u64);
         let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut splitter = BalancedSplitter::new(spec.lambda, k);
         let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
         for t in 0..400u64 {
             let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
-            partition_batch(&mut batch, t as usize, &mut parts);
+            splitter.split(&mut batch, &mut parts);
             for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                 shard.observe_shard(sub, &mut rng);
             }
@@ -165,10 +183,11 @@ fn merged_saturated_sample_is_pinned_at_n() {
         let spec = ShardSpec::rtbs(0.1, 1000, k);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(300 + k as u64);
         let mut shards = RTbs::<u64>::make_shards(&spec);
+        let mut splitter = BalancedSplitter::new(spec.lambda, k);
         let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
         for t in 0..300u64 {
             let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
-            partition_batch(&mut batch, t as usize, &mut parts);
+            splitter.split(&mut batch, &mut parts);
             for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                 shard.observe_shard(sub, &mut rng);
             }
@@ -184,18 +203,19 @@ fn merged_saturated_sample_is_pinned_at_n() {
 #[test]
 fn sharding_is_deterministic_given_seed_and_shard_count() {
     // Same seed + same K ⇒ bit-identical merged realization, because the
-    // partitioning is a pure function of (batch, K, rotation) and every
-    // shard consumes its own RNG stream in batch order.
+    // balanced partitioning is a pure function of the batch-size history
+    // and every shard consumes its own RNG stream in batch order.
     let schedule: &[u64] = &[40, 0, 7, 90, 3, 0, 250, 11];
     for k in [2usize, 4, 8] {
         let spec = ShardSpec::rtbs(0.2, 64, k);
         let run = |seed: u64| -> (f64, Vec<u64>) {
             let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
             let mut shards = RTbs::<u64>::make_shards(&spec);
+            let mut splitter = BalancedSplitter::new(spec.lambda, k);
             let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
             for (t, &b) in schedule.iter().enumerate() {
                 let mut batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
-                partition_batch(&mut batch, t, &mut parts);
+                splitter.split(&mut batch, &mut parts);
                 for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                     shard.observe_shard(sub, &mut rng);
                 }
@@ -225,10 +245,11 @@ fn run_sharded_ttbs(
     rng: &mut Xoshiro256PlusPlus,
 ) -> TTbs<u64> {
     let mut shards = TTbs::<u64>::make_shards(spec);
+    let mut splitter = BalancedSplitter::new(spec.lambda, spec.shards);
     let mut parts: Vec<Vec<u64>> = vec![Vec::new(); spec.shards];
     for t in 0..batches {
         let mut batch: Vec<u64> = (0..b).map(|i| t * b + i).collect();
-        partition_batch(&mut batch, t as usize, &mut parts);
+        splitter.split(&mut batch, &mut parts);
         for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
             shard.observe_shard(sub, rng);
         }
@@ -244,13 +265,14 @@ fn merged_ttbs_equilibrium_mean_is_target() {
         let spec = ShardSpec::ttbs(0.1, 1000, 100.0, k);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(400 + k as u64);
         let mut shards = TTbs::<u64>::make_shards(&spec);
+        let mut splitter = BalancedSplitter::new(spec.lambda, k);
         let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
         // Warm to steady state, then time-average.
         let mut acc = 0.0;
         let rounds = 500u64;
         for t in 0..300 + rounds {
             let mut batch: Vec<u64> = (0..100).map(|i| t * 100 + i).collect();
-            partition_batch(&mut batch, t as usize, &mut parts);
+            splitter.split(&mut batch, &mut parts);
             for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                 shard.observe_shard(sub, &mut rng);
             }
@@ -280,15 +302,16 @@ fn merged_ttbs_inclusion_ratio_is_exponential() {
         let mut count_new = 0u64;
         for _ in 0..trials {
             let mut shards = TTbs::<u64>::make_shards(&spec);
+            let mut splitter = BalancedSplitter::new(spec.lambda, k);
             let mut parts: Vec<Vec<u64>> = vec![Vec::new(); k];
             // Batch 1 tagged 0..20, batch 2 tagged 100..120, batch 3 empty.
-            for (t, base) in [(0usize, 0u64), (1, 100), (2, u64::MAX)] {
+            for (_t, base) in [(0usize, 0u64), (1, 100), (2, u64::MAX)] {
                 let mut batch: Vec<u64> = if base == u64::MAX {
                     Vec::new()
                 } else {
                     (base..base + 20).collect()
                 };
-                partition_batch(&mut batch, t, &mut parts);
+                splitter.split(&mut batch, &mut parts);
                 for (shard, sub) in shards.iter_mut().zip(parts.iter_mut()) {
                     shard.observe_shard(sub, &mut rng);
                 }

@@ -3,7 +3,7 @@
 //!
 //! Where [`crate::drtbs`] *simulates* a distributed cluster (with a cost
 //! model standing in for the network), this module is the real thing at
-//! single-machine scale: **N long-lived shard threads**, each owning a
+//! single-machine scale: **N long-lived shard threads**, each serving a
 //! monomorphized sampler ([`tbs_core::merge::MergeableSample`]) and a
 //! jump-ahead RNG substream, fed through bounded blocking queues
 //! ([`crate::queue::BatchQueue`]) by a driver thread. This is the paper's
@@ -16,75 +16,95 @@
 //! ## Pipeline anatomy
 //!
 //! ```text
-//!              ┌────────────┐   work: BatchQueue<ShardMsg>   ┌──────────┐
-//!  ingest() ──▶│  driver:   │ ─────────────────────────────▶ │ shard 0  │
-//!              │ partition  │ ◀───────────────────────────── │ R-TBS +  │
-//!              │  + enqueue │   recycle: BatchQueue<Vec<T>>  │ own RNG  │
-//!              └────────────┘            …× N                └──────────┘
+//!              ┌────────────┐  work: BatchQueue<ShardMsg>  ┌─────────────┐
+//!  ingest() ──▶│  driver:   │ ───────────────────────────▶ │ shard cell 0│
+//!              │ balanced   │ ◀─────────────────────────── │ Mutex<R-TBS │
+//!              │   split    │  recycle: BatchQueue<Vec<T>> │  + own RNG> │
+//!              └────────────┘            …× N              └─────────────┘
+//!                                                  ▲ any idle worker may
+//!                                                  │ lock a cell & serve it
 //! ```
 //!
-//! * Batches are split deterministically ([`tbs_core::merge::partition_batch`])
-//!   so runs are reproducible regardless of thread interleaving: same seed
-//!   + same shard count ⇒ identical merged sample.
+//! * Batches are split deterministically by a
+//!   [`tbs_core::merge::BalancedSplitter`]: every shard's decayed weight
+//!   stays within **one item** of `W/K`, which licenses the `⌈n/K⌉ + 1`
+//!   adaptive shard capacity (see the `tbs_core::merge` module docs) and
+//!   keeps high-K shards on the saturated fast path.
+//! * **Work stealing**: a shard's sampler lives in a `Mutex`ed cell, not
+//!   in thread-local state. Each worker serves its own cell first, then
+//!   sweeps the other cells and drains any backlog it can lock. Because a
+//!   cell's queue is only drained *while holding the cell's lock*, every
+//!   logical shard still consumes its sub-stream in FIFO order with its
+//!   own sampler and RNG — so the realized sample is **bit-identical**
+//!   whether or not any stealing happened; only the thread that happened
+//!   to do the work differs. Determinism keys off the logical chunk
+//!   assignment, never off thread timing.
 //! * Consumed batch buffers flow back to the driver through a recycle
 //!   queue, so steady-state ingest performs **zero heap allocations**
 //!   beyond the caller-provided batch (verified by the engine's
 //!   counting-allocator test).
-//! * [`ParallelIngestEngine::sample`] quiesces the pipeline (queues are
-//!   FIFO, so a snapshot request naturally drains each shard), merges the
-//!   shard states in shard-id order, and realizes the unified sample.
 //! * Workers are spawned **once** at construction — no per-batch thread
-//!   spawn anywhere (contrast with the pre-PR-3 `WorkerPool`, which paid
-//!   a `thread::spawn` per job per batch).
+//!   spawn anywhere.
 //!
-//! ## Serving without stopping: the snapshot barrier
+//! ## Serving without stopping: snapshot barrier + merge tree
 //!
-//! `sample()` is *exact but synchronous*: the caller blocks through
-//! quiesce + merge + realize, and no one else can read meanwhile. The
-//! epoch-publication path removes both limits:
+//! `sample()` and `request_snapshot()` both route through the same
+//! epoch-snapshot protocol:
 //!
 //! ```text
 //!  request_snapshot() ──▶ Barrier(e) ──▶ shard k: fork_for_merge() ─┐
 //!        │                (FIFO, so the fork lands exactly at the    │
 //!        │                 batch boundary of the request)            ▼
-//!        └── Request{e, driver-RNG state} ──────────────▶ ┌───────────────┐
-//!                                                         │ merger thread │
-//!                       Arc<FrozenSample> ◀── merge+realize│  (background) │
-//!                            │                             └───────────────┘
-//!                            ▼
-//!                    EpochCell ◀── SampleReader::latest()  (lock-free poll)
+//!        └── Request{e, driver-RNG state} ─────────────▶ ┌───────────────┐
+//!                                                        │ merger thread │
+//!             leaf tasks: BatchQueue<(tree, leaf)> ◀──── │  builds the   │
+//!                 │ executed by idle shard workers       │  EpochTree    │
+//!                 ▼ (or the merger itself)               └───────────────┘
+//!          cooperative log-depth merge tree ──▶ Publish ──▶ EpochCell
 //! ```
 //!
+//! The merger does **not** fold the K forks itself. It precomputes the
+//! merge's global scalars, derives every tree node's RNG substream from
+//! the recorded driver position (the [`tbs_core::merge::merge_replay`]
+//! contract: node randomness is a pure function of `(entry RNG state,
+//! node id)`), and enqueues K leaf tasks. Idle shard workers pick the
+//! tasks up between ingest drains; whoever finishes the second child of
+//! a node immediately merges that pair and climbs, so the `⌈log₂K⌉`-depth
+//! tree completes cooperatively with no barrier and no dedicated merge
+//! thread doing O(K) serial work. The root finisher realizes the sample
+//! and sends it back; the merger publishes epochs strictly in order.
+//!
 //! [`ParallelIngestEngine::request_snapshot`] consumes **no** driver
-//! randomness — it records the driver RNG *position* and lets the merger
-//! replay the exact merge + realization sequence `sample()` would have
-//! run from that position. The published [`FrozenSample`] is therefore
-//! **bit-identical** to what `quiesce()` + `sample()` would have returned
-//! at the same barrier point (the engine-snapshot tests pin this down),
+//! randomness, and the published [`FrozenSample`] is **bit-identical** to
+//! a driver-side [`ParallelIngestEngine::snapshot_merged`] + realization
+//! from the same RNG position (the engine-snapshot tests pin this down),
 //! while ingest never stops: shards pause only for the `O(n_k)` state
-//! fork, and the merge runs concurrently on the merger thread.
+//! fork.
 //!
 //! ## Choosing a shard count
 //!
-//! Shard capacity is `⌈n/K⌉` plus a decay-dependent skew headroom, and a
-//! shard stays on R-TBS's cheap saturated transition only while its
-//! sub-stream weight `W/K` exceeds that capacity. Rule of thumb: scale K
-//! up to the core count **while `b/(K(1−e^{−λ})) > n/K + 1/(1−e^{−λ})`**
-//! (i.e. per-shard equilibrium weight stays above per-shard capacity);
-//! past that point shards fall out of saturation and per-shard cost rises
-//! from O(b·n/W) to O(C) per batch. The committed `BENCH_scaling.json`
-//! quantifies both regimes.
+//! With the balanced split and the `⌈n/K⌉ + 1` adaptive capacity, a shard
+//! stays on R-TBS's cheap saturated transition whenever
+//! `b/(K(1−e^{−λ})) ≥ n/K + 2` — i.e. per-shard equilibrium weight
+//! exceeds per-shard capacity, with only a constant (not
+//! decay-geometric) headroom term. The old "8-shard cliff" — per-shard
+//! `⌈1/(1−e^{−λ})⌉` headroom growing relative to `⌈n/K⌉` until high-K
+//! shards fell off the saturated path — is gone; scale K to the core
+//! count while the whole-stream equilibrium `b/(1−e^{−λ})` comfortably
+//! exceeds `n + 2K`. The committed `BENCH_scaling.json` quantifies both
+//! regimes.
 
 use crate::queue::BatchQueue;
 use crate::snapshot::EpochCell;
+use parking_lot::Mutex;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tbs_core::frozen::FrozenSample;
-use tbs_core::merge::{partition_batch, MergeableSample, ShardSpec};
+use tbs_core::merge::{BalancedSplitter, MergePlan, MergeScalars, MergeableSample, ShardSpec};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
 /// Configuration of a [`ParallelIngestEngine`].
@@ -114,6 +134,12 @@ impl EngineConfig {
 
 /// Steady-state ingest counters for one shard, read with
 /// [`ParallelIngestEngine::shard_stats`].
+///
+/// Counters are charged to the **logical shard** whose sub-stream was
+/// processed, regardless of which worker thread did the processing — a
+/// stolen drain shows up in the victim shard's `busy_ns`, so the scaling
+/// bench's per-shard busy fractions describe where the stream's work
+/// went, not which OS thread ran it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardStats {
     /// Items ingested by this shard.
@@ -172,11 +198,72 @@ enum MergerMsg<S: MergeableSample> {
         shard: usize,
         state: Box<S>,
     },
+    /// A completed epoch realized by whichever worker finished the merge
+    /// tree's root; the merger re-orders these into in-order publication.
+    Publish {
+        frozen: Box<FrozenSample<<S as MergeableSample>::Item>>,
+    },
+}
+
+/// One epoch's merge tree, shared (via `Arc`) between the merger and the
+/// shard workers that cooperatively execute it.
+///
+/// Every node's RNG substream state is precomputed from the driver RNG
+/// position recorded at request time, following the exact
+/// [`tbs_core::merge::merge_replay`] substream contract — so the
+/// cooperative execution is bit-identical to the sequential reference no
+/// matter which threads run which nodes in which order.
+struct EpochTree<S: MergeableSample> {
+    epoch: u64,
+    /// Batches-ingested staleness stamp for the published metadata.
+    batches: u64,
+    plan: MergePlan,
+    scalars: MergeScalars,
+    /// Per-node RNG substream states (`node_rngs[n]` = substream `n+1` of
+    /// the recorded driver position, matching `merge_replay`).
+    node_rngs: Vec<[u64; 4]>,
+    /// The post-`long_jump` trajectory realization draws ride.
+    realize_rng: [u64; 4],
+    /// One slot per tree node; leaves are pre-loaded with the shard forks.
+    slots: Vec<Mutex<Option<S>>>,
+    /// Arrival counters for internal nodes (index = node − K): the second
+    /// child to arrive merges the pair and climbs.
+    pending: Vec<AtomicUsize>,
+}
+
+/// A leaf-execution task: run `tree` starting from leaf `usize`.
+type TreeTask<S> = (Arc<EpochTree<S>>, usize);
+
+/// One logical shard's serving state: the sampler + RNG behind a lock so
+/// any worker can serve it, plus its queues and counters.
+struct ShardCell<S: MergeableSample> {
+    core: Mutex<ShardCore<S>>,
+    work: BatchQueue<ShardMsg<S::Item>>,
+    resp: BatchQueue<ShardResp<S>>,
+    recycle: BatchQueue<Vec<S::Item>>,
+    counters: ShardCounters,
+}
+
+struct ShardCore<S> {
+    sampler: S,
+    rng: Xoshiro256PlusPlus,
+}
+
+/// Everything the worker and merger threads share.
+struct EngineShared<S: MergeableSample> {
+    cells: Vec<ShardCell<S>>,
+    /// Merge-tree leaf tasks, executed by idle workers (or the merger).
+    tasks: BatchQueue<TreeTask<S>>,
+    /// The merger thread's inbox.
+    merger: BatchQueue<MergerMsg<S>>,
+    spec: ShardSpec,
+    /// Per-worker queue depth (drained groups are bounded by this).
+    depth: usize,
 }
 
 /// The complete durable state of a quiesced [`ParallelIngestEngine`]:
 /// every shard's sampler and RNG position, the driver's RNG position, and
-/// the batch-split rotation counter. Feeding it back through
+/// the balanced splitter's deviation state. Feeding it back through
 /// [`ParallelIngestEngine::from_parts`] (same spec, shard count, and
 /// queue depth) resumes the stream **bit-identically** to an
 /// uninterrupted run — the engine-determinism tests pin this down.
@@ -186,28 +273,12 @@ pub struct EngineCheckpoint<S> {
     pub shard_states: Vec<(S, [u64; 4])>,
     /// The driver's merge/realization RNG position.
     pub driver_rng: [u64; 4],
-    /// The remainder-rotation counter of the deterministic batch split.
-    pub rotation: u64,
+    /// The balanced splitter's per-shard deviation state `D_k`, in
+    /// shard-id order (all zeros for a fresh engine).
+    pub split_deviations: Vec<f64>,
     /// Batches ingested so far — the staleness stamp future snapshot
     /// publications continue from.
     pub batches: u64,
-}
-
-struct ShardHandle<S: MergeableSample> {
-    work: Arc<BatchQueue<ShardMsg<S::Item>>>,
-    resp: Arc<BatchQueue<ShardResp<S>>>,
-    recycle: Arc<BatchQueue<Vec<S::Item>>>,
-    counters: Arc<ShardCounters>,
-    join: Option<JoinHandle<()>>,
-}
-
-/// Everything a shard worker communicates through, bundled for the spawn.
-struct ShardChannels<S: MergeableSample> {
-    work: Arc<BatchQueue<ShardMsg<S::Item>>>,
-    resp: Arc<BatchQueue<ShardResp<S>>>,
-    recycle: Arc<BatchQueue<Vec<S::Item>>>,
-    merger: Arc<BatchQueue<MergerMsg<S>>>,
-    counters: Arc<ShardCounters>,
 }
 
 /// A sharded, multi-threaded ingest front-end over any
@@ -215,15 +286,14 @@ struct ShardChannels<S: MergeableSample> {
 ///
 /// See the [module docs](self) for the pipeline anatomy. The engine is
 /// deterministic: the realized sample is a pure function of
-/// `(seed, shard count, batch sequence)`.
+/// `(seed, shard count, batch sequence)` — work stealing and merge-tree
+/// scheduling change which threads do the work, never the result.
 pub struct ParallelIngestEngine<S: MergeableSample + Clone + Send + 'static>
 where
     S::Item: Send + Sync + 'static,
 {
-    shards: Vec<ShardHandle<S>>,
-    spec: ShardSpec,
-    /// The background merge/publish thread of the snapshot protocol.
-    merger_work: Arc<BatchQueue<MergerMsg<S>>>,
+    shared: Arc<EngineShared<S>>,
+    worker_joins: Vec<Option<JoinHandle<()>>>,
     merger_join: Option<JoinHandle<()>>,
     /// Epoch-publication cell shared with every reader handle.
     cell: Arc<EpochCell<S::Item>>,
@@ -232,8 +302,8 @@ where
     /// Batches fed through [`ParallelIngestEngine::ingest`] — the
     /// staleness stamp carried by published snapshots.
     batches_ingested: u64,
-    /// Remainder-rotation counter for the deterministic batch split.
-    rotation: usize,
+    /// The deviation-balanced deterministic batch splitter.
+    splitter: BalancedSplitter,
     /// Largest per-shard chunk seen so far. Recycled split buffers are
     /// reserved up to this before filling, so every circulating buffer
     /// converges to the high-water capacity after one population cycle —
@@ -258,7 +328,8 @@ where
             Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(cfg.spec.shards + 1);
         let driver_rng = substreams.remove(0);
         let shard_samplers = S::make_shards(&cfg.spec);
-        Self::spawn(cfg, shard_samplers, substreams, driver_rng, 0)
+        let splitter = BalancedSplitter::new(cfg.spec.lambda, cfg.spec.shards);
+        Self::spawn(cfg, shard_samplers, substreams, driver_rng, splitter)
     }
 
     /// Rebuild an engine from a quiesced checkpoint (see
@@ -277,6 +348,13 @@ where
             parts.shard_states.len(),
             cfg.spec.shards
         );
+        assert_eq!(
+            parts.split_deviations.len(),
+            cfg.spec.shards,
+            "checkpoint carries {} split deviations for {} shards",
+            parts.split_deviations.len(),
+            cfg.spec.shards
+        );
         let mut samplers = Vec::with_capacity(parts.shard_states.len());
         let mut rngs = Vec::with_capacity(parts.shard_states.len());
         for (sampler, state) in parts.shard_states {
@@ -284,7 +362,8 @@ where
             rngs.push(Xoshiro256PlusPlus::from_state(state));
         }
         let driver_rng = Xoshiro256PlusPlus::from_state(parts.driver_rng);
-        let mut engine = Self::spawn(cfg, samplers, rngs, driver_rng, parts.rotation as usize);
+        let splitter = BalancedSplitter::from_deviations(cfg.spec.lambda, parts.split_deviations);
+        let mut engine = Self::spawn(cfg, samplers, rngs, driver_rng, splitter);
         engine.batches_ingested = parts.batches;
         engine
     }
@@ -294,75 +373,80 @@ where
         shard_samplers: Vec<S>,
         substreams: Vec<Xoshiro256PlusPlus>,
         driver_rng: Xoshiro256PlusPlus,
-        rotation: usize,
+        splitter: BalancedSplitter,
     ) -> Self {
         let spec = cfg.spec;
-        // Room for a few epochs in flight (each is 1 request + K forks);
-        // beyond that the snapshot path exerts backpressure on whoever
-        // requests faster than the merger can merge.
-        let merger_work: Arc<BatchQueue<MergerMsg<S>>> =
-            Arc::new(BatchQueue::with_capacity(4 * (spec.shards + 1)));
+        let depth = cfg.queue_depth.max(1);
+        // Room for a few epochs in flight (each is 1 request + K forks +
+        // 1 publish); beyond that the snapshot path exerts backpressure on
+        // whoever requests faster than the pipeline can merge.
+        let merger: BatchQueue<MergerMsg<S>> = BatchQueue::with_capacity(4 * (spec.shards + 2));
+        // Leaf tasks for a few epochs; dispatch never blocks on this
+        // queue (overflow executes inline on the merger).
+        let tasks: BatchQueue<TreeTask<S>> = BatchQueue::with_capacity(4 * spec.shards + 4);
+        let cells: Vec<ShardCell<S>> = shard_samplers
+            .into_iter()
+            .zip(substreams)
+            .map(|(sampler, rng)| {
+                // The recycle queue is created at its full buffer
+                // population, 2·depth + 2: at most depth buffers sit in
+                // the work queue, at most depth in the (unique, lock-
+                // holding) processor's unflushed done-list, and one in
+                // the driver — so at least one is always available, the
+                // driver's try_pop never misses, the processor's try_push
+                // never drops a warm buffer, and steady-state ingest
+                // never calls the allocator for a buffer (the counting-
+                // allocator test pins this down).
+                let population = 2 * depth + 2;
+                let recycle = BatchQueue::with_capacity(population);
+                for _ in 0..population {
+                    let _ = recycle.try_push(Vec::new());
+                }
+                ShardCell {
+                    core: Mutex::new(ShardCore { sampler, rng }),
+                    work: BatchQueue::with_capacity(depth),
+                    resp: BatchQueue::with_capacity(2),
+                    recycle,
+                    counters: ShardCounters::default(),
+                }
+            })
+            .collect();
+        let shared = Arc::new(EngineShared {
+            cells,
+            tasks,
+            merger,
+            spec,
+            depth,
+        });
         let cell = Arc::new(EpochCell::new());
         let merger_join = std::thread::Builder::new()
             .name("tbs-merger".into())
             .spawn({
-                let work = Arc::clone(&merger_work);
+                let shared = Arc::clone(&shared);
                 let cell = Arc::clone(&cell);
-                move || merger_worker(spec, &work, &cell)
+                move || merger_worker(&shared, &cell)
             })
             .expect("spawn merger worker");
-        let shards: Vec<ShardHandle<S>> = shard_samplers
-            .into_iter()
-            .zip(substreams)
-            .enumerate()
-            .map(|(i, (sampler, rng))| {
-                let work = Arc::new(BatchQueue::with_capacity(cfg.queue_depth.max(1)));
-                let resp = Arc::new(BatchQueue::with_capacity(2));
-                // The recycle queue is created at its full buffer
-                // population, 2·depth + 2: at most depth buffers sit in
-                // the work queue, at most depth in the worker's unflushed
-                // done-list, and one in the driver — so at least one is
-                // always available, the driver's try_pop never misses,
-                // the worker's try_push never drops a warm buffer, and
-                // steady-state ingest never calls the allocator for a
-                // buffer (the counting-allocator test pins this down).
-                let population = 2 * cfg.queue_depth.max(1) + 2;
-                let recycle = Arc::new(BatchQueue::with_capacity(population));
-                for _ in 0..population {
-                    let _ = recycle.try_push(Vec::new());
-                }
-                let counters = Arc::new(ShardCounters::default());
-                let channels = ShardChannels {
-                    work: Arc::clone(&work),
-                    resp: Arc::clone(&resp),
-                    recycle: Arc::clone(&recycle),
-                    merger: Arc::clone(&merger_work),
-                    counters: Arc::clone(&counters),
-                };
-                let depth = cfg.queue_depth.max(1);
-                let join = std::thread::Builder::new()
-                    .name(format!("tbs-shard-{i}"))
-                    .spawn(move || shard_worker(i, sampler, rng, depth, &channels))
-                    .expect("spawn shard worker");
-                ShardHandle {
-                    work,
-                    resp,
-                    recycle,
-                    counters,
-                    join: Some(join),
-                }
+        let worker_joins = (0..spec.shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("tbs-shard-{i}"))
+                        .spawn(move || shard_worker(i, &shared))
+                        .expect("spawn shard worker"),
+                )
             })
             .collect();
         Self {
             split: (0..spec.shards).map(|_| Vec::new()).collect(),
-            shards,
-            spec,
-            merger_work,
+            shared,
+            worker_joins,
             merger_join: Some(merger_join),
             cell,
             next_epoch: 1,
             batches_ingested: 0,
-            rotation,
+            splitter,
             chunk_high_water: 0,
             driver_rng,
             resp_scratch: Vec::with_capacity(1),
@@ -371,46 +455,45 @@ where
 
     /// The shard count K.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shared.cells.len()
     }
 
     /// The single-node-equivalent spec this engine maintains.
     pub fn spec(&self) -> &ShardSpec {
-        &self.spec
+        &self.shared.spec
     }
 
     /// Feed one arriving batch. The batch is split deterministically
-    /// across the shard queues (blocking only when a queue is full —
-    /// backpressure, not data loss); empty batches are delivered too,
-    /// since every shard's decay clock must advance.
+    /// across the shard queues by the balanced splitter (blocking only
+    /// when a queue is full — backpressure, not data loss); empty batches
+    /// are delivered too, since every shard's decay clock must advance.
     pub fn ingest(&mut self, mut batch: Vec<S::Item>) {
         self.batches_ingested += 1;
-        if self.shards.len() == 1 {
-            // Single shard: hand the caller's buffer over untouched.
-            let _ = self.shards[0].work.push(ShardMsg::Batch(batch));
+        let cells = &self.shared.cells;
+        if cells.len() == 1 {
+            // Single shard: hand the caller's buffer over untouched (the
+            // splitter state stays identically zero for K = 1).
+            let _ = cells[0].work.push(ShardMsg::Batch(batch));
             return;
         }
-        self.chunk_high_water = self
-            .chunk_high_water
-            .max(batch.len().div_ceil(self.shards.len()));
-        for (slot, shard) in self.split.iter_mut().zip(&self.shards) {
-            *slot = shard.recycle.try_pop().unwrap_or_default();
+        self.chunk_high_water = self.chunk_high_water.max(batch.len().div_ceil(cells.len()));
+        for (slot, cell) in self.split.iter_mut().zip(cells) {
+            *slot = cell.recycle.try_pop().unwrap_or_default();
             slot.reserve(self.chunk_high_water);
         }
-        partition_batch(&mut batch, self.rotation, &mut self.split);
-        self.rotation = self.rotation.wrapping_add(1);
-        for (slot, shard) in self.split.iter_mut().zip(&self.shards) {
-            let _ = shard.work.push(ShardMsg::Batch(std::mem::take(slot)));
+        self.splitter.split(&mut batch, &mut self.split);
+        for (slot, cell) in self.split.iter_mut().zip(cells) {
+            let _ = cell.work.push(ShardMsg::Batch(std::mem::take(slot)));
         }
     }
 
     /// Block until every shard has absorbed everything queued so far.
     pub fn quiesce(&mut self) {
-        for shard in &self.shards {
-            let _ = shard.work.push(ShardMsg::Sync);
+        for cell in &self.shared.cells {
+            let _ = cell.work.push(ShardMsg::Sync);
         }
-        for shard in &self.shards {
-            let _ = pop_resp(shard, &mut self.resp_scratch);
+        for cell in &self.shared.cells {
+            let _ = pop_resp(cell, &mut self.resp_scratch);
         }
     }
 
@@ -418,12 +501,12 @@ where
     /// shard-id order (shards keep running; their live state is
     /// untouched).
     fn snapshot_shards(&mut self) -> Vec<(S, [u64; 4])> {
-        for shard in &self.shards {
-            let _ = shard.work.push(ShardMsg::Snapshot);
+        for cell in &self.shared.cells {
+            let _ = cell.work.push(ShardMsg::Snapshot);
         }
-        let mut snapshots = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            match pop_resp(shard, &mut self.resp_scratch) {
+        let mut snapshots = Vec::with_capacity(self.shared.cells.len());
+        for cell in &self.shared.cells {
+            match pop_resp(cell, &mut self.resp_scratch) {
                 ShardResp::Snapshot(s) => snapshots.push(*s),
                 ShardResp::Ack => unreachable!("snapshot request acked without payload"),
             }
@@ -433,27 +516,28 @@ where
 
     /// Quiesce, snapshot every shard, and merge the snapshots into a
     /// single-node-equivalent sampler (shards keep running; their live
-    /// state is untouched).
+    /// state is untouched). The merge runs the canonical
+    /// [`tbs_core::merge::merge_replay`] tree on the driver thread.
     pub fn snapshot_merged(&mut self) -> S {
         let snapshots = self
             .snapshot_shards()
             .into_iter()
             .map(|(sampler, _)| sampler)
             .collect();
-        S::merge_shards(snapshots, &self.spec, &mut self.driver_rng)
+        S::merge_shards(snapshots, &self.shared.spec, &mut self.driver_rng)
     }
 
     /// Quiesce and capture the engine's complete durable state: every
     /// shard's sampler and RNG position, the driver RNG position, and the
-    /// batch-split rotation. Unlike [`ParallelIngestEngine::sample`], this
-    /// consumes **no** randomness, so checkpointing mid-stream leaves the
-    /// trajectory untouched; [`ParallelIngestEngine::from_parts`] resumes
-    /// bit-identically.
+    /// balanced splitter's deviations. Unlike
+    /// [`ParallelIngestEngine::sample`], this consumes **no** randomness,
+    /// so checkpointing mid-stream leaves the trajectory untouched;
+    /// [`ParallelIngestEngine::from_parts`] resumes bit-identically.
     pub fn save_parts(&mut self) -> EngineCheckpoint<S> {
         EngineCheckpoint {
             shard_states: self.snapshot_shards(),
             driver_rng: self.driver_rng.state(),
-            rotation: self.rotation as u64,
+            split_deviations: self.splitter.deviations().to_vec(),
             batches: self.batches_ingested,
         }
     }
@@ -464,15 +548,16 @@ where
     /// A barrier marker is enqueued after everything ingested so far, so
     /// the snapshot reflects exactly the batches fed before this call.
     /// Each shard forks its state at the barrier (an `O(n_k)` copy) and
-    /// keeps ingesting; the background merger folds the forks with the
-    /// exact `tbs_core::merge` algebra and publishes an
+    /// keeps ingesting; the merger derives the epoch's merge tree from
+    /// the recorded driver RNG position and idle shard workers execute it
+    /// cooperatively (see the module docs), publishing an
     /// `Arc<FrozenSample>` into the engine's [`EpochCell`].
     ///
-    /// Consumes **no** driver randomness: the merger replays the merge +
+    /// Consumes **no** driver randomness: the tree replays the merge +
     /// realization from the driver RNG's current *position*, so the
-    /// published sample is bit-identical to what
-    /// [`ParallelIngestEngine::sample`] would have returned here, and the
-    /// engine's own trajectory is untouched (like
+    /// published sample is bit-identical to what a driver-side
+    /// [`ParallelIngestEngine::snapshot_merged`] + realization would have
+    /// produced here, and the engine's own trajectory is untouched (like
     /// [`ParallelIngestEngine::save_parts`]).
     ///
     /// The only blocking is backpressure: if a queue is full the push
@@ -489,15 +574,16 @@ where
         // Request before barriers: FIFO causality guarantees the merger
         // sees the epoch header before any fork for it.
         let mut delivered = self
-            .merger_work
+            .shared
+            .merger
             .push(MergerMsg::Request {
                 epoch,
                 rng: self.driver_rng.state(),
                 batches: self.batches_ingested,
             })
             .is_ok();
-        for shard in &self.shards {
-            delivered &= shard.work.push(ShardMsg::Barrier(epoch)).is_ok();
+        for cell in &self.shared.cells {
+            delivered &= cell.work.push(ShardMsg::Barrier(epoch)).is_ok();
         }
         if !delivered {
             self.cell.close();
@@ -530,24 +616,39 @@ where
         self.batches_ingested
     }
 
-    /// Quiesce, merge, and realize the unified sample.
-    pub fn sample(&mut self) -> Vec<S::Item> {
-        let merged = self.snapshot_merged();
-        let mut out = Vec::new();
-        merged.realize_into(&mut self.driver_rng, &mut out);
-        out
+    /// Merge and realize the unified sample **on the shard threads**:
+    /// request an epoch snapshot, advance the driver past the merge's
+    /// RNG-substream block (one `long_jump`, the `merge_replay`
+    /// contract), and wait for the cooperative merge tree to publish.
+    ///
+    /// The driver thread does O(1) work here — the `⌈log₂K⌉`-depth merge
+    /// and the realization run on the shard workers, overlapping any
+    /// still-queued ingest.
+    pub fn sample(&mut self) -> Vec<S::Item>
+    where
+        S::Item: Clone,
+    {
+        let epoch = self.request_snapshot();
+        self.driver_rng.long_jump();
+        let frozen = self
+            .cell
+            .wait_for_epoch(epoch)
+            .expect("snapshot pipeline terminated before the requested epoch");
+        frozen.items().to_vec()
     }
 
     /// Per-shard ingest counters (items, batches, busy nanoseconds).
     /// Exact after a [`ParallelIngestEngine::quiesce`]; otherwise a
-    /// point-in-time reading.
+    /// point-in-time reading. Work-stolen batches are charged to the
+    /// logical shard that owns them, not the thread that ran them.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards
+        self.shared
+            .cells
             .iter()
-            .map(|s| ShardStats {
-                items: s.counters.items.load(Ordering::Relaxed),
-                batches: s.counters.batches.load(Ordering::Relaxed),
-                busy_ns: s.counters.busy_ns.load(Ordering::Relaxed),
+            .map(|c| ShardStats {
+                items: c.counters.items.load(Ordering::Relaxed),
+                batches: c.counters.batches.load(Ordering::Relaxed),
+                busy_ns: c.counters.busy_ns.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -559,11 +660,11 @@ where
 /// panic guard closes the queue on unwind); fail fast with a clear panic
 /// instead of blocking forever.
 fn pop_resp<S: MergeableSample>(
-    shard: &ShardHandle<S>,
+    cell: &ShardCell<S>,
     scratch: &mut Vec<ShardResp<S>>,
 ) -> ShardResp<S> {
     scratch.clear();
-    let n = shard.resp.drain_into(scratch);
+    let n = cell.resp.drain_into(scratch);
     assert!(
         n == 1,
         "shard worker terminated (panicked?) before responding"
@@ -576,13 +677,13 @@ where
     S::Item: Send + Sync + 'static,
 {
     fn drop(&mut self) {
-        // Closing the work queue lets each worker drain its backlog and
+        // Closing the work queues lets each worker drain the backlog and
         // exit; join propagates worker panics.
-        for shard in &mut self.shards {
-            shard.work.close();
+        for cell in &self.shared.cells {
+            cell.work.close();
         }
-        for shard in &mut self.shards {
-            if let Some(join) = shard.join.take() {
+        for join in &mut self.worker_joins {
+            if let Some(join) = join.take() {
                 let result = join.join();
                 // Re-raising a worker panic while already unwinding (e.g.
                 // after pop_resp's fail-fast) would abort the process;
@@ -593,10 +694,12 @@ where
             }
         }
         // Shards first, merger second: a draining shard backlog may still
-        // push barrier forks, which the merger must be alive to absorb.
-        // After the close it merges whatever epochs completed, closes the
-        // cell (waking any wait_for_epoch blockers), and exits.
-        self.merger_work.close();
+        // push barrier forks or tree completions, which the merger must
+        // be alive to absorb. After the close the merger self-executes
+        // any leaf tasks the (now joined) workers left behind, publishes
+        // whatever epochs completed, closes the cell (waking any
+        // wait_for_epoch blockers), and exits.
+        self.shared.merger.close();
         if let Some(join) = self.merger_join.take() {
             let result = join.join();
             if !std::thread::panicking() {
@@ -606,24 +709,148 @@ where
     }
 }
 
-/// The long-lived per-shard worker: drain the work queue in bulk, ingest
-/// batches on the monomorphized fast path, recycle buffers, answer
-/// snapshot/sync requests, fork state at epoch barriers.
-fn shard_worker<S: MergeableSample + Clone>(
+/// Process one drained group of messages for the logical shard `cell`,
+/// whose core lock the caller holds. This is the only place shard state
+/// advances, and it always runs under the cell's lock after draining the
+/// cell's queue under that same lock — which is exactly what keeps a
+/// stolen drain FIFO-consistent with the owner's.
+///
+/// Recycled buffers are pushed into `done`; the caller hands them back
+/// to the cell's recycle queue *after* releasing the core lock.
+fn process_shard_msgs<S: MergeableSample + Clone>(
     shard_id: usize,
-    mut sampler: S,
-    mut rng: Xoshiro256PlusPlus,
-    depth: usize,
-    channels: &ShardChannels<S>,
+    core: &mut ShardCore<S>,
+    cell: &ShardCell<S>,
+    merger: &BatchQueue<MergerMsg<S>>,
+    msgs: &mut Vec<ShardMsg<S::Item>>,
+    done: &mut Vec<Vec<S::Item>>,
 ) {
-    let ShardChannels {
-        work,
-        resp,
-        recycle,
-        merger,
-        counters,
-    } = channels;
-    // If the worker unwinds (a sampler panic), close both driver-facing
+    let counters = &cell.counters;
+    let mut items = 0u64;
+    let mut batches = 0u64;
+    let mut busy = 0u64;
+    // One timed span per contiguous run of batches: with a fast producer
+    // the drain delivers work in large groups, so the two clock reads
+    // amortize to nothing per batch.
+    let mut span: Option<Instant> = None;
+    let close_span = |span: &mut Option<Instant>, busy: &mut u64| {
+        if let Some(t) = span.take() {
+            *busy += t.elapsed().as_nanos() as u64;
+        }
+    };
+    // Counters must be flushed *before* any Sync/Snapshot response is
+    // sent: the driver reads them right after the ack, and the "exact
+    // after quiesce" contract holds only if everything processed ahead
+    // of the ack is already visible.
+    let flush = |items: &mut u64, batches: &mut u64, busy: &mut u64| {
+        counters.items.fetch_add(*items, Ordering::Relaxed);
+        counters.batches.fetch_add(*batches, Ordering::Relaxed);
+        counters.busy_ns.fetch_add(*busy, Ordering::Relaxed);
+        (*items, *batches, *busy) = (0, 0, 0);
+    };
+    for msg in msgs.drain(..) {
+        match msg {
+            ShardMsg::Batch(mut buf) => {
+                if span.is_none() {
+                    span = Some(Instant::now());
+                }
+                items += buf.len() as u64;
+                core.sampler.observe_shard(&mut buf, &mut core.rng);
+                buf.clear();
+                done.push(buf);
+                batches += 1;
+            }
+            ShardMsg::Snapshot => {
+                close_span(&mut span, &mut busy);
+                flush(&mut items, &mut batches, &mut busy);
+                let _ = cell.resp.push(ShardResp::Snapshot(Box::new((
+                    core.sampler.clone(),
+                    core.rng.state(),
+                ))));
+            }
+            ShardMsg::Barrier(epoch) => {
+                // The fork is charged to the busy span: it is real
+                // per-shard pipeline work, and the serving benchmark's
+                // ingest-capacity gate must see the snapshot overhead.
+                if span.is_none() {
+                    span = Some(Instant::now());
+                }
+                let _ = merger.push(MergerMsg::Fork {
+                    epoch,
+                    shard: shard_id,
+                    state: Box::new(core.sampler.fork_for_merge()),
+                });
+            }
+            ShardMsg::Sync => {
+                close_span(&mut span, &mut busy);
+                flush(&mut items, &mut batches, &mut busy);
+                let _ = cell.resp.push(ShardResp::Ack);
+            }
+        }
+    }
+    close_span(&mut span, &mut busy);
+    flush(&mut items, &mut batches, &mut busy);
+}
+
+/// Execute one leaf of an epoch's merge tree and climb as far as
+/// completed pairs allow. Returns the realized [`FrozenSample`] iff this
+/// call finished the **root** (exactly one call per tree does).
+///
+/// Every node draws from its own precomputed RNG substream, so the
+/// result is a pure function of the tree — not of which thread runs
+/// this, or in what order siblings complete.
+fn run_tree_task<S: MergeableSample>(
+    tree: &EpochTree<S>,
+    leaf: usize,
+    spec: &ShardSpec,
+) -> Option<FrozenSample<S::Item>> {
+    let k = tree.plan.leaves();
+    let shard = tree.slots[leaf]
+        .lock()
+        .take()
+        .expect("merge-tree leaf executed twice");
+    let target = tree.scalars.leaf_targets.get(leaf).copied().unwrap_or(0.0);
+    let mut rng = Xoshiro256PlusPlus::from_state(tree.node_rngs[leaf]);
+    let mut node = leaf;
+    let mut value = S::merge_leaf(shard, target, &mut rng);
+    loop {
+        let Some(parent) = tree.plan.parent(node) else {
+            // Root complete: stamp the global scalars and realize on the
+            // post-long_jump trajectory, exactly as the sequential
+            // merge_replay + realize_into path would.
+            let root = S::merge_finalize(value, &tree.scalars, spec);
+            let mut rng = Xoshiro256PlusPlus::from_state(tree.realize_rng);
+            let mut items = Vec::new();
+            root.realize_into(&mut rng, &mut items);
+            return Some(FrozenSample::new(
+                tree.epoch,
+                tree.batches,
+                root.total_stream_weight(),
+                root.expected_size(),
+                items,
+            ));
+        };
+        *tree.slots[node].lock() = Some(value);
+        if tree.pending[parent - k].fetch_add(1, Ordering::AcqRel) == 0 {
+            // First child to arrive: the sibling's finisher will merge.
+            return None;
+        }
+        let (l, r) = tree.plan.pairs()[parent - k];
+        let left = tree.slots[l].lock().take().expect("left child ready");
+        let right = tree.slots[r].lock().take().expect("right child ready");
+        let mut rng = Xoshiro256PlusPlus::from_state(tree.node_rngs[parent]);
+        value = S::merge_pair(left, right, spec, &mut rng);
+        node = parent;
+    }
+}
+
+/// The long-lived shard worker: serve the own cell's queue, then sweep
+/// the other cells for stealable backlog, then help execute merge-tree
+/// leaf tasks, then briefly wait for own work.
+fn shard_worker<S: MergeableSample + Clone>(shard_id: usize, shared: &EngineShared<S>) {
+    let k = shared.cells.len();
+    let my = &shared.cells[shard_id];
+    // If the worker unwinds (a sampler panic), close its driver-facing
     // queues: a driver blocked in pop_resp fails fast ("shard worker
     // terminated"), and one blocked on a full work queue in ingest()
     // wakes with a push error instead of waiting forever on a consumer
@@ -639,88 +866,78 @@ fn shard_worker<S: MergeableSample + Clone>(
             self.resp.close();
         }
     }
-    let _closer = PanicCloser {
-        work: work.as_ref(),
-        resp: resp.as_ref(),
+    let _closer = PanicCloser::<S> {
+        work: &my.work,
+        resp: &my.resp,
     };
 
-    // A drained group holds at most `depth` messages (the work queue's
+    // A drained group holds at most `depth` messages (every work queue's
     // bound), so sizing the local buffers up front makes the loop
-    // allocation-free from the first batch on.
-    let mut msgs: Vec<ShardMsg<S::Item>> = Vec::with_capacity(depth);
-    let mut done: Vec<Vec<S::Item>> = Vec::with_capacity(depth);
+    // allocation-free from the first batch on — for own work and stolen
+    // work alike.
+    let mut msgs: Vec<ShardMsg<S::Item>> = Vec::with_capacity(shared.depth);
+    let mut done: Vec<Vec<S::Item>> = Vec::with_capacity(shared.depth);
     loop {
-        if work.drain_into(&mut msgs) == 0 {
-            return; // queue closed and fully drained
-        }
-        let mut items = 0u64;
-        let mut batches = 0u64;
-        let mut busy = 0u64;
-        // One timed span per contiguous run of batches: with a fast
-        // producer the drain delivers work in large groups, so the two
-        // clock reads amortize to nothing per batch.
-        let mut span: Option<Instant> = None;
-        let close_span = |span: &mut Option<Instant>, busy: &mut u64| {
-            if let Some(t) = span.take() {
-                *busy += t.elapsed().as_nanos() as u64;
+        // 1. Serve the own cell. Lock-before-drain: draining only under
+        //    the core lock is what keeps the logical shard FIFO when a
+        //    thief and the owner race.
+        let mut progressed = false;
+        if !my.work.is_empty() {
+            let mut core = my.core.lock();
+            if my.work.try_drain_into(&mut msgs) > 0 {
+                process_shard_msgs(
+                    shard_id,
+                    &mut core,
+                    my,
+                    &shared.merger,
+                    &mut msgs,
+                    &mut done,
+                );
+                progressed = true;
             }
-        };
-        // Counters must be flushed *before* any Sync/Snapshot response is
-        // sent: the driver reads them right after the ack, and the
-        // "exact after quiesce" contract holds only if everything
-        // processed ahead of the ack is already visible.
-        let flush = |items: &mut u64, batches: &mut u64, busy: &mut u64| {
-            counters.items.fetch_add(*items, Ordering::Relaxed);
-            counters.batches.fetch_add(*batches, Ordering::Relaxed);
-            counters.busy_ns.fetch_add(*busy, Ordering::Relaxed);
-            (*items, *batches, *busy) = (0, 0, 0);
-        };
-        for msg in msgs.drain(..) {
-            match msg {
-                ShardMsg::Batch(mut buf) => {
-                    if span.is_none() {
-                        span = Some(Instant::now());
-                    }
-                    items += buf.len() as u64;
-                    sampler.observe_shard(&mut buf, &mut rng);
-                    buf.clear();
-                    done.push(buf);
-                    batches += 1;
-                }
-                ShardMsg::Snapshot => {
-                    close_span(&mut span, &mut busy);
-                    flush(&mut items, &mut batches, &mut busy);
-                    let _ = resp.push(ShardResp::Snapshot(Box::new((
-                        sampler.clone(),
-                        rng.state(),
-                    ))));
-                }
-                ShardMsg::Barrier(epoch) => {
-                    // The fork is charged to the busy span: it is real
-                    // per-shard pipeline work, and the serving benchmark's
-                    // ingest-capacity gate must see the snapshot overhead.
-                    if span.is_none() {
-                        span = Some(Instant::now());
-                    }
-                    let _ = merger.push(MergerMsg::Fork {
-                        epoch,
-                        shard: shard_id,
-                        state: Box::new(sampler.fork_for_merge()),
-                    });
-                }
-                ShardMsg::Sync => {
-                    close_span(&mut span, &mut busy);
-                    flush(&mut items, &mut batches, &mut busy);
-                    let _ = resp.push(ShardResp::Ack);
-                }
+            drop(core);
+            for buf in done.drain(..) {
+                let _ = my.recycle.try_push(buf);
+            }
+        } else if my.work.is_closed() {
+            // Closed and fully drained (any messages a thief drained are
+            // the thief's to finish): this shard's stream has ended.
+            return;
+        }
+        // 2. Steal sweep: drain any other cell's backlog we can lock
+        //    without waiting. try_lock only — a sweeping worker must
+        //    never sleep on another shard's cell.
+        for off in 1..k {
+            let j = (shard_id + off) % k;
+            let victim = &shared.cells[j];
+            if victim.work.is_empty() {
+                continue;
+            }
+            let Some(mut core) = victim.core.try_lock() else {
+                continue;
+            };
+            if victim.work.try_drain_into(&mut msgs) > 0 {
+                process_shard_msgs(j, &mut core, victim, &shared.merger, &mut msgs, &mut done);
+                progressed = true;
+            }
+            drop(core);
+            for buf in done.drain(..) {
+                let _ = victim.recycle.try_push(buf);
             }
         }
-        close_span(&mut span, &mut busy);
-        flush(&mut items, &mut batches, &mut busy);
-        // Hand consumed buffers back outside the timed span; a full
-        // recycle queue (single-shard mode) just drops them.
-        for buf in done.drain(..) {
-            let _ = recycle.try_push(buf);
+        // 3. Help execute a merge-tree leaf task.
+        if let Some((tree, leaf)) = shared.tasks.try_pop() {
+            if let Some(frozen) = run_tree_task(&tree, leaf, &shared.spec) {
+                let _ = shared.merger.push(MergerMsg::Publish {
+                    frozen: Box::new(frozen),
+                });
+            }
+            progressed = true;
+        }
+        // 4. Idle: briefly wait for own work (woken early by push or
+        //    close), then rescan the steal targets and the task queue.
+        if !progressed {
+            my.work.wait_nonempty(Duration::from_millis(1));
         }
     }
 }
@@ -748,19 +965,53 @@ impl<S> PendingEpoch<S> {
     }
 }
 
-/// The background merge/publish worker: collect each epoch's `Request`
-/// header and K shard forks, fold the forks with the exact merge algebra
-/// (replaying the driver RNG position recorded at request time, so the
-/// result is bit-identical to the synchronous `sample()` path), realize,
-/// and publish into the [`EpochCell`]. Epochs complete in order because
-/// every queue involved is FIFO.
-fn merger_worker<S: MergeableSample + Clone>(
-    spec: ShardSpec,
-    work: &BatchQueue<MergerMsg<S>>,
-    cell: &EpochCell<S::Item>,
-) {
+/// Build one epoch's merge tree from its header and forks, deriving
+/// every node's RNG substream from the recorded driver position with the
+/// exact [`tbs_core::merge::merge_replay`] sequence (split into `2K`
+/// streams without advancing, node `n` ← stream `n+1`, then one
+/// `long_jump` for the realization trajectory).
+fn build_tree<S: MergeableSample>(
+    epoch: u64,
+    batches: u64,
+    rng_state: [u64; 4],
+    forks: Vec<S>,
+    spec: &ShardSpec,
+) -> EpochTree<S> {
+    let k = forks.len();
+    let plan = MergePlan::new(k);
+    let scalars = S::merge_targets(&forks, spec);
+    let mut rng = Xoshiro256PlusPlus::from_state(rng_state);
+    let streams = rng.split_streams(2 * k);
+    rng.long_jump();
+    let node_rngs = (0..plan.node_count())
+        .map(|n| streams[n + 1].state())
+        .collect();
+    let realize_rng = rng.state();
+    let mut slots: Vec<Mutex<Option<S>>> = forks.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    slots.resize_with(plan.node_count(), || Mutex::new(None));
+    let pending = (0..k.saturating_sub(1))
+        .map(|_| AtomicUsize::new(0))
+        .collect();
+    EpochTree {
+        epoch,
+        batches,
+        plan,
+        scalars,
+        node_rngs,
+        realize_rng,
+        slots,
+        pending,
+    }
+}
+
+/// The background merge coordinator: collect each epoch's `Request`
+/// header and K shard forks, build the epoch's merge tree, hand its leaf
+/// tasks to the idle shard workers (executing inline whatever does not
+/// fit — dispatch never blocks, which is what makes shutdown
+/// deadlock-free), and publish completed epochs **strictly in order**.
+fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &EpochCell<S::Item>) {
     // However this thread exits — queue closed on engine drop, or a
-    // panic inside merge — close both merger-facing endpoints:
+    // panic inside merge — close every merger-facing endpoint:
     //
     // * the cell, so readers blocked in wait_for_epoch wake instead of
     //   waiting on a publisher that no longer exists (published samples
@@ -768,25 +1019,56 @@ fn merger_worker<S: MergeableSample + Clone>(
     // * the work queue, so shard workers pushing barrier forks (and the
     //   driver pushing epoch requests) fail fast instead of blocking
     //   forever on a bounded queue no one drains — a merger panic must
-    //   not deadlock ingest, mirroring the shard workers' PanicCloser.
+    //   not deadlock ingest, mirroring the shard workers' PanicCloser;
+    // * the task queue, so no new tree work is admitted after the
+    //   coordinator is gone.
     struct PanicCloser<'a, S: MergeableSample> {
-        work: &'a BatchQueue<MergerMsg<S>>,
+        shared: &'a EngineShared<S>,
         cell: &'a EpochCell<S::Item>,
     }
     impl<S: MergeableSample> Drop for PanicCloser<'_, S> {
         fn drop(&mut self) {
-            self.work.close();
+            self.shared.merger.close();
+            self.shared.tasks.close();
             self.cell.close();
         }
     }
-    let _closer = PanicCloser { work, cell };
+    let _closer = PanicCloser { shared, cell };
 
+    let spec = shared.spec;
     let mut pending: BTreeMap<u64, PendingEpoch<S>> = BTreeMap::new();
+    // Completed-but-unpublished epochs, re-ordered for in-order
+    // publication (trees of different epochs may finish out of order).
+    let mut ready: BTreeMap<u64, FrozenSample<S::Item>> = BTreeMap::new();
+    let mut next_pub: u64 = 1;
+    // Trees dispatched but not yet completed. While nonzero the merger
+    // must keep making progress itself (workers may all be busy with — or
+    // already drained of — ingest), so it polls with a timeout and helps
+    // execute leaf tasks instead of blocking.
+    let mut inflight: usize = 0;
     let mut msgs: Vec<MergerMsg<S>> = Vec::new();
     loop {
         msgs.clear();
-        if work.drain_into(&mut msgs) == 0 {
-            return; // queue closed and fully drained
+        if shared.merger.try_drain_into(&mut msgs) == 0 {
+            if inflight == 0 {
+                // Nothing running: block until something arrives. A 0
+                // return means closed and fully drained — and with no
+                // tree in flight there is nothing left to publish.
+                if shared.merger.drain_into(&mut msgs) == 0 {
+                    return;
+                }
+            } else if let Some((tree, leaf)) = shared.tasks.try_pop() {
+                // Help execute the in-flight trees; after the workers
+                // have exited (engine drop) this is what completes them.
+                if let Some(frozen) = run_tree_task(&tree, leaf, &spec) {
+                    inflight -= 1;
+                    ready.insert(frozen.epoch(), frozen);
+                }
+            } else {
+                let _ = shared
+                    .merger
+                    .drain_into_timeout(&mut msgs, Duration::from_millis(1));
+            }
         }
         for msg in msgs.drain(..) {
             match msg {
@@ -812,11 +1094,15 @@ fn merger_worker<S: MergeableSample + Clone>(
                         entry.received += 1;
                     }
                 }
+                MergerMsg::Publish { frozen } => {
+                    inflight -= 1;
+                    ready.insert(frozen.epoch(), *frozen);
+                }
             }
         }
-        // Publish every complete epoch, oldest first (completion is
-        // naturally in epoch order — barriers flow FIFO through every
-        // shard — but the loop does not rely on it).
+        // Dispatch every complete epoch, oldest first (epochs complete in
+        // order — barriers flow FIFO through every shard — but the loop
+        // does not rely on it).
         while let Some(entry) = pending.first_entry() {
             if !entry.get().is_complete(spec.shards) {
                 break;
@@ -828,19 +1114,28 @@ fn merger_worker<S: MergeableSample + Clone>(
                 .into_iter()
                 .map(|f| f.expect("complete epoch has every fork"))
                 .collect();
-            // Replay exactly what the synchronous path would do from the
-            // recorded RNG position: merge in shard-id order, realize.
-            let mut rng = Xoshiro256PlusPlus::from_state(rng_state);
-            let merged = S::merge_shards(forks, &spec, &mut rng);
-            let mut items = Vec::new();
-            merged.realize_into(&mut rng, &mut items);
-            cell.publish(Arc::new(FrozenSample::new(
-                epoch,
-                batches,
-                merged.total_stream_weight(),
-                merged.expected_size(),
-                items,
-            )));
+            let tree = Arc::new(build_tree(epoch, batches, rng_state, forks, &spec));
+            inflight += 1;
+            for leaf in 0..spec.shards {
+                if let Err((tree, leaf)) = shared.tasks.try_push((Arc::clone(&tree), leaf)) {
+                    // Task queue full (or closed): execute inline rather
+                    // than ever blocking — the workers draining the queue
+                    // may be waiting on *this* thread at shutdown.
+                    if let Some(frozen) = run_tree_task(&tree, leaf, &spec) {
+                        inflight -= 1;
+                        ready.insert(frozen.epoch(), frozen);
+                    }
+                }
+            }
+        }
+        // Publish strictly in epoch order; later-finished older epochs
+        // are never overtaken.
+        while let Some(entry) = ready.first_entry() {
+            if *entry.key() != next_pub {
+                break;
+            }
+            cell.publish(Arc::new(entry.remove()));
+            next_pub += 1;
         }
     }
 }
@@ -868,7 +1163,7 @@ mod tests {
     #[test]
     fn weight_recursion_is_exact() {
         let schedule = [30u64, 0, 80, 5, 5, 0, 0, 120, 10];
-        for k in [1usize, 2, 4] {
+        for k in [1usize, 2, 4, 8, 16] {
             let mut engine = rtbs_engine(0.1, 50, k, 7);
             let mut w = 0.0f64;
             for &b in &schedule {
@@ -937,11 +1232,29 @@ mod tests {
     }
 
     #[test]
+    fn drop_is_clean_with_unclaimed_snapshots() {
+        // Requests whose trees are still in flight at drop must be
+        // completed (or abandoned) without deadlock, and the cell must
+        // end up closed.
+        let mut engine = rtbs_engine(0.2, 64, 4, 13);
+        for t in 0..50u64 {
+            engine.ingest((0..80).map(|i| t * 100 + i).collect());
+            if t % 10 == 0 {
+                engine.request_snapshot();
+            }
+        }
+        let cell = engine.snapshot_cell();
+        drop(engine);
+        assert!(cell.is_closed());
+        assert_eq!(cell.published_epoch(), 5, "all requested epochs publish");
+    }
+
+    #[test]
     fn save_parts_resume_is_bit_identical() {
         // Run A: 60 batches straight through. Run B: 30 batches, checkpoint,
         // rebuild a fresh engine from the parts, 30 more. Samples must match
         // exactly — same items, same order.
-        for k in [1usize, 2, 4] {
+        for k in [1usize, 2, 4, 8, 16] {
             let batch = |t: u64| -> Vec<u64> {
                 let b = [40u64, 0, 150, 7][t as usize % 4];
                 (0..b).map(|i| t * 1000 + i).collect()
@@ -958,6 +1271,7 @@ mod tests {
                 first_half.ingest(batch(t));
             }
             let parts = first_half.save_parts();
+            assert_eq!(parts.split_deviations.len(), k);
             drop(first_half);
             let mut resumed = ParallelIngestEngine::<RTbs<u64>>::from_parts(cfg, parts);
             for t in 30..60 {
@@ -982,5 +1296,33 @@ mod tests {
             }
         }
         assert_eq!(plain.sample(), observed.sample());
+    }
+
+    #[test]
+    fn stealing_never_changes_the_sample() {
+        // Slam a 16-shard engine with a shallow queue (maximizing steal
+        // opportunities and backpressure stalls) and compare against a
+        // second run with a deep queue (little stealing): same seed ⇒
+        // bit-identical samples, whatever the thread interleaving did.
+        let spec = ShardSpec::rtbs(0.1, 200, 16);
+        let shallow = EngineConfig {
+            spec,
+            queue_depth: 2,
+            seed: 77,
+        };
+        let deep = EngineConfig {
+            spec,
+            queue_depth: 256,
+            seed: 77,
+        };
+        let drive = |cfg: EngineConfig| -> Vec<u64> {
+            let mut engine = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+            for t in 0..300u64 {
+                let b = [331u64, 0, 97, 1200, 16][t as usize % 5];
+                engine.ingest((0..b).map(|i| t * 10_000 + i).collect());
+            }
+            engine.sample()
+        };
+        assert_eq!(drive(shallow), drive(deep));
     }
 }

@@ -107,6 +107,70 @@ impl<T> BatchQueue<T> {
         }
     }
 
+    /// Move every queued entry into `out` without blocking (appended in
+    /// FIFO order). Returns the number of entries moved — `0` when the
+    /// queue is momentarily empty. The work-stealing sweep uses this:
+    /// a sweeping worker must never sleep on another shard's queue.
+    pub fn try_drain_into(&self, out: &mut Vec<T>) -> usize {
+        let mut state = self.state.lock();
+        let n = state.buf.len();
+        if n > 0 {
+            out.extend(state.buf.drain(..));
+            drop(state);
+            self.not_full.notify_all();
+        }
+        n
+    }
+
+    /// Like [`BatchQueue::drain_into`] but gives up after `timeout`,
+    /// returning `0` with nothing drained. Lets a consumer with fallback
+    /// work (e.g. the merger executing tree nodes) poll without spinning.
+    pub fn drain_into_timeout(&self, out: &mut Vec<T>, timeout: std::time::Duration) -> usize {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if !state.buf.is_empty() {
+                let n = state.buf.len();
+                out.extend(state.buf.drain(..));
+                drop(state);
+                self.not_full.notify_all();
+                return n;
+            }
+            if state.closed {
+                return 0;
+            }
+            let Some(left) = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return 0;
+            };
+            state = self.not_empty.wait_timeout(state, left).0;
+        }
+    }
+
+    /// Block until the queue is non-empty, closed, or `timeout` elapses.
+    /// Returns `true` when there may be something to do (entries queued
+    /// or the queue closed), `false` on a pure timeout — the idle shard
+    /// worker's "wait for my own work, then rescan the steal targets"
+    /// primitive.
+    pub fn wait_nonempty(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if !state.buf.is_empty() || state.closed {
+                return true;
+            }
+            let Some(left) = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            state = self.not_empty.wait_timeout(state, left).0;
+        }
+    }
+
     /// Dequeue a single entry without blocking.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.state.lock();
@@ -134,6 +198,11 @@ impl<T> BatchQueue<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
     }
 }
 
@@ -206,6 +275,52 @@ mod tests {
         q.close();
         assert_eq!(consumer.join().unwrap(), 0);
         assert_eq!(q.push(1), Err(1));
+    }
+
+    #[test]
+    fn try_drain_never_blocks() {
+        let q = BatchQueue::<u32>::with_capacity(4);
+        let mut out = Vec::new();
+        assert_eq!(q.try_drain_into(&mut out), 0);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_drain_into(&mut out), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.try_drain_into(&mut out), 0);
+    }
+
+    #[test]
+    fn drain_timeout_returns_empty_handed() {
+        let q = BatchQueue::<u32>::with_capacity(4);
+        let mut out = Vec::new();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            q.drain_into_timeout(&mut out, std::time::Duration::from_millis(20)),
+            0
+        );
+        assert!(start.elapsed() >= std::time::Duration::from_millis(15));
+        q.push(9).unwrap();
+        assert_eq!(
+            q.drain_into_timeout(&mut out, std::time::Duration::from_millis(20)),
+            1
+        );
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn wait_nonempty_reports_work_and_closure() {
+        let q = Arc::new(BatchQueue::<u32>::with_capacity(4));
+        assert!(!q.wait_nonempty(std::time::Duration::from_millis(5)));
+        q.push(1).unwrap();
+        assert!(q.wait_nonempty(std::time::Duration::from_millis(5)));
+        assert_eq!(q.try_pop(), Some(1));
+        let q2 = Arc::clone(&q);
+        let waiter =
+            std::thread::spawn(move || q2.wait_nonempty(std::time::Duration::from_secs(10)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(waiter.join().unwrap(), "close must wake the waiter");
+        assert!(q.is_closed());
     }
 
     #[test]

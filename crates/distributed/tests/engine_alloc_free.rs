@@ -97,7 +97,7 @@ fn assert_engine_alloc_free<S>(
 fn steady_state_engine_ingest_allocates_nothing() {
     // R-TBS, 4 shards, saturated regime: every shard runs the in-place
     // saturated→saturated replacement (n = 1000, λ = 0.1, b = 100 ⇒
-    // per-shard W* ≈ 263 > per-shard capacity 261).
+    // per-shard W* ≈ 263 > per-shard capacity ⌈1000/4⌉ + 1 = 251).
     let mut rtbs_sat: ParallelIngestEngine<RTbs<u64>> =
         ParallelIngestEngine::new(EngineConfig::new(ShardSpec::rtbs(0.1, 1000, 4), 1));
     assert_engine_alloc_free("R-TBS 4-shard saturated", &mut rtbs_sat, |_| 100, 600, 600);

@@ -194,6 +194,39 @@ pub enum TimeSemantics {
     RealGaps,
 }
 
+/// When the handle pushes epoch snapshots to its [`SampleReader`]s
+/// (see [`Sampler::publish`] and [`Sampler::reader`]).
+///
+/// Publication is what hands a frozen sample to concurrent reader
+/// threads; ingest itself never blocks on it. The automatic policies
+/// piggyback on [`Sampler::observe`] / [`Sampler::observe_after`], so a
+/// retraining service can consume fresh snapshots without sprinkling
+/// `publish()` calls through its ingest loop.
+///
+/// [`Sampler::publish`]: crate::api::Sampler::publish
+/// [`Sampler::reader`]: crate::api::Sampler::reader
+/// [`Sampler::observe`]: crate::api::Sampler::observe
+/// [`Sampler::observe_after`]: crate::api::Sampler::observe_after
+/// [`SampleReader`]: crate::api::SampleReader
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PublishPolicy {
+    /// Publish only when [`crate::api::Sampler::publish`] is called — the
+    /// default, preserving the explicit-barrier behavior of earlier
+    /// releases.
+    #[default]
+    Manual,
+    /// Publish a snapshot every `n` observed batches (`n ≥ 1`; at batch
+    /// counts `n, 2n, 3n, …`). Steady cadence, simplest to reason about;
+    /// with sharded engines each publication is a non-blocking barrier,
+    /// so several may be in flight at once under bursty ingest.
+    EveryBatches(u64),
+    /// Publish whenever the batches ingested since the last publication
+    /// exceed `s` **and** no snapshot is still in flight (`s ≥ 1`).
+    /// Bounds reader staleness without ever stacking barriers: a slow
+    /// merge simply stretches the interval instead of queueing work.
+    MaxLagBatches(u64),
+}
+
 /// Builder for every sampler in the system; see the [`crate::api`] module docs.
 ///
 /// ```
@@ -220,6 +253,7 @@ pub struct SamplerConfig {
     pub(crate) seed: u64,
     pub(crate) time: TimeSemantics,
     pub(crate) ingest: IngestMode,
+    pub(crate) publish: PublishPolicy,
 }
 
 impl SamplerConfig {
@@ -236,6 +270,7 @@ impl SamplerConfig {
             seed: 0,
             time: TimeSemantics::default(),
             ingest: IngestMode::default(),
+            publish: PublishPolicy::default(),
         }
     }
 
@@ -347,6 +382,15 @@ impl SamplerConfig {
         self
     }
 
+    /// Choose when snapshots are pushed to readers (see
+    /// [`PublishPolicy`]). The default `Manual` publishes only on
+    /// explicit `publish()` calls. Batch thresholds of zero are a
+    /// validation error.
+    pub fn publish_policy(mut self, policy: PublishPolicy) -> Self {
+        self.publish = policy;
+        self
+    }
+
     /// The configured algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -375,6 +419,11 @@ impl SamplerConfig {
     /// The configured (unresolved) ingest mode.
     pub fn ingest_mode_config(&self) -> IngestMode {
         self.ingest
+    }
+
+    /// The configured snapshot-publication policy.
+    pub fn publish_policy_config(&self) -> PublishPolicy {
+        self.publish
     }
 
     /// The ingest mode the samplers will actually run:
@@ -524,6 +573,23 @@ impl SamplerConfig {
                 algorithm: label,
                 reason: "the scheme is integer-clocked by construction",
             });
+        }
+
+        // Automatic publication thresholds must be positive.
+        match self.publish {
+            PublishPolicy::EveryBatches(0) => {
+                return Err(TbsError::InvalidPublishPolicy {
+                    reason: "EveryBatches(0) would publish before any batch \
+                             arrives; the interval must be at least 1",
+                });
+            }
+            PublishPolicy::MaxLagBatches(0) => {
+                return Err(TbsError::InvalidPublishPolicy {
+                    reason: "MaxLagBatches(0) is every batch — use \
+                             EveryBatches(1); the lag bound must be at least 1",
+                });
+            }
+            _ => {}
         }
 
         Ok(())
@@ -787,6 +853,38 @@ mod tests {
                 .resolved_ingest_mode(),
             IngestMode::Jump
         );
+    }
+
+    #[test]
+    fn publish_policy_thresholds_must_be_positive() {
+        for policy in [
+            PublishPolicy::EveryBatches(0),
+            PublishPolicy::MaxLagBatches(0),
+        ] {
+            let err = SamplerConfig::rtbs(0.1, 100)
+                .publish_policy(policy)
+                .build::<u64>()
+                .unwrap_err();
+            assert!(
+                matches!(err, TbsError::InvalidPublishPolicy { .. }),
+                "{policy:?}: {err}"
+            );
+        }
+        // Positive thresholds build, sharded or not, and the default is
+        // Manual.
+        assert_eq!(
+            SamplerConfig::rtbs(0.1, 100).publish_policy_config(),
+            PublishPolicy::Manual
+        );
+        assert!(SamplerConfig::rtbs(0.1, 100)
+            .publish_policy(PublishPolicy::EveryBatches(8))
+            .build::<u64>()
+            .is_ok());
+        assert!(SamplerConfig::rtbs(0.1, 100)
+            .shards(4)
+            .publish_policy(PublishPolicy::MaxLagBatches(16))
+            .build::<u64>()
+            .is_ok());
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub enum TbsError {
         /// The non-mergeable algorithm.
         algorithm: &'static str,
     },
+    /// An automatic publication policy was configured with a batch
+    /// threshold of zero ([`crate::api::PublishPolicy`]).
+    InvalidPublishPolicy {
+        /// Why it is rejected.
+        reason: &'static str,
+    },
     /// `observe_after` was called but the sampler cannot honor
     /// real-valued inter-arrival gaps — either the algorithm is
     /// integer-clocked by nature, or the config never declared
@@ -139,6 +145,9 @@ impl std::fmt::Display for TbsError {
                      can run sharded"
                 )
             }
+            TbsError::InvalidPublishPolicy { reason } => {
+                write!(f, "publish policy rejected: {reason}")
+            }
             TbsError::UnsupportedGap { algorithm, reason } => {
                 write!(
                     f,
@@ -207,6 +216,9 @@ mod tests {
             },
             TbsError::UnshardableAlgorithm {
                 algorithm: "B-Chao",
+            },
+            TbsError::InvalidPublishPolicy {
+                reason: "threshold must be at least 1",
             },
             TbsError::UnsupportedGap {
                 algorithm: "Unif",

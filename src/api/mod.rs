@@ -96,7 +96,7 @@ mod manager;
 mod reader;
 mod sampler;
 
-pub use config::{Algorithm, IngestMode, SamplerConfig, TimeSemantics};
+pub use config::{Algorithm, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics};
 pub use error::TbsError;
 pub use manager::{IngestReport, ManagerMetrics, ModelManager};
 pub use reader::SampleReader;

@@ -16,7 +16,7 @@
 //! position alongside the sampler state, so a snapshot restored into a
 //! fresh process continues the stream **bit-identically** to an
 //! uninterrupted run — for the sharded engine too, whose per-shard RNG
-//! substream positions and batch-split rotation ride along.
+//! substream positions and balanced-split deviation ledger ride along.
 
 use bytes::Bytes;
 use rand::SeedableRng;
@@ -29,7 +29,7 @@ use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngi
 use tbs_distributed::snapshot::EpochCell;
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
-use crate::api::config::{Algorithm, IngestMode, SamplerConfig, TimeSemantics};
+use crate::api::config::{Algorithm, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics};
 use crate::api::error::TbsError;
 use crate::api::reader::SampleReader;
 
@@ -70,6 +70,9 @@ pub struct Sampler<T: Clone + Send + Sync + 'static> {
     /// Highest epoch requested through this handle (single-node publishes
     /// are synchronous, so requested == published for them).
     requested_epoch: u64,
+    /// Batch count at the most recent publication request — what the
+    /// [`PublishPolicy::MaxLagBatches`] lag is measured against.
+    last_publish_batches: u64,
 }
 
 impl<T: Clone + Send + Sync + 'static> std::fmt::Debug for Sampler<T> {
@@ -180,6 +183,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             batches: 0,
             cell,
             requested_epoch: 0,
+            last_publish_batches: 0,
         }
     }
 
@@ -201,6 +205,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::ParallelTTbs(e) => e.ingest(batch),
         }
         self.batches += 1;
+        self.maybe_publish();
     }
 
     /// Absorb a batch arriving `gap` time units after the previous one.
@@ -234,16 +239,19 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             _ => unreachable!("validate rejects RealGaps for gap-free algorithms"),
         }
         self.batches += 1;
+        self.maybe_publish();
         Ok(())
     }
 
     /// Materialize the current sample `S_t`.
     ///
     /// Latent schemes (R-TBS) realize the fractional item with a coin from
-    /// the handle RNG; sharded engines quiesce, merge the shard states
-    /// exactly, and realize the merged sample.
+    /// the handle RNG; sharded engines serve through the snapshot barrier —
+    /// the driver enqueues one epoch marker and the shard workers fold the
+    /// merge tree off the driver thread — then hand back the published
+    /// merged sample (so the call also advances the epoch counters).
     pub fn sample(&mut self) -> Vec<T> {
-        match &mut self.inner {
+        let out = match &mut self.inner {
             Inner::RTbs(s) => s.sample(&mut self.rng),
             Inner::TTbs(s) => s.sample(&mut self.rng),
             Inner::BTbs(s) => s.sample(&mut self.rng),
@@ -254,7 +262,9 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::ARes(s) => s.sample(&mut self.rng),
             Inner::ParallelRTbs(e) => e.sample(),
             Inner::ParallelTTbs(e) => e.sample(),
-        }
+        };
+        self.sync_engine_epoch();
+        out
     }
 
     /// [`Sampler::sample`] into a caller-owned buffer — allocation-free
@@ -287,6 +297,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::ParallelRTbs(e) => *out = e.sample(),
             Inner::ParallelTTbs(e) => *out = e.sample(),
         }
+        self.sync_engine_epoch();
     }
 
     /// Expected size of `S_t` — the sample weight `C_t` for R-TBS, the
@@ -390,6 +401,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// randomness `sample()` would) and is already published when the
     /// call returns.
     pub fn publish(&mut self) -> u64 {
+        self.last_publish_batches = self.batches;
         match &mut self.inner {
             Inner::ParallelRTbs(e) => {
                 self.requested_epoch = e.request_snapshot();
@@ -437,6 +449,42 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     pub fn requested_epoch(&self) -> u64 {
         self.requested_epoch
     }
+
+    /// Mirror the engine's epoch counter after any engine call that may
+    /// have consumed epochs internally (`ParallelIngestEngine::sample`
+    /// serves through the snapshot pipeline, so each call requests —
+    /// and waits out — one epoch).
+    fn sync_engine_epoch(&mut self) {
+        match &self.inner {
+            Inner::ParallelRTbs(e) => self.requested_epoch = e.requested_epoch(),
+            Inner::ParallelTTbs(e) => self.requested_epoch = e.requested_epoch(),
+            _ => {}
+        }
+    }
+
+    /// Apply the configured [`PublishPolicy`] after a batch lands.
+    ///
+    /// `MaxLagBatches` additionally requires the previous snapshot to
+    /// have published (`requested == published`) before starting another,
+    /// so a slow merge stretches the cadence instead of stacking
+    /// barriers behind it.
+    fn maybe_publish(&mut self) {
+        match self.config.publish {
+            PublishPolicy::Manual => {}
+            PublishPolicy::EveryBatches(n) => {
+                if self.batches.is_multiple_of(n) {
+                    self.publish();
+                }
+            }
+            PublishPolicy::MaxLagBatches(s) => {
+                if self.batches - self.last_publish_batches > s
+                    && self.requested_epoch == self.cell.published_epoch()
+                {
+                    self.publish();
+                }
+            }
+        }
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static> Drop for Sampler<T> {
@@ -456,8 +504,8 @@ impl<T: Wire + Send + Sync + 'static> Sampler<T> {
     /// Serialize the handle's complete durable state — config echo,
     /// handle RNG position, batch counter, and the algorithm payload
     /// (for sharded engines: every shard's sampler + RNG substream
-    /// position, the driver RNG, and the batch-split rotation) — into a
-    /// self-contained, versioned blob.
+    /// position, the driver RNG, and the balanced-split deviation
+    /// ledger) — into a self-contained, versioned blob.
     ///
     /// Checkpointing consumes **no randomness**: a mid-stream snapshot
     /// leaves the trajectory untouched, and [`Sampler::restore`] resumes
@@ -624,8 +672,10 @@ impl<T: Wire + Send + Sync + 'static> Sampler<T> {
             batches,
             cell,
             // Serving epochs are ephemeral: a restored sampler starts a
-            // fresh publication sequence (snapshots are not persisted).
+            // fresh publication sequence (snapshots are not persisted),
+            // and the lag clock starts at the restore point.
             requested_epoch: 0,
+            last_publish_batches: batches,
         })
     }
 }
@@ -639,13 +689,17 @@ fn check(ok: bool, what: &'static str) -> Result<(), TbsError> {
     }
 }
 
-/// Serialize a quiesced engine checkpoint: rotation, driver RNG, then
+/// Serialize a quiesced engine checkpoint: the balanced-split deviation
+/// ledger (one f64 per shard — the splitter's memory of how far each
+/// shard's decayed intake sits from the fair share), driver RNG, then
 /// each shard's RNG substream position and sampler payload.
 fn save_engine<S>(w: &mut Writer, parts: EngineCheckpoint<S>)
 where
     S: SaveState,
 {
-    w.put_u64(parts.rotation);
+    for d in &parts.split_deviations {
+        w.put_f64(*d);
+    }
     w.put_u64(parts.batches);
     w.put_rng_state(parts.driver_rng);
     w.put_u32(parts.shard_states.len() as u32);
@@ -662,7 +716,16 @@ fn load_engine<S>(
     expect_shards: usize,
     mut load_shard: impl FnMut(&mut Reader) -> Result<S, CheckpointError>,
 ) -> Result<EngineCheckpoint<S>, CheckpointError> {
-    let rotation = r.get_u64()?;
+    let mut split_deviations = Vec::with_capacity(expect_shards);
+    for _ in 0..expect_shards {
+        let d = r.get_f64()?;
+        // The balanced splitter keeps every deviation in [-1, 1]; anything
+        // outside (or non-finite) cannot have come from a real run.
+        if !d.is_finite() || d.abs() > 1.0 + 1e-9 {
+            return Err(CheckpointError::Corrupt("split deviation"));
+        }
+        split_deviations.push(d);
+    }
     let batches = r.get_u64()?;
     let driver_rng = r.get_rng_state()?;
     let n = r.get_u32()? as usize;
@@ -677,7 +740,7 @@ fn load_engine<S>(
     Ok(EngineCheckpoint {
         shard_states,
         driver_rng,
-        rotation,
+        split_deviations,
         batches,
     })
 }

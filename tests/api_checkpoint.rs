@@ -278,6 +278,79 @@ fn invalid_jump_cursor_blobs_are_rejected() {
 }
 
 #[test]
+fn sharded_resume_round_trips_split_deviations_and_stolen_work() {
+    // Bursty batch sizes that are never multiples of K leave the balanced
+    // splitter's deviation ledger non-zero at the cut, and queue_depth 2
+    // keeps the work-stealing sweep hot on both sides of the restore. The
+    // blob must carry the ledger (and each shard's adaptive-capacity
+    // state) exactly, or the resumed split — and therefore the sample —
+    // diverges.
+    let config = SamplerConfig::rtbs(0.1, 500)
+        .shards(4)
+        .queue_depth(2)
+        .seed(0xfeed);
+    let burst = |t: u64| {
+        let size = [331u64, 0, 97, 1203, 17, 50][t as usize % 6];
+        (0..size).map(|i| t * 10_000 + i).collect::<Vec<u64>>()
+    };
+    let mut uninterrupted = config.build::<u64>().unwrap();
+    for t in 0..40 {
+        uninterrupted.observe(burst(t));
+    }
+    let mut first = config.build::<u64>().unwrap();
+    for t in 0..23 {
+        first.observe(burst(t));
+    }
+    let blob = first.snapshot();
+    drop(first);
+    let mut resumed = Sampler::restore(&config, blob).unwrap();
+    for t in 23..40 {
+        resumed.observe(burst(t));
+    }
+    assert_eq!(resumed.sample(), uninterrupted.sample());
+}
+
+/// Byte offset of the first engine field (the split-deviation ledger) in
+/// a sharded blob: magic + version + algorithm tag + shard count +
+/// handle batch counter + handle RNG state.
+const ENGINE_PAYLOAD_OFFSET: usize = 4 + 4 + 1 + 4 + 8 + 32;
+
+#[test]
+fn impossible_shard_capacity_is_rejected_as_corrupt() {
+    // Restore cross-checks every shard's persisted capacity against the
+    // spec's adaptive `⌈n/K⌉+1`; a blob claiming any other capacity was
+    // not produced by this engine. Forge one: shard 0's capacity u64
+    // lives right after the engine framing (K=2 deviations, batches,
+    // driver RNG, shard count, shard-0 RNG) and the R-TBS λ field.
+    let config = SamplerConfig::rtbs(0.1, 40).shards(2).seed(3);
+    let shard0_capacity = ENGINE_PAYLOAD_OFFSET + 2 * 8 + 8 + 32 + 4 + 32 + 8;
+    let mut b = small_snapshot(&config).to_vec();
+    b[shard0_capacity..shard0_capacity + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(
+        Sampler::<u64>::restore(&config, Bytes::from(b)).unwrap_err(),
+        TbsError::Checkpoint(CheckpointError::Corrupt("shard capacity"))
+    );
+}
+
+#[test]
+fn out_of_range_split_deviations_are_rejected_as_corrupt() {
+    // The balanced splitter maintains |deviation| ≤ 1 as a hard
+    // invariant; a blob carrying NaN, ∞, or anything outside that band
+    // is structurally impossible and must be rejected before it can
+    // skew every future batch split.
+    let config = SamplerConfig::rtbs(0.1, 40).shards(2).seed(3);
+    for forged in [f64::NAN, f64::INFINITY, -7.5] {
+        let mut b = small_snapshot(&config).to_vec();
+        b[ENGINE_PAYLOAD_OFFSET..ENGINE_PAYLOAD_OFFSET + 8].copy_from_slice(&forged.to_le_bytes());
+        assert_eq!(
+            Sampler::<u64>::restore(&config, Bytes::from(b)).unwrap_err(),
+            TbsError::Checkpoint(CheckpointError::Corrupt("split deviation")),
+            "deviation {forged} must be rejected"
+        );
+    }
+}
+
+#[test]
 fn bad_magic_is_rejected() {
     let config = SamplerConfig::rtbs(0.1, 20).seed(5);
     let err = Sampler::<u64>::restore(&config, Bytes::from_static(&[0u8; 64])).unwrap_err();

@@ -19,7 +19,9 @@
 //!    between the modes.
 //!
 //! The grid covers R-TBS and T-TBS × {unsaturated, saturated, bursty}
-//! regimes × {1, 4} shards (sharded runs drive the merge algebra
+//! regimes × {1, 4} shards — plus K = 16 under `TBS_STAT_THOROUGH=1`,
+//! exercising the adaptive `⌈n/K⌉+1` shard capacity in the regime the
+//! 8-shard cliff fix opened up (sharded runs drive the merge algebra
 //! directly, proving jump mode composes with `MergeableSample`).
 //!
 //! # False-positive budget
@@ -33,7 +35,7 @@
 //! deep runs (CI runs the fast fixed-seed budget).
 
 use rand::SeedableRng;
-use temporal_sampling::core::merge::{MergeableSample, ShardSpec};
+use temporal_sampling::core::merge::{BalancedSplitter, MergeableSample, ShardSpec};
 use temporal_sampling::core::{IngestMode, RTbs, TTbs};
 use temporal_sampling::stats::gof;
 use temporal_sampling::stats::rng::Xoshiro256PlusPlus;
@@ -41,13 +43,30 @@ use temporal_sampling::stats::rng::Xoshiro256PlusPlus;
 /// Shared family-wise false-positive budget for this suite.
 const FAMILY_ALPHA: f64 = 1e-2;
 
+/// Whether the deep local/nightly budget is enabled.
+fn thorough() -> bool {
+    std::env::var("TBS_STAT_THOROUGH").is_ok_and(|v| v == "1")
+}
+
 /// Trials per (combo, mode) under the fast CI budget.
 fn trial_budget() -> usize {
     let base = 20_000;
-    if std::env::var("TBS_STAT_THOROUGH").is_ok_and(|v| v == "1") {
+    if thorough() {
         base * 10
     } else {
         base
+    }
+}
+
+/// Shard counts in the grid. K = 16 joins only under the thorough
+/// budget: at 16 shards most sub-batches are empty or single-item, so
+/// the fast budget's per-bucket counts would be too thin to mean much,
+/// while the ×10 budget gives every check full power.
+fn shard_grid() -> &'static [usize] {
+    if thorough() {
+        &[1, 4, 16]
+    } else {
+        &[1, 4]
     }
 }
 
@@ -85,7 +104,7 @@ struct Combo {
 ///   including empty batches.
 fn combo_grid() -> Vec<Combo> {
     let mut grid = Vec::new();
-    for &shards in &[1usize, 4] {
+    for &shards in shard_grid() {
         grid.push(Combo {
             name: "rtbs/unsaturated",
             alg: Alg::RTbs,
@@ -223,22 +242,21 @@ fn run_trial(combo: &Combo, mode: IngestMode, seed: u64) -> Vec<Tagged> {
     }
 }
 
-/// Feed the schedule through K shard-local samplers, splitting each batch
-/// round-robin (every shard sees every time step, possibly with an empty
-/// sub-batch, so all shard clocks stay aligned).
+/// Feed the schedule through K shard-local samplers with the engine's
+/// balanced splitter (every shard sees every time step, possibly with an
+/// empty sub-batch, so all shard clocks stay aligned, and every shard's
+/// decayed intake stays within ±1 of the fair share — the invariant the
+/// `⌈n/K⌉+1` adaptive shard capacity is sized against).
 fn drive_shards<S>(shards: &mut [S], combo: &Combo, rng: &mut Xoshiro256PlusPlus)
 where
     S: MergeableSample<Item = Tagged>,
 {
     let k = shards.len();
+    let mut splitter = BalancedSplitter::new(combo.lambda, k);
     let mut subs: Vec<Vec<Tagged>> = vec![Vec::new(); k];
     for (bi, &b) in combo.schedule.iter().enumerate() {
-        for sub in subs.iter_mut() {
-            sub.clear();
-        }
-        for (j, item) in make_batch(bi, b).into_iter().enumerate() {
-            subs[(bi + j) % k].push(item);
-        }
+        let mut batch = make_batch(bi, b);
+        splitter.split(&mut batch, &mut subs);
         for (shard, sub) in shards.iter_mut().zip(subs.iter_mut()) {
             shard.observe_shard(sub, rng);
         }

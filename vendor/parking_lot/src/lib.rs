@@ -38,6 +38,16 @@ impl<T: ?Sized> Mutex<T> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquire the lock only if it is free right now (upstream
+    /// `parking_lot` signature: `Option`, poison-free).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Borrow the inner value without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -72,6 +82,20 @@ impl Condvar {
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         self.inner
             .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until notified or `timeout` elapses. As with [`Condvar::wait`]
+    /// this consumes and returns the guard (see the API-deviation note
+    /// above); the flag reports whether the wait timed out. Spurious
+    /// wakeups are possible; callers must re-check their condition.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, sync::WaitTimeoutResult) {
+        self.inner
+            .wait_timeout(guard, timeout)
             .unwrap_or_else(PoisonError::into_inner)
     }
 
