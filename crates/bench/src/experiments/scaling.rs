@@ -204,9 +204,9 @@ where
         ParallelIngestEngine::new(EngineConfig::new(spec, seed));
     let (warm, _) = gen_batches(regime, cfg.warmup_batches, 0);
     for batch in warm {
-        engine.ingest(batch);
+        engine.ingest(batch).unwrap();
     }
-    engine.quiesce();
+    engine.quiesce().unwrap();
 
     let mut best: Option<ScalingRow> = None;
     let mut t0 = cfg.warmup_batches;
@@ -216,9 +216,9 @@ where
         let before = engine.shard_stats();
         let wall = Instant::now();
         for batch in batches {
-            engine.ingest(batch);
+            engine.ingest(batch).unwrap();
         }
-        engine.quiesce();
+        engine.quiesce().unwrap();
         let wall_ns = (wall.elapsed().as_nanos() as u64).max(1);
         let deltas = stats_delta(&before, &engine.shard_stats());
         let busy_ns: u64 = deltas.iter().map(|d| d.busy_ns).sum();

@@ -200,9 +200,9 @@ where
         ParallelIngestEngine::new(EngineConfig::new(spec, seed));
     let (warm, _) = gen_batches(regime, cfg.warmup_batches, 0);
     for batch in warm {
-        engine.ingest(batch);
+        engine.ingest(batch).unwrap();
     }
-    engine.quiesce();
+    engine.quiesce().unwrap();
 
     // Reader threads: poll the epoch counter, pull the new snapshot when
     // one appeared (the SampleReader pattern), sleep out the serving
@@ -254,13 +254,13 @@ where
         let mut fed = 0usize;
         let mut last_epoch = 0u64;
         for batch in batches {
-            engine.ingest(batch);
+            engine.ingest(batch).unwrap();
             fed += 1;
             if fed.is_multiple_of(cfg.publish_every.max(1)) {
-                last_epoch = engine.request_snapshot();
+                last_epoch = engine.request_snapshot().unwrap();
             }
         }
-        engine.quiesce();
+        engine.quiesce().unwrap();
         if last_epoch > 0 {
             // The window is not over until its snapshots are served.
             engine
@@ -311,9 +311,11 @@ pub fn poll_cost(cfg: &ServingConfig) -> (f64, f64) {
     let mut engine: ParallelIngestEngine<RTbs<u64>> =
         ParallelIngestEngine::new(EngineConfig::new(spec, cfg.seed));
     for t in 0..50u64 {
-        engine.ingest((0..100).map(|i| t * 100 + i).collect());
+        engine
+            .ingest((0..100).map(|i| t * 100 + i).collect())
+            .unwrap();
     }
-    let epoch = engine.request_snapshot();
+    let epoch = engine.request_snapshot().unwrap();
     let cell = engine.snapshot_cell();
     cell.wait_for_epoch(epoch).expect("published");
 

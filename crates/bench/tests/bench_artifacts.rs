@@ -98,6 +98,37 @@ fn committed_scaling_baseline_passes_the_cliff_gate() {
 }
 
 #[test]
+fn committed_throughput_baseline_passes_its_gates() {
+    // The durability row (PR 8) made the throughput artifact carry gate
+    // verdicts too: the facade within 10% of the raw fast path, jump
+    // ingest ≥2× per-item, the jump row within 10% of the committed
+    // absolute baseline, and automatic checkpointing keeping ≥50% of
+    // jump throughput. Re-check the recorded ratios so a hand-edited
+    // pass flag fails.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_throughput.json"))
+        .expect("committed BENCH_throughput.json");
+    let doc = parse(&text).expect("valid JSON");
+    let gates = doc
+        .get("summary")
+        .and_then(|s| s.get("gates"))
+        .expect("throughput summary gates");
+    let ratio = |name: &str| {
+        let gate = gates
+            .get(name)
+            .unwrap_or_else(|| panic!("missing gate {name}: {gates}"));
+        assert_eq!(gate.get("pass"), Some(&Json::Bool(true)), "{name}: {gate}");
+        match gate.get("ratio") {
+            Some(Json::Num(v)) => *v,
+            other => panic!("{name} ratio missing: {other:?}"),
+        }
+    };
+    assert!(ratio("facade_overhead") >= 0.9);
+    assert!(ratio("jump_speedup") >= 2.0);
+    assert!(ratio("jump_vs_committed_baseline") >= 0.9);
+    assert!(ratio("checkpoint_overhead") >= 0.5);
+}
+
+#[test]
 fn committed_serving_baseline_passes_its_own_gate() {
     // The acceptance gate is part of the committed artifact: R-TBS
     // saturated ingest under 4 concurrent readers within 10% of the

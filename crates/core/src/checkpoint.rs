@@ -50,6 +50,14 @@ pub enum CheckpointError {
     Truncated,
     /// A field held an invalid value (tag or enum out of range).
     Corrupt(&'static str),
+    /// A CRC-framed blob ([`frame`]) failed its integrity check: the
+    /// payload was bit-flipped, overwritten, or torn mid-write.
+    CrcMismatch {
+        /// CRC32 recorded in the frame header.
+        expected: u32,
+        /// CRC32 of the payload as read back.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -61,6 +69,10 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+            CheckpointError::CrcMismatch { expected, actual } => write!(
+                f,
+                "checkpoint CRC mismatch: frame says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
         }
     }
 }
@@ -326,6 +338,81 @@ impl Reader {
     }
 }
 
+/// Magic tag identifying a CRC frame around a checkpoint blob ("TBSF").
+pub const FRAME_MAGIC: u32 = 0x5442_5346;
+
+/// CRC32 lookup table (IEEE 802.3 reflected polynomial 0xEDB88320),
+/// computed at compile time so the framing layer needs no dependencies
+/// and no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data` — the integrity check used by [`frame`].
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wrap a checkpoint blob in a CRC frame for durable storage:
+/// `[FRAME_MAGIC][payload len][crc32(payload)][payload]`, all u32s
+/// little-endian. [`unframe`] rejects truncation (torn write) and any
+/// bit flip inside the header or payload, so a durability layer can fall
+/// back to an older generation instead of restoring garbage.
+pub fn frame(blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + blob.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(blob).to_le_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
+/// Validate and strip a [`frame`], returning the inner checkpoint blob.
+pub fn unframe(framed: &[u8]) -> Result<Bytes, CheckpointError> {
+    let word = |at: usize| -> Result<u32, CheckpointError> {
+        let raw: [u8; 4] = framed
+            .get(at..at + 4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(CheckpointError::Truncated)?;
+        Ok(u32::from_le_bytes(raw))
+    };
+    if word(0)? != FRAME_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let len = word(4)? as usize;
+    let expected = word(8)?;
+    let payload = framed.get(12..12 + len).ok_or(CheckpointError::Truncated)?;
+    if framed.len() != 12 + len {
+        // Trailing garbage means the file is not the frame we wrote.
+        return Err(CheckpointError::Corrupt("frame length"));
+    }
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(CheckpointError::CrcMismatch { expected, actual });
+    }
+    Ok(Bytes::copy_from_slice(payload))
+}
+
 /// Validate an f64 read back from a blob: finite and non-negative (all
 /// persisted weights/widths satisfy this; anything else is corruption).
 pub fn check_non_negative(v: f64, what: &'static str) -> Result<f64, CheckpointError> {
@@ -437,6 +524,58 @@ mod tests {
         let v = [1.5f64, -2.25];
         assert_eq!(<[f64; 2]>::decode(&v.encode()), v);
         assert_eq!(v.wire_size(), 16);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let blob = b"some checkpoint payload".to_vec();
+        let framed = frame(&blob);
+        assert_eq!(&unframe(&framed).unwrap()[..], &blob[..]);
+    }
+
+    #[test]
+    fn frame_rejects_bit_flips_everywhere() {
+        let blob: Vec<u8> = (0..64u8).collect();
+        let framed = frame(&blob);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut evil = framed.clone();
+                evil[byte] ^= 1 << bit;
+                assert!(
+                    unframe(&evil).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_rejects_truncation_at_every_length() {
+        let blob: Vec<u8> = (0..32u8).collect();
+        let framed = frame(&blob);
+        for keep in 0..framed.len() {
+            assert!(
+                unframe(&framed[..keep]).is_err(),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage() {
+        let mut framed = frame(b"payload");
+        framed.push(0);
+        assert_eq!(
+            unframe(&framed).unwrap_err(),
+            CheckpointError::Corrupt("frame length")
+        );
     }
 
     #[test]

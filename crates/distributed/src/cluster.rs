@@ -86,6 +86,9 @@ impl PoolHandle {
                         None => return,
                     }
                 })
+                // INVARIANT: spawn fails only on OS resource exhaustion
+                // (thread limit, OOM) — a pool-construction environment
+                // failure, not a recoverable runtime fault.
                 .expect("spawn pool worker");
             threads.push(handle);
         }
@@ -216,11 +219,17 @@ impl WorkerPool {
 fn collect_in_order<T>(rx: mpsc::Receiver<(usize, T)>, n: usize) -> Vec<T> {
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
+        // INVARIANT: exactly n jobs hold senders; `recv` errs only if a
+        // job died before sending (its panic was contained to the pool
+        // worker) — re-raising it here propagates the job's failure to
+        // the dispatching caller instead of returning short results.
         let (i, value) = rx.recv().expect("worker thread panicked");
         slots[i] = Some(value);
     }
     slots
         .into_iter()
+        // INVARIANT: the n jobs carry indices 0..n exactly once each, so
+        // after n receipts every slot is filled.
         .map(|s| s.expect("every index reported"))
         .collect()
 }

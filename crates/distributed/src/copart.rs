@@ -50,6 +50,11 @@ impl<T> CoPartitionedReservoir<T> {
     /// Local inserts: items already resident on worker `j` append to
     /// reservoir partition `j`. Zero network cost; the parallel append
     /// phase is accounted by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_worker` does not have exactly one vector per
+    /// partition — a master/worker protocol violation, not a data error.
     pub fn insert_local(&mut self, per_worker: Vec<Vec<T>>) {
         assert_eq!(
             per_worker.len(),
@@ -92,6 +97,12 @@ impl<T> CoPartitionedReservoir<T> {
     /// *counts*; each worker selects its own victims with its own RNG
     /// stream. Returns the removed items; the caller charges the apply
     /// phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count/RNG vectors are not one-per-partition, or a
+    /// count exceeds what its partition stores — master/worker protocol
+    /// violations, not data errors.
     pub fn delete_counts<R: Rng>(
         &mut self,
         counts: &[u64],

@@ -506,6 +506,10 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                 self.remove_random_full(remaining, cost);
             }
         } else if floor_cp == floor_c {
+            // INVARIANT (this and both branches below): ⌊C′⌋ ≥ 1 here, and
+            // a latent sample of weight C stores exactly ⌊C⌋ ≥ ⌊C′⌋ full
+            // items — so after retaining ⌊C′⌋ (or ⌊C′⌋ + 1) of them, at
+            // least one full item always remains for the Swap1/Move1 pop.
             let rho = (1.0 - (c_prime / c) * frac_c) / (1.0 - frac_cp);
             if u > rho {
                 let swapped = self.remove_random_full(1, cost).pop().expect("full item");

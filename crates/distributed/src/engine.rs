@@ -94,11 +94,12 @@
 //! exceeds `n + 2K`. The committed `BENCH_scaling.json` quantifies both
 //! regimes.
 
+use crate::fault::{FaultPlan, PushAction};
 use crate::queue::BatchQueue;
-use crate::snapshot::EpochCell;
+use crate::snapshot::{EpochCell, EpochWait};
 use parking_lot::Mutex;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -106,6 +107,97 @@ use std::time::{Duration, Instant};
 use tbs_core::frozen::FrozenSample;
 use tbs_core::merge::{BalancedSplitter, MergePlan, MergeScalars, MergeableSample, ShardSpec};
 use tbs_stats::rng::Xoshiro256PlusPlus;
+
+/// What the engine should do when part of its pipeline dies (a shard
+/// worker or the merger panics, or a chunk delivery fails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Transition to [`EngineHealth::Failed`]: close every queue (so
+    /// nothing blocks forever), surface the cause as an [`EngineError`]
+    /// from this and every subsequent call. The default — zero steady-
+    /// state overhead.
+    #[default]
+    Fail,
+    /// Supervised recovery: each shard's state is recorded at every
+    /// barrier/checkpoint fork, the driver keeps a replay log of the
+    /// chunks it split since then, and on a fault the engine rebuilds the
+    /// whole pipeline from the fork records and replays the log —
+    /// restoring **bit-identical** `(seed, K)` state, because splits and
+    /// per-shard RNG substreams are deterministic. Costs one state clone
+    /// per shard per barrier plus one chunk clone per shard per batch;
+    /// the replay log is trimmed at each barrier/checkpoint, so publish
+    /// or checkpoint periodically to bound its memory.
+    RespawnFromBarrier,
+}
+
+/// Typed pipeline-failure causes, surfaced instead of panics.
+///
+/// With [`RecoveryPolicy::Fail`] the first of these transitions the
+/// engine to [`EngineHealth::Failed`] and is returned (cloned) by every
+/// later call. With [`RecoveryPolicy::RespawnFromBarrier`] they are
+/// handled internally unless recovery itself is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A shard worker thread is gone (its panic guard closed its
+    /// queues), or a push to it failed.
+    ShardDead {
+        /// The shard whose queue failed.
+        shard: usize,
+    },
+    /// The merger thread is gone; snapshots can no longer publish.
+    MergerDead,
+    /// A chunk delivery to a shard queue was dropped (fault-injected
+    /// lost push): the shard's state no longer matches the stream.
+    ChunkDropped {
+        /// Destination shard of the lost chunk.
+        shard: usize,
+        /// 1-based global batch number of the lost chunk.
+        batch: u64,
+    },
+    /// A requested epoch can no longer publish (the publisher closed the
+    /// cell before reaching it).
+    SnapshotLost {
+        /// The epoch that was abandoned.
+        epoch: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShardDead { shard } => {
+                write!(f, "shard worker {shard} terminated")
+            }
+            EngineError::MergerDead => write!(f, "merger thread terminated"),
+            EngineError::ChunkDropped { shard, batch } => {
+                write!(f, "chunk delivery to shard {shard} lost at batch {batch}")
+            }
+            EngineError::SnapshotLost { epoch } => {
+                write!(f, "snapshot epoch {epoch} abandoned by a dying pipeline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Supervision state of the engine, read with
+/// [`ParallelIngestEngine::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// No fault has ever been observed.
+    Healthy,
+    /// The engine recovered from at least one fault. Sampler state is
+    /// exact (recovery is bit-identical), but epochs that were in flight
+    /// at a fault may have been re-issued under the same numbers.
+    Degraded {
+        /// Number of supervised recoveries performed.
+        recoveries: u64,
+    },
+    /// The engine is terminally failed: every queue is closed, every
+    /// call returns the recorded cause.
+    Failed(EngineError),
+}
 
 /// Configuration of a [`ParallelIngestEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,16 +211,26 @@ pub struct EngineConfig {
     /// Master seed; the driver and every shard derive non-overlapping
     /// jump-ahead substreams from it.
     pub seed: u64,
+    /// What to do when a worker/merger dies mid-stream.
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
-    /// An engine config with the default queue depth (64 batches).
+    /// An engine config with the default queue depth (64 batches) and
+    /// [`RecoveryPolicy::Fail`].
     pub fn new(spec: ShardSpec, seed: u64) -> Self {
         Self {
             spec,
             queue_depth: 64,
             seed,
+            recovery: RecoveryPolicy::Fail,
         }
+    }
+
+    /// This config with `recovery` set.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -172,6 +274,11 @@ enum ShardMsg<T> {
     /// Epoch-snapshot barrier: fork the shard state off to the merger
     /// thread (no driver round-trip — the shard keeps ingesting).
     Barrier(u64),
+    /// Checkpoint barrier: clone `(sampler, RNG state)` off to the merger,
+    /// which assembles generation `gen` once every shard reports. Like
+    /// `Barrier`, FIFO placement pins the checkpoint to an exact batch
+    /// boundary and the shard keeps ingesting.
+    CheckpointFork { gen: u64 },
 }
 
 enum ShardResp<S> {
@@ -202,6 +309,22 @@ enum MergerMsg<S: MergeableSample> {
     /// tree's root; the merger re-orders these into in-order publication.
     Publish {
         frozen: Box<FrozenSample<<S as MergeableSample>::Item>>,
+    },
+    /// Driver-side checkpoint header: the driver state that, together
+    /// with the K shard forks, forms a complete [`EngineCheckpoint`].
+    /// Enqueued before the matching `CheckpointFork` barriers, so FIFO
+    /// causality delivers it first, exactly like `Request`.
+    CkptRequest {
+        gen: u64,
+        driver_rng: [u64; 4],
+        deviations: Vec<f64>,
+        batches: u64,
+    },
+    /// One shard's `(sampler, RNG state)` at checkpoint generation `gen`.
+    CkptFork {
+        gen: u64,
+        shard: usize,
+        state: Box<(S, [u64; 4])>,
     },
 }
 
@@ -247,6 +370,21 @@ struct ShardCell<S: MergeableSample> {
 struct ShardCore<S> {
     sampler: S,
     rng: Xoshiro256PlusPlus,
+    /// Data batches this logical shard has processed (== the driver's
+    /// `batches_ingested` once the shard catches up, since every ingest
+    /// sends one chunk to every shard). Positions fault-injection sites
+    /// and stamps recovery fork records.
+    seen: u64,
+}
+
+/// One shard's resumable state, recorded at every barrier/checkpoint fork
+/// (and once at spawn). Under [`RecoveryPolicy::RespawnFromBarrier`] the
+/// driver rebuilds a dead pipeline from these plus its replay log.
+struct ForkRecord<S> {
+    /// The shard's `seen` batch count at the fork.
+    batches: u64,
+    sampler: S,
+    rng: [u64; 4],
 }
 
 /// Everything the worker and merger threads share.
@@ -259,6 +397,17 @@ struct EngineShared<S: MergeableSample> {
     spec: ShardSpec,
     /// Per-worker queue depth (drained groups are bounded by this).
     depth: usize,
+    /// Per-shard recovery fork records; `Some` iff the policy is
+    /// [`RecoveryPolicy::RespawnFromBarrier`].
+    recovery: Option<Vec<Mutex<Option<ForkRecord<S>>>>>,
+    /// Completed checkpoint generations, oldest evicted on overflow.
+    /// Shared by `Arc` so completed generations survive a pipeline
+    /// rebuild (the queue outlives any one `EngineShared`).
+    ckpts_done: Arc<BatchQueue<(u64, EngineCheckpoint<S>)>>,
+    /// Injected-fault schedule; `None` (a single predictable branch per
+    /// drained batch group — nothing per item) everywhere outside the
+    /// fault-matrix tests.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// The complete durable state of a quiesced [`ParallelIngestEngine`]:
@@ -316,20 +465,50 @@ where
     split: Vec<Vec<S::Item>>,
     /// Responses are popped into this scratch vector (capacity 1).
     resp_scratch: Vec<ShardResp<S>>,
+    /// The config the pipeline was built from (recovery respawns reuse it).
+    cfg: EngineConfig,
+    /// Terminal failure, recorded once; every later call returns a clone.
+    failure: Option<EngineError>,
+    /// Supervised recoveries performed so far.
+    recoveries: u64,
+    /// Generation assigned to the next checkpoint request (first is 1).
+    next_ckpt_gen: u64,
+    /// Per-shard replay log `(global batch_no, chunk)` since the last
+    /// fork record; only filled under `RespawnFromBarrier`.
+    replay: Vec<VecDeque<(u64, Vec<S::Item>)>>,
 }
 
 impl<S: MergeableSample + Clone + Send + 'static> ParallelIngestEngine<S>
 where
-    S::Item: Send + Sync + 'static,
+    S::Item: Clone + Send + Sync + 'static,
 {
     /// Spawn the shard worker threads and return the ready engine.
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// An engine with an injected-fault schedule installed — the entry
+    /// point of the fault-matrix suite. Production code never installs a
+    /// plan; see [`crate::fault`].
+    pub fn with_fault_plan(cfg: EngineConfig, plan: Arc<FaultPlan>) -> Self {
+        Self::build(cfg, Some(plan))
+    }
+
+    fn build(cfg: EngineConfig, faults: Option<Arc<FaultPlan>>) -> Self {
         let mut substreams =
             Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(cfg.spec.shards + 1);
         let driver_rng = substreams.remove(0);
         let shard_samplers = S::make_shards(&cfg.spec);
         let splitter = BalancedSplitter::new(cfg.spec.lambda, cfg.spec.shards);
-        Self::spawn(cfg, shard_samplers, substreams, driver_rng, splitter)
+        Self::spawn(
+            cfg,
+            shard_samplers,
+            substreams,
+            driver_rng,
+            splitter,
+            0,
+            faults,
+        )
     }
 
     /// Rebuild an engine from a quiesced checkpoint (see
@@ -363,9 +542,15 @@ where
         }
         let driver_rng = Xoshiro256PlusPlus::from_state(parts.driver_rng);
         let splitter = BalancedSplitter::from_deviations(cfg.spec.lambda, parts.split_deviations);
-        let mut engine = Self::spawn(cfg, samplers, rngs, driver_rng, splitter);
-        engine.batches_ingested = parts.batches;
-        engine
+        Self::spawn(
+            cfg,
+            samplers,
+            rngs,
+            driver_rng,
+            splitter,
+            parts.batches,
+            None,
+        )
     }
 
     fn spawn(
@@ -374,82 +559,40 @@ where
         substreams: Vec<Xoshiro256PlusPlus>,
         driver_rng: Xoshiro256PlusPlus,
         splitter: BalancedSplitter,
+        batches0: u64,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
-        let spec = cfg.spec;
-        let depth = cfg.queue_depth.max(1);
-        // Room for a few epochs in flight (each is 1 request + K forks +
-        // 1 publish); beyond that the snapshot path exerts backpressure on
-        // whoever requests faster than the pipeline can merge.
-        let merger: BatchQueue<MergerMsg<S>> = BatchQueue::with_capacity(4 * (spec.shards + 2));
-        // Leaf tasks for a few epochs; dispatch never blocks on this
-        // queue (overflow executes inline on the merger).
-        let tasks: BatchQueue<TreeTask<S>> = BatchQueue::with_capacity(4 * spec.shards + 4);
-        let cells: Vec<ShardCell<S>> = shard_samplers
-            .into_iter()
-            .zip(substreams)
-            .map(|(sampler, rng)| {
-                // The recycle queue is created at its full buffer
-                // population, 2·depth + 2: at most depth buffers sit in
-                // the work queue, at most depth in the (unique, lock-
-                // holding) processor's unflushed done-list, and one in
-                // the driver — so at least one is always available, the
-                // driver's try_pop never misses, the processor's try_push
-                // never drops a warm buffer, and steady-state ingest
-                // never calls the allocator for a buffer (the counting-
-                // allocator test pins this down).
-                let population = 2 * depth + 2;
-                let recycle = BatchQueue::with_capacity(population);
-                for _ in 0..population {
-                    let _ = recycle.try_push(Vec::new());
-                }
-                ShardCell {
-                    core: Mutex::new(ShardCore { sampler, rng }),
-                    work: BatchQueue::with_capacity(depth),
-                    resp: BatchQueue::with_capacity(2),
-                    recycle,
-                    counters: ShardCounters::default(),
-                }
-            })
-            .collect();
-        let shared = Arc::new(EngineShared {
-            cells,
-            tasks,
-            merger,
-            spec,
-            depth,
-        });
         let cell = Arc::new(EpochCell::new());
-        let merger_join = std::thread::Builder::new()
-            .name("tbs-merger".into())
-            .spawn({
-                let shared = Arc::clone(&shared);
-                let cell = Arc::clone(&cell);
-                move || merger_worker(&shared, &cell)
-            })
-            .expect("spawn merger worker");
-        let worker_joins = (0..spec.shards)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                Some(
-                    std::thread::Builder::new()
-                        .name(format!("tbs-shard-{i}"))
-                        .spawn(move || shard_worker(i, &shared))
-                        .expect("spawn shard worker"),
-                )
-            })
-            .collect();
+        // Completed checkpoints outlive any one pipeline incarnation (a
+        // recovery respawn hands the same queue to the new merger), so
+        // generations assembled before a fault stay claimable after it.
+        let ckpts_done = Arc::new(BatchQueue::with_capacity(4));
+        let (shared, worker_joins, merger_join) = spawn_pipeline(
+            &cfg,
+            shard_samplers,
+            substreams,
+            batches0,
+            faults,
+            ckpts_done,
+            &cell,
+        );
         Self {
-            split: (0..spec.shards).map(|_| Vec::new()).collect(),
+            split: (0..cfg.spec.shards).map(|_| Vec::new()).collect(),
+            replay: (0..cfg.spec.shards).map(|_| VecDeque::new()).collect(),
             shared,
             worker_joins,
-            merger_join: Some(merger_join),
+            merger_join,
             cell,
             next_epoch: 1,
-            batches_ingested: 0,
+            batches_ingested: batches0,
             splitter,
             chunk_high_water: 0,
             driver_rng,
             resp_scratch: Vec::with_capacity(1),
+            cfg,
+            failure: None,
+            recoveries: 0,
+            next_ckpt_gen: 1,
         }
     }
 
@@ -467,64 +610,165 @@ where
     /// across the shard queues by the balanced splitter (blocking only
     /// when a queue is full — backpressure, not data loss); empty batches
     /// are delivered too, since every shard's decay clock must advance.
-    pub fn ingest(&mut self, mut batch: Vec<S::Item>) {
+    ///
+    /// If the pipeline died, returns the typed cause under
+    /// [`RecoveryPolicy::Fail`]; under
+    /// [`RecoveryPolicy::RespawnFromBarrier`] the engine rebuilds itself
+    /// (absorbing this batch via the replay log) and returns `Ok`.
+    pub fn ingest(&mut self, mut batch: Vec<S::Item>) -> Result<(), EngineError> {
+        self.check_alive()?;
         self.batches_ingested += 1;
-        let cells = &self.shared.cells;
-        if cells.len() == 1 {
+        let batch_no = self.batches_ingested;
+        if self.shared.cells.len() == 1 {
             // Single shard: hand the caller's buffer over untouched (the
             // splitter state stays identically zero for K = 1).
-            let _ = cells[0].work.push(ShardMsg::Batch(batch));
-            return;
+            if self.shared.recovery.is_some() {
+                self.replay[0].push_back((batch_no, batch.clone()));
+            }
+            return self.deliver(0, batch_no, batch).map(|_| ());
         }
+        let cells = &self.shared.cells;
         self.chunk_high_water = self.chunk_high_water.max(batch.len().div_ceil(cells.len()));
         for (slot, cell) in self.split.iter_mut().zip(cells) {
             *slot = cell.recycle.try_pop().unwrap_or_default();
             slot.reserve(self.chunk_high_water);
         }
         self.splitter.split(&mut batch, &mut self.split);
-        for (slot, cell) in self.split.iter_mut().zip(cells) {
-            let _ = cell.work.push(ShardMsg::Batch(std::mem::take(slot)));
+        if self.shared.recovery.is_some() {
+            for (k, slot) in self.split.iter().enumerate() {
+                self.replay[k].push_back((batch_no, slot.clone()));
+            }
+        }
+        for k in 0..self.shared.cells.len() {
+            let chunk = std::mem::take(&mut self.split[k]);
+            if self.deliver(k, batch_no, chunk)? {
+                // A recovery replayed the whole batch from the log; the
+                // chunks not yet pushed are already absorbed.
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Push one chunk to one shard, applying any injected fault. Returns
+    /// whether a supervised recovery ran (meaning the caller's remaining
+    /// chunks of this batch were absorbed via the replay log).
+    fn deliver(
+        &mut self,
+        shard: usize,
+        batch_no: u64,
+        chunk: Vec<S::Item>,
+    ) -> Result<bool, EngineError> {
+        let action = match &self.shared.faults {
+            Some(plan) => plan.push_action(shard, batch_no),
+            None => PushAction::Deliver,
+        };
+        match action {
+            PushAction::Drop => {
+                // The enqueue was "lost": the shard's state no longer
+                // matches its stream. Surfaced exactly like a dead shard —
+                // fail typed, or restore from fork + replay (the log holds
+                // the lost chunk).
+                drop(chunk);
+                self.incident(EngineError::ChunkDropped {
+                    shard,
+                    batch: batch_no,
+                })?;
+                Ok(true)
+            }
+            PushAction::Delay(stall) => {
+                std::thread::sleep(stall);
+                self.push_chunk(shard, chunk)
+            }
+            PushAction::Deliver => self.push_chunk(shard, chunk),
         }
     }
 
+    fn push_chunk(&mut self, shard: usize, chunk: Vec<S::Item>) -> Result<bool, EngineError> {
+        if self.shared.cells[shard]
+            .work
+            .push(ShardMsg::Batch(chunk))
+            .is_err()
+        {
+            self.incident(EngineError::ShardDead { shard })?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
     /// Block until every shard has absorbed everything queued so far.
-    pub fn quiesce(&mut self) {
-        for cell in &self.shared.cells {
-            let _ = cell.work.push(ShardMsg::Sync);
+    pub fn quiesce(&mut self) -> Result<(), EngineError> {
+        self.check_alive()?;
+        loop {
+            match self.try_sync() {
+                Ok(()) => return Ok(()),
+                Err(cause) => self.incident(cause)?,
+            }
         }
-        for cell in &self.shared.cells {
-            let _ = pop_resp(cell, &mut self.resp_scratch);
+    }
+
+    fn try_sync(&mut self) -> Result<(), EngineError> {
+        for (i, cell) in self.shared.cells.iter().enumerate() {
+            if cell.work.push(ShardMsg::Sync).is_err() {
+                return Err(EngineError::ShardDead { shard: i });
+            }
         }
+        for (i, cell) in self.shared.cells.iter().enumerate() {
+            match pop_resp(i, cell, &mut self.resp_scratch)? {
+                ShardResp::Ack => {}
+                // INVARIANT: the driver runs one request protocol at a
+                // time, so a Sync can only be answered by an Ack.
+                ShardResp::Snapshot(_) => unreachable!("sync acked with a snapshot payload"),
+            }
+        }
+        Ok(())
     }
 
     /// Quiesce and clone out every shard's `(sampler, RNG state)`, in
     /// shard-id order (shards keep running; their live state is
     /// untouched).
-    fn snapshot_shards(&mut self) -> Vec<(S, [u64; 4])> {
-        for cell in &self.shared.cells {
-            let _ = cell.work.push(ShardMsg::Snapshot);
+    fn try_snapshot_shards(&mut self) -> Result<Vec<(S, [u64; 4])>, EngineError> {
+        for (i, cell) in self.shared.cells.iter().enumerate() {
+            if cell.work.push(ShardMsg::Snapshot).is_err() {
+                return Err(EngineError::ShardDead { shard: i });
+            }
         }
         let mut snapshots = Vec::with_capacity(self.shared.cells.len());
-        for cell in &self.shared.cells {
-            match pop_resp(cell, &mut self.resp_scratch) {
+        for (i, cell) in self.shared.cells.iter().enumerate() {
+            match pop_resp(i, cell, &mut self.resp_scratch)? {
                 ShardResp::Snapshot(s) => snapshots.push(*s),
+                // INVARIANT: one request protocol at a time (see try_sync).
                 ShardResp::Ack => unreachable!("snapshot request acked without payload"),
             }
         }
-        snapshots
+        Ok(snapshots)
+    }
+
+    fn snapshot_shards(&mut self) -> Result<Vec<(S, [u64; 4])>, EngineError> {
+        self.check_alive()?;
+        loop {
+            match self.try_snapshot_shards() {
+                Ok(snaps) => return Ok(snaps),
+                Err(cause) => self.incident(cause)?,
+            }
+        }
     }
 
     /// Quiesce, snapshot every shard, and merge the snapshots into a
     /// single-node-equivalent sampler (shards keep running; their live
     /// state is untouched). The merge runs the canonical
     /// [`tbs_core::merge::merge_replay`] tree on the driver thread.
-    pub fn snapshot_merged(&mut self) -> S {
+    pub fn snapshot_merged(&mut self) -> Result<S, EngineError> {
         let snapshots = self
-            .snapshot_shards()
+            .snapshot_shards()?
             .into_iter()
             .map(|(sampler, _)| sampler)
             .collect();
-        S::merge_shards(snapshots, &self.shared.spec, &mut self.driver_rng)
+        Ok(S::merge_shards(
+            snapshots,
+            &self.shared.spec,
+            &mut self.driver_rng,
+        ))
     }
 
     /// Quiesce and capture the engine's complete durable state: every
@@ -533,12 +777,100 @@ where
     /// [`ParallelIngestEngine::sample`], this consumes **no** randomness,
     /// so checkpointing mid-stream leaves the trajectory untouched;
     /// [`ParallelIngestEngine::from_parts`] resumes bit-identically.
-    pub fn save_parts(&mut self) -> EngineCheckpoint<S> {
-        EngineCheckpoint {
-            shard_states: self.snapshot_shards(),
+    pub fn save_parts(&mut self) -> Result<EngineCheckpoint<S>, EngineError> {
+        Ok(EngineCheckpoint {
+            shard_states: self.snapshot_shards()?,
             driver_rng: self.driver_rng.state(),
             split_deviations: self.splitter.deviations().to_vec(),
             batches: self.batches_ingested,
+        })
+    }
+
+    /// Request an asynchronous checkpoint at the current batch boundary
+    /// and return its generation number, **without stopping ingest**.
+    ///
+    /// Like [`ParallelIngestEngine::request_snapshot`], this rides the
+    /// barrier machinery: each shard clones its `(sampler, RNG)` exactly
+    /// at this boundary and keeps ingesting; the merger assembles the
+    /// parts into an [`EngineCheckpoint`] claimable via
+    /// [`ParallelIngestEngine::try_take_checkpoint`]. Consumes **no**
+    /// driver randomness, and the assembled checkpoint is byte-identical
+    /// to what a synchronous [`ParallelIngestEngine::save_parts`] at the
+    /// same boundary would return. At most 4 completed generations are
+    /// retained; the oldest unclaimed one is evicted.
+    pub fn request_checkpoint(&mut self) -> Result<u64, EngineError> {
+        self.check_alive()?;
+        loop {
+            let gen = self.next_ckpt_gen;
+            let mut cause = None;
+            // Header before barriers: FIFO causality, exactly like the
+            // snapshot protocol.
+            if self
+                .shared
+                .merger
+                .push(MergerMsg::CkptRequest {
+                    gen,
+                    driver_rng: self.driver_rng.state(),
+                    deviations: self.splitter.deviations().to_vec(),
+                    batches: self.batches_ingested,
+                })
+                .is_err()
+            {
+                cause = Some(EngineError::MergerDead);
+            }
+            if cause.is_none() {
+                for (i, cell) in self.shared.cells.iter().enumerate() {
+                    if cell.work.push(ShardMsg::CheckpointFork { gen }).is_err() {
+                        cause = Some(EngineError::ShardDead { shard: i });
+                        break;
+                    }
+                }
+            }
+            match cause {
+                None => {
+                    self.next_ckpt_gen += 1;
+                    self.trim_replay();
+                    return Ok(gen);
+                }
+                // After a recovery the generation is re-requested on the
+                // fresh pipeline — shard state is restored bit-identical,
+                // so the checkpoint is too.
+                Some(cause) => self.incident(cause)?,
+            }
+        }
+    }
+
+    /// Claim a completed asynchronous checkpoint, oldest first, without
+    /// blocking. Returns `(generation, checkpoint)`.
+    pub fn try_take_checkpoint(&mut self) -> Option<(u64, EngineCheckpoint<S>)> {
+        self.shared.ckpts_done.try_pop()
+    }
+
+    /// Claim a completed asynchronous checkpoint, waiting up to `timeout`
+    /// for one to assemble. `Ok(None)` means none completed within the
+    /// deadline — including when a fault was detected and recovered
+    /// mid-wait, in which case any in-flight generation died with the old
+    /// pipeline and must be re-requested.
+    pub fn wait_checkpoint(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, EngineCheckpoint<S>)>, EngineError> {
+        self.check_alive()?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(got) = self.shared.ckpts_done.try_pop() {
+                return Ok(Some(got));
+            }
+            if let Some(cause) = self.detect_dead() {
+                self.incident(cause)?;
+                return Ok(None);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let wait = (deadline - now).min(Duration::from_millis(5));
+            self.shared.ckpts_done.wait_nonempty(wait);
         }
     }
 
@@ -563,32 +895,60 @@ where
     /// The only blocking is backpressure: if a queue is full the push
     /// waits, exactly as `ingest` does.
     ///
-    /// If a shard worker has died (its panic guard closes its queue),
-    /// the barrier cannot reach every shard and the epoch can never
-    /// complete; the cell is closed so `wait_for_epoch` callers observe
-    /// publisher death (`None`) instead of blocking forever. Epochs
-    /// already published stay readable.
-    pub fn request_snapshot(&mut self) -> u64 {
-        let epoch = self.next_epoch;
-        self.next_epoch += 1;
-        // Request before barriers: FIFO causality guarantees the merger
-        // sees the epoch header before any fork for it.
-        let mut delivered = self
-            .shared
-            .merger
-            .push(MergerMsg::Request {
-                epoch,
-                rng: self.driver_rng.state(),
-                batches: self.batches_ingested,
-            })
-            .is_ok();
-        for cell in &self.shared.cells {
-            delivered &= cell.work.push(ShardMsg::Barrier(epoch)).is_ok();
+    /// If part of the pipeline has died (a panic guard closes its
+    /// queues), the barrier cannot reach every shard and the epoch could
+    /// never complete: under [`RecoveryPolicy::Fail`] the engine fails
+    /// typed (the dead pipeline's closers have already closed the cell,
+    /// so `wait_for_epoch` callers observe publisher death instead of
+    /// blocking forever; published epochs stay readable); under
+    /// [`RecoveryPolicy::RespawnFromBarrier`] the pipeline is rebuilt and
+    /// the request re-issued on it.
+    pub fn request_snapshot(&mut self) -> Result<u64, EngineError> {
+        self.check_alive()?;
+        let pos = self.driver_rng.state();
+        self.request_snapshot_at(pos)
+    }
+
+    /// Issue a snapshot request replaying merge randomness from driver
+    /// position `pos`, retrying on a fresh pipeline after any recovered
+    /// fault. Factored out so [`ParallelIngestEngine::sample`] can re-
+    /// request a faulted epoch from its original pre-`long_jump` position
+    /// — keeping the retried merge bit-identical to a fault-free run.
+    fn request_snapshot_at(&mut self, pos: [u64; 4]) -> Result<u64, EngineError> {
+        loop {
+            let epoch = self.next_epoch;
+            let mut cause = None;
+            // Request before barriers: FIFO causality guarantees the
+            // merger sees the epoch header before any fork for it.
+            if self
+                .shared
+                .merger
+                .push(MergerMsg::Request {
+                    epoch,
+                    rng: pos,
+                    batches: self.batches_ingested,
+                })
+                .is_err()
+            {
+                cause = Some(EngineError::MergerDead);
+            }
+            if cause.is_none() {
+                for (i, cell) in self.shared.cells.iter().enumerate() {
+                    if cell.work.push(ShardMsg::Barrier(epoch)).is_err() {
+                        cause = Some(EngineError::ShardDead { shard: i });
+                        break;
+                    }
+                }
+            }
+            match cause {
+                None => {
+                    self.next_epoch += 1;
+                    self.trim_replay();
+                    return Ok(epoch);
+                }
+                Some(cause) => self.incident(cause)?,
+            }
         }
-        if !delivered {
-            self.cell.close();
-        }
-        epoch
     }
 
     /// The epoch-publication cell snapshots are served through. Clone the
@@ -624,17 +984,36 @@ where
     /// The driver thread does O(1) work here — the `⌈log₂K⌉`-depth merge
     /// and the realization run on the shard workers, overlapping any
     /// still-queued ingest.
-    pub fn sample(&mut self) -> Vec<S::Item>
-    where
-        S::Item: Clone,
-    {
-        let epoch = self.request_snapshot();
+    ///
+    /// The wait is supervised: it polls in short slices and checks the
+    /// pipeline's pulse on each timeout, so a death anywhere surfaces as
+    /// a typed error (or a supervised recovery + bit-identical re-merge
+    /// from the *same* RNG position) in bounded time — never a hang.
+    pub fn sample(&mut self) -> Result<Vec<S::Item>, EngineError> {
+        self.check_alive()?;
+        let pos = self.driver_rng.state();
+        let mut epoch = self.request_snapshot_at(pos)?;
         self.driver_rng.long_jump();
-        let frozen = self
-            .cell
-            .wait_for_epoch(epoch)
-            .expect("snapshot pipeline terminated before the requested epoch");
-        frozen.items().to_vec()
+        loop {
+            match self
+                .cell
+                .wait_for_epoch_timeout(epoch, Duration::from_millis(25))
+            {
+                EpochWait::Published(frozen) => return Ok(frozen.items().to_vec()),
+                EpochWait::PublisherGone => {
+                    self.incident(EngineError::SnapshotLost { epoch })?;
+                    epoch = self.request_snapshot_at(pos)?;
+                }
+                EpochWait::TimedOut => {
+                    if let Some(cause) = self.detect_dead() {
+                        self.incident(cause)?;
+                        epoch = self.request_snapshot_at(pos)?;
+                    }
+                    // Otherwise the pipeline is alive and merging — a
+                    // slow epoch is legitimate; keep waiting.
+                }
+            }
+        }
     }
 
     /// Per-shard ingest counters (items, batches, busy nanoseconds).
@@ -652,24 +1031,189 @@ where
             })
             .collect()
     }
+
+    /// Current supervision state (see [`EngineHealth`]).
+    pub fn health(&self) -> EngineHealth {
+        match &self.failure {
+            Some(cause) => EngineHealth::Failed(cause.clone()),
+            None if self.recoveries > 0 => EngineHealth::Degraded {
+                recoveries: self.recoveries,
+            },
+            None => EngineHealth::Healthy,
+        }
+    }
+
+    /// Number of supervised recoveries performed so far. Consumers with
+    /// work in flight across the pipeline (asynchronous checkpoints) can
+    /// compare readings to learn that the pipeline was rebuilt under
+    /// them.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    fn check_alive(&self) -> Result<(), EngineError> {
+        match &self.failure {
+            Some(cause) => Err(cause.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Pulse check: a closed queue means its owner's panic guard ran.
+    fn detect_dead(&self) -> Option<EngineError> {
+        if self.shared.merger.is_closed() {
+            return Some(EngineError::MergerDead);
+        }
+        for (i, cell) in self.shared.cells.iter().enumerate() {
+            if cell.work.is_closed() {
+                return Some(EngineError::ShardDead { shard: i });
+            }
+        }
+        None
+    }
+
+    /// Funnel for every detected fault: recover under
+    /// [`RecoveryPolicy::RespawnFromBarrier`] (returning `Ok` so the
+    /// caller retries on the fresh pipeline), otherwise record the cause,
+    /// tear the pipeline down, and return it.
+    fn incident(&mut self, cause: EngineError) -> Result<(), EngineError> {
+        if self.shared.recovery.is_some() {
+            self.recover_from();
+            Ok(())
+        } else {
+            self.fail_now(cause.clone());
+            Err(cause)
+        }
+    }
+
+    /// Transition to [`EngineHealth::Failed`]: close everything so no
+    /// thread (ours or a reader's) can block on the dead pipeline, join
+    /// what remains, record the cause.
+    fn fail_now(&mut self, cause: EngineError) {
+        self.failure = Some(cause);
+        self.shutdown_pipeline();
+        // The merger's closer already closed the cell on its way out;
+        // repeat for the case where the merger was long gone.
+        self.cell.close();
+    }
+
+    /// Stop-the-world: close every work queue, join the workers, close
+    /// and join the merger. Join panics are swallowed — by the time we
+    /// are here the death has already been converted to a typed cause.
+    fn shutdown_pipeline(&mut self) {
+        for cell in &self.shared.cells {
+            cell.work.close();
+        }
+        for join in &mut self.worker_joins {
+            if let Some(join) = join.take() {
+                let _ = join.join();
+            }
+        }
+        self.shared.merger.close();
+        self.shared.tasks.close();
+        if let Some(join) = self.merger_join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Supervised recovery: tear the pipeline down, restore every shard
+    /// from its last fork record plus the driver's replay log (splits and
+    /// RNG substreams are deterministic, so the restored state is
+    /// **bit-identical** to the pre-fault stream), and respawn fresh
+    /// threads over the same epoch cell.
+    fn recover_from(&mut self) {
+        self.shutdown_pipeline();
+        let mut samplers = Vec::with_capacity(self.shared.cells.len());
+        let mut rngs = Vec::with_capacity(self.shared.cells.len());
+        {
+            // INVARIANT: `incident` only routes here when recovery slots
+            // exist, and a record is installed in every slot before the
+            // workers spawn — workers replace records, never remove them.
+            let slots = self
+                .shared
+                .recovery
+                .as_ref()
+                .expect("recovery slots exist under RespawnFromBarrier");
+            for (i, slot) in slots.iter().enumerate() {
+                let record = slot
+                    .lock()
+                    .take()
+                    .expect("fork record installed before spawn");
+                let mut sampler = record.sampler;
+                let mut rng = Xoshiro256PlusPlus::from_state(record.rng);
+                for (batch_no, chunk) in &self.replay[i] {
+                    if *batch_no > record.batches {
+                        let mut buf = chunk.clone();
+                        sampler.observe_shard(&mut buf, &mut rng);
+                    }
+                }
+                samplers.push(sampler);
+                rngs.push(rng);
+            }
+        }
+        // Same cell: reader handles cloned before the fault stay valid.
+        // The dead merger's closer closed it (waking stranded waiters
+        // with `PublisherGone`); re-arm it for the new incarnation.
+        self.cell.reopen();
+        let (shared, worker_joins, merger_join) = spawn_pipeline(
+            &self.cfg,
+            samplers,
+            rngs,
+            self.batches_ingested,
+            self.shared.faults.clone(),
+            Arc::clone(&self.shared.ckpts_done),
+            &self.cell,
+        );
+        self.shared = shared;
+        self.worker_joins = worker_joins;
+        self.merger_join = merger_join;
+        // Epoch numbers that were in flight at the fault are re-issued:
+        // the merger publishes from published+1, and `wait_for_epoch`'s
+        // `>= epoch` contract hands a re-issued publication to anyone
+        // still waiting on a lost number.
+        self.next_epoch = self.cell.published_epoch() + 1;
+        for log in &mut self.replay {
+            log.clear();
+        }
+        self.recoveries += 1;
+    }
+
+    /// Drop replay-log entries already covered by the shards' latest fork
+    /// records. Called after each barrier/checkpoint issuance; `try_lock`
+    /// only — a stale record just means trimming less now and more later.
+    fn trim_replay(&mut self) {
+        let Some(slots) = &self.shared.recovery else {
+            return;
+        };
+        for (log, slot) in self.replay.iter_mut().zip(slots) {
+            if let Some(guard) = slot.try_lock() {
+                if let Some(record) = guard.as_ref() {
+                    while log.front().is_some_and(|(no, _)| *no <= record.batches) {
+                        log.pop_front();
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Blocking single-response pop from a shard's response queue.
 ///
 /// A closed-and-empty response queue means the worker terminated (its
-/// panic guard closes the queue on unwind); fail fast with a clear panic
-/// instead of blocking forever.
+/// panic guard closes the queue on unwind); surface that as a typed
+/// error instead of blocking forever.
 fn pop_resp<S: MergeableSample>(
+    shard: usize,
     cell: &ShardCell<S>,
     scratch: &mut Vec<ShardResp<S>>,
-) -> ShardResp<S> {
+) -> Result<ShardResp<S>, EngineError> {
     scratch.clear();
-    let n = cell.resp.drain_into(scratch);
-    assert!(
-        n == 1,
-        "shard worker terminated (panicked?) before responding"
-    );
-    scratch.pop().expect("response")
+    if cell.resp.drain_into(scratch) == 1 {
+        // INVARIANT: the driver runs one request protocol at a time, so a
+        // successful drain yields exactly the one matching response.
+        Ok(scratch.pop().expect("drained response present"))
+    } else {
+        Err(EngineError::ShardDead { shard })
+    }
 }
 
 impl<S: MergeableSample + Clone + Send + 'static> Drop for ParallelIngestEngine<S>
@@ -678,18 +1222,15 @@ where
 {
     fn drop(&mut self) {
         // Closing the work queues lets each worker drain the backlog and
-        // exit; join propagates worker panics.
+        // exit; join re-raises genuine worker panics.
         for cell in &self.shared.cells {
             cell.work.close();
         }
+        let failure_recorded = self.failure.is_some();
         for join in &mut self.worker_joins {
             if let Some(join) = join.take() {
-                let result = join.join();
-                // Re-raising a worker panic while already unwinding (e.g.
-                // after pop_resp's fail-fast) would abort the process;
-                // the first panic is the one worth reporting.
-                if !std::thread::panicking() {
-                    result.expect("shard worker panicked");
+                if let Err(payload) = join.join() {
+                    reraise(failure_recorded, payload);
                 }
             }
         }
@@ -701,12 +1242,141 @@ where
         // wait_for_epoch blockers), and exits.
         self.shared.merger.close();
         if let Some(join) = self.merger_join.take() {
-            let result = join.join();
-            if !std::thread::panicking() {
-                result.expect("merger worker panicked");
+            if let Err(payload) = join.join() {
+                reraise(failure_recorded, payload);
             }
         }
     }
+}
+
+/// Decide what to do with a panic payload collected while joining a
+/// pipeline thread at drop. A death the supervisor already converted to a
+/// typed error — or one the fault harness injected on purpose — is not a
+/// bug to re-report; anything else propagates (unless we are already
+/// unwinding, where a second panic would abort the process).
+fn reraise(failure_recorded: bool, payload: Box<dyn std::any::Any + Send>) {
+    if failure_recorded || crate::fault::is_injected_panic(payload.as_ref()) {
+        return;
+    }
+    if !std::thread::panicking() {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Build the shared state and spawn the merger + K shard worker threads
+/// over an existing epoch cell. Used both at construction and by
+/// supervised recovery respawns — which reuse the cell, so reader handles
+/// cloned before a fault stay valid across it.
+#[allow(clippy::type_complexity)]
+fn spawn_pipeline<S: MergeableSample + Clone + Send + 'static>(
+    cfg: &EngineConfig,
+    shard_samplers: Vec<S>,
+    substreams: Vec<Xoshiro256PlusPlus>,
+    batches0: u64,
+    faults: Option<Arc<FaultPlan>>,
+    ckpts_done: Arc<BatchQueue<(u64, EngineCheckpoint<S>)>>,
+    cell: &Arc<EpochCell<S::Item>>,
+) -> (
+    Arc<EngineShared<S>>,
+    Vec<Option<JoinHandle<()>>>,
+    Option<JoinHandle<()>>,
+)
+where
+    S::Item: Send + Sync + 'static,
+{
+    let spec = cfg.spec;
+    let depth = cfg.queue_depth.max(1);
+    let recovery = match cfg.recovery {
+        RecoveryPolicy::RespawnFromBarrier => Some(
+            shard_samplers
+                .iter()
+                .zip(&substreams)
+                .map(|(sampler, rng)| {
+                    Mutex::new(Some(ForkRecord {
+                        batches: batches0,
+                        sampler: sampler.clone(),
+                        rng: rng.state(),
+                    }))
+                })
+                .collect(),
+        ),
+        RecoveryPolicy::Fail => None,
+    };
+    // Room for a few epochs in flight (each is 1 request + K forks +
+    // 1 publish); beyond that the snapshot path exerts backpressure on
+    // whoever requests faster than the pipeline can merge.
+    let merger: BatchQueue<MergerMsg<S>> = BatchQueue::with_capacity(4 * (spec.shards + 2));
+    // Leaf tasks for a few epochs; dispatch never blocks on this
+    // queue (overflow executes inline on the merger).
+    let tasks: BatchQueue<TreeTask<S>> = BatchQueue::with_capacity(4 * spec.shards + 4);
+    let cells: Vec<ShardCell<S>> = shard_samplers
+        .into_iter()
+        .zip(substreams)
+        .map(|(sampler, rng)| {
+            // The recycle queue is created at its full buffer
+            // population, 2·depth + 2: at most depth buffers sit in
+            // the work queue, at most depth in the (unique, lock-
+            // holding) processor's unflushed done-list, and one in
+            // the driver — so at least one is always available, the
+            // driver's try_pop never misses, the processor's try_push
+            // never drops a warm buffer, and steady-state ingest
+            // never calls the allocator for a buffer (the counting-
+            // allocator test pins this down).
+            let population = 2 * depth + 2;
+            let recycle = BatchQueue::with_capacity(population);
+            for _ in 0..population {
+                let _ = recycle.try_push(Vec::new());
+            }
+            ShardCell {
+                core: Mutex::new(ShardCore {
+                    sampler,
+                    rng,
+                    seen: batches0,
+                }),
+                work: BatchQueue::with_capacity(depth),
+                resp: BatchQueue::with_capacity(2),
+                recycle,
+                counters: ShardCounters::default(),
+            }
+        })
+        .collect();
+    let shared = Arc::new(EngineShared {
+        cells,
+        tasks,
+        merger,
+        spec,
+        depth,
+        recovery,
+        ckpts_done,
+        faults,
+    });
+    // In-order publication continues wherever the cell left off — a
+    // recovery respawn must not restart the epoch sequence at 1.
+    let start_pub = cell.published_epoch() + 1;
+    // INVARIANT: thread spawn fails only on OS resource exhaustion
+    // (thread limit, out of memory) — an environment failure at
+    // construction/recovery time, not a runtime fault the supervisor
+    // could meaningfully absorb. Aborting construction is the contract.
+    let merger_join = std::thread::Builder::new()
+        .name("tbs-merger".into())
+        .spawn({
+            let shared = Arc::clone(&shared);
+            let cell = Arc::clone(cell);
+            move || merger_worker(&shared, &cell, start_pub)
+        })
+        .expect("spawn merger worker");
+    let worker_joins = (0..spec.shards)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("tbs-shard-{i}"))
+                    .spawn(move || shard_worker(i, &shared))
+                    .expect("spawn shard worker"),
+            )
+        })
+        .collect();
+    (shared, worker_joins, Some(merger_join))
 }
 
 /// Process one drained group of messages for the logical shard `cell`,
@@ -721,10 +1391,11 @@ fn process_shard_msgs<S: MergeableSample + Clone>(
     shard_id: usize,
     core: &mut ShardCore<S>,
     cell: &ShardCell<S>,
-    merger: &BatchQueue<MergerMsg<S>>,
+    shared: &EngineShared<S>,
     msgs: &mut Vec<ShardMsg<S::Item>>,
     done: &mut Vec<Vec<S::Item>>,
 ) {
+    let merger = &shared.merger;
     let counters = &cell.counters;
     let mut items = 0u64;
     let mut batches = 0u64;
@@ -751,6 +1422,14 @@ fn process_shard_msgs<S: MergeableSample + Clone>(
     for msg in msgs.drain(..) {
         match msg {
             ShardMsg::Batch(mut buf) => {
+                if let Some(plan) = &shared.faults {
+                    // Injection site: "the worker processing logical
+                    // shard `shard_id`'s `seen`-th batch". Keyed to the
+                    // shard's deterministic stream position, not the
+                    // (timing-dependent) thread identity.
+                    plan.fire_kill_worker(shard_id, core.seen);
+                }
+                core.seen += 1;
                 if span.is_none() {
                     span = Some(Instant::now());
                 }
@@ -780,6 +1459,34 @@ fn process_shard_msgs<S: MergeableSample + Clone>(
                     shard: shard_id,
                     state: Box::new(core.sampler.fork_for_merge()),
                 });
+                // Refresh the recovery fork record at the same boundary:
+                // barriers double as recovery points, bounding the
+                // driver's replay log at the publication cadence.
+                if let Some(slots) = &shared.recovery {
+                    *slots[shard_id].lock() = Some(ForkRecord {
+                        batches: core.seen,
+                        sampler: core.sampler.clone(),
+                        rng: core.rng.state(),
+                    });
+                }
+            }
+            ShardMsg::CheckpointFork { gen } => {
+                if span.is_none() {
+                    span = Some(Instant::now());
+                }
+                let state = (core.sampler.clone(), core.rng.state());
+                if let Some(slots) = &shared.recovery {
+                    *slots[shard_id].lock() = Some(ForkRecord {
+                        batches: core.seen,
+                        sampler: state.0.clone(),
+                        rng: state.1,
+                    });
+                }
+                let _ = merger.push(MergerMsg::CkptFork {
+                    gen,
+                    shard: shard_id,
+                    state: Box::new(state),
+                });
             }
             ShardMsg::Sync => {
                 close_span(&mut span, &mut busy);
@@ -805,6 +1512,10 @@ fn run_tree_task<S: MergeableSample>(
     spec: &ShardSpec,
 ) -> Option<FrozenSample<S::Item>> {
     let k = tree.plan.leaves();
+    // INVARIANT: every leaf slot is filled at tree construction and each
+    // leaf task is dispatched exactly once (queued, or executed inline by
+    // the merger when the task queue is full — never both), so the first
+    // and only execution finds its shard state present.
     let shard = tree.slots[leaf]
         .lock()
         .take()
@@ -836,6 +1547,9 @@ fn run_tree_task<S: MergeableSample>(
             return None;
         }
         let (l, r) = tree.plan.pairs()[parent - k];
+        // INVARIANT: the second child to bump `pending` merges the pair,
+        // and each child stored its value *before* bumping — so by the
+        // time this branch runs, both slots are filled.
         let left = tree.slots[l].lock().take().expect("left child ready");
         let right = tree.slots[r].lock().take().expect("right child ready");
         let mut rng = Xoshiro256PlusPlus::from_state(tree.node_rngs[parent]);
@@ -870,6 +1584,18 @@ fn shard_worker<S: MergeableSample + Clone>(shard_id: usize, shared: &EngineShar
         work: &my.work,
         resp: &my.resp,
     };
+    // Armed while this worker processes messages *stolen* from another
+    // shard's cell; disarmed (forgotten) on success. See the steal sweep
+    // below for why the victim's queues must close if the thief unwinds.
+    struct StolenMsgsGuard<'a, S: MergeableSample> {
+        victim: &'a ShardCell<S>,
+    }
+    impl<S: MergeableSample> Drop for StolenMsgsGuard<'_, S> {
+        fn drop(&mut self) {
+            self.victim.work.close();
+            self.victim.resp.close();
+        }
+    }
 
     // A drained group holds at most `depth` messages (every work queue's
     // bound), so sizing the local buffers up front makes the loop
@@ -885,14 +1611,7 @@ fn shard_worker<S: MergeableSample + Clone>(shard_id: usize, shared: &EngineShar
         if !my.work.is_empty() {
             let mut core = my.core.lock();
             if my.work.try_drain_into(&mut msgs) > 0 {
-                process_shard_msgs(
-                    shard_id,
-                    &mut core,
-                    my,
-                    &shared.merger,
-                    &mut msgs,
-                    &mut done,
-                );
+                process_shard_msgs(shard_id, &mut core, my, shared, &mut msgs, &mut done);
                 progressed = true;
             }
             drop(core);
@@ -917,7 +1636,17 @@ fn shard_worker<S: MergeableSample + Clone>(shard_id: usize, shared: &EngineShar
                 continue;
             };
             if victim.work.try_drain_into(&mut msgs) > 0 {
-                process_shard_msgs(j, &mut core, victim, &shared.merger, &mut msgs, &mut done);
+                // A thief dying mid-steal takes the victim's drained
+                // messages (data batches, maybe a Sync or Barrier) to the
+                // grave while the victim's own queues stay open and its
+                // owner stays healthy — a driver blocked in pop_resp on
+                // the victim would then wait forever, since only the
+                // thief's own queues close on unwind. Closing the
+                // *victim's* endpoints too makes the loss detectable, so
+                // the supervisor fails typed or respawns from the barrier.
+                let guard = StolenMsgsGuard { victim };
+                process_shard_msgs(j, &mut core, victim, shared, &mut msgs, &mut done);
+                std::mem::forget(guard);
                 progressed = true;
             }
             drop(core);
@@ -956,6 +1685,29 @@ impl<S> PendingEpoch<S> {
         Self {
             header: None,
             forks: (0..shards).map(|_| None).collect(),
+            received: 0,
+        }
+    }
+
+    fn is_complete(&self, shards: usize) -> bool {
+        self.header.is_some() && self.received == shards
+    }
+}
+
+/// Per-generation checkpoint assembly state on the merger thread.
+struct PendingCkpt<S> {
+    /// `(driver RNG, split deviations, batches)` from the `CkptRequest`.
+    header: Option<([u64; 4], Vec<f64>, u64)>,
+    /// `(sampler, RNG state)` parts, indexed by shard id.
+    parts: Vec<Option<(S, [u64; 4])>>,
+    received: usize,
+}
+
+impl<S> PendingCkpt<S> {
+    fn new(shards: usize) -> Self {
+        Self {
+            header: None,
+            parts: (0..shards).map(|_| None).collect(),
             received: 0,
         }
     }
@@ -1009,7 +1761,11 @@ fn build_tree<S: MergeableSample>(
 /// tasks to the idle shard workers (executing inline whatever does not
 /// fit — dispatch never blocks, which is what makes shutdown
 /// deadlock-free), and publish completed epochs **strictly in order**.
-fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &EpochCell<S::Item>) {
+fn merger_worker<S: MergeableSample + Clone>(
+    shared: &EngineShared<S>,
+    cell: &EpochCell<S::Item>,
+    start_pub: u64,
+) {
     // However this thread exits — queue closed on engine drop, or a
     // panic inside merge — close every merger-facing endpoint:
     //
@@ -1037,10 +1793,15 @@ fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &Ep
 
     let spec = shared.spec;
     let mut pending: BTreeMap<u64, PendingEpoch<S>> = BTreeMap::new();
+    let mut pending_ckpts: BTreeMap<u64, PendingCkpt<S>> = BTreeMap::new();
     // Completed-but-unpublished epochs, re-ordered for in-order
     // publication (trees of different epochs may finish out of order).
     let mut ready: BTreeMap<u64, FrozenSample<S::Item>> = BTreeMap::new();
-    let mut next_pub: u64 = 1;
+    // Publication continues wherever the cell left off — 1 for a fresh
+    // engine, published+1 for a recovery respawn.
+    let mut next_pub: u64 = start_pub;
+    // Messages processed by this merger incarnation (fault-site ordinal).
+    let mut msg_seen: u64 = 0;
     // Trees dispatched but not yet completed. While nonzero the merger
     // must keep making progress itself (workers may all be busy with — or
     // already drained of — ingest), so it polls with a timeout and helps
@@ -1071,6 +1832,10 @@ fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &Ep
             }
         }
         for msg in msgs.drain(..) {
+            if let Some(plan) = &shared.faults {
+                plan.fire_kill_merger(msg_seen);
+            }
+            msg_seen += 1;
             match msg {
                 MergerMsg::Request {
                     epoch,
@@ -1098,6 +1863,53 @@ fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &Ep
                     inflight -= 1;
                     ready.insert(frozen.epoch(), *frozen);
                 }
+                MergerMsg::CkptRequest {
+                    gen,
+                    driver_rng,
+                    deviations,
+                    batches,
+                } => {
+                    pending_ckpts
+                        .entry(gen)
+                        .or_insert_with(|| PendingCkpt::new(spec.shards))
+                        .header = Some((driver_rng, deviations, batches));
+                }
+                MergerMsg::CkptFork { gen, shard, state } => {
+                    let entry = pending_ckpts
+                        .entry(gen)
+                        .or_insert_with(|| PendingCkpt::new(spec.shards));
+                    if entry.parts[shard].replace(*state).is_none() {
+                        entry.received += 1;
+                    }
+                }
+            }
+        }
+        // Assemble every complete checkpoint generation, oldest first.
+        while let Some(entry) = pending_ckpts.first_entry() {
+            if !entry.get().is_complete(spec.shards) {
+                break;
+            }
+            let (gen, state) = entry.remove_entry();
+            // INVARIANT: `is_complete` just verified the header and all K
+            // shard parts arrived, so the unwraps below cannot fire.
+            let (driver_rng, deviations, batches) =
+                state.header.expect("complete checkpoint has a header");
+            let ckpt = EngineCheckpoint {
+                shard_states: state
+                    .parts
+                    .into_iter()
+                    .map(|p| p.expect("complete checkpoint has every shard"))
+                    .collect(),
+                driver_rng,
+                split_deviations: deviations,
+                batches,
+            };
+            if let Err(fresh) = shared.ckpts_done.try_push((gen, ckpt)) {
+                // Ring full: evict the oldest unclaimed generation to
+                // keep the newest — never block the merge pipeline on a
+                // slow checkpoint consumer.
+                let _ = shared.ckpts_done.try_pop();
+                let _ = shared.ckpts_done.try_push(fresh);
             }
         }
         // Dispatch every complete epoch, oldest first (epochs complete in
@@ -1108,6 +1920,8 @@ fn merger_worker<S: MergeableSample + Clone>(shared: &EngineShared<S>, cell: &Ep
                 break;
             }
             let (epoch, state) = entry.remove_entry();
+            // INVARIANT: `is_complete` just verified the header and all K
+            // fork states arrived, so the unwraps below cannot fire.
             let (rng_state, batches) = state.header.expect("complete epoch has a header");
             let forks: Vec<S> = state
                 .forks
@@ -1154,9 +1968,9 @@ mod tests {
         let mut engine = rtbs_engine(0.1, 100, 4, 1);
         for t in 0..50u64 {
             let b = [50u64, 0, 200, 10][t as usize % 4];
-            engine.ingest((0..b).collect());
+            engine.ingest((0..b).collect()).unwrap();
         }
-        let sample = engine.sample();
+        let sample = engine.sample().unwrap();
         assert!(sample.len() <= 100, "sample overflow: {}", sample.len());
     }
 
@@ -1168,9 +1982,9 @@ mod tests {
             let mut w = 0.0f64;
             for &b in &schedule {
                 w = w * (-0.1f64).exp() + b as f64;
-                engine.ingest((0..b).collect());
+                engine.ingest((0..b).collect()).unwrap();
             }
-            let merged = engine.snapshot_merged();
+            let merged = engine.snapshot_merged().unwrap();
             assert!(
                 (merged.total_weight() - w).abs() < 1e-9,
                 "k={k}: W {} vs {w}",
@@ -1187,9 +2001,9 @@ mod tests {
         for t in 0..40u64 {
             let b = [17u64, 0, 93, 5][t as usize % 4];
             total += b;
-            engine.ingest((0..b).collect());
+            engine.ingest((0..b).collect()).unwrap();
         }
-        engine.quiesce();
+        engine.quiesce().unwrap();
         let stats = engine.shard_stats();
         assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), total);
         assert_eq!(stats.iter().map(|s| s.batches).sum::<u64>(), 40 * 4);
@@ -1198,10 +2012,10 @@ mod tests {
     #[test]
     fn snapshot_leaves_shards_running() {
         let mut engine = rtbs_engine(0.1, 32, 2, 5);
-        engine.ingest((0..100u64).collect());
-        let first = engine.snapshot_merged();
-        engine.ingest((0..100u64).collect());
-        let second = engine.snapshot_merged();
+        engine.ingest((0..100u64).collect()).unwrap();
+        let first = engine.snapshot_merged().unwrap();
+        engine.ingest((0..100u64).collect()).unwrap();
+        let second = engine.snapshot_merged().unwrap();
         assert_eq!(first.batches_observed() + 1, second.batches_observed());
         assert!(second.total_weight() > first.total_weight());
     }
@@ -1212,9 +2026,11 @@ mod tests {
         let mut engine: ParallelIngestEngine<TTbs<u64>> =
             ParallelIngestEngine::new(EngineConfig::new(spec, 11));
         for t in 0..400u64 {
-            engine.ingest((0..100).map(|i| t * 100 + i).collect());
+            engine
+                .ingest((0..100).map(|i| t * 100 + i).collect())
+                .unwrap();
         }
-        let merged = engine.snapshot_merged();
+        let merged = engine.snapshot_merged().unwrap();
         let size = merged.len() as f64;
         assert!(
             (size / 200.0 - 1.0).abs() < 0.25,
@@ -1226,7 +2042,7 @@ mod tests {
     fn drop_is_clean_with_backlog() {
         let mut engine = rtbs_engine(0.5, 16, 2, 9);
         for _ in 0..100 {
-            engine.ingest((0..50u64).collect());
+            engine.ingest((0..50u64).collect()).unwrap();
         }
         drop(engine); // must not hang or panic
     }
@@ -1238,9 +2054,11 @@ mod tests {
         // end up closed.
         let mut engine = rtbs_engine(0.2, 64, 4, 13);
         for t in 0..50u64 {
-            engine.ingest((0..80).map(|i| t * 100 + i).collect());
+            engine
+                .ingest((0..80).map(|i| t * 100 + i).collect())
+                .unwrap();
             if t % 10 == 0 {
-                engine.request_snapshot();
+                engine.request_snapshot().unwrap();
             }
         }
         let cell = engine.snapshot_cell();
@@ -1262,22 +2080,22 @@ mod tests {
             let cfg = EngineConfig::new(ShardSpec::rtbs(0.1, 64, k), 42);
             let mut uninterrupted = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
             for t in 0..60 {
-                uninterrupted.ingest(batch(t));
+                uninterrupted.ingest(batch(t)).unwrap();
             }
-            let expect = uninterrupted.sample();
+            let expect = uninterrupted.sample().unwrap();
 
             let mut first_half = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
             for t in 0..30 {
-                first_half.ingest(batch(t));
+                first_half.ingest(batch(t)).unwrap();
             }
-            let parts = first_half.save_parts();
+            let parts = first_half.save_parts().unwrap();
             assert_eq!(parts.split_deviations.len(), k);
             drop(first_half);
             let mut resumed = ParallelIngestEngine::<RTbs<u64>>::from_parts(cfg, parts);
             for t in 30..60 {
-                resumed.ingest(batch(t));
+                resumed.ingest(batch(t)).unwrap();
             }
-            assert_eq!(resumed.sample(), expect, "k={k}: resume diverged");
+            assert_eq!(resumed.sample().unwrap(), expect, "k={k}: resume diverged");
         }
     }
 
@@ -1289,13 +2107,17 @@ mod tests {
         let mut plain = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
         let mut observed = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
         for t in 0..40u64 {
-            plain.ingest((0..50).map(|i| t * 100 + i).collect());
-            observed.ingest((0..50).map(|i| t * 100 + i).collect());
+            plain
+                .ingest((0..50).map(|i| t * 100 + i).collect())
+                .unwrap();
+            observed
+                .ingest((0..50).map(|i| t * 100 + i).collect())
+                .unwrap();
             if t == 20 {
-                let _ = observed.save_parts();
+                let _ = observed.save_parts().unwrap();
             }
         }
-        assert_eq!(plain.sample(), observed.sample());
+        assert_eq!(plain.sample().unwrap(), observed.sample().unwrap());
     }
 
     #[test]
@@ -1309,19 +2131,23 @@ mod tests {
             spec,
             queue_depth: 2,
             seed: 77,
+            recovery: RecoveryPolicy::Fail,
         };
         let deep = EngineConfig {
             spec,
             queue_depth: 256,
             seed: 77,
+            recovery: RecoveryPolicy::Fail,
         };
         let drive = |cfg: EngineConfig| -> Vec<u64> {
             let mut engine = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
             for t in 0..300u64 {
                 let b = [331u64, 0, 97, 1200, 16][t as usize % 5];
-                engine.ingest((0..b).map(|i| t * 10_000 + i).collect());
+                engine
+                    .ingest((0..b).map(|i| t * 10_000 + i).collect())
+                    .unwrap();
             }
-            engine.sample()
+            engine.sample().unwrap()
         };
         assert_eq!(drive(shallow), drive(deep));
     }

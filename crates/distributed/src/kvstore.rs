@@ -136,6 +136,9 @@ impl<T: Wire> KvReservoir<T> {
         let victims = tbs_core::util::sample_indices(self.len as usize, m, rng);
         let mut holes: Vec<u64> = victims.into_iter().map(|s| s as u64 + 1).collect();
         for &slot in &holes {
+            // INVARIANT: slots 1..=len are contiguously occupied (§5.3)
+            // and `sample_indices` yields distinct indices < len, so every
+            // victim slot holds an item.
             let bytes = self
                 .remove(slot, model, cost)
                 .expect("victim slot occupied");

@@ -43,6 +43,7 @@ pub mod cost;
 pub mod drtbs;
 pub mod dttbs;
 pub mod engine;
+pub mod fault;
 pub mod kvstore;
 pub mod partition;
 pub mod queue;
@@ -54,10 +55,14 @@ pub use copart::CoPartitionedReservoir;
 pub use cost::{CostModel, CostTracker};
 pub use drtbs::{DRTbs, DrtbsConfig, Strategy};
 pub use dttbs::{DTTbs, DttbsConfig};
-pub use engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine, ShardStats};
+pub use engine::{
+    EngineCheckpoint, EngineConfig, EngineError, EngineHealth, ParallelIngestEngine,
+    RecoveryPolicy, ShardStats,
+};
+pub use fault::{FaultPlan, FaultSite, PushAction};
 pub use kvstore::KvReservoir;
 pub use partition::{Location, Partitioned};
 pub use queue::BatchQueue;
-pub use snapshot::EpochCell;
+pub use snapshot::{EpochCell, EpochWait};
 pub use tbs_core::checkpoint::CheckpointError;
 pub use wire::{Wire, WIRE_ENVELOPE_BYTES};

@@ -115,6 +115,14 @@ impl<T> EpochCell<T> {
         self.wait_cv.notify_all();
     }
 
+    /// Re-arm a closed cell for a replacement publisher. The supervised
+    /// engine's recovery path respawns its merger and keeps serving the
+    /// *same* cell, so reader handles created before the fault keep
+    /// working across it; published history is untouched.
+    pub fn reopen(&self) {
+        self.closed.store(false, Ordering::Release);
+    }
+
     /// Block until a sample of epoch ≥ `epoch` is published, then return
     /// the latest publication (which may be even newer). Returns `None`
     /// if the publisher closed the cell before reaching `epoch` — e.g.
@@ -132,6 +140,58 @@ impl<T> EpochCell<T> {
             // No lost wakeup: `publish`/`close` notify while holding
             // `wait_lock`, and we hold it across the re-check → wait edge.
             guard = self.wait_cv.wait(guard);
+        }
+    }
+
+    /// [`EpochCell::wait_for_epoch`] with a deadline: never blocks past
+    /// `timeout`, so a consumer facing a dead **or stalled** publisher
+    /// gets control back in bounded time (the closed flag only covers
+    /// publishers that died cleanly enough to run their closers).
+    pub fn wait_for_epoch_timeout(&self, epoch: u64, timeout: std::time::Duration) -> EpochWait<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.wait_lock.lock();
+        loop {
+            if self.published.load(Ordering::Acquire) >= epoch {
+                drop(guard);
+                return match self.latest() {
+                    Some(frozen) => EpochWait::Published(frozen),
+                    // INVARIANT: the slot is stored before the counter
+                    // advances past 0, and never cleared.
+                    None => EpochWait::PublisherGone,
+                };
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return EpochWait::PublisherGone;
+            }
+            let Some(left) = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return EpochWait::TimedOut;
+            };
+            guard = self.wait_cv.wait_timeout(guard, left).0;
+        }
+    }
+}
+
+/// Outcome of [`EpochCell::wait_for_epoch_timeout`].
+#[derive(Debug, Clone)]
+pub enum EpochWait<T> {
+    /// A sample of at least the requested epoch was published.
+    Published(Arc<FrozenSample<T>>),
+    /// The publisher closed the cell before reaching the epoch.
+    PublisherGone,
+    /// The deadline elapsed with the epoch still unpublished and the
+    /// publisher nominally alive.
+    TimedOut,
+}
+
+impl<T> EpochWait<T> {
+    /// The published sample, if this outcome carries one.
+    pub fn published(self) -> Option<Arc<FrozenSample<T>>> {
+        match self {
+            EpochWait::Published(frozen) => Some(frozen),
+            _ => None,
         }
     }
 }
@@ -197,6 +257,64 @@ mod tests {
         cell.close();
         assert!(waiter.join().unwrap().is_none());
         assert!(cell.is_closed());
+    }
+
+    #[test]
+    fn wait_timeout_reports_all_three_outcomes() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        cell.publish(frozen(2, vec![1, 2]));
+        let short = std::time::Duration::from_millis(10);
+        assert!(matches!(
+            cell.wait_for_epoch_timeout(1, short),
+            EpochWait::Published(_)
+        ));
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            cell.wait_for_epoch_timeout(3, short),
+            EpochWait::TimedOut
+        ));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        cell.close();
+        assert!(matches!(
+            cell.wait_for_epoch_timeout(3, short),
+            EpochWait::PublisherGone
+        ));
+    }
+
+    #[test]
+    fn timeout_wait_wakes_on_publish_and_close() {
+        let cell = Arc::new(EpochCell::<u32>::new());
+        let long = std::time::Duration::from_secs(30);
+        let cell2 = Arc::clone(&cell);
+        let waiter = std::thread::spawn(move || cell2.wait_for_epoch_timeout(1, long).published());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.publish(frozen(1, vec![3]));
+        assert_eq!(waiter.join().unwrap().unwrap().epoch(), 1);
+        // Publisher killed mid-wait: the waiter returns well before the
+        // 30s deadline because close() wakes it.
+        let cell2 = Arc::clone(&cell);
+        let waiter = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let out = cell2.wait_for_epoch_timeout(9, long);
+            (start.elapsed(), out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.close();
+        let (elapsed, out) = waiter.join().unwrap();
+        assert!(matches!(out, EpochWait::PublisherGone));
+        assert!(elapsed < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn reopen_rearms_a_closed_cell() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        cell.publish(frozen(1, vec![1]));
+        cell.close();
+        assert!(cell.is_closed());
+        cell.reopen();
+        assert!(!cell.is_closed());
+        cell.publish(frozen(2, vec![1, 2]));
+        assert_eq!(cell.wait_for_epoch(2).unwrap().epoch(), 2);
     }
 
     #[test]

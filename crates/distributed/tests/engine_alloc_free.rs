@@ -74,15 +74,15 @@ fn assert_engine_alloc_free<S>(
     S: tbs_core::merge::MergeableSample<Item = u64> + Clone + Send + 'static,
 {
     for batch in gen(schedule, 0, warmup) {
-        engine.ingest(batch);
+        engine.ingest(batch).unwrap();
     }
-    engine.quiesce();
+    engine.quiesce().unwrap();
     let batches = gen(schedule, warmup, measured);
     let before = ALLOCS.load(Ordering::SeqCst);
     for batch in batches {
-        engine.ingest(batch);
+        engine.ingest(batch).unwrap();
     }
-    engine.quiesce();
+    engine.quiesce().unwrap();
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(
         after - before,

@@ -24,10 +24,12 @@ fn run_engine(seed: u64, shards: usize, batches: u64) -> (f64, f64, Vec<u64>) {
         ParallelIngestEngine::new(EngineConfig::new(spec, seed));
     for t in 0..batches {
         let b = schedule(t);
-        engine.ingest((0..b).map(|i| t * 1000 + i).collect());
+        engine
+            .ingest((0..b).map(|i| t * 1000 + i).collect())
+            .unwrap();
     }
-    let merged = engine.snapshot_merged();
-    let sample = engine.sample();
+    let merged = engine.snapshot_merged().unwrap();
+    let sample = engine.sample().unwrap();
     (merged.total_weight(), merged.sample_weight(), sample)
 }
 
@@ -63,9 +65,9 @@ fn engine_weights_match_single_node_recursion() {
             let b = schedule(t);
             let batch: Vec<u64> = (0..b).map(|i| t * 1000 + i).collect();
             single.observe(batch.clone(), &mut rng);
-            engine.ingest(batch);
+            engine.ingest(batch).unwrap();
             if t % 6 == 5 {
-                let merged = engine.snapshot_merged();
+                let merged = engine.snapshot_merged().unwrap();
                 assert!(
                     (merged.total_weight() - single.total_weight()).abs() < 1e-9,
                     "K={shards}, t={t}: W diverged"
@@ -86,9 +88,11 @@ fn ttbs_engine_is_deterministic_too() {
         let mut engine: ParallelIngestEngine<TTbs<u64>> =
             ParallelIngestEngine::new(EngineConfig::new(spec, seed));
         for t in 0..80u64 {
-            engine.ingest((0..50).map(|i| t * 100 + i).collect());
+            engine
+                .ingest((0..50).map(|i| t * 100 + i).collect())
+                .unwrap();
         }
-        engine.sample()
+        engine.sample().unwrap()
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
@@ -106,9 +110,11 @@ fn backpressure_does_not_change_the_result() {
         let mut engine: ParallelIngestEngine<RTbs<u64>> = ParallelIngestEngine::new(cfg);
         for t in 0..60u64 {
             let b = schedule(t);
-            engine.ingest((0..b).map(|i| t * 1000 + i).collect());
+            engine
+                .ingest((0..b).map(|i| t * 1000 + i).collect())
+                .unwrap();
         }
-        engine.sample()
+        engine.sample().unwrap()
     };
     assert_eq!(run(1), run(64));
 }

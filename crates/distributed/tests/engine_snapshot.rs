@@ -22,7 +22,7 @@ where
     S: MergeableSample<Item = u64> + Clone + Send + 'static,
 {
     for t in from..to {
-        engine.ingest(batch(t));
+        engine.ingest(batch(t)).unwrap();
     }
 }
 
@@ -40,7 +40,7 @@ where
     for &point in checkpoints {
         feed(&mut engine, fed, point);
         fed = point;
-        let epoch = engine.request_snapshot();
+        let epoch = engine.request_snapshot().unwrap();
         let frozen = cell.wait_for_epoch(epoch).expect("engine alive");
         assert_eq!(frozen.epoch(), epoch);
         assert_eq!(frozen.batches_observed(), point);
@@ -50,7 +50,7 @@ where
         // the same (never consumed) position the snapshot recorded.
         let mut reference: ParallelIngestEngine<S> = ParallelIngestEngine::new(cfg);
         feed(&mut reference, 0, point);
-        let exact = reference.sample();
+        let exact = reference.sample().unwrap();
         assert_eq!(
             frozen.items(),
             &exact[..],
@@ -94,14 +94,18 @@ fn snapshot_requests_do_not_disturb_the_trajectory() {
         let cell = observed.snapshot_cell();
         let mut last = 0;
         for t in 0..40u64 {
-            plain.ingest(batch(t));
-            observed.ingest(batch(t));
+            plain.ingest(batch(t)).unwrap();
+            observed.ingest(batch(t)).unwrap();
             if t % 9 == 0 {
-                last = observed.request_snapshot();
+                last = observed.request_snapshot().unwrap();
             }
         }
         assert!(cell.wait_for_epoch(last).is_some());
-        assert_eq!(plain.sample(), observed.sample(), "k={k}: trajectory moved");
+        assert_eq!(
+            plain.sample().unwrap(),
+            observed.sample().unwrap(),
+            "k={k}: trajectory moved"
+        );
     }
 }
 
@@ -112,9 +116,9 @@ fn epochs_publish_in_order_with_exact_staleness_stamps() {
     let cell = engine.snapshot_cell();
     let mut epochs = Vec::new();
     for t in 0..30u64 {
-        engine.ingest(batch(t));
+        engine.ingest(batch(t)).unwrap();
         if t % 5 == 4 {
-            epochs.push((engine.request_snapshot(), t + 1));
+            epochs.push((engine.request_snapshot().unwrap(), t + 1));
         }
     }
     for &(epoch, fed) in &epochs {
@@ -140,9 +144,9 @@ fn published_metadata_reflects_the_weight_recursion() {
     for t in 0..25u64 {
         let b = batch(t);
         w = w * (-lambda).exp() + b.len() as f64;
-        engine.ingest(b);
+        engine.ingest(b).unwrap();
     }
-    let epoch = engine.request_snapshot();
+    let epoch = engine.request_snapshot().unwrap();
     let frozen = cell.wait_for_epoch(epoch).unwrap();
     let total = frozen.total_weight().expect("R-TBS tracks stream weight");
     assert!((total - w).abs() < 1e-9, "W {total} vs exact {w}");
@@ -156,7 +160,7 @@ fn cell_outlives_the_engine_and_closes_cleanly() {
         ParallelIngestEngine::<RTbs<u64>>::new(EngineConfig::new(ShardSpec::rtbs(0.1, 16, 2), 3));
     let cell = engine.snapshot_cell();
     feed(&mut engine, 0, 10);
-    let epoch = engine.request_snapshot();
+    let epoch = engine.request_snapshot().unwrap();
     assert!(cell.wait_for_epoch(epoch).is_some());
     drop(engine);
     // The last publication survives the engine...
@@ -207,9 +211,11 @@ fn concurrent_readers_never_observe_torn_samples_while_saturated() {
 
     let mut last = 0;
     for t in 0..600u64 {
-        engine.ingest((0..200).map(|i| t * 1000 + i).collect());
+        engine
+            .ingest((0..200).map(|i| t * 1000 + i).collect())
+            .unwrap();
         if t % 3 == 0 {
-            last = engine.request_snapshot();
+            last = engine.request_snapshot().unwrap();
         }
     }
     assert!(cell.wait_for_epoch(last).is_some(), "publication stalled");
@@ -220,5 +226,5 @@ fn concurrent_readers_never_observe_torn_samples_while_saturated() {
         assert!(seen <= last);
     }
     // The engine is still fully functional afterwards.
-    assert!(engine.sample().len() <= 100);
+    assert!(engine.sample().unwrap().len() <= 100);
 }

@@ -14,7 +14,9 @@
 
 use tbs_core::merge::{MergeableSample, ShardSpec};
 use tbs_core::{RTbs, TTbs};
-use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine};
+use tbs_distributed::engine::{
+    EngineCheckpoint, EngineConfig, ParallelIngestEngine, RecoveryPolicy,
+};
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
 /// Sequential reference: clone the checkpointed shard states and fold
@@ -51,13 +53,13 @@ where
             let b = sizes[(round * 7 + step) % sizes.len()];
             let batch: Vec<u64> = (next..next + b).collect();
             next += b;
-            engine.ingest(batch);
+            engine.ingest(batch).unwrap();
         }
         // save_parts consumes no randomness, so the subsequent sample()
         // runs from exactly the captured driver position.
-        let parts = engine.save_parts();
+        let parts = engine.save_parts().unwrap();
         let expected = sequential_replay(&parts, &spec);
-        let got = engine.sample();
+        let got = engine.sample().unwrap();
         assert_eq!(
             got, expected,
             "{label}: parallel merge tree diverged from sequential replay \
@@ -76,6 +78,7 @@ fn rtbs_tree_is_bit_identical_to_sequential_replay() {
                 spec: ShardSpec::rtbs(0.1, 500, k),
                 queue_depth: 2,
                 seed: 11 + k as u64,
+                recovery: RecoveryPolicy::Fail,
             },
             "R-TBS saturated",
         );
@@ -85,6 +88,7 @@ fn rtbs_tree_is_bit_identical_to_sequential_replay() {
                 spec: ShardSpec::rtbs(0.07, 6000, k),
                 queue_depth: 2,
                 seed: 23 + k as u64,
+                recovery: RecoveryPolicy::Fail,
             },
             "R-TBS unsaturated",
         );
@@ -100,6 +104,7 @@ fn ttbs_tree_is_bit_identical_to_sequential_replay() {
                 spec: ShardSpec::ttbs(0.1, 1000, 280.0, k),
                 queue_depth: 2,
                 seed: 37 + k as u64,
+                recovery: RecoveryPolicy::Fail,
             },
             "T-TBS over-fed",
         );
@@ -109,6 +114,7 @@ fn ttbs_tree_is_bit_identical_to_sequential_replay() {
                 spec: ShardSpec::ttbs(0.1, 4000, 900.0, k),
                 queue_depth: 2,
                 seed: 53 + k as u64,
+                recovery: RecoveryPolicy::Fail,
             },
             "T-TBS under-fed",
         );
@@ -125,28 +131,30 @@ fn published_snapshot_equals_sample_at_high_shard_counts() {
         spec,
         queue_depth: 4,
         seed: 99,
+        recovery: RecoveryPolicy::Fail,
     });
     let mut b: ParallelIngestEngine<RTbs<u64>> = ParallelIngestEngine::new(EngineConfig {
         spec,
         queue_depth: 4,
         seed: 99,
+        recovery: RecoveryPolicy::Fail,
     });
     let cell = a.snapshot_cell();
     for t in 0..120u64 {
         let batch: Vec<u64> = (t * 500..t * 500 + 350).collect();
-        a.ingest(batch.clone());
-        b.ingest(batch);
+        a.ingest(batch.clone()).unwrap();
+        b.ingest(batch).unwrap();
         if t % 17 == 0 {
             // Keep the pipeline busy with extra in-flight epochs on the
             // publishing engine; the sampled engine must still agree.
-            a.request_snapshot();
-            b.request_snapshot();
-            a.quiesce();
-            b.quiesce();
+            a.request_snapshot().unwrap();
+            b.request_snapshot().unwrap();
+            a.quiesce().unwrap();
+            b.quiesce().unwrap();
         }
     }
-    let epoch = a.request_snapshot();
+    let epoch = a.request_snapshot().unwrap();
     let frozen = cell.wait_for_epoch(epoch).expect("published");
-    let sampled = b.sample();
+    let sampled = b.sample().unwrap();
     assert_eq!(frozen.items(), &sampled[..]);
 }

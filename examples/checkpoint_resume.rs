@@ -28,7 +28,7 @@ fn demo(label: &str, config: SamplerConfig) {
     // Reference run: 400 batches straight through.
     let mut uninterrupted = config.build::<u64>().expect("valid config");
     for t in 0..400 {
-        uninterrupted.observe(bursty_batch(t));
+        uninterrupted.observe(bursty_batch(t)).expect("ingest ok");
     }
 
     // "Crash" run: 200 batches, checkpoint, drop everything, restore,
@@ -36,18 +36,18 @@ fn demo(label: &str, config: SamplerConfig) {
     // object storage; a fresh process would read it back.
     let mut first_half = config.build::<u64>().expect("valid config");
     for t in 0..200 {
-        first_half.observe(bursty_batch(t));
+        first_half.observe(bursty_batch(t)).expect("ingest ok");
     }
-    let blob = first_half.snapshot();
+    let blob = first_half.snapshot().expect("serializable state");
     drop(first_half);
 
     let mut resumed = Sampler::restore(&config, blob.clone()).expect("restorable blob");
     for t in 200..400 {
-        resumed.observe(bursty_batch(t));
+        resumed.observe(bursty_batch(t)).expect("ingest ok");
     }
 
-    let expect = uninterrupted.sample();
-    let got = resumed.sample();
+    let expect = uninterrupted.sample().expect("sample ok");
+    let got = resumed.sample().expect("sample ok");
     assert_eq!(got, expect, "{label}: resumed run diverged");
     println!(
         "{label}: {} byte checkpoint at t=200; resumed run of 400 batches is \
@@ -86,8 +86,8 @@ fn main() {
     // Restoring under a different config is caught, not silently accepted.
     let config = SamplerConfig::rtbs(0.1, 1000).seed(7);
     let mut s = config.build::<u64>().expect("valid config");
-    s.observe(bursty_batch(1));
-    let blob = s.snapshot();
+    s.observe(bursty_batch(1)).expect("ingest ok");
+    let blob = s.snapshot().expect("serializable state");
     let wrong = SamplerConfig::rtbs(0.2, 1000).seed(7);
     match Sampler::<u64>::restore(&wrong, blob) {
         Err(TbsError::ConfigMismatch { what }) => {

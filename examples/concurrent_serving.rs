@@ -58,9 +58,11 @@ fn main() {
     //    stop.
     let mut last_epoch = 0;
     for t in 0..1_000u64 {
-        sampler.observe((0..150).map(|i| t * 1_000 + i).collect());
+        sampler
+            .observe((0..150).map(|i| t * 1_000 + i).collect())
+            .expect("pipeline healthy");
         if t % 50 == 49 {
-            last_epoch = sampler.publish();
+            last_epoch = sampler.publish().expect("pipeline healthy");
         }
     }
     let frozen = sampler
@@ -106,7 +108,7 @@ fn main() {
                 }
             })
             .collect();
-        mgr.ingest(batch);
+        mgr.ingest(batch).expect("pipeline healthy");
     }
     let trained_on = follower.latest().expect("manager published snapshots");
     println!(

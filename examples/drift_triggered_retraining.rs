@@ -43,7 +43,8 @@ fn main() {
         // per policy from the first batch on, so by the end of warmup the
         // model is fit to the normal regime.
         for _ in 0..100 {
-            mgr.ingest(gmm.sample_batch(Mode::Normal, 100, &mut rng));
+            mgr.ingest(gmm.sample_batch(Mode::Normal, 100, &mut rng))
+                .expect("ingest pipeline healthy");
         }
         let warmup_retrains = mgr.retrain_count();
 
@@ -51,7 +52,7 @@ fn main() {
         for t in 0..60u64 {
             let mode = schedule.mode_at(t);
             let batch = gmm.sample_batch(mode, 100, &mut rng);
-            let report = mgr.ingest(batch);
+            let report = mgr.ingest(batch).expect("ingest pipeline healthy");
             errors.push(report.batch_error);
         }
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;

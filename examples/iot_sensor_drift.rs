@@ -49,7 +49,7 @@ fn main() {
     for planned in plan.layout(&mut rng) {
         let batch = sensors.sample_batch(planned.mode, planned.size as usize, &mut rng);
         for ((_, mgr), errs) in contenders.iter_mut().zip(&mut errors) {
-            let report = mgr.ingest(batch.clone());
+            let report = mgr.ingest(batch.clone()).expect("ingest pipeline healthy");
             if planned.measured_time.is_some() {
                 errs.push(report.batch_error);
             }

@@ -35,16 +35,16 @@ fn main() {
             _ => 60,
         };
         let batch: Vec<(u32, u32)> = (0..batch_size).map(|i| (t, i)).collect();
-        sampler.observe(batch);
+        sampler.observe(batch).expect("single-node ingest");
     }
 
     // 4. Inspect the sample: bounded size, recency-biased ages.
-    let sample = sampler.sample();
+    let sample = sampler.sample().expect("single-node sample");
     println!(
         "sample size = {} (bound {}), expected size C = {:.1}",
         sample.len(),
         sampler.max_size().expect("R-TBS is bounded"),
-        sampler.expected_size()
+        sampler.expected_size().expect("single-node query")
     );
     let mut age_histogram = [0usize; 5];
     for (t, _) in &sample {

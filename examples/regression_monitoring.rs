@@ -54,7 +54,7 @@ fn main() {
     for planned in plan.layout(&mut rng) {
         let batch = generator.sample_batch(planned.mode, planned.size as usize, &mut rng);
         for (i, (_, mgr)) in contenders.iter_mut().enumerate() {
-            let report = mgr.ingest(batch.clone());
+            let report = mgr.ingest(batch.clone()).expect("ingest pipeline healthy");
             if planned.measured_time.is_some() {
                 errors[i].push(report.batch_error);
                 sizes[i].push(report.sample_size as f64);

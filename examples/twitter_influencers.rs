@@ -67,10 +67,10 @@ fn main() {
     let mut rtbs_zero_rounds = 0;
     for t in 0..80u64 {
         let batch = batch_for_round(t, &mut rng);
-        rtbs.observe(batch.clone());
-        window.observe(batch);
-        let r_share = share_of_influencer(&rtbs.sample());
-        let w_share = share_of_influencer(&window.sample());
+        rtbs.observe(batch.clone()).expect("single-node ingest");
+        window.observe(batch).expect("single-node ingest");
+        let r_share = share_of_influencer(&rtbs.sample().unwrap());
+        let w_share = share_of_influencer(&window.sample().unwrap());
         if (40..60).contains(&t) {
             if w_share == 0.0 {
                 sw_zero_rounds += 1;

@@ -9,6 +9,7 @@
 
 use crate::api::error::TbsError;
 use crate::api::sampler::Sampler;
+use tbs_distributed::engine::RecoveryPolicy;
 
 /// The sampling scheme to run. Capability accessors (bounded size, exact
 /// decay law, mergeable, gap support) drive config validation and the
@@ -227,6 +228,41 @@ pub enum PublishPolicy {
     MaxLagBatches(u64),
 }
 
+/// When the handle writes durable checkpoint generations to its attached
+/// [`CheckpointStore`] (see [`Sampler::set_checkpoint_store`] and
+/// [`Sampler::recover`]).
+///
+/// Checkpointing is the durability counterpart of [`PublishPolicy`]:
+/// publication hands frozen samples to in-process readers, checkpointing
+/// writes CRC-framed state blobs to disk so a crashed process can
+/// [`Sampler::recover`] and resume **bit-identically**. For sharded
+/// engines the automatic policy rides the same non-blocking barrier
+/// machinery as publication — shards fork their state at the boundary
+/// and keep ingesting while the checkpoint assembles in the background;
+/// single-node samplers serialize synchronously (their state is handle-
+/// owned and small).
+///
+/// A non-`Manual` policy is **inert without a store**: configure it and
+/// attach one with [`Sampler::set_checkpoint_store`]; nothing is written
+/// until the store arrives.
+///
+/// [`CheckpointStore`]: crate::api::CheckpointStore
+/// [`Sampler::set_checkpoint_store`]: crate::api::Sampler::set_checkpoint_store
+/// [`Sampler::recover`]: crate::api::Sampler::recover
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckpointPolicy {
+    /// Checkpoint only when [`crate::api::Sampler::checkpoint_now`] is
+    /// called — the default.
+    #[default]
+    Manual,
+    /// Write a checkpoint generation every `n` observed batches
+    /// (`n ≥ 1`; at batch counts `n, 2n, 3n, …`). Sharded engines
+    /// checkpoint asynchronously (the write lands a few batches after
+    /// the boundary it captures); [`crate::api::Sampler::flush_checkpoints`]
+    /// forces completion.
+    EveryBatches(u64),
+}
+
 /// Builder for every sampler in the system; see the [`crate::api`] module docs.
 ///
 /// ```
@@ -238,8 +274,8 @@ pub enum PublishPolicy {
 ///     .seed(42)
 ///     .build::<u64>()
 ///     .expect("valid config");
-/// sampler.observe((0..100).collect());
-/// assert!(sampler.sample().len() <= 1000);
+/// sampler.observe((0..100).collect()).unwrap();
+/// assert!(sampler.sample().unwrap().len() <= 1000);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplerConfig {
@@ -254,6 +290,8 @@ pub struct SamplerConfig {
     pub(crate) time: TimeSemantics,
     pub(crate) ingest: IngestMode,
     pub(crate) publish: PublishPolicy,
+    pub(crate) checkpoint: CheckpointPolicy,
+    pub(crate) recovery: RecoveryPolicy,
 }
 
 impl SamplerConfig {
@@ -271,6 +309,8 @@ impl SamplerConfig {
             time: TimeSemantics::default(),
             ingest: IngestMode::default(),
             publish: PublishPolicy::default(),
+            checkpoint: CheckpointPolicy::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -391,6 +431,27 @@ impl SamplerConfig {
         self
     }
 
+    /// Choose when durable checkpoint generations are written (see
+    /// [`CheckpointPolicy`]). The default `Manual` checkpoints only on
+    /// explicit `checkpoint_now()` calls; batch intervals of zero are a
+    /// validation error. Inert until a store is attached with
+    /// [`crate::api::Sampler::set_checkpoint_store`].
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Choose what a sharded engine does when part of its pipeline dies
+    /// (see [`RecoveryPolicy`]): fail typed (default) or respawn the
+    /// dead shard from its last barrier fork and replay, restoring
+    /// bit-identical state. Requires `shards > 1` — the single-node
+    /// samplers have no pipeline to supervise, so configuring recovery
+    /// for them is rejected rather than silently ignored.
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// The configured algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -424,6 +485,16 @@ impl SamplerConfig {
     /// The configured snapshot-publication policy.
     pub fn publish_policy_config(&self) -> PublishPolicy {
         self.publish
+    }
+
+    /// The configured checkpoint policy.
+    pub fn checkpoint_policy_config(&self) -> CheckpointPolicy {
+        self.checkpoint
+    }
+
+    /// The configured pipeline recovery policy.
+    pub fn recovery_policy_config(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// The ingest mode the samplers will actually run:
@@ -592,6 +663,24 @@ impl SamplerConfig {
             _ => {}
         }
 
+        // Automatic checkpoint intervals must be positive.
+        if self.checkpoint == CheckpointPolicy::EveryBatches(0) {
+            return Err(TbsError::InvalidCheckpointPolicy {
+                reason: "EveryBatches(0) would checkpoint before any batch \
+                         arrives; the interval must be at least 1",
+            });
+        }
+
+        // Supervised recovery exists only in the sharded engine; a
+        // single-node config carrying it is mis-assembled.
+        if self.recovery == RecoveryPolicy::RespawnFromBarrier && self.shards <= 1 {
+            return Err(TbsError::InvalidShardCount {
+                shards: self.shards,
+                reason: "RespawnFromBarrier supervises the sharded pipeline; \
+                         single-node samplers have no workers to respawn",
+            });
+        }
+
         Ok(())
     }
 
@@ -601,6 +690,30 @@ impl SamplerConfig {
     pub fn build<T: Clone + Send + Sync + 'static>(&self) -> Result<Sampler<T>, TbsError> {
         self.validate()?;
         Ok(Sampler::from_valid_config(self))
+    }
+
+    /// Validate and construct a **sharded** [`Sampler`] whose engine runs
+    /// under a deterministic injected-fault schedule — the facade entry
+    /// point of the fault-injection harness (see
+    /// `tbs_distributed::fault`). Production code never installs a plan;
+    /// this exists so the fault-matrix suite can exercise worker death,
+    /// merger death, and dropped deliveries through the exact same public
+    /// surface applications use, rather than a test-only side door.
+    ///
+    /// Single-node configs are rejected: there is no pipeline to injure.
+    pub fn build_with_fault_plan<T: Clone + Send + Sync + 'static>(
+        &self,
+        plan: std::sync::Arc<tbs_distributed::fault::FaultPlan>,
+    ) -> Result<Sampler<T>, TbsError> {
+        self.validate()?;
+        if self.shards <= 1 {
+            return Err(TbsError::InvalidShardCount {
+                shards: self.shards,
+                reason: "fault injection targets the sharded pipeline; \
+                         single-node samplers have no workers to kill",
+            });
+        }
+        Ok(Sampler::from_valid_config_faults(self, Some(plan)))
     }
 }
 

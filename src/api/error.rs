@@ -10,6 +10,7 @@
 //! [`CheckpointError`] via `From`).
 
 use tbs_core::checkpoint::CheckpointError;
+use tbs_distributed::engine::EngineError;
 
 /// Everything that can go wrong at the `temporal_sampling::api` surface.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +101,34 @@ pub enum TbsError {
         what: &'static str,
     },
     /// The checkpoint blob itself is unreadable (bad magic, unsupported
-    /// version, truncation, corrupt field).
+    /// version, truncation, corrupt field, CRC mismatch).
     Checkpoint(CheckpointError),
+    /// An automatic checkpoint policy was configured with a batch
+    /// threshold of zero, or without attaching a store
+    /// ([`crate::api::CheckpointPolicy`]).
+    InvalidCheckpointPolicy {
+        /// Why it is rejected.
+        reason: &'static str,
+    },
+    /// The sharded ingest pipeline failed (a worker or the merger died, a
+    /// delivery was lost) and could not — or was configured not to —
+    /// recover. The engine is terminally failed; every subsequent call
+    /// returns this same cause.
+    Engine(EngineError),
+    /// A checkpoint-store filesystem operation failed (create, write,
+    /// rename, read, scan).
+    CheckpointIo {
+        /// The operation that failed (`"create dir"`, `"write"`, …).
+        op: &'static str,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// [`crate::api::Sampler::recover`] walked the whole generation ring
+    /// and found no blob that validates and matches the config.
+    NoValidCheckpoint {
+        /// How many stored generations were tried.
+        attempted: usize,
+    },
 }
 
 impl std::fmt::Display for TbsError {
@@ -167,6 +194,20 @@ impl std::fmt::Display for TbsError {
                 )
             }
             TbsError::Checkpoint(e) => write!(f, "checkpoint unreadable: {e}"),
+            TbsError::InvalidCheckpointPolicy { reason } => {
+                write!(f, "checkpoint policy rejected: {reason}")
+            }
+            TbsError::Engine(e) => write!(f, "ingest pipeline failed: {e}"),
+            TbsError::CheckpointIo { op, detail } => {
+                write!(f, "checkpoint store {op} failed: {detail}")
+            }
+            TbsError::NoValidCheckpoint { attempted } => {
+                write!(
+                    f,
+                    "no stored checkpoint generation validates \
+                     ({attempted} tried)"
+                )
+            }
         }
     }
 }
@@ -175,6 +216,7 @@ impl std::error::Error for TbsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TbsError::Checkpoint(e) => Some(e),
+            TbsError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -183,6 +225,12 @@ impl std::error::Error for TbsError {
 impl From<CheckpointError> for TbsError {
     fn from(e: CheckpointError) -> Self {
         TbsError::Checkpoint(e)
+    }
+}
+
+impl From<EngineError> for TbsError {
+    fn from(e: EngineError) -> Self {
+        TbsError::Engine(e)
     }
 }
 
@@ -230,6 +278,15 @@ mod tests {
             },
             TbsError::ConfigMismatch { what: "decay rate" },
             TbsError::Checkpoint(CheckpointError::Truncated),
+            TbsError::InvalidCheckpointPolicy {
+                reason: "interval must be at least 1",
+            },
+            TbsError::Engine(EngineError::MergerDead),
+            TbsError::CheckpointIo {
+                op: "write",
+                detail: "disk full".into(),
+            },
+            TbsError::NoValidCheckpoint { attempted: 3 },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty(), "{e:?} renders empty");
@@ -245,5 +302,13 @@ mod tests {
             "wrapped codec error must be the source"
         );
         assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn engine_error_converts_and_chains() {
+        let e: TbsError = EngineError::ShardDead { shard: 2 }.into();
+        assert_eq!(e, TbsError::Engine(EngineError::ShardDead { shard: 2 }));
+        assert!(e.source().is_some(), "pipeline cause must be the source");
+        assert!(e.to_string().contains("shard worker 2"));
     }
 }

@@ -31,6 +31,7 @@ use tbs_ml::drift::{DriftDetector, RetrainPolicy, RetrainScheduler};
 use tbs_ml::pipeline::OnlineModel;
 use tbs_stats::summary::OnlineMoments;
 
+use crate::api::error::TbsError;
 use crate::api::reader::SampleReader;
 use crate::api::sampler::Sampler;
 
@@ -128,14 +129,14 @@ impl<T: Clone + Send + Sync + 'static, M: OnlineModel<T>> ModelManager<T, M> {
     /// **update** (feed the batch to the sampler), and **retrain** when
     /// the policy fires — by publishing an epoch snapshot and fitting on
     /// it, so a sharded ingest pipeline never stops for the refit.
-    pub fn ingest(&mut self, batch: Vec<T>) -> IngestReport {
+    pub fn ingest(&mut self, batch: Vec<T>) -> Result<IngestReport, TbsError> {
         let batch_error = self.model.batch_error(&batch);
         self.metrics.batches += 1;
         self.metrics.items += batch.len() as u64;
         self.metrics.last_error = batch_error;
         self.metrics.error_moments.push(batch_error);
 
-        self.sampler.observe(batch);
+        self.sampler.observe(batch)?;
 
         // `retrained` reports what actually happened, not what the policy
         // asked for: if the publication pipeline is gone (a shard/merger
@@ -148,22 +149,24 @@ impl<T: Clone + Send + Sync + 'static, M: OnlineModel<T>> ModelManager<T, M> {
                 sample_size = frozen.len();
             }
         }
-        IngestReport {
+        Ok(IngestReport {
             batch_error,
             retrained,
             sample_size,
-        }
+        })
     }
 
     /// Publish a snapshot of the current sample, refit the model on it,
     /// and return it. The snapshot stays available to every reader handle
     /// — consumers can see exactly what the model was trained on.
     ///
-    /// Returns `None` only if the publication could not complete (the
-    /// sampler's publisher shut down — not reachable through normal
-    /// manager use).
+    /// Returns `None` only if the publication could not complete — the
+    /// sampler's publisher shut down, or a sharded pipeline died and was
+    /// not configured to recover (inspect
+    /// [`crate::api::Sampler::health`] via [`ModelManager::sampler`] to
+    /// distinguish).
     pub fn retrain_now(&mut self) -> Option<Arc<FrozenSample<T>>> {
-        let epoch = self.sampler.publish();
+        let epoch = self.sampler.publish().ok()?;
         let frozen = self.reader.wait_for_epoch(epoch)?;
         self.model.retrain(frozen.items());
         self.metrics.retrains += 1;

@@ -47,8 +47,8 @@
 //! let mut reader = sampler.reader(); // Send + Sync + Clone
 //! assert!(reader.latest().is_none()); // nothing published yet
 //!
-//! sampler.observe((0..500).collect());
-//! let epoch = sampler.publish();
+//! sampler.observe((0..500).collect()).unwrap();
+//! let epoch = sampler.publish().unwrap();
 //! let frozen = reader.wait_for_epoch(epoch).expect("published");
 //! assert_eq!(frozen.epoch(), 1);
 //! assert!(frozen.len() <= 100);
@@ -69,15 +69,15 @@
 //! let mut sampler = config.build::<u64>().expect("valid config");
 //!
 //! for t in 0..50u64 {
-//!     sampler.observe((0..100).map(|i| t * 100 + i).collect());
+//!     sampler.observe((0..100).map(|i| t * 100 + i).collect()).unwrap();
 //! }
 //!
 //! // Durable state: snapshot, restore, continue — bit-identical.
-//! let blob = sampler.snapshot();
+//! let blob = sampler.snapshot().unwrap();
 //! let mut restored = temporal_sampling::api::Sampler::restore(&config, blob).unwrap();
-//! sampler.observe((0..100).collect());
-//! restored.observe((0..100).collect());
-//! assert_eq!(sampler.sample(), restored.sample());
+//! sampler.observe((0..100).collect()).unwrap();
+//! restored.observe((0..100).collect()).unwrap();
+//! assert_eq!(sampler.sample().unwrap(), restored.sample().unwrap());
 //! ```
 //!
 //! # Migration from raw constructors
@@ -95,12 +95,23 @@ mod error;
 mod manager;
 mod reader;
 mod sampler;
+mod store;
 
-pub use config::{Algorithm, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics};
+pub use config::{
+    Algorithm, CheckpointPolicy, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics,
+};
 pub use error::TbsError;
 pub use manager::{IngestReport, ManagerMetrics, ModelManager};
 pub use reader::SampleReader;
 pub use sampler::Sampler;
+pub use store::CheckpointStore;
+
+// The failure-semantics vocabulary of the sharded engine is part of the
+// facade's surface: configs carry a `RecoveryPolicy`, `TbsError::Engine`
+// wraps an `EngineError`, `Sampler::health` reports `EngineHealth`, and
+// `SampleReader::wait_for_epoch_timeout` returns an `EpochWait`.
+pub use tbs_distributed::engine::{EngineError, EngineHealth, RecoveryPolicy};
+pub use tbs_distributed::snapshot::EpochWait;
 
 // Published snapshots are the currency of the serving layer: `publish`
 // produces them, `SampleReader::latest` hands them out.

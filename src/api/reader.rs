@@ -27,8 +27,9 @@
 //! to block until a specific request lands.
 
 use std::sync::Arc;
+use std::time::Duration;
 use tbs_core::frozen::FrozenSample;
-use tbs_distributed::snapshot::EpochCell;
+use tbs_distributed::snapshot::{EpochCell, EpochWait};
 
 /// A clonable, thread-safe handle reading epoch-published samples; see
 /// the [`crate::api`] module docs and [`crate::api::Sampler::reader`].
@@ -85,6 +86,22 @@ impl<T> SampleReader<T> {
         self.seen_epoch = frozen.epoch();
         self.cached = Some(Arc::clone(&frozen));
         Some(frozen)
+    }
+
+    /// [`SampleReader::wait_for_epoch`] with a deadline: block until a
+    /// sample of epoch ≥ `epoch` is published, the publisher dies, or
+    /// `timeout` elapses — whichever comes first. A consumer waiting on
+    /// a publisher whose pipeline is killed mid-wait returns promptly
+    /// with [`EpochWait::PublisherGone`] instead of hanging; a healthy
+    /// but slow merge returns [`EpochWait::TimedOut`] so the caller can
+    /// fall back to [`SampleReader::latest`] or give up.
+    pub fn wait_for_epoch_timeout(&mut self, epoch: u64, timeout: Duration) -> EpochWait<T> {
+        let wait = self.cell.wait_for_epoch_timeout(epoch, timeout);
+        if let EpochWait::Published(frozen) = &wait {
+            self.seen_epoch = frozen.epoch();
+            self.cached = Some(Arc::clone(frozen));
+        }
+        wait
     }
 
     /// Highest epoch published so far (0 before the first publication) —

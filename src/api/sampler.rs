@@ -21,17 +21,22 @@
 use bytes::Bytes;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tbs_core::checkpoint::{CheckpointError, Reader, Wire, Writer};
 use tbs_core::frozen::FrozenSample;
-use tbs_core::merge::ShardSpec;
+use tbs_core::merge::{MergeableSample, ShardSpec};
 use tbs_core::{BAres, BChao, BTbs, BatchedReservoir, CountWindow, RTbs, TTbs, TimeWindow};
-use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, ParallelIngestEngine};
+use tbs_distributed::engine::{EngineCheckpoint, EngineConfig, EngineHealth, ParallelIngestEngine};
+use tbs_distributed::fault::FaultPlan;
 use tbs_distributed::snapshot::EpochCell;
 use tbs_stats::rng::Xoshiro256PlusPlus;
 
-use crate::api::config::{Algorithm, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics};
+use crate::api::config::{
+    Algorithm, CheckpointPolicy, IngestMode, PublishPolicy, SamplerConfig, TimeSemantics,
+};
 use crate::api::error::TbsError;
 use crate::api::reader::SampleReader;
+use crate::api::store::CheckpointStore;
 
 /// The algorithm-specific state behind a [`Sampler`] handle. Engines are
 /// boxed so the enum's footprint stays at the size of the largest
@@ -48,6 +53,10 @@ enum Inner<T: Clone + Send + Sync + 'static> {
     ParallelRTbs(Box<ParallelIngestEngine<RTbs<T>>>),
     ParallelTTbs(Box<ParallelIngestEngine<TTbs<T>>>),
 }
+
+/// The automatic-checkpoint driver: a monomorphized fn pointer over
+/// the handle (see [`Sampler::set_checkpoint_store`]).
+type CkptTick<T> = fn(&mut Sampler<T>) -> Result<(), TbsError>;
 
 /// A builder-configured sampler over items of type `T`; see the
 /// [`crate::api`] module docs and [`crate::api::SamplerConfig`].
@@ -73,6 +82,19 @@ pub struct Sampler<T: Clone + Send + Sync + 'static> {
     /// Batch count at the most recent publication request — what the
     /// [`PublishPolicy::MaxLagBatches`] lag is measured against.
     last_publish_batches: u64,
+    /// Durable checkpoint destination, when attached
+    /// ([`Sampler::set_checkpoint_store`]).
+    store: Option<CheckpointStore>,
+    /// The automatic-checkpoint driver, captured as a monomorphized fn
+    /// pointer when the store is attached (attachment requires
+    /// `T: Wire`, but `observe` does not — the pointer carries the
+    /// serialization capability across that bound).
+    ckpt_tick: Option<CkptTick<T>>,
+    /// Async checkpoint generations requested from a sharded engine but
+    /// not yet persisted: `(engine generation, engine recovery count at
+    /// request)`. A pending generation whose recovery count is stale
+    /// died with the old pipeline and is dropped, never half-written.
+    pending_ckpts: Vec<(u64, u64)>,
 }
 
 impl<T: Clone + Send + Sync + 'static> std::fmt::Debug for Sampler<T> {
@@ -117,6 +139,7 @@ fn engine_config(config: &SamplerConfig) -> EngineConfig {
         spec,
         queue_depth: config.queue_depth,
         seed: config.seed,
+        recovery: config.recovery,
     }
 }
 
@@ -124,17 +147,34 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// Construct from a config [`SamplerConfig::validate`] has already
     /// accepted (the only caller is [`SamplerConfig::build`]).
     pub(crate) fn from_valid_config(config: &SamplerConfig) -> Self {
+        Self::from_valid_config_faults(config, None)
+    }
+
+    /// Like [`Sampler::from_valid_config`], but with an optional injected
+    /// fault schedule threaded into the sharded engine — the plumbing
+    /// behind [`SamplerConfig::build_with_fault_plan`]. Single-node
+    /// configs ignore the plan (the caller rejects them first).
+    pub(crate) fn from_valid_config_faults(
+        config: &SamplerConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let config = *config;
         let lambda = config.decay_rate();
         let inner = if config.shards > 1 {
             let engine_cfg = engine_config(&config);
-            match config.algorithm {
-                Algorithm::RTbs => {
+            match (config.algorithm, faults) {
+                (Algorithm::RTbs, None) => {
                     Inner::ParallelRTbs(Box::new(ParallelIngestEngine::new(engine_cfg)))
                 }
-                Algorithm::TTbs => {
+                (Algorithm::RTbs, Some(plan)) => Inner::ParallelRTbs(Box::new(
+                    ParallelIngestEngine::with_fault_plan(engine_cfg, plan),
+                )),
+                (Algorithm::TTbs, None) => {
                     Inner::ParallelTTbs(Box::new(ParallelIngestEngine::new(engine_cfg)))
                 }
+                (Algorithm::TTbs, Some(plan)) => Inner::ParallelTTbs(Box::new(
+                    ParallelIngestEngine::with_fault_plan(engine_cfg, plan),
+                )),
                 _ => unreachable!(),
             }
         } else {
@@ -184,14 +224,21 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             cell,
             requested_epoch: 0,
             last_publish_batches: 0,
+            store: None,
+            ckpt_tick: None,
+            pending_ckpts: Vec::new(),
         }
     }
 
     /// Advance the clock by one time unit and absorb the arriving batch
     /// (which may be empty). Enum-dispatched onto each sampler's
     /// monomorphized inherent fast path — no `dyn` anywhere inside.
+    ///
+    /// Errors only for sharded engines whose pipeline has terminally
+    /// failed ([`TbsError::Engine`]); single-node ingest is infallible
+    /// (automatic checkpoint-store writes are the one exception).
     #[inline]
-    pub fn observe(&mut self, batch: Vec<T>) {
+    pub fn observe(&mut self, batch: Vec<T>) -> Result<(), TbsError> {
         match &mut self.inner {
             Inner::RTbs(s) => s.observe(batch, &mut self.rng),
             Inner::TTbs(s) => s.observe(batch, &mut self.rng),
@@ -201,11 +248,12 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::SlidingCount(s) => s.observe(batch, &mut self.rng),
             Inner::SlidingTime(s) => s.observe(batch, &mut self.rng),
             Inner::ARes(s) => s.observe(batch, &mut self.rng),
-            Inner::ParallelRTbs(e) => e.ingest(batch),
-            Inner::ParallelTTbs(e) => e.ingest(batch),
+            Inner::ParallelRTbs(e) => e.ingest(batch)?,
+            Inner::ParallelTTbs(e) => e.ingest(batch)?,
         }
         self.batches += 1;
-        self.maybe_publish();
+        self.maybe_publish()?;
+        self.maybe_checkpoint()
     }
 
     /// Absorb a batch arriving `gap` time units after the previous one.
@@ -239,8 +287,8 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             _ => unreachable!("validate rejects RealGaps for gap-free algorithms"),
         }
         self.batches += 1;
-        self.maybe_publish();
-        Ok(())
+        self.maybe_publish()?;
+        self.maybe_checkpoint()
     }
 
     /// Materialize the current sample `S_t`.
@@ -250,7 +298,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// the driver enqueues one epoch marker and the shard workers fold the
     /// merge tree off the driver thread — then hand back the published
     /// merged sample (so the call also advances the epoch counters).
-    pub fn sample(&mut self) -> Vec<T> {
+    pub fn sample(&mut self) -> Result<Vec<T>, TbsError> {
         let out = match &mut self.inner {
             Inner::RTbs(s) => s.sample(&mut self.rng),
             Inner::TTbs(s) => s.sample(&mut self.rng),
@@ -260,11 +308,11 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::SlidingCount(s) => s.sample(&mut self.rng),
             Inner::SlidingTime(s) => s.sample(&mut self.rng),
             Inner::ARes(s) => s.sample(&mut self.rng),
-            Inner::ParallelRTbs(e) => e.sample(),
-            Inner::ParallelTTbs(e) => e.sample(),
+            Inner::ParallelRTbs(e) => e.sample()?,
+            Inner::ParallelTTbs(e) => e.sample()?,
         };
         self.sync_engine_epoch();
-        out
+        Ok(out)
     }
 
     /// [`Sampler::sample`] into a caller-owned buffer — allocation-free
@@ -272,7 +320,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// sample footprint (retraining loops should hold one buffer and
     /// reuse it). Sharded engines assemble the merged sample in a fresh
     /// vector and move it into `out`.
-    pub fn sample_into(&mut self, out: &mut Vec<T>) {
+    pub fn sample_into(&mut self, out: &mut Vec<T>) -> Result<(), TbsError> {
         match &mut self.inner {
             Inner::RTbs(s) => s.sample_into(&mut self.rng, out),
             Inner::TTbs(s) => {
@@ -294,17 +342,18 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::SlidingTime(s) => *out = s.sample(&mut self.rng),
             Inner::Chao(s) => *out = s.sample(&mut self.rng),
             Inner::ARes(s) => *out = s.sample(&mut self.rng),
-            Inner::ParallelRTbs(e) => *out = e.sample(),
-            Inner::ParallelTTbs(e) => *out = e.sample(),
+            Inner::ParallelRTbs(e) => *out = e.sample()?,
+            Inner::ParallelTTbs(e) => *out = e.sample()?,
         }
         self.sync_engine_epoch();
+        Ok(())
     }
 
     /// Expected size of `S_t` — the sample weight `C_t` for R-TBS, the
     /// exact current size elsewhere. Sharded engines quiesce and merge to
     /// answer, which is why this takes `&mut self`.
-    pub fn expected_size(&mut self) -> f64 {
-        match &mut self.inner {
+    pub fn expected_size(&mut self) -> Result<f64, TbsError> {
+        Ok(match &mut self.inner {
             Inner::RTbs(s) => s.expected_size(),
             Inner::TTbs(s) => s.expected_size(),
             Inner::BTbs(s) => s.expected_size(),
@@ -313,9 +362,9 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             Inner::SlidingCount(s) => s.expected_size(),
             Inner::SlidingTime(s) => s.expected_size(),
             Inner::ARes(s) => s.expected_size(),
-            Inner::ParallelRTbs(e) => e.snapshot_merged().sample_weight(),
-            Inner::ParallelTTbs(e) => e.snapshot_merged().len() as f64,
-        }
+            Inner::ParallelRTbs(e) => e.snapshot_merged()?.sample_weight(),
+            Inner::ParallelTTbs(e) => e.snapshot_merged()?.len() as f64,
+        })
     }
 
     /// Hard upper bound on the realized sample size, if the algorithm
@@ -362,11 +411,36 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// Block until every sharded ingest queue has drained (no-op for
     /// single-node samplers). Useful before reading shard statistics or
     /// timing a quiescent point.
-    pub fn quiesce(&mut self) {
+    pub fn quiesce(&mut self) -> Result<(), TbsError> {
         match &mut self.inner {
-            Inner::ParallelRTbs(e) => e.quiesce(),
-            Inner::ParallelTTbs(e) => e.quiesce(),
+            Inner::ParallelRTbs(e) => e.quiesce()?,
+            Inner::ParallelTTbs(e) => e.quiesce()?,
             _ => {}
+        }
+        Ok(())
+    }
+
+    /// Supervision state of the underlying pipeline: always
+    /// [`EngineHealth::Healthy`] for single-node samplers; sharded
+    /// engines report `Degraded` after supervised recoveries and
+    /// `Failed` with the typed cause after an unrecovered fault.
+    pub fn health(&self) -> EngineHealth {
+        match &self.inner {
+            Inner::ParallelRTbs(e) => e.health(),
+            Inner::ParallelTTbs(e) => e.health(),
+            _ => EngineHealth::Healthy,
+        }
+    }
+
+    /// Supervised pipeline recoveries performed so far (0 for
+    /// single-node samplers and for [`RecoveryPolicy::Fail`] engines).
+    ///
+    /// [`RecoveryPolicy::Fail`]: tbs_distributed::engine::RecoveryPolicy::Fail
+    pub fn recoveries(&self) -> u64 {
+        match &self.inner {
+            Inner::ParallelRTbs(e) => e.recoveries(),
+            Inner::ParallelTTbs(e) => e.recoveries(),
+            _ => 0,
         }
     }
 
@@ -400,20 +474,20 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// snapshot is realized synchronously (consuming the same realization
     /// randomness `sample()` would) and is already published when the
     /// call returns.
-    pub fn publish(&mut self) -> u64 {
+    pub fn publish(&mut self) -> Result<u64, TbsError> {
         self.last_publish_batches = self.batches;
         match &mut self.inner {
             Inner::ParallelRTbs(e) => {
-                self.requested_epoch = e.request_snapshot();
-                return self.requested_epoch;
+                self.requested_epoch = e.request_snapshot()?;
+                return Ok(self.requested_epoch);
             }
             Inner::ParallelTTbs(e) => {
-                self.requested_epoch = e.request_snapshot();
-                return self.requested_epoch;
+                self.requested_epoch = e.request_snapshot()?;
+                return Ok(self.requested_epoch);
             }
             _ => {}
         }
-        let items = self.sample();
+        let items = self.sample()?;
         let (total_weight, expected_size) = match &self.inner {
             Inner::RTbs(s) => (Some(s.total_weight()), s.expected_size()),
             Inner::TTbs(s) => (None, s.expected_size()),
@@ -434,7 +508,7 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
             expected_size,
             items,
         )));
-        epoch
+        Ok(epoch)
     }
 
     /// Highest epoch published to readers so far (0 before the first
@@ -468,21 +542,33 @@ impl<T: Clone + Send + Sync + 'static> Sampler<T> {
     /// have published (`requested == published`) before starting another,
     /// so a slow merge stretches the cadence instead of stacking
     /// barriers behind it.
-    fn maybe_publish(&mut self) {
+    fn maybe_publish(&mut self) -> Result<(), TbsError> {
         match self.config.publish {
             PublishPolicy::Manual => {}
             PublishPolicy::EveryBatches(n) => {
                 if self.batches.is_multiple_of(n) {
-                    self.publish();
+                    self.publish()?;
                 }
             }
             PublishPolicy::MaxLagBatches(s) => {
                 if self.batches - self.last_publish_batches > s
                     && self.requested_epoch == self.cell.published_epoch()
                 {
-                    self.publish();
+                    self.publish()?;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Apply the configured [`CheckpointPolicy`] after a batch lands.
+    /// Inert until [`Sampler::set_checkpoint_store`] installs the tick
+    /// (which requires `T: Wire`; the stored fn pointer carries that
+    /// capability into this non-`Wire` method).
+    fn maybe_checkpoint(&mut self) -> Result<(), TbsError> {
+        match self.ckpt_tick {
+            Some(tick) if self.store.is_some() => tick(self),
+            _ => Ok(()),
         }
     }
 }
@@ -509,8 +595,10 @@ impl<T: Wire + Send + Sync + 'static> Sampler<T> {
     ///
     /// Checkpointing consumes **no randomness**: a mid-stream snapshot
     /// leaves the trajectory untouched, and [`Sampler::restore`] resumes
-    /// it bit-identically. Sharded engines quiesce first (`&mut self`).
-    pub fn snapshot(&mut self) -> Bytes {
+    /// it bit-identically. Sharded engines quiesce first (`&mut self`);
+    /// they are also the only fallible case ([`TbsError::Engine`] when
+    /// the pipeline has terminally failed).
+    pub fn snapshot(&mut self) -> Result<Bytes, TbsError> {
         let mut w = Writer::new();
         w.put_u8(self.config.algorithm.tag());
         w.put_u32(self.config.shards as u32);
@@ -525,10 +613,10 @@ impl<T: Wire + Send + Sync + 'static> Sampler<T> {
             Inner::SlidingCount(s) => s.save_state(&mut w),
             Inner::SlidingTime(s) => s.save_state(&mut w),
             Inner::ARes(s) => s.save_state(&mut w),
-            Inner::ParallelRTbs(e) => save_engine(&mut w, e.save_parts()),
-            Inner::ParallelTTbs(e) => save_engine(&mut w, e.save_parts()),
+            Inner::ParallelRTbs(e) => save_engine(&mut w, e.save_parts()?),
+            Inner::ParallelTTbs(e) => save_engine(&mut w, e.save_parts()?),
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     /// Rebuild a sampler from a [`Sampler::snapshot`] blob.
@@ -676,7 +764,182 @@ impl<T: Wire + Send + Sync + 'static> Sampler<T> {
             // and the lag clock starts at the restore point.
             requested_epoch: 0,
             last_publish_batches: batches,
+            store: None,
+            ckpt_tick: None,
+            pending_ckpts: Vec::new(),
         })
+    }
+
+    /// Rebuild a sampler from the **newest stored checkpoint generation
+    /// that validates**, returning it with the generation's sequence
+    /// number.
+    ///
+    /// Walks the store's ring newest→oldest: a generation whose CRC
+    /// frame fails ([`tbs_core::checkpoint::frame`] detects bit flips
+    /// and torn writes), whose blob is unreadable, or whose parameters
+    /// disagree with `config` is *skipped*, not restored — a corrupted
+    /// latest checkpoint silently falls back to the one before it. Only
+    /// when every stored generation fails does this return
+    /// [`TbsError::NoValidCheckpoint`].
+    pub fn recover(
+        config: &SamplerConfig,
+        store: &CheckpointStore,
+    ) -> Result<(Self, u64), TbsError> {
+        config.validate()?;
+        let seqs = store.stored_generations()?;
+        let mut attempted = 0;
+        for &seq in seqs.iter().rev() {
+            attempted += 1;
+            let blob = match store.load(seq) {
+                Ok(blob) => blob,
+                Err(_) => continue,
+            };
+            if let Ok(sampler) = Self::restore(config, blob) {
+                return Ok((sampler, seq));
+            }
+        }
+        Err(TbsError::NoValidCheckpoint { attempted })
+    }
+
+    /// Attach a durable checkpoint destination. From here on,
+    /// [`Sampler::checkpoint_now`] writes to it and a configured
+    /// [`CheckpointPolicy::EveryBatches`] fires automatically during
+    /// [`Sampler::observe`] — asynchronously for sharded engines (the
+    /// generation rides the barrier machinery and lands a moment later;
+    /// [`Sampler::flush_checkpoints`] forces completion), synchronously
+    /// for single-node samplers.
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        self.store = Some(store);
+        self.ckpt_tick = Some(Self::checkpoint_tick);
+    }
+
+    /// Detach and return the checkpoint store (automatic checkpointing
+    /// stops).
+    pub fn take_checkpoint_store(&mut self) -> Option<CheckpointStore> {
+        self.ckpt_tick = None;
+        self.pending_ckpts.clear();
+        self.store.take()
+    }
+
+    /// Serialize the complete current state and write it to the attached
+    /// store as a new generation, returning its sequence number.
+    /// Synchronous (sharded engines quiesce, exactly like
+    /// [`Sampler::snapshot`]); consumes no randomness.
+    pub fn checkpoint_now(&mut self) -> Result<u64, TbsError> {
+        if self.store.is_none() {
+            return Err(TbsError::InvalidCheckpointPolicy {
+                reason: "no checkpoint store attached; call \
+                         set_checkpoint_store first",
+            });
+        }
+        let blob = self.snapshot()?;
+        let store = self.store.as_mut().expect("checked above");
+        store.save(&blob)
+    }
+
+    /// Persist every async checkpoint generation still in flight (or
+    /// drop the ones a pipeline recovery invalidated), returning how
+    /// many generations were written. For single-node samplers this
+    /// drains the store's write-behind queue instead (automatic policy
+    /// checkpoints defer their disk work to the store's writer thread);
+    /// their count is reported at queue time, not here.
+    pub fn flush_checkpoints(&mut self) -> Result<usize, TbsError> {
+        let mut persisted = self.drain_completed_checkpoints()?;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !self.pending_ckpts.is_empty() && Instant::now() < deadline {
+            let store = match self.store.as_mut() {
+                Some(store) => store,
+                None => break,
+            };
+            let wait = Duration::from_millis(50);
+            persisted += match &mut self.inner {
+                Inner::ParallelRTbs(e) => wait_engine_checkpoint(
+                    e,
+                    store,
+                    &self.config,
+                    &self.rng,
+                    &mut self.pending_ckpts,
+                    wait,
+                )?,
+                Inner::ParallelTTbs(e) => wait_engine_checkpoint(
+                    e,
+                    store,
+                    &self.config,
+                    &self.rng,
+                    &mut self.pending_ckpts,
+                    wait,
+                )?,
+                _ => break,
+            };
+        }
+        // Single-node write-behind generations: wait for the store's
+        // writer to drain, surfacing any background I/O failure here.
+        if let Some(store) = self.store.as_mut() {
+            store.flush()?;
+        }
+        Ok(persisted)
+    }
+
+    /// One automatic-checkpoint turn, run after each observed batch once
+    /// a store is attached: drain async generations that finished
+    /// assembling, then fire the policy at its interval boundary.
+    fn checkpoint_tick(&mut self) -> Result<(), TbsError> {
+        self.drain_completed_checkpoints()?;
+        if let CheckpointPolicy::EveryBatches(n) = self.config.checkpoint {
+            if self.batches.is_multiple_of(n) {
+                self.request_checkpoint_generation()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Start one checkpoint generation: non-blocking barrier request for
+    /// sharded engines, immediate serialize-and-write for single-node.
+    fn request_checkpoint_generation(&mut self) -> Result<(), TbsError> {
+        match &mut self.inner {
+            Inner::ParallelRTbs(e) => {
+                let gen = e.request_checkpoint()?;
+                let recoveries = e.recoveries();
+                self.pending_ckpts.push((gen, recoveries));
+            }
+            Inner::ParallelTTbs(e) => {
+                let gen = e.request_checkpoint()?;
+                let recoveries = e.recoveries();
+                self.pending_ckpts.push((gen, recoveries));
+            }
+            _ => {
+                // Single-node: serialize here (the state must be captured
+                // at this batch boundary) but leave the disk work —
+                // framing, fsync, rename — to the store's write-behind
+                // thread, so the policy costs the ingest loop only the
+                // serialization. `flush_checkpoints` (or store drop)
+                // makes the queued generations durable.
+                let blob = self.snapshot()?;
+                if let Some(store) = self.store.as_mut() {
+                    store.save_behind(&blob)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Persist every async generation the engine has finished
+    /// assembling, and drop pendings that died with a recovered
+    /// pipeline. Returns how many generations were written.
+    fn drain_completed_checkpoints(&mut self) -> Result<usize, TbsError> {
+        let store = match self.store.as_mut() {
+            Some(store) => store,
+            None => return Ok(0),
+        };
+        match &mut self.inner {
+            Inner::ParallelRTbs(e) => {
+                drain_engine_checkpoints(e, store, &self.config, &self.rng, &mut self.pending_ckpts)
+            }
+            Inner::ParallelTTbs(e) => {
+                drain_engine_checkpoints(e, store, &self.config, &self.rng, &mut self.pending_ckpts)
+            }
+            _ => Ok(0),
+        }
     }
 }
 
@@ -686,6 +949,87 @@ fn check(ok: bool, what: &'static str) -> Result<(), TbsError> {
         Ok(())
     } else {
         Err(TbsError::ConfigMismatch { what })
+    }
+}
+
+/// Serialize an async-assembled [`EngineCheckpoint`] into the same
+/// blob layout [`Sampler::snapshot`] produces, and write it to the
+/// store. The header batch count comes from the checkpoint (the barrier
+/// boundary it captured), and the handle RNG is recorded as-is —
+/// sharded ingest never touches it, so the blob is byte-identical to a
+/// synchronous snapshot taken at that boundary.
+fn persist_engine_parts<S>(
+    store: &mut CheckpointStore,
+    config: &SamplerConfig,
+    rng: &Xoshiro256PlusPlus,
+    parts: EngineCheckpoint<S>,
+) -> Result<u64, TbsError>
+where
+    S: SaveState,
+{
+    let mut w = Writer::new();
+    w.put_u8(config.algorithm.tag());
+    w.put_u32(config.shards as u32);
+    w.put_u64(parts.batches);
+    w.put_rng_state(rng.state());
+    save_engine(&mut w, parts);
+    store.save(&w.finish())
+}
+
+/// Drop pending async generations that were requested against a
+/// pipeline incarnation older than the engine's current one: their fork
+/// messages died with it, so they will never assemble.
+fn prune_stale_pendings(pending: &mut Vec<(u64, u64)>, current_recoveries: u64) {
+    pending.retain(|&(_, requested_at)| requested_at >= current_recoveries);
+}
+
+/// Non-blocking drain of every checkpoint generation the engine's
+/// merger has finished assembling.
+fn drain_engine_checkpoints<S>(
+    engine: &mut ParallelIngestEngine<S>,
+    store: &mut CheckpointStore,
+    config: &SamplerConfig,
+    rng: &Xoshiro256PlusPlus,
+    pending: &mut Vec<(u64, u64)>,
+) -> Result<usize, TbsError>
+where
+    S: MergeableSample + SaveState + Clone + Send + 'static,
+    S::Item: Clone + Send + Sync + 'static,
+{
+    let mut persisted = 0;
+    while let Some((generation, parts)) = engine.try_take_checkpoint() {
+        persist_engine_parts(store, config, rng, parts)?;
+        pending.retain(|&(g, _)| g != generation);
+        persisted += 1;
+    }
+    prune_stale_pendings(pending, engine.recoveries());
+    Ok(persisted)
+}
+
+/// One bounded wait for an async generation to assemble; persists it if
+/// one lands within `wait`.
+fn wait_engine_checkpoint<S>(
+    engine: &mut ParallelIngestEngine<S>,
+    store: &mut CheckpointStore,
+    config: &SamplerConfig,
+    rng: &Xoshiro256PlusPlus,
+    pending: &mut Vec<(u64, u64)>,
+    wait: Duration,
+) -> Result<usize, TbsError>
+where
+    S: MergeableSample + SaveState + Clone + Send + 'static,
+    S::Item: Clone + Send + Sync + 'static,
+{
+    match engine.wait_checkpoint(wait)? {
+        Some((generation, parts)) => {
+            persist_engine_parts(store, config, rng, parts)?;
+            pending.retain(|&(g, _)| g != generation);
+            Ok(1)
+        }
+        None => {
+            prune_stale_pendings(pending, engine.recoveries());
+            Ok(0)
+        }
     }
 }
 

@@ -51,20 +51,20 @@
 //! let config = SamplerConfig::rtbs(0.07, 100).seed(42);
 //! let mut sampler = config.build::<u64>().expect("valid config");
 //! for t in 0..50u64 {
-//!     sampler.observe((0..20).map(|i| t * 20 + i).collect());
+//!     sampler.observe((0..20).map(|i| t * 20 + i).collect()).unwrap();
 //! }
-//! assert!(sampler.sample().len() <= 100);
+//! assert!(sampler.sample().unwrap().len() <= 100);
 //!
 //! // Invalid configs are errors, not panics…
 //! assert!(SamplerConfig::rtbs(-1.0, 100).build::<u64>().is_err());
 //!
 //! // …and the complete state (RNG position included) round-trips
 //! // through a versioned blob, continuing bit-identically.
-//! let blob = sampler.snapshot();
+//! let blob = sampler.snapshot().unwrap();
 //! let mut restored = temporal_sampling::api::Sampler::restore(&config, blob).unwrap();
-//! sampler.observe((0..20).collect());
-//! restored.observe((0..20).collect());
-//! assert_eq!(sampler.sample(), restored.sample());
+//! sampler.observe((0..20).collect()).unwrap();
+//! restored.observe((0..20).collect()).unwrap();
+//! assert_eq!(sampler.sample().unwrap(), restored.sample().unwrap());
 //! ```
 //!
 //! The per-crate expert layer below remains fully available — e.g.

@@ -61,24 +61,24 @@ fn assert_resume_bit_identical(config: SamplerConfig, seed: u64, total: u64, cut
     let config = config.seed(seed);
     let mut uninterrupted = config.build::<u64>().expect("valid config");
     for t in 0..total {
-        uninterrupted.observe(batch_at(t));
+        uninterrupted.observe(batch_at(t)).unwrap();
     }
 
     let mut first = config.build::<u64>().expect("valid config");
     for t in 0..cut {
-        first.observe(batch_at(t));
+        first.observe(batch_at(t)).unwrap();
     }
-    let blob = first.snapshot();
+    let blob = first.snapshot().unwrap();
     drop(first);
     let mut resumed = Sampler::restore(&config, blob).expect("own snapshot must restore");
     for t in cut..total {
-        resumed.observe(batch_at(t));
+        resumed.observe(batch_at(t)).unwrap();
     }
 
     assert_eq!(resumed.batches_observed(), uninterrupted.batches_observed());
     assert_eq!(
-        resumed.sample(),
-        uninterrupted.sample(),
+        resumed.sample().unwrap(),
+        uninterrupted.sample().unwrap(),
         "{} × {} shards: resumed run diverged (seed {seed}, cut {cut}/{total})",
         config.algorithm().label(),
         config.shard_count(),
@@ -109,10 +109,10 @@ proptest! {
             let mut a = config.build::<u64>().unwrap();
             let mut b = config.build::<u64>().unwrap();
             for t in 0..12 {
-                a.observe(batch_at(t));
-                b.observe(batch_at(t));
+                a.observe(batch_at(t)).unwrap();
+                b.observe(batch_at(t)).unwrap();
             }
-            prop_assert_eq!(a.snapshot(), b.snapshot());
+            prop_assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
         }
     }
 
@@ -182,14 +182,14 @@ fn resume_covers_the_real_gap_path_too() {
         for t in 0..15 {
             first.observe_after(batch_at(t), gap(t)).unwrap();
         }
-        let blob = first.snapshot();
+        let blob = first.snapshot().unwrap();
         let mut resumed = Sampler::restore(&config, blob).unwrap();
         for t in 15..30 {
             resumed.observe_after(batch_at(t), gap(t)).unwrap();
         }
         assert_eq!(
-            resumed.sample(),
-            uninterrupted.sample(),
+            resumed.sample().unwrap(),
+            uninterrupted.sample().unwrap(),
             "{}: gap-path resume diverged",
             config.algorithm().label()
         );
@@ -199,9 +199,9 @@ fn resume_covers_the_real_gap_path_too() {
 fn small_snapshot(config: &SamplerConfig) -> Bytes {
     let mut s = config.build::<u64>().expect("valid config");
     for t in 0..8 {
-        s.observe(batch_at(t));
+        s.observe(batch_at(t)).unwrap();
     }
-    s.snapshot()
+    s.snapshot().unwrap()
 }
 
 #[test]
@@ -225,12 +225,13 @@ fn restore_accepts_either_ingest_mode() {
     for (writer, reader) in [(&per_item, &jump), (&jump, &per_item)] {
         let mut s = writer.build::<u64>().unwrap();
         for t in 0..12 {
-            s.observe(batch_at(t));
+            s.observe(batch_at(t)).unwrap();
         }
-        let mut resumed = Sampler::restore(reader, s.snapshot()).expect("cross-mode restore");
+        let mut resumed =
+            Sampler::restore(reader, s.snapshot().unwrap()).expect("cross-mode restore");
         assert_eq!(resumed.batches_observed(), 12);
         for t in 12..20 {
-            resumed.observe(batch_at(t));
+            resumed.observe(batch_at(t)).unwrap();
         }
         assert_eq!(resumed.batches_observed(), 20);
     }
@@ -295,19 +296,19 @@ fn sharded_resume_round_trips_split_deviations_and_stolen_work() {
     };
     let mut uninterrupted = config.build::<u64>().unwrap();
     for t in 0..40 {
-        uninterrupted.observe(burst(t));
+        uninterrupted.observe(burst(t)).unwrap();
     }
     let mut first = config.build::<u64>().unwrap();
     for t in 0..23 {
-        first.observe(burst(t));
+        first.observe(burst(t)).unwrap();
     }
-    let blob = first.snapshot();
+    let blob = first.snapshot().unwrap();
     drop(first);
     let mut resumed = Sampler::restore(&config, blob).unwrap();
     for t in 23..40 {
-        resumed.observe(burst(t));
+        resumed.observe(burst(t)).unwrap();
     }
-    assert_eq!(resumed.sample(), uninterrupted.sample());
+    assert_eq!(resumed.sample().unwrap(), uninterrupted.sample().unwrap());
 }
 
 /// Byte offset of the first engine field (the split-deviation ledger) in
@@ -441,9 +442,9 @@ fn snapshot_preserves_handle_metadata() {
     let config = SamplerConfig::ttbs(0.1, 100, 50.0).seed(6);
     let mut s = config.build::<u64>().unwrap();
     for t in 0..9 {
-        s.observe(batch_at(t));
+        s.observe(batch_at(t)).unwrap();
     }
-    let restored = Sampler::<u64>::restore(&config, s.snapshot()).unwrap();
+    let restored = Sampler::<u64>::restore(&config, s.snapshot().unwrap()).unwrap();
     assert_eq!(restored.batches_observed(), 9);
     assert_eq!(restored.algorithm(), Algorithm::TTbs);
     assert_eq!(restored.name(), "T-TBS");

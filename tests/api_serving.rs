@@ -91,9 +91,11 @@ fn readers_poll_consistent_snapshots_while_sharded_ingest_runs() {
     // loop (and through the final wait) proves no reader blocks ingest.
     let mut last_epoch = 0;
     for t in 0..800u64 {
-        sampler.observe((0..400).map(|i| t * 10_000 + i).collect());
+        sampler
+            .observe((0..400).map(|i| t * 10_000 + i).collect())
+            .unwrap();
         if t % 5 == 0 {
-            last_epoch = sampler.publish();
+            last_epoch = sampler.publish().unwrap();
         }
     }
     let final_frozen = sampler
@@ -111,7 +113,7 @@ fn readers_poll_consistent_snapshots_while_sharded_ingest_runs() {
     }
 
     // The sampler still answers the exact synchronous path afterwards.
-    assert!(sampler.sample().len() <= CAPACITY);
+    assert!(sampler.sample().unwrap().len() <= CAPACITY);
 }
 
 #[test]
@@ -124,14 +126,14 @@ fn published_snapshot_equals_exact_sample_through_the_facade() {
         let mut exact = config.build::<u64>().expect("valid");
         for t in 0..50u64 {
             let batch: Vec<u64> = (0..90).map(|i| t * 100 + i).collect();
-            published.observe(batch.clone());
-            exact.observe(batch);
+            published.observe(batch.clone()).unwrap();
+            exact.observe(batch).unwrap();
         }
-        let epoch = published.publish();
+        let epoch = published.publish().unwrap();
         let frozen = published.reader().wait_for_epoch(epoch).expect("published");
         assert_eq!(
             frozen.items(),
-            &exact.sample()[..],
+            &exact.sample().unwrap()[..],
             "shards={shards}: published snapshot diverged from the exact path"
         );
         assert_eq!(frozen.batches_observed(), 50);
@@ -155,9 +157,11 @@ fn every_single_node_algorithm_publishes_through_the_same_api() {
         let mut reader = sampler.reader();
         assert!(reader.latest().is_none());
         for t in 0..20u64 {
-            sampler.observe((0..20).map(|i| t * 20 + i).collect());
+            sampler
+                .observe((0..20).map(|i| t * 20 + i).collect())
+                .unwrap();
         }
-        let epoch = sampler.publish();
+        let epoch = sampler.publish().unwrap();
         assert_eq!(epoch, 1);
         let frozen = reader.latest().expect("published synchronously");
         assert_eq!(frozen.epoch(), 1);
@@ -192,10 +196,10 @@ fn reader_clones_share_the_publication_stream() {
         .seed(8)
         .build::<u64>()
         .expect("valid");
-    sampler.observe((0..100).collect());
+    sampler.observe((0..100).collect()).unwrap();
     let mut original = sampler.reader();
     assert!(original.latest().is_none());
-    sampler.publish();
+    sampler.publish().unwrap();
     let mut clone = original.clone();
     // Both handles observe the same epoch, through separate caches.
     assert_eq!(original.latest().unwrap().epoch(), 1);
@@ -243,7 +247,7 @@ fn model_manager_retrains_off_snapshots_without_stalling_sharded_ingest() {
             .collect()
     };
     for t in 0..40u64 {
-        let report = mgr.ingest(make_batch(t));
+        let report = mgr.ingest(make_batch(t)).unwrap();
         if report.retrained {
             assert!(report.sample_size > 0);
         }
