@@ -18,12 +18,16 @@ fn bench_fig7_strategies(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
             let cfg = DrtbsConfig::new(0.07, CAPACITY, 8, strategy);
             let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
-            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect())
+                .unwrap();
             let mut t = 0u64;
             b.iter(|| {
                 let base = t * BATCH as u64;
                 t += 1;
-                black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+                black_box(
+                    d.observe_batch((base..base + BATCH as u64).collect())
+                        .unwrap(),
+                );
             });
         });
     }
@@ -49,12 +53,16 @@ fn bench_fig8_scale_out(c: &mut Criterion) {
             let mut cfg = DrtbsConfig::new(0.07, CAPACITY, w, Strategy::DistCoPartitioned);
             cfg.threaded = true;
             let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
-            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect())
+                .unwrap();
             let mut t = 0u64;
             b.iter(|| {
                 let base = t * BATCH as u64;
                 t += 1;
-                black_box(d.observe_batch((base..base + BATCH as u64).collect()));
+                black_box(
+                    d.observe_batch((base..base + BATCH as u64).collect())
+                        .unwrap(),
+                );
             });
         });
     }
@@ -69,12 +77,16 @@ fn bench_fig9_scale_up(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &size| {
             let cfg = DrtbsConfig::new(0.07, CAPACITY, 8, Strategy::DistCoPartitioned);
             let mut d: DRTbs<u64> = DRTbs::new(cfg, 42);
-            d.observe_batch((0..(2 * CAPACITY as u64)).collect());
+            d.observe_batch((0..(2 * CAPACITY as u64)).collect())
+                .unwrap();
             let mut t = 0u64;
             b.iter(|| {
                 let base = t * size as u64;
                 t += 1;
-                black_box(d.observe_batch((base..base + size as u64).collect()));
+                black_box(
+                    d.observe_batch((base..base + size as u64).collect())
+                        .unwrap(),
+                );
             });
         });
     }

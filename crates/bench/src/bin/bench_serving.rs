@@ -1,7 +1,10 @@
 //! Concurrent-serving baseline: reader QPS × ingest throughput under
 //! sustained mixed load (0/1/2/4/8 reader threads polling epoch
 //! snapshots while the sharded engine stays saturated), plus the
-//! unthrottled reader-path cost.
+//! unthrottled reader-path cost — and, since PR 9, the **wire** serving
+//! tier: framed-TCP `GET_SAMPLE` QPS over 1/2/4 loopback connections and
+//! ingest capacity with `SUBSCRIBE_EPOCH` long-pollers attached,
+//! emitted as a nested `wire` sub-document.
 //!
 //! ```text
 //! cargo run --release -p tbs-bench --bin bench_serving            # full run, writes BENCH_serving.json
@@ -18,17 +21,38 @@
 //!   measurement sizes.
 //!
 //! The emitted document is self-validated against the shared row schema
-//! (`tbs_bench::json::validate_bench_doc`) before it is written, and the
-//! full (non-smoke) run **fails loudly** when the acceptance gate — R-TBS
-//! saturated ingest capacity under 4 concurrent readers ≥ 90% of the
-//! committed 265.1M items/s baseline — does not pass.
+//! (`tbs_bench::json::validate_bench_doc`) before it is written — the
+//! nested `wire` sub-document against its own `serving_wire` schema —
+//! and the full (non-smoke) run **fails loudly** when any acceptance
+//! gate does not pass: R-TBS saturated ingest capacity under 4
+//! concurrent readers ≥ 90% of the committed 265.1M items/s baseline;
+//! single-connection loopback `GET_SAMPLE` ≥ 100k requests/s; mixed
+//! wire-load ingest ≥ 90% of the same baseline.
 
 use std::path::PathBuf;
 use tbs_bench::experiments::serving::{
     poll_cost, report, rows_to_json, run_serving, ServingConfig, SERVING_ROW_KEYS,
 };
+use tbs_bench::experiments::wire::{self, WireConfig, WIRE_ROW_KEYS};
 use tbs_bench::json::{validate_bench_doc, Json};
 use tbs_bench::output::{results_dir, workspace_root};
+
+/// Exit non-zero unless `summary.<gate_key>.pass` in `doc` is `true`.
+fn enforce_gate(doc: &Json, gate_key: &str, what: &str) {
+    match doc.get("summary").and_then(|s| s.get(gate_key)) {
+        Some(gate) => {
+            println!("\n{gate_key}: {gate}");
+            if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
+                eprintln!("{what} gate FAILED");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            eprintln!("full run produced no {gate_key} summary — sweep misconfigured");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,11 +98,24 @@ fn main() {
         i += 1;
     }
 
+    let wire_cfg = if smoke {
+        WireConfig::smoke()
+    } else {
+        WireConfig::default()
+    };
+
     let rows = run_serving(&cfg);
     let poll = poll_cost(&cfg);
     report(&rows, poll);
+    let wire_rows = wire::run_wire(&wire_cfg);
+    wire::report(&wire_rows);
 
-    let doc = rows_to_json(&cfg, &rows, poll);
+    let wire_doc = wire::rows_to_json(&wire_cfg, &wire_rows);
+    if let Err(e) = validate_bench_doc(&wire_doc, "serving_wire", WIRE_ROW_KEYS) {
+        eprintln!("emitted wire sub-document violates the shared row schema: {e}");
+        std::process::exit(1);
+    }
+    let mut doc = rows_to_json(&cfg, &rows, poll);
     if let Err(e) = validate_bench_doc(&doc, "serving", SERVING_ROW_KEYS) {
         eprintln!("emitted document violates the shared row schema: {e}");
         std::process::exit(1);
@@ -99,6 +136,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        enforce_gate(&wire_doc, "get_sample_gate", "wire GET_SAMPLE QPS");
+        enforce_gate(&wire_doc, "mixed_gate", "wire mixed-load ingest");
+    }
+    // Nest the wire tier's results inside the one serving artifact so the
+    // committed baseline stays a single file.
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("wire".to_string(), wire_doc));
     }
 
     let path = json_path.unwrap_or_else(|| {

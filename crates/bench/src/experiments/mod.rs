@@ -13,3 +13,4 @@ pub mod scaling;
 pub mod serving;
 pub mod theory;
 pub mod throughput;
+pub mod wire;

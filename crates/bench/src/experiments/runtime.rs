@@ -43,11 +43,14 @@ pub fn measure_drtbs(cfg: &RuntimeConfig, strategy: Strategy, seed: u64) -> Cost
     dcfg.kv_nodes = cfg.workers;
     let mut d: DRTbs<u64> = DRTbs::new(dcfg, seed);
     // Warm up to saturation (discarded, like the paper's first round).
-    d.observe_batch((0..(cfg.capacity as u64 * 2)).collect());
+    d.observe_batch((0..(cfg.capacity as u64 * 2)).collect())
+        .expect("in-memory reservoir payloads always decode");
     let mut total = CostTracker::new();
     for r in 0..cfg.rounds {
         let base = r as u64 * cfg.batch as u64;
-        let cost = d.observe_batch((base..base + cfg.batch as u64).collect());
+        let cost = d
+            .observe_batch((base..base + cfg.batch as u64).collect())
+            .expect("in-memory reservoir payloads always decode");
         total.merge(&cost);
     }
     scale(&total, 1.0 / cfg.rounds as f64)

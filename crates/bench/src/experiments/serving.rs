@@ -148,7 +148,9 @@ pub struct ServingRow {
 }
 
 /// Generate `count` saturated-regime batches starting at step `t0`.
-fn gen_batches(regime: Regime, count: usize, t0: usize) -> (Vec<Vec<u64>>, u64) {
+/// Shared with the wire-serving experiment so both mixed-load benches
+/// feed byte-identical streams.
+pub(crate) fn gen_batches(regime: Regime, count: usize, t0: usize) -> (Vec<Vec<u64>>, u64) {
     let mut items = 0u64;
     let mut out = Vec::with_capacity(count);
     for t in t0..t0 + count {
@@ -160,7 +162,7 @@ fn gen_batches(regime: Regime, count: usize, t0: usize) -> (Vec<Vec<u64>>, u64) 
     (out, items)
 }
 
-fn stats_delta(before: &[ShardStats], after: &[ShardStats]) -> Vec<ShardStats> {
+pub(crate) fn stats_delta(before: &[ShardStats], after: &[ShardStats]) -> Vec<ShardStats> {
     before
         .iter()
         .zip(after)
@@ -173,7 +175,7 @@ fn stats_delta(before: &[ShardStats], after: &[ShardStats]) -> Vec<ShardStats> {
 }
 
 /// Aggregate capacity Σ_k items_k/busy_k, in items per second.
-fn aggregate_rate(deltas: &[ShardStats]) -> f64 {
+pub(crate) fn aggregate_rate(deltas: &[ShardStats]) -> f64 {
     deltas
         .iter()
         .filter(|d| d.busy_ns > 0)

@@ -1,0 +1,765 @@
+//! Wire-serving bench — the `wire` sub-document of `BENCH_serving.json`.
+//!
+//! PR 9 put the serving tier behind a framed-TCP protocol (`tbs-server`),
+//! so "serving capacity" now has a second meaning: how fast can a remote
+//! consumer actually pull samples over a socket, and how much does wire
+//! traffic tax the ingest path? Two experiments answer that:
+//!
+//! 1. **GET_SAMPLE QPS sweep** (`regime = "wire_get_sample"`): a server
+//!    holds one published epoch behind a [`CellService`]; 1/2/4 client
+//!    connections hammer it with pipelined `GET_SAMPLE` bursts
+//!    ([`BlockingClient::get_sample_pipelined`]) and we count answered
+//!    requests per second. The pipelined burst is the honest protocol
+//!    limit: it measures framing + codec + scheduling, not one
+//!    round-trip latency per request.
+//! 2. **Mixed wire load** (`regime = "wire_mixed"`): the serving bench's
+//!    saturated single-shard ingest engine runs in-process while wire
+//!    consumers long-poll `SUBSCRIBE_EPOCH` against a server fronting the
+//!    engine's snapshot cell. The engine's busy-time aggregate ingest
+//!    metric (identical to `bench_serving`'s headline metric) must stay
+//!    within the committed baseline band even with the socket tier
+//!    attached.
+//!
+//! ## Acceptance gates (full runs)
+//!
+//! * loopback `GET_SAMPLE` on **one** connection ≥
+//!   [`GATE_MIN_QPS_PER_CONN`] (100k requests/s);
+//! * mixed-load ingest aggregate ≥ [`GATE_MIN_RATIO`] (90%) of the
+//!   **in-process reference measured back to back in the same run**
+//!   (`regime = "inproc_mixed_ref"`: identical engine, identical
+//!   windows, no wire tier). Dividing same-run measurements cancels
+//!   host-speed variance — this VM's clock-for-clock throughput swings
+//!   ±15% between sessions, which would make a gate against the
+//!   committed absolute baseline flaky; the ratio against
+//!   [`COMMITTED_BASELINE_ITEMS_PER_SEC`] is still recorded in the
+//!   summary for context.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use tbs_core::{FrozenSample, RTbs};
+use tbs_distributed::engine::{EngineConfig, ParallelIngestEngine};
+use tbs_distributed::snapshot::EpochCell;
+use tbs_server::client::BlockingClient;
+use tbs_server::proto::EpochOutcome;
+use tbs_server::server::serve_on;
+use tbs_server::service::CellService;
+
+use crate::json::Json;
+use crate::output::{f, print_table, write_csv};
+
+use super::serving::{
+    aggregate_rate, gen_batches, stats_delta, COMMITTED_BASELINE_ITEMS_PER_SEC, GATE_MIN_RATIO,
+};
+use super::throughput::Regime;
+use tbs_core::merge::ShardSpec;
+
+/// Minimum acceptable single-connection pipelined `GET_SAMPLE` rate on
+/// loopback (requests per second).
+pub const GATE_MIN_QPS_PER_CONN: f64 = 100_000.0;
+
+/// Tuning knobs for one wire-serving run.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Items in the published sample the QPS sweep serves (each reply
+    /// carries this payload, so QPS is measured under realistic frames).
+    pub sample_items: usize,
+    /// Pipelined `GET_SAMPLE` requests each connection issues per repeat.
+    pub requests_per_conn: usize,
+    /// Requests per pipelined burst (frames written before draining).
+    pub pipeline_depth: usize,
+    /// Concurrent-connection counts to sweep.
+    pub conn_counts: Vec<usize>,
+    /// Timed repeats of the QPS sweep; the best (highest-QPS) is kept.
+    pub qps_repeats: usize,
+    /// Base RNG seed for the mixed-load engine.
+    pub seed: u64,
+    /// Batches fed inside each timed mixed-load repeat.
+    pub mixed_batches: usize,
+    /// Untimed warmup batches before the mixed-load windows.
+    pub mixed_warmup: usize,
+    /// Timed mixed-load repeats; the best (highest-aggregate) is kept.
+    pub mixed_repeats: usize,
+    /// Batches between snapshot publications in the mixed window.
+    pub publish_every: usize,
+    /// Wire consumers long-polling `SUBSCRIBE_EPOCH` during the mixed
+    /// window.
+    pub pollers: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            sample_items: 64,
+            requests_per_conn: 20_000,
+            pipeline_depth: 64,
+            conn_counts: vec![1, 2, 4],
+            qps_repeats: 3,
+            seed: 0x517E_2018,
+            mixed_batches: 50_000,
+            mixed_warmup: 2_000,
+            // 5, matching the in-process serving bench: mixed windows
+            // share the core with the server thread and pollers, so the
+            // best-of estimator needs several shots.
+            mixed_repeats: 5,
+            // Coarser than the in-process bench's 500: an in-process
+            // reader costs one atomic load per publication, but a wire
+            // delivery costs a cross-thread wake storm (server task +
+            // client round trip per poller). At 500 the single core
+            // publishes every ~400µs and the storms dominate the
+            // window; 2500 (~2ms apart, 20 publications per window) is
+            // still far faster than any real model-publication cadence
+            // while keeping the measurement about ingest, not context
+            // switches.
+            publish_every: 2_500,
+            pollers: 4,
+        }
+    }
+}
+
+impl WireConfig {
+    /// Tiny counts for CI smoke runs: exercises both experiments end to
+    /// end in well under a second without producing meaningful numbers.
+    pub fn smoke() -> Self {
+        Self {
+            sample_items: 16,
+            requests_per_conn: 256,
+            pipeline_depth: 32,
+            conn_counts: vec![1, 2],
+            qps_repeats: 1,
+            seed: 7,
+            mixed_batches: 40,
+            mixed_warmup: 20,
+            mixed_repeats: 1,
+            publish_every: 8,
+            pollers: 2,
+        }
+    }
+}
+
+/// One measured wire row — either a QPS-sweep connection count or the
+/// mixed-load combination.
+#[derive(Debug, Clone)]
+pub struct WireRow {
+    /// Sampler label (`R-TBS` — both experiments serve R-TBS samples).
+    pub sampler: &'static str,
+    /// `wire_get_sample` (QPS sweep), `inproc_mixed_ref` (mixed-load
+    /// reference without the wire tier), or `wire_mixed`.
+    pub regime: &'static str,
+    /// Batches the served sample reflects (sweep) or batches ingested
+    /// inside the timed window (mixed).
+    pub batches: usize,
+    /// Payload items shipped over the wire (sweep) or items ingested
+    /// (mixed).
+    pub items: u64,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Wire requests answered inside the timed window (`GET_SAMPLE`
+    /// replies, or epoch publications delivered to long-pollers).
+    pub requests: u64,
+    /// Wall-clock ns of the timed window.
+    pub wall_ns: u64,
+    /// Answered requests per second across all connections.
+    pub qps_total: f64,
+    /// `qps_total / conns`.
+    pub qps_per_conn: f64,
+    /// Sweep rows: payload items per second over the wire. Mixed row:
+    /// the engine's busy-time aggregate ingest capacity (the gate
+    /// metric, directly comparable to `bench_serving`'s).
+    pub items_per_sec_aggregate: f64,
+}
+
+/// Sweep pipelined `GET_SAMPLE` over `conns` concurrent connections
+/// against a cell server holding one published `sample_items`-item epoch;
+/// report the best repeat.
+fn measure_qps(cfg: &WireConfig, conns: usize) -> WireRow {
+    let cell = Arc::new(EpochCell::new());
+    let payload: Vec<u64> = (0..cfg.sample_items as u64).collect();
+    let n_payload = payload.len();
+    cell.publish(Arc::new(FrozenSample::new(
+        1,
+        1,
+        None,
+        n_payload as f64,
+        payload,
+    )));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = serve_on(listener, CellService::new(Arc::clone(&cell)), None).expect("serve");
+    let addr = server.addr();
+
+    let mut best: Option<WireRow> = None;
+    for _ in 0..cfg.qps_repeats.max(1) {
+        // Connect and ping untimed so the window measures steady-state
+        // request service, not connection setup.
+        let barrier = Arc::new(Barrier::new(conns + 1));
+        let handles: Vec<_> = (0..conns)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let requests = cfg.requests_per_conn;
+                let depth = cfg.pipeline_depth.max(1);
+                std::thread::spawn(move || {
+                    let mut client: BlockingClient<u64> =
+                        BlockingClient::connect(addr).expect("connect");
+                    client.ping().expect("ping");
+                    barrier.wait();
+                    let mut done = 0usize;
+                    while done < requests {
+                        let n = depth.min(requests - done);
+                        let got = client.get_sample_pipelined(n).expect("pipelined burst");
+                        assert_eq!(got, n, "non-sample reply in the burst");
+                        done += n;
+                    }
+                    done as u64
+                })
+            })
+            .collect();
+        barrier.wait();
+        let wall = Instant::now();
+        let answered: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .sum();
+        let wall_ns = (wall.elapsed().as_nanos() as u64).max(1);
+        let qps_total = answered as f64 * 1e9 / wall_ns as f64;
+        let row = WireRow {
+            sampler: "R-TBS",
+            regime: "wire_get_sample",
+            batches: 1,
+            items: answered * n_payload as u64,
+            conns,
+            requests: answered,
+            wall_ns,
+            qps_total,
+            qps_per_conn: qps_total / conns.max(1) as f64,
+            items_per_sec_aggregate: qps_total * n_payload as f64,
+        };
+        if best.as_ref().is_none_or(|b| row.qps_total > b.qps_total) {
+            best = Some(row);
+        }
+    }
+    server.join().expect("server exits");
+    best.expect("at least one repeat")
+}
+
+/// One mixed-load measurement rig: a warmed saturated single-shard
+/// engine, optionally fronted by a cell server with `pollers` wire
+/// consumers long-polling `SUBSCRIBE_EPOCH`.
+///
+/// With `pollers == 0` no server is started at all — that rig is the
+/// in-process reference the wire gate divides by. The reference and wire
+/// rigs run their timed windows **interleaved** (see
+/// [`measure_mixed_pair`]): this single-core VM's clock-for-clock speed
+/// drifts several percent over seconds, so sequential blocks would fold
+/// host drift into the ratio, while alternating windows exposes both
+/// rigs to the same conditions.
+struct MixedRig {
+    engine: ParallelIngestEngine<RTbs<u64>>,
+    server: Option<tbs_server::server::ServerHandle>,
+    pollers: usize,
+    stop: Arc<AtomicBool>,
+    delivered: Arc<AtomicU64>,
+    poller_handles: Vec<std::thread::JoinHandle<u64>>,
+    /// Batch-generation step counter, advanced window by window.
+    t0: usize,
+}
+
+impl MixedRig {
+    fn new(cfg: &WireConfig, pollers: usize) -> Self {
+        let regime = Regime::Saturated;
+        let spec = ShardSpec::rtbs(regime.lambda(), regime.capacity(), 1);
+        let mut engine: ParallelIngestEngine<RTbs<u64>> =
+            ParallelIngestEngine::new(EngineConfig::new(spec, cfg.seed));
+        let (warm, _) = gen_batches(regime, cfg.mixed_warmup, 0);
+        for batch in warm {
+            engine.ingest(batch).unwrap();
+        }
+        engine.quiesce().unwrap();
+
+        let server = if pollers > 0 {
+            Some(
+                serve_on(
+                    TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+                    CellService::new(engine.snapshot_cell()),
+                    None,
+                )
+                .expect("serve"),
+            )
+        } else {
+            None
+        };
+
+        // Wire pollers: long-poll the next epoch with a short deadline
+        // so the stop flag is re-checked in bounded time, exactly like a
+        // serving tier following model publications across the network.
+        let stop = Arc::new(AtomicBool::new(false));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let poller_handles: Vec<_> = (0..pollers)
+            .map(|_| {
+                let addr = server.as_ref().expect("server for pollers").addr();
+                let stop = Arc::clone(&stop);
+                let delivered = Arc::clone(&delivered);
+                std::thread::spawn(move || {
+                    let mut client: BlockingClient<u64> =
+                        BlockingClient::connect(addr).expect("poller connects");
+                    let mut next = 1u64;
+                    let mut checksum = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        match client.subscribe_epoch(next, Some(Duration::from_millis(100))) {
+                            Ok((EpochOutcome::Published, epoch, batches)) => {
+                                delivered.fetch_add(1, Ordering::Relaxed);
+                                checksum ^= epoch ^ batches;
+                                next = epoch + 1;
+                            }
+                            Ok((EpochOutcome::TimedOut, _, _)) => {}
+                            Ok((EpochOutcome::PublisherGone, _, _)) | Err(_) => break,
+                        }
+                    }
+                    checksum
+                })
+            })
+            .collect();
+
+        Self {
+            engine,
+            server,
+            pollers,
+            stop,
+            delivered,
+            poller_handles,
+            t0: cfg.mixed_warmup,
+        }
+    }
+
+    /// Drive one timed mixed-load window and return its row.
+    fn window(&mut self, cfg: &WireConfig) -> WireRow {
+        let regime = Regime::Saturated;
+        let (batches, items) = gen_batches(regime, cfg.mixed_batches, self.t0);
+        self.t0 += cfg.mixed_batches;
+        let before = self.engine.shard_stats();
+        let delivered_before = self.delivered.load(Ordering::Relaxed);
+        let wall = Instant::now();
+        let mut fed = 0usize;
+        let mut last_epoch = 0u64;
+        for batch in batches {
+            self.engine.ingest(batch).unwrap();
+            fed += 1;
+            if fed.is_multiple_of(cfg.publish_every.max(1)) {
+                last_epoch = self.engine.request_snapshot().unwrap();
+            }
+        }
+        self.engine.quiesce().unwrap();
+        if last_epoch > 0 {
+            self.engine
+                .snapshot_cell()
+                .wait_for_epoch(last_epoch)
+                .expect("engine alive");
+        }
+        let wall_ns = (wall.elapsed().as_nanos() as u64).max(1);
+        // The in-process wait above only proves the cell published; the
+        // wire delivery still needs a server round trip. Drain briefly
+        // so the delivered count reflects this window's publications
+        // (excluded from wall_ns — ingest stopped at the wait).
+        if last_epoch > 0 && self.pollers > 0 {
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while self.delivered.load(Ordering::Relaxed) == delivered_before
+                && Instant::now() < deadline
+            {
+                std::thread::yield_now();
+            }
+        }
+        let served = self.delivered.load(Ordering::Relaxed) - delivered_before;
+        let deltas = stats_delta(&before, &self.engine.shard_stats());
+        let qps_total = served as f64 * 1e9 / wall_ns as f64;
+        WireRow {
+            sampler: "R-TBS",
+            regime: if self.pollers > 0 {
+                "wire_mixed"
+            } else {
+                "inproc_mixed_ref"
+            },
+            batches: cfg.mixed_batches,
+            items,
+            conns: self.pollers,
+            requests: served,
+            wall_ns,
+            qps_total,
+            qps_per_conn: qps_total / self.pollers.max(1) as f64,
+            items_per_sec_aggregate: aggregate_rate(&deltas),
+        }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, Ordering::Release);
+        for handle in self.poller_handles {
+            let _ = handle.join().expect("poller thread panicked");
+        }
+        if let Some(server) = self.server {
+            server.join().expect("server exits");
+        }
+    }
+}
+
+/// Measure the in-process reference and the wire-load run with their
+/// timed windows interleaved (ref, wire, ref, wire, …), reporting the
+/// best (highest-aggregate) window of each — the same
+/// minimum-interference estimator as the in-process serving bench, with
+/// host drift shared across both sides of the gate ratio.
+fn measure_mixed_pair(cfg: &WireConfig) -> (WireRow, WireRow) {
+    let mut reference = MixedRig::new(cfg, 0);
+    let mut wire = MixedRig::new(cfg, cfg.pollers);
+    let mut best_ref: Option<WireRow> = None;
+    let mut best_wire: Option<WireRow> = None;
+    for _ in 0..cfg.mixed_repeats.max(1) {
+        let r = reference.window(cfg);
+        if best_ref
+            .as_ref()
+            .is_none_or(|b| r.items_per_sec_aggregate > b.items_per_sec_aggregate)
+        {
+            best_ref = Some(r);
+        }
+        let w = wire.window(cfg);
+        if best_wire
+            .as_ref()
+            .is_none_or(|b| w.items_per_sec_aggregate > b.items_per_sec_aggregate)
+        {
+            best_wire = Some(w);
+        }
+    }
+    reference.finish();
+    wire.finish();
+    (
+        best_ref.expect("at least one repeat"),
+        best_wire.expect("at least one repeat"),
+    )
+}
+
+/// Run the wire sweep: one `GET_SAMPLE` QPS row per connection count,
+/// then the interleaved in-process-reference / mixed-wire-load pair.
+pub fn run_wire(cfg: &WireConfig) -> Vec<WireRow> {
+    let mut rows = Vec::new();
+    for &conns in &cfg.conn_counts {
+        rows.push(measure_qps(cfg, conns));
+    }
+    let (reference, wire) = measure_mixed_pair(cfg);
+    rows.push(reference);
+    rows.push(wire);
+    rows
+}
+
+/// The two wire acceptance gates, as a summary object.
+fn summary(rows: &[WireRow]) -> Json {
+    let qps_row = rows
+        .iter()
+        .find(|r| r.regime == "wire_get_sample" && r.conns == 1);
+    let (qps, qps_pass) = match qps_row {
+        Some(r) => (
+            Json::Num(r.qps_per_conn),
+            Json::Bool(r.qps_per_conn >= GATE_MIN_QPS_PER_CONN),
+        ),
+        None => (Json::Null, Json::Null),
+    };
+    let mixed_row = rows.iter().find(|r| r.regime == "wire_mixed");
+    let ref_row = rows.iter().find(|r| r.regime == "inproc_mixed_ref");
+    let (agg, ref_agg, ratio, committed_ratio, mixed_pass) = match (mixed_row, ref_row) {
+        (Some(w), Some(r)) => {
+            // Gate on wire/in-process measured back to back: host speed
+            // cancels out, leaving exactly the wire tier's ingest tax.
+            // The committed-baseline ratio is recorded for context but
+            // conflates wire overhead with run-to-run host variance.
+            let ratio = w.items_per_sec_aggregate / r.items_per_sec_aggregate;
+            (
+                Json::Num(w.items_per_sec_aggregate),
+                Json::Num(r.items_per_sec_aggregate),
+                Json::Num(ratio),
+                Json::Num(w.items_per_sec_aggregate / COMMITTED_BASELINE_ITEMS_PER_SEC),
+                Json::Bool(ratio >= GATE_MIN_RATIO),
+            )
+        }
+        _ => (Json::Null, Json::Null, Json::Null, Json::Null, Json::Null),
+    };
+    Json::obj([
+        (
+            "get_sample_gate",
+            Json::obj([
+                ("conns", Json::Int(1)),
+                ("qps_per_conn", qps),
+                ("min_qps_per_conn", Json::Num(GATE_MIN_QPS_PER_CONN)),
+                ("pass", qps_pass),
+            ]),
+        ),
+        (
+            "mixed_gate",
+            Json::obj([
+                ("sampler", Json::str("R-TBS")),
+                ("regime", Json::str("wire_mixed")),
+                ("ingest_items_per_sec_aggregate", agg),
+                ("inproc_ref_items_per_sec_aggregate", ref_agg),
+                ("min_ratio", Json::Num(GATE_MIN_RATIO)),
+                ("ratio", ratio),
+                (
+                    "committed_baseline_items_per_sec",
+                    Json::Num(COMMITTED_BASELINE_ITEMS_PER_SEC),
+                ),
+                ("ratio_vs_committed_baseline", committed_ratio),
+                ("pass", mixed_pass),
+            ]),
+        ),
+    ])
+}
+
+/// Print the aligned console table and write the CSV under `results/`.
+pub fn report(rows: &[WireRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.to_string(),
+                r.conns.to_string(),
+                r.requests.to_string(),
+                f(r.qps_total, 0),
+                f(r.qps_per_conn, 0),
+                f(r.items_per_sec_aggregate / 1e6, 2),
+            ]
+        })
+        .collect();
+    write_csv(
+        "bench_serving_wire.csv",
+        &[
+            "regime",
+            "conns",
+            "requests",
+            "qps_total",
+            "qps_per_conn",
+            "aggregate_M_per_sec",
+        ],
+        &table,
+    );
+    print_table(
+        "Wire serving (framed TCP on loopback; best of repeats)",
+        &[
+            "regime",
+            "conns",
+            "requests",
+            "qps total",
+            "qps/conn",
+            "agg M/s",
+        ],
+        &table,
+    );
+}
+
+/// Assemble the `wire` sub-document nested inside `BENCH_serving.json`.
+pub fn rows_to_json(cfg: &WireConfig, rows: &[WireRow]) -> Json {
+    let row_values = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("sampler", Json::str(r.sampler)),
+                ("regime", Json::str(r.regime)),
+                ("batches", Json::Int(r.batches as i64)),
+                ("items", Json::UInt(r.items)),
+                ("conns", Json::Int(r.conns as i64)),
+                ("requests", Json::UInt(r.requests)),
+                ("wall_ns", Json::UInt(r.wall_ns)),
+                ("qps_total", Json::Num(r.qps_total)),
+                ("qps_per_conn", Json::Num(r.qps_per_conn)),
+                (
+                    "items_per_sec_aggregate",
+                    Json::Num(r.items_per_sec_aggregate),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("bench", Json::str("serving_wire")),
+        ("schema_version", Json::Int(1)),
+        (
+            "config",
+            Json::obj([
+                ("sample_items", Json::Int(cfg.sample_items as i64)),
+                ("requests_per_conn", Json::Int(cfg.requests_per_conn as i64)),
+                ("pipeline_depth", Json::Int(cfg.pipeline_depth as i64)),
+                (
+                    "conn_counts",
+                    Json::Arr(
+                        cfg.conn_counts
+                            .iter()
+                            .map(|&c| Json::Int(c as i64))
+                            .collect(),
+                    ),
+                ),
+                ("qps_repeats", Json::Int(cfg.qps_repeats as i64)),
+                ("seed", Json::UInt(cfg.seed)),
+                ("mixed_batches", Json::Int(cfg.mixed_batches as i64)),
+                ("mixed_warmup", Json::Int(cfg.mixed_warmup as i64)),
+                ("mixed_repeats", Json::Int(cfg.mixed_repeats as i64)),
+                ("publish_every", Json::Int(cfg.publish_every as i64)),
+                ("pollers", Json::Int(cfg.pollers as i64)),
+                ("item_type", Json::str("u64")),
+            ]),
+        ),
+        (
+            "metrics",
+            Json::obj([
+                (
+                    "qps_total",
+                    Json::str(
+                        "wire requests answered per second across all connections: \
+                         pipelined GET_SAMPLE replies for the sweep rows, epoch \
+                         publications delivered to SUBSCRIBE_EPOCH long-pollers \
+                         for the mixed row",
+                    ),
+                ),
+                (
+                    "items_per_sec_aggregate",
+                    Json::str(
+                        "sweep rows: payload items shipped over the wire per \
+                         second; mixed row: the engine's Σ_k items_k/busy_k \
+                         ingest capacity with the wire tier attached — \
+                         directly comparable to the serving bench's headline \
+                         metric and judged against the same baseline",
+                    ),
+                ),
+            ]),
+        ),
+        ("rows", Json::Arr(row_values)),
+        ("summary", summary(rows)),
+    ])
+}
+
+/// Row keys (beyond the shared core) every wire row must carry.
+pub const WIRE_ROW_KEYS: &[&str] = &[
+    "conns",
+    "requests",
+    "wall_ns",
+    "qps_total",
+    "qps_per_conn",
+    "items_per_sec_aggregate",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_bench_doc;
+
+    #[test]
+    fn smoke_sweep_produces_valid_rows() {
+        let cfg = WireConfig::smoke();
+        let rows = run_wire(&cfg);
+        assert_eq!(rows.len(), cfg.conn_counts.len() + 2);
+        for r in &rows {
+            // The in-process reference has no wire tier, so no requests.
+            if r.regime != "inproc_mixed_ref" {
+                assert!(r.requests > 0, "{}: no requests answered", r.regime);
+                assert!(r.qps_total > 0.0);
+            }
+            assert!(r.items_per_sec_aggregate > 0.0);
+        }
+        let sweep: Vec<_> = rows
+            .iter()
+            .filter(|r| r.regime == "wire_get_sample")
+            .collect();
+        for (r, &conns) in sweep.iter().zip(&cfg.conn_counts) {
+            assert_eq!(r.conns, conns);
+            assert_eq!(
+                r.requests,
+                (cfg.requests_per_conn * conns) as u64,
+                "every pipelined request must be answered"
+            );
+        }
+        let mixed = rows
+            .iter()
+            .find(|r| r.regime == "wire_mixed")
+            .expect("mixed row");
+        assert!(mixed.items > 0);
+        let reference = rows
+            .iter()
+            .find(|r| r.regime == "inproc_mixed_ref")
+            .expect("reference row");
+        assert_eq!(reference.conns, 0);
+        assert_eq!(reference.items, mixed.items, "identical windows");
+        let doc = rows_to_json(&cfg, &rows);
+        validate_bench_doc(&doc, "serving_wire", WIRE_ROW_KEYS).unwrap();
+    }
+
+    /// Manual probe for the wire tier's mixed-load tax at full sizes:
+    /// `cargo test -p tbs-bench --release mixed_tax_probe --
+    /// --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual perf probe, not a correctness test"]
+    fn mixed_tax_probe() {
+        let cfg = WireConfig::default();
+        for round in 0..3 {
+            let (reference, wire) = measure_mixed_pair(&cfg);
+            println!(
+                "round {round}: inproc ref {:.1}M it/s | wire ({} pollers) {:.1}M it/s | \
+                 ratio {:.3} | {} deliveries",
+                reference.items_per_sec_aggregate / 1e6,
+                cfg.pollers,
+                wire.items_per_sec_aggregate / 1e6,
+                wire.items_per_sec_aggregate / reference.items_per_sec_aggregate,
+                wire.requests,
+            );
+        }
+    }
+
+    #[test]
+    fn summary_carries_both_gates() {
+        let cfg = WireConfig::smoke();
+        let rows = vec![
+            WireRow {
+                sampler: "R-TBS",
+                regime: "wire_get_sample",
+                batches: 1,
+                items: 64,
+                conns: 1,
+                requests: 4,
+                wall_ns: 10,
+                qps_total: 2e5,
+                qps_per_conn: 2e5,
+                items_per_sec_aggregate: 1.0,
+            },
+            WireRow {
+                sampler: "R-TBS",
+                regime: "inproc_mixed_ref",
+                batches: 4,
+                items: 400,
+                conns: 0,
+                requests: 0,
+                wall_ns: 10,
+                qps_total: 0.0,
+                qps_per_conn: 0.0,
+                items_per_sec_aggregate: 200e6,
+            },
+            WireRow {
+                sampler: "R-TBS",
+                regime: "wire_mixed",
+                batches: 4,
+                items: 400,
+                conns: 2,
+                requests: 2,
+                wall_ns: 10,
+                qps_total: 1.0,
+                qps_per_conn: 0.5,
+                items_per_sec_aggregate: 190e6,
+            },
+        ];
+        let doc = rows_to_json(&cfg, &rows);
+        let s = doc.get("summary").unwrap();
+        assert_eq!(
+            s.get("get_sample_gate").unwrap().get("pass"),
+            Some(&Json::Bool(true))
+        );
+        let mixed = s.get("mixed_gate").unwrap();
+        assert_eq!(mixed.get("pass"), Some(&Json::Bool(true)));
+        // 190/200 = 0.95 against the same-run reference; the committed
+        // ratio is context only and must not decide the verdict.
+        assert!(matches!(mixed.get("ratio"), Some(Json::Num(x)) if (*x - 0.95).abs() < 1e-12));
+        assert!(matches!(
+            mixed.get("ratio_vs_committed_baseline"),
+            Some(Json::Num(_))
+        ));
+    }
+}

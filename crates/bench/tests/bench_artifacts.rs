@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use tbs_bench::experiments::scaling::SCALING_ROW_KEYS;
 use tbs_bench::experiments::serving::SERVING_ROW_KEYS;
 use tbs_bench::experiments::throughput::THROUGHPUT_ROW_KEYS;
+use tbs_bench::experiments::wire::{GATE_MIN_QPS_PER_CONN, WIRE_ROW_KEYS};
 use tbs_bench::json::{parse, validate_bench_doc, Json};
 use tbs_bench::output::workspace_root;
 
@@ -145,5 +146,47 @@ fn committed_serving_baseline_passes_its_own_gate() {
     match gate.get("ratio") {
         Some(Json::Num(ratio)) => assert!(*ratio >= 0.9, "gate ratio {ratio} < 0.9"),
         other => panic!("gate ratio missing: {other:?}"),
+    }
+}
+
+#[test]
+fn committed_wire_subdocument_passes_validator_and_both_gates() {
+    // PR 9 nested the framed-TCP serving tier's results inside
+    // `BENCH_serving.json` under `wire`. The sub-document must conform to
+    // its own `serving_wire` row schema, and the recorded gate numbers —
+    // single-connection loopback GET_SAMPLE QPS and mixed wire-load
+    // ingest vs the committed baseline — must actually clear their
+    // thresholds, so a hand-edited pass flag fails.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_serving.json"))
+        .expect("committed BENCH_serving.json");
+    let doc = parse(&text).expect("valid JSON");
+    let wire = doc.get("wire").expect("wire sub-document");
+    validate_bench_doc(wire, "serving_wire", WIRE_ROW_KEYS)
+        .unwrap_or_else(|e| panic!("wire sub-document schema violation: {e}"));
+    let summary = wire.get("summary").expect("wire summary");
+
+    let qps_gate = summary.get("get_sample_gate").expect("get_sample_gate");
+    assert_eq!(
+        qps_gate.get("pass"),
+        Some(&Json::Bool(true)),
+        "gate: {qps_gate}"
+    );
+    match qps_gate.get("qps_per_conn") {
+        Some(Json::Num(qps)) => assert!(
+            *qps >= GATE_MIN_QPS_PER_CONN,
+            "single-connection QPS {qps} below {GATE_MIN_QPS_PER_CONN}"
+        ),
+        other => panic!("qps_per_conn missing: {other:?}"),
+    }
+
+    let mixed_gate = summary.get("mixed_gate").expect("mixed_gate");
+    assert_eq!(
+        mixed_gate.get("pass"),
+        Some(&Json::Bool(true)),
+        "gate: {mixed_gate}"
+    );
+    match mixed_gate.get("ratio") {
+        Some(Json::Num(ratio)) => assert!(*ratio >= 0.9, "mixed wire ratio {ratio} < 0.9"),
+        other => panic!("mixed gate ratio missing: {other:?}"),
     }
 }

@@ -104,6 +104,7 @@ pub mod frozen;
 pub mod jumps;
 pub mod latent;
 pub mod merge;
+pub mod notify;
 pub mod rtbs;
 pub mod sliding;
 pub mod theory;

@@ -17,6 +17,7 @@
 //! verify it — they differ only in data movement and coordination, which
 //! the [`CostTracker`] accounts.
 
+use crate::checkpoint::CheckpointError;
 use crate::cluster::WorkerPool;
 use crate::copart::CoPartitionedReservoir;
 use crate::cost::{CostModel, CostTracker};
@@ -200,7 +201,13 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
     }
 
     /// Process one arriving batch, returning its simulated cost.
-    pub fn observe_batch(&mut self, batch: Vec<T>) -> CostTracker {
+    ///
+    /// The only error source is a reservoir value that no longer decodes
+    /// as `T` — impossible for state built through this API, and caught
+    /// at [`DRTbs::restore`] time for checkpointed state, but surfaced
+    /// here as a typed [`CheckpointError`] instead of a panic so a
+    /// serving tier fed hostile blobs degrades into an error response.
+    pub fn observe_batch(&mut self, batch: Vec<T>) -> Result<CostTracker, CheckpointError> {
         let model = self.cfg.cost_model;
         let mut cost = CostTracker::new();
         let k = self.cfg.workers;
@@ -219,15 +226,15 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
             // ——— Previously unsaturated (C = W). ———
             self.total_weight *= decay;
             if self.total_weight > 0.0 && self.sample_weight > 0.0 {
-                self.dist_downsample(self.total_weight, &mut cost);
+                self.dist_downsample(self.total_weight, &mut cost)?;
             } else if self.total_weight == 0.0 {
-                self.clear_all(&mut cost);
+                self.clear_all(&mut cost)?;
             }
             self.insert_batch_full(&batch, &mut cost);
             self.total_weight += b as f64;
             self.sample_weight = self.total_weight;
             if self.total_weight > n {
-                self.dist_downsample(n, &mut cost);
+                self.dist_downsample(n, &mut cost)?;
             }
         } else {
             // ——— Previously saturated (C = n, no partial). ———
@@ -241,7 +248,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                 let inserts = self.select_inserts(&batch, m, &mut cost);
                 self.replace_full(inserts, &mut cost);
             } else {
-                self.dist_downsample(new_weight - b as f64, &mut cost);
+                self.dist_downsample(new_weight - b as f64, &mut cost)?;
                 self.insert_batch_full(&batch, &mut cost);
             }
             self.total_weight = new_weight;
@@ -256,7 +263,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
             self.sample_weight.floor() as usize,
             "full-item count diverged from floor(C)"
         );
-        cost
+        Ok(cost)
     }
 
     /// Select `m` insert items from the batch, returned grouped per worker.
@@ -417,10 +424,16 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
         }
     }
 
-    /// Remove `count` uniformly chosen full items, returning them.
-    fn remove_random_full(&mut self, count: usize, cost: &mut CostTracker) -> Vec<T> {
+    /// Remove `count` uniformly chosen full items, returning them. Only
+    /// the KV strategies can fail (they decode stored bytes); the
+    /// co-partitioned reservoir holds `T` directly.
+    fn remove_random_full(
+        &mut self,
+        count: usize,
+        cost: &mut CostTracker,
+    ) -> Result<Vec<T>, CheckpointError> {
         if count == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let model = self.cfg.cost_model;
         match &mut self.store {
@@ -436,13 +449,13 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                         multivariate_hypergeometric(&mut self.master_rng, &sizes, count as u64);
                     let removed = cp.delete_counts(&counts, &mut self.worker_rngs, &model, cost);
                     cost.parallel_phase(&model, &counts);
-                    removed
+                    Ok(removed)
                 }
                 _ => {
                     let (removed, counts) =
                         cp.delete_slots(count, &mut self.master_rng, &model, cost);
                     cost.parallel_phase(&model, &counts);
-                    removed
+                    Ok(removed)
                 }
             },
         }
@@ -468,19 +481,24 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
     }
 
     /// Drop every stored full item (total weight decayed to zero).
-    fn clear_all(&mut self, cost: &mut CostTracker) {
+    fn clear_all(&mut self, cost: &mut CostTracker) -> Result<(), CheckpointError> {
         let count = self.stored_full_items();
         if count > 0 {
-            self.remove_random_full(count, cost);
+            self.remove_random_full(count, cost)?;
         }
         self.partial = None;
         self.sample_weight = 0.0;
+        Ok(())
     }
 
     /// Distributed mirror of Algorithm 3: downsample the latent sample from
     /// weight `C = sample_weight` to `target`, master-driven. Statistically
     /// identical to `tbs_core::downsample::downsample`.
-    fn dist_downsample(&mut self, target: f64, cost: &mut CostTracker) {
+    fn dist_downsample(
+        &mut self,
+        target: f64,
+        cost: &mut CostTracker,
+    ) -> Result<(), CheckpointError> {
         let c = self.sample_weight;
         let c_prime = target;
         assert!(
@@ -498,12 +516,12 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
             if u > keep_partial_prob {
                 // Swap1 then clear: a uniform full item becomes the partial;
                 // the old partial is discarded with the cleared set.
-                let swapped = self.remove_random_full(1, cost).pop();
+                let swapped = self.remove_random_full(1, cost)?.pop();
                 self.partial = swapped;
             }
             let remaining = self.stored_full_items();
             if remaining > 0 {
-                self.remove_random_full(remaining, cost);
+                self.remove_random_full(remaining, cost)?;
             }
         } else if floor_cp == floor_c {
             // INVARIANT (this and both branches below): ⌊C′⌋ ≥ 1 here, and
@@ -512,22 +530,22 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
             // least one full item always remains for the Swap1/Move1 pop.
             let rho = (1.0 - (c_prime / c) * frac_c) / (1.0 - frac_cp);
             if u > rho {
-                let swapped = self.remove_random_full(1, cost).pop().expect("full item");
+                let swapped = self.remove_random_full(1, cost)?.pop().expect("full item");
                 if let Some(old) = self.partial.replace(swapped) {
                     self.add_full(old, cost);
                 }
             }
         } else if u <= (c_prime / c) * frac_c {
             // Retain ⌊C′⌋ full items, then Swap1.
-            self.remove_random_full(floor_c - floor_cp, cost);
-            let swapped = self.remove_random_full(1, cost).pop().expect("full item");
+            self.remove_random_full(floor_c - floor_cp, cost)?;
+            let swapped = self.remove_random_full(1, cost)?.pop().expect("full item");
             if let Some(old) = self.partial.replace(swapped) {
                 self.add_full(old, cost);
             }
         } else {
             // Retain ⌊C′⌋ + 1 full items, then Move1 (old partial dropped).
-            self.remove_random_full(floor_c - floor_cp - 1, cost);
-            let swapped = self.remove_random_full(1, cost).pop().expect("full item");
+            self.remove_random_full(floor_c - floor_cp - 1, cost)?;
+            let swapped = self.remove_random_full(1, cost)?.pop().expect("full item");
             self.partial = Some(swapped);
         }
 
@@ -535,6 +553,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
         if frac_cp == 0.0 {
             self.partial = None;
         }
+        Ok(())
     }
 
     /// Serialize the full sampler state — configuration, weights, RNG
@@ -664,7 +683,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
 
         let partial = match r.get_u8()? {
             0 => None,
-            1 => Some(T::decode(&r.get_bytes()?)),
+            1 => Some(r.get_item()?),
             _ => return Err(CheckpointError::Corrupt("partial tag")),
         };
 
@@ -674,7 +693,14 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     let slot = r.get_u64()?;
-                    entries.push((slot, r.get_bytes()?));
+                    let value = r.get_bytes()?;
+                    // Reject undecodable reservoir payloads here, at the
+                    // trust boundary, so a hostile blob cannot smuggle
+                    // bytes that only fail later inside the ingest path.
+                    if T::try_decode(&value).is_none() {
+                        return Err(CheckpointError::Corrupt("kv item payload"));
+                    }
+                    entries.push((slot, value));
                 }
                 Store::Kv(KvReservoir::restore(kv_nodes, entries))
             }
@@ -689,7 +715,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                     let count = r.get_u32()? as usize;
                     let mut part = Vec::with_capacity(count);
                     for _ in 0..count {
-                        part.push(T::decode(&r.get_bytes()?));
+                        part.push(r.get_item()?);
                     }
                     per_worker.push(part);
                 }
@@ -718,12 +744,14 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
         })
     }
 
-    /// Collect and realize the current sample (driver-side).
-    pub fn realize_sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<T> {
+    /// Collect and realize the current sample (driver-side). Fails only
+    /// when a KV-stored value no longer decodes as `T` — see
+    /// [`DRTbs::observe_batch`] for when that can happen.
+    pub fn realize_sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<T>, CheckpointError> {
         let model = self.cfg.cost_model;
         let mut cost = CostTracker::new();
         let mut out = match &self.store {
-            Store::Kv(kv) => kv.collect(&model, &mut cost),
+            Store::Kv(kv) => kv.collect(&model, &mut cost)?,
             Store::Cp(cp) => cp.collect(&model, &mut cost),
         };
         if let Some(p) = &self.partial {
@@ -732,7 +760,7 @@ impl<T: Wire + Send + 'static> DRTbs<T> {
                 out.push(p.clone());
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -740,11 +768,16 @@ impl<T: Wire + Send + 'static> BatchSampler<T> for DRTbs<T> {
     fn observe(&mut self, batch: Vec<T>, _rng: &mut dyn RngCore) {
         // Randomness comes from the instance's own master/worker streams so
         // distributed runs stay reproducible; the harness RNG is unused.
-        self.observe_batch(batch);
+        // The trait has no error channel; decode failures are impossible
+        // here because `restore` validates every stored payload — the
+        // fallible typed path is `observe_batch` itself.
+        self.observe_batch(batch)
+            .expect("restore-validated reservoir payload decodes");
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Vec<T> {
         self.realize_sample(rng)
+            .expect("restore-validated reservoir payload decodes")
     }
 
     fn expected_size(&self) -> f64 {
@@ -783,7 +816,7 @@ mod tests {
                     next
                 })
                 .collect();
-            d.observe_batch(batch);
+            d.observe_batch(batch).unwrap();
         }
         d
     }
@@ -817,7 +850,10 @@ mod tests {
         for strategy in Strategy::all() {
             let d = run_schedule(strategy, &[10, 200, 0, 0, 37, 90, 1, 0, 0, 0, 0, 250], 11);
             for _ in 0..20 {
-                assert!(d.realize_sample(&mut rng).len() <= 50, "{strategy:?}");
+                assert!(
+                    d.realize_sample(&mut rng).unwrap().len() <= 50,
+                    "{strategy:?}"
+                );
             }
         }
     }
@@ -846,7 +882,7 @@ mod tests {
         for (t, &b) in schedule.iter().enumerate() {
             let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
             single.observe(batch.clone(), &mut rng);
-            dist.observe_batch(batch);
+            dist.observe_batch(batch).unwrap();
             assert!(
                 (single.sample_weight() - dist.sample_weight()).abs() < 1e-9,
                 "diverged at t={t}"
@@ -872,11 +908,12 @@ mod tests {
             let cfg = DrtbsConfig::new(lambda, n, 3, Strategy::DistCoPartitioned);
             let mut d: DRTbs<(u32, u32)> = DRTbs::new(cfg, trial as u64);
             for (bi, &b) in schedule.iter().enumerate() {
-                d.observe_batch((0..b as u32).map(|i| (bi as u32, i)).collect());
+                d.observe_batch((0..b as u32).map(|i| (bi as u32, i)).collect())
+                    .unwrap();
             }
             w_final = d.total_weight();
             c_final = d.sample_weight();
-            for (bi, _) in d.realize_sample(&mut rng) {
+            for (bi, _) in d.realize_sample(&mut rng).unwrap() {
                 appear[bi as usize] += 1;
             }
         }
@@ -905,9 +942,9 @@ mod tests {
             let cfg = DrtbsConfig::new(0.07, 1000, 4, strategy);
             let mut d = DRTbs::new(cfg, 21);
             // Saturate.
-            d.observe_batch((0..2000u64).collect());
+            d.observe_batch((0..2000u64).collect()).unwrap();
             // Measure one steady-state batch.
-            let cost = d.observe_batch((0..1000u64).collect());
+            let cost = d.observe_batch((0..1000u64).collect()).unwrap();
             costs.insert(strategy.label(), cost.bytes_shipped);
         }
         let rj = costs["D-R-TBS (Cent,KV,RJ)"];
@@ -927,10 +964,10 @@ mod tests {
         for strategy in Strategy::all() {
             let cfg = DrtbsConfig::new(0.07, 20_000, 8, strategy);
             let mut d = DRTbs::new(cfg, 33);
-            d.observe_batch((0..30_000u64).collect()); // saturate
+            d.observe_batch((0..30_000u64).collect()).unwrap(); // saturate
             let mut total = 0.0;
             for _ in 0..5 {
-                total += d.observe_batch((0..10_000u64).collect()).elapsed;
+                total += d.observe_batch((0..10_000u64).collect()).unwrap().elapsed;
             }
             elapsed.push((strategy.label(), total / 5.0));
         }
@@ -953,7 +990,7 @@ mod tests {
         let mut d = DRTbs::new(cfg, 17);
         for t in 0..30u64 {
             let b = [50u64, 0, 200, 10][t as usize % 4];
-            d.observe_batch((0..b).collect());
+            d.observe_batch((0..b).collect()).unwrap();
             assert!(d.sample_weight() <= 100.0 + 1e-9);
             assert_eq!(d.stored_full_items(), d.sample_weight().floor() as usize);
         }
@@ -963,9 +1000,9 @@ mod tests {
     fn empty_stream_decays_to_empty() {
         let cfg = DrtbsConfig::new(1.0, 10, 2, Strategy::CentCoPartitioned);
         let mut d = DRTbs::new(cfg, 2);
-        d.observe_batch((0..10u64).collect());
+        d.observe_batch((0..10u64).collect()).unwrap();
         for _ in 0..60 {
-            d.observe_batch(Vec::new());
+            d.observe_batch(Vec::new()).unwrap();
         }
         assert!(d.total_weight() < 1e-6);
         assert!(d.stored_full_items() <= 1);
@@ -979,7 +1016,7 @@ mod checkpoint_tests {
     fn feed(d: &mut DRTbs<u64>, schedule: &[u64], offset: u64) {
         for (t, &b) in schedule.iter().enumerate() {
             let base = (offset + t as u64) * 1000;
-            d.observe_batch((base..base + b).collect());
+            d.observe_batch((base..base + b).collect()).unwrap();
         }
     }
 
@@ -1006,9 +1043,9 @@ mod checkpoint_tests {
             assert!((a.total_weight() - b.total_weight()).abs() < 1e-12);
             assert!((a.sample_weight() - b.sample_weight()).abs() < 1e-12);
             let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-            let mut sa = a.realize_sample(&mut rng);
+            let mut sa = a.realize_sample(&mut rng).unwrap();
             let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-            let mut sb = b.realize_sample(&mut rng);
+            let mut sb = b.realize_sample(&mut rng).unwrap();
             sa.sort_unstable();
             sb.sort_unstable();
             assert_eq!(sa, sb, "{strategy:?}: samples diverged after restore");
@@ -1021,8 +1058,8 @@ mod checkpoint_tests {
         // exists, then round-trip.
         let cfg = DrtbsConfig::new(0.5, 50, 2, Strategy::CentCoPartitioned);
         let mut d: DRTbs<u64> = DRTbs::new(cfg, 7);
-        d.observe_batch((0..10).collect());
-        d.observe_batch(Vec::new()); // decay → fractional weight
+        d.observe_batch((0..10).collect()).unwrap();
+        d.observe_batch(Vec::new()).unwrap(); // decay → fractional weight
         assert!(d.sample_weight().fract() > 0.0, "need a fractional state");
         let blob = d.checkpoint();
         let restored: DRTbs<u64> = DRTbs::restore(blob).expect("restore");
@@ -1037,7 +1074,7 @@ mod checkpoint_tests {
     fn corrupted_blob_is_rejected() {
         let cfg = DrtbsConfig::new(0.1, 10, 2, Strategy::DistCoPartitioned);
         let mut d: DRTbs<u64> = DRTbs::new(cfg, 7);
-        d.observe_batch((0..20).collect());
+        d.observe_batch((0..20).collect()).unwrap();
         let blob = d.checkpoint();
         // Flip the magic.
         let mut bad = blob.to_vec();
@@ -1049,10 +1086,26 @@ mod checkpoint_tests {
     }
 
     #[test]
+    fn restore_rejects_undecodable_reservoir_payloads() {
+        // Structurally valid blob, wrong item width: the stored 8-byte
+        // u64 values cannot be [f64; 2] (16 bytes). Restore must reject
+        // the blob with a typed error at the trust boundary instead of
+        // letting the mismatch panic later inside the ingest path.
+        let cfg = DrtbsConfig::new(0.1, 10, 2, Strategy::CentKvCoLocatedJoin);
+        let mut d: DRTbs<u64> = DRTbs::new(cfg, 7);
+        d.observe_batch((0..20).collect()).unwrap();
+        let blob = d.checkpoint();
+        assert!(matches!(
+            DRTbs::<[f64; 2]>::restore(blob),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn checkpoint_is_deterministic() {
         let cfg = DrtbsConfig::new(0.1, 20, 2, Strategy::CentKvCoLocatedJoin);
         let mut d: DRTbs<u64> = DRTbs::new(cfg, 3);
-        d.observe_batch((0..50).collect());
+        d.observe_batch((0..50).collect()).unwrap();
         // KV snapshots iterate hash maps — order may vary between calls in
         // principle, so compare restored state rather than raw bytes.
         let r1: DRTbs<u64> = DRTbs::restore(d.checkpoint()).unwrap();

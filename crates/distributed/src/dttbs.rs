@@ -271,8 +271,8 @@ mod tests {
         for strategy in Strategy::all() {
             let rcfg = DrtbsConfig::new(0.07, 20_000, 8, strategy);
             let mut r = DRTbs::new(rcfg, 4);
-            r.observe_batch((0..30_000u64).collect());
-            let elapsed = r.observe_batch((0..10_000u64).collect()).elapsed;
+            r.observe_batch((0..30_000u64).collect()).unwrap();
+            let elapsed = r.observe_batch((0..10_000u64).collect()).unwrap().elapsed;
             assert!(
                 elapsed > slowest_ttbs,
                 "{strategy:?} ({elapsed:.4}s) should be slower than D-T-TBS \

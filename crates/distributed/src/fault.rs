@@ -72,6 +72,24 @@ pub enum FaultSite {
         /// Stall length in milliseconds.
         millis: u64,
     },
+    /// Tear down serving connection `conn` (0-based accept order) just
+    /// before the server writes its `frame`-th response frame (0-based) —
+    /// the peer sees a clean EOF/reset at an exact frame boundary.
+    DropConnection {
+        /// 0-based connection ordinal in accept order.
+        conn: u64,
+        /// 0-based response-frame ordinal on that connection.
+        frame: u64,
+    },
+    /// Leave serving connection `conn` half-open before its `frame`-th
+    /// response frame: the socket stays up but the server goes silent,
+    /// exercising client read-timeout paths.
+    HalfOpenSocket {
+        /// 0-based connection ordinal in accept order.
+        conn: u64,
+        /// 0-based response-frame ordinal on that connection.
+        frame: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -131,6 +149,24 @@ impl FaultPlan {
                 batch_no,
                 millis,
             },
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedule a [`FaultSite::DropConnection`].
+    pub fn drop_connection(mut self, conn: u64, frame: u64) -> Self {
+        self.entries.push(Entry {
+            site: FaultSite::DropConnection { conn, frame },
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedule a [`FaultSite::HalfOpenSocket`].
+    pub fn half_open_socket(mut self, conn: u64, frame: u64) -> Self {
+        self.entries.push(Entry {
+            site: FaultSite::HalfOpenSocket { conn, frame },
             fired: AtomicBool::new(false),
         });
         self
@@ -227,6 +263,36 @@ pub enum PushAction {
     Delay(Duration),
 }
 
+impl FaultPlan {
+    /// Serving-tier hook: what the server should do with response frame
+    /// `frame` (0-based) on connection `conn` (0-based accept order).
+    /// Called at exact frame boundaries — after the request was handled,
+    /// before its reply frame hits the socket.
+    pub fn wire_action(&self, conn: u64, frame: u64) -> WireAction {
+        match self.claim(|s| match s {
+            FaultSite::DropConnection { conn: c, frame: f }
+            | FaultSite::HalfOpenSocket { conn: c, frame: f } => *c == conn && *f == frame,
+            _ => false,
+        }) {
+            Some(FaultSite::DropConnection { .. }) => WireAction::DropConnection,
+            Some(FaultSite::HalfOpenSocket { .. }) => WireAction::HalfOpen,
+            _ => WireAction::Deliver,
+        }
+    }
+}
+
+/// Verdict of [`FaultPlan::wire_action`] for one server response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Close the connection instead of writing the frame.
+    DropConnection,
+    /// Keep the socket open but never write this frame (or anything
+    /// after it) — a half-open peer.
+    HalfOpen,
+}
+
 /// Whether a worker-thread panic payload is an injected kill (carries
 /// [`INJECTED_PANIC`]). The engine's drop path uses this to avoid
 /// re-propagating panics that the fault harness caused on purpose.
@@ -313,6 +379,23 @@ mod tests {
         // One-shot: a second pass at the same position is quiet.
         plan.fire_kill_worker(0, 0);
         assert_eq!(plan.fired_count(), 1);
+    }
+
+    #[test]
+    fn wire_faults_fire_exactly_once_at_exact_frames() {
+        let plan = FaultPlan::new()
+            .drop_connection(0, 2)
+            .half_open_socket(1, 0);
+        // Wrong connection or frame: nothing fires.
+        assert_eq!(plan.wire_action(0, 1), WireAction::Deliver);
+        assert_eq!(plan.wire_action(1, 2), WireAction::Deliver);
+        assert_eq!(plan.fired_count(), 0);
+        // Exact positions fire once, then stay quiet.
+        assert_eq!(plan.wire_action(0, 2), WireAction::DropConnection);
+        assert_eq!(plan.wire_action(0, 2), WireAction::Deliver);
+        assert_eq!(plan.wire_action(1, 0), WireAction::HalfOpen);
+        assert_eq!(plan.wire_action(1, 0), WireAction::Deliver);
+        assert_eq!(plan.fired_count(), 2);
     }
 
     #[test]

@@ -18,6 +18,14 @@ use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::HashMap;
 use std::marker::PhantomData;
+use tbs_core::checkpoint::CheckpointError;
+
+/// Decode a stored value as `T`, surfacing garbage bytes as a typed
+/// corruption error rather than a panic (the store holds whatever a
+/// restored checkpoint put in it).
+fn decode_value<T: Wire>(bytes: &[u8]) -> Result<T, CheckpointError> {
+    T::try_decode(bytes).ok_or(CheckpointError::Corrupt("kv item payload"))
+}
 
 /// Reservoir stored as slot → serialized value across hash-partitioned
 /// store nodes. Slots are kept contiguous in `1..=len`.
@@ -123,14 +131,16 @@ impl<T: Wire> KvReservoir<T> {
     /// Delete `m` uniformly chosen slots, then restore slot contiguity by
     /// moving top-end slots into the holes (get + put + delete per move) —
     /// the §5.3 requirement that "all of the slot numbers are still unique
-    /// and contiguous".
+    /// and contiguous". A stored value the item type cannot decode is a
+    /// typed [`CheckpointError::Corrupt`] — never a panic — so state
+    /// rebuilt from a hostile checkpoint blob fails cleanly downstream.
     pub fn shrink_random<R: Rng + ?Sized>(
         &mut self,
         m: usize,
         rng: &mut R,
         model: &CostModel,
         cost: &mut CostTracker,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, CheckpointError> {
         assert!(m as u64 <= self.len, "cannot shrink below zero");
         let mut removed = Vec::with_capacity(m);
         let victims = tbs_core::util::sample_indices(self.len as usize, m, rng);
@@ -142,7 +152,7 @@ impl<T: Wire> KvReservoir<T> {
             let bytes = self
                 .remove(slot, model, cost)
                 .expect("victim slot occupied");
-            removed.push(T::decode(&bytes));
+            removed.push(decode_value(&bytes)?);
         }
         // Compact: move items from the tail into holes below the new length.
         let new_len = self.len - m as u64;
@@ -161,27 +171,39 @@ impl<T: Wire> KvReservoir<T> {
             }
         }
         self.len = new_len;
-        removed
+        Ok(removed)
     }
 
-    /// Driver-side collect of the full reservoir contents.
-    pub fn collect(&self, model: &CostModel, cost: &mut CostTracker) -> Vec<T> {
+    /// Driver-side collect of the full reservoir contents. Undecodable
+    /// stored values surface as typed [`CheckpointError::Corrupt`].
+    pub fn collect(
+        &self,
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) -> Result<Vec<T>, CheckpointError> {
         let mut out = Vec::with_capacity(self.len as usize);
         let mut bytes_total = 0u64;
         for node in &self.nodes {
             let guard = node.lock();
             for value in guard.values() {
                 bytes_total += (value.len() + WIRE_ENVELOPE_BYTES) as u64;
-                out.push(T::decode(value));
+                out.push(decode_value(value)?);
             }
         }
         cost.network(model, self.nodes.len() as u64, bytes_total);
-        out
+        Ok(out)
     }
 
     /// Read one slot (used by equivalence tests).
-    pub fn peek(&self, slot: u64, model: &CostModel, cost: &mut CostTracker) -> Option<T> {
-        self.get(slot, model, cost).map(|b| T::decode(&b))
+    pub fn peek(
+        &self,
+        slot: u64,
+        model: &CostModel,
+        cost: &mut CostTracker,
+    ) -> Result<Option<T>, CheckpointError> {
+        self.get(slot, model, cost)
+            .map(|b| decode_value(&b))
+            .transpose()
     }
 
     /// Snapshot every (slot, encoded value) pair — the §5.1 checkpointing
@@ -228,7 +250,7 @@ mod tests {
         let items: Vec<u64> = (100..150).collect();
         kv.append(&items, &model, &mut cost);
         assert_eq!(kv.len(), 50);
-        let mut got = kv.collect(&model, &mut cost);
+        let mut got = kv.collect(&model, &mut cost).unwrap();
         got.sort_unstable();
         assert_eq!(got, items);
     }
@@ -240,7 +262,7 @@ mod tests {
         kv.append(&(0..20u64).collect::<Vec<_>>(), &model, &mut cost);
         kv.replace_random(&[1000, 1001, 1002], &mut rng, &model, &mut cost);
         assert_eq!(kv.len(), 20);
-        let got = kv.collect(&model, &mut cost);
+        let got = kv.collect(&model, &mut cost).unwrap();
         assert_eq!(got.len(), 20);
         assert_eq!(got.iter().filter(|&&x| x >= 1000).count(), 3);
     }
@@ -250,18 +272,18 @@ mod tests {
         let (mut kv, model, mut cost) = fresh();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
         kv.append(&(0..30u64).collect::<Vec<_>>(), &model, &mut cost);
-        let removed = kv.shrink_random(12, &mut rng, &model, &mut cost);
+        let removed = kv.shrink_random(12, &mut rng, &model, &mut cost).unwrap();
         assert_eq!(removed.len(), 12);
         assert_eq!(kv.len(), 18);
         // All slots 1..=18 must be occupied (contiguity restored).
         let mut probe_cost = CostTracker::new();
         for slot in 1..=18u64 {
             assert!(
-                kv.peek(slot, &model, &mut probe_cost).is_some(),
+                kv.peek(slot, &model, &mut probe_cost).unwrap().is_some(),
                 "hole at slot {slot}"
             );
         }
-        let got = kv.collect(&model, &mut probe_cost);
+        let got = kv.collect(&model, &mut probe_cost).unwrap();
         assert_eq!(got.len(), 18);
     }
 
@@ -270,10 +292,10 @@ mod tests {
         let (mut kv, model, mut cost) = fresh();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         kv.append(&(0..10u64).collect::<Vec<_>>(), &model, &mut cost);
-        let removed = kv.shrink_random(10, &mut rng, &model, &mut cost);
+        let removed = kv.shrink_random(10, &mut rng, &model, &mut cost).unwrap();
         assert_eq!(removed.len(), 10);
         assert!(kv.is_empty());
-        assert!(kv.collect(&model, &mut cost).is_empty());
+        assert!(kv.collect(&model, &mut cost).unwrap().is_empty());
     }
 
     #[test]
@@ -297,6 +319,24 @@ mod tests {
         kv.append(&(0..100u64).collect::<Vec<_>>(), &model, &mut cost);
         let occupancy: Vec<usize> = kv.nodes.iter().map(|n| n.lock().len()).collect();
         assert!(occupancy.iter().all(|&c| c > 0), "hash skew: {occupancy:?}");
+    }
+
+    #[test]
+    fn garbage_payload_surfaces_as_typed_corruption() {
+        // A store rebuilt from a hostile checkpoint can hold bytes that
+        // are not a valid `T`; every decode path must report that as a
+        // typed error, never a panic.
+        let kv: KvReservoir<u64> = KvReservoir::restore(2, vec![(1, Bytes::from_static(b"xyz"))]);
+        let model = CostModel::default();
+        let mut cost = CostTracker::new();
+        assert!(matches!(
+            kv.collect(&model, &mut cost),
+            Err(CheckpointError::Corrupt("kv item payload"))
+        ));
+        assert!(matches!(
+            kv.peek(1, &model, &mut cost),
+            Err(CheckpointError::Corrupt("kv item payload"))
+        ));
     }
 
     #[test]

@@ -59,10 +59,10 @@ pub use engine::{
     EngineCheckpoint, EngineConfig, EngineError, EngineHealth, ParallelIngestEngine,
     RecoveryPolicy, ShardStats,
 };
-pub use fault::{FaultPlan, FaultSite, PushAction};
+pub use fault::{FaultPlan, FaultSite, PushAction, WireAction};
 pub use kvstore::KvReservoir;
 pub use partition::{Location, Partitioned};
 pub use queue::BatchQueue;
-pub use snapshot::{EpochCell, EpochWait};
+pub use snapshot::{EpochCell, EpochWait, EpochWaitFuture};
 pub use tbs_core::checkpoint::CheckpointError;
 pub use wire::{Wire, WIRE_ENVELOPE_BYTES};

@@ -23,16 +23,32 @@
 //!
 //! Publishers ([`EpochCell::publish`]) store the new `Arc`, advance the
 //! epoch counter (monotonically — a late-arriving older publication can
-//! never roll it back), and wake [`EpochCell::wait_for_epoch`] blockers.
-//! When the publisher goes away (engine drop, merger panic) it calls
-//! [`EpochCell::close`] so waiters return instead of blocking forever;
-//! already-published samples remain readable afterwards.
+//! never roll it back), and wake every waiter. When the publisher goes
+//! away (engine drop, merger panic) it calls [`EpochCell::close`] so
+//! waiters return instead of blocking forever; already-published samples
+//! remain readable afterwards.
+//!
+//! ## Blocking and async waiters
+//!
+//! Waiting is built on `tbs_core::notify::Notify`, which wakes blocked
+//! *threads* and parked async *tasks* from the same generation counter.
+//! Every blocking variant ([`EpochCell::wait_for_epoch`],
+//! [`EpochCell::wait_for_epoch_timeout`]) routes through one shared
+//! closed-checked loop, and [`EpochCell::poll_epoch`] /
+//! [`EpochCell::wait_for_epoch_owned`] expose the identical semantics to
+//! futures — the network serving tier's `SUBSCRIBE_EPOCH` long-poll parks
+//! a connection task here instead of a thread.
 
 use arc_swap::ArcSwapOption;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Instant;
 use tbs_core::frozen::FrozenSample;
+use tbs_core::notify::{Notify, WaitOutcome};
 
 /// A shared slot publishing epoch-stamped [`FrozenSample`]s from one
 /// producer pipeline to any number of concurrent readers.
@@ -44,10 +60,11 @@ pub struct EpochCell<T> {
     slot: ArcSwapOption<FrozenSample<T>>,
     /// Set when the publisher is gone for good.
     closed: AtomicBool,
-    /// Pairs with `wait_cv`; held only inside `publish`'s notify and
-    /// `wait_for_epoch` — never by pollers.
-    wait_lock: Mutex<()>,
-    wait_cv: Condvar,
+    /// Serializes publishers so stale-check + store + counter-advance is
+    /// atomic with respect to other publishers. Readers never take it.
+    publish_lock: Mutex<()>,
+    /// Wakes blocked threads and parked connection tasks alike.
+    notify: Notify,
 }
 
 impl<T> Default for EpochCell<T> {
@@ -63,8 +80,8 @@ impl<T> EpochCell<T> {
             published: AtomicU64::new(0),
             slot: ArcSwapOption::empty(),
             closed: AtomicBool::new(false),
-            wait_lock: Mutex::new(()),
-            wait_cv: Condvar::new(),
+            publish_lock: Mutex::new(()),
+            notify: Notify::new(),
         }
     }
 
@@ -86,17 +103,15 @@ impl<T> EpochCell<T> {
         self.closed.load(Ordering::Acquire)
     }
 
-    /// Publish `frozen` as the newest sample and wake every
-    /// [`EpochCell::wait_for_epoch`] blocker. The epoch counter advances
-    /// monotonically to `frozen.epoch()`; a **stale** publication (epoch
-    /// not newer than the counter) is discarded, so the slot can never
-    /// hold an older sample than the counter advertises.
+    /// Publish `frozen` as the newest sample and wake every waiter —
+    /// blocked threads and parked async tasks alike. The epoch counter
+    /// advances monotonically to `frozen.epoch()`; a **stale**
+    /// publication (epoch not newer than the counter) is discarded, so
+    /// the slot can never hold an older sample than the counter
+    /// advertises.
     pub fn publish(&self, frozen: Arc<FrozenSample<T>>) {
         let epoch = frozen.epoch();
-        // Publishers are serialized by `wait_lock`, which makes the
-        // stale-check + store + counter-advance sequence atomic with
-        // respect to other publishers. Readers never take this lock.
-        let _guard = self.wait_lock.lock();
+        let _guard = self.publish_lock.lock();
         if epoch <= self.published.load(Ordering::Acquire) {
             return;
         }
@@ -105,14 +120,13 @@ impl<T> EpochCell<T> {
         // that new (epochs only move forward in the slot too).
         self.slot.store(Some(frozen));
         self.published.store(epoch, Ordering::Release);
-        self.wait_cv.notify_all();
+        self.notify.notify_all();
     }
 
     /// Mark the publisher gone and wake all waiters. Idempotent.
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
-        let _guard = self.wait_lock.lock();
-        self.wait_cv.notify_all();
+        self.notify.notify_all();
     }
 
     /// Re-arm a closed cell for a replacement publisher. The supervised
@@ -123,36 +137,16 @@ impl<T> EpochCell<T> {
         self.closed.store(false, Ordering::Release);
     }
 
-    /// Block until a sample of epoch ≥ `epoch` is published, then return
-    /// the latest publication (which may be even newer). Returns `None`
-    /// if the publisher closed the cell before reaching `epoch` — e.g.
-    /// the engine was dropped with the request still in flight.
-    pub fn wait_for_epoch(&self, epoch: u64) -> Option<Arc<FrozenSample<T>>> {
-        let mut guard = self.wait_lock.lock();
+    /// The shared wait loop every blocking variant routes through: check
+    /// published, check closed, sleep until the notify generation moves
+    /// or the deadline passes. Reading the generation *before* the
+    /// condition checks closes the lost-wakeup window — a publish/close
+    /// landing after the checks bumps the generation, so the sleep
+    /// returns immediately and the loop re-checks.
+    fn wait_inner(&self, epoch: u64, deadline: Option<Instant>) -> EpochWait<T> {
         loop {
+            let seen = self.notify.generation();
             if self.published.load(Ordering::Acquire) >= epoch {
-                drop(guard);
-                return self.latest();
-            }
-            if self.closed.load(Ordering::Acquire) {
-                return None;
-            }
-            // No lost wakeup: `publish`/`close` notify while holding
-            // `wait_lock`, and we hold it across the re-check → wait edge.
-            guard = self.wait_cv.wait(guard);
-        }
-    }
-
-    /// [`EpochCell::wait_for_epoch`] with a deadline: never blocks past
-    /// `timeout`, so a consumer facing a dead **or stalled** publisher
-    /// gets control back in bounded time (the closed flag only covers
-    /// publishers that died cleanly enough to run their closers).
-    pub fn wait_for_epoch_timeout(&self, epoch: u64, timeout: std::time::Duration) -> EpochWait<T> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut guard = self.wait_lock.lock();
-        loop {
-            if self.published.load(Ordering::Acquire) >= epoch {
-                drop(guard);
                 return match self.latest() {
                     Some(frozen) => EpochWait::Published(frozen),
                     // INVARIANT: the slot is stored before the counter
@@ -163,14 +157,80 @@ impl<T> EpochCell<T> {
             if self.closed.load(Ordering::Acquire) {
                 return EpochWait::PublisherGone;
             }
-            let Some(left) = deadline
-                .checked_duration_since(std::time::Instant::now())
-                .filter(|d| !d.is_zero())
-            else {
+            if self.notify.wait_past(seen, deadline) == WaitOutcome::TimedOut {
                 return EpochWait::TimedOut;
-            };
-            guard = self.wait_cv.wait_timeout(guard, left).0;
+            }
         }
+    }
+
+    /// Block until a sample of epoch ≥ `epoch` is published, then return
+    /// the latest publication (which may be even newer). Returns `None`
+    /// if the publisher closed the cell before reaching `epoch` — e.g.
+    /// the engine was dropped with the request still in flight. Routed
+    /// through the same closed-check path as
+    /// [`EpochCell::wait_for_epoch_timeout`], so a publisher dying at any
+    /// point relative to the wait never strands the caller.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Option<Arc<FrozenSample<T>>> {
+        self.wait_inner(epoch, None).published()
+    }
+
+    /// [`EpochCell::wait_for_epoch`] with a deadline: never blocks past
+    /// `timeout`, so a consumer facing a dead **or stalled** publisher
+    /// gets control back in bounded time (the closed flag only covers
+    /// publishers that died cleanly enough to run their closers).
+    pub fn wait_for_epoch_timeout(&self, epoch: u64, timeout: std::time::Duration) -> EpochWait<T> {
+        self.wait_inner(epoch, Some(Instant::now() + timeout))
+    }
+
+    /// Async-task counterpart of the wait loop: resolve immediately when
+    /// a sample of epoch ≥ `epoch` is published (or the publisher is
+    /// gone), otherwise park `cx`'s waker for the next publication.
+    /// Never returns [`EpochWait::TimedOut`] — deadline handling belongs
+    /// to the caller's timer (race this against a sleep future).
+    pub fn poll_epoch(&self, epoch: u64, cx: &mut Context<'_>) -> Poll<EpochWait<T>> {
+        loop {
+            let seen = self.notify.generation();
+            if self.published.load(Ordering::Acquire) >= epoch {
+                return Poll::Ready(match self.latest() {
+                    Some(frozen) => EpochWait::Published(frozen),
+                    None => EpochWait::PublisherGone,
+                });
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Poll::Ready(EpochWait::PublisherGone);
+            }
+            match self.notify.register(seen, cx.waker()) {
+                Ok(()) => return Poll::Pending,
+                // Notification slipped in between the checks and the
+                // registration: re-check rather than park.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// An owned future resolving when a sample of epoch ≥ `epoch` lands
+    /// (or the publisher dies). Owned (`Arc<Self>`) rather than borrowed
+    /// so connection tasks — which must be `'static` — can hold it.
+    pub fn wait_for_epoch_owned(self: &Arc<Self>, epoch: u64) -> EpochWaitFuture<T> {
+        EpochWaitFuture {
+            cell: Arc::clone(self),
+            epoch,
+        }
+    }
+}
+
+/// Future returned by [`EpochCell::wait_for_epoch_owned`].
+#[derive(Debug)]
+pub struct EpochWaitFuture<T> {
+    cell: Arc<EpochCell<T>>,
+    epoch: u64,
+}
+
+impl<T> Future for EpochWaitFuture<T> {
+    type Output = EpochWait<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.cell.poll_epoch(self.epoch, cx)
     }
 }
 
@@ -199,6 +259,8 @@ impl<T> EpochWait<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::task::{Wake, Waker};
 
     fn frozen(epoch: u64, items: Vec<u32>) -> Arc<FrozenSample<u32>> {
         let expected = items.len() as f64;
@@ -257,6 +319,28 @@ mod tests {
         cell.close();
         assert!(waiter.join().unwrap().is_none());
         assert!(cell.is_closed());
+    }
+
+    #[test]
+    fn untimed_wait_never_hangs_on_a_publisher_dying_mid_wait() {
+        // Regression: the no-timeout wait must route through the same
+        // closed-check path as the timeout variant, so a close() landing
+        // at *any* point relative to the epoch check — including between
+        // the epoch load and the sleep — unblocks it. Hammer the race
+        // window: a publisher that closes after a staggered delay while
+        // the waiter enters wait_for_epoch.
+        for delay_us in [0u64, 50, 200, 1000] {
+            let cell = Arc::new(EpochCell::<u32>::new());
+            let cell2 = Arc::clone(&cell);
+            let closer = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                cell2.close();
+            });
+            // Must return None promptly — never hang — whichever side of
+            // the epoch/closed checks the close landed on.
+            assert!(cell.wait_for_epoch(1).is_none(), "delay {delay_us}µs");
+            closer.join().unwrap();
+        }
     }
 
     #[test]
@@ -326,5 +410,57 @@ mod tests {
         // Epoch 1 was reached before the close, so the wait succeeds.
         assert!(cell.wait_for_epoch(1).is_some());
         assert!(cell.wait_for_epoch(2).is_none());
+    }
+
+    struct CountingWake(AtomicUsize);
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        (counter, waker)
+    }
+
+    #[test]
+    fn poll_epoch_parks_then_wakes_on_publish() {
+        let cell = Arc::new(EpochCell::<u32>::new());
+        let (counter, waker) = counting_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = cell.wait_for_epoch_owned(1);
+        assert!(matches!(Pin::new(&mut fut).poll(&mut cx), Poll::Pending));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        cell.publish(frozen(1, vec![8]));
+        // The publish fired the parked waker; re-polling resolves.
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(EpochWait::Published(f)) => assert_eq!(f.epoch(), 1),
+            other => panic!("expected Published, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_epoch_resolves_gone_on_close_and_immediately_when_satisfied() {
+        let cell = Arc::new(EpochCell::<u32>::new());
+        let (_, waker) = counting_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = cell.wait_for_epoch_owned(2);
+        assert!(matches!(Pin::new(&mut fut).poll(&mut cx), Poll::Pending));
+        cell.close();
+        assert!(matches!(
+            Pin::new(&mut fut).poll(&mut cx),
+            Poll::Ready(EpochWait::PublisherGone)
+        ));
+        // A satisfied wait never parks at all.
+        cell.reopen();
+        cell.publish(frozen(5, vec![1]));
+        let mut fut = cell.wait_for_epoch_owned(3);
+        assert!(matches!(
+            Pin::new(&mut fut).poll(&mut cx),
+            Poll::Ready(EpochWait::Published(_))
+        ));
     }
 }

@@ -42,7 +42,7 @@ proptest! {
         for (t, &b) in schedule.iter().enumerate() {
             let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
             single.observe(batch.clone(), &mut rng);
-            dist.observe_batch(batch);
+            dist.observe_batch(batch).unwrap();
             prop_assert!(
                 (single.total_weight() - dist.total_weight()).abs() < 1e-6,
                 "W diverged at t={}", t
@@ -69,8 +69,8 @@ proptest! {
         let cfg = DrtbsConfig::new(0.3, capacity, 3, strategy);
         let mut dist: DRTbs<u64> = DRTbs::new(cfg, seed);
         for &b in &schedule {
-            dist.observe_batch((0..b).collect());
-            prop_assert!(dist.realize_sample(&mut rng).len() <= capacity);
+            dist.observe_batch((0..b).collect()).unwrap();
+            prop_assert!(dist.realize_sample(&mut rng).unwrap().len() <= capacity);
         }
     }
 
@@ -83,7 +83,7 @@ proptest! {
         let cfg = DrtbsConfig::new(0.1, 50, 4, strategy);
         let mut dist: DRTbs<u64> = DRTbs::new(cfg, seed);
         for &b in &schedule {
-            let cost = dist.observe_batch((0..b).collect());
+            let cost = dist.observe_batch((0..b).collect()).unwrap();
             // elapsed decomposes into the three components.
             let sum = cost.master_time + cost.worker_time + cost.network_time;
             prop_assert!((cost.elapsed - sum).abs() < 1e-9);
@@ -126,8 +126,8 @@ proptest! {
         let mut par: DRTbs<u64> = DRTbs::new(par_cfg, seed);
         for (t, &b) in schedule.iter().enumerate() {
             let batch: Vec<u64> = (0..b).map(|i| t as u64 * 500 + i).collect();
-            seq.observe_batch(batch.clone());
-            par.observe_batch(batch);
+            seq.observe_batch(batch.clone()).unwrap();
+            par.observe_batch(batch).unwrap();
             prop_assert_eq!(seq.stored_full_items(), par.stored_full_items());
             prop_assert!((seq.sample_weight() - par.sample_weight()).abs() < 1e-12);
         }

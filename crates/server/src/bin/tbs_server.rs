@@ -1,0 +1,106 @@
+//! `tbs_server` — serve an R-TBS sampler with a line-fit model over
+//! framed TCP.
+//!
+//! ```text
+//! tbs_server [--addr 127.0.0.1:7878] [--lambda 0.1] [--capacity 1000] [--seed 42]
+//! ```
+//!
+//! Items are `[x, y]` pairs (`[f64; 2]` on the wire); `PREDICT x`
+//! evaluates the least-squares line refit on each retrain. The bound
+//! address is printed on stdout (`listening on <addr>`) so harnesses
+//! binding port 0 can scrape it. The process exits when a client sends
+//! `SHUTDOWN`.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use tbs_server::service::{LineFit, SamplerService};
+use temporal_sampling::api::{RetrainPolicy, SamplerConfig};
+
+struct Options {
+    addr: SocketAddr,
+    lambda: f64,
+    capacity: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7878".parse().expect("default addr"),
+        lambda: 0.1,
+        capacity: 1000,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--addr" => {
+                opts.addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("--addr: {e}"))?;
+            }
+            "--lambda" => {
+                opts.lambda = value("--lambda")?
+                    .parse()
+                    .map_err(|e| format!("--lambda: {e}"))?;
+            }
+            "--capacity" => {
+                opts.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tbs_server [--addr HOST:PORT] [--lambda F] [--capacity N] [--seed N]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = SamplerConfig::rtbs(opts.lambda, opts.capacity).seed(opts.seed);
+    let service: SamplerService<[f64; 2], LineFit> =
+        match SamplerService::new(config, LineFit::new(), RetrainPolicy::EveryBatch) {
+            Ok(svc) => svc,
+            Err(e) => {
+                eprintln!("invalid sampler config: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let server = match tbs_server::server::serve(opts.addr, service, None) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+
+    // Block until a SHUTDOWN verb flips the serve loop's flag.
+    match server.wait() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Blocking client for the serving tier: a thin synchronous wrapper
+//! over one framed-TCP connection. Every verb has a typed method; the
+//! connection is strictly request-ordered, and [`BlockingClient::
+//! get_sample_pipelined`] batches many `GET_SAMPLE`s into one write for
+//! throughput measurement.
+//!
+//! The socket carries a read timeout (default 5 s) so a half-open or
+//! dead server surfaces as [`ClientError::Io`] with
+//! `ErrorKind::WouldBlock`/`TimedOut` instead of hanging the caller
+//! forever.
+
+use std::io::{self, Read, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bytes::Bytes;
+use tbs_core::checkpoint::Wire;
+
+use crate::proto::{
+    encode_frame, EpochOutcome, ErrorCode, FrameDecoder, ProtoError, Reply, Request,
+};
+
+/// Default socket read/write timeout.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Typed client failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes read timeouts on half-open peers).
+    Io(io::Error),
+    /// The server's bytes did not parse as a reply frame.
+    Proto(ProtoError),
+    /// The server answered with a typed error reply.
+    Server {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server answered with a structurally valid reply of the
+    /// wrong kind for the request.
+    UnexpectedReply(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server {code:?}: {detail}"),
+            ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One framed-TCP connection to a serving-tier endpoint.
+pub struct BlockingClient<T: Wire> {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    read_buf: Vec<u8>,
+    _item: PhantomData<T>,
+}
+
+impl<T: Wire> BlockingClient<T> {
+    /// Connect with the default 5 s socket timeout.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connect with an explicit socket timeout (applies to connect,
+    /// reads, and writes).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            _item: PhantomData,
+        })
+    }
+
+    /// Change the socket read timeout (e.g. to outlast a long poll).
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Send one request and read one reply.
+    pub fn call(&mut self, req: &Request<T>) -> Result<Reply<T>, ClientError> {
+        self.stream.write_all(&encode_frame(&req.encode()))?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<Reply<T>, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(Reply::decode(frame)?);
+            }
+            let n = self.stream.read(&mut self.read_buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.decoder.push(&self.read_buf[..n]);
+        }
+    }
+
+    fn reject(reply: Reply<T>, wanted: &'static str) -> ClientError {
+        match reply {
+            Reply::Error { code, detail } => ClientError::Server { code, detail },
+            _ => ClientError::UnexpectedReply(wanted),
+        }
+    }
+
+    /// Latest published sample: `(epoch, batches, items)`.
+    pub fn get_sample(&mut self) -> Result<(u64, u64, Vec<T>), ClientError> {
+        match self.call(&Request::GetSample)? {
+            Reply::Sample {
+                epoch,
+                batches,
+                items,
+            } => Ok((epoch, batches, items)),
+            other => Err(Self::reject(other, "SAMPLE")),
+        }
+    }
+
+    /// Long-poll until `epoch` is published or `timeout` elapses
+    /// (`None` waits indefinitely). The socket read timeout is bumped
+    /// to outlast the poll.
+    pub fn subscribe_epoch(
+        &mut self,
+        epoch: u64,
+        timeout: Option<Duration>,
+    ) -> Result<(EpochOutcome, u64, u64), ClientError> {
+        let timeout_ms = timeout.map_or(0, |t| t.as_millis().min(u64::MAX as u128) as u64);
+        if let Some(t) = timeout {
+            self.stream.set_read_timeout(Some(t + DEFAULT_TIMEOUT))?;
+        } else {
+            self.stream.set_read_timeout(None)?;
+        }
+        let result = self.call(&Request::SubscribeEpoch { epoch, timeout_ms });
+        // Restore the default timeout regardless of outcome.
+        let _ = self.stream.set_read_timeout(Some(DEFAULT_TIMEOUT));
+        match result? {
+            Reply::Epoch {
+                outcome,
+                epoch,
+                batches,
+            } => Ok((outcome, epoch, batches)),
+            other => Err(Self::reject(other, "EPOCH")),
+        }
+    }
+
+    /// Feed one batch; returns `(batches observed, published epoch)`.
+    pub fn ingest(&mut self, items: Vec<T>) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Ingest(items))? {
+            Reply::IngestAck {
+                batches,
+                published_epoch,
+            } => Ok((batches, published_epoch)),
+            other => Err(Self::reject(other, "INGEST_ACK")),
+        }
+    }
+
+    /// Pull a checkpoint of the server's engine state.
+    pub fn checkpoint_pull(&mut self) -> Result<Bytes, ClientError> {
+        match self.call(&Request::CheckpointPull)? {
+            Reply::Checkpoint(blob) => Ok(blob),
+            other => Err(Self::reject(other, "CHECKPOINT")),
+        }
+    }
+
+    /// Replace the server's engine state from a checkpoint blob.
+    pub fn checkpoint_push(&mut self, blob: Bytes) -> Result<(), ClientError> {
+        match self.call(&Request::CheckpointPush(blob))? {
+            Reply::Pushed => Ok(()),
+            other => Err(Self::reject(other, "PUSHED")),
+        }
+    }
+
+    /// Evaluate the served model at `x`.
+    pub fn predict(&mut self, x: f64) -> Result<f64, ClientError> {
+        match self.call(&Request::Predict(x))? {
+            Reply::Prediction(y) => Ok(y),
+            other => Err(Self::reject(other, "PREDICTION")),
+        }
+    }
+
+    /// Force a retrain; returns the epoch trained on, if any.
+    pub fn retrain(&mut self) -> Result<Option<u64>, ClientError> {
+        match self.call(&Request::Retrain)? {
+            Reply::Retrained(epoch) => Ok(epoch),
+            other => Err(Self::reject(other, "RETRAINED")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(Self::reject(other, "PONG")),
+        }
+    }
+
+    /// Ask the server to stop accepting connections and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(Self::reject(other, "SHUTTING_DOWN")),
+        }
+    }
+
+    /// Issue `n` `GET_SAMPLE`s in one write and drain all `n` replies —
+    /// the wire-throughput measurement primitive. Returns the number of
+    /// `SAMPLE` replies (non-sample replies still consume a slot).
+    pub fn get_sample_pipelined(&mut self, n: usize) -> Result<usize, ClientError> {
+        let one = encode_frame(&Request::<T>::GetSample.encode());
+        let mut burst = Vec::with_capacity(one.len() * n);
+        for _ in 0..n {
+            burst.extend_from_slice(&one);
+        }
+        self.stream.write_all(&burst)?;
+        let mut samples = 0;
+        for _ in 0..n {
+            if matches!(self.read_reply()?, Reply::Sample { .. }) {
+                samples += 1;
+            }
+        }
+        Ok(samples)
+    }
+}

@@ -1,0 +1,562 @@
+//! Framed wire protocol for the serving tier.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` length
+//! prefix followed by that many payload bytes. The payload is a
+//! [`tbs_core::checkpoint`] blob — the same `Writer`/`Reader` codec (and
+//! the same `TBSC` magic + version header) that backs sampler
+//! checkpoints, so a frame whose payload is garbage fails with the
+//! codec's own typed errors rather than a bespoke parser's. Inside the
+//! blob, the first byte is a message tag; the remaining fields are
+//! tag-specific.
+//!
+//! | Tag | Message | Fields |
+//! |-----|---------|--------|
+//! | 1 | `GET_SAMPLE` | — |
+//! | 2 | `SUBSCRIBE_EPOCH` | epoch `u64`, timeout-ms `u64` |
+//! | 3 | `CHECKPOINT_PULL` | — |
+//! | 4 | `CHECKPOINT_PUSH` | blob `bytes` |
+//! | 5 | `PREDICT` | x `f64` |
+//! | 6 | `RETRAIN` | — |
+//! | 7 | `INGEST` | items `[T]` |
+//! | 8 | `SHUTDOWN` | — |
+//! | 9 | `PING` | — |
+//! | 65 | `SAMPLE` | epoch `u64`, batches `u64`, items `[T]` |
+//! | 66 | `EPOCH` | outcome `u8`, epoch `u64`, batches `u64` |
+//! | 67 | `CHECKPOINT` | blob `bytes` |
+//! | 68 | `PUSHED` | — |
+//! | 69 | `PREDICTION` | y `f64` |
+//! | 70 | `RETRAINED` | has-epoch `u8`, epoch `u64` |
+//! | 71 | `INGEST_ACK` | batches `u64`, published epoch `u64` |
+//! | 72 | `SHUTTING_DOWN` | — |
+//! | 73 | `PONG` | — |
+//! | 74 | `ERROR` | code `u8`, detail `bytes` (UTF-8) |
+//!
+//! Decoding is **incremental**: [`FrameDecoder`] accepts arbitrary byte
+//! chunks (split reads, coalesced frames) and yields exactly the frames
+//! that were written, or a typed [`ProtoError`] for oversized lengths
+//! and malformed payloads — a hostile or truncated stream can never
+//! panic the server.
+
+use bytes::Bytes;
+use tbs_core::checkpoint::{CheckpointError, Reader, Wire, Writer};
+
+/// Hard ceiling on a single frame's payload (16 MiB): bounds the
+/// allocation a length prefix can demand before any payload arrives.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Typed protocol failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame-layer violation (oversized length prefix, …).
+    Frame(&'static str),
+    /// Payload failed the checkpoint codec (bad magic, truncation, …).
+    Checkpoint(CheckpointError),
+    /// Structurally valid payload with an unknown message tag.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Frame(what) => write!(f, "frame error: {what}"),
+            ProtoError::Checkpoint(e) => write!(f, "payload error: {e}"),
+            ProtoError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<CheckpointError> for ProtoError {
+    fn from(e: CheckpointError) -> Self {
+        ProtoError::Checkpoint(e)
+    }
+}
+
+/// Machine-readable category carried by [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Nothing published yet, publisher gone, or feature not configured.
+    Unavailable,
+    /// The request carried bytes the server could not decode.
+    Corrupt,
+    /// The engine rejected the operation (typed `TbsError`).
+    Engine,
+    /// The verb is not supported by this server's service.
+    Unsupported,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Unavailable => 1,
+            ErrorCode::Corrupt => 2,
+            ErrorCode::Engine => 3,
+            ErrorCode::Unsupported => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::Unavailable),
+            2 => Some(ErrorCode::Corrupt),
+            3 => Some(ErrorCode::Engine),
+            4 => Some(ErrorCode::Unsupported),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome discriminant inside [`Reply::Epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// The requested epoch (or newer) is published.
+    Published,
+    /// The subscription timed out first.
+    TimedOut,
+    /// The publisher shut down before reaching the epoch.
+    PublisherGone,
+}
+
+impl EpochOutcome {
+    fn to_u8(self) -> u8 {
+        match self {
+            EpochOutcome::Published => 0,
+            EpochOutcome::TimedOut => 1,
+            EpochOutcome::PublisherGone => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EpochOutcome::Published),
+            1 => Some(EpochOutcome::TimedOut),
+            2 => Some(EpochOutcome::PublisherGone),
+            _ => None,
+        }
+    }
+}
+
+/// Client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<T: Wire> {
+    /// Latest published sample, realized.
+    GetSample,
+    /// Long-poll until epoch ≥ `epoch` is published or `timeout_ms`
+    /// elapses (0 = wait forever).
+    SubscribeEpoch {
+        /// Epoch the subscriber wants to reach.
+        epoch: u64,
+        /// Milliseconds to wait; 0 waits indefinitely.
+        timeout_ms: u64,
+    },
+    /// Pull a checkpoint blob of the full engine state.
+    CheckpointPull,
+    /// Replace the engine state from a checkpoint blob.
+    CheckpointPush(Bytes),
+    /// Evaluate the served model at `x`.
+    Predict(f64),
+    /// Force a retrain on the current sample.
+    Retrain,
+    /// Feed one batch of items into the sampler.
+    Ingest(Vec<T>),
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply<T: Wire> {
+    /// Realized sample snapshot.
+    Sample {
+        /// Epoch of the publication the items came from.
+        epoch: u64,
+        /// Batches the publication reflects.
+        batches: u64,
+        /// The realized items.
+        items: Vec<T>,
+    },
+    /// Subscription outcome (metadata only; follow with `GET_SAMPLE`).
+    Epoch {
+        /// What ended the wait.
+        outcome: EpochOutcome,
+        /// Highest published epoch at resolution time.
+        epoch: u64,
+        /// Batches reflected by that publication (0 if none).
+        batches: u64,
+    },
+    /// Checkpoint blob.
+    Checkpoint(Bytes),
+    /// `CHECKPOINT_PUSH` accepted and state replaced.
+    Pushed,
+    /// Model output.
+    Prediction(f64),
+    /// Retrain finished; carries the epoch retrained on, if any sample
+    /// was available.
+    Retrained(Option<u64>),
+    /// Ingest accepted.
+    IngestAck {
+        /// Total batches the sampler has observed.
+        batches: u64,
+        /// Highest published epoch after the ingest.
+        published_epoch: u64,
+    },
+    /// Server acknowledges `SHUTDOWN` and will stop.
+    ShuttingDown,
+    /// Liveness answer.
+    Pong,
+    /// Typed failure.
+    Error {
+        /// Category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl<T: Wire> Request<T> {
+    /// Serialize into a checkpoint-codec payload (no frame prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Request::GetSample => w.put_u8(1),
+            Request::SubscribeEpoch { epoch, timeout_ms } => {
+                w.put_u8(2);
+                w.put_u64(*epoch);
+                w.put_u64(*timeout_ms);
+            }
+            Request::CheckpointPull => w.put_u8(3),
+            Request::CheckpointPush(blob) => {
+                w.put_u8(4);
+                w.put_bytes(blob);
+            }
+            Request::Predict(x) => {
+                w.put_u8(5);
+                w.put_f64(*x);
+            }
+            Request::Retrain => w.put_u8(6),
+            Request::Ingest(items) => {
+                w.put_u8(7);
+                w.put_items(items.iter());
+            }
+            Request::Shutdown => w.put_u8(8),
+            Request::Ping => w.put_u8(9),
+        }
+        w.finish()
+    }
+
+    /// Parse a payload produced by [`Request::encode`].
+    pub fn decode(blob: Bytes) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(blob)?;
+        let msg = match r.get_u8()? {
+            1 => Request::GetSample,
+            2 => Request::SubscribeEpoch {
+                epoch: r.get_u64()?,
+                timeout_ms: r.get_u64()?,
+            },
+            3 => Request::CheckpointPull,
+            4 => Request::CheckpointPush(r.get_bytes()?),
+            5 => Request::Predict(r.get_f64()?),
+            6 => Request::Retrain,
+            7 => Request::Ingest(r.get_items()?),
+            8 => Request::Shutdown,
+            9 => Request::Ping,
+            tag => return Err(ProtoError::UnknownTag(tag)),
+        };
+        Ok(msg)
+    }
+}
+
+impl<T: Wire> Reply<T> {
+    /// Serialize into a checkpoint-codec payload (no frame prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Reply::Sample {
+                epoch,
+                batches,
+                items,
+            } => {
+                w.put_u8(65);
+                w.put_u64(*epoch);
+                w.put_u64(*batches);
+                w.put_items(items.iter());
+            }
+            Reply::Epoch {
+                outcome,
+                epoch,
+                batches,
+            } => {
+                w.put_u8(66);
+                w.put_u8(outcome.to_u8());
+                w.put_u64(*epoch);
+                w.put_u64(*batches);
+            }
+            Reply::Checkpoint(blob) => {
+                w.put_u8(67);
+                w.put_bytes(blob);
+            }
+            Reply::Pushed => w.put_u8(68),
+            Reply::Prediction(y) => {
+                w.put_u8(69);
+                w.put_f64(*y);
+            }
+            Reply::Retrained(epoch) => {
+                w.put_u8(70);
+                w.put_u8(u8::from(epoch.is_some()));
+                w.put_u64(epoch.unwrap_or(0));
+            }
+            Reply::IngestAck {
+                batches,
+                published_epoch,
+            } => {
+                w.put_u8(71);
+                w.put_u64(*batches);
+                w.put_u64(*published_epoch);
+            }
+            Reply::ShuttingDown => w.put_u8(72),
+            Reply::Pong => w.put_u8(73),
+            Reply::Error { code, detail } => {
+                w.put_u8(74);
+                w.put_u8(code.to_u8());
+                w.put_bytes(detail.as_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse a payload produced by [`Reply::encode`].
+    pub fn decode(blob: Bytes) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(blob)?;
+        let msg = match r.get_u8()? {
+            65 => Reply::Sample {
+                epoch: r.get_u64()?,
+                batches: r.get_u64()?,
+                items: r.get_items()?,
+            },
+            66 => Reply::Epoch {
+                outcome: EpochOutcome::from_u8(r.get_u8()?)
+                    .ok_or(ProtoError::Frame("bad epoch outcome"))?,
+                epoch: r.get_u64()?,
+                batches: r.get_u64()?,
+            },
+            67 => Reply::Checkpoint(r.get_bytes()?),
+            68 => Reply::Pushed,
+            69 => Reply::Prediction(r.get_f64()?),
+            70 => {
+                let has = r.get_u8()? == 1;
+                let epoch = r.get_u64()?;
+                Reply::Retrained(has.then_some(epoch))
+            }
+            71 => Reply::IngestAck {
+                batches: r.get_u64()?,
+                published_epoch: r.get_u64()?,
+            },
+            72 => Reply::ShuttingDown,
+            73 => Reply::Pong,
+            74 => {
+                let code =
+                    ErrorCode::from_u8(r.get_u8()?).ok_or(ProtoError::Frame("bad error code"))?;
+                let detail = String::from_utf8_lossy(&r.get_bytes()?).into_owned();
+                Reply::Error { code, detail }
+            }
+            tag => return Err(ProtoError::UnknownTag(tag)),
+        };
+        Ok(msg)
+    }
+}
+
+/// Wrap a message payload in a length-prefixed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame splitter: push arbitrary chunks, pull whole frames.
+///
+/// Tolerates any chunking of the byte stream — one frame across many
+/// reads, many frames in one read. The length prefix is validated
+/// against [`MAX_FRAME`] *before* any payload is buffered beyond it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by the data
+        // actually in flight instead of the total ever received.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pull the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; [`ProtoError::Frame`] means
+    /// the stream is unrecoverable (oversized length prefix) and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, ProtoError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::Frame("oversized frame length"));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let payload = Bytes::copy_from_slice(&self.buf[start..start + len]);
+        self.pos = start + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_every_variant() {
+        let reqs: Vec<Request<u64>> = vec![
+            Request::GetSample,
+            Request::SubscribeEpoch {
+                epoch: 7,
+                timeout_ms: 250,
+            },
+            Request::CheckpointPull,
+            Request::CheckpointPush(Bytes::from_static(b"blobby")),
+            Request::Predict(1.5),
+            Request::Retrain,
+            Request::Ingest(vec![1, 2, 3]),
+            Request::Shutdown,
+            Request::Ping,
+        ];
+        for req in reqs {
+            let back = Request::<u64>::decode(req.encode()).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_every_variant() {
+        let reps: Vec<Reply<u64>> = vec![
+            Reply::Sample {
+                epoch: 3,
+                batches: 40,
+                items: vec![9, 8, 7],
+            },
+            Reply::Epoch {
+                outcome: EpochOutcome::TimedOut,
+                epoch: 2,
+                batches: 10,
+            },
+            Reply::Checkpoint(Bytes::from_static(b"ckpt")),
+            Reply::Pushed,
+            Reply::Prediction(-0.25),
+            Reply::Retrained(Some(5)),
+            Reply::Retrained(None),
+            Reply::IngestAck {
+                batches: 12,
+                published_epoch: 4,
+            },
+            Reply::ShuttingDown,
+            Reply::Pong,
+            Reply::Error {
+                code: ErrorCode::Corrupt,
+                detail: "bad blob".into(),
+            },
+        ];
+        for rep in reps {
+            let back = Reply::<u64>::decode(rep.encode()).unwrap();
+            assert_eq!(rep, back);
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_a_typed_error() {
+        assert!(matches!(
+            Request::<u64>::decode(Bytes::from_static(b"GARBAGE BYTES HERE")),
+            Err(ProtoError::Checkpoint(_))
+        ));
+        // Unknown tag inside a valid codec envelope.
+        let mut w = Writer::new();
+        w.put_u8(250);
+        assert_eq!(
+            Request::<u64>::decode(w.finish()),
+            Err(ProtoError::UnknownTag(250))
+        );
+    }
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_frames() {
+        let a = encode_frame(&Request::<u64>::GetSample.encode());
+        let b = encode_frame(&Request::<u64>::Ping.encode());
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+
+        // Byte-at-a-time.
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &joined {
+            dec.push(std::slice::from_ref(byte));
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            Request::<u64>::decode(frames[0].clone()).unwrap(),
+            Request::GetSample
+        );
+        assert_eq!(
+            Request::<u64>::decode(frames[1].clone()).unwrap(),
+            Request::Ping
+        );
+
+        // All at once.
+        let mut dec = FrameDecoder::new();
+        dec.push(&joined);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert!(dec.next_frame().unwrap().is_some());
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(ProtoError::Frame("oversized frame length"))
+        );
+    }
+}

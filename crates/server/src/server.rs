@@ -1,0 +1,374 @@
+//! The serve loop: accept connections, decode request frames, dispatch
+//! into a [`WireService`], and write back framed replies — all on one
+//! `miniloop` executor thread.
+//!
+//! Connections are fully pipelined: every complete request frame in a
+//! read burst is dispatched and the replies are coalesced into one
+//! write, so a client that sends N requests back-to-back pays one
+//! syscall round-trip, not N.
+//!
+//! Fault injection reuses the engine's [`FaultPlan`]: before each reply
+//! frame is appended, the plan is consulted with this connection's
+//! accept ordinal and the 1-based reply frame number. `DropConnection`
+//! flushes the replies already batched, shuts the socket, and ends the
+//! task; `HalfOpen` flushes and then parks the task forever — the
+//! socket stays open but never speaks again, exactly the half-open peer
+//! a client's read timeout must survive.
+
+use std::future::Future;
+use std::io;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+use miniloop::net::{AsyncTcpListener, AsyncTcpStream};
+use miniloop::{Executor, Handle};
+use parking_lot::Mutex;
+use tbs_core::checkpoint::Wire;
+use tbs_distributed::{FaultPlan, WireAction};
+
+use crate::proto::{encode_frame, EpochOutcome, FrameDecoder, ProtoError, Reply, Request};
+use crate::service::WireService;
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+/// Read buffer per connection.
+const READ_BUF: usize = 64 * 1024;
+
+/// A running server; dropping it requests shutdown and joins the serve
+/// thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the serve loop to stop (idempotent, non-blocking); the loop
+    /// notices within one accept tick.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Request shutdown and wait for the serve thread to exit.
+    pub fn join(mut self) -> io::Result<()> {
+        self.request_shutdown();
+        self.join_inner()
+    }
+
+    /// Wait for the serve loop to exit on its own (a client `SHUTDOWN`
+    /// verb) without requesting shutdown first.
+    pub fn wait(mut self) -> io::Result<()> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> io::Result<()> {
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("serve thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `service` on a dedicated thread.
+///
+/// `fault_plan` (usually `None`) injects wire faults at exact reply
+/// frame boundaries — see the module docs.
+pub fn serve<T, S>(
+    addr: SocketAddr,
+    service: S,
+    fault_plan: Option<Arc<FaultPlan>>,
+) -> io::Result<ServerHandle>
+where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    let listener = TcpListener::bind(addr)?;
+    serve_on(listener, service, fault_plan)
+}
+
+/// Serve on an already-bound listener (lets tests bind port 0 first).
+pub fn serve_on<T, S>(
+    listener: TcpListener,
+    service: S,
+    fault_plan: Option<Arc<FaultPlan>>,
+) -> io::Result<ServerHandle>
+where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown_thread = Arc::clone(&shutdown);
+    let service = Arc::new(Mutex::new(service));
+
+    let thread = std::thread::Builder::new()
+        .name("tbs-server".into())
+        .spawn(move || -> io::Result<()> {
+            let ex = Executor::new();
+            let handle = ex.handle();
+            let listener = AsyncTcpListener::from_std(listener, handle.clone())?;
+            ex.block_on(accept_loop::<T, S>(
+                listener,
+                service,
+                fault_plan,
+                shutdown_thread,
+                handle,
+            ))
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+async fn accept_loop<T, S>(
+    listener: AsyncTcpListener,
+    service: Arc<Mutex<S>>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    shutdown: Arc<AtomicBool>,
+    handle: Handle,
+) -> io::Result<()>
+where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    // Accept ordinals are 1-based so fault plans can say "connection 1".
+    let mut next_conn: u64 = 0;
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept_timeout(ACCEPT_TICK).await {
+            Ok(Some((stream, _peer))) => {
+                next_conn += 1;
+                handle.spawn(connection_task::<T, S>(
+                    stream,
+                    Arc::clone(&service),
+                    fault_plan.clone(),
+                    next_conn,
+                    Arc::clone(&shutdown),
+                    handle.clone(),
+                ));
+            }
+            Ok(None) => {}
+            // Transient accept errors (peer reset mid-handshake) should
+            // not kill the server.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+async fn connection_task<T, S>(
+    mut stream: AsyncTcpStream,
+    service: Arc<Mutex<S>>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    conn: u64,
+    shutdown: Arc<AtomicBool>,
+    handle: Handle,
+) where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    let mut decoder = FrameDecoder::new();
+    let mut read_buf = vec![0u8; READ_BUF];
+    let mut out: Vec<u8> = Vec::new();
+    // 1-based ordinal of the next reply frame, the unit fault plans
+    // target.
+    let mut reply_frame: u64 = 0;
+
+    loop {
+        let n = match stream.read_some(&mut read_buf).await {
+            Ok(0) | Err(_) => return, // EOF or broken socket: done.
+            Ok(n) => n,
+        };
+        decoder.push(&read_buf[..n]);
+
+        out.clear();
+        let mut stop_after_flush = false;
+        loop {
+            let payload = match decoder.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => {
+                    // Unrecoverable framing (oversized prefix): the
+                    // stream offset is lost, drop the connection.
+                    let _ = stream.shutdown();
+                    return;
+                }
+            };
+            let reply: Reply<T> = match Request::<T>::decode(payload) {
+                Ok(Request::Shutdown) => {
+                    stop_after_flush = true;
+                    Reply::ShuttingDown
+                }
+                Ok(Request::SubscribeEpoch { epoch, timeout_ms }) => {
+                    // Long poll: flush what we already owe, then wait.
+                    if !out.is_empty() {
+                        if stream.write_all(&out).await.is_err() {
+                            return;
+                        }
+                        out.clear();
+                    }
+                    let deadline = (timeout_ms > 0)
+                        .then(|| Instant::now() + Duration::from_millis(timeout_ms));
+                    let (outcome, epoch, batches) = EpochSubscription {
+                        service: Arc::clone(&service),
+                        epoch,
+                        deadline,
+                        handle: handle.clone(),
+                        _item: PhantomData,
+                    }
+                    .await;
+                    Reply::Epoch {
+                        outcome,
+                        epoch,
+                        batches,
+                    }
+                }
+                Ok(req) => dispatch(&service, req),
+                Err(e) => proto_error_reply(&e),
+            };
+
+            reply_frame += 1;
+            let action = fault_plan
+                .as_ref()
+                .map(|p| p.wire_action(conn, reply_frame))
+                .unwrap_or(WireAction::Deliver);
+            match action {
+                WireAction::Deliver => out.extend_from_slice(&encode_frame(&reply.encode())),
+                WireAction::DropConnection => {
+                    // Deliver everything before the fault boundary,
+                    // then cut the socket under the client.
+                    if !out.is_empty() {
+                        let _ = stream.write_all(&out).await;
+                    }
+                    let _ = stream.shutdown();
+                    return;
+                }
+                WireAction::HalfOpen => {
+                    if !out.is_empty() {
+                        let _ = stream.write_all(&out).await;
+                    }
+                    // Keep the socket open but never answer again. A
+                    // bare `pending()` future would leave the task with
+                    // no registered waker and the executor would drop
+                    // it (closing the socket); an endless timer keeps
+                    // it — and the half-open stream — alive.
+                    loop {
+                        handle.sleep(Duration::from_secs(3600)).await;
+                    }
+                }
+            }
+        }
+
+        if !out.is_empty() && stream.write_all(&out).await.is_err() {
+            return;
+        }
+        if stop_after_flush {
+            shutdown.store(true, Ordering::Release);
+            let _ = stream.shutdown();
+            return;
+        }
+    }
+}
+
+/// Handle every verb that resolves immediately under one service lock.
+fn dispatch<T, S>(service: &Arc<Mutex<S>>, req: Request<T>) -> Reply<T>
+where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    let mut svc = service.lock();
+    let result = match req {
+        Request::GetSample => svc.latest().map(|(epoch, batches, items)| Reply::Sample {
+            epoch,
+            batches,
+            items,
+        }),
+        Request::Ingest(items) => {
+            svc.ingest(items)
+                .map(|(batches, published_epoch)| Reply::IngestAck {
+                    batches,
+                    published_epoch,
+                })
+        }
+        Request::CheckpointPull => svc.checkpoint().map(Reply::Checkpoint),
+        Request::CheckpointPush(blob) => svc.restore(blob).map(|()| Reply::Pushed),
+        Request::Predict(x) => svc.predict(x).map(Reply::Prediction),
+        Request::Retrain => svc.retrain().map(Reply::Retrained),
+        Request::Ping => Ok(Reply::Pong),
+        // Handled by the connection loop before dispatch.
+        Request::SubscribeEpoch { .. } | Request::Shutdown => {
+            unreachable!("handled in connection_task")
+        }
+    };
+    result.unwrap_or_else(|e| {
+        let (code, detail) = e.to_wire();
+        Reply::Error { code, detail }
+    })
+}
+
+fn proto_error_reply<T: Wire>(e: &ProtoError) -> Reply<T> {
+    Reply::Error {
+        code: crate::proto::ErrorCode::Corrupt,
+        detail: format!("bad request frame: {e}"),
+    }
+}
+
+/// Races the service's epoch wait against an optional deadline.
+struct EpochSubscription<T, S> {
+    service: Arc<Mutex<S>>,
+    epoch: u64,
+    deadline: Option<Instant>,
+    handle: Handle,
+    // `fn() -> T` keeps the future `Unpin` regardless of `T`.
+    _item: PhantomData<fn() -> T>,
+}
+
+impl<T, S> Future for EpochSubscription<T, S>
+where
+    T: Wire + Clone + Send + Sync + 'static,
+    S: WireService<T>,
+{
+    type Output = (EpochOutcome, u64, u64);
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut svc = this.service.lock();
+        match svc.poll_epoch(this.epoch, cx) {
+            Poll::Ready(out) => Poll::Ready(out),
+            Poll::Pending => {
+                if let Some(deadline) = this.deadline {
+                    if Instant::now() >= deadline {
+                        return Poll::Ready((EpochOutcome::TimedOut, svc.published_epoch(), 0));
+                    }
+                    drop(svc);
+                    this.handle.wake_at(deadline, cx.waker().clone());
+                }
+                Poll::Pending
+            }
+        }
+    }
+}

@@ -27,11 +27,15 @@ fn main() {
         let mut cfg = DrtbsConfig::new(0.07, capacity, workers, strategy);
         cfg.threaded = true; // real crossbeam worker threads
         let mut d: DRTbs<u64> = DRTbs::new(cfg, 7);
-        d.observe_batch((0..(2 * capacity as u64)).collect()); // saturate
+        d.observe_batch((0..(2 * capacity as u64)).collect())
+            .unwrap(); // saturate
         let mut total = temporal_sampling::distributed::CostTracker::new();
         for r in 0..rounds {
             let base = (r * batch) as u64;
-            total.merge(&d.observe_batch((base..base + batch as u64).collect()));
+            total.merge(
+                &d.observe_batch((base..base + batch as u64).collect())
+                    .unwrap(),
+            );
         }
         let s = 1e3 / rounds as f64;
         println!(
@@ -69,12 +73,13 @@ fn main() {
     let cfg = DrtbsConfig::new(0.07, capacity, workers, Strategy::DistCoPartitioned);
     let mut d: DRTbs<u64> = DRTbs::new(cfg, 11);
     for r in 0..10u64 {
-        d.observe_batch((r * 1000..r * 1000 + 900).collect());
+        d.observe_batch((r * 1000..r * 1000 + 900).collect())
+            .unwrap();
     }
     println!(
         "\nD-R-TBS(Dist,CP) after 10 small batches: C = {:.1}, W = {:.1}, |sample| = {}",
         d.sample_weight(),
         d.total_weight(),
-        d.realize_sample(&mut rng).len()
+        d.realize_sample(&mut rng).unwrap().len()
     );
 }

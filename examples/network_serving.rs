@@ -1,0 +1,111 @@
+// Network serving: an R-TBS engine behind the framed-TCP wire.
+//
+// A `tbs-server` instance serves `[x, y]` points with a line-fit model;
+// a producer client streams a drifting linear signal while a consumer
+// client long-polls epochs, pulls samples, and queries predictions —
+// the EDBT 2018 serve-while-ingesting story, now across a socket.
+//
+// Run with `cargo run --example network_serving`.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use tbs_server::client::BlockingClient;
+use tbs_server::proto::EpochOutcome;
+use tbs_server::server::serve_on;
+use tbs_server::service::{LineFit, SamplerService};
+use temporal_sampling::api::{RetrainPolicy, SamplerConfig};
+
+fn main() {
+    // --- Server: R-TBS(λ=0.07, capacity 400) + least-squares line. ---
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let config = SamplerConfig::rtbs(0.07, 400).seed(7);
+    let service: SamplerService<[f64; 2], LineFit> =
+        SamplerService::new(config, LineFit::new(), RetrainPolicy::EveryBatch)
+            .expect("valid config");
+    let server = serve_on(listener, service, None).expect("serve");
+    println!("serving on {}", server.addr());
+
+    // --- Producer: the signal drifts from y = 1x to y = 3x. ---
+    let addr = server.addr();
+    let producer = std::thread::spawn(move || {
+        let mut client: BlockingClient<[f64; 2]> =
+            BlockingClient::connect(addr).expect("producer connects");
+        for t in 0..30u32 {
+            let slope = 1.0 + 2.0 * f64::from(t) / 29.0;
+            let batch: Vec<[f64; 2]> = (0..200)
+                .map(|i| {
+                    let x = f64::from(i) / 10.0;
+                    [x, slope * x]
+                })
+                .collect();
+            let (batches, epoch) = client.ingest(batch).expect("ingest");
+            if t % 10 == 9 {
+                println!("producer: batch {batches} published as epoch {epoch}");
+            }
+        }
+    });
+
+    // --- Consumer: follow epochs, sample, and query the model. ---
+    let mut consumer: BlockingClient<[f64; 2]> =
+        BlockingClient::connect(server.addr()).expect("consumer connects");
+    let mut next_epoch = 1;
+    let mut last_seen = 0;
+    while last_seen < 30 {
+        let (outcome, epoch, batches) = consumer
+            .subscribe_epoch(next_epoch, Some(Duration::from_secs(10)))
+            .expect("subscribe");
+        assert_eq!(outcome, EpochOutcome::Published, "producer died?");
+        last_seen = batches;
+        // Skip ahead: follow the newest publication, not every one.
+        next_epoch = epoch + 1;
+    }
+    producer.join().expect("producer thread");
+
+    let (epoch, batches, items) = consumer.get_sample().expect("sample");
+    println!(
+        "consumer: epoch {epoch} reflects {batches} batches, sample holds {} points",
+        items.len()
+    );
+    assert_eq!(batches, 30);
+    assert!(!items.is_empty() && items.len() <= 400);
+
+    // Retrain on the final (recency-biased) sample: the fitted slope
+    // should sit near the *late* regime, not the stream average.
+    consumer.retrain().expect("retrain");
+    let y = consumer.predict(10.0).expect("predict");
+    println!("consumer: model predicts f(10) = {y:.2} (late regime is 30.0)");
+    assert!(
+        y > 20.0,
+        "temporal bias should pull the fit toward the recent slope, got {y}"
+    );
+
+    // Move the engine: pull a checkpoint over the wire, push it into a
+    // fresh server, and verify the replica answers identically.
+    let blob = consumer.checkpoint_pull().expect("pull");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
+    let replica_svc: SamplerService<[f64; 2], LineFit> = SamplerService::new(
+        SamplerConfig::rtbs(0.07, 400).seed(7),
+        LineFit::new(),
+        RetrainPolicy::EveryBatch,
+    )
+    .expect("valid config");
+    let replica = serve_on(listener, replica_svc, None).expect("serve replica");
+    let mut rc: BlockingClient<[f64; 2]> =
+        BlockingClient::connect(replica.addr()).expect("replica client");
+    rc.checkpoint_push(blob).expect("push");
+    let (r_epoch, r_batches, r_items) = rc.get_sample().expect("replica sample");
+    assert_eq!(r_batches, batches, "replica reflects the full stream");
+    assert!(!r_items.is_empty() && r_items.len() <= 400);
+    println!(
+        "replica on {} restored epoch {r_epoch} with {} points over the wire",
+        replica.addr(),
+        r_items.len()
+    );
+
+    // Clean shutdown through the protocol.
+    consumer.shutdown_server().expect("shutdown");
+    server.wait().expect("server exits");
+    replica.join().expect("replica exits");
+    println!("servers drained; done");
+}

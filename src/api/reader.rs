@@ -27,9 +27,10 @@
 //! to block until a specific request lands.
 
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Duration;
 use tbs_core::frozen::FrozenSample;
-use tbs_distributed::snapshot::{EpochCell, EpochWait};
+use tbs_distributed::snapshot::{EpochCell, EpochWait, EpochWaitFuture};
 
 /// A clonable, thread-safe handle reading epoch-published samples; see
 /// the [`crate::api`] module docs and [`crate::api::Sampler::reader`].
@@ -80,7 +81,9 @@ impl<T> SampleReader<T> {
     /// Block until a sample of epoch ≥ `epoch` is published, then return
     /// the latest publication (which may be newer). Returns `None` only
     /// when the publisher shut down — its `Sampler` was dropped — before
-    /// reaching `epoch`.
+    /// reaching `epoch`. Shares the timeout variant's closed-check wait
+    /// loop, so a publisher dying at any point relative to the wait
+    /// (including between the epoch load and the park) unblocks it.
     pub fn wait_for_epoch(&mut self, epoch: u64) -> Option<Arc<FrozenSample<T>>> {
         let frozen = self.cell.wait_for_epoch(epoch)?;
         self.seen_epoch = frozen.epoch();
@@ -104,6 +107,29 @@ impl<T> SampleReader<T> {
         wait
     }
 
+    /// Async-task counterpart of [`SampleReader::wait_for_epoch`]:
+    /// resolve immediately when a sample of epoch ≥ `epoch` is available
+    /// (or the publisher is gone), otherwise park `cx`'s waker for the
+    /// next publication — a connection task long-polling for fresh
+    /// models parks here instead of pinning a thread. Never returns
+    /// [`EpochWait::TimedOut`]; race the wait against a timer for
+    /// deadlines.
+    pub fn poll_epoch(&mut self, epoch: u64, cx: &mut Context<'_>) -> Poll<EpochWait<T>> {
+        let wait = self.cell.poll_epoch(epoch, cx);
+        if let Poll::Ready(EpochWait::Published(frozen)) = &wait {
+            self.seen_epoch = frozen.epoch();
+            self.cached = Some(Arc::clone(frozen));
+        }
+        wait
+    }
+
+    /// An owned future resolving like [`SampleReader::poll_epoch`] (it
+    /// does not update this handle's cache; poll through the handle when
+    /// you want that).
+    pub fn wait_for_epoch_owned(&self, epoch: u64) -> EpochWaitFuture<T> {
+        self.cell.wait_for_epoch_owned(epoch)
+    }
+
     /// Highest epoch published so far (0 before the first publication) —
     /// one atomic load. Compare with the epoch of the sample you hold to
     /// measure staleness in publications.
@@ -120,5 +146,43 @@ impl<T> SampleReader<T> {
     /// publication, if any, remains readable via [`SampleReader::latest`].
     pub fn is_publisher_gone(&self) -> bool {
         self.cell.is_closed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::api::SamplerConfig;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn untimed_wait_unblocks_when_the_publisher_dies_mid_wait() {
+        // Regression: wait_for_epoch (no timeout) must take the same
+        // closed-checked path as wait_for_epoch_timeout, so a sampler
+        // dropped while the reader is parked — or closing concurrently
+        // with the wait's own epoch check — returns None instead of
+        // blocking forever. Sweep drop delays to land the close on both
+        // sides of the epoch-load → park edge.
+        for delay_us in [0u64, 50, 200, 2000] {
+            let sampler = SamplerConfig::rtbs(0.1, 64)
+                .seed(9)
+                .build::<u64>()
+                .expect("valid config");
+            let mut reader = sampler.reader();
+            let dropper = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                drop(sampler);
+            });
+            let start = Instant::now();
+            assert!(
+                reader.wait_for_epoch(1).is_none(),
+                "delay {delay_us}µs: wait returned a sample that was never published"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "delay {delay_us}µs: wait effectively hung"
+            );
+            assert!(reader.is_publisher_gone());
+            dropper.join().unwrap();
+        }
     }
 }

@@ -17,7 +17,7 @@ fn drtbs_weight_trajectory_matches_rtbs_for_every_strategy() {
         for (t, &b) in schedule.iter().enumerate() {
             let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
             single.observe(batch.clone(), &mut rng);
-            dist.observe_batch(batch);
+            dist.observe_batch(batch).unwrap();
             assert!(
                 (single.sample_weight() - dist.sample_weight()).abs() < 1e-9,
                 "{strategy:?} diverged at t={t}"
@@ -85,11 +85,13 @@ fn figure7_shape_cost_ordering_and_ratios() {
     let mut elapsed: Vec<(String, f64)> = Vec::new();
     for strategy in Strategy::all() {
         let mut d: DRTbs<u64> = DRTbs::new(DrtbsConfig::new(0.07, capacity, workers, strategy), 6);
-        d.observe_batch((0..(2 * capacity as u64)).collect());
+        d.observe_batch((0..(2 * capacity as u64)).collect())
+            .unwrap();
         let mut total = 0.0;
         for r in 0..3u64 {
             total += d
                 .observe_batch((r * batch as u64..(r + 1) * batch as u64).collect())
+                .unwrap()
                 .elapsed;
         }
         elapsed.push((strategy.label().to_string(), total / 3.0));
@@ -125,8 +127,10 @@ fn figure8_shape_scale_out_diminishing_returns() {
             DrtbsConfig::new(0.07, batch * 2, workers, Strategy::DistCoPartitioned),
             8,
         );
-        d.observe_batch((0..(4 * batch as u64)).collect());
-        d.observe_batch((0..batch as u64).collect()).elapsed
+        d.observe_batch((0..(4 * batch as u64)).collect()).unwrap();
+        d.observe_batch((0..batch as u64).collect())
+            .unwrap()
+            .elapsed
     };
     let t1 = time_for(1);
     let t4 = time_for(4);
@@ -151,8 +155,10 @@ fn figure9_shape_scale_up_flat_then_linear() {
             DrtbsConfig::new(0.07, 200_000, 10, Strategy::DistCoPartitioned),
             9,
         );
-        d.observe_batch((0..400_000u64).collect());
-        d.observe_batch((0..batch as u64).collect()).elapsed
+        d.observe_batch((0..400_000u64).collect()).unwrap();
+        d.observe_batch((0..batch as u64).collect())
+            .unwrap()
+            .elapsed
     };
     let t1k = time_for(1_000);
     let t10k = time_for(10_000);
@@ -207,8 +213,8 @@ fn kv_store_pays_for_item_shipping_and_locking() {
         cfg.cost_model = CostModel::default();
         let mut d: DRTbs<Record> = DRTbs::new(cfg, 10);
         let mk = |n: usize| (0..n).map(|i| Record([i as u64; 32])).collect::<Vec<_>>();
-        d.observe_batch(mk(40_000));
-        let c = d.observe_batch(mk(10_000));
+        d.observe_batch(mk(40_000)).unwrap();
+        let c = d.observe_batch(mk(10_000)).unwrap();
         bytes.push(c.bytes_shipped);
     }
     assert!(
@@ -230,8 +236,8 @@ fn threaded_and_sequential_drtbs_agree() {
     let mut par: DRTbs<u64> = DRTbs::new(par_cfg, 11);
     for (t, &b) in schedule.iter().enumerate() {
         let batch: Vec<u64> = (0..b).map(|i| t as u64 * 1000 + i).collect();
-        seq.observe_batch(batch.clone());
-        par.observe_batch(batch);
+        seq.observe_batch(batch.clone()).unwrap();
+        par.observe_batch(batch).unwrap();
         assert_eq!(seq.stored_full_items(), par.stored_full_items());
         assert!((seq.sample_weight() - par.sample_weight()).abs() < 1e-12);
     }

@@ -36,4 +36,5 @@ example_smoke! {
     parallel_ingest_runs => (parallel_ingest, "../examples/parallel_ingest.rs");
     checkpoint_resume_runs => (checkpoint_resume, "../examples/checkpoint_resume.rs");
     concurrent_serving_runs => (concurrent_serving, "../examples/concurrent_serving.rs");
+    network_serving_runs => (network_serving, "../examples/network_serving.rs");
 }

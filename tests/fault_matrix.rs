@@ -197,6 +197,88 @@ fn reader_blocked_on_a_killed_publisher_returns_promptly() {
     assert!(matches!(failed.sample(), Err(TbsError::Engine(_))));
 }
 
+#[test]
+fn wire_fault_matrix_leaves_engine_state_intact() {
+    // The PR-8 matrix proves the engine absorbs worker/merger death;
+    // this row proves the serving tier absorbs *wire* death. For every
+    // pinned seed: connection 1 loses its 3rd reply frame mid-session
+    // and connection 2 goes half-open on its 1st — yet the engine's
+    // state after the carnage is bit-identical to a fault-free server
+    // fed the same stream.
+    use std::net::TcpListener;
+    use tbs_server::client::{BlockingClient, ClientError};
+    use tbs_server::server::serve_on;
+    use tbs_server::service::{NoModel, SamplerService};
+    use temporal_sampling::api::RetrainPolicy;
+
+    for seed in seeds() {
+        let start = |plan: Option<Arc<FaultPlan>>| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let svc: SamplerService<u64, NoModel> = SamplerService::new(
+                SamplerConfig::rtbs(0.2, 64).seed(seed),
+                NoModel,
+                RetrainPolicy::EveryBatch,
+            )
+            .expect("valid config");
+            serve_on(listener, svc, plan).expect("serve")
+        };
+
+        // Fault-free reference run: three batches, final sample.
+        let clean_server = start(None);
+        let mut clean: BlockingClient<u64> =
+            BlockingClient::connect(clean_server.addr()).expect("connect");
+        for t in 0..3 {
+            clean.ingest(batch_at(t)).expect("clean ingest");
+        }
+        let clean_sample = clean.get_sample().expect("clean sample");
+
+        // Faulted run: same stream, wire faults on connections 1 and 2.
+        let plan = Arc::new(
+            FaultPlan::new()
+                .drop_connection(1, 3)
+                .half_open_socket(2, 1),
+        );
+        let server = start(Some(Arc::clone(&plan)));
+
+        let mut victim: BlockingClient<u64> =
+            BlockingClient::connect(server.addr()).expect("connect victim");
+        victim.ingest(batch_at(0)).expect("reply frame 1 delivered");
+        victim.ingest(batch_at(1)).expect("reply frame 2 delivered");
+        // The 3rd request reaches the engine, but its ack frame is the
+        // fault site: the socket dies under the client.
+        let lost = victim.ingest(batch_at(2));
+        assert!(
+            matches!(lost, Err(ClientError::Io(_))),
+            "seed={seed}: expected a dead socket, got {lost:?}"
+        );
+
+        // Connection 2 goes half-open: request swallowed, no reply.
+        let mut stuck: BlockingClient<u64> =
+            BlockingClient::connect_timeout(server.addr(), Duration::from_millis(300))
+                .expect("connect stuck");
+        assert!(
+            matches!(stuck.ping(), Err(ClientError::Io(_))),
+            "seed={seed}: half-open socket must hit the read timeout"
+        );
+
+        // Connection 3 sees the engine unharmed and bit-identical to
+        // the fault-free run (the lost ack's batch WAS ingested — the
+        // fault ate the reply, not the request).
+        let mut survivor: BlockingClient<u64> =
+            BlockingClient::connect(server.addr()).expect("connect survivor");
+        let got = survivor.get_sample().expect("engine still serves");
+        assert_eq!(
+            got, clean_sample,
+            "seed={seed}: wire faults must not perturb engine state"
+        );
+        assert_eq!(
+            plan.fired_count(),
+            2,
+            "seed={seed}: both wire faults must fire exactly once"
+        );
+    }
+}
+
 /// A unique scratch directory per test (no tempfile dependency).
 fn scratch(tag: &str) -> std::path::PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,398 @@
+//! # miniloop
+//!
+//! A deliberately small async runtime for the serving tier: one executor
+//! thread, a cooperative task set, a timer wheel (well — a sorted list),
+//! and non-blocking TCP driven by *polling with adaptive backoff* rather
+//! than an OS readiness API. The workspace denies `unsafe_code`, which
+//! rules out raw `epoll`/`kqueue` FFI; instead every I/O future retries
+//! its syscall and, on `WouldBlock`, either requeues itself immediately
+//! (the first few polls — covers the common case where the peer is
+//! already mid-burst) or parks on a short timer that grows toward a
+//! bounded ceiling. Under pipelined load the sockets are almost always
+//! ready and the backoff path never runs; when idle, the loop converges
+//! to a few hundred wakeups per second per connection.
+//!
+//! The API surface is the subset the `tbs-server` crate needs:
+//!
+//! * [`Executor::block_on`] — drive a root future (plus everything
+//!   spawned) to completion on the calling thread.
+//! * [`Handle::spawn`] — add a detached task.
+//! * [`Handle::sleep`] / [`Handle::wake_at`] — timers.
+//! * [`net::AsyncTcpListener`] / [`net::AsyncTcpStream`] — non-blocking
+//!   accept/read/write futures over `std::net`.
+//!
+//! External wakeups are fully supported: a `Waker` handed to another
+//! thread (e.g. a publisher's notify list) pushes the task back on the
+//! ready queue and kicks the executor's condvar, so tasks can await
+//! events produced outside the loop.
+
+pub mod net;
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// One spawned task: the future plus its ready-queue membership flag.
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    /// True while the task sits in the ready queue — collapses redundant
+    /// wakes into one queue entry.
+    queued: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let shared = Arc::clone(&self.shared);
+            shared
+                .ready
+                .lock()
+                .expect("ready queue")
+                .push_back(Arc::clone(self));
+            shared.cv.notify_one();
+        }
+    }
+}
+
+/// State shared between the executor thread, task wakers, and timer
+/// registrations from any thread.
+struct Shared {
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    /// (deadline, waker) pairs, unsorted — scanned when due.
+    timers: Mutex<Vec<(Instant, Waker)>>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Fire every timer whose deadline has passed; return the next
+    /// pending deadline, if any.
+    fn fire_due_timers(&self, now: Instant) -> Option<Instant> {
+        let mut due = Vec::new();
+        let next = {
+            let mut timers = self.timers.lock().expect("timer list");
+            let mut i = 0;
+            while i < timers.len() {
+                if timers[i].0 <= now {
+                    due.push(timers.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            timers.iter().map(|(t, _)| *t).min()
+        };
+        for waker in due {
+            waker.wake();
+        }
+        next
+    }
+}
+
+/// A clonable handle into a running (or about-to-run) executor; create
+/// via [`Executor::new`] → [`Executor::handle`].
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Spawn a detached task. It runs whenever the owning executor is
+    /// inside [`Executor::block_on`].
+    pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queued: AtomicBool::new(false),
+            shared: Arc::clone(&self.shared),
+        });
+        task.wake_by_ref();
+    }
+
+    /// Arrange for `waker` to fire at `deadline` (from any thread).
+    pub fn wake_at(&self, deadline: Instant, waker: Waker) {
+        self.shared
+            .timers
+            .lock()
+            .expect("timer list")
+            .push((deadline, waker));
+        // The executor may be parked past this deadline; kick it so it
+        // re-computes its sleep.
+        self.shared.cv.notify_one();
+    }
+
+    /// A future that resolves `dur` from now.
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: Instant::now() + dur,
+        }
+    }
+
+    /// A future that resolves at `deadline`.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline,
+        }
+    }
+}
+
+/// Timer future returned by [`Handle::sleep`].
+pub struct Sleep {
+    handle: Handle,
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            self.handle.wake_at(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// The single-threaded executor; see the module docs.
+pub struct Executor {
+    shared: Arc<Shared>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// A fresh executor with an empty task set.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                ready: Mutex::new(VecDeque::new()),
+                timers: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A handle for spawning tasks and registering timers.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drive `root` to completion on the calling thread, running every
+    /// spawned task cooperatively alongside it. Returns `root`'s output;
+    /// still-pending spawned tasks are dropped when it completes.
+    pub fn block_on<F: Future>(&self, root: F) -> F::Output {
+        let mut root = Box::pin(root);
+        // The root future gets its own parked/notified flag so a wake
+        // from any thread can unblock the loop.
+        let root_flag = Arc::new(RootWake {
+            shared: Arc::clone(&self.shared),
+            awake: AtomicBool::new(true),
+        });
+        let root_waker = Waker::from(Arc::clone(&root_flag));
+        let mut cx = Context::from_waker(&root_waker);
+
+        loop {
+            // 1. Poll the root future whenever it has been woken.
+            if root_flag.awake.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+                    return out;
+                }
+            }
+
+            // 2. Drain the ready queue (bounded per pass: tasks that
+            //    re-wake themselves go to the back and are picked up on
+            //    the next pass, keeping the root future responsive).
+            let pass: Vec<Arc<Task>> = {
+                let mut ready = self.shared.ready.lock().expect("ready queue");
+                ready.drain(..).collect()
+            };
+            for task in &pass {
+                task.queued.store(false, Ordering::Release);
+                // Take the future out so a reentrant wake during poll
+                // cannot alias it; put it back if still pending.
+                let fut = task.future.lock().expect("task future").take();
+                if let Some(mut fut) = fut {
+                    let waker = Waker::from(Arc::clone(task));
+                    let mut task_cx = Context::from_waker(&waker);
+                    if fut.as_mut().poll(&mut task_cx).is_pending() {
+                        *task.future.lock().expect("task future") = Some(fut);
+                    }
+                }
+            }
+
+            // 3. Fire due timers; park until the next deadline or wake.
+            let now = Instant::now();
+            let next_deadline = self.shared.fire_due_timers(now);
+            let mut ready = self.shared.ready.lock().expect("ready queue");
+            if ready.is_empty() && !root_flag.awake.load(Ordering::Acquire) {
+                match next_deadline {
+                    Some(deadline) => {
+                        let timeout = deadline.saturating_duration_since(Instant::now());
+                        let (guard, _) = self
+                            .shared
+                            .cv
+                            .wait_timeout(ready, timeout)
+                            .expect("executor cv");
+                        ready = guard;
+                    }
+                    None => {
+                        ready = self.shared.cv.wait(ready).expect("executor cv");
+                    }
+                }
+            }
+            drop(ready);
+        }
+    }
+}
+
+struct RootWake {
+    shared: Arc<Shared>,
+    awake: AtomicBool,
+}
+
+impl Wake for RootWake {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.awake.store(true, Ordering::Release);
+        self.shared.cv.notify_one();
+    }
+}
+
+/// Yield once: resolves Pending on the first poll (after scheduling an
+/// immediate re-wake) and Ready on the second — lets a busy task give
+/// the rest of the task set a turn.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_returns_root_output() {
+        let ex = Executor::new();
+        assert_eq!(ex.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_alongside_root() {
+        let ex = Executor::new();
+        let handle = ex.handle();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let count = Arc::clone(&count);
+            handle.spawn(async move {
+                yield_now().await;
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let h2 = handle.clone();
+        let c2 = Arc::clone(&count);
+        ex.block_on(async move {
+            // Wait until every spawned task has bumped the counter.
+            while c2.load(Ordering::SeqCst) < 5 {
+                h2.sleep(Duration::from_millis(1)).await;
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn sleep_waits_roughly_the_requested_time() {
+        let ex = Executor::new();
+        let handle = ex.handle();
+        let start = Instant::now();
+        ex.block_on(async move { handle.sleep(Duration::from_millis(20)).await });
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(18),
+            "woke early: {waited:?}"
+        );
+        assert!(waited < Duration::from_secs(2), "woke far too late");
+    }
+
+    #[test]
+    fn external_thread_wakeups_reach_a_parked_task() {
+        // A task parks on a manually registered waker; another OS thread
+        // fires it. The executor must wake up and finish.
+        struct ExternalFlag {
+            fired: Arc<AtomicBool>,
+            waker_slot: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Future for ExternalFlag {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.fired.load(Ordering::Acquire) {
+                    Poll::Ready(())
+                } else {
+                    *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+
+        let fired = Arc::new(AtomicBool::new(false));
+        let slot: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let (fired2, slot2) = (Arc::clone(&fired), Arc::clone(&slot));
+        let kicker = std::thread::spawn(move || {
+            // Wait for the task to park, then fire.
+            loop {
+                if let Some(waker) = slot2.lock().unwrap().take() {
+                    fired2.store(true, Ordering::Release);
+                    waker.wake();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+
+        let ex = Executor::new();
+        ex.block_on(ExternalFlag {
+            fired,
+            waker_slot: slot,
+        });
+        kicker.join().unwrap();
+    }
+}

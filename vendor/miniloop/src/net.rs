@@ -1,0 +1,289 @@
+//! Non-blocking TCP futures over `std::net`, readiness-free.
+//!
+//! Without an OS readiness API (the workspace forbids the `unsafe` FFI
+//! one would need), a socket future simply *tries* its syscall on every
+//! poll. `WouldBlock` triggers an adaptive backoff: the first few polls
+//! requeue the task immediately — under pipelined load the bytes are
+//! usually one scheduler turn away — and subsequent polls park on a
+//! timer that doubles from 50µs toward a small ceiling. Any successful
+//! syscall resets the backoff, so active connections stay hot while
+//! idle ones cost a bounded trickle of timer wakeups.
+
+use crate::Handle;
+use std::future::Future;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// Immediate re-wakes before the first timed park.
+const SPIN_POLLS: u32 = 4;
+/// First timed-park delay.
+const BACKOFF_BASE: Duration = Duration::from_micros(50);
+
+/// Per-future adaptive backoff state.
+#[derive(Debug)]
+struct Backoff {
+    misses: u32,
+    cap: Duration,
+}
+
+impl Backoff {
+    fn new(cap: Duration) -> Self {
+        Self { misses: 0, cap }
+    }
+
+    fn reset(&mut self) {
+        self.misses = 0;
+    }
+
+    /// Schedule the next retry after a `WouldBlock`.
+    fn park(&mut self, handle: &Handle, cx: &mut Context<'_>) {
+        if self.misses < SPIN_POLLS {
+            cx.waker().wake_by_ref();
+        } else {
+            let exp = (self.misses - SPIN_POLLS).min(16);
+            let delay = BACKOFF_BASE
+                .checked_mul(1u32 << exp)
+                .unwrap_or(self.cap)
+                .min(self.cap);
+            handle.wake_at(Instant::now() + delay, cx.waker().clone());
+        }
+        self.misses += 1;
+    }
+}
+
+fn would_block(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    )
+}
+
+/// Async wrapper over a non-blocking [`TcpListener`].
+pub struct AsyncTcpListener {
+    listener: TcpListener,
+    handle: Handle,
+}
+
+impl AsyncTcpListener {
+    /// Wrap `listener`, switching it to non-blocking mode.
+    pub fn from_std(listener: TcpListener, handle: Handle) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener, handle })
+    }
+
+    /// Local address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept one connection, or resolve `None` once `timeout` elapses —
+    /// the caller's chance to re-check shutdown flags between arrivals.
+    pub fn accept_timeout(&self, timeout: Duration) -> AcceptTimeout<'_> {
+        AcceptTimeout {
+            listener: self,
+            deadline: Instant::now() + timeout,
+            backoff: Backoff::new(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Future returned by [`AsyncTcpListener::accept_timeout`].
+pub struct AcceptTimeout<'a> {
+    listener: &'a AsyncTcpListener,
+    deadline: Instant,
+    backoff: Backoff,
+}
+
+impl Future for AcceptTimeout<'_> {
+    type Output = io::Result<Option<(AsyncTcpStream, SocketAddr)>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.listener.listener.accept() {
+            Ok((stream, addr)) => {
+                let handle = self.listener.handle.clone();
+                Poll::Ready(AsyncTcpStream::from_std(stream, handle).map(|s| Some((s, addr))))
+            }
+            Err(e) if would_block(&e) => {
+                if Instant::now() >= self.deadline {
+                    return Poll::Ready(Ok(None));
+                }
+                // Park no later than the timeout itself.
+                let deadline = self.deadline;
+                let this = self.get_mut();
+                if Instant::now() + Duration::from_millis(10) >= deadline {
+                    this.listener.handle.wake_at(deadline, cx.waker().clone());
+                } else {
+                    this.backoff.park(&this.listener.handle, cx);
+                }
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// Async wrapper over a non-blocking [`TcpStream`].
+pub struct AsyncTcpStream {
+    stream: TcpStream,
+    handle: Handle,
+    read_backoff: Backoff,
+    write_backoff: Backoff,
+}
+
+impl AsyncTcpStream {
+    /// Wrap `stream`, switching it to non-blocking mode and disabling
+    /// Nagle (frames are small and latency-sensitive).
+    pub fn from_std(stream: TcpStream, handle: Handle) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            handle,
+            read_backoff: Backoff::new(Duration::from_millis(2)),
+            write_backoff: Backoff::new(Duration::from_millis(2)),
+        })
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Read at least one byte into `buf` (resolves `Ok(0)` on EOF).
+    pub fn read_some<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadSome<'a> {
+        ReadSome { stream: self, buf }
+    }
+
+    /// Write all of `data`.
+    pub fn write_all<'a>(&'a mut self, data: &'a [u8]) -> WriteAll<'a> {
+        WriteAll {
+            stream: self,
+            data,
+            written: 0,
+        }
+    }
+
+    /// Shut down both directions of the socket.
+    pub fn shutdown(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// Future returned by [`AsyncTcpStream::read_some`].
+pub struct ReadSome<'a> {
+    stream: &'a mut AsyncTcpStream,
+    buf: &'a mut [u8],
+}
+
+impl Future for ReadSome<'_> {
+    type Output = io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.stream.stream.read(this.buf) {
+            Ok(n) => {
+                this.stream.read_backoff.reset();
+                Poll::Ready(Ok(n))
+            }
+            Err(e) if would_block(&e) => {
+                let handle = this.stream.handle.clone();
+                this.stream.read_backoff.park(&handle, cx);
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// Future returned by [`AsyncTcpStream::write_all`].
+pub struct WriteAll<'a> {
+    stream: &'a mut AsyncTcpStream,
+    data: &'a [u8],
+    written: usize,
+}
+
+impl Future for WriteAll<'_> {
+    type Output = io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while this.written < this.data.len() {
+            match this.stream.stream.write(&this.data[this.written..]) {
+                Ok(0) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    )))
+                }
+                Ok(n) => {
+                    this.stream.write_backoff.reset();
+                    this.written += n;
+                }
+                Err(e) if would_block(&e) => {
+                    let handle = this.stream.handle.clone();
+                    this.stream.write_backoff.park(&handle, cx);
+                    return Poll::Pending;
+                }
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+
+    #[test]
+    fn accept_read_write_roundtrip() {
+        let std_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = std_listener.local_addr().unwrap();
+
+        // Blocking peer on a real thread.
+        let peer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            s.read_exact(&mut buf).unwrap();
+            buf
+        });
+
+        let ex = Executor::new();
+        let handle = ex.handle();
+        let listener = AsyncTcpListener::from_std(std_listener, handle).unwrap();
+        ex.block_on(async {
+            let (mut conn, _) = listener
+                .accept_timeout(Duration::from_secs(5))
+                .await
+                .unwrap()
+                .expect("peer connects within timeout");
+            let mut buf = [0u8; 4];
+            let mut got = 0;
+            while got < 4 {
+                let n = conn.read_some(&mut buf[got..]).await.unwrap();
+                assert!(n > 0, "unexpected EOF");
+                got += n;
+            }
+            assert_eq!(&buf, b"ping");
+            conn.write_all(b"pong").await.unwrap();
+        });
+        assert_eq!(&peer.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn accept_timeout_resolves_none_when_nobody_connects() {
+        let std_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ex = Executor::new();
+        let handle = ex.handle();
+        let listener = AsyncTcpListener::from_std(std_listener, handle).unwrap();
+        let start = Instant::now();
+        let got = ex.block_on(listener.accept_timeout(Duration::from_millis(30)));
+        assert!(got.unwrap().is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}
