@@ -1,9 +1,10 @@
 //! Multi-core scaling baseline: aggregate and wall-clock ingest throughput
-//! of the sharded parallel engine at 1–32 shards, plus the
+//! of the sharded parallel engine at 1–64 shards, plus the
 //! spawn-vs-persistent-pool dispatch comparison. A full (non-smoke) run
-//! **fails loudly** when the 8-shard-cliff gate does not pass: saturated
-//! R-TBS aggregate at K = 8 must clear twice the committed pre-fix row
-//! and K = 16 must not regress below K = 8.
+//! **fails loudly** when the scaling gate does not pass: saturated
+//! R-TBS aggregate at K = 8 must clear twice the committed pre-fix row,
+//! K = 16 must not regress below K = 8, and K = 32 must not regress
+//! below K = 16 (the flattened-tail gate).
 //!
 //! ```text
 //! cargo run --release -p tbs-bench --bin bench_scaling            # full run, writes BENCH_scaling.json
@@ -28,7 +29,7 @@ use tbs_bench::experiments::scaling::{
     GATE_K8_FLOOR_ITEMS_PER_SEC, SCALING_ROW_KEYS,
 };
 use tbs_bench::json::{validate_bench_doc, Json};
-use tbs_bench::output::{results_dir, workspace_root};
+use tbs_bench::output::{host_context, results_dir, workspace_root};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,7 +94,10 @@ fn main() {
                 if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
                     eprintln!(
                         "scaling gate FAILED: K=8 below {GATE_K8_FLOOR_ITEMS_PER_SEC:.4e} \
-                         items/s or K=16 regressed below K=8"
+                         items/s, K=16 regressed below K=8, or K=32 regressed below \
+                         K=16. See `host` and `shard_busy_fracs` in the emitted \
+                         JSON.\n{}",
+                        host_context()
                     );
                     std::process::exit(1);
                 }

@@ -35,7 +35,7 @@ use tbs_bench::experiments::serving::{
 };
 use tbs_bench::experiments::wire::{self, WireConfig, WIRE_ROW_KEYS};
 use tbs_bench::json::{validate_bench_doc, Json};
-use tbs_bench::output::{results_dir, workspace_root};
+use tbs_bench::output::{host_context, results_dir, workspace_root};
 
 /// Exit non-zero unless `summary.<gate_key>.pass` in `doc` is `true`.
 fn enforce_gate(doc: &Json, gate_key: &str, what: &str) {
@@ -43,7 +43,7 @@ fn enforce_gate(doc: &Json, gate_key: &str, what: &str) {
         Some(gate) => {
             println!("\n{gate_key}: {gate}");
             if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
-                eprintln!("{what} gate FAILED");
+                eprintln!("{what} gate FAILED\n{}", host_context());
                 std::process::exit(1);
             }
         }
@@ -126,7 +126,9 @@ fn main() {
                 println!("\ngate: {gate}");
                 if !matches!(gate.get("pass"), Some(Json::Bool(true))) {
                     eprintln!(
-                        "serving gate FAILED: ingest under 4 readers fell below the baseline band"
+                        "serving gate FAILED: ingest under 4 readers fell below \
+                         the baseline band\n{}",
+                        host_context()
                     );
                     std::process::exit(1);
                 }

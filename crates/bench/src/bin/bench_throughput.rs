@@ -26,7 +26,7 @@ use tbs_bench::experiments::throughput::{
     THROUGHPUT_ROW_KEYS,
 };
 use tbs_bench::json::validate_bench_doc;
-use tbs_bench::output::{results_dir, workspace_root};
+use tbs_bench::output::{host_context, results_dir, workspace_root};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,7 +96,7 @@ fn main() {
             ),
             Err(msg) if smoke => println!("api facade (not gated on --smoke runs): {msg}"),
             Err(msg) => {
-                eprintln!("{msg}");
+                eprintln!("{msg}\n{}", host_context());
                 std::process::exit(1);
             }
         }
@@ -108,7 +108,7 @@ fn main() {
             ),
             Err(msg) if smoke => println!("jump ingest (not gated on --smoke runs): {msg}"),
             Err(msg) => {
-                eprintln!("{msg}");
+                eprintln!("{msg}\n{}", host_context());
                 std::process::exit(1);
             }
         }
@@ -123,7 +123,7 @@ fn main() {
             ),
             Err(msg) if smoke => println!("jump baseline (not gated on --smoke runs): {msg}"),
             Err(msg) => {
-                eprintln!("{msg}");
+                eprintln!("{msg}\n{}", host_context());
                 std::process::exit(1);
             }
         }
@@ -137,7 +137,7 @@ fn main() {
             ),
             Err(msg) if smoke => println!("checkpoint ingest (not gated on --smoke runs): {msg}"),
             Err(msg) => {
-                eprintln!("{msg}");
+                eprintln!("{msg}\n{}", host_context());
                 std::process::exit(1);
             }
         }

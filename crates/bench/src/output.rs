@@ -68,6 +68,23 @@ pub fn f(x: f64, decimals: usize) -> String {
     format!("{x:.decimals$}")
 }
 
+/// One-line host context appended to every gate-failure message so a
+/// failing CI log is diagnosable without re-running the bench: how many
+/// cores the host exposed, plus a reminder that the gated metrics are
+/// busy-time aggregates (time inside observe calls, queue waits
+/// excluded) and therefore hardware-independent.
+pub fn host_context() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!(
+        "host context: available_parallelism = {cores}; gates compare \
+         busy-time metrics (time inside observe calls, queue waits \
+         excluded), which are hardware-independent — a small host changes \
+         wall-clock rates, not these"
+    )
+}
+
 /// Read the run-count override from the `TBS_RUNS` environment variable or
 /// the first CLI argument; fall back to `default`.
 pub fn runs_from_env(default: usize) -> usize {

@@ -76,7 +76,8 @@ fn every_committed_bench_artifact_passes_the_shared_validator() {
 fn committed_scaling_baseline_passes_the_cliff_gate() {
     // The 8-shard-cliff fix is part of the committed artifact: saturated
     // R-TBS aggregate at K=8 must clear twice the pre-fix 267.7M items/s
-    // row, and K=16 must not regress below K=8. The bench recorded the
+    // row, K=16 must not regress below K=8, and — since the flattened-tail
+    // PR — K=32 must not regress below K=16. The bench recorded the
     // verdict; re-check the numbers so a hand-edited pass flag fails.
     let text = std::fs::read_to_string(workspace_root().join("BENCH_scaling.json"))
         .expect("committed BENCH_scaling.json");
@@ -92,10 +93,15 @@ fn committed_scaling_baseline_passes_the_cliff_gate() {
     };
     let k8 = num("k8_items_per_sec_aggregate");
     let k16 = num("k16_items_per_sec_aggregate");
+    let k32 = num("k32_items_per_sec_aggregate");
     let floor = num("k8_floor_items_per_sec");
     assert!(floor >= 535.4e6, "floor weakened to {floor}");
     assert!(k8 >= floor, "K=8 aggregate {k8} below floor {floor}");
     assert!(k16 >= k8, "K=16 aggregate {k16} regressed below K=8 {k8}");
+    assert!(
+        k32 >= k16,
+        "K=32 aggregate {k32} regressed below K=16 {k16}"
+    );
 }
 
 #[test]

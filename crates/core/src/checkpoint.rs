@@ -37,7 +37,15 @@ pub const MAGIC: u32 = 0x5442_5343; // "TBSC"
 ///   deviation scalars (`f64` each, shard-id order), and shard samplers
 ///   carry the adaptive `⌈n/K⌉+1` capacity. v2 blobs are rejected with
 ///   [`CheckpointError::UnsupportedVersion`] rather than misparsed.
-pub const VERSION: u32 = 3;
+/// * 4 — PR 10: R-TBS payloads carry the batch-granular downsampling
+///   state (defer threshold θ, accumulated lazy scale `P`, deferred
+///   arrival segments) after the latent sample, so a snapshot taken
+///   mid-deferral restores bit-identically without forcing a
+///   materialization; the sharded-engine payload leads with the
+///   shard-group ledger (logical cell count `G ≤ K`). v3 blobs are
+///   rejected with [`CheckpointError::UnsupportedVersion`] rather than
+///   misparsed.
+pub const VERSION: u32 = 4;
 
 /// Errors raised when decoding a checkpoint blob.
 #[derive(Debug, Clone, PartialEq, Eq)]

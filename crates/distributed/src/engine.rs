@@ -418,12 +418,14 @@ struct EngineShared<S: MergeableSample> {
 /// uninterrupted run — the engine-determinism tests pin this down.
 #[derive(Debug, Clone)]
 pub struct EngineCheckpoint<S> {
-    /// Per-shard `(sampler, RNG state)`, in shard-id order.
+    /// Per-cell `(sampler, RNG state)`, in cell-id order — one entry per
+    /// logical shard cell (`ShardSpec::cells()`, == the shard count
+    /// unless grouping is active).
     pub shard_states: Vec<(S, [u64; 4])>,
     /// The driver's merge/realization RNG position.
     pub driver_rng: [u64; 4],
-    /// The balanced splitter's per-shard deviation state `D_k`, in
-    /// shard-id order (all zeros for a fresh engine).
+    /// The balanced splitter's per-cell deviation state `D_k`, in
+    /// cell-id order (all zeros for a fresh engine).
     pub split_deviations: Vec<f64>,
     /// Batches ingested so far — the staleness stamp future snapshot
     /// publications continue from.
@@ -495,11 +497,15 @@ where
     }
 
     fn build(cfg: EngineConfig, faults: Option<Arc<FaultPlan>>) -> Self {
+        // Everything stream-visible — RNG substreams, the balanced split,
+        // the samplers — is sized by the logical *cell* count, which is
+        // the shard count unless shard grouping (`ShardSpec::cells`)
+        // collapses small reservoirs. Worker threads stay at `shards`.
         let mut substreams =
-            Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(cfg.spec.shards + 1);
+            Xoshiro256PlusPlus::seed_from_u64(cfg.seed).split_streams(cfg.spec.cells() + 1);
         let driver_rng = substreams.remove(0);
         let shard_samplers = S::make_shards(&cfg.spec);
-        let splitter = BalancedSplitter::new(cfg.spec.lambda, cfg.spec.shards);
+        let splitter = BalancedSplitter::new(cfg.spec.lambda, cfg.spec.cells());
         Self::spawn(
             cfg,
             shard_samplers,
@@ -522,17 +528,17 @@ where
     pub fn from_parts(cfg: EngineConfig, parts: EngineCheckpoint<S>) -> Self {
         assert_eq!(
             parts.shard_states.len(),
-            cfg.spec.shards,
-            "checkpoint has {} shards, config wants {}",
+            cfg.spec.cells(),
+            "checkpoint has {} shard cells, config wants {}",
             parts.shard_states.len(),
-            cfg.spec.shards
+            cfg.spec.cells()
         );
         assert_eq!(
             parts.split_deviations.len(),
-            cfg.spec.shards,
-            "checkpoint carries {} split deviations for {} shards",
+            cfg.spec.cells(),
+            "checkpoint carries {} split deviations for {} shard cells",
             parts.split_deviations.len(),
-            cfg.spec.shards
+            cfg.spec.cells()
         );
         let mut samplers = Vec::with_capacity(parts.shard_states.len());
         let mut rngs = Vec::with_capacity(parts.shard_states.len());
@@ -577,8 +583,8 @@ where
             &cell,
         );
         Self {
-            split: (0..cfg.spec.shards).map(|_| Vec::new()).collect(),
-            replay: (0..cfg.spec.shards).map(|_| VecDeque::new()).collect(),
+            split: (0..cfg.spec.cells()).map(|_| Vec::new()).collect(),
+            replay: (0..cfg.spec.cells()).map(|_| VecDeque::new()).collect(),
             shared,
             worker_joins,
             merger_join,
@@ -596,8 +602,18 @@ where
         }
     }
 
-    /// The shard count K.
+    /// The configured shard count K (the spec's declared parallelism;
+    /// the engine spawns `min(K, G)` = [`Self::cells`] worker threads,
+    /// since at most one drain per cell can run at a time).
     pub fn shards(&self) -> usize {
+        self.cfg.spec.shards
+    }
+
+    /// The logical shard cell count G ≤ K — equal to `shards()` unless
+    /// shard grouping ([`ShardSpec::cells`]) collapsed small reservoirs,
+    /// in which case the declared K shards share the G cells through the
+    /// lock-before-drain protocol.
+    pub fn cells(&self) -> usize {
         self.shared.cells.len()
     }
 
@@ -1263,7 +1279,7 @@ fn reraise(failure_recorded: bool, payload: Box<dyn std::any::Any + Send>) {
     }
 }
 
-/// Build the shared state and spawn the merger + K shard worker threads
+/// Build the shared state and spawn the merger + G shard worker threads
 /// over an existing epoch cell. Used both at construction and by
 /// supervised recovery respawns — which reuse the cell, so reader handles
 /// cloned before a fault stay valid across it.
@@ -1302,13 +1318,18 @@ where
         ),
         RecoveryPolicy::Fail => None,
     };
-    // Room for a few epochs in flight (each is 1 request + K forks +
+    // One cell per incoming sampler: `make_shards`/`from_parts` sized the
+    // vector by `spec.cells()`, the logical shard count the stream is
+    // split across (== `spec.shards` unless grouping is active).
+    let cell_count = shard_samplers.len();
+    debug_assert_eq!(cell_count, spec.cells(), "sampler count must match cells");
+    // Room for a few epochs in flight (each is 1 request + G forks +
     // 1 publish); beyond that the snapshot path exerts backpressure on
     // whoever requests faster than the pipeline can merge.
-    let merger: BatchQueue<MergerMsg<S>> = BatchQueue::with_capacity(4 * (spec.shards + 2));
+    let merger: BatchQueue<MergerMsg<S>> = BatchQueue::with_capacity(4 * (cell_count + 2));
     // Leaf tasks for a few epochs; dispatch never blocks on this
     // queue (overflow executes inline on the merger).
-    let tasks: BatchQueue<TreeTask<S>> = BatchQueue::with_capacity(4 * spec.shards + 4);
+    let tasks: BatchQueue<TreeTask<S>> = BatchQueue::with_capacity(4 * cell_count + 4);
     let cells: Vec<ShardCell<S>> = shard_samplers
         .into_iter()
         .zip(substreams)
@@ -1365,7 +1386,17 @@ where
             move || merger_worker(&shared, &cell, start_pub)
         })
         .expect("spawn merger worker");
-    let worker_joins = (0..spec.shards)
+    // One worker thread per reservoir cell, `min(K, G)` in total. A
+    // cell's queue drains only under the cell's lock, so at most G
+    // drains ever run concurrently — threads beyond the cell count
+    // could never add throughput, only scheduler pressure (and, on
+    // small hosts, busy-span inflation through mid-span preemption).
+    // With grouping active the declared K shard threads therefore
+    // collapse onto G primary owners; any worker still drains *every*
+    // cell it can lock through the same lock-before-drain protocol work
+    // stealing uses, so the realized sample cannot depend on which
+    // owner did the work.
+    let worker_joins = (0..cell_count)
         .map(|i| {
             let shared = Arc::clone(&shared);
             Some(
@@ -1792,6 +1823,7 @@ fn merger_worker<S: MergeableSample + Clone>(
     let _closer = PanicCloser { shared, cell };
 
     let spec = shared.spec;
+    let cell_count = shared.cells.len();
     let mut pending: BTreeMap<u64, PendingEpoch<S>> = BTreeMap::new();
     let mut pending_ckpts: BTreeMap<u64, PendingCkpt<S>> = BTreeMap::new();
     // Completed-but-unpublished epochs, re-ordered for in-order
@@ -1844,7 +1876,7 @@ fn merger_worker<S: MergeableSample + Clone>(
                 } => {
                     pending
                         .entry(epoch)
-                        .or_insert_with(|| PendingEpoch::new(spec.shards))
+                        .or_insert_with(|| PendingEpoch::new(cell_count))
                         .header = Some((rng, batches));
                 }
                 MergerMsg::Fork {
@@ -1854,7 +1886,7 @@ fn merger_worker<S: MergeableSample + Clone>(
                 } => {
                     let entry = pending
                         .entry(epoch)
-                        .or_insert_with(|| PendingEpoch::new(spec.shards));
+                        .or_insert_with(|| PendingEpoch::new(cell_count));
                     if entry.forks[shard].replace(*state).is_none() {
                         entry.received += 1;
                     }
@@ -1871,13 +1903,13 @@ fn merger_worker<S: MergeableSample + Clone>(
                 } => {
                     pending_ckpts
                         .entry(gen)
-                        .or_insert_with(|| PendingCkpt::new(spec.shards))
+                        .or_insert_with(|| PendingCkpt::new(cell_count))
                         .header = Some((driver_rng, deviations, batches));
                 }
                 MergerMsg::CkptFork { gen, shard, state } => {
                     let entry = pending_ckpts
                         .entry(gen)
-                        .or_insert_with(|| PendingCkpt::new(spec.shards));
+                        .or_insert_with(|| PendingCkpt::new(cell_count));
                     if entry.parts[shard].replace(*state).is_none() {
                         entry.received += 1;
                     }
@@ -1886,7 +1918,7 @@ fn merger_worker<S: MergeableSample + Clone>(
         }
         // Assemble every complete checkpoint generation, oldest first.
         while let Some(entry) = pending_ckpts.first_entry() {
-            if !entry.get().is_complete(spec.shards) {
+            if !entry.get().is_complete(cell_count) {
                 break;
             }
             let (gen, state) = entry.remove_entry();
@@ -1916,7 +1948,7 @@ fn merger_worker<S: MergeableSample + Clone>(
         // order — barriers flow FIFO through every shard — but the loop
         // does not rely on it).
         while let Some(entry) = pending.first_entry() {
-            if !entry.get().is_complete(spec.shards) {
+            if !entry.get().is_complete(cell_count) {
                 break;
             }
             let (epoch, state) = entry.remove_entry();
@@ -1930,7 +1962,7 @@ fn merger_worker<S: MergeableSample + Clone>(
                 .collect();
             let tree = Arc::new(build_tree(epoch, batches, rng_state, forks, &spec));
             inflight += 1;
-            for leaf in 0..spec.shards {
+            for leaf in 0..cell_count {
                 if let Err((tree, leaf)) = shared.tasks.try_push((Arc::clone(&tree), leaf)) {
                     // Task queue full (or closed): execute inline rather
                     // than ever blocking — the workers draining the queue
@@ -2150,5 +2182,77 @@ mod tests {
             engine.sample().unwrap()
         };
         assert_eq!(drive(shallow), drive(deep));
+    }
+
+    fn drive_schedule(cfg: EngineConfig) -> Vec<u64> {
+        let mut engine = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+        for t in 0..120u64 {
+            let b = [45u64, 0, 130, 7, 330][t as usize % 5];
+            engine
+                .ingest((0..b).map(|i| t * 1000 + i).collect())
+                .unwrap();
+        }
+        engine.sample().unwrap()
+    }
+
+    #[test]
+    fn grouped_engine_matches_equivalent_cell_count_engine() {
+        // 64 declared shards grouped down to 4 cells must equal a
+        // 4-shard engine bit-for-bit: every stream-visible structure
+        // (RNG substreams, split, samplers, merge tree) is cell-indexed,
+        // and the engine spawns one worker per cell.
+        let spec = ShardSpec::rtbs(0.1, 100, 64).with_group_threshold(24);
+        assert_eq!(spec.cells(), 4);
+        let grouped = EngineConfig::new(spec, 21);
+        let plain = EngineConfig::new(ShardSpec::rtbs(0.1, 100, 4), 21);
+        assert_eq!(drive_schedule(grouped), drive_schedule(plain));
+    }
+
+    #[test]
+    fn grouped_engine_checkpoint_resumes_bit_identically() {
+        let spec = ShardSpec::rtbs(0.1, 100, 32).with_group_threshold(24);
+        assert_eq!(spec.cells(), 4);
+        let cfg = EngineConfig::new(spec, 33);
+        let batch = |t: u64| -> Vec<u64> {
+            let b = [40u64, 0, 150, 7][t as usize % 4];
+            (0..b).map(|i| t * 1000 + i).collect()
+        };
+        let mut uninterrupted = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+        for t in 0..60 {
+            uninterrupted.ingest(batch(t)).unwrap();
+        }
+        let expect = uninterrupted.sample().unwrap();
+
+        let mut first_half = ParallelIngestEngine::<RTbs<u64>>::new(cfg);
+        for t in 0..30 {
+            first_half.ingest(batch(t)).unwrap();
+        }
+        let parts = first_half.save_parts().unwrap();
+        assert_eq!(parts.shard_states.len(), 4, "checkpoint is cell-indexed");
+        assert_eq!(parts.split_deviations.len(), 4);
+        drop(first_half);
+        let mut resumed = ParallelIngestEngine::<RTbs<u64>>::from_parts(cfg, parts);
+        for t in 30..60 {
+            resumed.ingest(batch(t)).unwrap();
+        }
+        assert_eq!(resumed.sample().unwrap(), expect, "grouped resume diverged");
+    }
+
+    #[test]
+    fn deferred_downsampling_engine_is_deterministic() {
+        // Batch-granular downsampling in the shards must keep the engine
+        // a pure function of (seed, cells, batches): two runs with the
+        // same θ agree, and θ > e^{-λ} degenerates to the eager result.
+        let lazy = ShardSpec::rtbs(0.1, 400, 4).with_defer_threshold(1e-6);
+        let a = drive_schedule(EngineConfig::new(lazy, 55));
+        let b = drive_schedule(EngineConfig::new(lazy, 55));
+        assert_eq!(a, b, "lazy engine not deterministic");
+        let near_eager = ShardSpec::rtbs(0.1, 400, 4).with_defer_threshold(0.99);
+        let eager = ShardSpec::rtbs(0.1, 400, 4);
+        assert_eq!(
+            drive_schedule(EngineConfig::new(near_eager, 55)),
+            drive_schedule(EngineConfig::new(eager, 55)),
+            "θ > e^{{-λ}} must match the eager path bit-for-bit"
+        );
     }
 }

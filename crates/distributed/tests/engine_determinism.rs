@@ -35,7 +35,7 @@ fn run_engine(seed: u64, shards: usize, batches: u64) -> (f64, f64, Vec<u64>) {
 
 #[test]
 fn same_seed_same_shards_is_bit_identical_across_runs() {
-    for shards in [1usize, 2, 4, 8] {
+    for shards in [1usize, 2, 4, 8, 32, 64] {
         let (w1, c1, s1) = run_engine(42, shards, 60);
         let (w2, c2, s2) = run_engine(42, shards, 60);
         assert_eq!(w1, w2, "K={shards}: total weight diverged");
@@ -56,7 +56,7 @@ fn engine_weights_match_single_node_recursion() {
     // (W, C) are deterministic; the threaded engine must track a
     // single-node R-TBS exactly at every snapshot point.
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
-    for shards in [1usize, 2, 4, 8] {
+    for shards in [1usize, 2, 4, 8, 32, 64] {
         let spec = ShardSpec::rtbs(0.2, 64, shards);
         let mut engine: ParallelIngestEngine<RTbs<u64>> =
             ParallelIngestEngine::new(EngineConfig::new(spec, 33));
@@ -96,6 +96,36 @@ fn ttbs_engine_is_deterministic_too() {
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn grouped_and_deferred_engines_are_deterministic() {
+    // The shard-group and batch-granular-downsampling paths must stay
+    // pure functions of (seed, config, batch sequence) too.
+    let run = |spec: ShardSpec, seed: u64| -> Vec<u64> {
+        let mut engine: ParallelIngestEngine<RTbs<u64>> =
+            ParallelIngestEngine::new(EngineConfig::new(spec, seed));
+        for t in 0..60u64 {
+            let b = schedule(t);
+            engine
+                .ingest((0..b).map(|i| t * 1000 + i).collect())
+                .unwrap();
+        }
+        engine.sample().unwrap()
+    };
+    // 64 workers grouped onto fewer cells (⌈64/G⌉ ≥ 24 items per cell).
+    let grouped = ShardSpec::rtbs(0.2, 64, 64).with_group_threshold(24);
+    assert!(grouped.cells() < 64);
+    assert_eq!(run(grouped, 42), run(grouped, 42));
+    // Deep deferral across the whole run.
+    let lazy = ShardSpec::rtbs(0.2, 6400, 8).with_defer_threshold(1e-9);
+    assert_eq!(run(lazy, 42), run(lazy, 42));
+    // Grouping + deferral combined.
+    let both = ShardSpec::rtbs(0.2, 64, 32)
+        .with_group_threshold(24)
+        .with_defer_threshold(0.05);
+    assert_eq!(run(both, 42), run(both, 42));
+    assert_ne!(run(both, 42), run(both, 43));
 }
 
 #[test]

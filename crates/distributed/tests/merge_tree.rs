@@ -10,7 +10,8 @@
 //! tree, work stealing enabled by a shallow queue), capture its durable
 //! state, replay the merge + realization sequentially on the test
 //! thread, and require equality — for both mergeable algorithms, K up
-//! to 16, saturated and unsaturated regimes.
+//! to 64 (including shard-grouped and deferred-downsampling configs),
+//! saturated and unsaturated regimes.
 
 use tbs_core::merge::{MergeableSample, ShardSpec};
 use tbs_core::{RTbs, TTbs};
@@ -71,7 +72,7 @@ where
 
 #[test]
 fn rtbs_tree_is_bit_identical_to_sequential_replay() {
-    for k in [2usize, 4, 8, 16] {
+    for k in [2usize, 4, 8, 16, 32, 64] {
         // Saturated: λ=0.1, n=500, mean batch ≈ 280 ⇒ W* ≈ 2800 ≫ n.
         check_tree_matches_sequential::<RTbs<u64>>(
             EngineConfig {
@@ -97,7 +98,7 @@ fn rtbs_tree_is_bit_identical_to_sequential_replay() {
 
 #[test]
 fn ttbs_tree_is_bit_identical_to_sequential_replay() {
-    for k in [2usize, 4, 8, 16] {
+    for k in [2usize, 4, 8, 16, 32, 64] {
         // Arrival rate above the assumed mean: sample rides above target.
         check_tree_matches_sequential::<TTbs<u64>>(
             EngineConfig {
@@ -117,6 +118,37 @@ fn ttbs_tree_is_bit_identical_to_sequential_replay() {
                 recovery: RecoveryPolicy::Fail,
             },
             "T-TBS under-fed",
+        );
+    }
+}
+
+#[test]
+fn grouped_and_deferred_trees_match_sequential_replay() {
+    // Shard groups: 64 workers over ⌈500/cells⌉ ≥ 24 cells — the merge
+    // tree is built over the G cells, not the K workers.
+    let grouped = ShardSpec::rtbs(0.1, 500, 64).with_group_threshold(24);
+    assert!(grouped.cells() < 64);
+    check_tree_matches_sequential::<RTbs<u64>>(
+        EngineConfig {
+            spec: grouped,
+            queue_depth: 2,
+            seed: 71,
+            recovery: RecoveryPolicy::Fail,
+        },
+        "R-TBS grouped",
+    );
+    // Batch-granular downsampling: merge leaves must materialize the
+    // deferred state on their own substream before downsampling, in the
+    // unsaturated regime where deferral windows actually persist.
+    for k in [4usize, 32] {
+        check_tree_matches_sequential::<RTbs<u64>>(
+            EngineConfig {
+                spec: ShardSpec::rtbs(0.07, 6000, k).with_defer_threshold(1e-6),
+                queue_depth: 2,
+                seed: 83 + k as u64,
+                recovery: RecoveryPolicy::Fail,
+            },
+            "R-TBS deferred",
         );
     }
 }

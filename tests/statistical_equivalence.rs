@@ -19,9 +19,10 @@
 //!    between the modes.
 //!
 //! The grid covers R-TBS and T-TBS × {unsaturated, saturated, bursty}
-//! regimes × {1, 4} shards — plus K = 16 under `TBS_STAT_THOROUGH=1`,
-//! exercising the adaptive `⌈n/K⌉+1` shard capacity in the regime the
-//! 8-shard cliff fix opened up (sharded runs drive the merge algebra
+//! regimes × {1, 4} shards — plus K ∈ {16, 32} under
+//! `TBS_STAT_THOROUGH=1`, exercising the adaptive `⌈n/K⌉+1` shard
+//! capacity in the regimes the 8-shard cliff fix and the K=32
+//! flattened-tail fix opened up (sharded runs drive the merge algebra
 //! directly, proving jump mode composes with `MergeableSample`).
 //!
 //! # False-positive budget
@@ -58,13 +59,15 @@ fn trial_budget() -> usize {
     }
 }
 
-/// Shard counts in the grid. K = 16 joins only under the thorough
-/// budget: at 16 shards most sub-batches are empty or single-item, so
-/// the fast budget's per-bucket counts would be too thin to mean much,
-/// while the ×10 budget gives every check full power.
+/// Shard counts in the grid. K ∈ {16, 32} joins only under the thorough
+/// budget: at high shard counts most sub-batches are empty or
+/// single-item, so the fast budget's per-bucket counts would be too thin
+/// to mean much, while the ×10 budget gives every check full power.
+/// K = 32 covers the flattened-tail regime where every shard holds a
+/// tiny `⌈n/K⌉+1` slice of the reservoir.
 fn shard_grid() -> &'static [usize] {
     if thorough() {
-        &[1, 4, 16]
+        &[1, 4, 16, 32]
     } else {
         &[1, 4]
     }
